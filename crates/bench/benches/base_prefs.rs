@@ -1,0 +1,76 @@
+//! Throughput of the base preference constructors' better-than tests —
+//! the innermost loop of every BMO algorithm.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pref_core::base::{
+    Around, BasePreference, Between, Explicit, Highest, Lowest, Neg, Pos, PosNeg, PosPos,
+};
+use pref_relation::Value;
+use std::hint::black_box;
+
+fn values(n: usize) -> Vec<Value> {
+    (0..n).map(|i| Value::from((i * 37 % 1000) as i64)).collect()
+}
+
+fn colors(n: usize) -> Vec<Value> {
+    let palette = ["red", "green", "blue", "gray", "black", "white", "yellow"];
+    (0..n).map(|i| Value::from(palette[i % palette.len()])).collect()
+}
+
+fn bench_constructor(
+    c: &mut Criterion,
+    name: &str,
+    pref: &dyn BasePreference,
+    dom: &[Value],
+) {
+    let pairs = (dom.len() * dom.len()) as u64;
+    let mut group = c.benchmark_group("base-prefs");
+    group.throughput(Throughput::Elements(pairs));
+    group.bench_function(name, |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for x in dom {
+                for y in dom {
+                    if pref.better(black_box(x), black_box(y)) {
+                        hits += 1;
+                    }
+                }
+            }
+            black_box(hits)
+        })
+    });
+    group.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    let nums = values(256);
+    let cols = colors(256);
+
+    bench_constructor(c, "POS", &Pos::new(["red", "blue"]), &cols);
+    bench_constructor(c, "NEG", &Neg::new(["gray"]), &cols);
+    bench_constructor(
+        c,
+        "POS-NEG",
+        &PosNeg::new(["red"], ["gray"]).unwrap(),
+        &cols,
+    );
+    bench_constructor(
+        c,
+        "POS-POS",
+        &PosPos::new(["red"], ["blue"]).unwrap(),
+        &cols,
+    );
+    bench_constructor(
+        c,
+        "EXPLICIT",
+        &Explicit::new([("green", "yellow"), ("green", "red"), ("yellow", "white")]).unwrap(),
+        &cols,
+    );
+    bench_constructor(c, "AROUND", &Around::new(500), &nums);
+    bench_constructor(c, "BETWEEN", &Between::new(250, 750).unwrap(), &nums);
+    bench_constructor(c, "LOWEST", &Lowest::new(), &nums);
+    bench_constructor(c, "HIGHEST", &Highest::new(), &nums);
+}
+
+criterion_group!(base, benches);
+criterion_main!(base);

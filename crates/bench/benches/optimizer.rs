@@ -1,0 +1,62 @@
+//! Ablation: the optimizer's two levers (DESIGN.md calls these out) —
+//! algebraic rewriting on/off, and forced algorithm choices versus
+//! automatic selection.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pref_core::prelude::*;
+use pref_core::term::Pref;
+use pref_query::{Algorithm, Optimizer};
+use pref_workload::cars;
+use std::hint::black_box;
+
+/// A deliberately redundant term: duplicates and a shared-attribute
+/// prioritisation that rewriting collapses.
+fn redundant_term() -> Pref {
+    Pref::Prior(vec![
+        Pref::Pareto(vec![lowest("price"), lowest("price"), highest("year")]),
+        neg("color", ["gray"]),
+        pos("color", ["red"]),
+    ])
+}
+
+fn bench_rewrite_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("optimizer/rewrite");
+    group.sample_size(10);
+    let p = redundant_term();
+    for n in [2_000usize, 8_000] {
+        let r = cars::catalog(n, 51);
+        let with = Optimizer::new();
+        let without = Optimizer {
+            no_rewrite: true,
+            ..Default::default()
+        };
+        group.bench_with_input(BenchmarkId::new("with-rewrite", n), &r, |b, r| {
+            b.iter(|| black_box(with.evaluate(&p, r).unwrap().0))
+        });
+        group.bench_with_input(BenchmarkId::new("no-rewrite", n), &r, |b, r| {
+            b.iter(|| black_box(without.evaluate(&p, r).unwrap().0))
+        });
+    }
+    group.finish();
+}
+
+fn bench_selection_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("optimizer/selection");
+    group.sample_size(10);
+    let p = lowest("price").pareto(highest("year"));
+    let r = cars::catalog(8_000, 52);
+    group.bench_function("auto", |b| {
+        let opt = Optimizer::new();
+        b.iter(|| black_box(opt.evaluate(&p, &r).unwrap().0))
+    });
+    for algo in [Algorithm::Bnl, Algorithm::Dnc, Algorithm::Sfs, Algorithm::Decomposed] {
+        let opt = Optimizer::new().with_algorithm(algo);
+        group.bench_function(format!("forced-{algo}"), |b| {
+            b.iter(|| black_box(opt.evaluate(&p, &r).unwrap().0))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rewrite_ablation, bench_selection_ablation);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Experiment X3: cost of Pareto (skyline) evaluation across algorithms,
+//! input sizes and correlation classes — the paper's "naive approach
+//! performs O(n²) better-than tests" versus the divide & conquer and
+//! skyline algorithms it points to (\[KLP75\], \[BKS01\], \[TEO01\]).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pref_bench::{skyline_pref, table};
+use pref_query::algorithms::{bnl, dnc, sfs};
+use pref_query::bmo::sigma_naive;
+use pref_workload::Distribution;
+use std::hint::black_box;
+
+fn bench_algorithms(c: &mut Criterion) {
+    let d = 3;
+    let p = skyline_pref(d);
+    for dist in [Distribution::Independent, Distribution::Anticorrelated] {
+        let mut group = c.benchmark_group(format!("pareto/{}", dist.name()));
+        group.sample_size(10);
+        for n in [1_000usize, 4_000, 16_000] {
+            let r = table(n, d, dist, 42);
+            if n <= 4_000 {
+                group.bench_with_input(BenchmarkId::new("naive", n), &r, |b, r| {
+                    b.iter(|| black_box(sigma_naive(&p, r).unwrap()))
+                });
+            }
+            group.bench_with_input(BenchmarkId::new("bnl", n), &r, |b, r| {
+                b.iter(|| black_box(bnl::bnl(&p, r).unwrap()))
+            });
+            group.bench_with_input(BenchmarkId::new("bnl-parallel-4", n), &r, |b, r| {
+                b.iter(|| black_box(bnl::bnl_parallel(&p, r, 4).unwrap()))
+            });
+            group.bench_with_input(BenchmarkId::new("dnc", n), &r, |b, r| {
+                b.iter(|| black_box(dnc::dnc(&p, r).unwrap()))
+            });
+            group.bench_with_input(BenchmarkId::new("sfs", n), &r, |b, r| {
+                b.iter(|| black_box(sfs::sfs(&p, r).unwrap()))
+            });
+        }
+        group.finish();
+    }
+}
+
+fn bench_dimensions(c: &mut Criterion) {
+    let n = 4_000;
+    let mut group = c.benchmark_group("pareto/dimensions");
+    group.sample_size(10);
+    for d in [2usize, 3, 4, 5] {
+        let p = skyline_pref(d);
+        let r = table(n, d, Distribution::Independent, 7);
+        group.bench_with_input(BenchmarkId::new("bnl", d), &r, |b, r| {
+            b.iter(|| black_box(bnl::bnl(&p, r).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("dnc", d), &r, |b, r| {
+            b.iter(|| black_box(dnc::dnc(&p, r).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithms, bench_dimensions);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! End-to-end Preference SQL latency: lexing+parsing, planning
+//! (rewrite + compile) and full execution on a car catalog.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pref_sql::{parse, PrefSql};
+use pref_workload::cars;
+use std::hint::black_box;
+
+const QUERY: &str = "SELECT * FROM car WHERE price < 30000 \
+    PREFERRING (category = 'cabriolet' ELSE category = 'roadster') \
+    AND color <> 'gray' AND price AROUND 15000 AND HIGHEST(horsepower) \
+    CASCADE LOWEST(mileage)";
+
+fn bench_parse(c: &mut Criterion) {
+    c.bench_function("sql/parse", |b| {
+        b.iter(|| black_box(parse(black_box(QUERY)).unwrap()))
+    });
+}
+
+fn bench_execute(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sql/execute");
+    group.sample_size(10);
+    for n in [1_000usize, 5_000, 20_000] {
+        let mut db = PrefSql::new();
+        db.register("car", cars::catalog(n, 12));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &db, |b, db| {
+            b.iter(|| black_box(db.execute(QUERY).unwrap().relation.len()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_hard_only(c: &mut Criterion) {
+    // Baseline: the same pipeline without soft constraints.
+    let mut db = PrefSql::new();
+    db.register("car", cars::catalog(20_000, 12));
+    c.bench_function("sql/hard-only-20000", |b| {
+        b.iter(|| {
+            black_box(
+                db.execute("SELECT * FROM car WHERE price < 30000")
+                    .unwrap()
+                    .relation
+                    .len(),
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_parse, bench_execute, bench_hard_only);
+criterion_main!(benches);

@@ -1,0 +1,11 @@
+//! The preference algebra (Section 4): equivalence of preference terms,
+//! the law collection of Propositions 2–6, a rewrite engine applying the
+//! laws, and the sub-constructor hierarchies of §3.4.
+
+pub mod equiv;
+pub mod hierarchy;
+pub mod laws;
+pub mod rewrite;
+
+pub use equiv::{equivalent_on, equivalent_values};
+pub use rewrite::simplify;

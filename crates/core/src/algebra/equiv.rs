@@ -1,0 +1,129 @@
+//! Equivalence of preference terms (Def. 13).
+//!
+//! `P1 ≡ P2` iff `A1 = A2` and the two strict partial orders agree on all
+//! of `dom(A1)`. Domains are infinite in general, so the checkers here are
+//! *extensional over a finite sample*: they decide equivalence restricted
+//! to the given tuples/values. The law tests combine them with exhaustive
+//! small domains and property-based sampling.
+
+use pref_relation::{Relation, Value};
+
+use crate::base::BasePreference;
+use crate::error::CoreError;
+use crate::eval::CompiledPref;
+use crate::term::Pref;
+
+/// A witnessed difference between two preference orders.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Inequivalence {
+    /// Index of the first tuple/value.
+    pub x: usize,
+    /// Index of the second.
+    pub y: usize,
+    /// `x <P1 y` result.
+    pub left: bool,
+    /// `x <P2 y` result.
+    pub right: bool,
+}
+
+/// Check `P1 ≡ P2` restricted to the tuples of `r`. Returns the first
+/// witness of inequivalence, or `None` when the orders agree (and the
+/// attribute sets match).
+pub fn inequivalence_witness(
+    p1: &Pref,
+    p2: &Pref,
+    r: &Relation,
+) -> Result<Option<Inequivalence>, CoreError> {
+    if p1.attributes() != p2.attributes() {
+        // Distinct attribute sets: inequivalent by definition. Use a
+        // degenerate witness.
+        return Ok(Some(Inequivalence {
+            x: 0,
+            y: 0,
+            left: false,
+            right: false,
+        }));
+    }
+    let c1 = CompiledPref::compile(p1, r.schema())?;
+    let c2 = CompiledPref::compile(p2, r.schema())?;
+    for (i, x) in r.rows().iter().enumerate() {
+        for (j, y) in r.rows().iter().enumerate() {
+            let left = c1.better(x, y);
+            let right = c2.better(x, y);
+            if left != right {
+                return Ok(Some(Inequivalence {
+                    x: i,
+                    y: j,
+                    left,
+                    right,
+                }));
+            }
+        }
+    }
+    Ok(None)
+}
+
+/// `P1 ≡ P2` restricted to the tuples of `r`.
+pub fn equivalent_on(p1: &Pref, p2: &Pref, r: &Relation) -> Result<bool, CoreError> {
+    Ok(inequivalence_witness(p1, p2, r)?.is_none())
+}
+
+/// Value-level equivalence of two base preferences over a domain sample.
+pub fn equivalent_values(
+    b1: &dyn BasePreference,
+    b2: &dyn BasePreference,
+    dom: &[Value],
+) -> bool {
+    dom.iter()
+        .all(|x| dom.iter().all(|y| b1.better(x, y) == b2.better(x, y)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::base::{Highest, Lowest};
+    use crate::term::{highest, lowest, pos};
+    use pref_relation::rel;
+
+    #[test]
+    fn syntactically_different_but_equivalent() {
+        // HIGHEST ≡ LOWEST∂ (Prop. 3d), at term level.
+        let r = rel! { ("a": Int); (1,), (2,), (3,) };
+        assert!(equivalent_on(&highest("a"), &lowest("a").dual(), &r).unwrap());
+    }
+
+    #[test]
+    fn different_attr_sets_are_inequivalent() {
+        let r = rel! { ("a": Int, "b": Int); (1, 2) };
+        assert!(!equivalent_on(&highest("a"), &highest("b"), &r).unwrap());
+    }
+
+    #[test]
+    fn witness_reports_direction() {
+        let r = rel! { ("a": Int); (1,), (2,) };
+        let w = inequivalence_witness(&highest("a"), &lowest("a"), &r)
+            .unwrap()
+            .unwrap();
+        // 1 <HIGHEST 2 but not 1 <LOWEST 2.
+        assert!(w.left != w.right);
+    }
+
+    #[test]
+    fn value_level_equivalence() {
+        let dom: Vec<Value> = (0..5).map(Value::from).collect();
+        let h = Highest::new();
+        let l = Lowest::new();
+        assert!(!equivalent_values(&h, &l, &dom));
+        assert!(equivalent_values(&h, &h, &dom));
+    }
+
+    #[test]
+    fn equivalence_is_sample_relative() {
+        // POS{5} and POS{5,99} agree on a sample without 99…
+        let r = rel! { ("a": Int); (1,), (5,) };
+        assert!(equivalent_on(&pos("a", [5]), &pos("a", [5i64, 99]), &r).unwrap());
+        // …but disagree once 99 is observable.
+        let r2 = rel! { ("a": Int); (1,), (5,), (99,) };
+        assert!(!equivalent_on(&pos("a", [5]), &pos("a", [5i64, 99]), &r2).unwrap());
+    }
+}

@@ -1,0 +1,298 @@
+//! The sub-constructor hierarchies of §3.4.
+//!
+//! `C1 ≼ C2` ("C1 is a preference sub-constructor of C2") holds when C1's
+//! definition is C2's definition under specialising constraints. This
+//! module provides the specialisation witnesses as conversion functions —
+//! each returns a C2-instance equivalent to the given C1-instance — plus
+//! the linear-sum identities of §3.3.2 and the `& ≼ rank(F)` embedding the
+//! paper sketches. The tests check order-equivalence extensionally.
+//!
+//! ```text
+//!   POS/NEG   EXPLICIT          SCORE                ⊗      rank(F)
+//!      ▲       ▲                 ▲  ▲  ▲             ▲        ▲
+//!   NEG  POS/POS        BETWEEN LOWEST HIGHEST       ♦        &
+//!      ▲  ▲                ▲
+//!       POS             AROUND
+//! ```
+
+use std::collections::HashSet;
+
+use pref_relation::Value;
+
+use crate::base::layered::Layer;
+use crate::base::{
+    AntichainBase, Around, BasePreference, BaseRef, Between, Explicit, Layered, LinearSum, Neg,
+    Pos, PosNeg, PosPos, Score,
+};
+use crate::error::CoreError;
+use crate::term::{BasePref, CombineFn, Pref};
+
+/// `AROUND ≼ BETWEEN`: `AROUND(A, z) ≡ BETWEEN(A, [z, z])`.
+pub fn around_as_between(a: &Around) -> Between {
+    Between::new(a.target().clone(), a.target().clone())
+        .expect("degenerate interval [z, z] is always valid")
+}
+
+/// `BETWEEN ≼ SCORE`: `f(x) = −distance(x, [low, up])`.
+pub fn between_as_score(b: &Between) -> Score {
+    let b = b.clone();
+    let (low, up) = b.bounds();
+    let name = format!("-dist[{low},{up}]");
+    Score::new(name, move |v: &Value| b.distance(v).map(|d| -d))
+}
+
+/// `AROUND ≼ SCORE` (composition of the two steps above).
+pub fn around_as_score(a: &Around) -> Score {
+    between_as_score(&around_as_between(a))
+}
+
+/// `HIGHEST ≼ SCORE`: `f(x) = x`.
+pub fn highest_as_score() -> Score {
+    Score::new("identity", |v: &Value| v.ordinal())
+}
+
+/// `LOWEST ≼ SCORE`: `f(x) = −x`.
+pub fn lowest_as_score() -> Score {
+    Score::new("negate", |v: &Value| v.ordinal().map(|o| -o))
+}
+
+/// `POS ≼ POS/POS` with `POS2-set = ∅`.
+pub fn pos_as_pos_pos(p: &Pos) -> PosPos {
+    PosPos::new(p.pos_set().iter().cloned(), Vec::<Value>::new())
+        .expect("empty POS2 cannot overlap")
+}
+
+/// `POS ≼ POS/NEG` with `NEG-set = ∅`.
+pub fn pos_as_pos_neg(p: &Pos) -> PosNeg {
+    PosNeg::new(p.pos_set().iter().cloned(), Vec::<Value>::new())
+        .expect("empty NEG cannot overlap")
+}
+
+/// `NEG ≼ POS/NEG` with `POS-set = ∅`.
+pub fn neg_as_pos_neg(n: &Neg) -> PosNeg {
+    PosNeg::new(Vec::<Value>::new(), n.neg_set().iter().cloned())
+        .expect("empty POS cannot overlap")
+}
+
+/// `POS/POS ≼ EXPLICIT` with `EXPLICIT-graph = (POS1-set)↔ ⊕ (POS2-set)↔`:
+/// edges from every POS2 value up to every POS1 value, with isolated
+/// vertices covering the case of an empty peer set.
+pub fn pos_pos_as_explicit(p: &PosPos) -> Explicit {
+    let edges: Vec<(Value, Value)> = p
+        .pos2_set()
+        .iter()
+        .flat_map(|worse| {
+            p.pos1_set()
+                .iter()
+                .map(move |better| (worse.clone(), better.clone()))
+        })
+        .collect();
+    let isolated: Vec<Value> = p
+        .pos1_set()
+        .iter()
+        .chain(p.pos2_set().iter())
+        .cloned()
+        .collect();
+    Explicit::with_vertices(edges, isolated).expect("bipartite layer graph is acyclic")
+}
+
+// ---- linear-sum identities of §3.3.2 -----------------------------------
+
+/// `POS = POS-set↔ ⊕ other-values↔` as a [`Layered`] preference.
+pub fn pos_as_linear_sum(p: &Pos) -> Layered {
+    Layered::new(vec![
+        Layer::Set(p.pos_set().clone()),
+        Layer::Others,
+    ])
+    .expect("two disjoint layers")
+}
+
+/// `NEG = other-values↔ ⊕ NEG-set↔`.
+pub fn neg_as_linear_sum(n: &Neg) -> Layered {
+    Layered::new(vec![
+        Layer::Others,
+        Layer::Set(n.neg_set().clone()),
+    ])
+    .expect("two disjoint layers")
+}
+
+/// `POS/NEG = (POS-set↔ ⊕ other-values↔) ⊕ NEG-set↔`.
+pub fn pos_neg_as_linear_sum(p: &PosNeg) -> Layered {
+    Layered::new(vec![
+        Layer::Set(p.pos_set().clone()),
+        Layer::Others,
+        Layer::Set(p.neg_set().clone()),
+    ])
+    .expect("three disjoint layers")
+}
+
+/// `POS/POS = (POS1-set↔ ⊕ POS2-set↔) ⊕ other-values↔`.
+pub fn pos_pos_as_linear_sum(p: &PosPos) -> Layered {
+    Layered::new(vec![
+        Layer::Set(p.pos1_set().clone()),
+        Layer::Set(p.pos2_set().clone()),
+        Layer::Others,
+    ])
+    .expect("three disjoint layers")
+}
+
+/// `EXPLICIT = E ⊕ other-values↔` over an enumerated domain sample: the
+/// explicit order on its vertices, linear-summed with an anti-chain on
+/// the remaining values.
+pub fn explicit_as_linear_sum(e: &Explicit, dom: &[Value]) -> Result<LinearSum, CoreError> {
+    let vertex_set: HashSet<Value> = e.vertices().iter().cloned().collect();
+    let others: HashSet<Value> = dom
+        .iter()
+        .filter(|v| !vertex_set.contains(v))
+        .cloned()
+        .collect();
+    let e_ref: BaseRef = std::sync::Arc::new(e.clone());
+    LinearSum::new(vec![
+        (vertex_set, e_ref),
+        (others, std::sync::Arc::new(AntichainBase::new()) as BaseRef),
+    ])
+}
+
+// ---- & ≼ rank(F) --------------------------------------------------------
+
+/// The `& ≼ rank(F)` embedding the paper sketches ("an obvious possibility
+/// is to verify that & ≼ rank(F) holds by determining a properly weighted
+/// F"): for two SCORE-family operands where
+///
+/// * `P1`'s scores are value-injective and quantised to multiples of
+///   `granularity` (e.g. HIGHEST on an integer column), and
+/// * `P2`'s scores are value-injective with range width `< width`,
+///
+/// `F(x1, x2) = x1 + x2 · granularity / (width · (1 + ε))` orders tuples
+/// exactly like `P1 & P2`: the second component can never overturn a
+/// first-component difference.
+///
+/// The preconditions are essential: without injectivity, `&` leaves
+/// equal-scored-but-unequal values unranked while `rank(F)` ranks them,
+/// and a lexicographic order on ℝ² admits no order-embedding into ℝ at
+/// all without the quantisation assumption.
+pub fn prior_as_rank(
+    p1: BasePref,
+    p2: BasePref,
+    granularity: f64,
+    width: f64,
+) -> Result<Pref, CoreError> {
+    let scale = granularity / (width * (1.0 + 1e-9));
+    Pref::rank(
+        CombineFn::weighted_sum(vec![1.0, scale]),
+        vec![Pref::Base(p1), Pref::Base(p2)],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algebra::equiv::{equivalent_on, equivalent_values};
+    use crate::base::Highest;
+    use crate::term::{highest, Pref};
+    use pref_relation::rel;
+
+    fn int_dom(range: std::ops::Range<i64>) -> Vec<Value> {
+        range.map(Value::from).collect()
+    }
+
+    fn str_dom(names: &[&str]) -> Vec<Value> {
+        names.iter().map(|s| Value::from(*s)).collect()
+    }
+
+    #[test]
+    fn around_between_score_chain() {
+        let a = Around::new(7);
+        let b = around_as_between(&a);
+        let s = around_as_score(&a);
+        let dom = int_dom(0..15);
+        assert!(equivalent_values(&a, &b, &dom), "AROUND ≢ BETWEEN[z,z]");
+        assert!(equivalent_values(&a, &s, &dom), "AROUND ≢ SCORE(-dist)");
+    }
+
+    #[test]
+    fn extremal_as_score() {
+        let dom = int_dom(-5..5);
+        assert!(equivalent_values(
+            &crate::base::Highest::new(),
+            &highest_as_score(),
+            &dom
+        ));
+        assert!(equivalent_values(
+            &crate::base::Lowest::new(),
+            &lowest_as_score(),
+            &dom
+        ));
+    }
+
+    #[test]
+    fn pos_family_specialisations() {
+        let dom = str_dom(&["a", "b", "c", "d", "e"]);
+        let pos = Pos::new(["a", "b"]);
+        assert!(equivalent_values(&pos, &pos_as_pos_pos(&pos), &dom));
+        assert!(equivalent_values(&pos, &pos_as_pos_neg(&pos), &dom));
+        let neg = Neg::new(["d"]);
+        assert!(equivalent_values(&neg, &neg_as_pos_neg(&neg), &dom));
+    }
+
+    #[test]
+    fn pos_pos_as_explicit_graph() {
+        let dom = str_dom(&["a", "b", "c", "d", "e"]);
+        let pp = PosPos::new(["a"], ["b", "c"]).unwrap();
+        assert!(equivalent_values(&pp, &pos_pos_as_explicit(&pp), &dom));
+        // Degenerate: empty POS2 needs the isolated-vertex support.
+        let pp2 = PosPos::new(["a"], Vec::<Value>::new()).unwrap();
+        assert!(equivalent_values(&pp2, &pos_pos_as_explicit(&pp2), &dom));
+    }
+
+    #[test]
+    fn linear_sum_identities() {
+        let dom = str_dom(&["a", "b", "x", "y", "z"]);
+        let pos = Pos::new(["a", "b"]);
+        assert!(equivalent_values(&pos, &pos_as_linear_sum(&pos), &dom));
+        let neg = Neg::new(["x"]);
+        assert!(equivalent_values(&neg, &neg_as_linear_sum(&neg), &dom));
+        let pn = PosNeg::new(["a"], ["x", "y"]).unwrap();
+        assert!(equivalent_values(&pn, &pos_neg_as_linear_sum(&pn), &dom));
+        let pp = PosPos::new(["a"], ["b"]).unwrap();
+        assert!(equivalent_values(&pp, &pos_pos_as_linear_sum(&pp), &dom));
+    }
+
+    #[test]
+    fn explicit_linear_sum_identity() {
+        let dom = str_dom(&["a", "b", "c", "q", "r"]);
+        let e = Explicit::new([("b", "a"), ("c", "b")]).unwrap();
+        let ls = explicit_as_linear_sum(&e, &dom).unwrap();
+        assert!(equivalent_values(&e, &ls, &dom));
+    }
+
+    #[test]
+    fn prior_embeds_into_rank() {
+        // P1 = HIGHEST(a) on integers (granularity 1), P2 = HIGHEST(b)
+        // with b ∈ [0, 10) (width 10).
+        let r = rel! {
+            ("a": Int, "b": Int);
+            (1, 9), (1, 2), (5, 0), (5, 9), (3, 3), (2, 2), (2, 9), (4, 0),
+        };
+        let prior = highest("a").prior(highest("b"));
+        let ranked = prior_as_rank(
+            BasePref::new("a", Highest::new()),
+            BasePref::new("b", Highest::new()),
+            1.0,
+            10.0,
+        )
+        .unwrap();
+        assert!(equivalent_on(&prior, &ranked, &r).unwrap());
+    }
+
+    #[test]
+    fn intersection_is_sub_constructor_of_pareto() {
+        // Prop. 6: ♦ ≼ ⊗ — on shared attributes they coincide.
+        let r = rel! { ("a": Int); (1,), (2,), (3,), (4,) };
+        let p1 = crate::term::pos("a", [1i64, 2]);
+        let p2 = crate::term::neg("a", [2i64, 3]);
+        let pareto = Pref::Pareto(vec![p1.clone(), p2.clone()]);
+        let inter = p1.intersect(p2).unwrap();
+        assert!(equivalent_on(&pareto, &inter, &r).unwrap());
+    }
+}

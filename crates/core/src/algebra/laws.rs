@@ -1,0 +1,502 @@
+//! The law collection of the preference algebra (Propositions 2–6),
+//! packaged as executable equation schemas.
+//!
+//! Every law is a function from operand terms to an `(lhs, rhs)` pair of
+//! terms claimed equivalent (Def. 13). The test suites and the `repro`
+//! harness instantiate the schemas with paper examples, hand-picked edge
+//! cases and property-based random operands, then check extensional
+//! equivalence with [`crate::algebra::equiv`].
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use pref_relation::Value;
+
+use crate::base::{
+    AntichainBase, BaseRef, DualBase, Highest, LinearSum, Lowest, Neg, Pos, UnionBase,
+};
+use crate::term::Pref;
+
+/// Side conditions a law schema places on its operands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Requires {
+    /// Any preferences.
+    Nothing,
+    /// All operands on the same attribute set (Def. 11 context).
+    SameAttrs,
+    /// Pairwise disjoint attribute sets (Prop. 4b context).
+    DisjointAttrs,
+    /// Same attribute set and pairwise disjoint ranges (Def. 11b); random
+    /// instantiation must construct operands disjoint by design.
+    DisjointRanges,
+}
+
+/// A one-operand law schema.
+pub struct UnaryLaw {
+    pub name: &'static str,
+    pub build: fn(Pref) -> (Pref, Pref),
+}
+
+/// A two-operand law schema.
+pub struct BinaryLaw {
+    pub name: &'static str,
+    pub requires: Requires,
+    pub build: fn(Pref, Pref) -> (Pref, Pref),
+}
+
+/// A three-operand law schema.
+pub struct TernaryLaw {
+    pub name: &'static str,
+    pub requires: Requires,
+    pub build: fn(Pref, Pref, Pref) -> (Pref, Pref),
+}
+
+fn ac_of(p: &Pref) -> Pref {
+    Pref::Antichain(p.attributes())
+}
+
+/// The unary laws of Proposition 3.
+pub fn unary_laws() -> Vec<UnaryLaw> {
+    vec![
+        UnaryLaw {
+            name: "P∂∂ ≡ P (Prop 3b)",
+            build: |p| (p.clone().dual().dual(), p),
+        },
+        UnaryLaw {
+            name: "P ♦ P ≡ P (Prop 3f)",
+            build: |p| (Pref::Inter(Arc::new(p.clone()), Arc::new(p.clone())), p),
+        },
+        UnaryLaw {
+            name: "P ♦ P∂ ≡ A↔ (Prop 3g)",
+            build: |p| {
+                let ac = ac_of(&p);
+                (
+                    Pref::Inter(Arc::new(p.clone()), Arc::new(p.dual())),
+                    ac,
+                )
+            },
+        },
+        UnaryLaw {
+            name: "P & P ≡ P (Prop 3i)",
+            build: |p| (Pref::Prior(vec![p.clone(), p.clone()]), p),
+        },
+        UnaryLaw {
+            name: "P & P∂ ≡ P (Prop 3i)",
+            build: |p| (Pref::Prior(vec![p.clone(), p.clone().dual()]), p),
+        },
+        UnaryLaw {
+            name: "P & A↔ ≡ P (Prop 3j)",
+            build: |p| {
+                let ac = ac_of(&p);
+                (Pref::Prior(vec![p.clone(), ac]), p)
+            },
+        },
+        UnaryLaw {
+            name: "A↔ & P ≡ A↔ (Prop 3k)",
+            build: |p| {
+                let ac = ac_of(&p);
+                (Pref::Prior(vec![ac.clone(), p]), ac)
+            },
+        },
+        UnaryLaw {
+            name: "P ⊗ P ≡ P (Prop 3l)",
+            build: |p| (Pref::Pareto(vec![p.clone(), p.clone()]), p),
+        },
+        UnaryLaw {
+            name: "A↔ ⊗ P ≡ A↔ & P (Prop 3m)",
+            build: |p| {
+                let ac = ac_of(&p);
+                (
+                    Pref::Pareto(vec![ac.clone(), p.clone()]),
+                    Pref::Prior(vec![ac, p]),
+                )
+            },
+        },
+        UnaryLaw {
+            name: "P ⊗ A↔ ≡ A↔ (Prop 3n)",
+            build: |p| {
+                let ac = ac_of(&p);
+                (Pref::Pareto(vec![p, ac.clone()]), ac)
+            },
+        },
+        UnaryLaw {
+            name: "P ⊗ P∂ ≡ A↔ (Prop 3n)",
+            build: |p| {
+                let ac = ac_of(&p);
+                (Pref::Pareto(vec![p.clone(), p.dual()]), ac)
+            },
+        },
+    ]
+}
+
+/// The binary laws: commutativity (Prop. 2), the discrimination theorem
+/// (Prop. 4), the non-discrimination theorem (Prop. 5) and Prop. 6.
+pub fn binary_laws() -> Vec<BinaryLaw> {
+    vec![
+        BinaryLaw {
+            name: "P1 ⊗ P2 ≡ P2 ⊗ P1 (Prop 2b)",
+            requires: Requires::Nothing,
+            build: |p1, p2| {
+                (
+                    Pref::Pareto(vec![p1.clone(), p2.clone()]),
+                    Pref::Pareto(vec![p2, p1]),
+                )
+            },
+        },
+        BinaryLaw {
+            name: "P1 ♦ P2 ≡ P2 ♦ P1 (Prop 2d)",
+            requires: Requires::SameAttrs,
+            build: |p1, p2| {
+                (
+                    Pref::Inter(Arc::new(p1.clone()), Arc::new(p2.clone())),
+                    Pref::Inter(Arc::new(p2), Arc::new(p1)),
+                )
+            },
+        },
+        BinaryLaw {
+            name: "P1 + P2 ≡ P2 + P1 (Prop 2e)",
+            requires: Requires::DisjointRanges,
+            build: |p1, p2| {
+                (
+                    Pref::Union(Arc::new(p1.clone()), Arc::new(p2.clone())),
+                    Pref::Union(Arc::new(p2), Arc::new(p1)),
+                )
+            },
+        },
+        BinaryLaw {
+            name: "P1 & P2 ≡ P1 on shared attributes (Prop 4a)",
+            requires: Requires::SameAttrs,
+            build: |p1, p2| (Pref::Prior(vec![p1.clone(), p2]), p1),
+        },
+        BinaryLaw {
+            name: "P1 & P2 ≡ P1 + (A1↔ & P2) (Prop 4b)",
+            requires: Requires::DisjointAttrs,
+            build: |p1, p2| {
+                let a1 = Pref::Antichain(p1.attributes());
+                (
+                    Pref::Prior(vec![p1.clone(), p2.clone()]),
+                    Pref::Union(
+                        Arc::new(p1),
+                        Arc::new(Pref::Prior(vec![a1, p2])),
+                    ),
+                )
+            },
+        },
+        BinaryLaw {
+            name: "P1 ⊗ P2 ≡ (P1 & P2) ♦ (P2 & P1) (Prop 5, non-discrimination)",
+            requires: Requires::Nothing,
+            build: |p1, p2| {
+                (
+                    Pref::Pareto(vec![p1.clone(), p2.clone()]),
+                    Pref::Inter(
+                        Arc::new(Pref::Prior(vec![p1.clone(), p2.clone()])),
+                        Arc::new(Pref::Prior(vec![p2, p1])),
+                    ),
+                )
+            },
+        },
+        BinaryLaw {
+            name: "P1 ⊗ P2 ≡ P1 ♦ P2 on shared attributes (Prop 6)",
+            requires: Requires::SameAttrs,
+            build: |p1, p2| {
+                (
+                    Pref::Pareto(vec![p1.clone(), p2.clone()]),
+                    Pref::Inter(Arc::new(p1), Arc::new(p2)),
+                )
+            },
+        },
+    ]
+}
+
+/// The ternary associativity laws of Proposition 2.
+pub fn ternary_laws() -> Vec<TernaryLaw> {
+    vec![
+        TernaryLaw {
+            name: "(P1 ⊗ P2) ⊗ P3 ≡ P1 ⊗ (P2 ⊗ P3) (Prop 2b)",
+            requires: Requires::Nothing,
+            build: |p1, p2, p3| {
+                (
+                    Pref::Pareto(vec![Pref::Pareto(vec![p1.clone(), p2.clone()]), p3.clone()]),
+                    Pref::Pareto(vec![p1, Pref::Pareto(vec![p2, p3])]),
+                )
+            },
+        },
+        TernaryLaw {
+            name: "(P1 & P2) & P3 ≡ P1 & (P2 & P3) (Prop 2c)",
+            requires: Requires::Nothing,
+            build: |p1, p2, p3| {
+                (
+                    Pref::Prior(vec![Pref::Prior(vec![p1.clone(), p2.clone()]), p3.clone()]),
+                    Pref::Prior(vec![p1, Pref::Prior(vec![p2, p3])]),
+                )
+            },
+        },
+        TernaryLaw {
+            name: "(P1 ♦ P2) ♦ P3 ≡ P1 ♦ (P2 ♦ P3) (Prop 2d)",
+            requires: Requires::SameAttrs,
+            build: |p1, p2, p3| {
+                (
+                    Pref::Inter(
+                        Arc::new(Pref::Inter(Arc::new(p1.clone()), Arc::new(p2.clone()))),
+                        Arc::new(p3.clone()),
+                    ),
+                    Pref::Inter(
+                        Arc::new(p1),
+                        Arc::new(Pref::Inter(Arc::new(p2), Arc::new(p3))),
+                    ),
+                )
+            },
+        },
+        TernaryLaw {
+            name: "(P1 + P2) + P3 ≡ P1 + (P2 + P3) (Prop 2e)",
+            requires: Requires::DisjointRanges,
+            build: |p1, p2, p3| {
+                (
+                    Pref::Union(
+                        Arc::new(Pref::Union(Arc::new(p1.clone()), Arc::new(p2.clone()))),
+                        Arc::new(p3.clone()),
+                    ),
+                    Pref::Union(
+                        Arc::new(p1),
+                        Arc::new(Pref::Union(Arc::new(p2), Arc::new(p3))),
+                    ),
+                )
+            },
+        },
+    ]
+}
+
+// ---- value-level laws of Proposition 3 --------------------------------
+
+/// A value-level law: a pair of base preferences claimed equivalent on
+/// every domain.
+pub struct ValueLaw {
+    pub name: &'static str,
+    pub lhs: BaseRef,
+    pub rhs: BaseRef,
+}
+
+/// Prop. 3a: `(S↔)∂ ≡ S↔`.
+pub fn antichain_dual_law() -> ValueLaw {
+    ValueLaw {
+        name: "(S↔)∂ ≡ S↔ (Prop 3a)",
+        lhs: Arc::new(DualBase::new(Arc::new(AntichainBase::new()))),
+        rhs: Arc::new(AntichainBase::new()),
+    }
+}
+
+/// Prop. 3d: `HIGHEST ≡ LOWEST∂`.
+pub fn highest_dual_law() -> ValueLaw {
+    ValueLaw {
+        name: "HIGHEST ≡ LOWEST∂ (Prop 3d)",
+        lhs: Arc::new(Highest::new()),
+        rhs: Arc::new(DualBase::new(Arc::new(Lowest::new()))),
+    }
+}
+
+/// Prop. 3e: `POS∂ ≡ NEG` when POS-set = NEG-set.
+pub fn pos_dual_law(set: Vec<Value>) -> ValueLaw {
+    ValueLaw {
+        name: "POS∂ ≡ NEG (Prop 3e)",
+        lhs: Arc::new(DualBase::new(Arc::new(Pos::new(set.clone())))),
+        rhs: Arc::new(Neg::new(set)),
+    }
+}
+
+/// Prop. 3e: `NEG∂ ≡ POS` when the sets coincide.
+pub fn neg_dual_law(set: Vec<Value>) -> ValueLaw {
+    ValueLaw {
+        name: "NEG∂ ≡ POS (Prop 3e)",
+        lhs: Arc::new(DualBase::new(Arc::new(Neg::new(set.clone())))),
+        rhs: Arc::new(Pos::new(set)),
+    }
+}
+
+/// Prop. 3c: `(P1 ⊕ P2)∂ ≡ P2∂ ⊕ P1∂` for anti-chain summands over the
+/// given disjoint carriers (the general case follows by substituting any
+/// orders for the summands; the test suite additionally checks EXPLICIT
+/// summands).
+pub fn linear_sum_dual_law(c1: HashSet<Value>, c2: HashSet<Value>) -> ValueLaw {
+    let p1: BaseRef = Arc::new(AntichainBase::new());
+    let p2: BaseRef = Arc::new(AntichainBase::new());
+    ValueLaw {
+        name: "(P1 ⊕ P2)∂ ≡ P2∂ ⊕ P1∂ (Prop 3c)",
+        lhs: Arc::new(DualBase::new(Arc::new(
+            LinearSum::new(vec![(c1.clone(), p1.clone()), (c2.clone(), p2.clone())])
+                .expect("carriers disjoint by caller contract"),
+        ))),
+        rhs: Arc::new(
+            LinearSum::new(vec![
+                (c2, Arc::new(DualBase::new(p2)) as BaseRef),
+                (c1, Arc::new(DualBase::new(p1)) as BaseRef),
+            ])
+            .expect("carriers disjoint by caller contract"),
+        ),
+    }
+}
+
+/// Helper constructing an order-embeddable disjoint union for the
+/// `Requires::DisjointRanges` laws: two EXPLICIT fragments over disjoint
+/// vertex sets.
+pub fn disjoint_union_operands() -> (BaseRef, BaseRef) {
+    let left: BaseRef = Arc::new(
+        crate::base::Explicit::fragment([("b", "a"), ("c", "b")]).expect("acyclic literal"),
+    );
+    let right: BaseRef =
+        Arc::new(crate::base::Explicit::fragment([("y", "x")]).expect("acyclic literal"));
+    // Union is constructible because the ranges are provably disjoint.
+    let _check = UnionBase::new(left.clone(), right.clone()).expect("disjoint by construction");
+    (left, right)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algebra::equiv::{equivalent_on, equivalent_values};
+    use crate::term::{around, highest, lowest, neg, pos};
+    use pref_relation::{rel, Relation};
+
+    fn sample() -> Relation {
+        rel! {
+            ("a": Int, "b": Int);
+            (1, 9), (1, 2), (5, 0), (5, 9), (3, 3), (2, 2), (2, 3),
+        }
+    }
+
+    fn operands_shared() -> (Pref, Pref) {
+        (pos("a", [1i64, 5]), neg("a", [2i64, 5]))
+    }
+
+    fn operands_disjoint() -> (Pref, Pref) {
+        (around("a", 2), lowest("b"))
+    }
+
+    #[test]
+    fn all_unary_laws_hold_on_samples() {
+        let r = sample();
+        for law in unary_laws() {
+            for p in [
+                around("a", 2),
+                pos("a", [1i64, 5]),
+                lowest("b"),
+                around("a", 2).pareto(lowest("b")),
+                pos("a", [1i64]).prior(highest("b")),
+            ] {
+                let (lhs, rhs) = (law.build)(p.clone());
+                assert!(
+                    equivalent_on(&lhs, &rhs, &r).unwrap(),
+                    "law `{}` failed for operand {p}",
+                    law.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn binary_laws_hold_on_samples() {
+        let r = sample();
+        for law in binary_laws() {
+            let (p1, p2) = match law.requires {
+                Requires::SameAttrs => operands_shared(),
+                Requires::DisjointAttrs => operands_disjoint(),
+                Requires::Nothing => operands_disjoint(),
+                Requires::DisjointRanges => continue, // value-level test below
+            };
+            let (lhs, rhs) = (law.build)(p1, p2);
+            assert!(
+                equivalent_on(&lhs, &rhs, &r).unwrap(),
+                "law `{}` failed",
+                law.name
+            );
+        }
+    }
+
+    #[test]
+    fn nondiscrimination_also_on_shared_attrs() {
+        let r = sample();
+        let law = binary_laws()
+            .into_iter()
+            .find(|l| l.name.contains("Prop 5"))
+            .expect("registered");
+        let (p1, p2) = operands_shared();
+        let (lhs, rhs) = (law.build)(p1, p2);
+        assert!(equivalent_on(&lhs, &rhs, &r).unwrap());
+    }
+
+    #[test]
+    fn ternary_laws_hold_on_samples() {
+        let r = sample();
+        for law in ternary_laws() {
+            let (p1, p2, p3) = match law.requires {
+                Requires::SameAttrs => (
+                    pos("a", [1i64]),
+                    neg("a", [5i64]),
+                    around("a", 3),
+                ),
+                Requires::DisjointRanges => continue,
+                _ => (around("a", 2), lowest("b"), highest("a")),
+            };
+            let (lhs, rhs) = (law.build)(p1, p2, p3);
+            assert!(
+                equivalent_on(&lhs, &rhs, &r).unwrap(),
+                "law `{}` failed",
+                law.name
+            );
+        }
+    }
+
+    #[test]
+    fn union_laws_at_value_level() {
+        // Commutativity of + with provably disjoint EXPLICIT operands.
+        let (l, r) = disjoint_union_operands();
+        let u1 = UnionBase::new(l.clone(), r.clone()).unwrap();
+        let u2 = UnionBase::new(r, l).unwrap();
+        let dom: Vec<Value> = ["a", "b", "c", "x", "y", "z"]
+            .iter()
+            .map(|s| Value::from(*s))
+            .collect();
+        assert!(equivalent_values(&u1, &u2, &dom));
+    }
+
+    #[test]
+    fn value_laws_hold() {
+        let dom: Vec<Value> = (0..6).map(Value::from).collect();
+        for law in [
+            antichain_dual_law(),
+            highest_dual_law(),
+            pos_dual_law(vec![Value::from(1), Value::from(2)]),
+            neg_dual_law(vec![Value::from(1), Value::from(2)]),
+        ] {
+            assert!(
+                equivalent_values(law.lhs.as_ref(), law.rhs.as_ref(), &dom),
+                "value law `{}` failed",
+                law.name
+            );
+        }
+    }
+
+    #[test]
+    fn linear_sum_dual() {
+        let c1: HashSet<Value> = [Value::from("a"), Value::from("b")].into_iter().collect();
+        let c2: HashSet<Value> = [Value::from("x")].into_iter().collect();
+        let law = linear_sum_dual_law(c1, c2);
+        let dom: Vec<Value> = ["a", "b", "x", "q"].iter().map(|s| Value::from(*s)).collect();
+        assert!(
+            equivalent_values(law.lhs.as_ref(), law.rhs.as_ref(), &dom),
+            "value law `{}` failed",
+            law.name
+        );
+    }
+
+    #[test]
+    fn chains_closed_under_prior() {
+        // Prop. 3h: P1 & P2 and P2 & P1 are chains when P1, P2 are.
+        let r = sample();
+        let p = lowest("a").prior(highest("b"));
+        let c = crate::eval::CompiledPref::compile(&p, r.schema()).unwrap();
+        let g = crate::graph::BetterGraph::from_relation(&c, &r).unwrap();
+        // The sample has no duplicate (a, b) pairs, so the restriction
+        // must be a chain.
+        assert!(g.is_chain());
+    }
+}

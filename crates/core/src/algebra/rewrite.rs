@@ -1,0 +1,318 @@
+//! A term simplifier applying the algebra's laws as rewrite rules.
+//!
+//! Used by the query optimizer: by Prop. 7, rewriting a preference term
+//! into an equivalent one never changes BMO query results, so the
+//! optimizer may freely simplify before choosing an algorithm. Every rule
+//! here is backed by a law of Propositions 2–4 (or a derived
+//! generalisation proved in the comments) and the property tests check
+//! `simplify(P) ≡ P` on random terms and relations.
+
+use pref_relation::AttrSet;
+
+use crate::term::Pref;
+
+/// Simplify a preference term by applying the algebraic laws until a
+/// fixpoint is reached.
+pub fn simplify(p: &Pref) -> Pref {
+    let mut current = p.clone();
+    // Each pass strictly shrinks the term or leaves it unchanged, so this
+    // terminates quickly; the explicit bound guards against rule bugs.
+    for _ in 0..64 {
+        let next = simplify_once(&current);
+        if next == current {
+            return next;
+        }
+        current = next;
+    }
+    current
+}
+
+fn simplify_once(p: &Pref) -> Pref {
+    match p {
+        Pref::Base(_) | Pref::Antichain(_) | Pref::Rank(_, _) => p.clone(),
+        Pref::Dual(inner) => {
+            let inner = simplify_once(inner);
+            match inner {
+                // Prop. 3b: P∂∂ ≡ P.
+                Pref::Dual(core) => (*core).clone(),
+                // Prop. 3a: (S↔)∂ ≡ S↔.
+                Pref::Antichain(a) => Pref::Antichain(a),
+                other => other.dual(),
+            }
+        }
+        Pref::Pareto(children) => simplify_pareto(children),
+        Pref::Prior(children) => simplify_prior(children),
+        Pref::Inter(l, r) => {
+            let l = simplify_once(l);
+            let r = simplify_once(r);
+            // Prop. 3f: P ♦ P ≡ P.
+            if l == r {
+                return l;
+            }
+            // Prop. 3g: P ♦ P∂ ≡ A↔.
+            if is_dual_pair(&l, &r) {
+                return Pref::Antichain(l.attributes());
+            }
+            Pref::Inter(l.into(), r.into())
+        }
+        Pref::Union(l, r) => {
+            let l = simplify_once(l);
+            let r = simplify_once(r);
+            Pref::Union(l.into(), r.into())
+        }
+    }
+}
+
+fn is_dual_pair(a: &Pref, b: &Pref) -> bool {
+    matches!(b, Pref::Dual(inner) if inner.as_ref() == a)
+        || matches!(a, Pref::Dual(inner) if inner.as_ref() == b)
+}
+
+fn simplify_pareto(children: &[Pref]) -> Pref {
+    // Associativity (Prop. 2b) justifies flattening; commutativity makes
+    // the anti-chain extraction below order-insensitive.
+    let mut flat = Vec::with_capacity(children.len());
+    for c in children {
+        match simplify_once(c) {
+            Pref::Pareto(inner) => flat.extend(inner),
+            other => flat.push(other),
+        }
+    }
+
+    // Prop. 3l (P ⊗ P ≡ P): drop syntactic duplicates.
+    let mut uniq: Vec<Pref> = Vec::with_capacity(flat.len());
+    for c in flat {
+        if !uniq.contains(&c) {
+            uniq.push(c);
+        }
+    }
+
+    // Prop. 3n (P ⊗ P∂ ≡ A↔): a dual pair collapses those two children
+    // to an anti-chain over their attributes.
+    let mut collapsed: Vec<Pref> = Vec::new();
+    'outer: for c in uniq {
+        for existing in collapsed.iter_mut() {
+            if is_dual_pair(existing, &c) {
+                *existing = Pref::Antichain(existing.attributes());
+                continue 'outer;
+            }
+        }
+        collapsed.push(c);
+    }
+
+    // Prop. 3m generalised: A↔ ⊗ Q1 ⊗ … ⊗ Qn ≡ A↔ & (Q1 ⊗ … ⊗ Qn).
+    // Merge all anti-chain children into one, then pull it in front as a
+    // prioritised grouping head.
+    let mut ac_attrs: Option<AttrSet> = None;
+    let mut rest: Vec<Pref> = Vec::new();
+    for c in collapsed {
+        match c {
+            Pref::Antichain(a) => {
+                ac_attrs = Some(match ac_attrs {
+                    None => a,
+                    Some(prev) => prev.union(&a),
+                });
+            }
+            other => rest.push(other),
+        }
+    }
+
+    let core = match rest.len() {
+        0 => None,
+        1 => Some(rest.pop().expect("len checked")),
+        _ => Some(Pref::Pareto(rest)),
+    };
+
+    match (ac_attrs, core) {
+        (Some(a), None) => Pref::Antichain(a),
+        // If the anti-chain attributes are covered by the rest, the
+        // equality constraint it adds is… NOT redundant for ⊗ (it demands
+        // equality where the rest may allow strict dominance), so keep the
+        // prioritised form in general.
+        (Some(a), Some(core)) => simplify_prior(&[Pref::Antichain(a), core]),
+        (None, Some(core)) => core,
+        (None, None) => unreachable!("constructors forbid empty Pareto"),
+    }
+}
+
+fn simplify_prior(children: &[Pref]) -> Pref {
+    // Associativity (Prop. 2c) justifies flattening.
+    let mut flat = Vec::with_capacity(children.len());
+    for c in children {
+        match simplify_once(c) {
+            Pref::Prior(inner) => flat.extend(inner),
+            other => flat.push(other),
+        }
+    }
+
+    // Generalised discrimination (Prop. 4a): a child whose attribute set
+    // is covered by the union of all earlier children's attributes can
+    // never fire — reaching it requires equality on all earlier
+    // projections, which includes its own projection. Drop it.
+    //
+    // This subsumes P & P ≡ P (Prop. 3i) and P1 & P2 ≡ P1 on shared
+    // attributes (Prop. 4a).
+    let mut kept: Vec<Pref> = Vec::new();
+    let mut seen = AttrSet::empty();
+    for c in flat {
+        let attrs = c.attributes();
+        if attrs.is_subset(&seen) {
+            continue;
+        }
+        seen = seen.union(&attrs);
+        kept.push(c);
+    }
+
+    // Note on Prop. 3j (`P & A↔ ≡ P`): it only holds when the anti-chain
+    // ranges over P's own attributes, and the subsumption rule above
+    // already removes exactly that case. Dropping an *arbitrary* trailing
+    // anti-chain would shrink the term's attribute set, which is not
+    // Def. 13 equivalence and corrupts the projection-equality test of an
+    // enclosing accumulation (found by the law property tests).
+    match kept.len() {
+        0 => unreachable!("constructors forbid empty Prior"),
+        1 => kept.pop().expect("len checked"),
+        _ => Pref::Prior(kept),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algebra::equiv::equivalent_on;
+    use crate::term::{antichain, around, highest, lowest, neg, pos};
+    use pref_relation::{rel, Relation};
+
+    fn sample() -> Relation {
+        rel! {
+            ("a": Int, "b": Int, "c": Int);
+            (1, 9, 0), (1, 2, 4), (5, 0, 2), (5, 9, 2), (3, 3, 3), (2, 2, 1),
+        }
+    }
+
+    #[test]
+    fn double_dual_vanishes() {
+        let p = lowest("a");
+        assert_eq!(simplify(&p.clone().dual().dual()), p);
+    }
+
+    #[test]
+    fn pareto_duplicates_drop() {
+        let p = Pref::Pareto(vec![lowest("a"), lowest("a")]);
+        assert_eq!(simplify(&p), lowest("a"));
+    }
+
+    #[test]
+    fn pareto_dual_pair_collapses_to_antichain() {
+        let p = Pref::Pareto(vec![lowest("a"), lowest("a").dual()]);
+        assert_eq!(simplify(&p), antichain(["a"]));
+    }
+
+    #[test]
+    fn prior_shared_attrs_discriminates() {
+        // Prop. 4a.
+        let p = Pref::Prior(vec![pos("a", [1i64]), neg("a", [2i64])]);
+        assert_eq!(simplify(&p), pos("a", [1i64]));
+    }
+
+    #[test]
+    fn prior_covered_later_child_drops() {
+        // attrs(c3) = {a} ⊆ {a} ∪ {b}.
+        let p = Pref::Prior(vec![lowest("a"), highest("b"), around("a", 0)]);
+        assert_eq!(simplify(&p), Pref::Prior(vec![lowest("a"), highest("b")]));
+    }
+
+    #[test]
+    fn covered_trailing_antichain_drops() {
+        // Prop. 3j: the anti-chain over P's own attributes disappears…
+        let p = Pref::Prior(vec![lowest("a"), antichain(["a"])]);
+        assert_eq!(simplify(&p), lowest("a"));
+    }
+
+    #[test]
+    fn foreign_trailing_antichain_is_kept() {
+        // …but an anti-chain over *other* attributes must stay: dropping
+        // it would change the term's attribute set (Def. 13) and the
+        // projection equality an enclosing accumulation relies on.
+        let p = Pref::Prior(vec![lowest("a"), antichain(["b"])]);
+        assert_eq!(simplify(&p), p);
+        // Witness for the enclosing-context hazard: with Y on `b`,
+        //   (X_a & {b}↔) & Y_b  ≢  X_a & Y_b.
+        let nested = Pref::Prior(vec![p, highest("b")]);
+        let wrong = Pref::Prior(vec![lowest("a"), highest("b")]);
+        let r = sample();
+        assert!(!crate::algebra::equiv::equivalent_on(&nested, &wrong, &r).unwrap());
+        // And simplify keeps the nested form's semantics.
+        assert!(
+            crate::algebra::equiv::equivalent_on(&nested, &simplify(&nested), &r).unwrap()
+        );
+    }
+
+    #[test]
+    fn grouping_antichain_head_is_kept() {
+        // A↔ & P is Def. 16 grouping — must NOT be simplified away.
+        let p = Pref::Prior(vec![antichain(["a"]), lowest("b")]);
+        assert_eq!(simplify(&p), p);
+    }
+
+    #[test]
+    fn pareto_with_antichain_becomes_grouped_prior() {
+        // Prop. 3m generalised.
+        let p = Pref::Pareto(vec![antichain(["c"]), lowest("a"), highest("b")]);
+        let s = simplify(&p);
+        assert_eq!(
+            s,
+            Pref::Prior(vec![
+                antichain(["c"]),
+                Pref::Pareto(vec![lowest("a"), highest("b")])
+            ])
+        );
+    }
+
+    #[test]
+    fn intersection_idempotence_and_dual() {
+        let p = lowest("a").intersect(lowest("a")).unwrap();
+        assert_eq!(simplify(&p), lowest("a"));
+        let q = lowest("a").intersect(lowest("a").dual()).unwrap();
+        assert_eq!(simplify(&q), antichain(["a"]));
+    }
+
+    #[test]
+    fn nested_flattening() {
+        let p = Pref::Prior(vec![
+            Pref::Prior(vec![lowest("a"), highest("b")]),
+            lowest("c"),
+        ]);
+        match simplify(&p) {
+            Pref::Prior(children) => assert_eq!(children.len(), 3),
+            other => panic!("expected flat Prior, got {other}"),
+        }
+    }
+
+    #[test]
+    fn simplification_preserves_equivalence() {
+        let r = sample();
+        let terms = vec![
+            Pref::Pareto(vec![lowest("a"), lowest("a"), highest("b")]),
+            Pref::Prior(vec![pos("a", [1i64]), neg("a", [5i64]), lowest("b")]),
+            Pref::Pareto(vec![antichain(["c"]), lowest("a")]),
+            Pref::Prior(vec![lowest("a"), antichain(["a", "b"]), highest("c")]),
+            lowest("a").dual().dual().pareto(highest("b").dual()),
+            Pref::Pareto(vec![around("a", 2), around("a", 2).dual(), lowest("b")]),
+        ];
+        for t in terms {
+            let s = simplify(&t);
+            assert!(
+                equivalent_on(&t, &s, &r).unwrap(),
+                "simplify changed semantics of {t} → {s}"
+            );
+        }
+    }
+
+    #[test]
+    fn simplify_is_idempotent() {
+        let t = Pref::Pareto(vec![antichain(["c"]), lowest("a"), lowest("a")]);
+        let once = simplify(&t);
+        assert_eq!(simplify(&once), once);
+    }
+}

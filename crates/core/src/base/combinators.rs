@@ -1,0 +1,423 @@
+//! Value-level preference combinators: dual, subset, anti-chain, linear
+//! sum, disjoint union and intersection (Def. 3, 11, 12) on a single
+//! attribute's domain.
+//!
+//! These are the "technical assembly" constructors of the paper. Linear
+//! sum in particular is "a convenient design and proof method for base
+//! preference constructors" — the identities `POS = POS-set↔ ⊕ others↔`
+//! etc. are verified in `algebra::hierarchy` using these types.
+
+use std::collections::HashSet;
+
+use pref_relation::Value;
+
+use super::{fmt_value_set, BasePreference, BaseRef, Range};
+use crate::error::CoreError;
+
+/// The anti-chain preference `S↔ = (S, ∅)` (Def. 3b): no value is better
+/// than any other.
+#[derive(Debug, Clone, Default)]
+pub struct AntichainBase;
+
+impl AntichainBase {
+    pub fn new() -> Self {
+        AntichainBase
+    }
+}
+
+impl BasePreference for AntichainBase {
+    fn name(&self) -> &'static str {
+        "ANTICHAIN"
+    }
+
+    fn better(&self, _x: &Value, _y: &Value) -> bool {
+        false
+    }
+
+    fn level(&self, _v: &Value) -> Option<u32> {
+        Some(1)
+    }
+
+    fn is_top(&self, _v: &Value) -> Option<bool> {
+        Some(true)
+    }
+
+    fn range(&self) -> Range {
+        Range::Known(HashSet::new())
+    }
+}
+
+/// The dual preference `P∂` (Def. 3c): `x <P∂ y iff y <P x`.
+#[derive(Debug, Clone)]
+pub struct DualBase {
+    inner: BaseRef,
+}
+
+impl DualBase {
+    pub fn new(inner: BaseRef) -> Self {
+        DualBase { inner }
+    }
+
+    /// The wrapped preference.
+    pub fn inner(&self) -> &BaseRef {
+        &self.inner
+    }
+}
+
+impl BasePreference for DualBase {
+    fn name(&self) -> &'static str {
+        "DUAL"
+    }
+
+    fn better(&self, x: &Value, y: &Value) -> bool {
+        self.inner.better(y, x)
+    }
+
+    fn is_chain(&self) -> bool {
+        self.inner.is_chain()
+    }
+
+    fn range(&self) -> Range {
+        self.inner.range()
+    }
+
+    fn params(&self) -> String {
+        format!("{}({})∂", self.inner.name(), self.inner.params())
+    }
+}
+
+/// A subset preference `P⊆` (Def. 3d): `P` restricted to a value set `S`.
+#[derive(Debug, Clone)]
+pub struct SubsetBase {
+    inner: BaseRef,
+    allowed: HashSet<Value>,
+}
+
+impl SubsetBase {
+    pub fn new<I, V>(inner: BaseRef, allowed: I) -> Self
+    where
+        I: IntoIterator<Item = V>,
+        V: Into<Value>,
+    {
+        SubsetBase {
+            inner,
+            allowed: allowed.into_iter().map(Into::into).collect(),
+        }
+    }
+}
+
+impl BasePreference for SubsetBase {
+    fn name(&self) -> &'static str {
+        "SUBSET"
+    }
+
+    fn better(&self, x: &Value, y: &Value) -> bool {
+        self.allowed.contains(x) && self.allowed.contains(y) && self.inner.better(x, y)
+    }
+
+    fn range(&self) -> Range {
+        Range::Known(match self.inner.range() {
+            Range::Known(r) => r.intersection(&self.allowed).cloned().collect(),
+            Range::Unbounded => self.allowed.clone(),
+        })
+    }
+
+    fn params(&self) -> String {
+        format!(
+            "{}({}) on {}",
+            self.inner.name(),
+            self.inner.params(),
+            fmt_value_set(&self.allowed)
+        )
+    }
+}
+
+/// Linear sum `P1 ⊕ P2 ⊕ …` (Def. 12): all values of an earlier summand
+/// are better than all values of a later summand; within a summand, that
+/// summand's order applies.
+///
+/// Each summand comes with its *carrier* (the `dom(Ai)` of Def. 12). The
+/// carriers must be pairwise disjoint.
+#[derive(Debug)]
+pub struct LinearSum {
+    parts: Vec<(HashSet<Value>, BaseRef)>,
+}
+
+impl LinearSum {
+    /// Build from `(carrier, preference)` pairs, best carrier first.
+    pub fn new(parts: Vec<(HashSet<Value>, BaseRef)>) -> Result<Self, CoreError> {
+        let mut seen: HashSet<Value> = HashSet::new();
+        for (carrier, _) in &parts {
+            for v in carrier {
+                if !seen.insert(v.clone()) {
+                    return Err(CoreError::CarriersNotDisjoint { witness: v.clone() });
+                }
+            }
+        }
+        Ok(LinearSum { parts })
+    }
+
+    fn carrier_of(&self, v: &Value) -> Option<usize> {
+        self.parts.iter().position(|(c, _)| c.contains(v))
+    }
+}
+
+impl BasePreference for LinearSum {
+    fn name(&self) -> &'static str {
+        "LINEAR-SUM"
+    }
+
+    fn better(&self, x: &Value, y: &Value) -> bool {
+        match (self.carrier_of(x), self.carrier_of(y)) {
+            (Some(i), Some(j)) if i == j => self.parts[i].1.better(x, y),
+            // Def. 12: x ∈ dom(A2) ∧ y ∈ dom(A1) makes y better.
+            (Some(i), Some(j)) => j < i,
+            // Values outside every carrier are outside dom(A): unranked.
+            _ => false,
+        }
+    }
+
+    fn range(&self) -> Range {
+        let mut all = HashSet::new();
+        for (c, _) in &self.parts {
+            all.extend(c.iter().cloned());
+        }
+        Range::Known(all)
+    }
+
+    fn params(&self) -> String {
+        let body: Vec<String> = self
+            .parts
+            .iter()
+            .map(|(c, p)| format!("{}({}) on {}", p.name(), p.params(), fmt_value_set(c)))
+            .collect();
+        body.join(" ⊕ ")
+    }
+}
+
+/// Disjoint union `P1 + P2` (Def. 11b): `x < y iff x <P1 y ∨ x <P2 y`,
+/// requiring `range(<P1) ∩ range(<P2) = ∅` (Def. 4).
+#[derive(Debug, Clone)]
+pub struct UnionBase {
+    left: BaseRef,
+    right: BaseRef,
+}
+
+impl UnionBase {
+    /// Build; fails when the ranges are *provably* overlapping. When a
+    /// range is unbounded the caller vouches for disjointness (the paper
+    /// uses `+` on constructions that are disjoint by design, Prop. 4b).
+    pub fn new(left: BaseRef, right: BaseRef) -> Result<Self, CoreError> {
+        if let Some(witness) = left.range().overlap_witness(&right.range()) {
+            return Err(CoreError::RangesNotDisjoint { witness });
+        }
+        Ok(UnionBase { left, right })
+    }
+}
+
+impl BasePreference for UnionBase {
+    fn name(&self) -> &'static str {
+        "UNION"
+    }
+
+    fn better(&self, x: &Value, y: &Value) -> bool {
+        self.left.better(x, y) || self.right.better(x, y)
+    }
+
+    fn range(&self) -> Range {
+        match (self.left.range(), self.right.range()) {
+            (Range::Known(a), Range::Known(b)) => {
+                Range::Known(a.union(&b).cloned().collect())
+            }
+            _ => Range::Unbounded,
+        }
+    }
+
+    fn params(&self) -> String {
+        format!(
+            "{}({}) + {}({})",
+            self.left.name(),
+            self.left.params(),
+            self.right.name(),
+            self.right.params()
+        )
+    }
+}
+
+/// Intersection `P1 ♦ P2` (Def. 11a): `x < y iff x <P1 y ∧ x <P2 y`.
+#[derive(Debug, Clone)]
+pub struct InterBase {
+    left: BaseRef,
+    right: BaseRef,
+}
+
+impl InterBase {
+    pub fn new(left: BaseRef, right: BaseRef) -> Self {
+        InterBase { left, right }
+    }
+}
+
+impl BasePreference for InterBase {
+    fn name(&self) -> &'static str {
+        "INTERSECT"
+    }
+
+    fn better(&self, x: &Value, y: &Value) -> bool {
+        self.left.better(x, y) && self.right.better(x, y)
+    }
+
+    fn range(&self) -> Range {
+        Range::Unbounded
+    }
+
+    fn params(&self) -> String {
+        format!(
+            "{}({}) ♦ {}({})",
+            self.left.name(),
+            self.left.params(),
+            self.right.name(),
+            self.right.params()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use super::*;
+    use crate::base::{Explicit, Highest, Lowest, Pos};
+    use crate::spo::check_spo_values;
+
+    fn v(s: &str) -> Value {
+        Value::from(s)
+    }
+
+    fn set(vals: &[&str]) -> HashSet<Value> {
+        vals.iter().map(|s| Value::from(*s)).collect()
+    }
+
+    #[test]
+    fn antichain_never_ranks() {
+        let p = AntichainBase::new();
+        assert!(!p.better(&v("a"), &v("b")));
+        assert!(!p.better(&v("a"), &v("a")));
+    }
+
+    #[test]
+    fn dual_swaps_direction() {
+        let lowest: BaseRef = Arc::new(Lowest::new());
+        let dual = DualBase::new(lowest);
+        let highest = Highest::new();
+        // HIGHEST ≡ LOWEST∂  (Prop. 3d)
+        for x in 0..5 {
+            for y in 0..5 {
+                assert_eq!(
+                    dual.better(&Value::from(x), &Value::from(y)),
+                    highest.better(&Value::from(x), &Value::from(y))
+                );
+            }
+        }
+        assert!(dual.is_chain());
+    }
+
+    #[test]
+    fn subset_restricts() {
+        let pos: BaseRef = Arc::new(Pos::new(["a"]));
+        let p = SubsetBase::new(pos, ["a", "b"]);
+        assert!(p.better(&v("b"), &v("a")));
+        // "z" is outside S, so no ranking involves it.
+        assert!(!p.better(&v("z"), &v("a")));
+    }
+
+    #[test]
+    fn linear_sum_orders_carriers() {
+        // POS behaviour from two anti-chains: {a,b}↔ ⊕ {x,y}↔
+        let p = LinearSum::new(vec![
+            (set(&["a", "b"]), Arc::new(AntichainBase::new()) as BaseRef),
+            (set(&["x", "y"]), Arc::new(AntichainBase::new()) as BaseRef),
+        ])
+        .unwrap();
+        assert!(p.better(&v("x"), &v("a")));
+        assert!(!p.better(&v("a"), &v("x")));
+        assert!(!p.better(&v("a"), &v("b")));
+        assert!(!p.better(&v("x"), &v("y")));
+        // outside both carriers: unranked with everything
+        assert!(!p.better(&v("zz"), &v("a")));
+    }
+
+    #[test]
+    fn linear_sum_applies_inner_order() {
+        let inner: BaseRef = Arc::new(Explicit::new([("b", "a")]).unwrap());
+        let p = LinearSum::new(vec![
+            (set(&["a", "b"]), inner),
+            (set(&["z"]), Arc::new(AntichainBase::new()) as BaseRef),
+        ])
+        .unwrap();
+        assert!(p.better(&v("b"), &v("a"))); // inner order within carrier 0
+        assert!(p.better(&v("z"), &v("b"))); // carrier 0 beats carrier 1
+    }
+
+    #[test]
+    fn linear_sum_rejects_overlap() {
+        let r = LinearSum::new(vec![
+            (set(&["a"]), Arc::new(AntichainBase::new()) as BaseRef),
+            (set(&["a", "b"]), Arc::new(AntichainBase::new()) as BaseRef),
+        ]);
+        assert!(matches!(r, Err(CoreError::CarriersNotDisjoint { .. })));
+    }
+
+    #[test]
+    fn union_checks_provable_overlap() {
+        let e1: BaseRef = Arc::new(Explicit::fragment([("a", "b")]).unwrap());
+        let e2: BaseRef = Arc::new(Explicit::fragment([("a", "c")]).unwrap());
+        assert!(matches!(
+            UnionBase::new(e1, e2),
+            Err(CoreError::RangesNotDisjoint { .. })
+        ));
+        let e3: BaseRef = Arc::new(Explicit::fragment([("a", "b")]).unwrap());
+        let e4: BaseRef = Arc::new(Explicit::fragment([("x", "y")]).unwrap());
+        let u = UnionBase::new(e3, e4).unwrap();
+        assert!(u.better(&v("a"), &v("b")));
+        assert!(u.better(&v("x"), &v("y")));
+        assert!(!u.better(&v("a"), &v("y")));
+    }
+
+    #[test]
+    fn completed_explicit_has_unbounded_range() {
+        // The completion rule ranks *every* outside value, so the range is
+        // the whole domain and the union check cannot prove disjointness.
+        let e1: BaseRef = Arc::new(Explicit::new([("a", "b")]).unwrap());
+        let e2: BaseRef = Arc::new(Explicit::new([("x", "y")]).unwrap());
+        assert!(UnionBase::new(e1.clone(), e2).is_ok()); // caller vouches
+        assert_eq!(e1.range(), Range::Unbounded);
+    }
+
+    #[test]
+    fn intersection_requires_both() {
+        let l: BaseRef = Arc::new(Lowest::new());
+        let h: BaseRef = Arc::new(Highest::new());
+        let p = InterBase::new(l.clone(), h);
+        // P ♦ P∂ ≡ anti-chain  (Prop. 3g)
+        assert!(!p.better(&Value::from(1), &Value::from(2)));
+        assert!(!p.better(&Value::from(2), &Value::from(1)));
+        let p2 = InterBase::new(l.clone(), l);
+        assert!(p2.better(&Value::from(2), &Value::from(1)));
+    }
+
+    #[test]
+    fn combinators_are_spos() {
+        let dom: Vec<Value> = ["a", "b", "x", "y", "zz"].iter().map(|s| v(s)).collect();
+        let ls = LinearSum::new(vec![
+            (set(&["a", "b"]), Arc::new(AntichainBase::new()) as BaseRef),
+            (set(&["x", "y"]), Arc::new(AntichainBase::new()) as BaseRef),
+        ])
+        .unwrap();
+        check_spo_values(&ls, &dom).unwrap();
+
+        let e3: BaseRef = Arc::new(Explicit::fragment([("a", "b")]).unwrap());
+        let e4: BaseRef = Arc::new(Explicit::fragment([("x", "y")]).unwrap());
+        let u = UnionBase::new(e3, e4).unwrap();
+        check_spo_values(&u, &dom).unwrap();
+    }
+}

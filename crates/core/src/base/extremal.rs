@@ -1,0 +1,160 @@
+//! LOWEST and HIGHEST preferences (Def. 7c): chains preferring the
+//! smallest / largest value.
+
+use std::cmp::Ordering;
+
+use pref_relation::Value;
+
+use super::{ordinal_cmp, BasePreference, Range};
+
+/// `LOWEST(A)`: `x <P y  iff  x > y` — a chain.
+#[derive(Debug, Clone, Default)]
+pub struct Lowest;
+
+/// `HIGHEST(A)`: `x <P y  iff  x < y` — a chain.
+#[derive(Debug, Clone, Default)]
+pub struct Highest;
+
+impl Lowest {
+    pub fn new() -> Self {
+        Lowest
+    }
+}
+
+impl Highest {
+    pub fn new() -> Self {
+        Highest
+    }
+}
+
+impl BasePreference for Lowest {
+    fn name(&self) -> &'static str {
+        "LOWEST"
+    }
+
+    // `max(P)` is empty over the unbounded numeric domain: no value is a
+    // "dream value", matching the paper's observation that perfect matches
+    // need not exist.
+    fn is_top(&self, _v: &Value) -> Option<bool> {
+        Some(false)
+    }
+
+    fn better(&self, x: &Value, y: &Value) -> bool {
+        ordinal_cmp(x, y) == Some(Ordering::Greater)
+    }
+
+    fn score(&self, v: &Value) -> Option<f64> {
+        v.ordinal().map(|o| -o)
+    }
+
+    fn is_numerical(&self) -> bool {
+        true
+    }
+
+    fn is_chain(&self) -> bool {
+        true
+    }
+
+    fn range(&self) -> Range {
+        Range::Unbounded
+    }
+}
+
+impl BasePreference for Highest {
+    fn name(&self) -> &'static str {
+        "HIGHEST"
+    }
+
+    fn is_top(&self, _v: &Value) -> Option<bool> {
+        Some(false)
+    }
+
+    fn better(&self, x: &Value, y: &Value) -> bool {
+        ordinal_cmp(x, y) == Some(Ordering::Less)
+    }
+
+    fn score(&self, v: &Value) -> Option<f64> {
+        v.ordinal()
+    }
+
+    fn is_numerical(&self) -> bool {
+        true
+    }
+
+    fn is_chain(&self) -> bool {
+        true
+    }
+
+    fn range(&self) -> Range {
+        Range::Unbounded
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spo::check_spo_values;
+    use pref_relation::Date;
+
+    #[test]
+    fn lowest_prefers_small() {
+        let p = Lowest::new();
+        assert!(p.better(&Value::from(40_000), &Value::from(20_000)));
+        assert!(!p.better(&Value::from(20_000), &Value::from(40_000)));
+        assert!(!p.better(&Value::from(5), &Value::from(5)));
+    }
+
+    #[test]
+    fn highest_prefers_large() {
+        // P6 := HIGHEST(Year-of-construction)   (Example 6)
+        let p = Highest::new();
+        assert!(p.better(&Value::from(1995), &Value::from(2001)));
+        assert!(!p.better(&Value::from(2001), &Value::from(1995)));
+    }
+
+    #[test]
+    fn chains_on_numeric_domains() {
+        // Def. 3a: every pair of distinct values is ranked.
+        let p = Lowest::new();
+        let dom: Vec<Value> = (0..6).map(Value::from).collect();
+        for x in &dom {
+            for y in &dom {
+                if x != y {
+                    assert!(p.better(x, y) ^ p.better(y, x));
+                }
+            }
+        }
+        assert!(p.is_chain());
+    }
+
+    #[test]
+    fn works_on_dates_and_mixed_numerics() {
+        let p = Highest::new();
+        let d1 = Value::from(Date::parse("2000/01/01").unwrap());
+        let d2 = Value::from(Date::parse("2001/01/01").unwrap());
+        assert!(p.better(&d1, &d2));
+        assert!(p.better(&Value::from(1), &Value::from(1.5)));
+    }
+
+    #[test]
+    fn scores_mirror_order() {
+        let h = Highest::new();
+        let l = Lowest::new();
+        assert!(h.score(&Value::from(10)) > h.score(&Value::from(5)));
+        assert!(l.score(&Value::from(5)) > l.score(&Value::from(10)));
+        assert_eq!(l.score(&Value::from("x")), None);
+    }
+
+    #[test]
+    fn is_strict_partial_order_with_odd_values() {
+        let dom: Vec<Value> = vec![
+            Value::from(-1),
+            Value::from(0),
+            Value::from(2.5),
+            Value::from("str"),
+            Value::Null,
+        ];
+        check_spo_values(&Lowest::new(), &dom).unwrap();
+        check_spo_values(&Highest::new(), &dom).unwrap();
+    }
+}

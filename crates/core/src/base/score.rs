@@ -1,0 +1,149 @@
+//! SCORE preference (Def. 7d): order induced by an arbitrary scoring
+//! function `f: dom(A) → ℝ`.
+
+use std::fmt;
+use std::sync::Arc;
+
+use pref_relation::Value;
+
+use super::{BasePreference, Range};
+
+/// The scoring function type. Returning `None` marks a value as off the
+/// scoring axis; such values are mapped to `-∞` (they lose against every
+/// scored value and are mutually unranked).
+pub type ScoreFn = Arc<dyn Fn(&Value) -> Option<f64> + Send + Sync>;
+
+/// `SCORE(A, f)`: `x <P y  iff  f(x) < f(y)`.
+///
+/// Need not be a chain when `f` is not injective — equal-scored values are
+/// unranked (not equivalent!), exactly as in the paper.
+///
+/// The function carries a `name` used for display and for the syntactic
+/// term equality of the rewrite engine; semantically different scoring
+/// functions must carry different names.
+#[derive(Clone)]
+pub struct Score {
+    fname: String,
+    f: ScoreFn,
+}
+
+impl Score {
+    /// Build from a named scoring function.
+    pub fn new(fname: impl Into<String>, f: impl Fn(&Value) -> Option<f64> + Send + Sync + 'static) -> Self {
+        Score {
+            fname: fname.into(),
+            f: Arc::new(f),
+        }
+    }
+
+    /// Build from a shared scoring function handle.
+    pub fn from_arc(fname: impl Into<String>, f: ScoreFn) -> Self {
+        Score {
+            fname: fname.into(),
+            f,
+        }
+    }
+
+    /// The scoring function's name.
+    pub fn fname(&self) -> &str {
+        &self.fname
+    }
+
+    /// Evaluate the raw scoring function.
+    pub fn eval(&self, v: &Value) -> Option<f64> {
+        (self.f)(v)
+    }
+
+    fn effective(&self, v: &Value) -> f64 {
+        (self.f)(v).unwrap_or(f64::NEG_INFINITY)
+    }
+}
+
+impl fmt::Debug for Score {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Score").field("fname", &self.fname).finish()
+    }
+}
+
+impl BasePreference for Score {
+    fn name(&self) -> &'static str {
+        "SCORE"
+    }
+
+    fn better(&self, x: &Value, y: &Value) -> bool {
+        self.effective(x) < self.effective(y)
+    }
+
+    fn score(&self, v: &Value) -> Option<f64> {
+        Some(self.effective(v))
+    }
+
+    fn is_numerical(&self) -> bool {
+        true
+    }
+
+    fn range(&self) -> Range {
+        Range::Unbounded
+    }
+
+    fn params(&self) -> String {
+        self.fname.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spo::check_spo_values;
+
+    /// Example 5's f1: distance(x, 0) — note: *higher* distance scores
+    /// higher here, matching the paper where F combines raw distances.
+    fn f1() -> Score {
+        Score::new("dist0", |v: &Value| v.ordinal().map(|o| o.abs()))
+    }
+
+    #[test]
+    fn higher_score_is_better() {
+        let p = f1();
+        assert!(p.better(&Value::from(1), &Value::from(-5)));
+        assert!(!p.better(&Value::from(-5), &Value::from(1)));
+    }
+
+    #[test]
+    fn non_injective_scores_leave_values_unranked() {
+        // "P need not be a chain, if the scoring function f is not a
+        //  one-to-one mapping" (Def. 7d)
+        let p = f1();
+        assert!(!p.better(&Value::from(5), &Value::from(-5)));
+        assert!(!p.better(&Value::from(-5), &Value::from(5)));
+        assert!(!p.is_chain());
+    }
+
+    #[test]
+    fn unscored_values_lose() {
+        let p = f1();
+        assert!(p.better(&Value::from("nope"), &Value::from(0)));
+        assert!(!p.better(&Value::from("nope"), &Value::from("also nope")));
+    }
+
+    #[test]
+    fn is_strict_partial_order() {
+        let p = f1();
+        let dom: Vec<Value> = vec![
+            Value::from(-5),
+            Value::from(-1),
+            Value::from(0),
+            Value::from(1),
+            Value::from(5),
+            Value::from("off"),
+        ];
+        check_spo_values(&p, &dom).unwrap();
+    }
+
+    #[test]
+    fn display_uses_function_name() {
+        let p = f1();
+        assert_eq!(p.params(), "dist0");
+        assert!(format!("{p:?}").contains("dist0"));
+    }
+}

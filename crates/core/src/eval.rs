@@ -1,0 +1,475 @@
+//! Compilation of preference terms against a schema, and the strict
+//! partial order semantics of the complex constructors (Def. 8–12).
+//!
+//! Terms are *logical*; a [`CompiledPref`] is the *physical* form with all
+//! attribute names resolved to column indices once, so the O(n²)-ish inner
+//! loops of BMO evaluation never touch a hash map.
+//!
+//! The component equality `xi = yi` used by Pareto and prioritised
+//! accumulation is equality of the sub-preference's attribute projection
+//! ([`pref_relation::Tuple::eq_on`]). This single definition covers both
+//! Example 2 (disjoint attribute sets) and Example 3 (shared attribute
+//! sets) of the paper.
+
+use pref_relation::{Schema, Tuple};
+
+use crate::base::BaseRef;
+use crate::error::CoreError;
+use crate::term::{CombineFn, Pref};
+
+/// A preference term compiled against a schema.
+#[derive(Debug, Clone)]
+pub struct CompiledPref {
+    node: Node,
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Base {
+        col: usize,
+        base: BaseRef,
+    },
+    Antichain,
+    Dual(Box<Node>),
+    Pareto(Vec<Child>),
+    Prior(Vec<Child>),
+    Rank {
+        combine: CombineFn,
+        inputs: Vec<(usize, BaseRef)>,
+    },
+    Inter(Box<Node>, Box<Node>),
+    Union(Box<Node>, Box<Node>),
+}
+
+/// A Pareto/Prior operand together with the columns its attribute
+/// projection spans (for the `xi = yi` test).
+#[derive(Debug, Clone)]
+struct Child {
+    node: Node,
+    eq_cols: Vec<usize>,
+}
+
+impl CompiledPref {
+    /// Resolve every attribute of `pref` against `schema`.
+    pub fn compile(pref: &Pref, schema: &Schema) -> Result<CompiledPref, CoreError> {
+        Ok(CompiledPref {
+            node: compile_node(pref, schema)?,
+        })
+    }
+
+    /// The strict better-than test: `x <P y` — is `y` better than `x`?
+    pub fn better(&self, x: &Tuple, y: &Tuple) -> bool {
+        self.node.better(x, y)
+    }
+
+    /// A utility compatible with the order, when one exists:
+    /// `x <P y ⟹ utility(x) < utility(y)`. Available for SCORE-family
+    /// bases, `rank(F)` with a monotone `F` is the caller's obligation,
+    /// and Pareto combinations of scored operands (sum of scores).
+    ///
+    /// Used by sort-based evaluation (SFS presorting) and top-k.
+    pub fn utility(&self, t: &Tuple) -> Option<f64> {
+        self.node.utility(t)
+    }
+
+    /// Per-dimension score vector for Pareto-of-chains terms — the input
+    /// format of the divide & conquer skyline algorithms (\[KLP75\]/\[BKS01\],
+    /// which require every dimension to be a LOWEST/HIGHEST-style chain).
+    /// `None` when the term is not of that restricted shape.
+    pub fn score_vector(&self, t: &Tuple) -> Option<Vec<f64>> {
+        let dims = self.chain_dims()?;
+        Some(
+            dims.iter()
+                .map(|(col, base)| base.score(&t[*col]).unwrap_or(f64::NEG_INFINITY))
+                .collect(),
+        )
+    }
+
+    /// The chain dimensions of a `SKYLINE OF`-shaped term (§6.1): a Pareto
+    /// accumulation in which every operand is a chain with an
+    /// order-injective score (LOWEST/HIGHEST).
+    pub fn chain_dims(&self) -> Option<Vec<(usize, BaseRef)>> {
+        match &self.node {
+            Node::Pareto(children) => {
+                let mut dims = Vec::with_capacity(children.len());
+                for c in children {
+                    match &c.node {
+                        Node::Base { col, base } if base.is_chain() && base.is_numerical() => {
+                            dims.push((*col, base.clone()));
+                        }
+                        _ => return None,
+                    }
+                }
+                Some(dims)
+            }
+            Node::Base { col, base } if base.is_chain() && base.is_numerical() => {
+                Some(vec![(*col, base.clone())])
+            }
+            _ => None,
+        }
+    }
+}
+
+fn compile_node(pref: &Pref, schema: &Schema) -> Result<Node, CoreError> {
+    Ok(match pref {
+        Pref::Base(b) => Node::Base {
+            col: schema
+                .index_of(&b.attr)
+                .ok_or_else(|| CoreError::UnknownAttr(b.attr.clone()))?,
+            base: b.base.clone(),
+        },
+        Pref::Antichain(attrs) => {
+            // Resolve eagerly so unknown attributes fail at compile time
+            // even though the anti-chain itself never compares columns.
+            for a in attrs.iter() {
+                schema
+                    .index_of(a)
+                    .ok_or_else(|| CoreError::UnknownAttr(a.clone()))?;
+            }
+            Node::Antichain
+        }
+        Pref::Dual(p) => Node::Dual(Box::new(compile_node(p, schema)?)),
+        Pref::Pareto(ps) => Node::Pareto(compile_children(ps, schema)?),
+        Pref::Prior(ps) => Node::Prior(compile_children(ps, schema)?),
+        Pref::Rank(combine, bases) => {
+            let mut inputs = Vec::with_capacity(bases.len());
+            for b in bases {
+                let col = schema
+                    .index_of(&b.attr)
+                    .ok_or_else(|| CoreError::UnknownAttr(b.attr.clone()))?;
+                inputs.push((col, b.base.clone()));
+            }
+            Node::Rank {
+                combine: combine.clone(),
+                inputs,
+            }
+        }
+        Pref::Inter(l, r) => Node::Inter(
+            Box::new(compile_node(l, schema)?),
+            Box::new(compile_node(r, schema)?),
+        ),
+        Pref::Union(l, r) => Node::Union(
+            Box::new(compile_node(l, schema)?),
+            Box::new(compile_node(r, schema)?),
+        ),
+    })
+}
+
+fn compile_children(ps: &[Pref], schema: &Schema) -> Result<Vec<Child>, CoreError> {
+    ps.iter()
+        .map(|p| {
+            let node = compile_node(p, schema)?;
+            let attrs = p.attributes();
+            let mut eq_cols = Vec::with_capacity(attrs.len());
+            for a in attrs.iter() {
+                eq_cols.push(
+                    schema
+                        .index_of(a)
+                        .ok_or_else(|| CoreError::UnknownAttr(a.clone()))?,
+                );
+            }
+            Ok(Child { node, eq_cols })
+        })
+        .collect()
+}
+
+impl Node {
+    fn better(&self, x: &Tuple, y: &Tuple) -> bool {
+        match self {
+            Node::Base { col, base } => base.better(&x[*col], &y[*col]),
+            Node::Antichain => false,
+            Node::Dual(inner) => inner.better(y, x),
+            // Def. 8 (n-ary form): y beats x iff on every component y is
+            // better or equal, and on at least one it is strictly better.
+            Node::Pareto(children) => {
+                let mut any_strict = false;
+                for c in children {
+                    if c.node.better(x, y) {
+                        any_strict = true;
+                    } else if !x.eq_on(y, &c.eq_cols) {
+                        return false;
+                    }
+                }
+                any_strict
+            }
+            // Def. 9 (n-ary form): lexicographic — the first component
+            // where the projections differ decides.
+            Node::Prior(children) => {
+                for c in children {
+                    if c.node.better(x, y) {
+                        return true;
+                    }
+                    if !x.eq_on(y, &c.eq_cols) {
+                        return false;
+                    }
+                }
+                false
+            }
+            // Def. 10: x < y iff F(f1(x1),…) < F(f1(y1),…).
+            Node::Rank { combine, inputs } => {
+                let fx = rank_value(combine, inputs, x);
+                let fy = rank_value(combine, inputs, y);
+                fx < fy
+            }
+            Node::Inter(l, r) => l.better(x, y) && r.better(x, y),
+            Node::Union(l, r) => l.better(x, y) || r.better(x, y),
+        }
+    }
+
+    fn utility(&self, t: &Tuple) -> Option<f64> {
+        match self {
+            Node::Base { col, base } => base.score(&t[*col]),
+            Node::Rank { combine, inputs } => Some(rank_value(combine, inputs, t)),
+            Node::Dual(inner) => inner.utility(t).map(|u| -u),
+            // Sum of component utilities: strictly monotone w.r.t. the
+            // Pareto order because each component's `better` implies a
+            // strictly higher component score and component equality
+            // implies equal scores.
+            Node::Pareto(children) => {
+                let mut sum = 0.0;
+                for c in children {
+                    sum += c.node.utility(t)?;
+                }
+                Some(sum)
+            }
+            _ => None,
+        }
+    }
+}
+
+fn rank_value(combine: &CombineFn, inputs: &[(usize, BaseRef)], t: &Tuple) -> f64 {
+    let scores: Vec<f64> = inputs
+        .iter()
+        .map(|(col, base)| base.score(&t[*col]).unwrap_or(f64::NEG_INFINITY))
+        .collect();
+    combine.apply(&scores)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spo::check_spo;
+    use crate::term::{around, highest, lowest, neg, pos, Pref};
+    use pref_relation::{rel, Relation};
+
+    fn compile(p: &Pref, r: &Relation) -> CompiledPref {
+        CompiledPref::compile(p, r.schema()).unwrap()
+    }
+
+    /// Example 2's relation R(A1, A2, A3).
+    fn example2_rel() -> Relation {
+        rel! {
+            ("A1": Int, "A2": Int, "A3": Int);
+            (-5, 3, 4),
+            (-5, 4, 4),
+            (5, 1, 8),
+            (5, 6, 6),
+            (-6, 0, 6),
+            (-6, 0, 4),
+            (6, 2, 7),
+        }
+    }
+
+    fn example2_pref() -> Pref {
+        around("A1", 0).pareto(lowest("A2")).pareto(highest("A3"))
+    }
+
+    #[test]
+    fn compile_rejects_unknown_attrs() {
+        let r = example2_rel();
+        let err = CompiledPref::compile(&lowest("missing"), r.schema()).unwrap_err();
+        assert!(matches!(err, CoreError::UnknownAttr(_)));
+        let err =
+            CompiledPref::compile(&crate::term::antichain(["missing"]), r.schema()).unwrap_err();
+        assert!(matches!(err, CoreError::UnknownAttr(_)));
+    }
+
+    #[test]
+    fn example2_pareto_better_than_graph_relations() {
+        let r = example2_rel();
+        let c = compile(&example2_pref(), &r);
+        let rows = r.rows();
+        // From the drawn graph: val2 < val1, val4 < val3, val7 < val3,
+        // val6 < val5; the level-1 values are pairwise unranked.
+        assert!(c.better(&rows[1], &rows[0])); // val2 < val1
+        assert!(c.better(&rows[3], &rows[2])); // val4 < val3
+        assert!(c.better(&rows[6], &rows[2])); // val7 < val3
+        assert!(c.better(&rows[5], &rows[4])); // val6 < val5
+        for &(a, b) in &[(0usize, 2usize), (0, 4), (2, 4)] {
+            assert!(!c.better(&rows[a], &rows[b]), "val{} vs val{}", a + 1, b + 1);
+            assert!(!c.better(&rows[b], &rows[a]));
+        }
+    }
+
+    #[test]
+    fn pareto_requires_no_worse_component() {
+        // Def. 8: "it is not tolerable that v is worse than w in any
+        // component value."
+        let r = rel! {
+            ("A1": Int, "A2": Int);
+            (0, 0),   // best on A1, worst on A2
+            (9, 9),   // worst on A1, best on A2
+        };
+        let p = around("A1", 0).pareto(highest("A2"));
+        let c = compile(&p, &r);
+        assert!(!c.better(&r.rows()[0], &r.rows()[1]));
+        assert!(!c.better(&r.rows()[1], &r.rows()[0]));
+    }
+
+    #[test]
+    fn example3_shared_attribute_pareto() {
+        // P7 = POS(Color,{green,yellow}) ⊗ NEG(Color,{red,green,blue,purple})
+        let r = rel! {
+            ("color": Str);
+            ("red",), ("green",), ("yellow",), ("blue",), ("black",), ("purple",),
+        };
+        let p = pos("color", ["green", "yellow"])
+            .pareto(neg("color", ["red", "green", "blue", "purple"]));
+        let c = compile(&p, &r);
+        let row = |i: usize| &r.rows()[i];
+        // On a shared attribute, Pareto needs BOTH operands to agree
+        // (Prop. 6: ⊗ ≡ ♦ there). Only yellow wins both views, so only
+        // yellow dominates the NEG values; green and black are maximal
+        // but dominate nothing — the "non-discriminating compromise".
+        for &loser in &[0usize, 3, 5] {
+            assert!(c.better(row(loser), row(2)), "{loser} < yellow");
+            assert!(!c.better(row(2), row(loser)));
+            // green (P5's view) and black (P6's view) do not dominate.
+            assert!(!c.better(row(loser), row(1)));
+            assert!(!c.better(row(loser), row(4)));
+        }
+        // Paper figure: Level 1 = {yellow, green, black},
+        //               Level 2 = {red, blue, purple}.
+        let g = crate::graph::BetterGraph::from_relation(&c, &r).unwrap();
+        assert_eq!(g.maximal(), vec![1, 2, 4]);
+        assert_eq!(
+            g.level_groups(),
+            vec![vec![1, 2, 4], vec![0, 3, 5]]
+        );
+    }
+
+    #[test]
+    fn prior_is_lexicographic() {
+        let r = rel! {
+            ("A1": Int, "A2": Int);
+            (1, 9),
+            (1, 2),
+            (5, 0),
+        };
+        // LOWEST(A1) & LOWEST(A2)
+        let p = lowest("A1").prior(lowest("A2"));
+        let c = compile(&p, &r);
+        let rows = r.rows();
+        assert!(c.better(&rows[0], &rows[1])); // tie on A1, A2 decides
+        assert!(c.better(&rows[2], &rows[0])); // A1 decides
+        assert!(c.better(&rows[2], &rows[1]));
+        assert!(!c.better(&rows[1], &rows[2]));
+    }
+
+    #[test]
+    fn antichain_prior_is_grouping() {
+        // A↔ & P ranks only within equal A-values (the Def. 16 derivation).
+        let r = rel! {
+            ("make": Str, "price": Int);
+            ("audi", 10),
+            ("audi", 20),
+            ("bmw", 5),
+        };
+        let p = crate::term::antichain(["make"]).prior(lowest("price"));
+        let c = compile(&p, &r);
+        let rows = r.rows();
+        assert!(c.better(&rows[1], &rows[0])); // same make, cheaper
+        assert!(!c.better(&rows[0], &rows[2])); // different make: unranked
+        assert!(!c.better(&rows[2], &rows[0]));
+    }
+
+    #[test]
+    fn rank_example5() {
+        // Example 5: f1 = distance(x,0), f2 = distance(x,−2), F = x1 + 2·x2.
+        let r = rel! {
+            ("A1": Int, "A2": Int);
+            (-5, 3),
+            (-5, 4),
+            (5, 1),
+            (5, 6),
+            (-6, 0),
+            (-6, 0),
+        };
+        let f1 = crate::term::score("A1", "dist0", |v| v.ordinal().map(|o| o.abs()));
+        let f2 = crate::term::score("A2", "dist-2", |v| v.ordinal().map(|o| (o + 2.0).abs()));
+        let p = Pref::rank(CombineFn::weighted_sum(vec![1.0, 2.0]), vec![f1, f2]).unwrap();
+        let c = compile(&p, &r);
+        // F-values: 15, 17, 11, 21, 10, 10 → chain val4→val2→val1→val3→{val5,val6}
+        let rows = r.rows();
+        let f = |i: usize| {
+            // recover F via utility
+            c.utility(&rows[i]).unwrap()
+        };
+        assert_eq!(f(0), 15.0);
+        assert_eq!(f(1), 17.0);
+        assert_eq!(f(2), 11.0);
+        assert_eq!(f(3), 21.0);
+        assert_eq!(f(4), 10.0);
+        assert!(c.better(&rows[1], &rows[3])); // val2 < val4
+        assert!(c.better(&rows[0], &rows[1])); // val1 < val2
+        assert!(c.better(&rows[2], &rows[0])); // val3 < val1
+        assert!(c.better(&rows[4], &rows[2])); // val5 < val3
+        // val5 and val6 unranked (equal F)
+        assert!(!c.better(&rows[4], &rows[5]));
+        assert!(!c.better(&rows[5], &rows[4]));
+    }
+
+    #[test]
+    fn dual_flips_everything() {
+        let r = example2_rel();
+        let p = example2_pref();
+        let c = compile(&p, &r);
+        let d = compile(&p.clone().dual(), &r);
+        for x in r.rows() {
+            for y in r.rows() {
+                assert_eq!(c.better(x, y), d.better(y, x));
+            }
+        }
+    }
+
+    #[test]
+    fn compiled_orders_are_spos_on_sample() {
+        let r = example2_rel();
+        for p in [
+            example2_pref(),
+            around("A1", 0).prior(lowest("A2")),
+            example2_pref().dual(),
+            lowest("A1").intersect(highest("A1")).unwrap(),
+        ] {
+            let c = compile(&p, &r);
+            check_spo(r.len(), |x, y| c.better(r.row(x), r.row(y)))
+                .unwrap_or_else(|e| panic!("{p}: {e}"));
+        }
+    }
+
+    #[test]
+    fn score_vector_for_skyline_shape() {
+        let r = rel! { ("a": Int, "b": Int); (1, 2) };
+        let sky = lowest("a").pareto(highest("b"));
+        let c = compile(&sky, &r);
+        assert_eq!(c.score_vector(&r.rows()[0]), Some(vec![-1.0, 2.0]));
+        // AROUND is not score-injective → not skyline-shaped
+        let not_sky = around("a", 0).pareto(highest("b"));
+        let c2 = compile(&not_sky, &r);
+        assert_eq!(c2.score_vector(&r.rows()[0]), None);
+    }
+
+    #[test]
+    fn pareto_utility_is_monotone() {
+        let r = example2_rel();
+        let p = example2_pref();
+        let c = compile(&p, &r);
+        for x in r.rows() {
+            for y in r.rows() {
+                if c.better(x, y) {
+                    assert!(c.utility(x).unwrap() < c.utility(y).unwrap());
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,313 @@
+//! A persistent preference repository — the first stop on the paper's §7
+//! roadmap ("Our roadmap into a 'Preference World' includes … a
+//! persistent preference repository, personalized query composition
+//! methods …").
+//!
+//! Named preference terms are stored in their paper-notation text form
+//! (see [`crate::text`]) so repositories are human-readable, diffable
+//! and survive process restarts. Entries can reference earlier entries
+//! with `$name`, which enables the paper's *personalized query
+//! composition*: Julia stores her base wishes once and composes `Q1`
+//! from them.
+//!
+//! ```text
+//! # Julia's wishes (Example 6)
+//! category     = POS/POS(category; {'cabriolet'}; {'roadster'})
+//! transmission = POS(transmission; {'automatic'})
+//! power        = AROUND(horsepower; 100)
+//! budget       = LOWEST(price)
+//! color        = NEG(color; {'gray'})
+//! q1           = ($color & (($category ⊗ $transmission ⊗ $power) & $budget))
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::term::Pref;
+use crate::text::{parse_term_with, FnRegistry, TextError};
+
+/// Errors raised by repository operations.
+#[derive(Debug)]
+pub enum RepoError {
+    /// A `$reference` names an entry that does not exist (yet).
+    UnknownReference { entry: String, reference: String },
+    /// A line is not `name = term`.
+    BadLine { line: usize, content: String },
+    /// An entry name is declared twice.
+    DuplicateEntry(String),
+    /// Term parse failure inside an entry.
+    Text { entry: String, source: TextError },
+    /// File I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for RepoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RepoError::UnknownReference { entry, reference } => {
+                write!(f, "entry `{entry}` references unknown preference `${reference}`")
+            }
+            RepoError::BadLine { line, content } => {
+                write!(f, "line {line} is not `name = term`: {content}")
+            }
+            RepoError::DuplicateEntry(name) => write!(f, "duplicate entry `{name}`"),
+            RepoError::Text { entry, source } => write!(f, "entry `{entry}`: {source}"),
+            RepoError::Io(e) => write!(f, "repository I/O: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RepoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RepoError::Text { source, .. } => Some(source),
+            RepoError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for RepoError {
+    fn from(e: std::io::Error) -> Self {
+        RepoError::Io(e)
+    }
+}
+
+/// A named store of preference terms.
+#[derive(Debug, Default)]
+pub struct Repository {
+    entries: BTreeMap<String, Pref>,
+    registry: FnRegistry,
+}
+
+impl Repository {
+    /// Empty repository with the built-in function registry.
+    pub fn new() -> Self {
+        Repository {
+            entries: BTreeMap::new(),
+            registry: FnRegistry::builtin(),
+        }
+    }
+
+    /// Use a custom function registry (for SCORE / rank(F) terms).
+    pub fn with_registry(registry: FnRegistry) -> Self {
+        Repository {
+            entries: BTreeMap::new(),
+            registry,
+        }
+    }
+
+    /// Insert or replace a named preference.
+    pub fn insert(&mut self, name: impl Into<String>, pref: Pref) {
+        self.entries.insert(name.into(), pref);
+    }
+
+    /// Look up a preference by name.
+    pub fn get(&self, name: &str) -> Option<&Pref> {
+        self.entries.get(name)
+    }
+
+    /// Entry names in sorted order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.entries.keys().map(String::as_str)
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Is the repository empty?
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Serialise to the text form (`name = term` lines, sorted by name).
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for (name, pref) in &self.entries {
+            out.push_str(name);
+            out.push_str(" = ");
+            out.push_str(&pref.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parse a repository from its text form. Lines are `name = term`;
+    /// blank lines and `#` comments are skipped; `$name` inside a term
+    /// splices a previously defined entry (textual substitution of its
+    /// parenthesised form, so composition is capture-free).
+    pub fn from_text(text: &str) -> Result<Self, RepoError> {
+        Repository::from_text_with(text, FnRegistry::builtin())
+    }
+
+    /// Parse with a custom function registry.
+    pub fn from_text_with(text: &str, registry: FnRegistry) -> Result<Self, RepoError> {
+        let mut repo = Repository::with_registry(registry);
+        for (i, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let Some((name, body)) = line.split_once('=') else {
+                return Err(RepoError::BadLine {
+                    line: i + 1,
+                    content: raw.to_string(),
+                });
+            };
+            let name = name.trim();
+            if name.is_empty() || name.contains(char::is_whitespace) {
+                return Err(RepoError::BadLine {
+                    line: i + 1,
+                    content: raw.to_string(),
+                });
+            }
+            if repo.entries.contains_key(name) {
+                return Err(RepoError::DuplicateEntry(name.to_string()));
+            }
+            let expanded = repo.expand_refs(name, body.trim())?;
+            let pref = parse_term_with(&expanded, &repo.registry).map_err(|source| {
+                RepoError::Text {
+                    entry: name.to_string(),
+                    source,
+                }
+            })?;
+            repo.entries.insert(name.to_string(), pref);
+        }
+        Ok(repo)
+    }
+
+    /// Replace `$name` references by the entry's printed term.
+    fn expand_refs(&self, entry: &str, body: &str) -> Result<String, RepoError> {
+        let mut out = String::with_capacity(body.len());
+        let mut chars = body.char_indices().peekable();
+        while let Some((_, c)) = chars.next() {
+            if c != '$' {
+                out.push(c);
+                continue;
+            }
+            let mut name = String::new();
+            while let Some(&(_, n)) = chars.peek() {
+                if n.is_alphanumeric() || n == '_' || n == '-' {
+                    name.push(n);
+                    chars.next();
+                } else {
+                    break;
+                }
+            }
+            let referenced =
+                self.entries
+                    .get(&name)
+                    .ok_or_else(|| RepoError::UnknownReference {
+                        entry: entry.to_string(),
+                        reference: name.clone(),
+                    })?;
+            // Splice the printed form; compounds are already
+            // parenthesised by Display, so precedence is preserved.
+            out.push_str(&referenced.to_string());
+        }
+        Ok(out)
+    }
+
+    /// Save to a file.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> Result<(), RepoError> {
+        Ok(std::fs::write(path, self.to_text())?)
+    }
+
+    /// Load from a file with the built-in registry.
+    pub fn load(path: impl AsRef<std::path::Path>) -> Result<Self, RepoError> {
+        Repository::from_text(&std::fs::read_to_string(path)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::{around, highest, lowest, neg, pos, pos_pos};
+
+    fn julia() -> Repository {
+        let mut repo = Repository::new();
+        repo.insert(
+            "category",
+            pos_pos("category", ["cabriolet"], ["roadster"]).unwrap(),
+        );
+        repo.insert("transmission", pos("transmission", ["automatic"]));
+        repo.insert("power", around("horsepower", 100));
+        repo.insert("budget", lowest("price"));
+        repo.insert("color", neg("color", ["gray"]));
+        repo
+    }
+
+    #[test]
+    fn roundtrip_through_text() {
+        let repo = julia();
+        let text = repo.to_text();
+        let loaded = Repository::from_text(&text).unwrap();
+        assert_eq!(loaded.len(), repo.len());
+        for name in repo.names() {
+            assert_eq!(loaded.get(name), repo.get(name), "entry `{name}`");
+        }
+    }
+
+    #[test]
+    fn references_compose_queries() {
+        let mut text = julia().to_text();
+        text.push_str(
+            "q1 = ($color & (($category ⊗ $transmission ⊗ $power) & $budget))\n",
+        );
+        let repo = Repository::from_text(&text).unwrap();
+        let q1 = repo.get("q1").expect("q1 defined");
+        // Same term as building Example 6's Q1 directly.
+        let direct = neg("color", ["gray"]).prior(
+            pos_pos("category", ["cabriolet"], ["roadster"])
+                .unwrap()
+                .pareto(pos("transmission", ["automatic"]))
+                .pareto(around("horsepower", 100))
+                .prior(lowest("price")),
+        );
+        assert_eq!(q1, &direct);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let text = "# Julia's wishes\n\nbudget = LOWEST(price)\n";
+        let repo = Repository::from_text(text).unwrap();
+        assert_eq!(repo.len(), 1);
+        assert_eq!(repo.get("budget"), Some(&lowest("price")));
+    }
+
+    #[test]
+    fn errors_are_specific() {
+        assert!(matches!(
+            Repository::from_text("q1 = $nope"),
+            Err(RepoError::UnknownReference { .. })
+        ));
+        assert!(matches!(
+            Repository::from_text("not a line"),
+            Err(RepoError::BadLine { .. })
+        ));
+        assert!(matches!(
+            Repository::from_text("a = LOWEST(x)\na = HIGHEST(x)"),
+            Err(RepoError::DuplicateEntry(_))
+        ));
+        assert!(matches!(
+            Repository::from_text("a = BOGUS(x)"),
+            Err(RepoError::Text { .. })
+        ));
+    }
+
+    #[test]
+    fn save_and_load() {
+        let dir = std::env::temp_dir().join("pref-repo-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("julia.prefs");
+        let mut repo = julia();
+        repo.insert("vendor", highest("commission"));
+        repo.save(&path).unwrap();
+        let loaded = Repository::load(&path).unwrap();
+        assert_eq!(loaded.len(), 6);
+        assert_eq!(loaded.get("vendor"), Some(&highest("commission")));
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,132 @@
+//! Strict-partial-order checking (Def. 1).
+//!
+//! Proposition 1 states that every preference term defines a strict partial
+//! order. Rather than trusting the implementation, the test suites call
+//! these checkers on finite domain samples: irreflexivity and transitivity
+//! are verified exhaustively (asymmetry follows from the two, and is
+//! checked anyway to catch implementation bugs directly).
+
+use std::fmt;
+
+/// A witnessed violation of the strict-partial-order axioms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpoViolation {
+    /// `x < x` held for index `x`.
+    Irreflexivity { x: usize },
+    /// `x < y` and `y < x` both held.
+    Asymmetry { x: usize, y: usize },
+    /// `x < y` and `y < z` held but `x < z` did not.
+    Transitivity { x: usize, y: usize, z: usize },
+}
+
+impl fmt::Display for SpoViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpoViolation::Irreflexivity { x } => write!(f, "irreflexivity violated at item {x}"),
+            SpoViolation::Asymmetry { x, y } => {
+                write!(f, "asymmetry violated between items {x} and {y}")
+            }
+            SpoViolation::Transitivity { x, y, z } => {
+                write!(f, "transitivity violated on items {x} < {y} < {z}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpoViolation {}
+
+/// Exhaustively check the SPO axioms for `better` over `n` items.
+///
+/// `better(x, y)` must mean `x <P y` ("y is better"). O(n³) — intended
+/// for test domains.
+pub fn check_spo(n: usize, better: impl Fn(usize, usize) -> bool) -> Result<(), SpoViolation> {
+    // Materialise the relation once so the closure is not re-evaluated
+    // O(n³) times.
+    let mut rel = vec![false; n * n];
+    for x in 0..n {
+        for y in 0..n {
+            rel[x * n + y] = better(x, y);
+        }
+    }
+    for x in 0..n {
+        if rel[x * n + x] {
+            return Err(SpoViolation::Irreflexivity { x });
+        }
+    }
+    for x in 0..n {
+        for y in 0..n {
+            if rel[x * n + y] && rel[y * n + x] {
+                return Err(SpoViolation::Asymmetry { x, y });
+            }
+        }
+    }
+    for x in 0..n {
+        for y in 0..n {
+            if !rel[x * n + y] {
+                continue;
+            }
+            for z in 0..n {
+                if rel[y * n + z] && !rel[x * n + z] {
+                    return Err(SpoViolation::Transitivity { x, y, z });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Check the SPO axioms of a base preference over a sample of values.
+pub fn check_spo_values(
+    pref: &dyn crate::base::BasePreference,
+    domain: &[pref_relation::Value],
+) -> Result<(), SpoViolation> {
+    check_spo(domain.len(), |x, y| pref.better(&domain[x], &domain[y]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_a_chain() {
+        // 0 < 1 < 2 with full transitivity
+        check_spo(3, |x, y| x < y).unwrap();
+    }
+
+    #[test]
+    fn accepts_the_empty_order() {
+        check_spo(4, |_, _| false).unwrap();
+        check_spo(0, |_, _| true).unwrap();
+    }
+
+    #[test]
+    fn rejects_reflexive() {
+        assert_eq!(
+            check_spo(2, |x, y| x == y),
+            Err(SpoViolation::Irreflexivity { x: 0 })
+        );
+    }
+
+    #[test]
+    fn rejects_symmetric() {
+        assert_eq!(
+            check_spo(2, |x, y| x != y),
+            Err(SpoViolation::Asymmetry { x: 0, y: 1 })
+        );
+    }
+
+    #[test]
+    fn rejects_intransitive() {
+        // successor relation without closure: 0<1, 1<2, but not 0<2
+        assert_eq!(
+            check_spo(3, |x, y| y == x + 1),
+            Err(SpoViolation::Transitivity { x: 0, y: 1, z: 2 })
+        );
+    }
+
+    #[test]
+    fn violations_display() {
+        let v = SpoViolation::Transitivity { x: 0, y: 1, z: 2 };
+        assert!(v.to_string().contains("transitivity"));
+    }
+}

@@ -1,0 +1,688 @@
+//! Parsing preference terms from their paper-notation text form — the
+//! inverse of `Display`.
+//!
+//! This is the storage format of the [`crate::repo`] preference
+//! repository (§7 roadmap: "a persistent preference repository"). Every
+//! term built from the standard constructors round-trips:
+//!
+//! ```
+//! use pref_core::prelude::*;
+//! use pref_core::text::parse_term;
+//!
+//! let p = neg("color", ["gray"])
+//!     .prior(lowest("price").pareto(around("horsepower", 100)));
+//! let parsed = parse_term(&p.to_string()).unwrap();
+//! assert_eq!(parsed, p);
+//! ```
+//!
+//! `SCORE` and `rank(F)` carry opaque functions; parsing resolves their
+//! *names* against a [`FnRegistry`]. The built-in registry knows the
+//! functions this crate itself generates (`identity`, `negate`,
+//! `-dist[lo,hi]`, `sum`, `min`, `max`, `wsum[w1,…]`); applications
+//! register their own.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use pref_relation::{AttrSet, Date, Value};
+
+use crate::base::score::ScoreFn;
+use crate::base::{
+    Around, BaseRef, Between, Explicit, Highest, Layered, Lowest, Neg, Pos, PosNeg, PosPos,
+    Score,
+};
+use crate::base::layered::Layer;
+use crate::error::CoreError;
+use crate::term::{BasePref, CombineFn, Pref};
+
+/// Errors raised while parsing a term's text form.
+#[derive(Debug, Clone)]
+pub enum TextError {
+    /// Lexical or syntactic problem.
+    Parse { pos: usize, message: String },
+    /// A SCORE or combining function name is not registered.
+    UnknownFunction { name: String },
+    /// Constructor preconditions failed (overlapping sets, cycles, …).
+    Core(String),
+}
+
+impl fmt::Display for TextError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TextError::Parse { pos, message } => {
+                write!(f, "term parse error at byte {pos}: {message}")
+            }
+            TextError::UnknownFunction { name } => {
+                write!(f, "unknown scoring/combining function `{name}` (register it)")
+            }
+            TextError::Core(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for TextError {}
+
+impl From<CoreError> for TextError {
+    fn from(e: CoreError) -> Self {
+        TextError::Core(e.to_string())
+    }
+}
+
+/// Registry resolving SCORE / combining function names at parse time.
+#[derive(Clone, Default)]
+pub struct FnRegistry {
+    scores: HashMap<String, ScoreFn>,
+    combines: HashMap<String, CombineFn>,
+}
+
+impl FnRegistry {
+    /// Registry pre-loaded with the names this crate generates.
+    pub fn builtin() -> Self {
+        let mut r = FnRegistry::default();
+        r.register_score("identity", |v: &Value| v.ordinal());
+        r.register_score("negate", |v: &Value| v.ordinal().map(|o| -o));
+        r.register_combine(CombineFn::sum());
+        r.register_combine(CombineFn::min());
+        r.register_combine(CombineFn::max());
+        r
+    }
+
+    /// Register a scoring function under a name.
+    pub fn register_score(
+        &mut self,
+        name: impl Into<String>,
+        f: impl Fn(&Value) -> Option<f64> + Send + Sync + 'static,
+    ) {
+        self.scores.insert(name.into(), Arc::new(f));
+    }
+
+    /// Register a combining function under its own name.
+    pub fn register_combine(&mut self, f: CombineFn) {
+        self.combines.insert(f.name().to_string(), f);
+    }
+
+    fn score(&self, name: &str) -> Result<Score, TextError> {
+        if let Some(f) = self.scores.get(name) {
+            return Ok(Score::from_arc(name, Arc::clone(f)));
+        }
+        // `-dist[lo,up]` names are self-describing (hierarchy module).
+        if let Some(body) = name.strip_prefix("-dist[").and_then(|s| s.strip_suffix(']')) {
+            let parts: Vec<&str> = body.splitn(2, ',').collect();
+            if parts.len() == 2 {
+                if let (Ok(lo), Ok(up)) =
+                    (parts[0].trim().parse::<f64>(), parts[1].trim().parse::<f64>())
+                {
+                    if let Ok(b) = Between::new(lo, up) {
+                        return Ok(crate::algebra::hierarchy::between_as_score(&b));
+                    }
+                }
+            }
+        }
+        Err(TextError::UnknownFunction {
+            name: name.to_string(),
+        })
+    }
+
+    fn combine(&self, name: &str) -> Result<CombineFn, TextError> {
+        if let Some(f) = self.combines.get(name) {
+            return Ok(f.clone());
+        }
+        // `wsum[w1,w2,…]` names are self-describing.
+        if let Some(body) = name.strip_prefix("wsum[").and_then(|s| s.strip_suffix(']')) {
+            let weights: Result<Vec<f64>, _> =
+                body.split(',').map(|w| w.trim().parse::<f64>()).collect();
+            if let Ok(weights) = weights {
+                return Ok(CombineFn::weighted_sum(weights));
+            }
+        }
+        Err(TextError::UnknownFunction {
+            name: name.to_string(),
+        })
+    }
+}
+
+impl fmt::Debug for FnRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FnRegistry")
+            .field("scores", &self.scores.keys().collect::<Vec<_>>())
+            .field("combines", &self.combines.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+/// Parse a term with the built-in function registry.
+pub fn parse_term(input: &str) -> Result<Pref, TextError> {
+    parse_term_with(input, &FnRegistry::builtin())
+}
+
+/// Parse a term, resolving function names against `registry`.
+pub fn parse_term_with(input: &str, registry: &FnRegistry) -> Result<Pref, TextError> {
+    let mut p = TermParser {
+        chars: input.char_indices().collect(),
+        pos: 0,
+        registry,
+    };
+    let term = p.term()?;
+    p.skip_ws();
+    if p.pos < p.chars.len() {
+        return p.err("end of term");
+    }
+    Ok(term)
+}
+
+struct TermParser<'a> {
+    chars: Vec<(usize, char)>,
+    pos: usize,
+    registry: &'a FnRegistry,
+}
+
+impl TermParser<'_> {
+    fn byte_pos(&self) -> usize {
+        self.chars.get(self.pos).map(|(b, _)| *b).unwrap_or_else(|| {
+            self.chars.last().map(|(b, c)| b + c.len_utf8()).unwrap_or(0)
+        })
+    }
+
+    fn err<T>(&self, expected: &str) -> Result<T, TextError> {
+        let found: String = self.chars[self.pos..]
+            .iter()
+            .take(12)
+            .map(|(_, c)| *c)
+            .collect();
+        Err(TextError::Parse {
+            pos: self.byte_pos(),
+            message: format!("expected {expected}, found `{found}`"),
+        })
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .chars
+            .get(self.pos)
+            .is_some_and(|(_, c)| c.is_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.skip_ws();
+        self.chars.get(self.pos).map(|(_, c)| *c)
+    }
+
+    fn eat(&mut self, c: char) -> bool {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), TextError> {
+        if self.eat(c) {
+            Ok(())
+        } else {
+            self.err(&format!("`{c}`"))
+        }
+    }
+
+    /// Word of identifier-ish characters (constructor or attribute name).
+    fn word(&mut self) -> Result<String, TextError> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.chars.get(self.pos).is_some_and(|(_, c)| {
+            c.is_alphanumeric() || matches!(c, '_' | '-' | '/' | '.')
+        }) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return self.err("a name");
+        }
+        Ok(self.chars[start..self.pos].iter().map(|(_, c)| *c).collect())
+    }
+
+    /// Raw capture until the given closer, balancing (), [] and {}.
+    fn raw_until(&mut self, closer: char) -> Result<String, TextError> {
+        let start = self.pos;
+        let mut depth = 0i32;
+        while let Some(&(_, c)) = self.chars.get(self.pos) {
+            if depth == 0 && c == closer {
+                return Ok(self.chars[start..self.pos].iter().map(|(_, c)| *c).collect());
+            }
+            match c {
+                '(' | '[' | '{' => depth += 1,
+                ')' | ']' | '}' => depth -= 1,
+                _ => {}
+            }
+            self.pos += 1;
+        }
+        self.err(&format!("`{closer}`"))
+    }
+
+    // ---- grammar ----------------------------------------------------------
+
+    /// term := compound | antichain | rank | basepref
+    fn term(&mut self) -> Result<Pref, TextError> {
+        match self.peek() {
+            Some('(') => self.compound(),
+            Some('{') => self.antichain(),
+            _ => {
+                // `rank[...]` or a base preference; both start with a word.
+                let save = self.pos;
+                let w = self.word()?;
+                if w == "rank" {
+                    self.rank()
+                } else {
+                    self.pos = save;
+                    self.base_pref()
+                }
+            }
+        }
+    }
+
+    /// compound := '(' term { op term } ')' ['∂'] with one operator kind
+    /// per parenthesis group (as `Display` prints).
+    fn compound(&mut self) -> Result<Pref, TextError> {
+        self.expect('(')?;
+        let first = self.term()?;
+        let mut children = vec![first];
+        let mut op: Option<char> = None;
+        loop {
+            match self.peek() {
+                Some(')') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(c @ ('⊗' | '&' | '♦' | '+')) => {
+                    if *op.get_or_insert(c) != c {
+                        return self.err("a single operator kind per group");
+                    }
+                    self.pos += 1;
+                    children.push(self.term()?);
+                }
+                _ => return self.err("`⊗`, `&`, `♦`, `+` or `)`"),
+            }
+        }
+        let inner = match (op, children.len()) {
+            (None, 1) => children.pop().expect("len checked"),
+            // Fold through the builder methods so nested groups flatten
+            // into the canonical n-ary form (sound by Prop. 2b/2c).
+            (Some('⊗'), _) => children
+                .into_iter()
+                .reduce(Pref::pareto)
+                .expect("at least two children"),
+            (Some('&'), _) => children
+                .into_iter()
+                .reduce(Pref::prior)
+                .expect("at least two children"),
+            (Some('♦'), 2) => {
+                let r = children.pop().expect("len checked");
+                let l = children.pop().expect("len checked");
+                Pref::Inter(Arc::new(l), Arc::new(r))
+            }
+            (Some('+'), 2) => {
+                let r = children.pop().expect("len checked");
+                let l = children.pop().expect("len checked");
+                Pref::Union(Arc::new(l), Arc::new(r))
+            }
+            _ => return self.err("binary ♦/+ or n-ary ⊗/&"),
+        };
+        Ok(if self.eat('∂') { inner.dual() } else { inner })
+    }
+
+    /// antichain := '{' attr {',' attr} '}' '↔'
+    fn antichain(&mut self) -> Result<Pref, TextError> {
+        self.expect('{')?;
+        let mut attrs = vec![self.word()?];
+        while self.eat(',') {
+            attrs.push(self.word()?);
+        }
+        self.expect('}')?;
+        self.expect('↔')?;
+        Ok(Pref::Antichain(AttrSet::new(
+            attrs.iter().map(String::as_str),
+        )))
+    }
+
+    /// rank := 'rank' '[' rawname ']' '(' basepref {',' basepref} ')'
+    fn rank(&mut self) -> Result<Pref, TextError> {
+        self.expect('[')?;
+        let name = self.raw_until(']')?;
+        self.expect(']')?;
+        let combine = self.registry.combine(name.trim())?;
+        self.expect('(')?;
+        let mut inputs = vec![self.base_pref()?];
+        while self.eat(',') {
+            inputs.push(self.base_pref()?);
+        }
+        self.expect(')')?;
+        Ok(Pref::rank(combine, inputs)?)
+    }
+
+    /// basepref := NAME '(' attr [';' params] ')'
+    fn base_pref(&mut self) -> Result<Pref, TextError> {
+        let name = self.word()?;
+        self.expect('(')?;
+        let attr = self.word()?;
+        let base: BaseRef = match name.as_str() {
+            "LOWEST" => Arc::new(Lowest::new()),
+            "HIGHEST" => Arc::new(Highest::new()),
+            "POS" => {
+                self.expect(';')?;
+                Arc::new(Pos::new(self.value_set()?))
+            }
+            "NEG" => {
+                self.expect(';')?;
+                Arc::new(Neg::new(self.value_set()?))
+            }
+            "POS/NEG" => {
+                self.expect(';')?;
+                let pos = self.value_set()?;
+                self.expect(';')?;
+                let neg = self.value_set()?;
+                Arc::new(PosNeg::new(pos, neg)?)
+            }
+            "POS/POS" => {
+                self.expect(';')?;
+                let pos1 = self.value_set()?;
+                self.expect(';')?;
+                let pos2 = self.value_set()?;
+                Arc::new(PosPos::new(pos1, pos2)?)
+            }
+            "AROUND" => {
+                self.expect(';')?;
+                Arc::new(Around::new(self.value()?))
+            }
+            "BETWEEN" => {
+                self.expect(';')?;
+                self.expect('[')?;
+                let lo = self.value()?;
+                self.expect(',')?;
+                let up = self.value()?;
+                self.expect(']')?;
+                Arc::new(Between::new(lo, up)?)
+            }
+            "EXPLICIT" | "EXPLICIT-FRAGMENT" => {
+                self.expect(';')?;
+                let edges = self.edge_set()?;
+                if name == "EXPLICIT" {
+                    Arc::new(Explicit::new(edges)?)
+                } else {
+                    Arc::new(Explicit::fragment(edges)?)
+                }
+            }
+            "LAYERED" => {
+                self.expect(';')?;
+                let mut layers = vec![self.layer()?];
+                while self.eat('⊕') {
+                    layers.push(self.layer()?);
+                }
+                Arc::new(Layered::new(layers)?)
+            }
+            "SCORE" => {
+                self.expect(';')?;
+                let fname = self.raw_until(')')?;
+                Arc::new(self.registry.score(fname.trim())?)
+            }
+            other => {
+                return Err(TextError::Parse {
+                    pos: self.byte_pos(),
+                    message: format!("unknown base constructor `{other}`"),
+                })
+            }
+        };
+        self.expect(')')?;
+        let pref = Pref::Base(BasePref::from_ref(attr.as_str(), base));
+        Ok(pref)
+    }
+
+    fn layer(&mut self) -> Result<Layer, TextError> {
+        if self.peek() == Some('{') {
+            Ok(Layer::Set(self.value_set()?.into_iter().collect()))
+        } else {
+            let w = self.word()?;
+            if w == "others" {
+                Ok(Layer::Others)
+            } else {
+                self.err("`others` or a value set")
+            }
+        }
+    }
+
+    /// value_set := '{' [value {',' value}] '}'
+    fn value_set(&mut self) -> Result<Vec<Value>, TextError> {
+        self.expect('{')?;
+        let mut out = Vec::new();
+        if self.peek() != Some('}') {
+            out.push(self.value()?);
+            while self.eat(',') {
+                out.push(self.value()?);
+            }
+        }
+        self.expect('}')?;
+        Ok(out)
+    }
+
+    /// edge_set := '{' ['(' value ',' value ')' {',' …}] '}'
+    fn edge_set(&mut self) -> Result<Vec<(Value, Value)>, TextError> {
+        self.expect('{')?;
+        let mut out = Vec::new();
+        if self.peek() != Some('}') {
+            loop {
+                self.expect('(')?;
+                let worse = self.value()?;
+                self.expect(',')?;
+                let better = self.value()?;
+                self.expect(')')?;
+                out.push((worse, better));
+                if !self.eat(',') {
+                    break;
+                }
+            }
+        }
+        self.expect('}')?;
+        Ok(out)
+    }
+
+    /// value := 'string' | number | date | true | false | NULL
+    fn value(&mut self) -> Result<Value, TextError> {
+        match self.peek() {
+            Some('\'') => {
+                self.pos += 1;
+                let mut s = String::new();
+                loop {
+                    match self.chars.get(self.pos) {
+                        None => return self.err("closing `'`"),
+                        Some(&(_, '\'')) => {
+                            if self.chars.get(self.pos + 1).map(|(_, c)| *c) == Some('\'') {
+                                s.push('\'');
+                                self.pos += 2;
+                            } else {
+                                self.pos += 1;
+                                break;
+                            }
+                        }
+                        Some(&(_, c)) => {
+                            s.push(c);
+                            self.pos += 1;
+                        }
+                    }
+                }
+                Ok(Value::from(s))
+            }
+            Some(c) if c.is_ascii_digit() || c == '-' => {
+                let start = self.pos;
+                self.pos += 1;
+                while self
+                    .chars
+                    .get(self.pos)
+                    .is_some_and(|(_, c)| c.is_ascii_digit() || *c == '.' || *c == '/')
+                {
+                    self.pos += 1;
+                }
+                let text: String = self.chars[start..self.pos].iter().map(|(_, c)| *c).collect();
+                if text.contains('/') {
+                    Date::parse(&text).map(Value::from).ok_or(TextError::Parse {
+                        pos: self.byte_pos(),
+                        message: format!("bad date literal `{text}`"),
+                    })
+                } else if text.contains('.') {
+                    text.parse::<f64>().map(Value::from).map_err(|_| TextError::Parse {
+                        pos: self.byte_pos(),
+                        message: format!("bad float literal `{text}`"),
+                    })
+                } else {
+                    text.parse::<i64>().map(Value::from).map_err(|_| TextError::Parse {
+                        pos: self.byte_pos(),
+                        message: format!("bad integer literal `{text}`"),
+                    })
+                }
+            }
+            _ => {
+                let w = self.word()?;
+                match w.as_str() {
+                    "true" => Ok(Value::from(true)),
+                    "false" => Ok(Value::from(false)),
+                    "NULL" => Ok(Value::Null),
+                    other => Err(TextError::Parse {
+                        pos: self.byte_pos(),
+                        message: format!("bad value literal `{other}`"),
+                    }),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::{
+        antichain, around, between, explicit, highest, layered, lowest, neg, pos, pos_neg,
+        pos_pos,
+    };
+
+    fn roundtrip(p: &Pref) {
+        let text = p.to_string();
+        let parsed = parse_term(&text)
+            .unwrap_or_else(|e| panic!("cannot parse `{text}`: {e}"));
+        assert_eq!(&parsed, p, "round-trip changed `{text}` → `{parsed}`");
+    }
+
+    #[test]
+    fn base_constructors_roundtrip() {
+        roundtrip(&pos("color", ["yellow", "green"]));
+        roundtrip(&neg("color", ["gray"]));
+        roundtrip(&pos_neg("color", ["blue"], ["gray", "red"]).unwrap());
+        roundtrip(&pos_pos("category", ["cabriolet"], ["roadster"]).unwrap());
+        roundtrip(&around("price", 40_000));
+        roundtrip(&around("start", Date::parse("2001/11/23").unwrap()));
+        roundtrip(&between("price", 10_000, 20_000).unwrap());
+        roundtrip(&lowest("price"));
+        roundtrip(&highest("year"));
+        roundtrip(
+            &explicit("color", [("green", "yellow"), ("yellow", "white")]).unwrap(),
+        );
+        roundtrip(
+            &layered(
+                "color",
+                vec![Layer::of(["a"]), Layer::Others, Layer::of(["z"])],
+            )
+            .unwrap(),
+        );
+    }
+
+    #[test]
+    fn compound_terms_roundtrip() {
+        let q1 = neg("color", ["gray"]).prior(
+            pos_pos("category", ["cabriolet"], ["roadster"])
+                .unwrap()
+                .pareto(pos("transmission", ["automatic"]))
+                .pareto(around("horsepower", 100))
+                .prior(lowest("price")),
+        );
+        roundtrip(&q1);
+        roundtrip(&q1.clone().dual());
+        roundtrip(&antichain(["make", "color"]));
+        roundtrip(&antichain(["make"]).prior(around("price", 40_000)));
+        roundtrip(
+            &lowest("price")
+                .intersect(highest("price"))
+                .unwrap(),
+        );
+        roundtrip(
+            &Pref::Union(
+                Arc::new(lowest("a")),
+                Arc::new(antichain(["a"])),
+            ),
+        );
+    }
+
+    #[test]
+    fn rank_roundtrips_with_builtin_names() {
+        let p = Pref::rank(
+            CombineFn::weighted_sum(vec![1.0, 2.0]),
+            vec![
+                Pref::base("a", crate::algebra::hierarchy::highest_as_score()),
+                Pref::base("b", crate::algebra::hierarchy::lowest_as_score()),
+            ],
+        )
+        .unwrap();
+        roundtrip(&p);
+        let q = Pref::rank(CombineFn::sum(), vec![around("a", 5), highest("b")]).unwrap();
+        roundtrip(&q);
+    }
+
+    #[test]
+    fn score_names_resolve_via_registry() {
+        let mut reg = FnRegistry::builtin();
+        reg.register_score("hp-per-euro", |v: &Value| v.ordinal());
+        let text = "SCORE(power; hp-per-euro)";
+        let p = parse_term_with(text, &reg).unwrap();
+        assert_eq!(p.to_string(), text);
+        assert!(matches!(
+            parse_term(text),
+            Err(TextError::UnknownFunction { .. })
+        ));
+    }
+
+    #[test]
+    fn self_describing_names_need_no_registration() {
+        // `-dist[lo,up]` (hierarchy) and `wsum[w…]` reconstruct themselves.
+        let b = Between::new(5, 9).unwrap();
+        let s = crate::algebra::hierarchy::between_as_score(&b);
+        let p = Pref::base("a", s);
+        roundtrip(&p);
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        roundtrip(&pos("name", ["O'Hara", "plain"]));
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(matches!(parse_term(""), Err(TextError::Parse { .. })));
+        assert!(matches!(parse_term("BOGUS(a)"), Err(TextError::Parse { .. })));
+        assert!(matches!(
+            parse_term("(LOWEST(a) ⊗ HIGHEST(b)"),
+            Err(TextError::Parse { .. })
+        ));
+        assert!(matches!(
+            parse_term("LOWEST(a) garbage"),
+            Err(TextError::Parse { .. })
+        ));
+        // mixed operators in one group are not Display output
+        assert!(matches!(
+            parse_term("(LOWEST(a) ⊗ HIGHEST(b) & LOWEST(c))"),
+            Err(TextError::Parse { .. })
+        ));
+        // constructor preconditions still apply
+        assert!(matches!(
+            parse_term("POS/NEG(c; {'x'}; {'x'})"),
+            Err(TextError::Core(_))
+        ));
+    }
+}

@@ -1,0 +1,169 @@
+//! Abstract syntax of Preference SQL queries.
+//!
+//! A query is standard SQL92 selection/projection (the exact-match world)
+//! extended by the soft-constraint clauses the paper describes in §6.1:
+//! `PREFERRING … [GROUP BY …] {CASCADE …} [BUT ONLY …]`.
+
+use std::fmt;
+
+/// A parsed Preference SQL query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// `EXPLAIN SELECT …`: plan without executing.
+    pub explain: bool,
+    pub select: SelectList,
+    pub table: String,
+    pub hard: Option<HardExpr>,
+    /// The PREFERRING clause.
+    pub preferring: Option<PrefExpr>,
+    /// `GROUP BY` attributes of the preference (Def. 16 grouping).
+    pub group_by: Vec<String>,
+    /// CASCADE clauses, outermost first — each is prioritised below
+    /// everything before it.
+    pub cascade: Vec<PrefExpr>,
+    /// The BUT ONLY quality constraints.
+    pub but_only: Vec<QualityCondAst>,
+    /// LIMIT (truncates the BMO result).
+    pub limit: Option<usize>,
+    /// `SELECT TOP k`: the §6.2 k-best model — BMO first, then further
+    /// quality levels until k rows are returned.
+    pub top: Option<usize>,
+}
+
+/// Projection list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectList {
+    Star,
+    Columns(Vec<String>),
+}
+
+/// Hard (exact-match) selection conditions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HardExpr {
+    Cmp(String, CmpOp, Literal),
+    Between(String, Literal, Literal),
+    In(String, Vec<Literal>, /*negated*/ bool),
+    And(Box<HardExpr>, Box<HardExpr>),
+    Or(Box<HardExpr>, Box<HardExpr>),
+    Not(Box<HardExpr>),
+}
+
+/// Comparison operators of the hard world.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+/// Literal values as parsed (dates arrive as strings and are coerced
+/// against the column type during rewriting).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Literal {
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Bool(bool),
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Literal::Int(v) => write!(f, "{v}"),
+            Literal::Float(v) => write!(f, "{v}"),
+            Literal::Str(s) => write!(f, "'{s}'"),
+            Literal::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+/// Soft-constraint (preference) expressions: `AND` is Pareto
+/// accumulation, `PRIOR TO` is prioritised accumulation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PrefExpr {
+    Prior(Vec<PrefExpr>),
+    Pareto(Vec<PrefExpr>),
+    Atom(PrefAtom),
+}
+
+/// Base-preference atoms.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PrefAtom {
+    /// `attr = v` / `attr IN (…)` → POS.
+    Pos { attr: String, values: Vec<Literal> },
+    /// `attr <> v` / `attr NOT IN (…)` → NEG.
+    Neg { attr: String, values: Vec<Literal> },
+    /// `pos-atom ELSE pos-atom` → POS/POS.
+    PosPos {
+        attr: String,
+        pos1: Vec<Literal>,
+        pos2: Vec<Literal>,
+    },
+    /// `pos-atom ELSE neg-atom` → POS/NEG.
+    PosNeg {
+        attr: String,
+        pos: Vec<Literal>,
+        neg: Vec<Literal>,
+    },
+    /// `attr AROUND z`.
+    Around { attr: String, target: Literal },
+    /// `attr BETWEEN lo AND hi`.
+    Between {
+        attr: String,
+        low: Literal,
+        up: Literal,
+    },
+    /// `LOWEST(attr)`.
+    Lowest { attr: String },
+    /// `HIGHEST(attr)`.
+    Highest { attr: String },
+    /// `EXPLICIT(attr, (worse, better), …)`.
+    Explicit {
+        attr: String,
+        edges: Vec<(Literal, Literal)>,
+    },
+}
+
+/// One BUT ONLY constraint.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QualityCondAst {
+    /// `LEVEL(attr) <= n` (or `<` n).
+    LevelLe { attr: String, bound: u32 },
+    /// `DISTANCE(attr) <= x`.
+    DistanceLe { attr: String, bound: f64 },
+}
+
+impl PrefExpr {
+    /// Number of base-preference atoms (used by tests and stats).
+    pub fn atom_count(&self) -> usize {
+        match self {
+            PrefExpr::Atom(_) => 1,
+            PrefExpr::Prior(children) | PrefExpr::Pareto(children) => {
+                children.iter().map(PrefExpr::atom_count).sum()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn atom_count_recurses() {
+        let e = PrefExpr::Prior(vec![
+            PrefExpr::Atom(PrefAtom::Lowest { attr: "a".into() }),
+            PrefExpr::Pareto(vec![
+                PrefExpr::Atom(PrefAtom::Highest { attr: "b".into() }),
+                PrefExpr::Atom(PrefAtom::Around {
+                    attr: "c".into(),
+                    target: Literal::Int(1),
+                }),
+            ]),
+        ]);
+        assert_eq!(e.atom_count(), 3);
+    }
+}

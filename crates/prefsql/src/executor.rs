@@ -1,0 +1,458 @@
+//! The Preference SQL execution pipeline:
+//!
+//! ```text
+//! parse → catalog lookup → WHERE (hard σ) → PREFERRING/CASCADE (BMO σ[P])
+//!       → BUT ONLY (quality filter) → SELECT (π) → LIMIT
+//! ```
+//!
+//! Hard constraints narrow the database set *before* match-making — they
+//! are the exact world; the preference clauses then retrieve the best
+//! matches from whatever survives, per the BMO query model.
+
+use pref_core::term::Pref;
+use pref_query::groupby::sigma_groupby;
+use pref_query::{Explain, Optimizer};
+use pref_relation::{AttrSet, DataType, Relation, Schema, Value};
+
+use crate::ast::{Query, SelectList};
+use crate::catalog::Catalog;
+use crate::error::SqlError;
+use crate::parser::parse;
+use crate::rewrite::{hard_to_predicate, pref_to_term, quality_to_filter};
+
+/// The result of a Preference SQL query.
+#[derive(Debug)]
+pub struct QueryResult {
+    /// The result tuples, projected per the SELECT list.
+    pub relation: Relation,
+    /// The preference term that was evaluated, if any.
+    pub preference: Option<Pref>,
+    /// Optimizer explanation for the BMO stage, if any.
+    pub explain: Option<Explain>,
+    /// Rows scanned after the WHERE stage (for stats/EXPLAIN).
+    pub candidates: usize,
+}
+
+/// A Preference SQL session: a catalog plus an optimizer configuration.
+#[derive(Debug, Default)]
+pub struct PrefSql {
+    catalog: Catalog,
+    optimizer: Optimizer,
+}
+
+impl PrefSql {
+    pub fn new() -> Self {
+        PrefSql::default()
+    }
+
+    /// Register a table.
+    pub fn register(&mut self, name: &str, table: Relation) {
+        self.catalog.register(name, table);
+    }
+
+    /// Access the catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Use a custom optimizer configuration.
+    pub fn with_optimizer(mut self, optimizer: Optimizer) -> Self {
+        self.optimizer = optimizer;
+        self
+    }
+
+    /// Parse and execute a query string.
+    pub fn execute(&self, sql: &str) -> Result<QueryResult, SqlError> {
+        self.run(&parse(sql)?)
+    }
+
+    /// Execute a parsed query.
+    pub fn run(&self, q: &Query) -> Result<QueryResult, SqlError> {
+        let table = self.catalog.get(&q.table)?;
+
+        // 1. Hard selection (exact-match world).
+        let base = match &q.hard {
+            Some(h) => {
+                let pred = hard_to_predicate(h, table.schema(), &q.table)?;
+                table.select(|t| pred(t))
+            }
+            None => table.clone(),
+        };
+        let candidates = base.len();
+
+        if q.explain {
+            return self.explain(q, &base, candidates);
+        }
+
+        // 2. Assemble the preference term: PREFERRING ... CASCADE ... is
+        //    prioritised accumulation, outer clause most important.
+        let mut parts: Vec<Pref> = Vec::new();
+        if let Some(p) = &q.preferring {
+            parts.push(pref_to_term(p, base.schema(), &q.table)?);
+        }
+        for c in &q.cascade {
+            parts.push(pref_to_term(c, base.schema(), &q.table)?);
+        }
+
+        let (rows, preference, explain) = if parts.is_empty() {
+            ((0..base.len()).collect::<Vec<_>>(), None, None)
+        } else {
+            let pref = Pref::prior_all(parts)?;
+            if let Some(k) = q.top {
+                // §6.2 k-best: BMO first, then deeper quality levels.
+                let rows = pref_query::quality::k_best(&pref, &base, k)?;
+                (rows, Some(pref), None)
+            } else if q.group_by.is_empty() {
+                let (rows, explain) = self.optimizer.evaluate(&pref, &base)?;
+                (rows, Some(pref), Some(explain))
+            } else {
+                let attrs = AttrSet::new(q.group_by.iter().map(String::as_str));
+                for a in attrs.iter() {
+                    if base.schema().index_of(a).is_none() {
+                        return Err(SqlError::UnknownColumn {
+                            table: q.table.clone(),
+                            column: a.to_string(),
+                        });
+                    }
+                }
+                let rows = sigma_groupby(&pref, &attrs, &base)?;
+                (rows, Some(pref), None)
+            }
+        };
+
+        // 3. BUT ONLY quality supervision.
+        let rows = match (&preference, q.but_only.is_empty()) {
+            (Some(pref), false) => {
+                let filter = quality_to_filter(&q.but_only, base.schema(), &q.table)?;
+                filter.filter_rows(pref, &base, &rows)?
+            }
+            _ => rows,
+        };
+
+        // 4. LIMIT.
+        let rows: Vec<usize> = match q.limit {
+            Some(k) => rows.into_iter().take(k).collect(),
+            None => rows,
+        };
+
+        // 5. Projection.
+        let result = base.take_rows(&rows);
+        let relation = match &q.select {
+            SelectList::Star => result,
+            SelectList::Columns(cols) => {
+                let attrs = AttrSet::new(cols.iter().map(String::as_str));
+                for a in attrs.iter() {
+                    if result.schema().index_of(a).is_none() {
+                        return Err(SqlError::UnknownColumn {
+                            table: q.table.clone(),
+                            column: a.to_string(),
+                        });
+                    }
+                }
+                result.project(&attrs)?
+            }
+        };
+
+        Ok(QueryResult {
+            relation,
+            preference,
+            explain,
+            candidates,
+        })
+    }
+
+    /// `EXPLAIN SELECT …`: plan without running the BMO stage. Returns a
+    /// one-column relation of plan lines.
+    fn explain(
+        &self,
+        q: &Query,
+        base: &Relation,
+        candidates: usize,
+    ) -> Result<QueryResult, SqlError> {
+        let mut parts: Vec<Pref> = Vec::new();
+        if let Some(p) = &q.preferring {
+            parts.push(pref_to_term(p, base.schema(), &q.table)?);
+        }
+        for c in &q.cascade {
+            parts.push(pref_to_term(c, base.schema(), &q.table)?);
+        }
+
+        let mut lines: Vec<String> =
+            vec![format!("scan       : {} ({} candidate rows after WHERE)", q.table, candidates)];
+        let (preference, explain) = if parts.is_empty() {
+            lines.push("preference : none (exact-match query)".to_string());
+            (None, None)
+        } else {
+            let pref = Pref::prior_all(parts)?;
+            if q.group_by.is_empty() {
+                let plan = self.optimizer.plan(&pref, base)?;
+                for l in plan.to_string().lines() {
+                    lines.push(l.to_string());
+                }
+                (Some(pref), Some(plan))
+            } else {
+                lines.push(format!("preference : {pref}"));
+                lines.push(format!(
+                    "algorithm  : hash grouping by {} (Def. 16)",
+                    q.group_by.join(", ")
+                ));
+                (Some(pref), None)
+            }
+        };
+        if !q.but_only.is_empty() {
+            lines.push(format!(
+                "but only   : {} quality constraint(s) post-filter",
+                q.but_only.len()
+            ));
+        }
+
+        let schema = Schema::new(vec![("plan", DataType::Str)])?;
+        let mut relation = Relation::empty(schema);
+        for l in lines {
+            relation.push_values(vec![Value::from(l)])?;
+        }
+        Ok(QueryResult {
+            relation,
+            preference,
+            explain,
+            candidates,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pref_relation::{rel, Value};
+
+    fn session() -> PrefSql {
+        let mut s = PrefSql::new();
+        s.register(
+            "car",
+            rel! {
+                ("make": Str, "category": Str, "color": Str, "price": Int,
+                 "power": Int, "mileage": Int);
+                ("Opel", "roadster", "red", 38_000, 120, 20_000),
+                ("Opel", "sedan", "red", 41_000, 110, 60_000),
+                ("Opel", "passenger", "blue", 40_000, 150, 30_000),
+                ("BMW", "roadster", "black", 45_000, 190, 10_000),
+                ("Opel", "van", "gray", 39_500, 90, 80_000),
+            },
+        );
+        s
+    }
+
+    #[test]
+    fn paper_car_query_end_to_end() {
+        let s = session();
+        let res = s
+            .execute(
+                "SELECT * FROM car WHERE make = 'Opel' \
+                 PREFERRING (category = 'roadster' ELSE category <> 'passenger' AND \
+                 price AROUND 40000 AND HIGHEST(power)) \
+                 CASCADE color = 'red' CASCADE LOWEST(mileage);",
+            )
+            .unwrap();
+        // BMW is filtered by the hard constraint.
+        assert_eq!(res.candidates, 4);
+        assert!(!res.relation.is_empty());
+        for t in res.relation.iter() {
+            assert_eq!(t[0], Value::from("Opel"));
+        }
+        // Every Opel trades off category level vs. price distance vs.
+        // power differently, so the Pareto clause leaves them unranked —
+        // and CASCADE (prioritised accumulation, Def. 9) only refines
+        // *ties* of the more important preference, of which there are
+        // none here. All four are best matches.
+        assert_eq!(res.relation.len(), 4);
+        assert!(res
+            .relation
+            .iter()
+            .any(|t| t[1] == Value::from("roadster")));
+        assert!(res.explain.is_some());
+    }
+
+    #[test]
+    fn cascade_refines_ties_of_the_outer_preference() {
+        let mut s = PrefSql::new();
+        s.register(
+            "car",
+            rel! {
+                ("category": Str, "color": Str);
+                ("roadster", "red"),
+                ("roadster", "blue"),
+                ("sedan", "red"),
+            },
+        );
+        let res = s
+            .execute("SELECT * FROM car PREFERRING category = 'roadster' CASCADE color = 'red'")
+            .unwrap();
+        // Both roadsters beat the sedan; between the equal-category
+        // roadsters, CASCADE picks the red one.
+        assert_eq!(res.relation.len(), 1);
+        assert_eq!(res.relation.row(0)[1], Value::from("red"));
+    }
+
+    #[test]
+    fn empty_result_problem_is_solved() {
+        // No Opel cabriolet exists; hard SQL would return nothing, the
+        // preference query relaxes to the best available.
+        let s = session();
+        let hard = s
+            .execute("SELECT * FROM car WHERE make = 'Opel' AND category = 'cabriolet'")
+            .unwrap();
+        assert!(hard.relation.is_empty());
+
+        let soft = s
+            .execute("SELECT * FROM car WHERE make = 'Opel' PREFERRING category = 'cabriolet'")
+            .unwrap();
+        assert!(!soft.relation.is_empty());
+        assert_eq!(soft.relation.len(), 4); // all Opels equally non-matching
+    }
+
+    #[test]
+    fn pure_hard_query_without_preferring() {
+        let s = session();
+        let res = s.execute("SELECT make, price FROM car WHERE price < 40000").unwrap();
+        assert_eq!(res.relation.len(), 2);
+        assert_eq!(res.relation.schema().arity(), 2);
+        assert!(res.preference.is_none());
+    }
+
+    #[test]
+    fn group_by_preference() {
+        // Example 10 as SQL.
+        let mut s = PrefSql::new();
+        s.register(
+            "cars",
+            rel! {
+                ("make": Str, "price": Int, "oid": Int);
+                ("Audi", 40_000, 1), ("BMW", 35_000, 2),
+                ("VW", 20_000, 3), ("BMW", 50_000, 4),
+            },
+        );
+        let res = s
+            .execute("SELECT * FROM cars PREFERRING price AROUND 40000 GROUP BY make")
+            .unwrap();
+        let oids: Vec<i64> = res
+            .relation
+            .iter()
+            .map(|t| t[2].as_int().unwrap())
+            .collect();
+        assert_eq!(oids, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn but_only_trips_query() {
+        let mut s = PrefSql::new();
+        s.register(
+            "trips",
+            rel! {
+                ("start_date": Date, "duration": Int);
+                (pref_relation::Date::parse("2001/11/23").unwrap(), 14),
+                (pref_relation::Date::parse("2001/11/26").unwrap(), 14),
+                (pref_relation::Date::parse("2001/11/24").unwrap(), 15),
+            },
+        );
+        let res = s
+            .execute(
+                "SELECT * FROM trips \
+                 PREFERRING start_date AROUND '2001/11/23' AND duration AROUND 14 \
+                 BUT ONLY DISTANCE(start_date) <= 2 AND DISTANCE(duration) <= 2",
+            )
+            .unwrap();
+        // Row 1 is maximal on duration but 3 days off — BUT ONLY drops it
+        // if it were in the BMO result; the perfect row 0 dominates row 2.
+        assert_eq!(res.relation.len(), 1);
+        assert_eq!(res.relation.row(0)[1], Value::from(14));
+    }
+
+    #[test]
+    fn limit_cuts_results() {
+        let s = session();
+        let res = s
+            .execute("SELECT * FROM car PREFERRING LOWEST(price) LIMIT 1")
+            .unwrap();
+        assert_eq!(res.relation.len(), 1);
+    }
+
+    #[test]
+    fn top_k_goes_beyond_bmo() {
+        // LOWEST(price) has a single best match; LIMIT cannot return
+        // more, but TOP k walks down the quality levels (§6.2).
+        let s = session();
+        let bmo = s
+            .execute("SELECT * FROM car PREFERRING LOWEST(price) LIMIT 3")
+            .unwrap();
+        assert_eq!(bmo.relation.len(), 1);
+        let top = s
+            .execute("SELECT TOP 3 * FROM car PREFERRING LOWEST(price)")
+            .unwrap();
+        assert_eq!(top.relation.len(), 3);
+        let prices: Vec<i64> = top
+            .relation
+            .iter()
+            .map(|t| t[3].as_int().unwrap())
+            .collect();
+        assert_eq!(prices, vec![38_000, 39_500, 40_000]);
+        // TOP with more rows than exist returns everything.
+        let all = s
+            .execute("SELECT TOP 99 * FROM car PREFERRING LOWEST(price)")
+            .unwrap();
+        assert_eq!(all.relation.len(), 5);
+    }
+
+    #[test]
+    fn errors_surface() {
+        let s = session();
+        assert!(matches!(
+            s.execute("SELECT * FROM nope"),
+            Err(SqlError::UnknownTable(_))
+        ));
+        assert!(matches!(
+            s.execute("SELECT nope FROM car"),
+            Err(SqlError::UnknownColumn { .. })
+        ));
+        assert!(matches!(
+            s.execute("SELECT * FROM car PREFERRING"),
+            Err(SqlError::Parse { .. })
+        ));
+        assert!(matches!(
+            s.execute("SELECT * FROM car PREFERRING price AROUND 1 GROUP BY nope"),
+            Err(SqlError::UnknownColumn { .. })
+        ));
+    }
+
+    #[test]
+    fn explain_plans_without_executing() {
+        let s = session();
+        let res = s
+            .execute("EXPLAIN SELECT * FROM car WHERE make = 'Opel' \
+                      PREFERRING LOWEST(price) AND HIGHEST(power)")
+            .unwrap();
+        let lines: Vec<&str> = res
+            .relation
+            .iter()
+            .map(|t| t[0].as_str().unwrap())
+            .collect();
+        assert!(lines[0].contains("4 candidate rows"));
+        assert!(lines.iter().any(|l| l.contains("divide-and-conquer")));
+        // grouped plans are reported too
+        let res = s
+            .execute("EXPLAIN SELECT * FROM car PREFERRING price AROUND 40000 GROUP BY make")
+            .unwrap();
+        let text = format!("{}", res.relation);
+        assert!(text.contains("hash grouping"));
+    }
+
+    #[test]
+    fn conflicting_preferences_do_not_fail() {
+        // Desideratum (4): conflicts must not crash — LOWEST and HIGHEST
+        // on the same attribute leave everything unranked.
+        let s = session();
+        let res = s
+            .execute("SELECT * FROM car PREFERRING LOWEST(price) AND HIGHEST(price)")
+            .unwrap();
+        assert_eq!(res.relation.len(), 5);
+    }
+}

@@ -1,0 +1,370 @@
+//! Lexer for Preference SQL.
+//!
+//! Keywords are case-insensitive (SQL convention); identifiers keep their
+//! case. String literals use single quotes with `''` as the escape.
+
+use std::fmt;
+
+use crate::error::SqlError;
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    Ident(String),
+    /// Case-normalised keyword.
+    Keyword(Kw),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    LParen,
+    RParen,
+    Comma,
+    Semi,
+    Star,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eof,
+}
+
+/// Recognised keywords.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kw {
+    Select,
+    From,
+    Where,
+    Preferring,
+    Cascade,
+    But,
+    Only,
+    And,
+    Or,
+    Not,
+    In,
+    Else,
+    Around,
+    Between,
+    Lowest,
+    Highest,
+    Explicit,
+    Prior,
+    To,
+    Group,
+    By,
+    Level,
+    Distance,
+    Limit,
+    Top,
+    Explain,
+    True,
+    False,
+}
+
+impl Kw {
+    fn parse(word: &str) -> Option<Kw> {
+        Some(match word.to_ascii_uppercase().as_str() {
+            "SELECT" => Kw::Select,
+            "FROM" => Kw::From,
+            "WHERE" => Kw::Where,
+            "PREFERRING" => Kw::Preferring,
+            "CASCADE" => Kw::Cascade,
+            "BUT" => Kw::But,
+            "ONLY" => Kw::Only,
+            "AND" => Kw::And,
+            "OR" => Kw::Or,
+            "NOT" => Kw::Not,
+            "IN" => Kw::In,
+            "ELSE" => Kw::Else,
+            "AROUND" => Kw::Around,
+            "BETWEEN" => Kw::Between,
+            "LOWEST" => Kw::Lowest,
+            "HIGHEST" => Kw::Highest,
+            "EXPLICIT" => Kw::Explicit,
+            "PRIOR" => Kw::Prior,
+            "TO" => Kw::To,
+            "GROUP" => Kw::Group,
+            "BY" => Kw::By,
+            "LEVEL" => Kw::Level,
+            "DISTANCE" => Kw::Distance,
+            "LIMIT" => Kw::Limit,
+            "TOP" => Kw::Top,
+            "EXPLAIN" => Kw::Explain,
+            "TRUE" => Kw::True,
+            "FALSE" => Kw::False,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "identifier `{s}`"),
+            Tok::Keyword(k) => write!(f, "{k:?}"),
+            Tok::Int(v) => write!(f, "{v}"),
+            Tok::Float(v) => write!(f, "{v}"),
+            Tok::Str(s) => write!(f, "'{s}'"),
+            Tok::LParen => write!(f, "("),
+            Tok::RParen => write!(f, ")"),
+            Tok::Comma => write!(f, ","),
+            Tok::Semi => write!(f, ";"),
+            Tok::Star => write!(f, "*"),
+            Tok::Eq => write!(f, "="),
+            Tok::Ne => write!(f, "<>"),
+            Tok::Lt => write!(f, "<"),
+            Tok::Le => write!(f, "<="),
+            Tok::Gt => write!(f, ">"),
+            Tok::Ge => write!(f, ">="),
+            Tok::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// Tokenise a query string.
+pub fn lex(input: &str) -> Result<Vec<Tok>, SqlError> {
+    let bytes = input.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            '(' => {
+                toks.push(Tok::LParen);
+                i += 1;
+            }
+            ')' => {
+                toks.push(Tok::RParen);
+                i += 1;
+            }
+            ',' => {
+                toks.push(Tok::Comma);
+                i += 1;
+            }
+            ';' => {
+                toks.push(Tok::Semi);
+                i += 1;
+            }
+            '*' => {
+                toks.push(Tok::Star);
+                i += 1;
+            }
+            '=' => {
+                toks.push(Tok::Eq);
+                i += 1;
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'>') {
+                    toks.push(Tok::Ne);
+                    i += 2;
+                } else if bytes.get(i + 1) == Some(&b'=') {
+                    toks.push(Tok::Le);
+                    i += 2;
+                } else {
+                    toks.push(Tok::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    toks.push(Tok::Ge);
+                    i += 2;
+                } else {
+                    toks.push(Tok::Gt);
+                    i += 1;
+                }
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    toks.push(Tok::Ne);
+                    i += 2;
+                } else {
+                    return Err(SqlError::Lex {
+                        pos: i,
+                        message: "unexpected `!`".into(),
+                    });
+                }
+            }
+            '\'' => {
+                let mut s = String::new();
+                let mut j = i + 1;
+                loop {
+                    match bytes.get(j) {
+                        None => {
+                            return Err(SqlError::Lex {
+                                pos: i,
+                                message: "unterminated string literal".into(),
+                            })
+                        }
+                        Some(b'\'') if bytes.get(j + 1) == Some(&b'\'') => {
+                            s.push('\'');
+                            j += 2;
+                        }
+                        Some(b'\'') => {
+                            j += 1;
+                            break;
+                        }
+                        Some(&b) => {
+                            s.push(b as char);
+                            j += 1;
+                        }
+                    }
+                }
+                toks.push(Tok::Str(s));
+                i = j;
+            }
+            '0'..='9' | '-' | '+' => {
+                // A sign is only a numeric prefix; Preference SQL has no
+                // arithmetic expressions.
+                let start = i;
+                if c == '-' || c == '+' {
+                    i += 1;
+                    if !bytes.get(i).is_some_and(|b| b.is_ascii_digit()) {
+                        return Err(SqlError::Lex {
+                            pos: start,
+                            message: "expected digits after sign".into(),
+                        });
+                    }
+                }
+                let mut is_float = false;
+                while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == b'.' || bytes[i] == b'_') {
+                    if bytes[i] == b'.' {
+                        // `..` would be a range; not valid SQL here.
+                        if is_float {
+                            break;
+                        }
+                        is_float = true;
+                    }
+                    i += 1;
+                }
+                let text: String = input[start..i].chars().filter(|&ch| ch != '_').collect();
+                if is_float {
+                    let v: f64 = text.parse().map_err(|_| SqlError::Lex {
+                        pos: start,
+                        message: format!("bad float literal `{text}`"),
+                    })?;
+                    toks.push(Tok::Float(v));
+                } else {
+                    let v: i64 = text.parse().map_err(|_| SqlError::Lex {
+                        pos: start,
+                        message: format!("bad integer literal `{text}`"),
+                    })?;
+                    toks.push(Tok::Int(v));
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let word = &input[start..i];
+                match Kw::parse(word) {
+                    Some(kw) => toks.push(Tok::Keyword(kw)),
+                    None => toks.push(Tok::Ident(word.to_string())),
+                }
+            }
+            other => {
+                return Err(SqlError::Lex {
+                    pos: i,
+                    message: format!("unexpected character `{other}`"),
+                })
+            }
+        }
+    }
+    toks.push(Tok::Eof);
+    Ok(toks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        let toks = lex("select From PREFERRING cascade").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Tok::Keyword(Kw::Select),
+                Tok::Keyword(Kw::From),
+                Tok::Keyword(Kw::Preferring),
+                Tok::Keyword(Kw::Cascade),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn identifiers_keep_case() {
+        let toks = lex("Price make_Year").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Tok::Ident("Price".into()),
+                Tok::Ident("make_Year".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_and_strings() {
+        let toks = lex("40000 40_000 3.5 -2 'red' 'O''Hara'").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Tok::Int(40_000),
+                Tok::Int(40_000),
+                Tok::Float(3.5),
+                Tok::Int(-2),
+                Tok::Str("red".into()),
+                Tok::Str("O'Hara".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn operators() {
+        let toks = lex("= <> != < <= > >= ( ) , ; *").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Tok::Eq,
+                Tok::Ne,
+                Tok::Ne,
+                Tok::Lt,
+                Tok::Le,
+                Tok::Gt,
+                Tok::Ge,
+                Tok::LParen,
+                Tok::RParen,
+                Tok::Comma,
+                Tok::Semi,
+                Tok::Star,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_errors() {
+        assert!(matches!(lex("'open"), Err(SqlError::Lex { .. })));
+        assert!(matches!(lex("a ? b"), Err(SqlError::Lex { .. })));
+        assert!(matches!(lex("- x"), Err(SqlError::Lex { .. })));
+    }
+
+    #[test]
+    fn paper_query_lexes() {
+        let q = "SELECT * FROM car WHERE make = 'Opel' \
+                 PREFERRING (category = 'roadster' ELSE category <> 'passenger' AND \
+                 price AROUND 40000 AND HIGHEST(power)) \
+                 CASCADE color = 'red' CASCADE LOWEST(mileage);";
+        assert!(lex(q).is_ok());
+    }
+}

@@ -1,0 +1,49 @@
+//! Parser robustness: arbitrary input never panics, and structured
+//! random queries round-trip through parse → execute without surprises.
+
+use pref_sql::{parse, PrefSql};
+use pref_relation::rel;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn parser_never_panics(input in "[ -~]{0,120}") {
+        // Any printable-ASCII garbage must produce Ok or a clean error.
+        let _ = parse(&input);
+    }
+
+    #[test]
+    fn lexer_roundtrips_quoted_strings(s in "[a-z']{0,12}") {
+        let sql = format!("SELECT * FROM t WHERE c = '{}'", s.replace('\'', "''"));
+        let q = parse(&sql).expect("escaped literal lexes");
+        match q.hard {
+            Some(pref_sql::ast::HardExpr::Cmp(_, _, pref_sql::ast::Literal::Str(got))) => {
+                prop_assert_eq!(got, s);
+            }
+            other => prop_assert!(false, "unexpected shape {:?}", other),
+        }
+    }
+
+    #[test]
+    fn random_preference_queries_execute(
+        target in 0i64..50_000,
+        lo in 0i64..20_000,
+        width in 1i64..10_000,
+        limit in 1usize..6,
+    ) {
+        let mut db = PrefSql::new();
+        db.register("t", rel! {
+            ("a": Int, "b": Int, "c": Str);
+            (1_000, 5, "x"), (12_000, 9, "y"), (30_000, 1, "z"),
+            (45_000, 7, "x"), (8_000, 3, "y"),
+        });
+        let sql = format!(
+            "SELECT * FROM t PREFERRING a AROUND {target} AND b BETWEEN {lo} AND {hi} \
+             CASCADE c = 'x' LIMIT {limit}",
+            hi = lo + width
+        );
+        let res = db.execute(&sql).expect("well-formed generated query");
+        prop_assert!(!res.relation.is_empty());
+        prop_assert!(res.relation.len() <= limit);
+    }
+}

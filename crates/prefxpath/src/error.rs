@@ -1,0 +1,78 @@
+//! Error type for Preference XPath.
+
+use std::fmt;
+
+use pref_core::CoreError;
+use pref_query::QueryError;
+
+/// Errors raised while parsing XML, parsing path expressions or
+/// evaluating preference queries over node sets.
+#[derive(Debug, Clone)]
+pub enum XPathError {
+    /// Malformed XML at a byte offset.
+    Xml { pos: usize, message: String },
+    /// Malformed path expression.
+    Parse {
+        pos: usize,
+        expected: String,
+        found: String,
+    },
+    /// Preference construction failed.
+    Core(CoreError),
+    /// BMO evaluation failed.
+    Query(QueryError),
+}
+
+impl fmt::Display for XPathError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XPathError::Xml { pos, message } => write!(f, "XML error at byte {pos}: {message}"),
+            XPathError::Parse {
+                pos,
+                expected,
+                found,
+            } => write!(
+                f,
+                "path parse error at token {pos}: expected {expected}, found {found}"
+            ),
+            XPathError::Core(e) => write!(f, "{e}"),
+            XPathError::Query(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for XPathError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            XPathError::Core(e) => Some(e),
+            XPathError::Query(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for XPathError {
+    fn from(e: CoreError) -> Self {
+        XPathError::Core(e)
+    }
+}
+
+impl From<QueryError> for XPathError {
+    fn from(e: QueryError) -> Self {
+        XPathError::Query(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = XPathError::Xml {
+            pos: 4,
+            message: "unexpected `<`".into(),
+        };
+        assert!(e.to_string().contains("byte 4"));
+    }
+}

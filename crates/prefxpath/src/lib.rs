@@ -1,0 +1,43 @@
+//! # pref-xpath — Preference XPath (§6.1 of the paper)
+//!
+//! "A query language to build personalized query engines in an
+//! attribute-rich XML environment": standard XPath location steps
+//! extended with *soft selections*. Hard predicates keep `[ … ]`; soft
+//! selections are delimited `#[ … ]#`, with `and` as Pareto accumulation
+//! and `prior to` as prioritised accumulation:
+//!
+//! ```text
+//! Q1: /CARS/CAR #[(@fuel_economy)highest and (@horsepower)highest]#
+//! Q2: /CARS/CAR #[(@color)in("black","white") prior to (@price)around 10000]#
+//!               #[(@mileage)lowest]#
+//! ```
+//!
+//! The XML data model and parser live in [`xml`]; path syntax in
+//! [`path`]; evaluation — soft selections run BMO preference queries over
+//! the node set of their location step — in [`eval`].
+//!
+//! ## Example
+//!
+//! ```
+//! use pref_xpath::{parse_xml, PrefXPath};
+//!
+//! let doc = parse_xml(r#"<CARS>
+//!   <CAR price="9000" mileage="60000"/>
+//!   <CAR price="12000" mileage="20000"/>
+//!   <CAR price="13000" mileage="30000"/>
+//! </CARS>"#).unwrap();
+//! let hits = PrefXPath::new(&doc)
+//!     .query("/CARS/CAR #[(@price)lowest and (@mileage)lowest]#")
+//!     .unwrap();
+//! assert_eq!(hits.len(), 2); // the third car is dominated
+//! ```
+
+pub mod error;
+pub mod eval;
+pub mod path;
+pub mod xml;
+
+pub use error::XPathError;
+pub use eval::{soft_to_term, PrefXPath};
+pub use path::parse_path;
+pub use xml::{parse_xml, Document, Element, NodeId};

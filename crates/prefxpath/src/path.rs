@@ -1,0 +1,728 @@
+//! Abstract syntax and parser for Preference XPath location paths.
+//!
+//! The paper upgrades the XPath production
+//! `LocationStep: axis nodetest predicate*` to
+//! `LocationStep: axis nodetest (predicate | preference)*`, delimiting
+//! hard selections with `[ … ]` and soft selections with `#[ … ]#`.
+//! Inside soft selections, `and` is Pareto accumulation and `prior to` is
+//! prioritised accumulation, with the base preference vocabulary
+//! `highest`, `lowest`, `around`, `between`, `in (…)` (+ `else`, `not in`).
+
+use crate::error::XPathError;
+
+/// A parsed location path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LocationPath {
+    pub steps: Vec<Step>,
+}
+
+/// One location step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Step {
+    pub axis: Axis,
+    pub test: NodeTest,
+    pub constraints: Vec<Constraint>,
+}
+
+/// Supported axes: `/` (child) and `//` (descendant-or-self).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Axis {
+    Child,
+    Descendant,
+}
+
+/// Element name test.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NodeTest {
+    Name(String),
+    Any,
+}
+
+/// A hard (`[...]`) or soft (`#[...]#`) selection.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Constraint {
+    Hard(Predicate),
+    Soft(SoftExpr),
+}
+
+/// Hard predicates over attributes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predicate {
+    /// `@attr` — attribute existence.
+    Exists(String),
+    /// `@attr op literal`.
+    Cmp(String, CmpOp, Lit),
+    And(Box<Predicate>, Box<Predicate>),
+    Or(Box<Predicate>, Box<Predicate>),
+    Not(Box<Predicate>),
+}
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+/// Literals in path expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Lit {
+    Num(f64),
+    Str(String),
+}
+
+/// Soft-selection expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SoftExpr {
+    Prior(Vec<SoftExpr>),
+    Pareto(Vec<SoftExpr>),
+    Atom(SoftAtom),
+}
+
+/// Base preference atoms: `(@attr) keyword …`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SoftAtom {
+    Highest(String),
+    Lowest(String),
+    Around(String, f64),
+    Between(String, f64, f64),
+    /// `(@a) in ("x","y")` → POS.
+    In(String, Vec<Lit>),
+    /// `(@a) not in (…)` → NEG.
+    NotIn(String, Vec<Lit>),
+    /// `(@a) in (…) else in (…)` → POS/POS.
+    InElseIn(String, Vec<Lit>, Vec<Lit>),
+    /// `(@a) in (…) else not in (…)` → POS/NEG.
+    InElseNotIn(String, Vec<Lit>, Vec<Lit>),
+}
+
+impl SoftExpr {
+    /// All attribute names referenced by the soft selection.
+    pub fn attributes(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_attrs(&mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn collect_attrs<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            SoftExpr::Prior(children) | SoftExpr::Pareto(children) => {
+                for c in children {
+                    c.collect_attrs(out);
+                }
+            }
+            SoftExpr::Atom(a) => out.push(match a {
+                SoftAtom::Highest(n)
+                | SoftAtom::Lowest(n)
+                | SoftAtom::Around(n, _)
+                | SoftAtom::Between(n, _, _)
+                | SoftAtom::In(n, _)
+                | SoftAtom::NotIn(n, _)
+                | SoftAtom::InElseIn(n, _, _)
+                | SoftAtom::InElseNotIn(n, _, _) => n,
+            }),
+        }
+    }
+}
+
+// ---- lexer --------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Slash,
+    DoubleSlash,
+    Star,
+    LBracket,
+    RBracket,
+    SoftOpen,  // #[
+    SoftClose, // ]#
+    LParen,
+    RParen,
+    Comma,
+    At,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Num(f64),
+    Str(String),
+    Name(String),
+    Eof,
+}
+
+impl std::fmt::Display for Tok {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Tok::Name(n) => write!(f, "name `{n}`"),
+            Tok::Num(v) => write!(f, "{v}"),
+            Tok::Str(s) => write!(f, "\"{s}\""),
+            Tok::Eof => write!(f, "end of path"),
+            other => write!(f, "{other:?}"),
+        }
+    }
+}
+
+fn lex(input: &str) -> Result<Vec<Tok>, XPathError> {
+    let b = input.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    while i < b.len() {
+        match b[i] as char {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            '/' => {
+                if b.get(i + 1) == Some(&b'/') {
+                    toks.push(Tok::DoubleSlash);
+                    i += 2;
+                } else {
+                    toks.push(Tok::Slash);
+                    i += 1;
+                }
+            }
+            '*' => {
+                toks.push(Tok::Star);
+                i += 1;
+            }
+            '#' => {
+                if b.get(i + 1) == Some(&b'[') {
+                    toks.push(Tok::SoftOpen);
+                    i += 2;
+                } else {
+                    return Err(XPathError::Parse {
+                        pos: i,
+                        expected: "`#[`".into(),
+                        found: "`#`".into(),
+                    });
+                }
+            }
+            '[' => {
+                toks.push(Tok::LBracket);
+                i += 1;
+            }
+            ']' => {
+                if b.get(i + 1) == Some(&b'#') {
+                    toks.push(Tok::SoftClose);
+                    i += 2;
+                } else {
+                    toks.push(Tok::RBracket);
+                    i += 1;
+                }
+            }
+            '(' => {
+                toks.push(Tok::LParen);
+                i += 1;
+            }
+            ')' => {
+                toks.push(Tok::RParen);
+                i += 1;
+            }
+            ',' => {
+                toks.push(Tok::Comma);
+                i += 1;
+            }
+            '@' => {
+                toks.push(Tok::At);
+                i += 1;
+            }
+            '=' => {
+                toks.push(Tok::Eq);
+                i += 1;
+            }
+            '!' if b.get(i + 1) == Some(&b'=') => {
+                toks.push(Tok::Ne);
+                i += 2;
+            }
+            '<' => {
+                if b.get(i + 1) == Some(&b'=') {
+                    toks.push(Tok::Le);
+                    i += 2;
+                } else {
+                    toks.push(Tok::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if b.get(i + 1) == Some(&b'=') {
+                    toks.push(Tok::Ge);
+                    i += 2;
+                } else {
+                    toks.push(Tok::Gt);
+                    i += 1;
+                }
+            }
+            '"' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < b.len() && b[j] != b'"' {
+                    j += 1;
+                }
+                if j >= b.len() {
+                    return Err(XPathError::Parse {
+                        pos: i,
+                        expected: "closing quote".into(),
+                        found: "end of path".into(),
+                    });
+                }
+                toks.push(Tok::Str(input[start..j].to_string()));
+                i = j + 1;
+            }
+            c if c.is_ascii_digit() || c == '-' => {
+                let start = i;
+                i += 1;
+                while i < b.len() && (b[i].is_ascii_digit() || b[i] == b'.') {
+                    i += 1;
+                }
+                let v: f64 = input[start..i].parse().map_err(|_| XPathError::Parse {
+                    pos: start,
+                    expected: "number".into(),
+                    found: input[start..i].to_string(),
+                })?;
+                toks.push(Tok::Num(v));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < b.len()
+                    && ((b[i] as char).is_ascii_alphanumeric() || b[i] == b'_' || b[i] == b'-')
+                {
+                    i += 1;
+                }
+                toks.push(Tok::Name(input[start..i].to_string()));
+            }
+            other => {
+                return Err(XPathError::Parse {
+                    pos: i,
+                    expected: "path token".into(),
+                    found: format!("`{other}`"),
+                })
+            }
+        }
+    }
+    toks.push(Tok::Eof);
+    Ok(toks)
+}
+
+// ---- parser ---------------------------------------------------------------
+
+/// Parse a Preference XPath location path.
+pub fn parse_path(input: &str) -> Result<LocationPath, XPathError> {
+    let toks = lex(input)?;
+    let mut p = PathParser { toks, pos: 0 };
+    let path = p.path()?;
+    if p.peek() != &Tok::Eof {
+        return p.err("end of path");
+    }
+    Ok(path)
+}
+
+struct PathParser {
+    toks: Vec<Tok>,
+    pos: usize,
+}
+
+impl PathParser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos.min(self.toks.len() - 1)]
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.peek().clone();
+        self.pos += 1;
+        t
+    }
+
+    fn err<T>(&self, expected: &str) -> Result<T, XPathError> {
+        Err(XPathError::Parse {
+            pos: self.pos,
+            expected: expected.to_string(),
+            found: self.peek().to_string(),
+        })
+    }
+
+    fn keyword(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Tok::Name(n) if n.eq_ignore_ascii_case(kw)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), XPathError> {
+        if self.keyword(kw) {
+            Ok(())
+        } else {
+            self.err(&format!("`{kw}`"))
+        }
+    }
+
+    fn expect(&mut self, t: Tok, name: &str) -> Result<(), XPathError> {
+        if self.peek() == &t {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(name)
+        }
+    }
+
+    fn path(&mut self) -> Result<LocationPath, XPathError> {
+        let mut steps = Vec::new();
+        loop {
+            let axis = match self.peek() {
+                Tok::Slash => Axis::Child,
+                Tok::DoubleSlash => Axis::Descendant,
+                _ if steps.is_empty() => return self.err("`/` or `//`"),
+                _ => break,
+            };
+            self.pos += 1;
+            steps.push(self.step(axis)?);
+        }
+        Ok(LocationPath { steps })
+    }
+
+    fn step(&mut self, axis: Axis) -> Result<Step, XPathError> {
+        let test = match self.bump() {
+            Tok::Star => NodeTest::Any,
+            Tok::Name(n) => NodeTest::Name(n),
+            other => {
+                return Err(XPathError::Parse {
+                    pos: self.pos - 1,
+                    expected: "element name or `*`".into(),
+                    found: other.to_string(),
+                })
+            }
+        };
+        let mut constraints = Vec::new();
+        loop {
+            match self.peek() {
+                Tok::LBracket => {
+                    self.pos += 1;
+                    let pred = self.pred_or()?;
+                    self.expect(Tok::RBracket, "]")?;
+                    constraints.push(Constraint::Hard(pred));
+                }
+                Tok::SoftOpen => {
+                    self.pos += 1;
+                    let soft = self.soft()?;
+                    self.expect(Tok::SoftClose, "]#")?;
+                    constraints.push(Constraint::Soft(soft));
+                }
+                _ => break,
+            }
+        }
+        Ok(Step {
+            axis,
+            test,
+            constraints,
+        })
+    }
+
+    // ---- hard predicates --------------------------------------------------
+
+    fn pred_or(&mut self) -> Result<Predicate, XPathError> {
+        let mut left = self.pred_and()?;
+        while self.keyword("or") {
+            let right = self.pred_and()?;
+            left = Predicate::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn pred_and(&mut self) -> Result<Predicate, XPathError> {
+        let mut left = self.pred_not()?;
+        while self.keyword("and") {
+            let right = self.pred_not()?;
+            left = Predicate::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn pred_not(&mut self) -> Result<Predicate, XPathError> {
+        if self.keyword("not") {
+            // XPath writes not(expr); accept both not(...) and bare not.
+            if self.peek() == &Tok::LParen {
+                self.pos += 1;
+                let inner = self.pred_or()?;
+                self.expect(Tok::RParen, ")")?;
+                return Ok(Predicate::Not(Box::new(inner)));
+            }
+            return Ok(Predicate::Not(Box::new(self.pred_not()?)));
+        }
+        self.pred_primary()
+    }
+
+    fn pred_primary(&mut self) -> Result<Predicate, XPathError> {
+        if self.peek() == &Tok::LParen {
+            self.pos += 1;
+            let inner = self.pred_or()?;
+            self.expect(Tok::RParen, ")")?;
+            return Ok(inner);
+        }
+        self.expect(Tok::At, "@")?;
+        let attr = match self.bump() {
+            Tok::Name(n) => n,
+            other => {
+                return Err(XPathError::Parse {
+                    pos: self.pos - 1,
+                    expected: "attribute name".into(),
+                    found: other.to_string(),
+                })
+            }
+        };
+        let op = match self.peek() {
+            Tok::Eq => CmpOp::Eq,
+            Tok::Ne => CmpOp::Ne,
+            Tok::Lt => CmpOp::Lt,
+            Tok::Le => CmpOp::Le,
+            Tok::Gt => CmpOp::Gt,
+            Tok::Ge => CmpOp::Ge,
+            _ => return Ok(Predicate::Exists(attr)),
+        };
+        self.pos += 1;
+        let lit = self.lit()?;
+        Ok(Predicate::Cmp(attr, op, lit))
+    }
+
+    fn lit(&mut self) -> Result<Lit, XPathError> {
+        match self.bump() {
+            Tok::Num(v) => Ok(Lit::Num(v)),
+            Tok::Str(s) => Ok(Lit::Str(s)),
+            other => Err(XPathError::Parse {
+                pos: self.pos - 1,
+                expected: "literal".into(),
+                found: other.to_string(),
+            }),
+        }
+    }
+
+    // ---- soft selections ---------------------------------------------------
+
+    fn soft(&mut self) -> Result<SoftExpr, XPathError> {
+        let mut parts = vec![self.soft_pareto()?];
+        while matches!(self.peek(), Tok::Name(n) if n.eq_ignore_ascii_case("prior")) {
+            self.pos += 1;
+            self.expect_keyword("to")?;
+            parts.push(self.soft_pareto()?);
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("len checked")
+        } else {
+            SoftExpr::Prior(parts)
+        })
+    }
+
+    fn soft_pareto(&mut self) -> Result<SoftExpr, XPathError> {
+        let mut parts = vec![self.soft_atom()?];
+        while self.keyword("and") {
+            parts.push(self.soft_atom()?);
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("len checked")
+        } else {
+            SoftExpr::Pareto(parts)
+        })
+    }
+
+    fn soft_atom(&mut self) -> Result<SoftExpr, XPathError> {
+        self.expect(Tok::LParen, "(")?;
+        // Disambiguate `(@attr) keyword` from a parenthesised expression.
+        if self.peek() != &Tok::At {
+            let inner = self.soft()?;
+            self.expect(Tok::RParen, ")")?;
+            return Ok(inner);
+        }
+        self.pos += 1; // @
+        let attr = match self.bump() {
+            Tok::Name(n) => n,
+            other => {
+                return Err(XPathError::Parse {
+                    pos: self.pos - 1,
+                    expected: "attribute name".into(),
+                    found: other.to_string(),
+                })
+            }
+        };
+        self.expect(Tok::RParen, ")")?;
+
+        if self.keyword("highest") {
+            return Ok(SoftExpr::Atom(SoftAtom::Highest(attr)));
+        }
+        if self.keyword("lowest") {
+            return Ok(SoftExpr::Atom(SoftAtom::Lowest(attr)));
+        }
+        if self.keyword("around") {
+            let v = match self.bump() {
+                Tok::Num(v) => v,
+                other => {
+                    return Err(XPathError::Parse {
+                        pos: self.pos - 1,
+                        expected: "number after `around`".into(),
+                        found: other.to_string(),
+                    })
+                }
+            };
+            return Ok(SoftExpr::Atom(SoftAtom::Around(attr, v)));
+        }
+        if self.keyword("between") {
+            let lo = match self.bump() {
+                Tok::Num(v) => v,
+                other => {
+                    return Err(XPathError::Parse {
+                        pos: self.pos - 1,
+                        expected: "number after `between`".into(),
+                        found: other.to_string(),
+                    })
+                }
+            };
+            self.expect_keyword("and")?;
+            let hi = match self.bump() {
+                Tok::Num(v) => v,
+                other => {
+                    return Err(XPathError::Parse {
+                        pos: self.pos - 1,
+                        expected: "upper bound".into(),
+                        found: other.to_string(),
+                    })
+                }
+            };
+            return Ok(SoftExpr::Atom(SoftAtom::Between(attr, lo, hi)));
+        }
+        if self.keyword("not") {
+            self.expect_keyword("in")?;
+            let values = self.lit_list()?;
+            return Ok(SoftExpr::Atom(SoftAtom::NotIn(attr, values)));
+        }
+        if self.keyword("in") {
+            let values = self.lit_list()?;
+            if self.keyword("else") {
+                if self.keyword("not") {
+                    self.expect_keyword("in")?;
+                    let neg = self.lit_list()?;
+                    return Ok(SoftExpr::Atom(SoftAtom::InElseNotIn(attr, values, neg)));
+                }
+                self.expect_keyword("in")?;
+                let pos2 = self.lit_list()?;
+                return Ok(SoftExpr::Atom(SoftAtom::InElseIn(attr, values, pos2)));
+            }
+            return Ok(SoftExpr::Atom(SoftAtom::In(attr, values)));
+        }
+        self.err("preference keyword (highest, lowest, around, between, in, not in)")
+    }
+
+    fn lit_list(&mut self) -> Result<Vec<Lit>, XPathError> {
+        self.expect(Tok::LParen, "(")?;
+        let mut out = vec![self.lit()?];
+        while self.peek() == &Tok::Comma {
+            self.pos += 1;
+            out.push(self.lit()?);
+        }
+        self.expect(Tok::RParen, ")")?;
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_q1() {
+        // Q1: /CARS/CAR #[(@fuel_economy)highest and (@horsepower)highest]#
+        let p = parse_path("/CARS/CAR #[(@fuel_economy)highest and (@horsepower)highest]#")
+            .unwrap();
+        assert_eq!(p.steps.len(), 2);
+        let step = &p.steps[1];
+        assert_eq!(step.test, NodeTest::Name("CAR".into()));
+        assert_eq!(step.constraints.len(), 1);
+        match &step.constraints[0] {
+            Constraint::Soft(SoftExpr::Pareto(parts)) => assert_eq!(parts.len(), 2),
+            other => panic!("expected Pareto soft selection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_paper_q2() {
+        // Q2: /CARS/CAR #[(@color)in("black", "white")prior to(@price)around 10000]#
+        //                #[(@mileage)lowest]#
+        let p = parse_path(
+            "/CARS/CAR #[(@color)in(\"black\", \"white\")prior to(@price)around 10000]# \
+             #[(@mileage)lowest]#",
+        )
+        .unwrap();
+        let step = &p.steps[1];
+        assert_eq!(step.constraints.len(), 2);
+        match &step.constraints[0] {
+            Constraint::Soft(SoftExpr::Prior(parts)) => {
+                assert!(matches!(parts[0], SoftExpr::Atom(SoftAtom::In(_, _))));
+                assert!(matches!(parts[1], SoftExpr::Atom(SoftAtom::Around(_, _))));
+            }
+            other => panic!("expected Prior soft selection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hard_predicates() {
+        let p = parse_path("//CAR[@price < 10000 and not(@sold)]").unwrap();
+        assert_eq!(p.steps[0].axis, Axis::Descendant);
+        match &p.steps[0].constraints[0] {
+            Constraint::Hard(Predicate::And(l, r)) => {
+                assert!(matches!(**l, Predicate::Cmp(_, CmpOp::Lt, _)));
+                assert!(matches!(**r, Predicate::Not(_)));
+            }
+            other => panic!("expected And predicate, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wildcard_and_mixed_axes() {
+        let p = parse_path("/shop//offer/*").unwrap();
+        assert_eq!(p.steps.len(), 3);
+        assert_eq!(p.steps[1].axis, Axis::Descendant);
+        assert_eq!(p.steps[2].test, NodeTest::Any);
+    }
+
+    #[test]
+    fn soft_attrs_are_collected() {
+        let p = parse_path("/a/b #[(@x)highest and ((@y)lowest prior to (@x)around 5)]#").unwrap();
+        match &p.steps[1].constraints[0] {
+            Constraint::Soft(s) => assert_eq!(s.attributes(), vec!["x", "y"]),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn between_and_else_forms() {
+        let p = parse_path(
+            "/a #[(@p)between 5 and 10 and (@c)in(\"x\") else not in(\"y\")]#",
+        )
+        .unwrap();
+        match &p.steps[0].constraints[0] {
+            Constraint::Soft(SoftExpr::Pareto(parts)) => {
+                assert!(matches!(
+                    parts[0],
+                    SoftExpr::Atom(SoftAtom::Between(_, _, _))
+                ));
+                assert!(matches!(
+                    parts[1],
+                    SoftExpr::Atom(SoftAtom::InElseNotIn(_, _, _))
+                ));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_paths() {
+        assert!(parse_path("CARS/CAR").is_err()); // must start with / or //
+        assert!(parse_path("/CARS/CAR #[(@x)maximal]#").is_err());
+        assert!(parse_path("/CARS/CAR #[(@x)highest]").is_err()); // missing #
+        assert!(parse_path("/CARS/[@x]").is_err());
+        assert!(parse_path("/CARS/CAR trailing").is_err());
+    }
+}

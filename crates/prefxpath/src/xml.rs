@@ -1,0 +1,366 @@
+//! A small XML document model and parser — the stand-in for the TAMINO /
+//! XALAN stores Preference XPath ran on (see DESIGN.md "Substitutions").
+//!
+//! Supports elements, attributes, text content, self-closing tags,
+//! comments, an XML declaration and the five predefined entities. That is
+//! exactly the attribute-rich subset the paper's queries navigate.
+
+use std::collections::HashMap;
+
+use crate::error::XPathError;
+
+/// Index of a node in its document's arena.
+pub type NodeId = usize;
+
+/// One element node.
+#[derive(Debug, Clone)]
+pub struct Element {
+    pub name: String,
+    pub attrs: Vec<(String, String)>,
+    pub children: Vec<NodeId>,
+    pub parent: Option<NodeId>,
+    pub text: String,
+}
+
+impl Element {
+    /// Attribute value by name.
+    pub fn attr(&self, name: &str) -> Option<&str> {
+        self.attrs
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// An XML document: an arena of elements plus the root id.
+#[derive(Debug, Clone)]
+pub struct Document {
+    nodes: Vec<Element>,
+    root: NodeId,
+}
+
+impl Document {
+    /// The root element id.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// The element with the given id.
+    pub fn node(&self, id: NodeId) -> &Element {
+        &self.nodes[id]
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Is the document empty (never true for parsed documents)?
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// All descendants of `id` including `id` itself, in document order.
+    pub fn descendants_or_self(&self, id: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let mut stack = vec![id];
+        while let Some(n) = stack.pop() {
+            out.push(n);
+            // Reverse so the leftmost child is processed first.
+            for &c in self.nodes[n].children.iter().rev() {
+                stack.push(c);
+            }
+        }
+        out
+    }
+}
+
+fn decode_entities(s: &str, pos: usize) -> Result<String, XPathError> {
+    if !s.contains('&') {
+        return Ok(s.to_string());
+    }
+    let map: HashMap<&str, char> = [
+        ("amp", '&'),
+        ("lt", '<'),
+        ("gt", '>'),
+        ("quot", '"'),
+        ("apos", '\''),
+    ]
+    .into_iter()
+    .collect();
+    let mut out = String::with_capacity(s.len());
+    let mut rest = s;
+    while let Some(i) = rest.find('&') {
+        out.push_str(&rest[..i]);
+        let tail = &rest[i + 1..];
+        let end = tail.find(';').ok_or_else(|| XPathError::Xml {
+            pos,
+            message: "unterminated entity".into(),
+        })?;
+        let name = &tail[..end];
+        let c = map.get(name).ok_or_else(|| XPathError::Xml {
+            pos,
+            message: format!("unknown entity &{name};"),
+        })?;
+        out.push(*c);
+        rest = &tail[end + 1..];
+    }
+    out.push_str(rest);
+    Ok(out)
+}
+
+/// Parse an XML string into a [`Document`].
+pub fn parse_xml(input: &str) -> Result<Document, XPathError> {
+    let mut p = XmlParser {
+        bytes: input.as_bytes(),
+        input,
+        pos: 0,
+    };
+    p.skip_prolog()?;
+    let mut nodes = Vec::new();
+    let root = p.element(&mut nodes, None)?;
+    p.skip_ws_and_comments()?;
+    if p.pos != p.bytes.len() {
+        return Err(XPathError::Xml {
+            pos: p.pos,
+            message: "content after the root element".into(),
+        });
+    }
+    Ok(Document { nodes, root })
+}
+
+struct XmlParser<'a> {
+    bytes: &'a [u8],
+    input: &'a str,
+    pos: usize,
+}
+
+impl<'a> XmlParser<'a> {
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, XPathError> {
+        Err(XPathError::Xml {
+            pos: self.pos,
+            message: message.into(),
+        })
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn skip_ws_and_comments(&mut self) -> Result<(), XPathError> {
+        loop {
+            self.skip_ws();
+            if self.input[self.pos..].starts_with("<!--") {
+                match self.input[self.pos..].find("-->") {
+                    Some(i) => self.pos += i + 3,
+                    None => return self.err("unterminated comment"),
+                }
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    fn skip_prolog(&mut self) -> Result<(), XPathError> {
+        self.skip_ws();
+        if self.input[self.pos..].starts_with("<?xml") {
+            match self.input[self.pos..].find("?>") {
+                Some(i) => self.pos += i + 2,
+                None => return self.err("unterminated XML declaration"),
+            }
+        }
+        self.skip_ws_and_comments()
+    }
+
+    fn name(&mut self) -> Result<String, XPathError> {
+        let start = self.pos;
+        while self.bytes.get(self.pos).is_some_and(|&b| {
+            (b as char).is_ascii_alphanumeric() || b == b'_' || b == b'-' || b == b'.' || b == b':'
+        }) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return self.err("expected a name");
+        }
+        Ok(self.input[start..self.pos].to_string())
+    }
+
+    fn element(
+        &mut self,
+        nodes: &mut Vec<Element>,
+        parent: Option<NodeId>,
+    ) -> Result<NodeId, XPathError> {
+        if self.bytes.get(self.pos) != Some(&b'<') {
+            return self.err("expected `<`");
+        }
+        self.pos += 1;
+        let name = self.name()?;
+
+        let id = nodes.len();
+        nodes.push(Element {
+            name: name.clone(),
+            attrs: Vec::new(),
+            children: Vec::new(),
+            parent,
+            text: String::new(),
+        });
+
+        // Attributes.
+        loop {
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b'/') => {
+                    if self.bytes.get(self.pos + 1) == Some(&b'>') {
+                        self.pos += 2;
+                        return Ok(id);
+                    }
+                    return self.err("stray `/`");
+                }
+                Some(b'>') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(_) => {
+                    let attr_pos = self.pos;
+                    let key = self.name()?;
+                    self.skip_ws();
+                    if self.bytes.get(self.pos) != Some(&b'=') {
+                        return self.err("expected `=` after attribute name");
+                    }
+                    self.pos += 1;
+                    self.skip_ws();
+                    let quote = match self.bytes.get(self.pos) {
+                        Some(&q @ (b'"' | b'\'')) => q,
+                        _ => return self.err("expected quoted attribute value"),
+                    };
+                    self.pos += 1;
+                    let start = self.pos;
+                    while self.bytes.get(self.pos).is_some_and(|&b| b != quote) {
+                        self.pos += 1;
+                    }
+                    if self.bytes.get(self.pos) != Some(&quote) {
+                        return self.err("unterminated attribute value");
+                    }
+                    let raw = &self.input[start..self.pos];
+                    self.pos += 1;
+                    let value = decode_entities(raw, attr_pos)?;
+                    nodes[id].attrs.push((key, value));
+                }
+                None => return self.err("unexpected end of input in tag"),
+            }
+        }
+
+        // Content: text, children, comments, close tag.
+        loop {
+            if self.input[self.pos..].starts_with("<!--") {
+                self.skip_ws_and_comments()?;
+                continue;
+            }
+            match self.bytes.get(self.pos) {
+                None => return self.err(format!("unclosed element <{name}>")),
+                Some(b'<') if self.bytes.get(self.pos + 1) == Some(&b'/') => {
+                    self.pos += 2;
+                    let close = self.name()?;
+                    if close != name {
+                        return self.err(format!("mismatched close tag </{close}> for <{name}>"));
+                    }
+                    self.skip_ws();
+                    if self.bytes.get(self.pos) != Some(&b'>') {
+                        return self.err("expected `>` in close tag");
+                    }
+                    self.pos += 1;
+                    return Ok(id);
+                }
+                Some(b'<') => {
+                    let child = self.element(nodes, Some(id))?;
+                    nodes[id].children.push(child);
+                }
+                Some(_) => {
+                    let start = self.pos;
+                    while self.bytes.get(self.pos).is_some_and(|&b| b != b'<') {
+                        self.pos += 1;
+                    }
+                    let text = decode_entities(self.input[start..self.pos].trim(), start)?;
+                    if !text.is_empty() {
+                        let node = &mut nodes[id];
+                        if !node.text.is_empty() {
+                            node.text.push(' ');
+                        }
+                        node.text.push_str(&text);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CARS: &str = r#"<?xml version="1.0"?>
+<!-- test catalog -->
+<CARS>
+  <CAR fuel_economy="100" horsepower="3" color="red">frog</CAR>
+  <CAR fuel_economy="50" horsepower="10" color="blue"/>
+  <LOT>
+    <CAR fuel_economy="70" horsepower="7" color="black &amp; white"/>
+  </LOT>
+</CARS>"#;
+
+    #[test]
+    fn parses_structure() {
+        let doc = parse_xml(CARS).unwrap();
+        let root = doc.node(doc.root());
+        assert_eq!(root.name, "CARS");
+        assert_eq!(root.children.len(), 3);
+        assert_eq!(doc.len(), 5);
+    }
+
+    #[test]
+    fn attributes_and_text() {
+        let doc = parse_xml(CARS).unwrap();
+        let first_car = doc.node(doc.node(doc.root()).children[0]);
+        assert_eq!(first_car.attr("fuel_economy"), Some("100"));
+        assert_eq!(first_car.attr("missing"), None);
+        assert_eq!(first_car.text, "frog");
+    }
+
+    #[test]
+    fn entities_decode() {
+        let doc = parse_xml(CARS).unwrap();
+        let lot = doc.node(doc.root());
+        let nested = doc.node(doc.node(lot.children[2]).children[0]);
+        assert_eq!(nested.attr("color"), Some("black & white"));
+    }
+
+    #[test]
+    fn descendants_in_document_order() {
+        let doc = parse_xml(CARS).unwrap();
+        let all = doc.descendants_or_self(doc.root());
+        let names: Vec<&str> = all.iter().map(|&i| doc.node(i).name.as_str()).collect();
+        assert_eq!(names, vec!["CARS", "CAR", "CAR", "LOT", "CAR"]);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(parse_xml("<a><b></a>").is_err());
+        assert!(parse_xml("<a>").is_err());
+        assert!(parse_xml("<a attr></a>").is_err());
+        assert!(parse_xml("<a x=\"1\"></a><b/>").is_err());
+        assert!(parse_xml("<a x=\"&bogus;\"/>").is_err());
+    }
+
+    #[test]
+    fn self_closing_and_single_quotes() {
+        let doc = parse_xml("<r><x a='1'/></r>").unwrap();
+        let x = doc.node(doc.node(doc.root()).children[0]);
+        assert_eq!(x.attr("a"), Some("1"));
+    }
+}

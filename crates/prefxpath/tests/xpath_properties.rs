@@ -1,0 +1,73 @@
+//! Robustness properties for the XML parser and path engine.
+
+use pref_xpath::{parse_path, parse_xml, PrefXPath};
+use proptest::prelude::*;
+
+fn arb_doc() -> impl Strategy<Value = String> {
+    // A random flat catalog document with numeric attributes.
+    prop::collection::vec((0i64..100, 0i64..100), 1..20).prop_map(|rows| {
+        let mut s = String::from("<R>");
+        for (p, m) in rows {
+            s.push_str(&format!("<X p=\"{p}\" m=\"{m}\"/>"));
+        }
+        s.push_str("</R>");
+        s
+    })
+}
+
+proptest! {
+    #[test]
+    fn xml_parser_never_panics(input in "[ -~]{0,160}") {
+        let _ = parse_xml(&input);
+    }
+
+    #[test]
+    fn path_parser_never_panics(input in "[ -~]{0,120}") {
+        let _ = parse_path(&input);
+    }
+
+    #[test]
+    fn soft_selection_results_are_maximal(doc_text in arb_doc()) {
+        let doc = parse_xml(&doc_text).expect("generated XML is well-formed");
+        let engine = PrefXPath::new(&doc);
+        let hits = engine
+            .query("/R/X #[(@p)lowest and (@m)lowest]#")
+            .expect("valid path");
+        // BMO invariants at the XPath level: nonempty, and no hit is
+        // dominated by any candidate on both attributes.
+        prop_assert!(!hits.is_empty());
+        let all = engine.query("/R/X").expect("valid path");
+        let val = |id: usize, name: &str| -> i64 {
+            doc.node(id).attr(name).unwrap().parse().unwrap()
+        };
+        for &h in &hits {
+            for &c in &all {
+                let dominates = val(c, "p") <= val(h, "p")
+                    && val(c, "m") <= val(h, "m")
+                    && (val(c, "p") < val(h, "p") || val(c, "m") < val(h, "m"));
+                prop_assert!(!dominates, "hit {h} dominated by {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn hard_filters_commute_with_soft_selections(doc_text in arb_doc()) {
+        // [@p <= 50] then lowest(m) ≡ filtering candidates first by hand.
+        let doc = parse_xml(&doc_text).expect("generated XML is well-formed");
+        let engine = PrefXPath::new(&doc);
+        let combined = engine
+            .query("/R/X[@p <= 50] #[(@m)lowest]#")
+            .expect("valid path");
+        let all = engine.query("/R/X").expect("valid path");
+        let val = |id: usize, name: &str| -> i64 {
+            doc.node(id).attr(name).unwrap().parse().unwrap()
+        };
+        let survivors: Vec<usize> = all.into_iter().filter(|&n| val(n, "p") <= 50).collect();
+        let best_m = survivors.iter().map(|&n| val(n, "m")).min();
+        let expect: Vec<usize> = survivors
+            .into_iter()
+            .filter(|&n| Some(val(n, "m")) == best_m)
+            .collect();
+        prop_assert_eq!(combined, expect);
+    }
+}

@@ -1,0 +1,25 @@
+//! Efficient BMO evaluation algorithms.
+//!
+//! The paper defers efficiency but points at the skyline literature for
+//! the restricted Pareto case ("efficient evaluation algorithms have been
+//! given in \[KLP75\], \[BKS01\] and \[TEO01\]", §6.1). This module implements:
+//!
+//! * [`bnl::bnl`] — Block-Nested-Loops (\[BKS01\]), correct for *any*
+//!   strict partial order, the general-purpose workhorse;
+//! * [`bnl::bnl_parallel`] — chunked BNL merging local maxima
+//!   (maxima of a union are contained in the union of local maxima);
+//! * [`dnc::dnc`] — divide & conquer maxima (\[KLP75\]) for `SKYLINE OF`
+//!   shaped terms (Pareto over LOWEST/HIGHEST chains);
+//! * [`sfs::sfs`] — Sort-Filter-Skyline: presort by a monotone utility,
+//!   then a single filtering pass against accepted maxima.
+//!
+//! All algorithms return sorted row-index vectors and are
+//! property-checked against the naive oracle.
+
+pub mod bnl;
+pub mod dnc;
+pub mod sfs;
+
+pub use bnl::{bnl, bnl_parallel};
+pub use dnc::dnc;
+pub use sfs::sfs;

@@ -1,0 +1,154 @@
+//! Block-Nested-Loops maxima computation (\[BKS01\]).
+//!
+//! Maintains a window of candidate maxima; each incoming tuple is dropped
+//! if dominated by a window tuple, and evicts window tuples it dominates.
+//! Correct for any strict partial order — the only assumption is
+//! transitivity, which guarantees a tuple dominated by an evicted
+//! candidate is also dominated by the evictor.
+
+use pref_core::eval::CompiledPref;
+use pref_core::term::Pref;
+use pref_relation::Relation;
+
+use crate::error::QueryError;
+
+/// BMO evaluation by Block-Nested-Loops. Returns sorted row indices.
+pub fn bnl(pref: &Pref, r: &Relation) -> Result<Vec<usize>, QueryError> {
+    let c = CompiledPref::compile(pref, r.schema())?;
+    Ok(bnl_compiled(&c, r))
+}
+
+/// BNL with a pre-compiled preference.
+pub fn bnl_compiled(c: &CompiledPref, r: &Relation) -> Vec<usize> {
+    let mut window = bnl_indices(c, r, 0..r.len());
+    window.sort_unstable();
+    window
+}
+
+/// BNL over a subset of row indices; returns unsorted candidates.
+fn bnl_indices(
+    c: &CompiledPref,
+    r: &Relation,
+    indices: impl IntoIterator<Item = usize>,
+) -> Vec<usize> {
+    let mut window: Vec<usize> = Vec::new();
+    'next: for i in indices {
+        let t = r.row(i);
+        let mut j = 0;
+        while j < window.len() {
+            let w = r.row(window[j]);
+            if c.better(t, w) {
+                // An existing candidate dominates t: discard t.
+                continue 'next;
+            }
+            if c.better(w, t) {
+                // t dominates the candidate: evict it.
+                window.swap_remove(j);
+            } else {
+                j += 1;
+            }
+        }
+        window.push(i);
+    }
+    window
+}
+
+/// Parallel BNL: split the relation into chunks, compute local maxima per
+/// thread, then run a final BNL pass over the union of local maxima.
+///
+/// Sound because `max(P_R) ⊆ max(P_R1) ∪ … ∪ max(P_Rk)` for any chunking
+/// `R = R1 ∪ … ∪ Rk`: a globally maximal tuple is maximal in its chunk.
+pub fn bnl_parallel(pref: &Pref, r: &Relation, threads: usize) -> Result<Vec<usize>, QueryError> {
+    let c = CompiledPref::compile(pref, r.schema())?;
+    let threads = threads.max(1);
+    if threads == 1 || r.len() < 2 * threads {
+        return Ok(bnl_compiled(&c, r));
+    }
+
+    let chunk = r.len().div_ceil(threads);
+    let mut locals: Vec<Vec<usize>> = Vec::with_capacity(threads);
+    crossbeam::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for t in 0..threads {
+            let c = &c;
+            let lo = t * chunk;
+            let hi = ((t + 1) * chunk).min(r.len());
+            handles.push(scope.spawn(move |_| bnl_indices(c, r, lo..hi)));
+        }
+        for h in handles {
+            locals.push(h.join().expect("BNL worker panicked"));
+        }
+    })
+    .expect("crossbeam scope failed");
+
+    let candidates: Vec<usize> = locals.into_iter().flatten().collect();
+    let mut result = bnl_indices(&c, r, candidates);
+    result.sort_unstable();
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bmo::sigma_naive;
+    use pref_core::prelude::*;
+    use pref_relation::rel;
+
+    fn sample() -> pref_relation::Relation {
+        rel! {
+            ("a": Int, "b": Int, "c": Str);
+            (1, 9, "x"), (2, 8, "y"), (3, 7, "x"), (9, 1, "z"),
+            (5, 5, "x"), (6, 6, "y"), (1, 9, "x"), (0, 10, "z"),
+        }
+    }
+
+    fn prefs() -> Vec<Pref> {
+        vec![
+            lowest("a").pareto(lowest("b")),
+            around("a", 3).prior(highest("b")),
+            pos("c", ["x"]).pareto(lowest("a")),
+            neg("c", ["z"]).prior(around("b", 6).pareto(lowest("a"))),
+            highest("a").dual(),
+        ]
+    }
+
+    #[test]
+    fn bnl_matches_naive_oracle() {
+        let r = sample();
+        for p in prefs() {
+            assert_eq!(
+                bnl(&p, &r).unwrap(),
+                sigma_naive(&p, &r).unwrap(),
+                "BNL diverged for {p}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_bnl_matches_naive_oracle() {
+        let r = sample();
+        for p in prefs() {
+            for threads in [1, 2, 3, 8] {
+                assert_eq!(
+                    bnl_parallel(&p, &r, threads).unwrap(),
+                    sigma_naive(&p, &r).unwrap(),
+                    "parallel BNL ({threads} threads) diverged for {p}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn duplicates_all_survive() {
+        // Duplicate maximal tuples are mutually unranked — both stay.
+        let r = rel! { ("a": Int); (1,), (1,), (2,) };
+        assert_eq!(bnl(&lowest("a"), &r).unwrap(), vec![0, 1]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let r = rel! { ("a": Int); };
+        assert!(bnl(&lowest("a"), &r).unwrap().is_empty());
+        assert!(bnl_parallel(&lowest("a"), &r, 4).unwrap().is_empty());
+    }
+}

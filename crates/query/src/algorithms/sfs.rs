@@ -1,0 +1,107 @@
+//! Sort-Filter-Skyline: presort by a monotone utility, then filter.
+//!
+//! When the preference admits a *topologically compatible* utility
+//! (`x <P y ⟹ u(x) < u(y)`, see [`CompiledPref::utility`]), sorting by
+//! descending utility guarantees no tuple is dominated by a later one.
+//! A single pass comparing each tuple against the already-accepted maxima
+//! therefore computes the BMO result, and accepted tuples are final —
+//! the progressive behaviour of \[TEO01\].
+
+use pref_core::eval::CompiledPref;
+use pref_core::term::Pref;
+use pref_relation::Relation;
+
+use crate::error::QueryError;
+
+/// BMO evaluation by sort-filter. Fails when the preference has no
+/// monotone utility.
+pub fn sfs(pref: &Pref, r: &Relation) -> Result<Vec<usize>, QueryError> {
+    let c = CompiledPref::compile(pref, r.schema())?;
+    if !r.is_empty() && c.utility(r.row(0)).is_none() {
+        return Err(QueryError::AlgorithmMismatch {
+            algorithm: "sort-filter-skyline",
+            term: pref.to_string(),
+            reason: "preference admits no monotone utility",
+        });
+    }
+    Ok(sfs_compiled(&c, r))
+}
+
+/// SFS with a pre-compiled preference.
+///
+/// # Panics
+/// If the preference has no utility; use [`sfs`] for the checked entry.
+pub fn sfs_compiled(c: &CompiledPref, r: &Relation) -> Vec<usize> {
+    let mut order: Vec<(f64, usize)> = (0..r.len())
+        .map(|i| {
+            (
+                c.utility(r.row(i)).expect("caller checked utility"),
+                i,
+            )
+        })
+        .collect();
+    // Descending utility; ties broken by row index for determinism.
+    order.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+
+    let mut maxima: Vec<usize> = Vec::new();
+    'next: for &(_, i) in &order {
+        let t = r.row(i);
+        for &m in &maxima {
+            if c.better(t, r.row(m)) {
+                continue 'next;
+            }
+        }
+        maxima.push(i);
+    }
+    maxima.sort_unstable();
+    maxima
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bmo::sigma_naive;
+    use pref_core::prelude::*;
+    use pref_relation::rel;
+
+    #[test]
+    fn rejects_preferences_without_utility() {
+        let r = rel! { ("a": Str); ("x",) };
+        let err = sfs(&pos("a", ["x"]), &r).unwrap_err();
+        assert!(matches!(err, QueryError::AlgorithmMismatch { .. }));
+    }
+
+    #[test]
+    fn matches_naive_for_scored_terms() {
+        let r = rel! {
+            ("a": Int, "b": Int);
+            (1, 9), (2, 8), (3, 7), (9, 1), (5, 5), (6, 6), (1, 9), (0, 10),
+        };
+        for p in [
+            lowest("a").pareto(lowest("b")),
+            around("a", 3).pareto(between("b", 5, 7).unwrap()),
+            highest("b"),
+            Pref::rank(CombineFn::sum(), vec![lowest("a"), highest("b")]).unwrap(),
+        ] {
+            assert_eq!(
+                sfs(&p, &r).unwrap(),
+                sigma_naive(&p, &r).unwrap(),
+                "SFS diverged for {p}"
+            );
+        }
+    }
+
+    #[test]
+    fn works_with_equal_utilities() {
+        // -5 and 5 have equal AROUND(0) utility but are unranked.
+        let r = rel! { ("a": Int); (-5,), (5,), (7,) };
+        let p = around("a", 0);
+        assert_eq!(sfs(&p, &r).unwrap(), vec![0, 1]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let r = rel! { ("a": Int); };
+        assert!(sfs(&lowest("a"), &r).unwrap().is_empty());
+    }
+}

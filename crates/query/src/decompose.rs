@@ -1,0 +1,330 @@
+//! Decomposition-based evaluation of complex preference queries
+//! (Propositions 8–12) — the paper's "divide & conquer" foundation.
+//!
+//! * Prop. 8: `σ[P1+P2](R) = σ[P1](R) ∩ σ[P2](R)`
+//! * Prop. 9: `σ[P1♦P2](R) = σ[P1](R) ∪ σ[P2](R) ∪ YY(P1,P2)_R`
+//! * Prop. 10: `σ[P1&P2](R) = σ[P1](R) ∩ σ[P2 groupby A1](R)` (disjoint A)
+//! * Prop. 11: `σ[P1&P2](R) = σ[P2](σ[P1](R))` when P1 is a chain
+//! * Prop. 12: Pareto = the two prioritised views plus the `YY` overlap,
+//!   obtained by routing `⊗` through the non-discrimination theorem
+//!   (Prop. 5) and recursing.
+//!
+//! One reading note (also in DESIGN.md): Def. 17 writes the better-than
+//! sets `P↑v` of `YY` over `dom(A)`, but the appendix proof of Prop. 9 —
+//! and Example 11's computation — quantify the common dominator over
+//! `R[A]`. The R-relative reading is the one that makes Prop. 9 true for
+//! database preferences, and is what [`yy`] implements.
+
+use std::collections::HashSet;
+
+use pref_core::eval::CompiledPref;
+use pref_core::term::Pref;
+use pref_relation::Relation;
+
+use crate::algorithms::bnl::bnl_compiled;
+use crate::error::QueryError;
+use crate::groupby::sigma_groupby;
+
+/// Evaluate `σ[P](R)` by structural decomposition, falling back to BNL
+/// for sub-terms with no applicable theorem. Returns sorted row indices.
+pub fn sigma_decomposed(pref: &Pref, r: &Relation) -> Result<Vec<usize>, QueryError> {
+    let mut out = eval(pref, r)?;
+    out.sort_unstable();
+    Ok(out)
+}
+
+fn eval(pref: &Pref, r: &Relation) -> Result<Vec<usize>, QueryError> {
+    match pref {
+        // Prop. 8.
+        Pref::Union(l, rt) => {
+            let a: HashSet<usize> = eval(l, r)?.into_iter().collect();
+            Ok(eval(rt, r)?.into_iter().filter(|i| a.contains(i)).collect())
+        }
+        // Prop. 9.
+        Pref::Inter(l, rt) => {
+            let mut set: HashSet<usize> = eval(l, r)?.into_iter().collect();
+            set.extend(eval(rt, r)?);
+            set.extend(yy(l, rt, r)?);
+            Ok(set.into_iter().collect())
+        }
+        Pref::Prior(children) if children.len() >= 2 => {
+            let p1 = children[0].clone();
+            let rest = if children.len() == 2 {
+                children[1].clone()
+            } else {
+                Pref::Prior(children[1..].to_vec())
+            };
+            let a1 = p1.attributes();
+
+            if p1.is_chain() {
+                // Prop. 11: cascade — evaluate the tail on σ[P1](R).
+                let s1 = eval(&p1, r)?;
+                let sub = r.take_rows(&s1);
+                let inner = eval(&rest, &sub)?;
+                return Ok(inner.into_iter().map(|i| s1[i]).collect());
+            }
+            if a1.is_disjoint(&rest.attributes()) {
+                // Prop. 10: grouping.
+                let s1: HashSet<usize> = eval(&p1, r)?.into_iter().collect();
+                let grouped = sigma_groupby(&rest, &a1, r)?;
+                return Ok(grouped.into_iter().filter(|i| s1.contains(i)).collect());
+            }
+            // Shared attributes: no decomposition theorem — evaluate
+            // directly (the optimizer's rewrite pass usually removes
+            // this case via Prop. 4a first).
+            direct(pref, r)
+        }
+        Pref::Pareto(children) if children.len() >= 2 => {
+            // Prop. 5 / Prop. 12: ⊗ → (&, &) ♦-composition, then recurse.
+            let p1 = children[0].clone();
+            let p2 = if children.len() == 2 {
+                children[1].clone()
+            } else {
+                Pref::Pareto(children[1..].to_vec())
+            };
+            let nondiscrimination = Pref::Inter(
+                Pref::Prior(vec![p1.clone(), p2.clone()]).into(),
+                Pref::Prior(vec![p2, p1]).into(),
+            );
+            eval(&nondiscrimination, r)
+        }
+        // Leaves and terms without a decomposition: direct evaluation.
+        _ => direct(pref, r),
+    }
+}
+
+fn direct(pref: &Pref, r: &Relation) -> Result<Vec<usize>, QueryError> {
+    let c = CompiledPref::compile(pref, r.schema())?;
+    Ok(bnl_compiled(&c, r))
+}
+
+/// `YY(P1, P2)_R` (Def. 17c, R-relative reading): tuples non-maximal in
+/// both database preferences whose better-than sets within R share no
+/// common dominator — exactly the extra maxima intersection `♦` creates.
+pub fn yy(p1: &Pref, p2: &Pref, r: &Relation) -> Result<Vec<usize>, QueryError> {
+    let c1 = CompiledPref::compile(p1, r.schema())?;
+    let c2 = CompiledPref::compile(p2, r.schema())?;
+    let max1: HashSet<usize> = bnl_compiled(&c1, r).into_iter().collect();
+    let max2: HashSet<usize> = bnl_compiled(&c2, r).into_iter().collect();
+
+    let rows = r.rows();
+    let mut out = Vec::new();
+    for i in 0..rows.len() {
+        if max1.contains(&i) || max2.contains(&i) {
+            continue;
+        }
+        let t = &rows[i];
+        // P1↑t ∩ P2↑t ∩ R[A] = ∅ ?
+        let has_common_dominator = rows
+            .iter()
+            .any(|v| c1.better(t, v) && c2.better(t, v));
+        if !has_common_dominator {
+            out.push(i);
+        }
+    }
+    Ok(out)
+}
+
+/// The three components of the Pareto decomposition theorem (Prop. 12),
+/// exposed for inspection (the `repro` harness prints them):
+///
+/// ```text
+/// σ[P1⊗P2](R) = (σ[P1](R) ∩ σ[P2 groupby A1](R))
+///             ∪ (σ[P2](R) ∩ σ[P1 groupby A2](R))
+///             ∪ YY(P1&P2, P2&P1)_R
+/// ```
+///
+/// Requires `A1 ∩ A2 = ∅` (the theorem routes through Prop. 10).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParetoDecomposition {
+    /// Maxima of `(P1 & P2)_R`.
+    pub first: Vec<usize>,
+    /// Maxima of `(P2 & P1)_R`.
+    pub second: Vec<usize>,
+    /// Values maximal in neither prioritised view.
+    pub overlap_yy: Vec<usize>,
+}
+
+impl ParetoDecomposition {
+    /// The union of the three components, sorted — `σ[P1⊗P2](R)`.
+    pub fn combined(&self) -> Vec<usize> {
+        let mut set: HashSet<usize> = self.first.iter().copied().collect();
+        set.extend(self.second.iter().copied());
+        set.extend(self.overlap_yy.iter().copied());
+        let mut v: Vec<usize> = set.into_iter().collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+/// Compute the Prop. 12 decomposition of `σ[P1 ⊗ P2](R)` for preferences
+/// over disjoint attribute sets.
+pub fn pareto_decomposition(
+    p1: &Pref,
+    p2: &Pref,
+    r: &Relation,
+) -> Result<ParetoDecomposition, QueryError> {
+    let a1 = p1.attributes();
+    let a2 = p2.attributes();
+    if !a1.is_disjoint(&a2) {
+        return Err(QueryError::AlgorithmMismatch {
+            algorithm: "Prop. 12 decomposition",
+            term: format!("({p1} ⊗ {p2})"),
+            reason: "requires disjoint attribute sets (use Prop. 4a/6 first)",
+        });
+    }
+
+    let s1: HashSet<usize> = direct(p1, r)?.into_iter().collect();
+    let s2: HashSet<usize> = direct(p2, r)?.into_iter().collect();
+    let g1 = sigma_groupby(p2, &a1, r)?; // σ[P2 groupby A1](R)
+    let g2 = sigma_groupby(p1, &a2, r)?; // σ[P1 groupby A2](R)
+
+    let first: Vec<usize> = g1.into_iter().filter(|i| s1.contains(i)).collect();
+    let second: Vec<usize> = g2.into_iter().filter(|i| s2.contains(i)).collect();
+    let overlap_yy = yy(
+        &Pref::Prior(vec![p1.clone(), p2.clone()]),
+        &Pref::Prior(vec![p2.clone(), p1.clone()]),
+        r,
+    )?;
+
+    Ok(ParetoDecomposition {
+        first,
+        second,
+        overlap_yy,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bmo::sigma_naive;
+    use pref_core::prelude::*;
+    use pref_relation::rel;
+
+    #[test]
+    fn example11_decomposition() {
+        // P1 = LOWEST(A), P2 = HIGHEST(A) = P1∂, R = {3, 6, 9}.
+        let r = rel! { ("a": Int); (3,), (6,), (9,) };
+        let p1 = lowest("a");
+        let p2 = highest("a");
+
+        // σ[P1⊗P2](R) = R (Prop. 6 + Prop. 3g).
+        let pareto = Pref::Pareto(vec![p1.clone(), p2.clone()]);
+        assert_eq!(sigma_naive(&pareto, &r).unwrap(), vec![0, 1, 2]);
+        assert_eq!(sigma_decomposed(&pareto, &r).unwrap(), vec![0, 1, 2]);
+
+        // The paper's countercheck: σ[P2](σ[P1](R)) = {3}, σ[P1](σ[P2](R))
+        // = {9}, and YY(P1&P2, P2&P1)_R = {6}.
+        let yy_set = yy(
+            &Pref::Prior(vec![p1.clone(), p2.clone()]),
+            &Pref::Prior(vec![p2, p1]),
+            &r,
+        )
+        .unwrap();
+        assert_eq!(yy_set, vec![1]); // row of value 6
+    }
+
+    #[test]
+    fn example7_nondiscrimination_evaluation() {
+        // Car-DB: ⊗ evaluated by decomposition equals naive.
+        let r = rel! {
+            ("price": Int, "mileage": Int);
+            (40_000, 15_000), (35_000, 30_000), (20_000, 10_000),
+            (15_000, 35_000), (15_000, 30_000),
+        };
+        let p = lowest("price").pareto(lowest("mileage"));
+        assert_eq!(
+            sigma_decomposed(&p, &r).unwrap(),
+            sigma_naive(&p, &r).unwrap()
+        );
+        assert_eq!(sigma_decomposed(&p, &r).unwrap(), vec![2, 4]);
+    }
+
+    #[test]
+    fn prop12_components_on_example7() {
+        let r = rel! {
+            ("price": Int, "mileage": Int);
+            (40_000, 15_000), (35_000, 30_000), (20_000, 10_000),
+            (15_000, 35_000), (15_000, 30_000),
+        };
+        let d = pareto_decomposition(&lowest("price"), &lowest("mileage"), &r).unwrap();
+        // P1&P2 chain: val5 is its maximum; P2&P1 chain: val3.
+        assert_eq!(d.first, vec![4]);
+        assert_eq!(d.second, vec![2]);
+        assert!(d.overlap_yy.is_empty());
+        assert_eq!(d.combined(), vec![2, 4]);
+    }
+
+    #[test]
+    fn prop12_rejects_shared_attributes() {
+        let r = rel! { ("a": Int); (1,) };
+        assert!(matches!(
+            pareto_decomposition(&lowest("a"), &highest("a"), &r),
+            Err(QueryError::AlgorithmMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn example10_prioritized_via_grouping() {
+        // σ[P1&P2](Cars) with P1 = Make↔, P2 = AROUND(Price, 40000).
+        let r = rel! {
+            ("make": Str, "price": Int, "oid": Int);
+            ("Audi", 40_000, 1), ("BMW", 35_000, 2),
+            ("VW", 20_000, 3), ("BMW", 50_000, 4),
+        };
+        let q = antichain(["make"]).prior(around("price", 40_000));
+        let got = sigma_decomposed(&q, &r).unwrap();
+        assert_eq!(got, sigma_naive(&q, &r).unwrap());
+        assert_eq!(got, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn cascade_applies_for_chain_head() {
+        let r = rel! {
+            ("a": Int, "b": Int);
+            (1, 9), (1, 2), (5, 0), (1, 2),
+        };
+        let p = lowest("a").prior(lowest("b"));
+        assert!(p.is_chain());
+        assert_eq!(
+            sigma_decomposed(&p, &r).unwrap(),
+            sigma_naive(&p, &r).unwrap()
+        );
+        assert_eq!(sigma_decomposed(&p, &r).unwrap(), vec![1, 3]);
+    }
+
+    #[test]
+    fn decomposition_matches_naive_on_varied_terms() {
+        let r = rel! {
+            ("a": Int, "b": Int, "c": Str);
+            (1, 9, "x"), (2, 8, "y"), (3, 7, "x"), (9, 1, "z"),
+            (5, 5, "x"), (6, 6, "y"), (1, 9, "x"), (0, 10, "z"),
+        };
+        for p in [
+            lowest("a").pareto(lowest("b")),
+            pos("c", ["x"]).pareto(lowest("a")).pareto(highest("b")),
+            neg("c", ["z"]).prior(lowest("a")),
+            pos("c", ["x"]).prior(lowest("a")).prior(highest("b")),
+            around("a", 3).pareto(pos("c", ["y"])),
+            lowest("a").intersect(highest("a")).unwrap(),
+        ] {
+            assert_eq!(
+                sigma_decomposed(&p, &r).unwrap(),
+                sigma_naive(&p, &r).unwrap(),
+                "decomposition diverged for {p}"
+            );
+        }
+    }
+
+    #[test]
+    fn shared_attribute_pareto_still_correct() {
+        // Decomposition routes shared-attribute ⊗ through Prop. 5; the
+        // prioritised views then fall back to direct evaluation.
+        let r = rel! { ("color": Str); ("red",), ("green",), ("yellow",), ("black",) };
+        let p = pos("color", ["green", "yellow"]).pareto(neg("color", ["red", "green"]));
+        assert_eq!(
+            sigma_decomposed(&p, &r).unwrap(),
+            sigma_naive(&p, &r).unwrap()
+        );
+    }
+}

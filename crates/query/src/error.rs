@@ -1,0 +1,84 @@
+//! Error type for BMO query evaluation.
+
+use std::fmt;
+
+use pref_core::CoreError;
+use pref_relation::RelationError;
+
+/// Errors raised during preference query evaluation.
+#[derive(Debug, Clone)]
+pub enum QueryError {
+    /// Term construction / compilation failure.
+    Core(CoreError),
+    /// Substrate failure (projection, schema lookup, …).
+    Relation(RelationError),
+    /// The requested algorithm does not apply to this preference shape
+    /// (e.g. D&C on a non-skyline term).
+    AlgorithmMismatch {
+        algorithm: &'static str,
+        term: String,
+        reason: &'static str,
+    },
+    /// A quality function was applied to an attribute the preference does
+    /// not constrain.
+    NoQualityFunction { attr: String, quality: &'static str },
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Core(e) => write!(f, "{e}"),
+            QueryError::Relation(e) => write!(f, "{e}"),
+            QueryError::AlgorithmMismatch {
+                algorithm,
+                term,
+                reason,
+            } => write!(f, "{algorithm} does not apply to `{term}`: {reason}"),
+            QueryError::NoQualityFunction { attr, quality } => {
+                write!(f, "no {quality} quality function for attribute `{attr}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QueryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            QueryError::Core(e) => Some(e),
+            QueryError::Relation(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for QueryError {
+    fn from(e: CoreError) -> Self {
+        QueryError::Core(e)
+    }
+}
+
+impl From<RelationError> for QueryError {
+    fn from(e: RelationError) -> Self {
+        QueryError::Relation(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pref_relation::attr;
+
+    #[test]
+    fn messages_and_sources() {
+        let e: QueryError = CoreError::UnknownAttr(attr("x")).into();
+        assert!(e.to_string().contains("unknown attribute"));
+        assert!(std::error::Error::source(&e).is_some());
+
+        let e = QueryError::AlgorithmMismatch {
+            algorithm: "D&C",
+            term: "POS(a)".into(),
+            reason: "not a Pareto accumulation of chains",
+        };
+        assert!(e.to_string().contains("D&C"));
+    }
+}

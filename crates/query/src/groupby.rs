@@ -1,0 +1,142 @@
+//! Grouped preference queries (Def. 16):
+//! `σ[P groupby A](R) := σ[A↔ & P](R)`.
+//!
+//! Operationally "a grouping of R by equal A-values, evaluating for each
+//! group Gi of tuples the preference query σ\[P\](Gi)" — implemented here by
+//! hash grouping, with the definitional equality checked in the tests.
+
+use std::collections::HashMap;
+
+use pref_core::eval::CompiledPref;
+use pref_core::term::Pref;
+use pref_relation::{AttrSet, Relation, Tuple};
+
+use crate::algorithms::bnl;
+use crate::error::QueryError;
+
+/// `σ[P groupby A](R)`: per-group BMO evaluation. Returns sorted row
+/// indices of tuples maximal within their A-group.
+pub fn sigma_groupby(
+    pref: &Pref,
+    group_attrs: &AttrSet,
+    r: &Relation,
+) -> Result<Vec<usize>, QueryError> {
+    let group_cols = r.schema().resolve(group_attrs)?;
+    let c = CompiledPref::compile(pref, r.schema())?;
+
+    let mut groups: HashMap<Tuple, Vec<usize>> = HashMap::new();
+    for (i, t) in r.rows().iter().enumerate() {
+        groups.entry(t.project(&group_cols)).or_default().push(i);
+    }
+
+    let mut result = Vec::new();
+    for (_, members) in groups {
+        // Window-based maxima within the group.
+        let mut window: Vec<usize> = Vec::new();
+        'next: for &i in &members {
+            let t = r.row(i);
+            let mut j = 0;
+            while j < window.len() {
+                let w = r.row(window[j]);
+                if c.better(t, w) {
+                    continue 'next;
+                }
+                if c.better(w, t) {
+                    window.swap_remove(j);
+                } else {
+                    j += 1;
+                }
+            }
+            window.push(i);
+        }
+        result.extend(window);
+    }
+    result.sort_unstable();
+    Ok(result)
+}
+
+/// The definitional form `σ[A↔ & P](R)` (Def. 16), for cross-checking.
+pub fn sigma_groupby_definitional(
+    pref: &Pref,
+    group_attrs: &AttrSet,
+    r: &Relation,
+) -> Result<Vec<usize>, QueryError> {
+    let term = Pref::Antichain(group_attrs.clone()).prior(pref.clone());
+    bnl(&term, r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pref_core::prelude::*;
+    use pref_relation::{attr, rel};
+
+    fn cars() -> pref_relation::Relation {
+        // Example 10's Cars(Make, Price, Oid).
+        rel! {
+            ("make": Str, "price": Int, "oid": Int);
+            ("Audi", 40_000, 1),
+            ("BMW", 35_000, 2),
+            ("VW", 20_000, 3),
+            ("BMW", 50_000, 4),
+        }
+    }
+
+    #[test]
+    fn example10_group_query() {
+        // "For each make give me an offer with a price around 40000":
+        // σ[P2 groupby Make](Cars) keeps oid 1, 2, 3 (BMW 50000 loses to
+        // BMW 35000 on distance to 40000).
+        let r = cars();
+        let p2 = around("price", 40_000);
+        let got = sigma_groupby(&p2, &AttrSet::single(attr("make")), &r).unwrap();
+        assert_eq!(got, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn groupby_equals_definitional_form() {
+        let r = cars();
+        for p in [
+            around("price", 40_000),
+            lowest("price"),
+            highest("oid").pareto(lowest("price")),
+        ] {
+            let a = sigma_groupby(&p, &AttrSet::single(attr("make")), &r).unwrap();
+            let b = sigma_groupby_definitional(&p, &AttrSet::single(attr("make")), &r).unwrap();
+            assert_eq!(a, b, "Def. 16 equality failed for {p}");
+        }
+    }
+
+    #[test]
+    fn grouping_by_all_attrs_keeps_everything() {
+        let r = cars();
+        let all = r.schema().attr_set();
+        let got = sigma_groupby(&lowest("price"), &all, &r).unwrap();
+        assert_eq!(got, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn grouping_by_empty_attr_set_is_plain_bmo() {
+        let r = cars();
+        let p = lowest("price");
+        assert_eq!(
+            sigma_groupby(&p, &AttrSet::empty(), &r).unwrap(),
+            crate::bmo::sigma_naive(&p, &r).unwrap()
+        );
+    }
+
+    #[test]
+    fn multi_attribute_grouping() {
+        let r = rel! {
+            ("a": Str, "b": Str, "x": Int);
+            ("p", "q", 3), ("p", "q", 1), ("p", "r", 9), ("s", "q", 2),
+        };
+        let got = sigma_groupby(
+            &lowest("x"),
+            &AttrSet::new(["a", "b"]),
+            &r,
+        )
+        .unwrap();
+        assert_eq!(got, vec![1, 2, 3]);
+    }
+}

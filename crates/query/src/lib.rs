@@ -1,0 +1,52 @@
+//! # pref-query — BMO preference query evaluation
+//!
+//! Section 5 of Kießling's *Foundations of Preferences in Database
+//! Systems*: the Best-Matches-Only query model
+//! `σ[P](R) = {t ∈ R | t[A] ∈ max(P_R)}`, treating preferences as soft
+//! constraints with automatic query relaxation — no empty-result problem,
+//! no flooding effect.
+//!
+//! * [`bmo`] — the declarative O(n²) reference semantics (Def. 15);
+//! * [`algorithms`] — BNL, parallel BNL, divide & conquer maxima, and
+//!   sort-filter-skyline;
+//! * [`decompose`] — the decomposition theorems (Prop. 8–12) as an
+//!   executable divide & conquer evaluator, incl. `YY` sets;
+//! * [`groupby`] — `σ[P groupby A](R)` (Def. 16);
+//! * [`quality`] — LEVEL/DISTANCE quality functions, `BUT ONLY` filters,
+//!   perfect matches (Def. 14b), top-k ranked queries (§6.2);
+//! * [`negotiate`] — §7 e-negotiation groundwork: level-based
+//!   relaxation and two-party negotiation tables over the Pareto
+//!   frontier;
+//! * [`optimizer`] — law-based rewriting (sound by Prop. 7) plus
+//!   algorithm selection, with `EXPLAIN` output;
+//! * [`stats`] — result sizes and filter strength (Def. 18/19, Prop. 13).
+//!
+//! ## Example
+//!
+//! ```
+//! use pref_core::prelude::*;
+//! use pref_query::optimizer::sigma_rel;
+//! use pref_relation::rel;
+//!
+//! let cars = rel! {
+//!     ("price": Int, "mileage": Int);
+//!     (40_000, 15_000), (35_000, 30_000), (20_000, 10_000),
+//!     (15_000, 35_000), (15_000, 30_000),
+//! };
+//! let p = lowest("price").pareto(lowest("mileage"));
+//! let best = sigma_rel(&p, &cars).unwrap();
+//! assert_eq!(best.len(), 2); // the Pareto-optimal offers
+//! ```
+
+pub mod algorithms;
+pub mod bmo;
+pub mod decompose;
+pub mod error;
+pub mod groupby;
+pub mod negotiate;
+pub mod optimizer;
+pub mod quality;
+pub mod stats;
+
+pub use error::QueryError;
+pub use optimizer::{sigma, sigma_rel, Algorithm, Explain, Optimizer};

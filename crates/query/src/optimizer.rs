@@ -1,0 +1,333 @@
+//! The preference query optimizer.
+//!
+//! "Building efficient preference query optimizers, which can cope with
+//! the intrinsic non-monotonic nature of preference queries" is the
+//! paper's stated next step; this module implements the two levers the
+//! paper provides:
+//!
+//! 1. **algebraic rewriting** — `simplify` applies the laws of Prop. 2–4;
+//!    by Prop. 7 (`P1 ≡ P2 ⟹ σ[P1](R) = σ[P2](R)`) this never changes
+//!    results;
+//! 2. **algorithm selection** — D&C for `SKYLINE OF` shapes, cascade for
+//!    chain-headed prioritisation (Prop. 11), SFS when a monotone utility
+//!    exists, BNL otherwise; decomposition (Prop. 8–12) on request.
+//!
+//! Every evaluation returns an [`Explain`] recording what was chosen and
+//! why — the `EXPLAIN` of Preference SQL.
+
+use std::fmt;
+
+use pref_core::algebra::simplify;
+use pref_core::eval::CompiledPref;
+use pref_core::term::Pref;
+use pref_relation::Relation;
+
+use crate::algorithms::{bnl, dnc, sfs};
+use crate::bmo::sigma_naive;
+use crate::decompose::sigma_decomposed;
+use crate::error::QueryError;
+
+/// Evaluation strategies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algorithm {
+    /// Exhaustive O(n²) reference evaluation.
+    Naive,
+    /// Block-Nested-Loops (any strict partial order).
+    Bnl,
+    /// Chunked parallel BNL.
+    BnlParallel,
+    /// Divide & conquer maxima (Pareto of chains).
+    Dnc,
+    /// Sort-Filter-Skyline (monotone utility).
+    Sfs,
+    /// Cascade of chain prefix then tail (Prop. 11).
+    Cascade,
+    /// Decomposition theorems (Prop. 8–12).
+    Decomposed,
+}
+
+impl fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Algorithm::Naive => "naive",
+            Algorithm::Bnl => "block-nested-loops",
+            Algorithm::BnlParallel => "parallel block-nested-loops",
+            Algorithm::Dnc => "divide-and-conquer",
+            Algorithm::Sfs => "sort-filter-skyline",
+            Algorithm::Cascade => "chain cascade (Prop. 11)",
+            Algorithm::Decomposed => "decomposition (Prop. 8-12)",
+        };
+        f.write_str(s)
+    }
+}
+
+/// What the optimizer did for one query.
+#[derive(Debug, Clone)]
+pub struct Explain {
+    /// The term as submitted.
+    pub original: String,
+    /// The term after algebraic simplification.
+    pub simplified: String,
+    /// Whether rewriting changed the term.
+    pub rewritten: bool,
+    /// The chosen evaluation strategy.
+    pub algorithm: Algorithm,
+    /// Human-readable selection rationale.
+    pub reason: String,
+}
+
+impl fmt::Display for Explain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "preference : {}", self.original)?;
+        if self.rewritten {
+            writeln!(f, "rewritten  : {}", self.simplified)?;
+        }
+        writeln!(f, "algorithm  : {}", self.algorithm)?;
+        write!(f, "reason     : {}", self.reason)
+    }
+}
+
+/// Optimizer configuration.
+#[derive(Debug, Clone, Default)]
+pub struct Optimizer {
+    /// Force a specific algorithm (skips selection, not rewriting).
+    pub force: Option<Algorithm>,
+    /// Number of worker threads for parallel BNL (0 = auto-disable).
+    pub threads: usize,
+    /// Skip the algebraic rewrite pass.
+    pub no_rewrite: bool,
+}
+
+impl Optimizer {
+    pub fn new() -> Self {
+        Optimizer::default()
+    }
+
+    /// Force a specific evaluation algorithm.
+    pub fn with_algorithm(mut self, a: Algorithm) -> Self {
+        self.force = Some(a);
+        self
+    }
+
+    /// Plan only: rewrite and select an algorithm without evaluating —
+    /// the `EXPLAIN` path of Preference SQL.
+    pub fn plan(&self, pref: &Pref, r: &Relation) -> Result<Explain, QueryError> {
+        let original = pref.to_string();
+        let simplified = if self.no_rewrite {
+            pref.clone()
+        } else {
+            simplify(pref)
+        };
+        let simplified_str = simplified.to_string();
+        let (algorithm, reason) = match self.force {
+            Some(a) => (a, "forced by caller".to_string()),
+            None => self.select(&simplified, r)?,
+        };
+        Ok(Explain {
+            rewritten: simplified_str != original,
+            original,
+            simplified: simplified_str,
+            algorithm,
+            reason,
+        })
+    }
+
+    /// Evaluate `σ[P](R)`, returning sorted row indices and the
+    /// explanation.
+    pub fn evaluate(&self, pref: &Pref, r: &Relation) -> Result<(Vec<usize>, Explain), QueryError> {
+        let original = pref.to_string();
+        let simplified = if self.no_rewrite {
+            pref.clone()
+        } else {
+            simplify(pref)
+        };
+        let simplified_str = simplified.to_string();
+        let rewritten = simplified_str != original;
+
+        let (algorithm, reason) = match self.force {
+            Some(a) => (a, "forced by caller".to_string()),
+            None => self.select(&simplified, r)?,
+        };
+
+        let rows = match algorithm {
+            Algorithm::Naive => sigma_naive(&simplified, r)?,
+            Algorithm::Bnl => bnl::bnl(&simplified, r)?,
+            Algorithm::BnlParallel => {
+                bnl::bnl_parallel(&simplified, r, self.threads.max(2))?
+            }
+            Algorithm::Dnc => dnc::dnc(&simplified, r)?,
+            Algorithm::Sfs => sfs::sfs(&simplified, r)?,
+            Algorithm::Cascade | Algorithm::Decomposed => sigma_decomposed(&simplified, r)?,
+        };
+
+        Ok((
+            rows,
+            Explain {
+                original,
+                simplified: simplified_str,
+                rewritten,
+                algorithm,
+                reason,
+            },
+        ))
+    }
+
+    /// Pick an algorithm for an already-simplified term.
+    fn select(&self, pref: &Pref, r: &Relation) -> Result<(Algorithm, String), QueryError> {
+        let c = CompiledPref::compile(pref, r.schema())?;
+
+        if c.chain_dims().is_some() {
+            return Ok((
+                Algorithm::Dnc,
+                "SKYLINE OF shape: Pareto accumulation of LOWEST/HIGHEST chains".to_string(),
+            ));
+        }
+        if matches!(pref, Pref::Prior(children) if children
+            .first()
+            .is_some_and(|p| p.is_chain()))
+        {
+            return Ok((
+                Algorithm::Cascade,
+                "prioritisation with chain head: Prop. 11 cascade".to_string(),
+            ));
+        }
+        if !r.is_empty() && c.utility(r.row(0)).is_some() {
+            return Ok((
+                Algorithm::Sfs,
+                "monotone utility available: presort and filter".to_string(),
+            ));
+        }
+        if self.threads >= 2 && r.len() >= 4096 {
+            return Ok((
+                Algorithm::BnlParallel,
+                format!("general partial order, large input: {} BNL workers", self.threads),
+            ));
+        }
+        Ok((
+            Algorithm::Bnl,
+            "general strict partial order: block-nested-loops".to_string(),
+        ))
+    }
+}
+
+/// Convenience entry point: optimized `σ[P](R)` returning row indices.
+pub fn sigma(pref: &Pref, r: &Relation) -> Result<Vec<usize>, QueryError> {
+    Ok(Optimizer::new().evaluate(pref, r)?.0)
+}
+
+/// Convenience entry point: optimized `σ[P](R)` returning the
+/// sub-relation of best matches.
+pub fn sigma_rel(pref: &Pref, r: &Relation) -> Result<Relation, QueryError> {
+    Ok(r.take_rows(&sigma(pref, r)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pref_core::prelude::*;
+    use pref_relation::rel;
+
+    fn sample() -> Relation {
+        rel! {
+            ("a": Int, "b": Int, "c": Str);
+            (1, 9, "x"), (2, 8, "y"), (3, 7, "x"), (9, 1, "z"),
+            (5, 5, "x"), (6, 6, "y"), (1, 9, "x"), (0, 10, "z"),
+        }
+    }
+
+    #[test]
+    fn all_algorithms_agree() {
+        let r = sample();
+        let prefs = vec![
+            lowest("a").pareto(highest("b")),
+            around("a", 3).pareto(lowest("b")),
+            pos("c", ["x"]).prior(lowest("a")),
+            neg("c", ["z"]).pareto(pos("c", ["x"])),
+        ];
+        for p in prefs {
+            let baseline = crate::bmo::sigma_naive(&p, &r).unwrap();
+            for algo in [
+                Algorithm::Naive,
+                Algorithm::Bnl,
+                Algorithm::BnlParallel,
+                Algorithm::Decomposed,
+            ] {
+                let opt = Optimizer {
+                    force: Some(algo),
+                    threads: 2,
+                    no_rewrite: false,
+                };
+                assert_eq!(
+                    opt.evaluate(&p, &r).unwrap().0,
+                    baseline,
+                    "{algo} diverged on {p}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn selection_picks_dnc_for_skylines() {
+        let r = sample();
+        let p = lowest("a").pareto(highest("b"));
+        let (_, ex) = Optimizer::new().evaluate(&p, &r).unwrap();
+        assert_eq!(ex.algorithm, Algorithm::Dnc);
+    }
+
+    #[test]
+    fn selection_picks_cascade_for_chain_head() {
+        let r = sample();
+        let p = lowest("a").prior(pos("c", ["x"]));
+        let (_, ex) = Optimizer::new().evaluate(&p, &r).unwrap();
+        assert_eq!(ex.algorithm, Algorithm::Cascade);
+    }
+
+    #[test]
+    fn selection_picks_sfs_for_scored_non_chain() {
+        let r = sample();
+        let p = around("a", 3).pareto(lowest("b"));
+        let (_, ex) = Optimizer::new().evaluate(&p, &r).unwrap();
+        assert_eq!(ex.algorithm, Algorithm::Sfs);
+    }
+
+    #[test]
+    fn selection_falls_back_to_bnl() {
+        let r = sample();
+        let p = pos("c", ["x"]).pareto(neg("c", ["z"]));
+        let (_, ex) = Optimizer::new().evaluate(&p, &r).unwrap();
+        assert_eq!(ex.algorithm, Algorithm::Bnl);
+    }
+
+    #[test]
+    fn rewriting_is_reported_and_sound() {
+        let r = sample();
+        // P & P on the same attribute set rewrites to P (Prop. 4a).
+        let p = pos("c", ["x"]).prior(neg("c", ["z"]));
+        let (rows, ex) = Optimizer::new().evaluate(&p, &r).unwrap();
+        assert!(ex.rewritten);
+        assert_eq!(ex.simplified, pos("c", ["x"]).to_string());
+        assert_eq!(rows, crate::bmo::sigma_naive(&p, &r).unwrap());
+        assert!(ex.to_string().contains("rewritten"));
+    }
+
+    #[test]
+    fn prop7_rewrites_preserve_results() {
+        // σ[P1](R) = σ[P2](R) whenever P1 ≡ P2 — spot-check via simplify.
+        let r = sample();
+        for p in [
+            Pref::Pareto(vec![lowest("a"), lowest("a"), highest("b")]),
+            Pref::Prior(vec![lowest("a"), antichain(["b"])]),
+            lowest("a").dual().dual(),
+        ] {
+            let with = Optimizer::new().evaluate(&p, &r).unwrap().0;
+            let without = Optimizer {
+                no_rewrite: true,
+                ..Default::default()
+            }
+            .evaluate(&p, &r)
+            .unwrap()
+            .0;
+            assert_eq!(with, without, "Prop. 7 violated for {p}");
+        }
+    }
+}

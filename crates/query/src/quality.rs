@@ -1,0 +1,324 @@
+//! Quality functions and the ranked query model.
+//!
+//! * `LEVEL` and `DISTANCE` — the quality functions of Preference SQL
+//!   (§6.1), used by the `BUT ONLY` clause "to supervise required quality
+//!   levels" and for query explanation;
+//! * perfect-match detection (Def. 14b);
+//! * `top_k` — the "k-best" relaxation of BMO used by multi-feature and
+//!   full-text engines (§6.2), which deliberately returns some
+//!   non-maximal tuples when the best-matches-only set is too small.
+
+use pref_core::term::Pref;
+use pref_relation::{Attr, Relation, Tuple};
+
+use crate::error::QueryError;
+
+/// A conjunction of quality constraints (the `BUT ONLY` clause).
+#[derive(Debug, Clone, Default)]
+pub struct QualityFilter {
+    conds: Vec<QualityCond>,
+}
+
+/// One quality constraint.
+#[derive(Debug, Clone)]
+pub enum QualityCond {
+    /// `LEVEL(attr) <= n`: the discrete level of the attribute's base
+    /// preference must not exceed `n`.
+    LevelLe(Attr, u32),
+    /// `DISTANCE(attr) <= x`: the AROUND/BETWEEN distance must not
+    /// exceed `x`.
+    DistanceLe(Attr, f64),
+}
+
+impl QualityFilter {
+    /// An empty (always-true) filter.
+    pub fn new() -> Self {
+        QualityFilter::default()
+    }
+
+    /// Add a constraint.
+    pub fn and(mut self, cond: QualityCond) -> Self {
+        self.conds.push(cond);
+        self
+    }
+
+    /// Is the filter trivial?
+    pub fn is_empty(&self) -> bool {
+        self.conds.is_empty()
+    }
+
+    /// The constraints.
+    pub fn conds(&self) -> &[QualityCond] {
+        &self.conds
+    }
+
+    /// Evaluate the filter for one tuple under the given preference term.
+    /// The quality functions resolve against the *first* base preference
+    /// on the named attribute (Preference SQL semantics).
+    pub fn accepts(&self, pref: &Pref, r: &Relation, t: &Tuple) -> Result<bool, QueryError> {
+        for cond in &self.conds {
+            match cond {
+                QualityCond::LevelLe(attr, bound) => {
+                    let lv = level(pref, r, t, attr)?;
+                    if lv > *bound {
+                        return Ok(false);
+                    }
+                }
+                QualityCond::DistanceLe(attr, bound) => {
+                    let d = distance(pref, r, t, attr)?;
+                    if d > *bound {
+                        return Ok(false);
+                    }
+                }
+            }
+        }
+        Ok(true)
+    }
+
+    /// Apply the filter to a set of row indices (a BMO result).
+    pub fn filter_rows(
+        &self,
+        pref: &Pref,
+        r: &Relation,
+        rows: &[usize],
+    ) -> Result<Vec<usize>, QueryError> {
+        let mut out = Vec::with_capacity(rows.len());
+        for &i in rows {
+            if self.accepts(pref, r, r.row(i))? {
+                out.push(i);
+            }
+        }
+        Ok(out)
+    }
+}
+
+fn base_on<'a>(
+    pref: &'a Pref,
+    attr: &Attr,
+) -> Option<&'a pref_core::term::BasePref> {
+    pref.bases().into_iter().find(|b| &b.attr == attr)
+}
+
+/// `LEVEL(attr)` of a tuple: discrete quality level of the base
+/// preference on `attr` (Def. 2/6; 1 = best).
+pub fn level(pref: &Pref, r: &Relation, t: &Tuple, attr: &Attr) -> Result<u32, QueryError> {
+    let b = base_on(pref, attr).ok_or_else(|| QueryError::NoQualityFunction {
+        attr: attr.to_string(),
+        quality: "LEVEL",
+    })?;
+    let col = r.schema().require(attr)?;
+    b.base
+        .level(&t[col])
+        .ok_or_else(|| QueryError::NoQualityFunction {
+            attr: attr.to_string(),
+            quality: "LEVEL",
+        })
+}
+
+/// `DISTANCE(attr)` of a tuple: the continuous quality notion of AROUND /
+/// BETWEEN (Def. 7).
+pub fn distance(pref: &Pref, r: &Relation, t: &Tuple, attr: &Attr) -> Result<f64, QueryError> {
+    let b = base_on(pref, attr).ok_or_else(|| QueryError::NoQualityFunction {
+        attr: attr.to_string(),
+        quality: "DISTANCE",
+    })?;
+    let col = r.schema().require(attr)?;
+    b.base
+        .distance(&t[col])
+        .ok_or_else(|| QueryError::NoQualityFunction {
+            attr: attr.to_string(),
+            quality: "DISTANCE",
+        })
+}
+
+/// Perfect-match test (Def. 14b): is `t[A] ∈ max(P)` over the whole
+/// domain? `None` when the constructors cannot decide (e.g. raw SCORE).
+///
+/// Sound by induction: a tuple componentwise-maximal is maximal under
+/// `⊗`, `&`, `+`; for `♦` one maximal side suffices.
+pub fn perfect_match(pref: &Pref, r: &Relation, t: &Tuple) -> Result<Option<bool>, QueryError> {
+    Ok(match pref {
+        Pref::Base(b) => {
+            let col = r.schema().require(&b.attr)?;
+            b.base.is_top(&t[col])
+        }
+        Pref::Antichain(_) => Some(true),
+        Pref::Dual(_) => None, // would need an `is_bottom` notion
+        Pref::Pareto(children) | Pref::Prior(children) => {
+            all_tops(children.iter(), r, t)?
+        }
+        Pref::Rank(_, _) => None, // depends on F's extrema
+        Pref::Inter(l, rt) => match (perfect_match(l, r, t)?, perfect_match(rt, r, t)?) {
+            (Some(true), _) | (_, Some(true)) => Some(true),
+            // both certainly non-maximal: still possibly maximal in ♦
+            // (the YY phenomenon) — unknown.
+            _ => None,
+        },
+        Pref::Union(l, rt) => match (perfect_match(l, r, t)?, perfect_match(rt, r, t)?) {
+            (Some(a), Some(b)) => Some(a && b),
+            (Some(false), _) | (_, Some(false)) => Some(false),
+            _ => None,
+        },
+    })
+}
+
+fn all_tops<'a>(
+    children: impl Iterator<Item = &'a Pref>,
+    r: &Relation,
+    t: &Tuple,
+) -> Result<Option<bool>, QueryError> {
+    let mut all = Some(true);
+    for c in children {
+        match perfect_match(c, r, t)? {
+            Some(true) => {}
+            Some(false) => return Ok(Some(false)),
+            None => all = None,
+        }
+    }
+    Ok(all)
+}
+
+/// The "k-best" query model by quality level: all of `σ[P](R)` (level 1),
+/// then level 2, and so on until `k` rows are collected — "in BMO-terms
+/// this amounts to retrieve some non-maximal objects, too" (§6.2). Works
+/// for *any* preference, not just scored ones; ties within the cutting
+/// level break by row order.
+pub fn k_best(pref: &Pref, r: &Relation, k: usize) -> Result<Vec<usize>, QueryError> {
+    let c = pref_core::eval::CompiledPref::compile(pref, r.schema())?;
+    let g = pref_core::graph::BetterGraph::from_relation(&c, r).map_err(|_| {
+        QueryError::AlgorithmMismatch {
+            algorithm: "k-best",
+            term: pref.to_string(),
+            reason: "preference violates the strict-partial-order axioms",
+        }
+    })?;
+    let mut idx: Vec<usize> = (0..r.len()).collect();
+    idx.sort_by_key(|&i| (g.level(i), i));
+    idx.truncate(k);
+    Ok(idx)
+}
+
+/// The "k-best" ranked query model (§6.2): order by the preference's
+/// monotone utility, return the top `k` row indices (best first). For a
+/// chain-valued `rank(F)` this returns the k best matches; BMO-maximal
+/// tuples always precede non-maximal ones.
+pub fn top_k(pref: &Pref, r: &Relation, k: usize) -> Result<Vec<usize>, QueryError> {
+    let c = pref_core::eval::CompiledPref::compile(pref, r.schema())?;
+    let mut scored: Vec<(f64, usize)> = Vec::with_capacity(r.len());
+    for i in 0..r.len() {
+        let u = c
+            .utility(r.row(i))
+            .ok_or_else(|| QueryError::AlgorithmMismatch {
+                algorithm: "top-k",
+                term: pref.to_string(),
+                reason: "preference admits no monotone utility",
+            })?;
+        scored.push((u, i));
+    }
+    scored.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+    Ok(scored.into_iter().take(k).map(|(_, i)| i).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pref_core::prelude::*;
+    use pref_relation::{attr, rel};
+
+    #[test]
+    fn level_and_distance_lookup() {
+        let r = rel! { ("color": Str, "price": Int); ("gray", 42_000) };
+        let p = pos_neg("color", ["yellow"], ["gray"])
+            .unwrap()
+            .pareto(around("price", 40_000));
+        let t = r.row(0);
+        assert_eq!(level(&p, &r, t, &attr("color")).unwrap(), 3);
+        assert_eq!(distance(&p, &r, t, &attr("price")).unwrap(), 2_000.0);
+        // LEVEL on a continuous preference is undefined.
+        assert!(level(&p, &r, t, &attr("price")).is_err());
+        // Quality functions need a constraining base preference.
+        assert!(distance(&p, &r, t, &attr("missing")).is_err());
+    }
+
+    #[test]
+    fn but_only_filter() {
+        // The paper's trips query: BUT ONLY DISTANCE(start)<=2 AND
+        // DISTANCE(duration)<=2.
+        let r = rel! {
+            ("start": Int, "duration": Int);
+            (10, 14), (13, 14), (10, 20), (11, 15),
+        };
+        let p = around("start", 10).pareto(around("duration", 14));
+        let f = QualityFilter::new()
+            .and(QualityCond::DistanceLe(attr("start"), 2.0))
+            .and(QualityCond::DistanceLe(attr("duration"), 2.0));
+        let all: Vec<usize> = (0..r.len()).collect();
+        let kept = f.filter_rows(&p, &r, &all).unwrap();
+        assert_eq!(kept, vec![0, 3]);
+    }
+
+    #[test]
+    fn example8_perfect_match() {
+        // "Note that red is a perfect match."
+        let r = rel! { ("color": Str); ("yellow",), ("red",), ("green",), ("black",) };
+        let p = explicit(
+            "color",
+            [("green", "yellow"), ("green", "red"), ("yellow", "white")],
+        )
+        .unwrap();
+        assert_eq!(perfect_match(&p, &r, r.row(1)).unwrap(), Some(true)); // red
+        assert_eq!(perfect_match(&p, &r, r.row(0)).unwrap(), Some(false)); // yellow (level 2)
+        assert_eq!(perfect_match(&p, &r, r.row(3)).unwrap(), Some(false)); // black
+    }
+
+    #[test]
+    fn perfect_match_composes() {
+        let r = rel! { ("color": Str, "hp": Int); ("yellow", 100), ("yellow", 90) };
+        let p = pos("color", ["yellow"]).pareto(around("hp", 100));
+        assert_eq!(perfect_match(&p, &r, r.row(0)).unwrap(), Some(true));
+        assert_eq!(perfect_match(&p, &r, r.row(1)).unwrap(), Some(false));
+        // HIGHEST has no dream value on an unbounded domain.
+        let q = pos("color", ["yellow"]).pareto(highest("hp"));
+        assert_eq!(perfect_match(&q, &r, r.row(0)).unwrap(), Some(false));
+    }
+
+    #[test]
+    fn k_best_walks_down_the_levels() {
+        let r = rel! { ("a": Int); (3,), (1,), (2,), (1,) };
+        let p = lowest("a");
+        // Levels: the two 1s, then 2, then 3.
+        assert_eq!(k_best(&p, &r, 1).unwrap(), vec![1]);
+        assert_eq!(k_best(&p, &r, 2).unwrap(), vec![1, 3]);
+        assert_eq!(k_best(&p, &r, 3).unwrap(), vec![1, 3, 2]);
+        assert_eq!(k_best(&p, &r, 99).unwrap().len(), 4);
+        // Works for non-scored preferences too (unlike utility top_k).
+        let q = pos("a", [2i64]);
+        assert_eq!(k_best(&q, &r, 1).unwrap(), vec![2]);
+    }
+
+    #[test]
+    fn k_best_prefix_is_bmo() {
+        let r = rel! { ("a": Int, "b": Int); (1, 9), (2, 8), (9, 1), (5, 5) };
+        let p = lowest("a").pareto(lowest("b"));
+        let bmo = crate::bmo::sigma_naive(&p, &r).unwrap();
+        let kb = k_best(&p, &r, r.len()).unwrap();
+        assert_eq!({
+            let mut head: Vec<usize> = kb[..bmo.len()].to_vec();
+            head.sort_unstable();
+            head
+        }, bmo);
+    }
+
+    #[test]
+    fn top_k_relaxes_bmo() {
+        // rank(F) "would return exactly one best-matching object ... For
+        // more alternative choices, the k-best query model is applied".
+        let r = rel! { ("a": Int, "b": Int); (1, 1), (2, 2), (3, 3), (4, 4) };
+        let p = Pref::rank(CombineFn::sum(), vec![highest("a"), highest("b")]).unwrap();
+        assert_eq!(top_k(&p, &r, 1).unwrap(), vec![3]);
+        assert_eq!(top_k(&p, &r, 3).unwrap(), vec![3, 2, 1]);
+        assert_eq!(top_k(&p, &r, 99).unwrap().len(), 4);
+        // Non-scorable terms are rejected.
+        assert!(top_k(&pos("a", [1i64]), &r, 1).is_err());
+    }
+}

@@ -1,0 +1,250 @@
+//! Attribute names and attribute sets.
+//!
+//! The paper builds preferences over "a set of attribute names with an
+//! associated domain of values". [`Attr`] is an interned attribute name
+//! (cheap to clone and compare); [`AttrSet`] is a sorted, deduplicated set
+//! with the union/intersection/disjointness operations the preference
+//! constructors need (`A1 ∪ A2` for Pareto/prioritised accumulation,
+//! `range` disjointness for disjoint union, …).
+
+use std::collections::HashSet;
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// Global interner so repeated attribute names share one allocation.
+static INTERNER: Mutex<Option<HashSet<Arc<str>>>> = Mutex::new(None);
+
+fn intern(name: &str) -> Arc<str> {
+    let mut guard = INTERNER.lock();
+    let set = guard.get_or_insert_with(HashSet::new);
+    if let Some(existing) = set.get(name) {
+        return Arc::clone(existing);
+    }
+    let arc: Arc<str> = Arc::from(name);
+    set.insert(Arc::clone(&arc));
+    arc
+}
+
+/// An attribute name. Equality and ordering are by string value;
+/// construction interns the backing string so clones are pointer bumps.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Attr(Arc<str>);
+
+impl Attr {
+    /// Create (or reuse) an attribute name.
+    pub fn new(name: &str) -> Self {
+        Attr(intern(name))
+    }
+
+    /// The name as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+/// Shorthand constructor: `attr("price")`.
+pub fn attr(name: &str) -> Attr {
+    Attr::new(name)
+}
+
+impl fmt::Display for Attr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for Attr {
+    fn from(s: &str) -> Self {
+        Attr::new(s)
+    }
+}
+
+impl From<String> for Attr {
+    fn from(s: String) -> Self {
+        Attr::new(&s)
+    }
+}
+
+impl AsRef<str> for Attr {
+    fn as_ref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+/// A sorted, duplicate-free set of attribute names.
+///
+/// The paper's `A = {A1, …, Ak}` where "the order of components within the
+/// Cartesian product is considered irrelevant" — hence a canonical sorted
+/// representation, so `{A1,A2} ∪ {A2,A3}` equals `{A1,A2,A3}` structurally.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct AttrSet(Box<[Attr]>);
+
+impl AttrSet {
+    /// The empty attribute set.
+    pub fn empty() -> Self {
+        AttrSet(Box::from([]))
+    }
+
+    /// Build from any iterator of names; sorts and deduplicates.
+    pub fn new<I, T>(names: I) -> Self
+    where
+        I: IntoIterator<Item = T>,
+        T: Into<Attr>,
+    {
+        let mut v: Vec<Attr> = names.into_iter().map(Into::into).collect();
+        v.sort();
+        v.dedup();
+        AttrSet(v.into_boxed_slice())
+    }
+
+    /// Singleton set.
+    pub fn single(a: impl Into<Attr>) -> Self {
+        AttrSet(Box::from([a.into()]))
+    }
+
+    /// Number of attributes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Is the set empty?
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Membership test (binary search over the sorted slice).
+    pub fn contains(&self, a: &Attr) -> bool {
+        self.0.binary_search(a).is_ok()
+    }
+
+    /// Iterate in sorted order.
+    pub fn iter(&self) -> impl Iterator<Item = &Attr> {
+        self.0.iter()
+    }
+
+    /// Sorted slice view.
+    pub fn as_slice(&self) -> &[Attr] {
+        &self.0
+    }
+
+    /// `self ∪ other`.
+    pub fn union(&self, other: &AttrSet) -> AttrSet {
+        let mut v: Vec<Attr> = self.0.iter().chain(other.0.iter()).cloned().collect();
+        v.sort();
+        v.dedup();
+        AttrSet(v.into_boxed_slice())
+    }
+
+    /// `self ∩ other`.
+    pub fn intersect(&self, other: &AttrSet) -> AttrSet {
+        AttrSet(
+            self.0
+                .iter()
+                .filter(|a| other.contains(a))
+                .cloned()
+                .collect(),
+        )
+    }
+
+    /// `self − other`.
+    pub fn difference(&self, other: &AttrSet) -> AttrSet {
+        AttrSet(
+            self.0
+                .iter()
+                .filter(|a| !other.contains(a))
+                .cloned()
+                .collect(),
+        )
+    }
+
+    /// Do the two sets share no attribute?
+    pub fn is_disjoint(&self, other: &AttrSet) -> bool {
+        self.0.iter().all(|a| !other.contains(a))
+    }
+
+    /// Is `self ⊆ other`?
+    pub fn is_subset(&self, other: &AttrSet) -> bool {
+        self.0.iter().all(|a| other.contains(a))
+    }
+}
+
+impl fmt::Display for AttrSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, a) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<Attr> for AttrSet {
+    fn from_iter<I: IntoIterator<Item = Attr>>(iter: I) -> Self {
+        AttrSet::new(iter)
+    }
+}
+
+impl<'a> IntoIterator for &'a AttrSet {
+    type Item = &'a Attr;
+    type IntoIter = std::slice::Iter<'a, Attr>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_shares_storage() {
+        let a = attr("price");
+        let b = attr("price");
+        assert!(Arc::ptr_eq(&a.0, &b.0));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn attrset_is_canonical() {
+        let s1 = AttrSet::new(["b", "a", "b", "c"]);
+        let s2 = AttrSet::new(["c", "b", "a"]);
+        assert_eq!(s1, s2);
+        assert_eq!(s1.len(), 3);
+        assert_eq!(s1.to_string(), "{a, b, c}");
+    }
+
+    #[test]
+    fn union_matches_paper_example() {
+        // dom({A1,A2} ∪ {A2,A3}) = dom(A1) × dom(A2) × dom(A3)  (Section 2)
+        let b = AttrSet::new(["A1", "A2"]);
+        let c = AttrSet::new(["A2", "A3"]);
+        assert_eq!(b.union(&c), AttrSet::new(["A1", "A2", "A3"]));
+    }
+
+    #[test]
+    fn set_operations() {
+        let s1 = AttrSet::new(["a", "b", "c"]);
+        let s2 = AttrSet::new(["b", "c", "d"]);
+        assert_eq!(s1.intersect(&s2), AttrSet::new(["b", "c"]));
+        assert_eq!(s1.difference(&s2), AttrSet::new(["a"]));
+        assert!(!s1.is_disjoint(&s2));
+        assert!(s1.is_disjoint(&AttrSet::new(["x", "y"])));
+        assert!(AttrSet::new(["b"]).is_subset(&s1));
+        assert!(!s1.is_subset(&s2));
+        assert!(AttrSet::empty().is_subset(&s1));
+        assert!(AttrSet::empty().is_disjoint(&AttrSet::empty()));
+    }
+
+    #[test]
+    fn contains_uses_sorted_order() {
+        let s = AttrSet::new(["make", "price", "color"]);
+        assert!(s.contains(&attr("price")));
+        assert!(!s.contains(&attr("mileage")));
+    }
+}

@@ -1,0 +1,57 @@
+//! Literal relation construction, used pervasively in tests and examples.
+
+/// Build a [`crate::Relation`] from a typed header and literal rows:
+///
+/// ```
+/// use pref_relation::rel;
+///
+/// let r = rel! {
+///     ("make": Str, "price": Int);
+///     ("Audi", 40_000),
+///     ("VW", 20_000),
+/// };
+/// assert_eq!(r.len(), 2);
+/// ```
+///
+/// Panics on schema or row errors — it is a literal, so errors are bugs at
+/// the call site.
+#[macro_export]
+macro_rules! rel {
+    ( ( $( $name:literal : $dt:ident ),+ $(,)? ) ; $( ( $( $v:expr ),+ $(,)? ) ),* $(,)? ) => {{
+        let schema = $crate::Schema::new(vec![
+            $( ($name, $crate::DataType::$dt) ),+
+        ]).expect("rel!: invalid schema literal");
+        #[allow(unused_mut)]
+        let mut r = $crate::Relation::empty(schema);
+        $(
+            r.push_values(vec![ $( $crate::Value::from($v) ),+ ])
+                .expect("rel!: invalid row literal");
+        )*
+        r
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Value;
+
+    #[test]
+    fn rel_macro_single_column_single_row() {
+        let r = rel! { ("color": Str); ("red",) };
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.row(0)[0], Value::from("red"));
+    }
+
+    #[test]
+    fn rel_macro_no_rows() {
+        let r = rel! { ("a": Int, "b": Float); };
+        assert!(r.is_empty());
+        assert_eq!(r.schema().arity(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid row literal")]
+    fn rel_macro_panics_on_bad_row() {
+        let _ = rel! { ("a": Int); ("oops",) };
+    }
+}

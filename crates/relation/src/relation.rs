@@ -1,0 +1,270 @@
+//! Relations: a schema plus a bag of tuples — the paper's "database sets".
+
+use std::collections::HashSet;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::attr::AttrSet;
+use crate::error::RelationError;
+use crate::schema::Schema;
+use crate::tuple::Tuple;
+use crate::value::Value;
+use crate::Result;
+
+/// An in-memory relation. Rows are stored in insertion order; duplicate
+/// rows are allowed (bag semantics, like SQL tables with no key).
+#[derive(Debug, Clone)]
+pub struct Relation {
+    schema: Arc<Schema>,
+    rows: Vec<Tuple>,
+}
+
+impl Relation {
+    /// Empty relation with the given schema.
+    pub fn empty(schema: Schema) -> Self {
+        Relation {
+            schema: Arc::new(schema),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Build from a schema and pre-validated rows.
+    pub fn from_rows(schema: Schema, rows: Vec<Tuple>) -> Result<Self> {
+        let mut r = Relation::empty(schema);
+        for row in rows {
+            r.push(row)?;
+        }
+        Ok(r)
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Shared handle to the schema.
+    pub fn schema_arc(&self) -> Arc<Schema> {
+        Arc::clone(&self.schema)
+    }
+
+    /// Number of tuples (`card(R)`).
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Is the relation empty?
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The rows.
+    pub fn rows(&self) -> &[Tuple] {
+        &self.rows
+    }
+
+    /// Row at index `i`.
+    pub fn row(&self, i: usize) -> &Tuple {
+        &self.rows[i]
+    }
+
+    /// Iterate over tuples.
+    pub fn iter(&self) -> std::slice::Iter<'_, Tuple> {
+        self.rows.iter()
+    }
+
+    /// Append a validated tuple.
+    pub fn push(&mut self, row: Tuple) -> Result<()> {
+        self.schema.check_row(row.values())?;
+        self.rows.push(row);
+        Ok(())
+    }
+
+    /// Append a row given as raw values.
+    pub fn push_values(&mut self, values: Vec<Value>) -> Result<()> {
+        self.push(Tuple::new(values))
+    }
+
+    /// Hard selection σ (exact-match world): keep rows satisfying `pred`.
+    pub fn select<F>(&self, pred: F) -> Relation
+    where
+        F: Fn(&Tuple) -> bool,
+    {
+        Relation {
+            schema: Arc::clone(&self.schema),
+            rows: self.rows.iter().filter(|t| pred(t)).cloned().collect(),
+        }
+    }
+
+    /// Keep only rows at the given indices (in the given order).
+    pub fn take_rows(&self, indices: &[usize]) -> Relation {
+        Relation {
+            schema: Arc::clone(&self.schema),
+            rows: indices.iter().map(|&i| self.rows[i].clone()).collect(),
+        }
+    }
+
+    /// Projection π onto `attrs` (sorted attribute order), keeping duplicates.
+    pub fn project(&self, attrs: &AttrSet) -> Result<Relation> {
+        let cols = self.schema.resolve(attrs)?;
+        let schema = self.schema.project(attrs)?;
+        let rows = self.rows.iter().map(|t| t.project(&cols)).collect();
+        Ok(Relation {
+            schema: Arc::new(schema),
+            rows,
+        })
+    }
+
+    /// Remove duplicate rows (first occurrence wins, order preserved).
+    pub fn distinct(&self) -> Relation {
+        let mut seen: HashSet<&Tuple> = HashSet::with_capacity(self.rows.len());
+        let mut keep = Vec::new();
+        for t in &self.rows {
+            if seen.insert(t) {
+                keep.push(t.clone());
+            }
+        }
+        Relation {
+            schema: Arc::clone(&self.schema),
+            rows: keep,
+        }
+    }
+
+    /// `card(π_attrs(R))` after dedup — the denominator in result-size
+    /// statistics (Def. 18 counts *different A-values*).
+    pub fn distinct_count(&self, attrs: &AttrSet) -> Result<usize> {
+        let cols = self.schema.resolve(attrs)?;
+        let mut seen: HashSet<Tuple> = HashSet::with_capacity(self.rows.len());
+        for t in &self.rows {
+            seen.insert(t.project(&cols));
+        }
+        Ok(seen.len())
+    }
+
+    /// Append all rows of `other`; schemas must match structurally.
+    pub fn union_all(&mut self, other: &Relation) -> Result<()> {
+        if !self.schema.same_as(other.schema()) {
+            return Err(RelationError::SchemaMismatch {
+                left: self.schema.to_string(),
+                right: other.schema().to_string(),
+            });
+        }
+        self.rows.extend(other.rows.iter().cloned());
+        Ok(())
+    }
+
+    /// Stable sort of rows by a key function.
+    pub fn sort_by_key<K, F>(&mut self, f: F)
+    where
+        F: FnMut(&Tuple) -> K,
+        K: Ord,
+    {
+        self.rows.sort_by_key(f);
+    }
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.schema)?;
+        for t in &self.rows {
+            writeln!(f, "  {t}")?;
+        }
+        Ok(())
+    }
+}
+
+impl<'a> IntoIterator for &'a Relation {
+    type Item = &'a Tuple;
+    type IntoIter = std::slice::Iter<'a, Tuple>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.rows.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{attr, rel};
+
+    fn cars() -> Relation {
+        rel! {
+            ("make": Str, "price": Int);
+            ("Audi", 40_000),
+            ("BMW", 35_000),
+            ("VW", 20_000),
+            ("BMW", 50_000),
+        }
+    }
+
+    #[test]
+    fn macro_builds_valid_relation() {
+        let r = cars();
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.schema().arity(), 2);
+        assert_eq!(r.row(2)[0], Value::from("VW"));
+    }
+
+    #[test]
+    fn push_validates() {
+        let mut r = cars();
+        assert!(r.push_values(vec![Value::from("Opel"), Value::from(1)]).is_ok());
+        assert!(r.push_values(vec![Value::from(1), Value::from(1)]).is_err());
+        assert!(r.push_values(vec![Value::from("Opel")]).is_err());
+        assert_eq!(r.len(), 5);
+    }
+
+    #[test]
+    fn hard_selection() {
+        let r = cars();
+        let bmw = r.select(|t| t[0] == Value::from("BMW"));
+        assert_eq!(bmw.len(), 2);
+        let none = r.select(|_| false);
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn projection_and_distinct() {
+        let r = cars();
+        let makes = r.project(&AttrSet::single(attr("make"))).unwrap();
+        assert_eq!(makes.len(), 4);
+        assert_eq!(makes.distinct().len(), 3);
+        assert_eq!(r.distinct_count(&AttrSet::single(attr("make"))).unwrap(), 3);
+        assert_eq!(r.distinct_count(&r.schema().attr_set()).unwrap(), 4);
+    }
+
+    #[test]
+    fn take_rows_preserves_order() {
+        let r = cars();
+        let sub = r.take_rows(&[3, 0]);
+        assert_eq!(sub.len(), 2);
+        assert_eq!(sub.row(0)[1], Value::from(50_000));
+        assert_eq!(sub.row(1)[0], Value::from("Audi"));
+    }
+
+    #[test]
+    fn union_all_checks_schema() {
+        let mut r = cars();
+        let other = cars();
+        r.union_all(&other).unwrap();
+        assert_eq!(r.len(), 8);
+
+        let mismatched = rel! { ("make": Str); ("X",) };
+        assert!(r.union_all(&mismatched).is_err());
+    }
+
+    #[test]
+    fn sort_is_stable() {
+        let mut r = cars();
+        r.sort_by_key(|t| t[1].clone());
+        let prices: Vec<_> = r.iter().map(|t| t[1].as_int().unwrap()).collect();
+        assert_eq!(prices, vec![20_000, 35_000, 40_000, 50_000]);
+    }
+
+    #[test]
+    fn empty_projection_is_unit() {
+        let r = cars();
+        let p = r.project(&AttrSet::empty()).unwrap();
+        assert_eq!(p.schema().arity(), 0);
+        assert_eq!(p.distinct().len(), 1); // all rows project to ()
+    }
+}

@@ -1,0 +1,261 @@
+//! Relation schemas: ordered, typed attribute lists with O(1) name lookup.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::attr::{Attr, AttrSet};
+use crate::error::RelationError;
+use crate::value::Value;
+use crate::Result;
+
+/// Column data types. `Value::Null` is admitted in any column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    Bool,
+    Int,
+    Float,
+    Str,
+    Date,
+}
+
+impl DataType {
+    /// Does `v` inhabit this type (NULL inhabits every type)?
+    pub fn admits(self, v: &Value) -> bool {
+        matches!(
+            (self, v),
+            (_, Value::Null)
+                | (DataType::Bool, Value::Bool(_))
+                | (DataType::Int, Value::Int(_))
+                | (DataType::Float, Value::Float(_))
+                | (DataType::Str, Value::Str(_))
+                | (DataType::Date, Value::Date(_))
+        )
+    }
+
+    /// Is this one of the ordered numeric-axis types (Def. 7 applies)?
+    pub fn is_ordinal(self) -> bool {
+        matches!(self, DataType::Int | DataType::Float | DataType::Date)
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DataType::Bool => "Bool",
+            DataType::Int => "Int",
+            DataType::Float => "Float",
+            DataType::Str => "Str",
+            DataType::Date => "Date",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One schema column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    pub name: Attr,
+    pub dtype: DataType,
+}
+
+/// An ordered list of typed fields with a name→index map.
+#[derive(Debug, Clone)]
+pub struct Schema {
+    fields: Vec<Field>,
+    index: HashMap<Attr, usize>,
+}
+
+impl Schema {
+    /// Build a schema; rejects duplicate attribute names.
+    pub fn new<I, N>(fields: I) -> Result<Self>
+    where
+        I: IntoIterator<Item = (N, DataType)>,
+        N: Into<Attr>,
+    {
+        let mut out = Schema {
+            fields: Vec::new(),
+            index: HashMap::new(),
+        };
+        for (name, dtype) in fields {
+            let name = name.into();
+            if out.index.contains_key(&name) {
+                return Err(RelationError::DuplicateAttr(name));
+            }
+            out.index.insert(name.clone(), out.fields.len());
+            out.fields.push(Field { name, dtype });
+        }
+        Ok(out)
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// The fields in declaration order.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Column index of `name`, if present.
+    pub fn index_of(&self, name: &Attr) -> Option<usize> {
+        self.index.get(name).copied()
+    }
+
+    /// Column index or an `UnknownAttr` error.
+    pub fn require(&self, name: &Attr) -> Result<usize> {
+        self.index_of(name)
+            .ok_or_else(|| RelationError::UnknownAttr(name.clone()))
+    }
+
+    /// The field with the given name.
+    pub fn field(&self, name: &Attr) -> Option<&Field> {
+        self.index_of(name).map(|i| &self.fields[i])
+    }
+
+    /// All attribute names as a set.
+    pub fn attr_set(&self) -> AttrSet {
+        AttrSet::new(self.fields.iter().map(|f| f.name.clone()))
+    }
+
+    /// Resolve a list of attribute names to column indices.
+    pub fn resolve(&self, attrs: &AttrSet) -> Result<Vec<usize>> {
+        attrs.iter().map(|a| self.require(a)).collect()
+    }
+
+    /// Projected schema keeping only `attrs`, in their sorted order.
+    pub fn project(&self, attrs: &AttrSet) -> Result<Schema> {
+        let mut fields = Vec::with_capacity(attrs.len());
+        for a in attrs.iter() {
+            let i = self.require(a)?;
+            fields.push((self.fields[i].name.clone(), self.fields[i].dtype));
+        }
+        Schema::new(fields)
+    }
+
+    /// Validate a row against this schema (arity + types).
+    pub fn check_row(&self, values: &[Value]) -> Result<()> {
+        if values.len() != self.arity() {
+            return Err(RelationError::ArityMismatch {
+                expected: self.arity(),
+                got: values.len(),
+            });
+        }
+        for (field, v) in self.fields.iter().zip(values) {
+            if !field.dtype.admits(v) {
+                return Err(RelationError::TypeMismatch {
+                    attr: field.name.clone(),
+                    expected: field.dtype,
+                    got: v.clone(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Structural equality on (name, type) lists.
+    pub fn same_as(&self, other: &Schema) -> bool {
+        self.fields == other.fields
+    }
+}
+
+impl PartialEq for Schema {
+    fn eq(&self, other: &Self) -> bool {
+        self.same_as(other)
+    }
+}
+
+impl Eq for Schema {}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, field) in self.fields.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}: {}", field.name, field.dtype)?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::attr;
+
+    fn car_schema() -> Schema {
+        Schema::new(vec![
+            ("make", DataType::Str),
+            ("price", DataType::Int),
+            ("mileage", DataType::Int),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let s = car_schema();
+        assert_eq!(s.arity(), 3);
+        assert_eq!(s.index_of(&attr("price")), Some(1));
+        assert_eq!(s.index_of(&attr("color")), None);
+        assert!(s.require(&attr("color")).is_err());
+    }
+
+    #[test]
+    fn rejects_duplicate_attrs() {
+        let err = Schema::new(vec![("a", DataType::Int), ("a", DataType::Str)]).unwrap_err();
+        assert_eq!(err, RelationError::DuplicateAttr(attr("a")));
+    }
+
+    #[test]
+    fn row_validation() {
+        let s = car_schema();
+        assert!(s
+            .check_row(&[Value::from("Audi"), Value::from(1), Value::from(2)])
+            .is_ok());
+        // NULL is admitted anywhere.
+        assert!(s
+            .check_row(&[Value::Null, Value::Null, Value::Null])
+            .is_ok());
+        assert!(matches!(
+            s.check_row(&[Value::from("Audi"), Value::from(1)]),
+            Err(RelationError::ArityMismatch { .. })
+        ));
+        assert!(matches!(
+            s.check_row(&[Value::from(1), Value::from(1), Value::from(2)]),
+            Err(RelationError::TypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn projection_sorts_attrs() {
+        let s = car_schema();
+        let p = s
+            .project(&AttrSet::new(["price", "make"]))
+            .unwrap();
+        // AttrSet is sorted, so `make` precedes `price`.
+        assert_eq!(p.fields()[0].name, attr("make"));
+        assert_eq!(p.fields()[1].name, attr("price"));
+        assert!(s.project(&AttrSet::new(["nope"])).is_err());
+    }
+
+    #[test]
+    fn attr_set_roundtrip() {
+        let s = car_schema();
+        assert_eq!(s.attr_set(), AttrSet::new(["make", "mileage", "price"]));
+        assert_eq!(
+            s.resolve(&AttrSet::new(["mileage", "make"])).unwrap(),
+            vec![0, 2]
+        );
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(
+            car_schema().to_string(),
+            "(make: Str, price: Int, mileage: Int)"
+        );
+    }
+}

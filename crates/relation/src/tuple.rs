@@ -1,0 +1,118 @@
+//! Tuples: fixed-arity rows of values.
+
+use std::fmt;
+use std::ops::Index;
+
+use crate::value::Value;
+
+/// A row of values. Tuples do not carry their schema; a [`crate::Relation`]
+/// pairs rows with one shared schema, and query code resolves attribute
+/// names to indices once per query (not per comparison).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Tuple {
+    values: Box<[Value]>,
+}
+
+impl Tuple {
+    /// Build from values.
+    pub fn new(values: Vec<Value>) -> Self {
+        Tuple {
+            values: values.into_boxed_slice(),
+        }
+    }
+
+    /// Number of fields.
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Value at column `i`, if in range.
+    pub fn get(&self, i: usize) -> Option<&Value> {
+        self.values.get(i)
+    }
+
+    /// All values.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// A new tuple keeping only the given column indices, in order.
+    pub fn project(&self, cols: &[usize]) -> Tuple {
+        Tuple::new(cols.iter().map(|&i| self.values[i].clone()).collect())
+    }
+
+    /// Do `self` and `other` agree on every column in `cols`?
+    ///
+    /// This is the "xi = yi" component-equality test of the Pareto and
+    /// prioritised constructor definitions (Def. 8/9), evaluated without
+    /// materialising the projections.
+    pub fn eq_on(&self, other: &Tuple, cols: &[usize]) -> bool {
+        cols.iter().all(|&i| self.values[i] == other.values[i])
+    }
+}
+
+impl Index<usize> for Tuple {
+    type Output = Value;
+
+    fn index(&self, i: usize) -> &Value {
+        &self.values[i]
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl From<Vec<Value>> for Tuple {
+    fn from(values: Vec<Value>) -> Self {
+        Tuple::new(values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(vals: &[i64]) -> Tuple {
+        Tuple::new(vals.iter().map(|&v| Value::from(v)).collect())
+    }
+
+    #[test]
+    fn accessors() {
+        let x = t(&[1, 2, 3]);
+        assert_eq!(x.arity(), 3);
+        assert_eq!(x[1], Value::from(2));
+        assert_eq!(x.get(5), None);
+    }
+
+    #[test]
+    fn projection_keeps_order() {
+        let x = t(&[10, 20, 30]);
+        assert_eq!(x.project(&[2, 0]), t(&[30, 10]));
+        assert_eq!(x.project(&[]), Tuple::new(vec![]));
+    }
+
+    #[test]
+    fn eq_on_selected_columns() {
+        let x = t(&[1, 2, 3]);
+        let y = t(&[9, 2, 3]);
+        assert!(x.eq_on(&y, &[1, 2]));
+        assert!(!x.eq_on(&y, &[0]));
+        assert!(x.eq_on(&y, &[])); // vacuous truth on the empty set
+    }
+
+    #[test]
+    fn display() {
+        let x = Tuple::new(vec![Value::from("a"), Value::from(1)]);
+        assert_eq!(x.to_string(), "('a', 1)");
+    }
+}

@@ -1,0 +1,94 @@
+//! Property-based tests for the value substrate: total-order laws,
+//! hash/equality consistency, date arithmetic round-trips.
+
+use pref_relation::{Date, Value};
+use proptest::prelude::*;
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::from),
+        any::<i64>().prop_map(Value::from),
+        // Finite floats only: NaN is allowed by the total order but makes
+        // distance assertions vacuous.
+        (-1e12f64..1e12).prop_map(Value::from),
+        "[a-z]{0,8}".prop_map(|s| Value::from(s.as_str())),
+        (-200_000i32..200_000).prop_map(|d| Value::from(Date::from_days(d))),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn ordering_is_total_and_antisymmetric(a in arb_value(), b in arb_value()) {
+        let ab = a.cmp(&b);
+        let ba = b.cmp(&a);
+        prop_assert_eq!(ab, ba.reverse());
+        prop_assert_eq!(ab.is_eq(), a == b);
+    }
+
+    #[test]
+    fn ordering_is_transitive(a in arb_value(), b in arb_value(), c in arb_value()) {
+        let mut v = [a, b, c];
+        v.sort();
+        prop_assert!(v[0] <= v[1] && v[1] <= v[2] && v[0] <= v[2]);
+    }
+
+    #[test]
+    fn hash_agrees_with_eq(a in arb_value(), b in arb_value()) {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let h = |v: &Value| {
+            let mut s = DefaultHasher::new();
+            v.hash(&mut s);
+            s.finish()
+        };
+        if a == b {
+            prop_assert_eq!(h(&a), h(&b));
+        }
+    }
+
+    #[test]
+    fn date_ymd_roundtrip(days in -200_000i32..200_000) {
+        let d = Date::from_days(days);
+        let (y, m, dd) = d.ymd();
+        prop_assert_eq!(Date::from_ymd(y, m, dd), Some(d));
+    }
+
+    #[test]
+    fn date_parse_display_roundtrip(days in -200_000i32..200_000) {
+        let d = Date::from_days(days);
+        prop_assert_eq!(Date::parse(&d.to_string()), Some(d));
+    }
+
+    #[test]
+    fn distance_is_symmetric_and_triangular(
+        a in -1_000_000i64..1_000_000,
+        b in -1_000_000i64..1_000_000,
+        c in -1_000_000i64..1_000_000,
+    ) {
+        let (va, vb, vc) = (Value::from(a), Value::from(b), Value::from(c));
+        let d = |x: &Value, y: &Value| x.distance(y).expect("ints are ordinal");
+        prop_assert_eq!(d(&va, &vb), d(&vb, &va));
+        prop_assert!(d(&va, &vc) <= d(&va, &vb) + d(&vb, &vc) + 1e-9);
+        prop_assert_eq!(d(&va, &va), 0.0);
+    }
+
+    #[test]
+    fn sql_cmp_coerces_consistently(i in -1_000_000i64..1_000_000) {
+        // Int/Float coercion agrees with numeric equality.
+        let int = Value::from(i);
+        let float = Value::from(i as f64);
+        prop_assert_eq!(int.sql_cmp(&float), Some(std::cmp::Ordering::Equal));
+    }
+
+    #[test]
+    fn string_display_roundtrips_through_term_values(s in "[a-z' ]{0,10}") {
+        // Display escapes quotes SQL-style; the term parser must recover
+        // the original string.
+        let v = Value::from(s.as_str());
+        let text = v.to_string();
+        prop_assert!(text.starts_with('\''));
+        let body = &text[1..text.len() - 1];
+        prop_assert_eq!(body.replace("''", "'"), s);
+    }
+}

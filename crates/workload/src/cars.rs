@@ -1,0 +1,215 @@
+//! A seeded used-car catalog generator — the e-shop substrate behind the
+//! paper's running example (Example 6), the non-monotonicity study and
+//! the \[KFH01\] result-size reproduction.
+//!
+//! Attribute correlations mimic a real catalog: newer cars have lower
+//! mileage and higher prices, horsepower drives price and insurance
+//! rating up and fuel economy down, and the dealer's commission follows
+//! the price.
+
+use pref_relation::{DataType, Relation, Schema, Value};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Make names with rough market-share weights.
+const MAKES: &[(&str, f64)] = &[
+    ("VW", 0.18),
+    ("Opel", 0.14),
+    ("Ford", 0.12),
+    ("BMW", 0.11),
+    ("Mercedes", 0.11),
+    ("Audi", 0.10),
+    ("Toyota", 0.08),
+    ("Renault", 0.06),
+    ("Fiat", 0.05),
+    ("Volvo", 0.03),
+    ("Porsche", 0.01),
+    ("Jaguar", 0.01),
+];
+
+const CATEGORIES: &[(&str, f64)] = &[
+    ("sedan", 0.34),
+    ("compact", 0.25),
+    ("station wagon", 0.15),
+    ("van", 0.10),
+    ("suv", 0.08),
+    ("cabriolet", 0.05),
+    ("roadster", 0.03),
+];
+
+const COLORS: &[(&str, f64)] = &[
+    ("black", 0.22),
+    ("silver", 0.20),
+    ("gray", 0.15),
+    ("white", 0.12),
+    ("blue", 0.12),
+    ("red", 0.10),
+    ("green", 0.06),
+    ("yellow", 0.03),
+];
+
+fn weighted<'a>(rng: &mut StdRng, table: &'a [(&'a str, f64)]) -> &'a str {
+    let total: f64 = table.iter().map(|(_, w)| w).sum();
+    let mut x = rng.random_range(0.0..total);
+    for (name, w) in table {
+        if x < *w {
+            return name;
+        }
+        x -= w;
+    }
+    table.last().expect("non-empty weight table").0
+}
+
+/// The catalog schema: make, category, color, transmission, price,
+/// horsepower, mileage, year, commission, fuel_economy, insurance_rating.
+pub fn car_schema() -> Schema {
+    Schema::new(vec![
+        ("make", DataType::Str),
+        ("category", DataType::Str),
+        ("color", DataType::Str),
+        ("transmission", DataType::Str),
+        ("price", DataType::Int),
+        ("horsepower", DataType::Int),
+        ("mileage", DataType::Int),
+        ("year", DataType::Int),
+        ("commission", DataType::Int),
+        ("fuel_economy", DataType::Int),
+        ("insurance_rating", DataType::Int),
+    ])
+    .expect("static schema is valid")
+}
+
+/// Generate a used-car catalog of `n` offers.
+pub fn catalog(n: usize, seed: u64) -> Relation {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut r = Relation::empty(car_schema());
+    for _ in 0..n {
+        let make = weighted(&mut rng, MAKES);
+        let category = weighted(&mut rng, CATEGORIES);
+        let color = weighted(&mut rng, COLORS);
+        let transmission = if rng.random_range(0.0..1.0) < 0.35 {
+            "automatic"
+        } else {
+            "manual"
+        };
+
+        let year: i64 = rng.random_range(1988..=2001);
+        let age = 2002 - year;
+        let premium = matches!(make, "BMW" | "Mercedes" | "Audi" | "Porsche" | "Jaguar");
+        let sporty = matches!(category, "cabriolet" | "roadster" | "suv");
+
+        let base_hp: i64 = rng.random_range(45..=120);
+        let horsepower =
+            base_hp + if premium { 60 } else { 0 } + if sporty { 50 } else { 0 };
+
+        // Mileage grows with age; price decays with age and mileage, and
+        // grows with horsepower and brand premium.
+        let mileage = (age * rng.random_range(8_000..22_000)).max(0);
+        let new_price = 12_000
+            + horsepower * 180
+            + if premium { 9_000 } else { 0 }
+            + if sporty { 5_000 } else { 0 };
+        let depreciation = 0.88_f64.powi(age as i32);
+        let wear = 1.0 - (mileage as f64 / 500_000.0).min(0.4);
+        let price = ((new_price as f64) * depreciation * wear).round() as i64;
+        let price = price.max(500);
+
+        let commission = ((price as f64) * rng.random_range(0.03..0.08)).round() as i64;
+        // Miles-per-gallon-ish figure: drops with horsepower.
+        let fuel_economy = (55 - horsepower / 6 + rng.random_range(-4..=4)).max(8);
+        let insurance_rating = (horsepower / 25 + if sporty { 4 } else { 0 }
+            + rng.random_range(0..=3))
+        .clamp(1, 20);
+
+        r.push_values(vec![
+            Value::from(make),
+            Value::from(category),
+            Value::from(color),
+            Value::from(transmission),
+            Value::from(price),
+            Value::from(horsepower),
+            Value::from(mileage),
+            Value::from(year),
+            Value::from(commission),
+            Value::from(fuel_economy),
+            Value::from(insurance_rating),
+        ])
+        .expect("generated car rows match the schema");
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pref_relation::attr;
+
+    #[test]
+    fn deterministic_and_sized() {
+        let a = catalog(100, 5);
+        let b = catalog(100, 5);
+        assert_eq!(a.rows(), b.rows());
+        assert_eq!(a.len(), 100);
+        assert_eq!(a.schema().arity(), 11);
+    }
+
+    #[test]
+    fn plausible_value_ranges() {
+        let r = catalog(500, 9);
+        let price_col = r.schema().index_of(&attr("price")).unwrap();
+        let year_col = r.schema().index_of(&attr("year")).unwrap();
+        let fuel_col = r.schema().index_of(&attr("fuel_economy")).unwrap();
+        for t in r.iter() {
+            let price = t[price_col].as_int().unwrap();
+            assert!((500..200_000).contains(&price), "price {price}");
+            let year = t[year_col].as_int().unwrap();
+            assert!((1988..=2001).contains(&year));
+            assert!(t[fuel_col].as_int().unwrap() >= 8);
+        }
+    }
+
+    #[test]
+    fn correlations_have_the_right_sign() {
+        let r = catalog(2_000, 3);
+        let col = |name: &str| r.schema().index_of(&attr(name)).unwrap();
+        let pairs: Vec<(f64, f64, f64)> = r
+            .iter()
+            .map(|t| {
+                (
+                    t[col("year")].as_int().unwrap() as f64,
+                    t[col("mileage")].as_int().unwrap() as f64,
+                    t[col("price")].as_int().unwrap() as f64,
+                )
+            })
+            .collect();
+        let corr = |xs: Vec<f64>, ys: Vec<f64>| {
+            let n = xs.len() as f64;
+            let mx = xs.iter().sum::<f64>() / n;
+            let my = ys.iter().sum::<f64>() / n;
+            let cov: f64 = xs.iter().zip(&ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+            let vx: f64 = xs.iter().map(|x| (x - mx).powi(2)).sum();
+            let vy: f64 = ys.iter().map(|y| (y - my).powi(2)).sum();
+            cov / (vx.sqrt() * vy.sqrt())
+        };
+        let years: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let miles: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        let prices: Vec<f64> = pairs.iter().map(|p| p.2).collect();
+        assert!(corr(years.clone(), miles.clone()) < -0.5, "year vs mileage");
+        assert!(corr(years, prices.clone()) > 0.3, "year vs price");
+        assert!(corr(miles, prices) < 0.0, "mileage vs price");
+    }
+
+    #[test]
+    fn catalog_covers_the_example6_vocabulary() {
+        // Julia's wish list needs cabriolets, roadsters, automatics and
+        // non-gray colors to be findable in a big enough catalog.
+        let r = catalog(3_000, 1);
+        let col = |name: &str| r.schema().index_of(&attr(name)).unwrap();
+        let has = |c: usize, v: &str| r.iter().any(|t| t[c].as_str() == Some(v));
+        assert!(has(col("category"), "cabriolet"));
+        assert!(has(col("category"), "roadster"));
+        assert!(has(col("transmission"), "automatic"));
+        assert!(has(col("color"), "gray"));
+        assert!(has(col("color"), "blue"));
+    }
+}

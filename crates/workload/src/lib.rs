@@ -1,0 +1,21 @@
+//! # pref-workload — workload generators for preference experiments
+//!
+//! Seeded, deterministic data generators standing in for the artifacts the
+//! paper evaluates on (see DESIGN.md "Substitutions"):
+//!
+//! * [`synthetic`] — the independent / correlated / anti-correlated
+//!   skyline workloads of \[BKS01\];
+//! * [`cars`] — a used-car e-shop catalog with realistic attribute
+//!   correlations (Example 6, Example 9, the e-shop study);
+//! * [`trips`] — travel offers for the `BUT ONLY` Preference SQL example;
+//! * [`querylog`] — random customer preference queries reproducing the
+//!   \[KFH01\] result-size benchmark;
+//! * [`paper`] — the exact literal datasets of Examples 1–11.
+
+pub mod cars;
+pub mod paper;
+pub mod querylog;
+pub mod synthetic;
+pub mod trips;
+
+pub use synthetic::Distribution;

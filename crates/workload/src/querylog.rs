@@ -1,0 +1,225 @@
+//! A synthetic customer query log over the car catalog — the substitute
+//! for the real INTERSHOP query logs behind the \[KFH01\] result-size
+//! benchmark ("typical result sizes of Pareto preferences under BMO query
+//! semantics ranged from a few to a few dozens").
+//!
+//! Each generated query is a Pareto accumulation of 2–5 base preferences
+//! sampled from the templates a car-shop search mask offers, optionally
+//! prioritised behind a must-have base preference — the shapes Preference
+//! SQL's `PREFERRING … AND … CASCADE` produces.
+
+use pref_core::term::{around, between, highest, lowest, neg, pos, pos_pos, Pref};
+use pref_relation::{attr, Relation, Value};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// A hard (exact-match) narrowing a customer applies in the search mask
+/// before preferences refine the survivors — like a WHERE clause.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Narrow {
+    /// `attr = value`.
+    Equals(&'static str, Value),
+    /// `attr <= value` (numeric).
+    AtMost(&'static str, Value),
+}
+
+/// One customer query: hard narrowing plus a preference.
+#[derive(Debug, Clone)]
+pub struct CustomerQuery {
+    pub narrowing: Vec<Narrow>,
+    pub preference: Pref,
+}
+
+impl CustomerQuery {
+    /// Apply the hard narrowing to a catalog (the WHERE stage).
+    pub fn candidates(&self, catalog: &Relation) -> Relation {
+        let cols: Vec<(usize, &Narrow)> = self
+            .narrowing
+            .iter()
+            .map(|n| {
+                let name = match n {
+                    Narrow::Equals(a, _) | Narrow::AtMost(a, _) => *a,
+                };
+                (
+                    catalog
+                        .schema()
+                        .index_of(&attr(name))
+                        .expect("narrowing uses catalog attributes"),
+                    n,
+                )
+            })
+            .collect();
+        catalog.select(|t| {
+            cols.iter().all(|(c, n)| match n {
+                Narrow::Equals(_, v) => &t[*c] == v,
+                Narrow::AtMost(_, v) => {
+                    t[*c].sql_cmp(v).is_some_and(|o| o.is_le())
+                }
+            })
+        })
+    }
+}
+
+const COLOR_CHOICES: &[&str] = &["black", "silver", "gray", "white", "blue", "red", "green", "yellow"];
+const MAKE_CHOICES: &[&str] = &["VW", "Opel", "Ford", "BMW", "Mercedes", "Audi", "Toyota"];
+const CATEGORY_CHOICES: &[&str] = &["sedan", "compact", "station wagon", "van", "suv", "cabriolet", "roadster"];
+
+fn pick<'a>(rng: &mut StdRng, xs: &'a [&'a str]) -> &'a str {
+    xs[rng.random_range(0..xs.len())]
+}
+
+/// One random base preference from the search-mask templates.
+fn base_preference(rng: &mut StdRng) -> Pref {
+    match rng.random_range(0..10) {
+        0 => pos("color", [pick(rng, COLOR_CHOICES)]),
+        1 => neg("color", [pick(rng, COLOR_CHOICES)]),
+        2 => pos("make", [pick(rng, MAKE_CHOICES), pick(rng, MAKE_CHOICES)]),
+        3 => {
+            let a = rng.random_range(0..CATEGORY_CHOICES.len());
+            let b = (a + 1 + rng.random_range(0..CATEGORY_CHOICES.len() - 1))
+                % CATEGORY_CHOICES.len();
+            pos_pos("category", [CATEGORY_CHOICES[a]], [CATEGORY_CHOICES[b]])
+                .expect("distinct categories are disjoint")
+        }
+        4 => around("price", rng.random_range(3..30) * 1_000),
+        5 => {
+            // Narrow corridors, like a real search mask's price bracket;
+            // wide intervals create huge distance-0 tie plateaus that no
+            // shopper would formulate.
+            let lo = rng.random_range(2..15) * 1_000;
+            between("price", lo, lo + rng.random_range(1..=4) * 500)
+                .expect("lo <= hi by construction")
+        }
+        6 => around("horsepower", rng.random_range(6..22) * 10),
+        7 => lowest("mileage"),
+        8 => lowest("price"),
+        _ => highest("year"),
+    }
+}
+
+/// Generate a log of `n` bare preference terms (no hard narrowing).
+pub fn query_log(n: usize, seed: u64) -> Vec<Pref> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| preference_query(&mut rng)).collect()
+}
+
+/// Generate a log of `n` full customer queries: hard narrowing plus
+/// preference, the shape the \[KFH01\] result-size study measured.
+pub fn customer_log(n: usize, seed: u64) -> Vec<CustomerQuery> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| CustomerQuery {
+            narrowing: narrowing(&mut rng),
+            preference: preference_query(&mut rng),
+        })
+        .collect()
+}
+
+/// A realistic search-mask narrowing: customers almost always fix a make
+/// or category and usually cap the price before preferences kick in.
+fn narrowing(rng: &mut StdRng) -> Vec<Narrow> {
+    let mut out = Vec::with_capacity(2);
+    if rng.random_range(0.0..1.0) < 0.6 {
+        out.push(Narrow::Equals("make", Value::from(pick(rng, MAKE_CHOICES))));
+    } else {
+        out.push(Narrow::Equals(
+            "category",
+            Value::from(pick(rng, CATEGORY_CHOICES)),
+        ));
+    }
+    if rng.random_range(0.0..1.0) < 0.7 {
+        out.push(Narrow::AtMost(
+            "price",
+            Value::from(rng.random_range(6..30) * 1_000),
+        ));
+    }
+    out
+}
+
+fn preference_query(rng: &mut StdRng) -> Pref {
+    let width = rng.random_range(2..=4);
+    let mut parts: Vec<Pref> = Vec::with_capacity(width);
+    for _ in 0..width {
+        let candidate = base_preference(rng);
+        // One preference per attribute, like a search mask.
+        if parts
+            .iter()
+            .all(|p| p.attributes().is_disjoint(&candidate.attributes()))
+        {
+            parts.push(candidate);
+        }
+    }
+    let pareto = Pref::pareto_all(parts).expect("at least one part sampled");
+    if rng.random_range(0.0..1.0) < 0.3 {
+        // A must-have in front, like CASCADE in Preference SQL.
+        let head = pos("transmission", ["automatic"]);
+        head.prior(pareto)
+    } else {
+        pareto
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_log() {
+        let a = query_log(20, 4);
+        let b = query_log(20, 4);
+        let fmt = |v: &[Pref]| v.iter().map(|p| p.to_string()).collect::<Vec<_>>();
+        assert_eq!(fmt(&a), fmt(&b));
+    }
+
+    #[test]
+    fn queries_reference_catalog_attributes() {
+        let schema = crate::cars::car_schema();
+        for q in query_log(100, 17) {
+            for a in q.attributes().iter() {
+                assert!(
+                    schema.index_of(a).is_some(),
+                    "query references unknown attribute {a}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn queries_compile_and_run_on_the_catalog() {
+        let cars = crate::cars::catalog(300, 2);
+        for q in query_log(25, 6) {
+            let res = pref_query::sigma(&q, &cars).unwrap();
+            assert!(!res.is_empty(), "BMO never returns empty on nonempty R");
+        }
+    }
+
+    #[test]
+    fn customer_log_narrowing_reduces_candidates() {
+        let catalog = crate::cars::catalog(2_000, 3);
+        for q in customer_log(30, 9) {
+            let candidates = q.candidates(&catalog);
+            assert!(candidates.len() < catalog.len());
+            // The preference still runs on whatever survives.
+            if !candidates.is_empty() {
+                assert!(!pref_query::sigma(&q.preference, &candidates)
+                    .unwrap()
+                    .is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn attribute_sets_within_one_query_are_disjoint() {
+        for q in query_log(200, 5) {
+            if let Pref::Pareto(children) = &q {
+                for i in 0..children.len() {
+                    for j in (i + 1)..children.len() {
+                        assert!(children[i]
+                            .attributes()
+                            .is_disjoint(&children[j].attributes()));
+                    }
+                }
+            }
+        }
+    }
+}

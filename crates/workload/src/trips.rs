@@ -1,0 +1,80 @@
+//! A trips table for the paper's second Preference SQL example:
+//! `SELECT * FROM trips PREFERRING start_date AROUND '2001/11/23' AND
+//! duration AROUND 14 BUT ONLY DISTANCE(start_date)<=2 AND
+//! DISTANCE(duration)<=2`.
+
+use pref_relation::{DataType, Date, Relation, Schema, Value};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+const DESTINATIONS: &[&str] = &[
+    "Mallorca",
+    "Crete",
+    "Tenerife",
+    "Tuscany",
+    "Provence",
+    "Algarve",
+    "Cyprus",
+    "Madeira",
+];
+
+/// Schema: destination, start_date, duration (days), price.
+pub fn trip_schema() -> Schema {
+    Schema::new(vec![
+        ("destination", DataType::Str),
+        ("start_date", DataType::Date),
+        ("duration", DataType::Int),
+        ("price", DataType::Int),
+    ])
+    .expect("static schema is valid")
+}
+
+/// Generate `n` trip offers departing in late 2001.
+pub fn trips(n: usize, seed: u64) -> Relation {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut r = Relation::empty(trip_schema());
+    let base = Date::parse("2001/11/01").expect("literal date");
+    for _ in 0..n {
+        let destination = DESTINATIONS[rng.random_range(0..DESTINATIONS.len())];
+        let start = Date::from_days(base.days() + rng.random_range(0..60));
+        let duration: i64 = *[7, 10, 14, 14, 14, 21].get(rng.random_range(0..6)).unwrap();
+        let price = 300 + duration * rng.random_range(35..90) + rng.random_range(0..200);
+        r.push_values(vec![
+            Value::from(destination),
+            Value::from(start),
+            Value::from(duration),
+            Value::from(price),
+        ])
+        .expect("generated trips match the schema");
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pref_relation::attr;
+
+    #[test]
+    fn deterministic_and_in_season() {
+        let a = trips(50, 3);
+        let b = trips(50, 3);
+        assert_eq!(a.rows(), b.rows());
+        let date_col = a.schema().index_of(&attr("start_date")).unwrap();
+        let lo = Date::parse("2001/11/01").unwrap();
+        let hi = Date::parse("2002/01/01").unwrap();
+        for t in a.iter() {
+            let d = t[date_col].as_date().unwrap();
+            assert!(d >= lo && d < hi);
+        }
+    }
+
+    #[test]
+    fn durations_are_catalog_values() {
+        let r = trips(200, 8);
+        let dur = r.schema().index_of(&attr("duration")).unwrap();
+        for t in r.iter() {
+            assert!([7, 10, 14, 21].contains(&t[dur].as_int().unwrap()));
+        }
+    }
+}

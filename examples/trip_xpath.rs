@@ -1,0 +1,73 @@
+//! Personalized search in the two query languages of §6.1:
+//! Preference XPath over an XML offer feed, and Preference SQL with the
+//! paper's `BUT ONLY` trips query.
+//!
+//! ```bash
+//! cargo run --example trip_xpath
+//! ```
+
+use preferences::prefsql::PrefSql;
+use preferences::prelude::*;
+use preferences::workload::trips;
+
+fn main() {
+    // ---- Preference XPath -------------------------------------------------
+    let feed = r#"<OFFERS>
+      <CAR make="VW"   color="black" price="9500"  mileage="72000" fuel_economy="42" horsepower="75"/>
+      <CAR make="Audi" color="white" price="10400" mileage="30000" fuel_economy="38" horsepower="110"/>
+      <CAR make="BMW"  color="red"   price="15900" mileage="20000" fuel_economy="30" horsepower="150"/>
+      <CAR make="VW"   color="white" price="9900"  mileage="45000" fuel_economy="45" horsepower="60"/>
+      <CAR make="Opel" color="green" price="7200"  mileage="98000" fuel_economy="40" horsepower="65"/>
+    </OFFERS>"#;
+    let doc = parse_xml(feed).expect("well-formed feed");
+    let engine = PrefXPath::new(&doc);
+
+    // Q1 from the paper: a two-dimensional skyline.
+    let q1 = "/OFFERS/CAR #[(@fuel_economy)highest and (@horsepower)highest]#";
+    println!("Q1: {q1}");
+    for id in engine.query(q1).expect("valid path") {
+        let e = doc.node(id);
+        println!(
+            "   {} fuel={} hp={}",
+            e.attr("make").unwrap_or("?"),
+            e.attr("fuel_economy").unwrap_or("?"),
+            e.attr("horsepower").unwrap_or("?")
+        );
+    }
+
+    // Q2 from the paper: prioritised color-then-price, then a second
+    // soft step on mileage.
+    let q2 = "/OFFERS/CAR #[(@color)in(\"black\", \"white\") prior to (@price)around 10000]# \
+              #[(@mileage)lowest]#";
+    println!("\nQ2: {q2}");
+    for id in engine.query(q2).expect("valid path") {
+        let e = doc.node(id);
+        println!(
+            "   {} color={} price={} mileage={}",
+            e.attr("make").unwrap_or("?"),
+            e.attr("color").unwrap_or("?"),
+            e.attr("price").unwrap_or("?"),
+            e.attr("mileage").unwrap_or("?")
+        );
+    }
+
+    // ---- Preference SQL with BUT ONLY --------------------------------------
+    let mut db = PrefSql::new();
+    db.register("trips", trips::trips(500, 11));
+    let sql = "SELECT destination, start_date, duration, price FROM trips \
+               PREFERRING start_date AROUND '2001/11/23' AND duration AROUND 14 \
+               BUT ONLY DISTANCE(start_date) <= 2 AND DISTANCE(duration) <= 2";
+    println!("\nPreference SQL:\n{sql}\n");
+    let res = db.execute(sql).expect("query is well-formed");
+    println!(
+        "{} best matches within the BUT ONLY quality corridor:",
+        res.relation.len()
+    );
+    for t in res.relation.iter().take(10) {
+        println!("   {t}");
+    }
+    if res.relation.is_empty() {
+        println!("   (the BUT ONLY corridor can legitimately be empty — wishes are free,");
+        println!("    but here the quality supervision rejected all best matches)");
+    }
+}

@@ -1,0 +1,145 @@
+//! Property-based verification of the BMO query model (Section 5): the
+//! declarative semantics' invariants, agreement of every evaluation
+//! algorithm with the naive oracle, the decomposition theorems, grouping,
+//! and the filter-effect inequalities of Prop. 13.
+
+mod common;
+
+use common::{arb_pref, arb_relation, test_schema};
+use preferences::prelude::*;
+use preferences::query::bmo::sigma_naive;
+use preferences::query::decompose::{pareto_decomposition, sigma_decomposed};
+use preferences::query::groupby::{sigma_groupby, sigma_groupby_definitional};
+use preferences::query::stats::FilterEffectReport;
+use preferences::query::{algorithms, Optimizer};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn bmo_result_invariants(p in arb_pref(), r in arb_relation(16)) {
+        let res = sigma_naive(&p, &r).expect("term compiles");
+        let c = CompiledPref::compile(&p, &test_schema()).expect("term compiles");
+
+        // Nonempty input ⟹ nonempty result (no empty-result problem).
+        prop_assert_eq!(res.is_empty(), r.is_empty());
+
+        // Result tuples are pairwise unranked.
+        for &i in &res {
+            for &j in &res {
+                prop_assert!(!c.better(r.row(i), r.row(j)));
+            }
+        }
+
+        // Every excluded tuple is dominated by some result tuple.
+        for i in 0..r.len() {
+            if !res.contains(&i) {
+                prop_assert!(
+                    res.iter().any(|&m| c.better(r.row(i), r.row(m))),
+                    "row {} excluded but undominated under {}", i, p
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn all_algorithms_agree_with_the_oracle(p in arb_pref(), r in arb_relation(16)) {
+        let oracle = sigma_naive(&p, &r).expect("term compiles");
+        prop_assert_eq!(
+            algorithms::bnl(&p, &r).expect("term compiles"),
+            oracle.clone(),
+            "BNL diverged for {}", p
+        );
+        prop_assert_eq!(
+            algorithms::bnl_parallel(&p, &r, 3).expect("term compiles"),
+            oracle.clone(),
+            "parallel BNL diverged for {}", p
+        );
+        prop_assert_eq!(
+            sigma_decomposed(&p, &r).expect("term compiles"),
+            oracle.clone(),
+            "decomposition (Prop. 8-12) diverged for {}", p
+        );
+        let (opt, explain) = Optimizer::new().evaluate(&p, &r).expect("term compiles");
+        prop_assert_eq!(opt, oracle, "optimizer ({}) diverged for {}", explain.algorithm, p);
+    }
+
+    #[test]
+    fn dnc_and_sfs_agree_on_skyline_shapes(r in arb_relation(24)) {
+        let p = lowest("a").pareto(highest("b"));
+        let oracle = sigma_naive(&p, &r).expect("term compiles");
+        prop_assert_eq!(algorithms::dnc(&p, &r).expect("skyline shape"), oracle.clone());
+        prop_assert_eq!(algorithms::sfs(&p, &r).expect("scored shape"), oracle);
+    }
+
+    #[test]
+    fn groupby_matches_definitional_form(
+        p in arb_pref(),
+        r in arb_relation(14),
+    ) {
+        // Def. 16: σ[P groupby A](R) = σ[A↔ & P](R), grouping by `c`.
+        let by = AttrSet::single(attr("c"));
+        prop_assert_eq!(
+            sigma_groupby(&p, &by, &r).expect("term compiles"),
+            sigma_groupby_definitional(&p, &by, &r).expect("term compiles")
+        );
+    }
+
+    #[test]
+    fn prop12_decomposition_reconstructs_pareto(r in arb_relation(14)) {
+        let p1 = around("a", 2);
+        let p2 = lowest("b");
+        let d = pareto_decomposition(&p1, &p2, &r).expect("disjoint attributes");
+        let direct = sigma_naive(&p1.pareto(p2), &r).expect("term compiles");
+        prop_assert_eq!(d.combined(), direct);
+    }
+
+    #[test]
+    fn prop13_filter_inequalities(r in arb_relation(16)) {
+        if r.is_empty() {
+            return Ok(());
+        }
+        let report = FilterEffectReport::measure(&lowest("a"), &lowest("b"), &r)
+            .expect("terms compile");
+        prop_assert!(report.inequalities_hold(), "{:?}", report);
+    }
+
+    #[test]
+    fn adding_dominated_tuples_never_changes_results(
+        p in arb_pref(),
+        r in arb_relation(12),
+    ) {
+        // "query results adapted to the quality of data, not quantity":
+        // re-inserting copies of already-dominated tuples is a no-op on
+        // the result set of A-values.
+        let res = sigma_naive(&p, &r).expect("term compiles");
+        if res.len() == r.len() || r.is_empty() {
+            return Ok(());
+        }
+        let dominated: Vec<usize> =
+            (0..r.len()).filter(|i| !res.contains(i)).collect();
+        let mut grown = r.clone();
+        for &i in &dominated {
+            grown.push(r.row(i).clone()).expect("same schema");
+        }
+        let res2 = sigma_naive(&p, &grown).expect("term compiles");
+        let values = |rel: &Relation, ix: &[usize]| {
+            let mut v: Vec<Tuple> = ix.iter().map(|&i| rel.row(i).clone()).collect();
+            v.sort();
+            v.dedup();
+            v
+        };
+        prop_assert_eq!(values(&r, &res), values(&grown, &res2));
+    }
+
+    #[test]
+    fn equivalent_terms_answer_identically(p in arb_pref(), r in arb_relation(12)) {
+        // Prop. 7 through the rewrite engine.
+        let s = preferences::core::algebra::simplify(&p);
+        prop_assert_eq!(
+            sigma_naive(&p, &r).expect("term compiles"),
+            sigma_naive(&s, &r).expect("simplified term compiles")
+        );
+    }
+}

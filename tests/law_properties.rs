@@ -1,0 +1,184 @@
+//! Property-based verification of the preference algebra: the laws of
+//! Propositions 2–6 hold extensionally on random relations and random
+//! operand terms, every constructor stays a strict partial order
+//! (Prop. 1), and the rewrite engine preserves equivalence (Prop. 7).
+
+mod common;
+
+use common::{arb_pref, arb_relation, test_schema};
+use preferences::core::algebra::{equivalent_on, laws, simplify};
+use preferences::core::spo::check_spo;
+use preferences::prelude::*;
+use proptest::prelude::*;
+
+fn same_attr_operands() -> impl Strategy<Value = (Pref, Pref)> {
+    // Operand pairs over the single attribute `a` (SameAttrs laws).
+    let one = prop_oneof![
+        (0i64..6).prop_map(|z| around("a", z)),
+        Just(lowest("a")),
+        Just(highest("a")),
+        prop::collection::vec(0i64..6, 1..3).prop_map(|vs| pos("a", vs)),
+        prop::collection::vec(0i64..6, 1..3).prop_map(|vs| neg("a", vs)),
+    ];
+    (one.clone(), one)
+}
+
+fn disjoint_attr_operands() -> impl Strategy<Value = (Pref, Pref)> {
+    let on_a = prop_oneof![
+        (0i64..6).prop_map(|z| around("a", z)),
+        Just(lowest("a")),
+        prop::collection::vec(0i64..6, 1..3).prop_map(|vs| pos("a", vs)),
+    ];
+    let on_b = prop_oneof![
+        (0i64..6).prop_map(|z| around("b", z)),
+        Just(highest("b")),
+        prop::collection::vec(0i64..6, 1..3).prop_map(|vs| neg("b", vs)),
+    ];
+    (on_a, on_b)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn every_term_is_a_strict_partial_order(
+        p in arb_pref(),
+        r in arb_relation(14),
+    ) {
+        // Proposition 1, machine-checked.
+        let c = CompiledPref::compile(&p, &test_schema()).expect("term compiles");
+        check_spo(r.len(), |x, y| c.better(r.row(x), r.row(y)))
+            .unwrap_or_else(|e| panic!("{p} violates SPO axioms: {e}"));
+    }
+
+    #[test]
+    fn unary_laws_hold(p in arb_pref(), r in arb_relation(12)) {
+        for law in laws::unary_laws() {
+            let (lhs, rhs) = (law.build)(p.clone());
+            prop_assert!(
+                equivalent_on(&lhs, &rhs, &r).expect("laws compile"),
+                "law `{}` failed for {}", law.name, p
+            );
+        }
+    }
+
+    #[test]
+    fn binary_laws_hold_same_attrs(
+        (p1, p2) in same_attr_operands(),
+        r in arb_relation(12),
+    ) {
+        for law in laws::binary_laws() {
+            match law.requires {
+                laws::Requires::SameAttrs | laws::Requires::Nothing => {
+                    let (lhs, rhs) = (law.build)(p1.clone(), p2.clone());
+                    prop_assert!(
+                        equivalent_on(&lhs, &rhs, &r).expect("laws compile"),
+                        "law `{}` failed for ({}, {})", law.name, p1, p2
+                    );
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn binary_laws_hold_disjoint_attrs(
+        (p1, p2) in disjoint_attr_operands(),
+        r in arb_relation(12),
+    ) {
+        for law in laws::binary_laws() {
+            match law.requires {
+                laws::Requires::DisjointAttrs | laws::Requires::Nothing => {
+                    let (lhs, rhs) = (law.build)(p1.clone(), p2.clone());
+                    prop_assert!(
+                        equivalent_on(&lhs, &rhs, &r).expect("laws compile"),
+                        "law `{}` failed for ({}, {})", law.name, p1, p2
+                    );
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn associativity_laws_hold(
+        (p1, p2) in disjoint_attr_operands(),
+        p3 in prop::collection::vec(0usize..4, 1..3).prop_map(|ix| {
+            let cats = ["x", "y", "z", "w"];
+            pos("c", ix.into_iter().map(|i| cats[i]))
+        }),
+        r in arb_relation(12),
+    ) {
+        for law in laws::ternary_laws() {
+            if law.requires == laws::Requires::Nothing {
+                let (lhs, rhs) = (law.build)(p1.clone(), p2.clone(), p3.clone());
+                prop_assert!(
+                    equivalent_on(&lhs, &rhs, &r).expect("laws compile"),
+                    "law `{}` failed", law.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn simplify_preserves_semantics(p in arb_pref(), r in arb_relation(12)) {
+        // Prop. 7: equivalent terms answer identically, so the rewrite
+        // engine must preserve extensional equivalence.
+        let s = simplify(&p);
+        prop_assert!(
+            equivalent_on(&p, &s, &r).expect("terms compile"),
+            "simplify changed semantics: {} ⇝ {}", p, s
+        );
+    }
+
+    #[test]
+    fn simplify_is_idempotent(p in arb_pref()) {
+        let once = simplify(&p);
+        let twice = simplify(&once);
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn terms_roundtrip_through_text(p in arb_pref(), r in arb_relation(10)) {
+        // The preference repository's storage format (§7) is the Display
+        // syntax; whatever structural normalisation parsing applies
+        // (n-ary flattening) must stay Def. 13-equivalent, and printing
+        // must be a fixpoint afterwards.
+        let text = p.to_string();
+        let parsed = preferences::core::text::parse_term(&text)
+            .unwrap_or_else(|e| panic!("cannot parse `{text}`: {e}"));
+        prop_assert!(
+            equivalent_on(&p, &parsed, &r).expect("terms compile"),
+            "text round-trip changed semantics: `{}` → `{}`", p, parsed
+        );
+        prop_assert_eq!(
+            preferences::core::text::parse_term(&parsed.to_string()).unwrap(),
+            parsed
+        );
+    }
+
+    #[test]
+    fn duals_are_involutive_pointwise(p in arb_pref(), r in arb_relation(10)) {
+        let c = CompiledPref::compile(&p, &test_schema()).expect("term compiles");
+        let d = CompiledPref::compile(&p.clone().dual(), &test_schema()).expect("dual compiles");
+        for x in r.rows() {
+            for y in r.rows() {
+                prop_assert_eq!(c.better(x, y), d.better(y, x));
+            }
+        }
+    }
+
+    #[test]
+    fn prioritised_chains_stay_chains(r in arb_relation(10)) {
+        // Prop. 3h on the tuple level, modulo duplicate projections.
+        let p = lowest("a").prior(highest("b"));
+        let c = CompiledPref::compile(&p, &test_schema()).expect("term compiles");
+        for x in r.rows() {
+            for y in r.rows() {
+                let ranked = c.better(x, y) || c.better(y, x);
+                let same_proj = x[0] == y[0] && x[1] == y[1];
+                prop_assert_eq!(ranked, !same_proj);
+            }
+        }
+    }
+}
