@@ -9,20 +9,19 @@ use pref_relation::Value;
 use std::hint::black_box;
 
 fn values(n: usize) -> Vec<Value> {
-    (0..n).map(|i| Value::from((i * 37 % 1000) as i64)).collect()
+    (0..n)
+        .map(|i| Value::from((i * 37 % 1000) as i64))
+        .collect()
 }
 
 fn colors(n: usize) -> Vec<Value> {
     let palette = ["red", "green", "blue", "gray", "black", "white", "yellow"];
-    (0..n).map(|i| Value::from(palette[i % palette.len()])).collect()
+    (0..n)
+        .map(|i| Value::from(palette[i % palette.len()]))
+        .collect()
 }
 
-fn bench_constructor(
-    c: &mut Criterion,
-    name: &str,
-    pref: &dyn BasePreference,
-    dom: &[Value],
-) {
+fn bench_constructor(c: &mut Criterion, name: &str, pref: &dyn BasePreference, dom: &[Value]) {
     let pairs = (dom.len() * dom.len()) as u64;
     let mut group = c.benchmark_group("base-prefs");
     group.throughput(Throughput::Elements(pairs));

@@ -49,7 +49,12 @@ fn bench_selection_ablation(c: &mut Criterion) {
         let opt = Optimizer::new();
         b.iter(|| black_box(opt.evaluate(&p, &r).unwrap().0))
     });
-    for algo in [Algorithm::Bnl, Algorithm::Dnc, Algorithm::Sfs, Algorithm::Decomposed] {
+    for algo in [
+        Algorithm::Bnl,
+        Algorithm::Dnc,
+        Algorithm::Sfs,
+        Algorithm::Decomposed,
+    ] {
         let opt = Optimizer::new().with_algorithm(algo);
         group.bench_function(format!("forced-{algo}"), |b| {
             b.iter(|| black_box(opt.evaluate(&p, &r).unwrap().0))

@@ -2,9 +2,17 @@
 //! input sizes and correlation classes — the paper's "naive approach
 //! performs O(n²) better-than tests" versus the divide & conquer and
 //! skyline algorithms it points to (\[KLP75\], \[BKS01\], \[TEO01\]).
+//!
+//! The `pareto/backend` group is the score-matrix ablation: the same BNL
+//! window algorithm driven by generic term-tree walks (`bnl-generic`)
+//! versus materialized columnar dominance keys (`bnl-matrix`), on a
+//! ≥10k-row Pareto workload. The AROUND-shaped term recomputes distances
+//! in every generic comparison, which is exactly what materialization
+//! amortizes away.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use pref_bench::{skyline_pref, table};
+use pref_bench::{around_pref, skyline_pref, table};
+use pref_core::eval::CompiledPref;
 use pref_query::algorithms::{bnl, dnc, sfs};
 use pref_query::bmo::sigma_naive;
 use pref_workload::Distribution;
@@ -40,6 +48,32 @@ fn bench_algorithms(c: &mut Criterion) {
     }
 }
 
+/// Score-matrix ablation: identical BNL window logic, dominance backend
+/// swapped. Run with `cargo bench -p pref-bench --bench pareto_algorithms
+/// -- backend` to isolate it.
+fn bench_backend_ablation(c: &mut Criterion) {
+    let d = 3;
+    for (label, p) in [("skyline", skyline_pref(d)), ("around", around_pref(d))] {
+        let mut group = c.benchmark_group(format!("pareto/backend/{label}"));
+        group.sample_size(10);
+        for n in [10_000usize, 16_000] {
+            let r = table(n, d, Distribution::Independent, 42);
+            let compiled = CompiledPref::compile(&p, r.schema()).unwrap();
+            group.bench_with_input(BenchmarkId::new("bnl-generic", n), &r, |b, r| {
+                b.iter(|| black_box(bnl::bnl_generic(&compiled, r)))
+            });
+            // Matrix path including the materialization pass, per query.
+            group.bench_with_input(BenchmarkId::new("bnl-matrix", n), &r, |b, r| {
+                b.iter(|| {
+                    let m = compiled.score_matrix(r).expect("representable");
+                    black_box(bnl::bnl_matrix(&m))
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
 fn bench_dimensions(c: &mut Criterion) {
     let n = 4_000;
     let mut group = c.benchmark_group("pareto/dimensions");
@@ -57,5 +91,10 @@ fn bench_dimensions(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_algorithms, bench_dimensions);
+criterion_group!(
+    benches,
+    bench_algorithms,
+    bench_backend_ablation,
+    bench_dimensions
+);
 criterion_main!(benches);

@@ -52,12 +52,12 @@ fn labels(prefix: &str, n: usize) -> Vec<String> {
 }
 
 fn e1(h: &mut Harness) {
-    heading("E1", "Example 1: EXPLICIT color preference better-than graph");
+    heading(
+        "E1",
+        "Example 1: EXPLICIT color preference better-than graph",
+    );
     let g = graph_of(&paper::example1_pref(), &paper::example1_domain());
-    let names = [
-        "white", "red", "yellow", "green", "brown", "black",
-    ]
-    .map(String::from);
+    let names = ["white", "red", "yellow", "green", "brown", "black"].map(String::from);
     print!("{}", g.render(&names));
     h.check(
         "E1",
@@ -122,7 +122,11 @@ fn e5(h: &mut Harness) {
     let r = paper::example5_relation();
     let p = paper::example5_pref();
     let c = CompiledPref::compile(&p, r.schema()).expect("fixture compiles");
-    let f: Vec<f64> = r.rows().iter().map(|t| c.utility(t).expect("rank utility")).collect();
+    let f: Vec<f64> = r
+        .rows()
+        .iter()
+        .map(|t| c.utility(t).expect("rank utility"))
+        .collect();
     println!("F-values: {f:?}");
     h.check(
         "E5",
@@ -140,7 +144,10 @@ fn e5(h: &mut Harness) {
 }
 
 fn e6(h: &mut Harness) {
-    heading("E6", "Example 6: preference engineering scenario on a catalog");
+    heading(
+        "E6",
+        "Example 6: preference engineering scenario on a catalog",
+    );
     let stock = cars::catalog(2_000, 2002);
     for (name, q) in [
         ("Q1 ", paper::example6_q1()),
@@ -150,7 +157,11 @@ fn e6(h: &mut Harness) {
     ] {
         let res = sigma_rel(&q, &stock).expect("catalog schema covers the scenario");
         println!("  σ[{name}] → {} best matches", res.len());
-        h.check("E6", &format!("{name} nonempty, no flooding"), !res.is_empty() && res.len() < 200);
+        h.check(
+            "E6",
+            &format!("{name} nonempty, no flooding"),
+            !res.is_empty() && res.len() < 200,
+        );
     }
 }
 
@@ -169,13 +180,21 @@ fn e7(h: &mut Harness) {
         .into_iter()
         .flatten()
         .collect();
-    h.check("E7", "P1&P2 chain val5→val4→val3→val2→val1", chain1 == vec![4, 3, 2, 1, 0]);
+    h.check(
+        "E7",
+        "P1&P2 chain val5→val4→val3→val2→val1",
+        chain1 == vec![4, 3, 2, 1, 0],
+    );
     let chain2: Vec<usize> = graph_of(&p2.clone().prior(p1.clone()), &r)
         .level_groups()
         .into_iter()
         .flatten()
         .collect();
-    h.check("E7", "P2&P1 chain val3→val1→val5→val2→val4", chain2 == vec![2, 0, 4, 1, 3]);
+    h.check(
+        "E7",
+        "P2&P1 chain val3→val1→val5→val2→val4",
+        chain2 == vec![2, 0, 4, 1, 3],
+    );
 
     let nondisc = p1
         .clone()
@@ -196,7 +215,11 @@ fn e8(h: &mut Harness) {
     let res = sigma_rel(&p, &r).expect("fixture compiles");
     let colors: Vec<&str> = res.iter().map(|t| t[0].as_str().unwrap()).collect();
     println!("  σ[P](R) = {colors:?}");
-    h.check("E8", "result {yellow, red}", colors == vec!["yellow", "red"]);
+    h.check(
+        "E8",
+        "result {yellow, red}",
+        colors == vec!["yellow", "red"],
+    );
     h.check(
         "E8",
         "red is a perfect match",
@@ -241,7 +264,10 @@ fn e11(h: &mut Harness) {
     let full = sigma(&Pref::Pareto(vec![p1.clone(), p2.clone()]), &r).expect("compiles");
     h.check("E11", "σ[P1⊗P2](R) = R = {3,6,9}", full == vec![0, 1, 2]);
     let yy = decompose::yy(&p1.clone().prior(p2.clone()), &p2.prior(p1), &r).expect("compiles");
-    println!("  YY(P1&P2, P2&P1)_R = {:?}", yy.iter().map(|&i| r.row(i)[0].clone()).collect::<Vec<_>>());
+    println!(
+        "  YY(P1&P2, P2&P1)_R = {:?}",
+        yy.iter().map(|&i| r.row(i)[0].clone()).collect::<Vec<_>>()
+    );
     h.check("E11", "YY = {6}", yy == vec![1]);
 }
 
@@ -254,7 +280,11 @@ fn laws_report(h: &mut Harness) {
     let operand = around("a", 2).pareto(lowest("b"));
     for law in laws::unary_laws() {
         let (lhs, rhs) = (law.build)(operand.clone());
-        h.check("laws", law.name, equivalent_on(&lhs, &rhs, &sample).expect("compiles"));
+        h.check(
+            "laws",
+            law.name,
+            equivalent_on(&lhs, &rhs, &sample).expect("compiles"),
+        );
     }
     let shared = (pos("a", [1i64, 5]), neg("a", [2i64, 5]));
     let disjoint = (around("a", 2), lowest("b"));
@@ -265,7 +295,11 @@ fn laws_report(h: &mut Harness) {
             laws::Requires::DisjointRanges => continue,
         };
         let (lhs, rhs) = (law.build)(p1, p2);
-        h.check("laws", law.name, equivalent_on(&lhs, &rhs, &sample).expect("compiles"));
+        h.check(
+            "laws",
+            law.name,
+            equivalent_on(&lhs, &rhs, &sample).expect("compiles"),
+        );
     }
     for law in laws::ternary_laws() {
         let (p1, p2, p3) = match law.requires {
@@ -274,12 +308,19 @@ fn laws_report(h: &mut Harness) {
             _ => (around("a", 2), lowest("b"), highest("a")),
         };
         let (lhs, rhs) = (law.build)(p1, p2, p3);
-        h.check("laws", law.name, equivalent_on(&lhs, &rhs, &sample).expect("compiles"));
+        h.check(
+            "laws",
+            law.name,
+            equivalent_on(&lhs, &rhs, &sample).expect("compiles"),
+        );
     }
 }
 
 fn decomp_report(h: &mut Harness) {
-    heading("L7-L12", "query decomposition theorems vs. the naive oracle");
+    heading(
+        "L7-L12",
+        "query decomposition theorems vs. the naive oracle",
+    );
     let r = cars::catalog(400, 77);
     let terms = vec![
         lowest("price").pareto(lowest("mileage")),
@@ -295,32 +336,74 @@ fn decomp_report(h: &mut Harness) {
     for p in terms {
         let naive = sigma_naive(&p, &r).expect("compiles");
         let dec = sigma_decomposed(&p, &r).expect("compiles");
-        h.check("decomp", &format!("σ-decomposed ≡ σ-naive for {p}"), naive == dec);
+        h.check(
+            "decomp",
+            &format!("σ-decomposed ≡ σ-naive for {p}"),
+            naive == dec,
+        );
     }
 }
 
 fn hierarchy_report(h: &mut Harness) {
     heading("F1", "§3.4 sub-constructor hierarchies");
-    use pref_core::algebra::hierarchy as hier;
     use pref_core::algebra::equiv::equivalent_values;
+    use pref_core::algebra::hierarchy as hier;
     use pref_core::base::*;
     let nums: Vec<pref_relation::Value> = (0..12).map(pref_relation::Value::from).collect();
-    let cats: Vec<pref_relation::Value> =
-        ["a", "b", "c", "d", "e"].iter().map(|s| pref_relation::Value::from(*s)).collect();
+    let cats: Vec<pref_relation::Value> = ["a", "b", "c", "d", "e"]
+        .iter()
+        .map(|s| pref_relation::Value::from(*s))
+        .collect();
 
     let a = Around::new(5);
-    h.check("F1", "AROUND ≼ BETWEEN", equivalent_values(&a, &hier::around_as_between(&a), &nums));
-    h.check("F1", "AROUND ≼ SCORE", equivalent_values(&a, &hier::around_as_score(&a), &nums));
-    h.check("F1", "HIGHEST ≼ SCORE", equivalent_values(&Highest::new(), &hier::highest_as_score(), &nums));
-    h.check("F1", "LOWEST ≼ SCORE", equivalent_values(&Lowest::new(), &hier::lowest_as_score(), &nums));
+    h.check(
+        "F1",
+        "AROUND ≼ BETWEEN",
+        equivalent_values(&a, &hier::around_as_between(&a), &nums),
+    );
+    h.check(
+        "F1",
+        "AROUND ≼ SCORE",
+        equivalent_values(&a, &hier::around_as_score(&a), &nums),
+    );
+    h.check(
+        "F1",
+        "HIGHEST ≼ SCORE",
+        equivalent_values(&Highest::new(), &hier::highest_as_score(), &nums),
+    );
+    h.check(
+        "F1",
+        "LOWEST ≼ SCORE",
+        equivalent_values(&Lowest::new(), &hier::lowest_as_score(), &nums),
+    );
     let pos_b = Pos::new(["a", "b"]);
-    h.check("F1", "POS ≼ POS/POS", equivalent_values(&pos_b, &hier::pos_as_pos_pos(&pos_b), &cats));
-    h.check("F1", "POS ≼ POS/NEG", equivalent_values(&pos_b, &hier::pos_as_pos_neg(&pos_b), &cats));
+    h.check(
+        "F1",
+        "POS ≼ POS/POS",
+        equivalent_values(&pos_b, &hier::pos_as_pos_pos(&pos_b), &cats),
+    );
+    h.check(
+        "F1",
+        "POS ≼ POS/NEG",
+        equivalent_values(&pos_b, &hier::pos_as_pos_neg(&pos_b), &cats),
+    );
     let neg_b = Neg::new(["d"]);
-    h.check("F1", "NEG ≼ POS/NEG", equivalent_values(&neg_b, &hier::neg_as_pos_neg(&neg_b), &cats));
+    h.check(
+        "F1",
+        "NEG ≼ POS/NEG",
+        equivalent_values(&neg_b, &hier::neg_as_pos_neg(&neg_b), &cats),
+    );
     let pp = PosPos::new(["a"], ["b"]).expect("disjoint");
-    h.check("F1", "POS/POS ≼ EXPLICIT", equivalent_values(&pp, &hier::pos_pos_as_explicit(&pp), &cats));
-    h.check("F1", "POS ≡ POS-set↔ ⊕ others↔", equivalent_values(&pos_b, &hier::pos_as_linear_sum(&pos_b), &cats));
+    h.check(
+        "F1",
+        "POS/POS ≼ EXPLICIT",
+        equivalent_values(&pp, &hier::pos_pos_as_explicit(&pp), &cats),
+    );
+    h.check(
+        "F1",
+        "POS ≡ POS-set↔ ⊕ others↔",
+        equivalent_values(&pos_b, &hier::pos_as_linear_sum(&pos_b), &cats),
+    );
 
     let r = pref_relation::rel! { ("a": Int, "b": Int); (1,9),(1,2),(5,0),(5,9),(3,3),(2,2) };
     let prior = highest("a").prior(highest("b"));
@@ -331,7 +414,11 @@ fn hierarchy_report(h: &mut Harness) {
         10.0,
     )
     .expect("score operands");
-    h.check("F1", "& ≼ rank(F) (quantised scores)", equivalent_on(&prior, &ranked, &r).expect("compiles"));
+    h.check(
+        "F1",
+        "& ≼ rank(F) (quantised scores)",
+        equivalent_on(&prior, &ranked, &r).expect("compiles"),
+    );
 }
 
 fn filter_effect(h: &mut Harness) {
@@ -340,7 +427,14 @@ fn filter_effect(h: &mut Harness) {
     println!(
         "{}",
         row(
-            &["workload".into(), "size(P1)".into(), "size(P2)".into(), "P1&P2".into(), "P2&P1".into(), "P1⊗P2".into()],
+            &[
+                "workload".into(),
+                "size(P1)".into(),
+                "size(P2)".into(),
+                "P1&P2".into(),
+                "P2&P1".into(),
+                "P1⊗P2".into()
+            ],
             &widths
         )
     );
@@ -382,11 +476,18 @@ fn filter_effect(h: &mut Harness) {
         );
         all_ok &= rep.inequalities_hold();
     }
-    h.check("X1", "size(Pi&Pj) ≤ size(Pi) ≤ ... ≤ size(P1⊗P2) inequalities", all_ok);
+    h.check(
+        "X1",
+        "size(Pi&Pj) ≤ size(Pi) ≤ ... ≤ size(P1⊗P2) inequalities",
+        all_ok,
+    );
 }
 
 fn eshop(h: &mut Harness) {
-    heading("X2", "[KFH01]: Pareto BMO result sizes 'a few to a few dozens'");
+    heading(
+        "X2",
+        "[KFH01]: Pareto BMO result sizes 'a few to a few dozens'",
+    );
     // Full customer queries: a hard search-mask narrowing (make/category,
     // price cap) plus the Pareto preference — the shape the product
     // benchmark measured over real query logs.
@@ -408,27 +509,60 @@ fn eshop(h: &mut Harness) {
         n,
         catalog.len()
     );
-    println!("  1: {:3}   2-10: {:3}   11-50: {:3}   >50: {:3}", bucket(1, 1), bucket(2, 10), bucket(11, 50), bucket(51, usize::MAX));
+    println!(
+        "  1: {:3}   2-10: {:3}   11-50: {:3}   >50: {:3}",
+        bucket(1, 1),
+        bucket(2, 10),
+        bucket(11, 50),
+        bucket(51, usize::MAX)
+    );
     let median = sizes[n / 2];
-    println!("  median {median}  p75 {}  p90 {}  max {}", sizes[(n * 3) / 4], sizes[(n * 9) / 10], sizes[n - 1]);
-    h.check("X2", "median within 'a few to a few dozens' (1..=50)", (1..=50).contains(&median));
-    h.check("X2", "at least 75% of queries within 1..=50", bucket(1, 50) * 4 >= n * 3);
+    println!(
+        "  median {median}  p75 {}  p90 {}  max {}",
+        sizes[(n * 3) / 4],
+        sizes[(n * 9) / 10],
+        sizes[n - 1]
+    );
+    h.check(
+        "X2",
+        "median within 'a few to a few dozens' (1..=50)",
+        (1..=50).contains(&median),
+    );
+    h.check(
+        "X2",
+        "at least 75% of queries within 1..=50",
+        bucket(1, 50) * 4 >= n * 3,
+    );
 }
 
 fn scaling(h: &mut Harness) {
-    heading("X3", "naive O(n²) vs. BNL vs. D&C vs. SFS (3-d skyline, ms)");
+    heading(
+        "X3",
+        "naive O(n²) vs. BNL vs. D&C vs. SFS (3-d skyline, ms)",
+    );
     let d = 3;
     let p = skyline_pref(d);
     let widths = [14usize, 8, 9, 9, 9, 9];
     println!(
         "{}",
         row(
-            &["distribution".into(), "n".into(), "naive".into(), "bnl".into(), "dnc".into(), "sfs".into()],
+            &[
+                "distribution".into(),
+                "n".into(),
+                "naive".into(),
+                "bnl".into(),
+                "dnc".into(),
+                "sfs".into()
+            ],
             &widths
         )
     );
     let mut sane = true;
-    for dist in [Distribution::Correlated, Distribution::Independent, Distribution::Anticorrelated] {
+    for dist in [
+        Distribution::Correlated,
+        Distribution::Independent,
+        Distribution::Anticorrelated,
+    ] {
         for n in [1_000usize, 4_000, 16_000] {
             let r = table(n, d, dist, 42);
             let (res_naive, t_naive) = if n <= 4_000 {
@@ -473,11 +607,21 @@ fn topk(h: &mut Harness) {
     .expect("score operands");
     let bmo = sigma(&p, &r).expect("compiles");
     let top = top_k(&p, &r, 10).expect("scored");
-    println!("  BMO result size: {} (rank(F) is almost a chain)", bmo.len());
-    println!("  top-10 returns {} tuples incl. non-maximal ones", top.len());
+    println!(
+        "  BMO result size: {} (rank(F) is almost a chain)",
+        bmo.len()
+    );
+    println!(
+        "  top-10 returns {} tuples incl. non-maximal ones",
+        top.len()
+    );
     h.check("X4", "BMO of a rank(F) chain is tiny (≤ 3)", bmo.len() <= 3);
     h.check("X4", "k-best returns exactly k", top.len() == 10);
-    h.check("X4", "k-best is a superset of BMO", bmo.iter().all(|i| top.contains(i)));
+    h.check(
+        "X4",
+        "k-best is a superset of BMO",
+        bmo.iter().all(|i| top.contains(i)),
+    );
 }
 
 fn langs(h: &mut Harness) {
@@ -491,13 +635,20 @@ fn langs(h: &mut Harness) {
               CASCADE color = 'red' CASCADE LOWEST(mileage);";
     let r1 = db.execute(q1).expect("paper query 1 runs");
     println!("  Preference SQL car query → {} rows", r1.relation.len());
-    h.check("langs", "Preference SQL car query parses and runs", !r1.relation.is_empty());
+    h.check(
+        "langs",
+        "Preference SQL car query parses and runs",
+        !r1.relation.is_empty(),
+    );
 
     let q2 = "SELECT * FROM trips \
               PREFERRING start_date AROUND '2001/11/23' AND duration AROUND 14 \
               BUT ONLY DISTANCE(start_date)<=2 AND DISTANCE(duration)<=2;";
     let r2 = db.execute(q2).expect("paper query 2 runs");
-    println!("  Preference SQL trips query → {} rows within the corridor", r2.relation.len());
+    println!(
+        "  Preference SQL trips query → {} rows within the corridor",
+        r2.relation.len()
+    );
     h.check("langs", "BUT ONLY corridor respected", {
         let target = pref_relation::Date::parse("2001/11/23").unwrap();
         r2.relation.iter().all(|t| {
@@ -517,28 +668,55 @@ fn langs(h: &mut Harness) {
         .query("/CARS/CAR #[(@fuel_economy)highest and (@horsepower)highest]#")
         .expect("Q1 parses");
     println!("  Preference XPath Q1 → {} node(s)", hits.len());
-    h.check("langs", "XPath Q1 skyline", hits.len() == 1 && doc.node(hits[0]).attr("color") == Some("red"));
+    h.check(
+        "langs",
+        "XPath Q1 skyline",
+        hits.len() == 1 && doc.node(hits[0]).attr("color") == Some("red"),
+    );
     let hits2 = engine
         .query(
             "/CARS/CAR #[(@color)in(\"black\", \"white\")prior to(@price)around 10000]##[(@mileage)lowest]#",
         )
         .expect("Q2 parses");
     println!("  Preference XPath Q2 → {} node(s)", hits2.len());
-    h.check("langs", "XPath Q2 prioritised + second soft step", hits2.len() == 1);
+    h.check(
+        "langs",
+        "XPath Q2 prioritised + second soft step",
+        hits2.len() == 1,
+    );
 }
 
 fn optimizer_report(h: &mut Harness) {
-    heading("OPT", "optimizer: rewriting + algorithm selection (Prop. 7)");
+    heading(
+        "OPT",
+        "optimizer: rewriting + algorithm selection (Prop. 7)",
+    );
     let r = cars::catalog(2_000, 15);
     for (q, expect_algo) in [
-        (lowest("price").pareto(highest("year")), "divide-and-conquer"),
-        (lowest("price").prior(pos("color", ["red"])), "chain cascade (Prop. 11)"),
-        (around("price", 9_000).pareto(lowest("mileage")), "sort-filter-skyline"),
-        (pos("color", ["red"]).pareto(neg("make", ["Fiat"])), "block-nested-loops"),
+        (
+            lowest("price").pareto(highest("year")),
+            "divide-and-conquer",
+        ),
+        (
+            lowest("price").prior(pos("color", ["red"])),
+            "chain cascade (Prop. 11)",
+        ),
+        (
+            around("price", 9_000).pareto(lowest("mileage")),
+            "sort-filter-skyline",
+        ),
+        (
+            pos("color", ["red"]).pareto(neg("make", ["Fiat"])),
+            "block-nested-loops",
+        ),
     ] {
         let (rows, ex) = Optimizer::new().evaluate(&q, &r).expect("compiles");
         println!("  {} → {} ({} rows)", ex.original, ex.algorithm, rows.len());
-        h.check("OPT", &format!("{} picked for {}", expect_algo, ex.original), ex.algorithm.to_string() == expect_algo);
+        h.check(
+            "OPT",
+            &format!("{} picked for {}", expect_algo, ex.original),
+            ex.algorithm.to_string() == expect_algo,
+        );
         let naive = sigma_naive(&q, &r).expect("compiles");
         h.check("OPT", "matches the naive oracle", rows == naive);
     }
@@ -549,7 +727,11 @@ fn optimizer_report(h: &mut Harness) {
         &r,
     )
     .expect("compiles");
-    h.check("OPT", "groupby returns one best offer per make (≥ #makes)", grouped.len() >= 10);
+    h.check(
+        "OPT",
+        "groupby returns one best offer per make (≥ #makes)",
+        grouped.len() >= 10,
+    );
 }
 
 fn main() {
@@ -560,26 +742,66 @@ fn main() {
     println!("paper-expected vs. measured, per EXPERIMENTS.md");
 
     let mut h = Harness { failures: vec![] };
-    if want("e1") { e1(&mut h); }
-    if want("e2") { e2(&mut h); }
-    if want("e3") { e3(&mut h); }
-    if want("e4") { e4(&mut h); }
-    if want("e5") { e5(&mut h); }
-    if want("e6") { e6(&mut h); }
-    if want("e7") { e7(&mut h); }
-    if want("e8") { e8(&mut h); }
-    if want("e9") { e9(&mut h); }
-    if want("e10") { e10(&mut h); }
-    if want("e11") { e11(&mut h); }
-    if want("laws") { laws_report(&mut h); }
-    if want("decomp") { decomp_report(&mut h); }
-    if want("hierarchy") { hierarchy_report(&mut h); }
-    if want("x1") || want("filter") { filter_effect(&mut h); }
-    if want("x2") || want("eshop") { eshop(&mut h); }
-    if want("x3") || want("scaling") { scaling(&mut h); }
-    if want("x4") || want("topk") { topk(&mut h); }
-    if want("langs") { langs(&mut h); }
-    if want("opt") { optimizer_report(&mut h); }
+    if want("e1") {
+        e1(&mut h);
+    }
+    if want("e2") {
+        e2(&mut h);
+    }
+    if want("e3") {
+        e3(&mut h);
+    }
+    if want("e4") {
+        e4(&mut h);
+    }
+    if want("e5") {
+        e5(&mut h);
+    }
+    if want("e6") {
+        e6(&mut h);
+    }
+    if want("e7") {
+        e7(&mut h);
+    }
+    if want("e8") {
+        e8(&mut h);
+    }
+    if want("e9") {
+        e9(&mut h);
+    }
+    if want("e10") {
+        e10(&mut h);
+    }
+    if want("e11") {
+        e11(&mut h);
+    }
+    if want("laws") {
+        laws_report(&mut h);
+    }
+    if want("decomp") {
+        decomp_report(&mut h);
+    }
+    if want("hierarchy") {
+        hierarchy_report(&mut h);
+    }
+    if want("x1") || want("filter") {
+        filter_effect(&mut h);
+    }
+    if want("x2") || want("eshop") {
+        eshop(&mut h);
+    }
+    if want("x3") || want("scaling") {
+        scaling(&mut h);
+    }
+    if want("x4") || want("topk") {
+        topk(&mut h);
+    }
+    if want("langs") {
+        langs(&mut h);
+    }
+    if want("opt") {
+        optimizer_report(&mut h);
+    }
 
     println!();
     if h.failures.is_empty() {

@@ -11,12 +11,7 @@ use pref_workload::synthetic::{self, Distribution};
 /// A skyline-shaped preference over the synthetic `d0 … d{d-1}` columns:
 /// maximise every dimension.
 pub fn skyline_pref(d: usize) -> Pref {
-    Pref::pareto_all(
-        (0..d)
-            .map(|i| highest(format!("d{i}").as_str()))
-            .collect(),
-    )
-    .expect("d >= 1")
+    Pref::pareto_all((0..d).map(|i| highest(format!("d{i}").as_str())).collect()).expect("d >= 1")
 }
 
 /// An AROUND-flavoured Pareto preference over the synthetic columns —

@@ -69,11 +69,7 @@ pub fn equivalent_on(p1: &Pref, p2: &Pref, r: &Relation) -> Result<bool, CoreErr
 }
 
 /// Value-level equivalence of two base preferences over a domain sample.
-pub fn equivalent_values(
-    b1: &dyn BasePreference,
-    b2: &dyn BasePreference,
-    dom: &[Value],
-) -> bool {
+pub fn equivalent_values(b1: &dyn BasePreference, b2: &dyn BasePreference, dom: &[Value]) -> bool {
     dom.iter()
         .all(|x| dom.iter().all(|y| b1.better(x, y) == b2.better(x, y)))
 }

@@ -64,14 +64,12 @@ pub fn pos_as_pos_pos(p: &Pos) -> PosPos {
 
 /// `POS ≼ POS/NEG` with `NEG-set = ∅`.
 pub fn pos_as_pos_neg(p: &Pos) -> PosNeg {
-    PosNeg::new(p.pos_set().iter().cloned(), Vec::<Value>::new())
-        .expect("empty NEG cannot overlap")
+    PosNeg::new(p.pos_set().iter().cloned(), Vec::<Value>::new()).expect("empty NEG cannot overlap")
 }
 
 /// `NEG ≼ POS/NEG` with `POS-set = ∅`.
 pub fn neg_as_pos_neg(n: &Neg) -> PosNeg {
-    PosNeg::new(Vec::<Value>::new(), n.neg_set().iter().cloned())
-        .expect("empty POS cannot overlap")
+    PosNeg::new(Vec::<Value>::new(), n.neg_set().iter().cloned()).expect("empty POS cannot overlap")
 }
 
 /// `POS/POS ≼ EXPLICIT` with `EXPLICIT-graph = (POS1-set)↔ ⊕ (POS2-set)↔`:
@@ -100,20 +98,12 @@ pub fn pos_pos_as_explicit(p: &PosPos) -> Explicit {
 
 /// `POS = POS-set↔ ⊕ other-values↔` as a [`Layered`] preference.
 pub fn pos_as_linear_sum(p: &Pos) -> Layered {
-    Layered::new(vec![
-        Layer::Set(p.pos_set().clone()),
-        Layer::Others,
-    ])
-    .expect("two disjoint layers")
+    Layered::new(vec![Layer::Set(p.pos_set().clone()), Layer::Others]).expect("two disjoint layers")
 }
 
 /// `NEG = other-values↔ ⊕ NEG-set↔`.
 pub fn neg_as_linear_sum(n: &Neg) -> Layered {
-    Layered::new(vec![
-        Layer::Others,
-        Layer::Set(n.neg_set().clone()),
-    ])
-    .expect("two disjoint layers")
+    Layered::new(vec![Layer::Others, Layer::Set(n.neg_set().clone())]).expect("two disjoint layers")
 }
 
 /// `POS/NEG = (POS-set↔ ⊕ other-values↔) ⊕ NEG-set↔`.

@@ -70,10 +70,7 @@ pub fn unary_laws() -> Vec<UnaryLaw> {
             name: "P ♦ P∂ ≡ A↔ (Prop 3g)",
             build: |p| {
                 let ac = ac_of(&p);
-                (
-                    Pref::Inter(Arc::new(p.clone()), Arc::new(p.dual())),
-                    ac,
-                )
+                (Pref::Inter(Arc::new(p.clone()), Arc::new(p.dual())), ac)
             },
         },
         UnaryLaw {
@@ -175,10 +172,7 @@ pub fn binary_laws() -> Vec<BinaryLaw> {
                 let a1 = Pref::Antichain(p1.attributes());
                 (
                     Pref::Prior(vec![p1.clone(), p2.clone()]),
-                    Pref::Union(
-                        Arc::new(p1),
-                        Arc::new(Pref::Prior(vec![a1, p2])),
-                    ),
+                    Pref::Union(Arc::new(p1), Arc::new(Pref::Prior(vec![a1, p2]))),
                 )
             },
         },
@@ -428,11 +422,7 @@ mod tests {
         let r = sample();
         for law in ternary_laws() {
             let (p1, p2, p3) = match law.requires {
-                Requires::SameAttrs => (
-                    pos("a", [1i64]),
-                    neg("a", [5i64]),
-                    around("a", 3),
-                ),
+                Requires::SameAttrs => (pos("a", [1i64]), neg("a", [5i64]), around("a", 3)),
                 Requires::DisjointRanges => continue,
                 _ => (around("a", 2), lowest("b"), highest("a")),
             };
@@ -480,7 +470,10 @@ mod tests {
         let c1: HashSet<Value> = [Value::from("a"), Value::from("b")].into_iter().collect();
         let c2: HashSet<Value> = [Value::from("x")].into_iter().collect();
         let law = linear_sum_dual_law(c1, c2);
-        let dom: Vec<Value> = ["a", "b", "x", "q"].iter().map(|s| Value::from(*s)).collect();
+        let dom: Vec<Value> = ["a", "b", "x", "q"]
+            .iter()
+            .map(|s| Value::from(*s))
+            .collect();
         assert!(
             equivalent_values(law.lhs.as_ref(), law.rhs.as_ref(), &dom),
             "value law `{}` failed",

@@ -243,9 +243,7 @@ mod tests {
         let r = sample();
         assert!(!crate::algebra::equiv::equivalent_on(&nested, &wrong, &r).unwrap());
         // And simplify keeps the nested form's semantics.
-        assert!(
-            crate::algebra::equiv::equivalent_on(&nested, &simplify(&nested), &r).unwrap()
-        );
+        assert!(crate::algebra::equiv::equivalent_on(&nested, &simplify(&nested), &r).unwrap());
     }
 
     #[test]

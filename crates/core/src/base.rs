@@ -103,6 +103,21 @@ pub trait BasePreference: fmt::Debug + Send + Sync {
         false
     }
 
+    /// A total-preorder embedding of this order, when one exists:
+    /// `Some(k)` for every domain value with the *exact* guarantee
+    /// `better(x, y) ⟺ key(x) < key(y)` (higher key = better).
+    ///
+    /// This is stronger than [`BasePreference::score`] (which only needs
+    /// `better ⟹ <`) and is what lets the score-matrix evaluator replace
+    /// term-tree walks by plain `f64` comparisons. Constructors whose
+    /// order is not a total preorder on some values (EXPLICIT's genuine
+    /// partial orders, the combinator bases) return `None` — per value,
+    /// so materialization can bail out and fall back to the generic
+    /// path the moment a non-embeddable value shows up.
+    fn dominance_key(&self, _v: &Value) -> Option<f64> {
+        None
+    }
+
     /// Is `v` in `max(P)` over the *whole domain* (a "dream value",
     /// Def. 14b)? `Some(false)` when certainly not (e.g. any value under
     /// HIGHEST on an unbounded domain), `None` when unknown. Drives

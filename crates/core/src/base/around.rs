@@ -55,6 +55,13 @@ impl BasePreference for Around {
         Some(-self.dist(v))
     }
 
+    // `better` is exactly "smaller distance", and `dist` is total (off-axis
+    // values map to +∞ and tie among themselves), so the score doubles as
+    // a dominance key.
+    fn dominance_key(&self, v: &Value) -> Option<f64> {
+        Some(-self.dist(v))
+    }
+
     fn distance(&self, v: &Value) -> Option<f64> {
         Some(self.dist(v))
     }

@@ -69,6 +69,11 @@ impl BasePreference for Between {
         Some(-self.dist(v))
     }
 
+    // As for AROUND: `better` is exactly "smaller (total) distance".
+    fn dominance_key(&self, v: &Value) -> Option<f64> {
+        Some(-self.dist(v))
+    }
+
     fn distance(&self, v: &Value) -> Option<f64> {
         Some(self.dist(v))
     }

@@ -226,9 +226,7 @@ impl BasePreference for UnionBase {
 
     fn range(&self) -> Range {
         match (self.left.range(), self.right.range()) {
-            (Range::Known(a), Range::Known(b)) => {
-                Range::Known(a.union(&b).cloned().collect())
-            }
+            (Range::Known(a), Range::Known(b)) => Range::Known(a.union(&b).cloned().collect()),
             _ => Range::Unbounded,
         }
     }

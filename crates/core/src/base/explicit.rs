@@ -94,7 +94,8 @@ impl Explicit {
         }
 
         let n = vertices.len();
-        let idx: HashMap<&Value, usize> = vertices.iter().enumerate().map(|(i, v)| (v, i)).collect();
+        let idx: HashMap<&Value, usize> =
+            vertices.iter().enumerate().map(|(i, v)| (v, i)).collect();
 
         // Adjacency of the raw pairs; reachability by Floyd–Warshall
         // (graphs are "handcrafted", so n is small by construction).
@@ -115,7 +116,9 @@ impl Explicit {
         }
         for (i, v) in vertices.iter().enumerate() {
             if reach[i * n + i] {
-                return Err(CoreError::CyclicExplicit { on_cycle: v.clone() });
+                return Err(CoreError::CyclicExplicit {
+                    on_cycle: v.clone(),
+                });
             }
         }
 
@@ -244,12 +247,7 @@ mod tests {
     /// Example 1: EXPLICIT(Color, {(green, yellow), (green, red), (yellow, white)})
     /// over dom(Color) = {white, red, yellow, green, brown, black}.
     fn example1() -> Explicit {
-        Explicit::new([
-            ("green", "yellow"),
-            ("green", "red"),
-            ("yellow", "white"),
-        ])
-        .unwrap()
+        Explicit::new([("green", "yellow"), ("green", "red"), ("yellow", "white")]).unwrap()
     }
 
     #[test]

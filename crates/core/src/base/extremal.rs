@@ -47,6 +47,17 @@ impl BasePreference for Lowest {
         v.ordinal().map(|o| -o)
     }
 
+    // Only on the ordered axis: off-axis values compare by their natural
+    // per-type order (see `ordinal_cmp`), which has no f64 embedding, so
+    // they make materialization fall back to the generic path. `-0.0` is
+    // also rejected: the chain ranks it strictly against `+0.0` (via
+    // `total_cmp`), which plain `<` on keys cannot express.
+    fn dominance_key(&self, v: &Value) -> Option<f64> {
+        v.ordinal()
+            .filter(|o| !(*o == 0.0 && o.is_sign_negative()))
+            .map(|o| -o)
+    }
+
     fn is_numerical(&self) -> bool {
         true
     }
@@ -75,6 +86,11 @@ impl BasePreference for Highest {
 
     fn score(&self, v: &Value) -> Option<f64> {
         v.ordinal()
+    }
+
+    // See `Lowest::dominance_key` for the off-axis and `-0.0` caveats.
+    fn dominance_key(&self, v: &Value) -> Option<f64> {
+        v.ordinal().filter(|o| !(*o == 0.0 && o.is_sign_negative()))
     }
 
     fn is_numerical(&self) -> bool {

@@ -67,7 +67,9 @@ impl Layered {
         if others > 1 {
             // A second Others layer would overlap the first everywhere;
             // report it as a carrier overlap without a specific witness.
-            return Err(CoreError::CarriersNotDisjoint { witness: Value::Null });
+            return Err(CoreError::CarriersNotDisjoint {
+                witness: Value::Null,
+            });
         }
         Ok(Layered { layers })
     }
@@ -108,6 +110,12 @@ impl BasePreference for Layered {
 
     fn level(&self, v: &Value) -> Option<u32> {
         Some(self.layer_of(v) as u32 + 1)
+    }
+
+    // `layer_of` is total (outside values share the bottom), so the
+    // negated layer index is an exact dominance key.
+    fn dominance_key(&self, v: &Value) -> Option<f64> {
+        Some(-(self.layer_of(v) as f64))
     }
 
     fn is_top(&self, v: &Value) -> Option<bool> {
@@ -189,12 +197,7 @@ mod tests {
 
     #[test]
     fn is_strict_partial_order() {
-        let p = Layered::new(vec![
-            Layer::of(["a"]),
-            Layer::Others,
-            Layer::of(["x", "y"]),
-        ])
-        .unwrap();
+        let p = Layered::new(vec![Layer::of(["a"]), Layer::Others, Layer::of(["x", "y"])]).unwrap();
         let dom: Vec<Value> = ["a", "b", "c", "x", "y"].iter().map(|s| v(s)).collect();
         check_spo_values(&p, &dom).unwrap();
     }

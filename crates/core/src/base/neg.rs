@@ -46,6 +46,11 @@ impl BasePreference for Neg {
         Some(if self.neg.contains(v) { 2 } else { 1 })
     }
 
+    // Level-based orders embed as negated levels (level 1 = best).
+    fn dominance_key(&self, v: &Value) -> Option<f64> {
+        self.level(v).map(|l| -f64::from(l))
+    }
+
     fn is_top(&self, v: &Value) -> Option<bool> {
         Some(!self.neg.contains(v))
     }

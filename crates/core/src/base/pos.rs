@@ -46,6 +46,11 @@ impl BasePreference for Pos {
         Some(if self.pos.contains(v) { 1 } else { 2 })
     }
 
+    // Level-based orders embed as negated levels (level 1 = best).
+    fn dominance_key(&self, v: &Value) -> Option<f64> {
+        self.level(v).map(|l| -f64::from(l))
+    }
+
     fn is_top(&self, v: &Value) -> Option<bool> {
         Some(self.pos.is_empty() || self.pos.contains(v))
     }

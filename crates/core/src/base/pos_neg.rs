@@ -73,6 +73,11 @@ impl BasePreference for PosNeg {
         })
     }
 
+    // Level-based orders embed as negated levels (level 1 = best).
+    fn dominance_key(&self, v: &Value) -> Option<f64> {
+        self.level(v).map(|l| -f64::from(l))
+    }
+
     fn is_top(&self, v: &Value) -> Option<bool> {
         Some(if self.pos.is_empty() {
             !self.neg.contains(v)

@@ -80,6 +80,11 @@ impl BasePreference for PosPos {
         })
     }
 
+    // Level-based orders embed as negated levels (level 1 = best).
+    fn dominance_key(&self, v: &Value) -> Option<f64> {
+        self.level(v).map(|l| -f64::from(l))
+    }
+
     fn is_top(&self, v: &Value) -> Option<bool> {
         Some(if !self.pos1.is_empty() {
             self.pos1.contains(v)

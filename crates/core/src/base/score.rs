@@ -29,7 +29,10 @@ pub struct Score {
 
 impl Score {
     /// Build from a named scoring function.
-    pub fn new(fname: impl Into<String>, f: impl Fn(&Value) -> Option<f64> + Send + Sync + 'static) -> Self {
+    pub fn new(
+        fname: impl Into<String>,
+        f: impl Fn(&Value) -> Option<f64> + Send + Sync + 'static,
+    ) -> Self {
         Score {
             fname: fname.into(),
             f: Arc::new(f),
@@ -75,6 +78,11 @@ impl BasePreference for Score {
     }
 
     fn score(&self, v: &Value) -> Option<f64> {
+        Some(self.effective(v))
+    }
+
+    // Def. 7d *defines* `better` as the effective-score comparison.
+    fn dominance_key(&self, v: &Value) -> Option<f64> {
         Some(self.effective(v))
     }
 

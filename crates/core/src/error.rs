@@ -15,7 +15,10 @@ pub enum CoreError {
     /// An attribute used by a preference is missing from the query schema.
     UnknownAttr(Attr),
     /// POS/NEG or POS1/POS2 sets must be disjoint (Def. 6c/6d).
-    OverlappingSets { constructor: &'static str, witness: Value },
+    OverlappingSets {
+        constructor: &'static str,
+        witness: Value,
+    },
     /// The EXPLICIT better-than graph must be acyclic (Def. 6e).
     CyclicExplicit { on_cycle: Value },
     /// BETWEEN requires `low <= up` (Def. 7b).
@@ -43,7 +46,10 @@ impl fmt::Display for CoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CoreError::UnknownAttr(a) => write!(f, "preference refers to unknown attribute `{a}`"),
-            CoreError::OverlappingSets { constructor, witness } => write!(
+            CoreError::OverlappingSets {
+                constructor,
+                witness,
+            } => write!(
                 f,
                 "{constructor}: value sets must be disjoint, but {witness} occurs in both"
             ),
@@ -61,18 +67,20 @@ impl fmt::Display for CoreError {
             CoreError::EmptyCombination { constructor } => {
                 write!(f, "{constructor}: needs at least one operand")
             }
-            CoreError::AttrSetMismatch { constructor, left, right } => write!(
+            CoreError::AttrSetMismatch {
+                constructor,
+                left,
+                right,
+            } => write!(
                 f,
                 "{constructor}: operands must share one attribute set, got {left} vs {right}"
             ),
-            CoreError::RangesNotDisjoint { witness } => write!(
-                f,
-                "disjoint union: operand ranges overlap on {witness}"
-            ),
-            CoreError::CarriersNotDisjoint { witness } => write!(
-                f,
-                "linear sum: carriers overlap on {witness}"
-            ),
+            CoreError::RangesNotDisjoint { witness } => {
+                write!(f, "disjoint union: operand ranges overlap on {witness}")
+            }
+            CoreError::CarriersNotDisjoint { witness } => {
+                write!(f, "linear sum: carriers overlap on {witness}")
+            }
             CoreError::Relation(e) => write!(f, "{e}"),
         }
     }

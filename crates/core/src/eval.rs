@@ -11,7 +11,9 @@
 //! Example 2 (disjoint attribute sets) and Example 3 (shared attribute
 //! sets) of the paper.
 
-use pref_relation::{Schema, Tuple};
+use std::collections::HashMap;
+
+use pref_relation::{Relation, Schema, Tuple};
 
 use crate::base::BaseRef;
 use crate::error::CoreError;
@@ -83,6 +85,33 @@ impl CompiledPref {
                 .map(|(col, base)| base.score(&t[*col]).unwrap_or(f64::NEG_INFINITY))
                 .collect(),
         )
+    }
+
+    /// Materialize a [`ScoreMatrix`] for this preference over `r`: a
+    /// one-pass, columnar encoding of everything `better` needs, so the
+    /// O(n²)-ish dominance loops of BMO evaluation become plain `f64`/`u32`
+    /// comparisons instead of term-tree walks over [`Value`]s.
+    ///
+    /// Returns `None` when the term (or a value in the relation) is not
+    /// score-representable — EXPLICIT base preferences, intersection and
+    /// disjoint-union aggregation, chains over non-numeric columns — in
+    /// which case callers fall back to the generic [`CompiledPref::better`]
+    /// path.
+    ///
+    /// `r` must have the schema this preference was compiled against.
+    ///
+    /// [`Value`]: pref_relation::Value
+    pub fn score_matrix(&self, r: &Relation) -> Option<ScoreMatrix> {
+        ScoreMatrix::build(&self.node, r)
+    }
+
+    /// Would [`CompiledPref::score_matrix`] succeed on `r`? An
+    /// allocation-free probe (per-column scan with early exit) for
+    /// planners that must report the backend without paying for the
+    /// materialization — `EXPLAIN` latency stays O(n) scans, not
+    /// matrix assembly.
+    pub fn supports_matrix(&self, r: &Relation) -> bool {
+        supports(&self.node, r)
     }
 
     /// The chain dimensions of a `SKYLINE OF`-shaped term (§6.1): a Pareto
@@ -245,6 +274,295 @@ fn rank_value(combine: &CombineFn, inputs: &[(usize, BaseRef)], t: &Tuple) -> f6
     combine.apply(&scores)
 }
 
+/// A score-materialized, columnar form of a compiled preference over one
+/// concrete relation.
+///
+/// Per row, the matrix stores:
+///
+/// * one `f64` **dominance key** per score-representable sub-term (base
+///   preferences with a [`crate::base::BasePreference::dominance_key`],
+///   `rank(F)` terms), with the exact per-term guarantee
+///   `better(x, y) ⟺ key(x) < key(y)`;
+/// * one dense `u32` **equality id** per Pareto/prioritised operand,
+///   encoding the operand's attribute projection (`xi = yi` of Def. 8/9)
+///   via [`Relation::group_ids`].
+///
+/// `better(x, y)` then runs the Def. 8–12 recursion over row *indices*
+/// touching only these vectors — branch-light numeric comparisons with no
+/// `Value` dispatch, no hash-set membership tests, no distance
+/// recomputation. Building is a single O(n · terms) pass, amortized over
+/// the O(n²)-ish comparisons of BMO evaluation.
+#[derive(Debug, Clone)]
+pub struct ScoreMatrix {
+    rows: usize,
+    /// Row-major keys: `keys[row * key_stride + slot]`.
+    keys: Vec<f64>,
+    key_stride: usize,
+    /// Row-major equality codes: `eqs[row * eq_stride + slot]`. A slot is
+    /// either a lossless value fingerprint (numeric columns) or a dense
+    /// dictionary id (strings, multi-attribute projections); both compare
+    /// by `==`.
+    eqs: Vec<u64>,
+    eq_stride: usize,
+    plan: ScorePlan,
+}
+
+/// The structural skeleton `better` interprets over the materialized
+/// columns. Mirrors [`Node`] restricted to score-representable shapes.
+#[derive(Debug, Clone)]
+enum ScorePlan {
+    /// `better ⟺ key[x] < key[y]`.
+    Key(usize),
+    /// Never better.
+    Antichain,
+    /// Argument swap.
+    Dual(Box<ScorePlan>),
+    /// Flat Pareto over key children — the skyline-critical fast path.
+    ParetoKeys(Vec<(usize, usize)>),
+    /// General Pareto: `(child, eq slot)` per operand.
+    Pareto(Vec<(ScorePlan, usize)>),
+    /// Prioritised accumulation: `(child, eq slot)` per operand.
+    Prior(Vec<(ScorePlan, usize)>),
+}
+
+impl ScoreMatrix {
+    fn build(node: &Node, r: &Relation) -> Option<ScoreMatrix> {
+        let mut b = MatrixBuilder {
+            r,
+            keys: Vec::new(),
+            eqs: Vec::new(),
+            eq_cache: HashMap::new(),
+        };
+        let plan = b.plan(node)?;
+        let rows = r.len();
+
+        // Transpose the per-slot columns into row-major strips so one
+        // row's keys are contiguous during pairwise comparison.
+        let key_stride = b.keys.len();
+        let mut keys = vec![0.0f64; rows * key_stride];
+        for (s, col) in b.keys.iter().enumerate() {
+            for (i, &k) in col.iter().enumerate() {
+                keys[i * key_stride + s] = k;
+            }
+        }
+        let eq_stride = b.eqs.len();
+        let mut eqs = vec![0u64; rows * eq_stride];
+        for (s, col) in b.eqs.iter().enumerate() {
+            for (i, &e) in col.iter().enumerate() {
+                eqs[i * eq_stride + s] = e;
+            }
+        }
+
+        Some(ScoreMatrix {
+            rows,
+            keys,
+            key_stride,
+            eqs,
+            eq_stride,
+            plan,
+        })
+    }
+
+    /// Number of rows covered.
+    pub fn len(&self) -> usize {
+        self.rows
+    }
+
+    /// Is the matrix over an empty relation?
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Number of materialized key columns.
+    pub fn key_slots(&self) -> usize {
+        self.key_stride
+    }
+
+    /// Number of materialized equality-id columns.
+    pub fn eq_slots(&self) -> usize {
+        self.eq_stride
+    }
+
+    #[inline]
+    fn key(&self, row: usize, slot: usize) -> f64 {
+        self.keys[row * self.key_stride + slot]
+    }
+
+    #[inline]
+    fn eq(&self, row: usize, slot: usize) -> u64 {
+        self.eqs[row * self.eq_stride + slot]
+    }
+
+    /// The strict better-than test on row indices: is `y` better than
+    /// `x`? Agrees exactly with [`CompiledPref::better`] on the rows of
+    /// the relation this matrix was built from.
+    #[inline]
+    pub fn better(&self, x: usize, y: usize) -> bool {
+        self.eval(&self.plan, x, y)
+    }
+
+    fn eval(&self, plan: &ScorePlan, x: usize, y: usize) -> bool {
+        match plan {
+            ScorePlan::Key(s) => self.key(x, *s) < self.key(y, *s),
+            ScorePlan::Antichain => false,
+            ScorePlan::Dual(inner) => self.eval(inner, y, x),
+            // Def. 8 over keys: a key child is strictly better exactly on
+            // `<`; on unequal projections with no strict win, y cannot
+            // dominate. (Equal eq ids imply equal keys, so the equality
+            // branch is only reachable with `key(x) == key(y)`.)
+            ScorePlan::ParetoKeys(slots) => {
+                let mut any_strict = false;
+                for &(k, e) in slots {
+                    if self.key(x, k) < self.key(y, k) {
+                        any_strict = true;
+                    } else if self.eq(x, e) != self.eq(y, e) {
+                        return false;
+                    }
+                }
+                any_strict
+            }
+            ScorePlan::Pareto(children) => {
+                let mut any_strict = false;
+                for (child, e) in children {
+                    if self.eval(child, x, y) {
+                        any_strict = true;
+                    } else if self.eq(x, *e) != self.eq(y, *e) {
+                        return false;
+                    }
+                }
+                any_strict
+            }
+            // Def. 9: first operand whose projections differ decides.
+            ScorePlan::Prior(children) => {
+                for (child, e) in children {
+                    if self.eval(child, x, y) {
+                        return true;
+                    }
+                    if self.eq(x, *e) != self.eq(y, *e) {
+                        return false;
+                    }
+                }
+                false
+            }
+        }
+    }
+}
+
+/// Mirror of [`MatrixBuilder::plan`]'s success condition, minus every
+/// allocation: keys must embed (non-`None`, non-NaN) for each base and
+/// rank term; equality encodings always exist.
+fn supports(node: &Node, r: &Relation) -> bool {
+    match node {
+        Node::Base { col, base } => r
+            .column(*col)
+            .iter()
+            .all(|v| base.dominance_key(v).is_some_and(|k| !k.is_nan())),
+        Node::Antichain => true,
+        Node::Dual(inner) => supports(inner, r),
+        Node::Rank { combine, inputs } => r
+            .rows()
+            .iter()
+            .all(|t| !rank_value(combine, inputs, t).is_nan()),
+        Node::Pareto(children) | Node::Prior(children) => {
+            children.iter().all(|c| supports(&c.node, r))
+        }
+        Node::Inter(..) | Node::Union(..) => false,
+    }
+}
+
+struct MatrixBuilder<'a> {
+    r: &'a Relation,
+    keys: Vec<Vec<f64>>,
+    eqs: Vec<Vec<u64>>,
+    /// Dedup equality slots by their column signature — Pareto and Prior
+    /// operands over the same attribute set share one encoding.
+    eq_cache: HashMap<Vec<usize>, usize>,
+}
+
+impl MatrixBuilder<'_> {
+    fn plan(&mut self, node: &Node) -> Option<ScorePlan> {
+        match node {
+            Node::Base { col, base } => {
+                let keys = self
+                    .r
+                    .column(*col)
+                    // NaN keys would order inconsistently under `<`;
+                    // treat them as non-embeddable.
+                    .map_f64(|v| base.dominance_key(v).filter(|k| !k.is_nan()))?;
+                Some(ScorePlan::Key(self.push_key(keys)))
+            }
+            Node::Antichain => Some(ScorePlan::Antichain),
+            Node::Dual(inner) => Some(ScorePlan::Dual(Box::new(self.plan(inner)?))),
+            Node::Rank { combine, inputs } => {
+                let keys: Option<Vec<f64>> = self
+                    .r
+                    .rows()
+                    .iter()
+                    .map(|t| Some(rank_value(combine, inputs, t)).filter(|k| !k.is_nan()))
+                    .collect();
+                Some(ScorePlan::Key(self.push_key(keys?)))
+            }
+            Node::Pareto(children) => {
+                let built = self.children(children)?;
+                // Flatten all-key Pareto terms into the tight loop.
+                if built.iter().all(|(c, _)| matches!(c, ScorePlan::Key(_))) {
+                    Some(ScorePlan::ParetoKeys(
+                        built
+                            .into_iter()
+                            .map(|(c, e)| match c {
+                                ScorePlan::Key(k) => (k, e),
+                                _ => unreachable!("all children checked to be keys"),
+                            })
+                            .collect(),
+                    ))
+                } else {
+                    Some(ScorePlan::Pareto(built))
+                }
+            }
+            Node::Prior(children) => Some(ScorePlan::Prior(self.children(children)?)),
+            // Intersection / disjoint union compare two full sub-orders
+            // per pair; no per-row embedding exists in general.
+            Node::Inter(..) | Node::Union(..) => None,
+        }
+    }
+
+    fn children(&mut self, children: &[Child]) -> Option<Vec<(ScorePlan, usize)>> {
+        children
+            .iter()
+            .map(|c| {
+                let plan = self.plan(&c.node)?;
+                let eq = self.eq_slot(&c.eq_cols);
+                Some((plan, eq))
+            })
+            .collect()
+    }
+
+    fn push_key(&mut self, keys: Vec<f64>) -> usize {
+        self.keys.push(keys);
+        self.keys.len() - 1
+    }
+
+    fn eq_slot(&mut self, cols: &[usize]) -> usize {
+        if let Some(&slot) = self.eq_cache.get(cols) {
+            return slot;
+        }
+        // Prefer the hash-free fingerprint encoding for single numeric
+        // columns; dictionary-encode strings and wider projections.
+        let codes = match cols {
+            [col] => self.r.column(*col).fingerprints(),
+            _ => None,
+        }
+        .unwrap_or_else(|| {
+            let (ids, _) = self.r.group_ids(cols);
+            ids.into_iter().map(u64::from).collect()
+        });
+        self.eqs.push(codes);
+        let slot = self.eqs.len() - 1;
+        self.eq_cache.insert(cols.to_vec(), slot);
+        slot
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -296,7 +614,12 @@ mod tests {
         assert!(c.better(&rows[6], &rows[2])); // val7 < val3
         assert!(c.better(&rows[5], &rows[4])); // val6 < val5
         for &(a, b) in &[(0usize, 2usize), (0, 4), (2, 4)] {
-            assert!(!c.better(&rows[a], &rows[b]), "val{} vs val{}", a + 1, b + 1);
+            assert!(
+                !c.better(&rows[a], &rows[b]),
+                "val{} vs val{}",
+                a + 1,
+                b + 1
+            );
             assert!(!c.better(&rows[b], &rows[a]));
         }
     }
@@ -342,10 +665,7 @@ mod tests {
         //               Level 2 = {red, blue, purple}.
         let g = crate::graph::BetterGraph::from_relation(&c, &r).unwrap();
         assert_eq!(g.maximal(), vec![1, 2, 4]);
-        assert_eq!(
-            g.level_groups(),
-            vec![vec![1, 2, 4], vec![0, 3, 5]]
-        );
+        assert_eq!(g.level_groups(), vec![vec![1, 2, 4], vec![0, 3, 5]]);
     }
 
     #[test]
@@ -414,7 +734,7 @@ mod tests {
         assert!(c.better(&rows[0], &rows[1])); // val1 < val2
         assert!(c.better(&rows[2], &rows[0])); // val3 < val1
         assert!(c.better(&rows[4], &rows[2])); // val5 < val3
-        // val5 and val6 unranked (equal F)
+                                               // val5 and val6 unranked (equal F)
         assert!(!c.better(&rows[4], &rows[5]));
         assert!(!c.better(&rows[5], &rows[4]));
     }
@@ -457,6 +777,84 @@ mod tests {
         let not_sky = around("a", 0).pareto(highest("b"));
         let c2 = compile(&not_sky, &r);
         assert_eq!(c2.score_vector(&r.rows()[0]), None);
+    }
+
+    #[test]
+    fn score_matrix_agrees_with_generic_better() {
+        let r = example2_rel();
+        for p in [
+            example2_pref(),
+            around("A1", 0).prior(lowest("A2")),
+            example2_pref().dual(),
+            lowest("A1").prior(crate::term::antichain(["A2"]).prior(highest("A3"))),
+            Pref::rank(CombineFn::sum(), vec![lowest("A1"), highest("A2")]).unwrap(),
+        ] {
+            let c = compile(&p, &r);
+            let m = c
+                .score_matrix(&r)
+                .unwrap_or_else(|| panic!("{p} should materialize"));
+            assert_eq!(m.len(), r.len());
+            for x in 0..r.len() {
+                for y in 0..r.len() {
+                    assert_eq!(
+                        m.better(x, y),
+                        c.better(r.row(x), r.row(y)),
+                        "matrix diverged for {p} on rows {x}, {y}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn score_matrix_handles_shared_attribute_pareto() {
+        // Example 3's P7: both operands read the same column, so the
+        // equality slots must encode the same projection once.
+        let r = rel! {
+            ("color": Str);
+            ("red",), ("green",), ("yellow",), ("blue",), ("black",), ("purple",),
+        };
+        let p = pos("color", ["green", "yellow"])
+            .pareto(neg("color", ["red", "green", "blue", "purple"]));
+        let c = compile(&p, &r);
+        let m = c.score_matrix(&r).expect("level-based bases materialize");
+        assert_eq!(m.eq_slots(), 1, "shared projection should be deduplicated");
+        for x in 0..r.len() {
+            for y in 0..r.len() {
+                assert_eq!(m.better(x, y), c.better(r.row(x), r.row(y)));
+            }
+        }
+    }
+
+    #[test]
+    fn score_matrix_flattens_skyline_shapes() {
+        let r = example2_rel();
+        let c = compile(&lowest("A1").pareto(highest("A2")), &r);
+        let m = c.score_matrix(&r).unwrap();
+        assert_eq!(m.key_slots(), 2);
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn score_matrix_unavailable_for_non_embeddable_terms() {
+        let r = rel! { ("color": Str); ("red",), ("green",) };
+        // EXPLICIT is a genuine partial order — no per-value embedding.
+        let p = crate::term::explicit("color", [("red", "green")]).unwrap();
+        assert!(compile(&p, &r).score_matrix(&r).is_none());
+        // Chains over string columns compare lexically, off the f64 axis.
+        let p = lowest("color");
+        assert!(compile(&p, &r).score_matrix(&r).is_none());
+        // Intersection aggregation is not materialized.
+        let r2 = example2_rel();
+        let p = lowest("A1").intersect(highest("A1")).unwrap();
+        assert!(compile(&p, &r2).score_matrix(&r2).is_none());
+    }
+
+    #[test]
+    fn score_matrix_on_empty_relation() {
+        let r = rel! { ("a": Int); };
+        let m = compile(&lowest("a"), &r).score_matrix(&r).unwrap();
+        assert!(m.is_empty());
     }
 
     #[test]

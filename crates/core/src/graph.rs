@@ -30,10 +30,7 @@ pub struct BetterGraph {
 impl BetterGraph {
     /// Build from an arbitrary better-than function over item indices;
     /// validates the strict-partial-order axioms first.
-    pub fn from_fn(
-        n: usize,
-        better: impl Fn(usize, usize) -> bool,
-    ) -> Result<Self, SpoViolation> {
+    pub fn from_fn(n: usize, better: impl Fn(usize, usize) -> bool) -> Result<Self, SpoViolation> {
         check_spo(n, &better)?;
         let mut rel = vec![false; n * n];
         for x in 0..n {
@@ -204,12 +201,8 @@ mod tests {
 
     /// Example 1's EXPLICIT color preference over its six-color domain.
     fn example1() -> (Explicit, Vec<Value>) {
-        let p = Explicit::new([
-            ("green", "yellow"),
-            ("green", "red"),
-            ("yellow", "white"),
-        ])
-        .unwrap();
+        let p =
+            Explicit::new([("green", "yellow"), ("green", "red"), ("yellow", "white")]).unwrap();
         let dom = ["white", "red", "yellow", "green", "brown", "black"]
             .iter()
             .map(|s| Value::from(*s))

@@ -68,12 +68,12 @@ pub mod prelude {
     pub use crate::algebra::{equivalent_on, simplify};
     pub use crate::base::{BasePreference, BaseRef};
     pub use crate::error::CoreError;
-    pub use crate::repo::Repository;
-    pub use crate::text::parse_term;
     pub use crate::eval::CompiledPref;
     pub use crate::graph::BetterGraph;
+    pub use crate::repo::Repository;
     pub use crate::term::{
-        antichain, around, between, explicit, highest, layered, lowest, neg, pos, pos_neg,
-        pos_pos, score, BasePref, CombineFn, Pref,
+        antichain, around, between, explicit, highest, layered, lowest, neg, pos, pos_neg, pos_pos,
+        score, BasePref, CombineFn, Pref,
     };
+    pub use crate::text::parse_term;
 }

@@ -45,7 +45,10 @@ impl fmt::Display for RepoError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             RepoError::UnknownReference { entry, reference } => {
-                write!(f, "entry `{entry}` references unknown preference `${reference}`")
+                write!(
+                    f,
+                    "entry `{entry}` references unknown preference `${reference}`"
+                )
             }
             RepoError::BadLine { line, content } => {
                 write!(f, "line {line} is not `name = term`: {content}")
@@ -167,12 +170,11 @@ impl Repository {
                 return Err(RepoError::DuplicateEntry(name.to_string()));
             }
             let expanded = repo.expand_refs(name, body.trim())?;
-            let pref = parse_term_with(&expanded, &repo.registry).map_err(|source| {
-                RepoError::Text {
+            let pref =
+                parse_term_with(&expanded, &repo.registry).map_err(|source| RepoError::Text {
                     entry: name.to_string(),
                     source,
-                }
-            })?;
+                })?;
             repo.entries.insert(name.to_string(), pref);
         }
         Ok(repo)
@@ -253,9 +255,7 @@ mod tests {
     #[test]
     fn references_compose_queries() {
         let mut text = julia().to_text();
-        text.push_str(
-            "q1 = ($color & (($category ⊗ $transmission ⊗ $power) & $budget))\n",
-        );
+        text.push_str("q1 = ($color & (($category ⊗ $transmission ⊗ $power) & $budget))\n");
         let repo = Repository::from_text(&text).unwrap();
         let q1 = repo.get("q1").expect("q1 defined");
         // Same term as building Example 6's Q1 directly.

@@ -132,7 +132,9 @@ impl CombineFn {
 
 impl fmt::Debug for CombineFn {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("CombineFn").field("name", &self.name).finish()
+        f.debug_struct("CombineFn")
+            .field("name", &self.name)
+            .finish()
     }
 }
 
@@ -265,7 +267,9 @@ impl Pref {
     /// substitutability (AROUND, BETWEEN, LOWEST, HIGHEST qualify, §3.4).
     pub fn rank(combine: CombineFn, inputs: Vec<Pref>) -> Result<Pref, CoreError> {
         if inputs.is_empty() {
-            return Err(CoreError::EmptyCombination { constructor: "rank(F)" });
+            return Err(CoreError::EmptyCombination {
+                constructor: "rank(F)",
+            });
         }
         let mut bases = Vec::with_capacity(inputs.len());
         for p in inputs {
@@ -539,10 +543,7 @@ mod tests {
 
     #[test]
     fn rank_requires_score_family() {
-        let ok = Pref::rank(
-            CombineFn::sum(),
-            vec![around("a", 0), highest("b")],
-        );
+        let ok = Pref::rank(CombineFn::sum(), vec![around("a", 0), highest("b")]);
         assert!(ok.is_ok());
 
         let err = Pref::rank(CombineFn::sum(), vec![pos("a", ["x"])]).unwrap_err();

@@ -27,12 +27,11 @@ use std::sync::Arc;
 
 use pref_relation::{AttrSet, Date, Value};
 
+use crate::base::layered::Layer;
 use crate::base::score::ScoreFn;
 use crate::base::{
-    Around, BaseRef, Between, Explicit, Highest, Layered, Lowest, Neg, Pos, PosNeg, PosPos,
-    Score,
+    Around, BaseRef, Between, Explicit, Highest, Layered, Lowest, Neg, Pos, PosNeg, PosPos, Score,
 };
-use crate::base::layered::Layer;
 use crate::error::CoreError;
 use crate::term::{BasePref, CombineFn, Pref};
 
@@ -54,7 +53,10 @@ impl fmt::Display for TextError {
                 write!(f, "term parse error at byte {pos}: {message}")
             }
             TextError::UnknownFunction { name } => {
-                write!(f, "unknown scoring/combining function `{name}` (register it)")
+                write!(
+                    f,
+                    "unknown scoring/combining function `{name}` (register it)"
+                )
             }
             TextError::Core(m) => write!(f, "{m}"),
         }
@@ -107,12 +109,16 @@ impl FnRegistry {
             return Ok(Score::from_arc(name, Arc::clone(f)));
         }
         // `-dist[lo,up]` names are self-describing (hierarchy module).
-        if let Some(body) = name.strip_prefix("-dist[").and_then(|s| s.strip_suffix(']')) {
+        if let Some(body) = name
+            .strip_prefix("-dist[")
+            .and_then(|s| s.strip_suffix(']'))
+        {
             let parts: Vec<&str> = body.splitn(2, ',').collect();
             if parts.len() == 2 {
-                if let (Ok(lo), Ok(up)) =
-                    (parts[0].trim().parse::<f64>(), parts[1].trim().parse::<f64>())
-                {
+                if let (Ok(lo), Ok(up)) = (
+                    parts[0].trim().parse::<f64>(),
+                    parts[1].trim().parse::<f64>(),
+                ) {
                     if let Ok(b) = Between::new(lo, up) {
                         return Ok(crate::algebra::hierarchy::between_as_score(&b));
                     }
@@ -179,9 +185,15 @@ struct TermParser<'a> {
 
 impl TermParser<'_> {
     fn byte_pos(&self) -> usize {
-        self.chars.get(self.pos).map(|(b, _)| *b).unwrap_or_else(|| {
-            self.chars.last().map(|(b, c)| b + c.len_utf8()).unwrap_or(0)
-        })
+        self.chars
+            .get(self.pos)
+            .map(|(b, _)| *b)
+            .unwrap_or_else(|| {
+                self.chars
+                    .last()
+                    .map(|(b, c)| b + c.len_utf8())
+                    .unwrap_or(0)
+            })
     }
 
     fn err<T>(&self, expected: &str) -> Result<T, TextError> {
@@ -232,15 +244,20 @@ impl TermParser<'_> {
     fn word(&mut self) -> Result<String, TextError> {
         self.skip_ws();
         let start = self.pos;
-        while self.chars.get(self.pos).is_some_and(|(_, c)| {
-            c.is_alphanumeric() || matches!(c, '_' | '-' | '/' | '.')
-        }) {
+        while self
+            .chars
+            .get(self.pos)
+            .is_some_and(|(_, c)| c.is_alphanumeric() || matches!(c, '_' | '-' | '/' | '.'))
+        {
             self.pos += 1;
         }
         if self.pos == start {
             return self.err("a name");
         }
-        Ok(self.chars[start..self.pos].iter().map(|(_, c)| *c).collect())
+        Ok(self.chars[start..self.pos]
+            .iter()
+            .map(|(_, c)| *c)
+            .collect())
     }
 
     /// Raw capture until the given closer, balancing (), [] and {}.
@@ -249,7 +266,10 @@ impl TermParser<'_> {
         let mut depth = 0i32;
         while let Some(&(_, c)) = self.chars.get(self.pos) {
             if depth == 0 && c == closer {
-                return Ok(self.chars[start..self.pos].iter().map(|(_, c)| *c).collect());
+                return Ok(self.chars[start..self.pos]
+                    .iter()
+                    .map(|(_, c)| *c)
+                    .collect());
             }
             match c {
                 '(' | '[' | '{' => depth += 1,
@@ -522,22 +542,29 @@ impl TermParser<'_> {
                 {
                     self.pos += 1;
                 }
-                let text: String = self.chars[start..self.pos].iter().map(|(_, c)| *c).collect();
+                let text: String = self.chars[start..self.pos]
+                    .iter()
+                    .map(|(_, c)| *c)
+                    .collect();
                 if text.contains('/') {
                     Date::parse(&text).map(Value::from).ok_or(TextError::Parse {
                         pos: self.byte_pos(),
                         message: format!("bad date literal `{text}`"),
                     })
                 } else if text.contains('.') {
-                    text.parse::<f64>().map(Value::from).map_err(|_| TextError::Parse {
-                        pos: self.byte_pos(),
-                        message: format!("bad float literal `{text}`"),
-                    })
+                    text.parse::<f64>()
+                        .map(Value::from)
+                        .map_err(|_| TextError::Parse {
+                            pos: self.byte_pos(),
+                            message: format!("bad float literal `{text}`"),
+                        })
                 } else {
-                    text.parse::<i64>().map(Value::from).map_err(|_| TextError::Parse {
-                        pos: self.byte_pos(),
-                        message: format!("bad integer literal `{text}`"),
-                    })
+                    text.parse::<i64>()
+                        .map(Value::from)
+                        .map_err(|_| TextError::Parse {
+                            pos: self.byte_pos(),
+                            message: format!("bad integer literal `{text}`"),
+                        })
                 }
             }
             _ => {
@@ -560,14 +587,12 @@ impl TermParser<'_> {
 mod tests {
     use super::*;
     use crate::term::{
-        antichain, around, between, explicit, highest, layered, lowest, neg, pos, pos_neg,
-        pos_pos,
+        antichain, around, between, explicit, highest, layered, lowest, neg, pos, pos_neg, pos_pos,
     };
 
     fn roundtrip(p: &Pref) {
         let text = p.to_string();
-        let parsed = parse_term(&text)
-            .unwrap_or_else(|e| panic!("cannot parse `{text}`: {e}"));
+        let parsed = parse_term(&text).unwrap_or_else(|e| panic!("cannot parse `{text}`: {e}"));
         assert_eq!(&parsed, p, "round-trip changed `{text}` → `{parsed}`");
     }
 
@@ -582,9 +607,7 @@ mod tests {
         roundtrip(&between("price", 10_000, 20_000).unwrap());
         roundtrip(&lowest("price"));
         roundtrip(&highest("year"));
-        roundtrip(
-            &explicit("color", [("green", "yellow"), ("yellow", "white")]).unwrap(),
-        );
+        roundtrip(&explicit("color", [("green", "yellow"), ("yellow", "white")]).unwrap());
         roundtrip(
             &layered(
                 "color",
@@ -607,17 +630,11 @@ mod tests {
         roundtrip(&q1.clone().dual());
         roundtrip(&antichain(["make", "color"]));
         roundtrip(&antichain(["make"]).prior(around("price", 40_000)));
-        roundtrip(
-            &lowest("price")
-                .intersect(highest("price"))
-                .unwrap(),
-        );
-        roundtrip(
-            &Pref::Union(
-                Arc::new(lowest("a")),
-                Arc::new(antichain(["a"])),
-            ),
-        );
+        roundtrip(&lowest("price").intersect(highest("price")).unwrap());
+        roundtrip(&Pref::Union(
+            Arc::new(lowest("a")),
+            Arc::new(antichain(["a"])),
+        ));
     }
 
     #[test]
@@ -665,7 +682,10 @@ mod tests {
     #[test]
     fn parse_errors_are_reported() {
         assert!(matches!(parse_term(""), Err(TextError::Parse { .. })));
-        assert!(matches!(parse_term("BOGUS(a)"), Err(TextError::Parse { .. })));
+        assert!(matches!(
+            parse_term("BOGUS(a)"),
+            Err(TextError::Parse { .. })
+        ));
         assert!(matches!(
             parse_term("(LOWEST(a) ⊗ HIGHEST(b)"),
             Err(TextError::Parse { .. })

@@ -40,7 +40,10 @@ impl fmt::Display for SqlError {
                 pos,
                 expected,
                 found,
-            } => write!(f, "parse error at token {pos}: expected {expected}, found {found}"),
+            } => write!(
+                f,
+                "parse error at token {pos}: expected {expected}, found {found}"
+            ),
             SqlError::UnknownTable(t) => write!(f, "unknown table `{t}`"),
             SqlError::UnknownColumn { table, column } => {
                 write!(f, "table `{table}` has no column `{column}`")

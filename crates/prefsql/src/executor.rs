@@ -9,6 +9,8 @@
 //! are the exact world; the preference clauses then retrieve the best
 //! matches from whatever survives, per the BMO query model.
 
+use std::borrow::Cow;
+
 use pref_core::term::Pref;
 use pref_query::groupby::sigma_groupby;
 use pref_query::{Explain, Optimizer};
@@ -70,18 +72,22 @@ impl PrefSql {
     pub fn run(&self, q: &Query) -> Result<QueryResult, SqlError> {
         let table = self.catalog.get(&q.table)?;
 
-        // 1. Hard selection (exact-match world).
-        let base = match &q.hard {
+        // 1. Hard selection (exact-match world). With no WHERE clause the
+        //    whole pipeline runs on a borrow of the catalog table — row
+        //    indices flow through the BMO stage and only the final result
+        //    is materialized.
+        let base: Cow<'_, Relation> = match &q.hard {
             Some(h) => {
                 let pred = hard_to_predicate(h, table.schema(), &q.table)?;
-                table.select(|t| pred(t))
+                Cow::Owned(table.select(|t| pred(t)))
             }
-            None => table.clone(),
+            None => Cow::Borrowed(table),
         };
+        let base = base.as_ref();
         let candidates = base.len();
 
         if q.explain {
-            return self.explain(q, &base, candidates);
+            return self.explain(q, base, candidates);
         }
 
         // 2. Assemble the preference term: PREFERRING ... CASCADE ... is
@@ -100,10 +106,10 @@ impl PrefSql {
             let pref = Pref::prior_all(parts)?;
             if let Some(k) = q.top {
                 // §6.2 k-best: BMO first, then deeper quality levels.
-                let rows = pref_query::quality::k_best(&pref, &base, k)?;
+                let rows = pref_query::quality::k_best(&pref, base, k)?;
                 (rows, Some(pref), None)
             } else if q.group_by.is_empty() {
-                let (rows, explain) = self.optimizer.evaluate(&pref, &base)?;
+                let (rows, explain) = self.optimizer.evaluate(&pref, base)?;
                 (rows, Some(pref), Some(explain))
             } else {
                 let attrs = AttrSet::new(q.group_by.iter().map(String::as_str));
@@ -115,7 +121,7 @@ impl PrefSql {
                         });
                     }
                 }
-                let rows = sigma_groupby(&pref, &attrs, &base)?;
+                let rows = sigma_groupby(&pref, &attrs, base)?;
                 (rows, Some(pref), None)
             }
         };
@@ -124,7 +130,7 @@ impl PrefSql {
         let rows = match (&preference, q.but_only.is_empty()) {
             (Some(pref), false) => {
                 let filter = quality_to_filter(&q.but_only, base.schema(), &q.table)?;
-                filter.filter_rows(pref, &base, &rows)?
+                filter.filter_rows(pref, base, &rows)?
             }
             _ => rows,
         };
@@ -177,8 +183,10 @@ impl PrefSql {
             parts.push(pref_to_term(c, base.schema(), &q.table)?);
         }
 
-        let mut lines: Vec<String> =
-            vec![format!("scan       : {} ({} candidate rows after WHERE)", q.table, candidates)];
+        let mut lines: Vec<String> = vec![format!(
+            "scan       : {} ({} candidate rows after WHERE)",
+            q.table, candidates
+        )];
         let (preference, explain) = if parts.is_empty() {
             lines.push("preference : none (exact-match query)".to_string());
             (None, None)
@@ -265,10 +273,7 @@ mod tests {
         // *ties* of the more important preference, of which there are
         // none here. All four are best matches.
         assert_eq!(res.relation.len(), 4);
-        assert!(res
-            .relation
-            .iter()
-            .any(|t| t[1] == Value::from("roadster")));
+        assert!(res.relation.iter().any(|t| t[1] == Value::from("roadster")));
         assert!(res.explain.is_some());
     }
 
@@ -313,7 +318,9 @@ mod tests {
     #[test]
     fn pure_hard_query_without_preferring() {
         let s = session();
-        let res = s.execute("SELECT make, price FROM car WHERE price < 40000").unwrap();
+        let res = s
+            .execute("SELECT make, price FROM car WHERE price < 40000")
+            .unwrap();
         assert_eq!(res.relation.len(), 2);
         assert_eq!(res.relation.schema().arity(), 2);
         assert!(res.preference.is_none());
@@ -427,8 +434,10 @@ mod tests {
     fn explain_plans_without_executing() {
         let s = session();
         let res = s
-            .execute("EXPLAIN SELECT * FROM car WHERE make = 'Opel' \
-                      PREFERRING LOWEST(price) AND HIGHEST(power)")
+            .execute(
+                "EXPLAIN SELECT * FROM car WHERE make = 'Opel' \
+                      PREFERRING LOWEST(price) AND HIGHEST(power)",
+            )
             .unwrap();
         let lines: Vec<&str> = res
             .relation

@@ -569,10 +569,7 @@ mod tests {
         assert_eq!(pref.atom_count(), 3);
         match pref {
             PrefExpr::Pareto(parts) => {
-                assert!(matches!(
-                    parts[0],
-                    PrefExpr::Atom(PrefAtom::PosNeg { .. })
-                ));
+                assert!(matches!(parts[0], PrefExpr::Atom(PrefAtom::PosNeg { .. })));
                 assert!(matches!(parts[1], PrefExpr::Atom(PrefAtom::Around { .. })));
                 assert!(matches!(parts[2], PrefExpr::Atom(PrefAtom::Highest { .. })));
             }
@@ -626,8 +623,8 @@ mod tests {
 
     #[test]
     fn else_requires_same_attribute() {
-        let err = parse("SELECT * FROM cars PREFERRING category = 'a' ELSE color = 'b'")
-            .unwrap_err();
+        let err =
+            parse("SELECT * FROM cars PREFERRING category = 'a' ELSE color = 'b'").unwrap_err();
         assert!(matches!(err, SqlError::Parse { .. }));
     }
 
@@ -670,10 +667,9 @@ mod tests {
     #[test]
     fn between_inside_pareto_and() {
         // The BETWEEN…AND…AND ambiguity: first AND belongs to BETWEEN.
-        let q = parse(
-            "SELECT * FROM cars PREFERRING price BETWEEN 10000 AND 20000 AND HIGHEST(power)",
-        )
-        .unwrap();
+        let q =
+            parse("SELECT * FROM cars PREFERRING price BETWEEN 10000 AND 20000 AND HIGHEST(power)")
+                .unwrap();
         match q.preferring.unwrap() {
             PrefExpr::Pareto(parts) => assert_eq!(parts.len(), 2),
             other => panic!("expected Pareto, got {other:?}"),

@@ -13,11 +13,7 @@ use crate::error::SqlError;
 /// Coerce a literal against a column type. String literals coerce to
 /// dates for Date columns (the paper writes `'2001/11/23'`), integers
 /// widen to floats for Float columns.
-pub fn literal_to_value(
-    lit: &Literal,
-    column: &str,
-    dtype: DataType,
-) -> Result<Value, SqlError> {
+pub fn literal_to_value(lit: &Literal, column: &str, dtype: DataType) -> Result<Value, SqlError> {
     let bad = || SqlError::BadLiteral {
         column: column.to_string(),
         literal: lit.to_string(),
@@ -27,9 +23,7 @@ pub fn literal_to_value(
         (Literal::Int(v), DataType::Float) => Value::from(*v as f64),
         (Literal::Float(v), DataType::Float) => Value::from(*v),
         (Literal::Str(s), DataType::Str) => Value::from(s.as_str()),
-        (Literal::Str(s), DataType::Date) => {
-            Value::from(Date::parse(s).ok_or_else(bad)?)
-        }
+        (Literal::Str(s), DataType::Date) => Value::from(Date::parse(s).ok_or_else(bad)?),
         (Literal::Bool(b), DataType::Bool) => Value::from(*b),
         _ => return Err(bad()),
     })
@@ -60,11 +54,7 @@ fn values(
 /// Translate a preference expression into a [`Pref`] term:
 /// `AND` → Pareto `⊗`, `PRIOR TO` → prioritised `&`, atoms → Def. 6/7
 /// base constructors.
-pub fn pref_to_term(
-    expr: &PrefExpr,
-    schema: &Schema,
-    table: &str,
-) -> Result<Pref, SqlError> {
+pub fn pref_to_term(expr: &PrefExpr, schema: &Schema, table: &str) -> Result<Pref, SqlError> {
     Ok(match expr {
         PrefExpr::Prior(children) => Pref::prior_all(
             children
@@ -90,7 +80,11 @@ fn atom_to_term(atom: &PrefAtom, schema: &Schema, table: &str) -> Result<Pref, S
         PrefAtom::Neg { attr: a, values: v } => {
             Pref::base(a.as_str(), Neg::new(values(v, schema, table, a)?))
         }
-        PrefAtom::PosPos { attr: a, pos1, pos2 } => Pref::base(
+        PrefAtom::PosPos {
+            attr: a,
+            pos1,
+            pos2,
+        } => Pref::base(
             a.as_str(),
             PosPos::new(
                 values(pos1, schema, table, a)?,
@@ -118,10 +112,7 @@ fn atom_to_term(atom: &PrefAtom, schema: &Schema, table: &str) -> Result<Pref, S
             let dt = column_type(schema, table, a)?;
             Pref::base(
                 a.as_str(),
-                Between::new(
-                    literal_to_value(low, a, dt)?,
-                    literal_to_value(up, a, dt)?,
-                )?,
+                Between::new(literal_to_value(low, a, dt)?, literal_to_value(up, a, dt)?)?,
             )
         }
         PrefAtom::Lowest { attr: a } => {
@@ -136,12 +127,7 @@ fn atom_to_term(atom: &PrefAtom, schema: &Schema, table: &str) -> Result<Pref, S
             let dt = column_type(schema, table, a)?;
             let pairs: Vec<(Value, Value)> = edges
                 .iter()
-                .map(|(w, b)| {
-                    Ok((
-                        literal_to_value(w, a, dt)?,
-                        literal_to_value(b, a, dt)?,
-                    ))
-                })
+                .map(|(w, b)| Ok((literal_to_value(w, a, dt)?, literal_to_value(b, a, dt)?)))
                 .collect::<Result<Vec<_>, SqlError>>()?;
             Pref::base(a.as_str(), Explicit::new(pairs)?)
         }

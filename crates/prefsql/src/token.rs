@@ -230,7 +230,9 @@ pub fn lex(input: &str) -> Result<Vec<Tok>, SqlError> {
                     }
                 }
                 let mut is_float = false;
-                while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == b'.' || bytes[i] == b'_') {
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_digit() || bytes[i] == b'.' || bytes[i] == b'_')
+                {
                     if bytes[i] == b'.' {
                         // `..` would be a range; not valid SQL here.
                         if is_float {

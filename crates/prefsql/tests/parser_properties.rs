@@ -1,8 +1,8 @@
 //! Parser robustness: arbitrary input never panics, and structured
 //! random queries round-trip through parse → execute without surprises.
 
-use pref_sql::{parse, PrefSql};
 use pref_relation::rel;
+use pref_sql::{parse, PrefSql};
 use proptest::prelude::*;
 
 proptest! {

@@ -11,15 +11,14 @@
 //! present value parses as a number the column is numeric, otherwise it
 //! stays textual (and numeric preferences treat it as off-axis).
 
-use pref_core::base::{Around, Between, Highest, Lowest, Neg, Pos, PosNeg, PosPos};
+use pref_core::base::{Around, Between, Neg, Pos, PosNeg, PosPos, Score};
 use pref_core::term::Pref;
 use pref_query::sigma;
 use pref_relation::{DataType, Relation, Schema, Value};
 
 use crate::error::XPathError;
 use crate::path::{
-    parse_path, Axis, CmpOp, Constraint, Lit, LocationPath, NodeTest, Predicate, SoftAtom,
-    SoftExpr,
+    parse_path, Axis, CmpOp, Constraint, Lit, LocationPath, NodeTest, Predicate, SoftAtom, SoftExpr,
 };
 use crate::xml::{Document, NodeId};
 
@@ -140,11 +139,7 @@ impl<'a> PrefXPath<'a> {
     /// Materialise the candidate node set as a relation over the
     /// referenced attributes, inferring a numeric column type when every
     /// present value parses as a number.
-    fn node_relation(
-        &self,
-        candidates: &[NodeId],
-        attrs: &[&str],
-    ) -> Result<Relation, XPathError> {
+    fn node_relation(&self, candidates: &[NodeId], attrs: &[&str]) -> Result<Relation, XPathError> {
         let mut types = Vec::with_capacity(attrs.len());
         for &a in attrs {
             let mut numeric = true;
@@ -162,13 +157,8 @@ impl<'a> PrefXPath<'a> {
                 DataType::Str
             });
         }
-        let schema = Schema::new(
-            attrs
-                .iter()
-                .zip(&types)
-                .map(|(a, t)| (a.to_string(), *t)),
-        )
-        .map_err(|e| XPathError::Core(e.into()))?;
+        let schema = Schema::new(attrs.iter().zip(&types).map(|(a, t)| (a.to_string(), *t)))
+            .map_err(|e| XPathError::Core(e.into()))?;
         let mut r = Relation::empty(schema);
         for &n in candidates {
             let row: Vec<Value> = attrs
@@ -177,10 +167,9 @@ impl<'a> PrefXPath<'a> {
                 .map(|(a, t)| match self.doc.node(n).attr(a) {
                     None => Value::Null,
                     Some(raw) => match t {
-                        DataType::Float => raw
-                            .parse::<f64>()
-                            .map(Value::from)
-                            .unwrap_or(Value::Null),
+                        DataType::Float => {
+                            raw.parse::<f64>().map(Value::from).unwrap_or(Value::Null)
+                        }
                         _ => Value::from(raw),
                     },
                 })
@@ -217,18 +206,28 @@ pub fn soft_to_term(expr: &SoftExpr) -> Result<Pref, XPathError> {
         )
         .map_err(XPathError::Core)?,
         SoftExpr::Atom(atom) => match atom {
-            SoftAtom::Highest(a) => Pref::base(a.as_str(), Highest::new()),
-            SoftAtom::Lowest(a) => Pref::base(a.as_str(), Lowest::new()),
+            // Unlike the pure HIGHEST/LOWEST chains (where an off-axis
+            // value is *incomparable*, Def. 7c), Preference XPath wants
+            // nodes with a missing or unparsable attribute to lose
+            // against every scored node: SCORE's Def. 7d semantics send
+            // them to -∞ (mutually unranked), which is exactly that —
+            // and it holds on every evaluation backend, instead of
+            // depending on which algorithm the optimizer picks.
+            SoftAtom::Highest(a) => Pref::base(
+                a.as_str(),
+                Score::new("xpath-highest", |v: &Value| v.ordinal()),
+            ),
+            SoftAtom::Lowest(a) => Pref::base(
+                a.as_str(),
+                Score::new("xpath-lowest", |v: &Value| v.ordinal().map(|o| -o)),
+            ),
             SoftAtom::Around(a, z) => Pref::base(a.as_str(), Around::new(*z)),
-            SoftAtom::Between(a, lo, hi) => {
-                Pref::base(a.as_str(), Between::new(*lo, *hi).map_err(XPathError::Core)?)
-            }
-            SoftAtom::In(a, vs) => {
-                Pref::base(a.as_str(), Pos::new(vs.iter().map(lit_value)))
-            }
-            SoftAtom::NotIn(a, vs) => {
-                Pref::base(a.as_str(), Neg::new(vs.iter().map(lit_value)))
-            }
+            SoftAtom::Between(a, lo, hi) => Pref::base(
+                a.as_str(),
+                Between::new(*lo, *hi).map_err(XPathError::Core)?,
+            ),
+            SoftAtom::In(a, vs) => Pref::base(a.as_str(), Pos::new(vs.iter().map(lit_value))),
+            SoftAtom::NotIn(a, vs) => Pref::base(a.as_str(), Neg::new(vs.iter().map(lit_value))),
             SoftAtom::InElseIn(a, p1, p2) => Pref::base(
                 a.as_str(),
                 PosPos::new(p1.iter().map(lit_value), p2.iter().map(lit_value))
@@ -317,10 +316,7 @@ mod tests {
 
     #[test]
     fn missing_attributes_become_null_and_lose() {
-        let doc = parse_xml(
-            r#"<R><X p="5"/><X p="7"/><X/></R>"#,
-        )
-        .unwrap();
+        let doc = parse_xml(r#"<R><X p="5"/><X p="7"/><X/></R>"#).unwrap();
         let engine = PrefXPath::new(&doc);
         let hits = engine.query("/R/X #[(@p)highest]#").unwrap();
         assert_eq!(hits.len(), 1);
@@ -350,10 +346,7 @@ mod tests {
 
     #[test]
     fn descendant_axis_collects_across_levels() {
-        let doc = parse_xml(
-            r#"<shop><lot><CAR price="5"/></lot><CAR price="3"/></shop>"#,
-        )
-        .unwrap();
+        let doc = parse_xml(r#"<shop><lot><CAR price="5"/></lot><CAR price="3"/></shop>"#).unwrap();
         let engine = PrefXPath::new(&doc);
         let hits = engine.query("//CAR #[(@price)lowest]#").unwrap();
         assert_eq!(hits.len(), 1);

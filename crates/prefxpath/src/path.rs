@@ -634,8 +634,8 @@ mod tests {
     #[test]
     fn parses_paper_q1() {
         // Q1: /CARS/CAR #[(@fuel_economy)highest and (@horsepower)highest]#
-        let p = parse_path("/CARS/CAR #[(@fuel_economy)highest and (@horsepower)highest]#")
-            .unwrap();
+        let p =
+            parse_path("/CARS/CAR #[(@fuel_economy)highest and (@horsepower)highest]#").unwrap();
         assert_eq!(p.steps.len(), 2);
         let step = &p.steps[1];
         assert_eq!(step.test, NodeTest::Name("CAR".into()));
@@ -698,10 +698,8 @@ mod tests {
 
     #[test]
     fn between_and_else_forms() {
-        let p = parse_path(
-            "/a #[(@p)between 5 and 10 and (@c)in(\"x\") else not in(\"y\")]#",
-        )
-        .unwrap();
+        let p =
+            parse_path("/a #[(@p)between 5 and 10 and (@c)in(\"x\") else not in(\"y\")]#").unwrap();
         match &p.steps[0].constraints[0] {
             Constraint::Soft(SoftExpr::Pareto(parts)) => {
                 assert!(matches!(

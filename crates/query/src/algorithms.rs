@@ -20,6 +20,6 @@ pub mod bnl;
 pub mod dnc;
 pub mod sfs;
 
-pub use bnl::{bnl, bnl_parallel};
+pub use bnl::{bnl, bnl_generic, bnl_matrix, bnl_parallel};
 pub use dnc::dnc;
 pub use sfs::sfs;

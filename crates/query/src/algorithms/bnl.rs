@@ -5,44 +5,75 @@
 //! Correct for any strict partial order — the only assumption is
 //! transitivity, which guarantees a tuple dominated by an evicted
 //! candidate is also dominated by the evictor.
+//!
+//! Two dominance backends drive the same window logic:
+//!
+//! * the **score-matrix path** ([`bnl_matrix`]) — dominance tests are
+//!   `f64`/`u32` comparisons over the columnar
+//!   [`ScoreMatrix`](pref_core::eval::ScoreMatrix), used whenever the
+//!   term materializes;
+//! * the **generic path** ([`bnl_generic`]) — term-tree walks via
+//!   [`CompiledPref::better`], correct for any strict partial order.
+//!
+//! [`bnl_parallel`] partitions the input, computes per-shard windows on
+//! scoped threads, and merges them with a final pass — sound because
+//! `max(P_R) ⊆ max(P_R1) ∪ … ∪ max(P_Rk)` for any chunking. Threads come
+//! from `std::thread::scope`; the `rayon` cargo feature is reserved for
+//! swapping in a work-stealing pool once that dependency is available
+//! offline.
 
-use pref_core::eval::CompiledPref;
+use pref_core::eval::{CompiledPref, ScoreMatrix};
 use pref_core::term::Pref;
 use pref_relation::Relation;
 
 use crate::error::QueryError;
 
 /// BMO evaluation by Block-Nested-Loops. Returns sorted row indices.
+/// Picks the score-matrix dominance backend when the term materializes.
 pub fn bnl(pref: &Pref, r: &Relation) -> Result<Vec<usize>, QueryError> {
     let c = CompiledPref::compile(pref, r.schema())?;
     Ok(bnl_compiled(&c, r))
 }
 
-/// BNL with a pre-compiled preference.
+/// BNL with a pre-compiled preference; materializes a score matrix when
+/// possible and falls back to the generic term-walk path otherwise.
 pub fn bnl_compiled(c: &CompiledPref, r: &Relation) -> Vec<usize> {
-    let mut window = bnl_indices(c, r, 0..r.len());
+    match c.score_matrix(r) {
+        Some(m) => bnl_matrix(&m),
+        None => bnl_generic(c, r),
+    }
+}
+
+/// BNL over the score-matrix dominance backend.
+pub fn bnl_matrix(m: &ScoreMatrix) -> Vec<usize> {
+    let mut window = bnl_window(|x, y| m.better(x, y), 0..m.len());
     window.sort_unstable();
     window
 }
 
-/// BNL over a subset of row indices; returns unsorted candidates.
-fn bnl_indices(
-    c: &CompiledPref,
-    r: &Relation,
+/// BNL over the generic term-walk dominance backend.
+pub fn bnl_generic(c: &CompiledPref, r: &Relation) -> Vec<usize> {
+    let mut window = bnl_window(|x, y| c.better(r.row(x), r.row(y)), 0..r.len());
+    window.sort_unstable();
+    window
+}
+
+/// The window loop over an arbitrary strict-partial-order test on row
+/// indices; returns unsorted candidates.
+fn bnl_window(
+    better: impl Fn(usize, usize) -> bool,
     indices: impl IntoIterator<Item = usize>,
 ) -> Vec<usize> {
     let mut window: Vec<usize> = Vec::new();
     'next: for i in indices {
-        let t = r.row(i);
         let mut j = 0;
         while j < window.len() {
-            let w = r.row(window[j]);
-            if c.better(t, w) {
-                // An existing candidate dominates t: discard t.
+            if better(i, window[j]) {
+                // An existing candidate dominates i: discard i.
                 continue 'next;
             }
-            if c.better(w, t) {
-                // t dominates the candidate: evict it.
+            if better(window[j], i) {
+                // i dominates the candidate: evict it.
                 window.swap_remove(j);
             } else {
                 j += 1;
@@ -53,38 +84,69 @@ fn bnl_indices(
     window
 }
 
-/// Parallel BNL: split the relation into chunks, compute local maxima per
-/// thread, then run a final BNL pass over the union of local maxima.
+/// Parallel partitioned BNL: split the row range into `threads` shards,
+/// compute local maxima per scoped thread (sharing the compiled
+/// preference and, when available, one score matrix), then run a final
+/// merge pass over the union of the local windows.
 ///
 /// Sound because `max(P_R) ⊆ max(P_R1) ∪ … ∪ max(P_Rk)` for any chunking
 /// `R = R1 ∪ … ∪ Rk`: a globally maximal tuple is maximal in its chunk.
 pub fn bnl_parallel(pref: &Pref, r: &Relation, threads: usize) -> Result<Vec<usize>, QueryError> {
     let c = CompiledPref::compile(pref, r.schema())?;
+    Ok(bnl_parallel_compiled(&c, r, threads))
+}
+
+/// Parallel partitioned BNL with a pre-compiled preference.
+pub fn bnl_parallel_compiled(c: &CompiledPref, r: &Relation, threads: usize) -> Vec<usize> {
+    match c.score_matrix(r) {
+        Some(m) => bnl_parallel_matrix(&m, threads),
+        None => bnl_parallel_generic(c, r, threads),
+    }
+}
+
+/// Parallel partitioned BNL over a materialized score matrix.
+pub fn bnl_parallel_matrix(m: &ScoreMatrix, threads: usize) -> Vec<usize> {
+    let threads = threads.max(1);
+    if threads == 1 || m.len() < 2 * threads {
+        return bnl_matrix(m);
+    }
+    partitioned(|x, y| m.better(x, y), m.len(), threads)
+}
+
+/// Parallel partitioned BNL over the generic term-walk backend.
+pub fn bnl_parallel_generic(c: &CompiledPref, r: &Relation, threads: usize) -> Vec<usize> {
     let threads = threads.max(1);
     if threads == 1 || r.len() < 2 * threads {
-        return Ok(bnl_compiled(&c, r));
+        return bnl_generic(c, r);
     }
+    partitioned(|x, y| c.better(r.row(x), r.row(y)), r.len(), threads)
+}
 
-    let chunk = r.len().div_ceil(threads);
-    let mut locals: Vec<Vec<usize>> = Vec::with_capacity(threads);
-    crossbeam::scope(|scope| {
-        let mut handles = Vec::with_capacity(threads);
-        for t in 0..threads {
-            let c = &c;
-            let lo = t * chunk;
-            let hi = ((t + 1) * chunk).min(r.len());
-            handles.push(scope.spawn(move |_| bnl_indices(c, r, lo..hi)));
-        }
-        for h in handles {
-            locals.push(h.join().expect("BNL worker panicked"));
-        }
-    })
-    .expect("crossbeam scope failed");
+/// Shard, solve locally on scoped threads, merge.
+fn partitioned(
+    better: impl Fn(usize, usize) -> bool + Sync,
+    rows: usize,
+    threads: usize,
+) -> Vec<usize> {
+    let chunk = rows.div_ceil(threads);
+    let better = &better;
+    let locals: Vec<Vec<usize>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let lo = t * chunk;
+                let hi = ((t + 1) * chunk).min(rows);
+                scope.spawn(move || bnl_window(better, lo..hi))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("BNL worker panicked"))
+            .collect()
+    });
 
-    let candidates: Vec<usize> = locals.into_iter().flatten().collect();
-    let mut result = bnl_indices(&c, r, candidates);
+    let mut result = bnl_window(better, locals.into_iter().flatten());
     result.sort_unstable();
-    Ok(result)
+    result
 }
 
 #[cfg(test)]
@@ -109,6 +171,8 @@ mod tests {
             pos("c", ["x"]).pareto(lowest("a")),
             neg("c", ["z"]).prior(around("b", 6).pareto(lowest("a"))),
             highest("a").dual(),
+            // Not score-representable: forces the generic path.
+            explicit("c", [("z", "x")]).unwrap().prior(lowest("a")),
         ]
     }
 
@@ -121,6 +185,21 @@ mod tests {
                 sigma_naive(&p, &r).unwrap(),
                 "BNL diverged for {p}"
             );
+        }
+    }
+
+    #[test]
+    fn matrix_and_generic_paths_agree() {
+        let r = sample();
+        for p in prefs() {
+            let c = CompiledPref::compile(&p, r.schema()).unwrap();
+            if let Some(m) = c.score_matrix(&r) {
+                assert_eq!(
+                    bnl_matrix(&m),
+                    bnl_generic(&c, &r),
+                    "paths diverged for {p}"
+                );
+            }
         }
     }
 

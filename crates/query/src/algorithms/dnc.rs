@@ -21,34 +21,53 @@ use crate::error::QueryError;
 
 /// BMO evaluation by divide & conquer over score vectors. Fails with
 /// [`QueryError::AlgorithmMismatch`] when the term is not a Pareto
-/// accumulation of score-injective chains.
+/// accumulation of score-injective chains, or when some value in a chain
+/// column has no numeric embedding (NULLs, strings) — scoring such a row
+/// `-∞` would silently drop it, while the strict Pareto order of Def. 8
+/// keeps it as incomparable.
 pub fn dnc(pref: &Pref, r: &Relation) -> Result<Vec<usize>, QueryError> {
     let c = CompiledPref::compile(pref, r.schema())?;
-    if c.chain_dims().is_none() {
-        return Err(QueryError::AlgorithmMismatch {
-            algorithm: "divide & conquer",
-            term: pref.to_string(),
-            reason: "not a Pareto accumulation of LOWEST/HIGHEST chains",
-        });
-    }
-    Ok(dnc_compiled(&c, r))
+    try_dnc_compiled(&c, r).ok_or_else(|| QueryError::AlgorithmMismatch {
+        algorithm: "divide & conquer",
+        term: pref.to_string(),
+        reason: "not a Pareto accumulation of LOWEST/HIGHEST chains \
+                 over numerically embeddable columns",
+    })
 }
 
 /// D&C with a pre-compiled skyline-shaped preference.
 ///
 /// # Panics
-/// If the compiled preference is not skyline-shaped; use [`dnc`] for the
-/// checked entry point.
+/// If the preference is not skyline-shaped or a chain column holds a
+/// non-embeddable value; use [`dnc`] or [`try_dnc_compiled`] for the
+/// checked entries.
 pub fn dnc_compiled(c: &CompiledPref, r: &Relation) -> Vec<usize> {
-    let vectors: Vec<Vec<f64>> = r
-        .rows()
+    try_dnc_compiled(c, r).expect("preference is not D&C-evaluable on this input")
+}
+
+/// Checked D&C: `None` when the term is not skyline-shaped or some chain
+/// value lacks a numeric embedding (then coordinate-wise dominance would
+/// diverge from Def. 8 and callers must use another algorithm).
+///
+/// The score vectors are materialized column-at-a-time: one pass per
+/// chain dimension over the relation's columnar view, rather than one
+/// term-tree walk per tuple. The per-dimension embedding is
+/// [`dominance_key`](pref_core::base::BasePreference::dominance_key),
+/// whose `None`s flag exactly the values (off-axis, `-0.0`) where plain
+/// `f64` comparisons disagree with the chain's order.
+pub fn try_dnc_compiled(c: &CompiledPref, r: &Relation) -> Option<Vec<usize>> {
+    let dims = c.chain_dims()?;
+    let columns: Vec<Vec<f64>> = dims
         .iter()
-        .map(|t| c.score_vector(t).expect("caller checked skyline shape"))
+        .map(|(col, base)| r.column(*col).map_f64(|v| base.dominance_key(v)))
+        .collect::<Option<_>>()?;
+    let vectors: Vec<Vec<f64>> = (0..r.len())
+        .map(|i| columns.iter().map(|col| col[i]).collect())
         .collect();
     let mut idx: Vec<usize> = (0..vectors.len()).collect();
     let mut result = maxima(&vectors, &mut idx);
     result.sort_unstable();
-    result
+    Some(result)
 }
 
 /// `a` dominates `b`: every coordinate ≥, at least one >.
@@ -77,7 +96,10 @@ fn maxima(vectors: &[Vec<f64>], idx: &mut [usize]) -> Vec<usize> {
                 .iter()
                 .map(|&i| vectors[i][0])
                 .fold(f64::NEG_INFINITY, f64::max);
-            idx.iter().copied().filter(|&i| vectors[i][0] == best).collect()
+            idx.iter()
+                .copied()
+                .filter(|&i| vectors[i][0] == best)
+                .collect()
         }
         2 => sweep_2d(vectors, idx),
         _ => split_nd(vectors, idx),
@@ -202,11 +224,13 @@ mod tests {
         // Deterministic LCG — no RNG dependency needed here.
         let mut state = seed;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) % 1000) as i64
         };
-        let schema = Schema::new((0..d).map(|i| (format!("d{i}"), pref_relation::DataType::Int)))
-            .unwrap();
+        let schema =
+            Schema::new((0..d).map(|i| (format!("d{i}"), pref_relation::DataType::Int))).unwrap();
         let mut r = Relation::empty(schema);
         for _ in 0..n {
             r.push_values((0..d).map(|_| Value::from(next())).collect())

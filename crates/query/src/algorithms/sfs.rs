@@ -5,49 +5,73 @@
 //! descending utility guarantees no tuple is dominated by a later one.
 //! A single pass comparing each tuple against the already-accepted maxima
 //! therefore computes the BMO result, and accepted tuples are final —
-//! the progressive behaviour of \[TEO01\].
+//! the progressive behaviour of \[TEO01\]. The filtering pass runs on the
+//! score-matrix dominance backend whenever the term materializes.
 
-use pref_core::eval::CompiledPref;
+use pref_core::eval::{CompiledPref, ScoreMatrix};
 use pref_core::term::Pref;
 use pref_relation::Relation;
 
 use crate::error::QueryError;
 
 /// BMO evaluation by sort-filter. Fails when the preference has no
-/// monotone utility.
+/// monotone utility on *every* row — utility is per-value (e.g. a NULL
+/// under a scored chain has none), so all rows are checked, not just the
+/// first.
 pub fn sfs(pref: &Pref, r: &Relation) -> Result<Vec<usize>, QueryError> {
     let c = CompiledPref::compile(pref, r.schema())?;
-    if !r.is_empty() && c.utility(r.row(0)).is_none() {
-        return Err(QueryError::AlgorithmMismatch {
-            algorithm: "sort-filter-skyline",
-            term: pref.to_string(),
-            reason: "preference admits no monotone utility",
-        });
-    }
-    Ok(sfs_compiled(&c, r))
+    try_sfs_with(&c, r, c.score_matrix(r).as_ref()).ok_or_else(|| QueryError::AlgorithmMismatch {
+        algorithm: "sort-filter-skyline",
+        term: pref.to_string(),
+        reason: "preference admits no monotone utility on this input",
+    })
 }
 
-/// SFS with a pre-compiled preference.
+/// SFS with a pre-compiled preference; materializes a score matrix for
+/// the filtering pass when possible.
 ///
 /// # Panics
-/// If the preference has no utility; use [`sfs`] for the checked entry.
+/// If some row has no utility; use [`sfs`] for the checked entry.
 pub fn sfs_compiled(c: &CompiledPref, r: &Relation) -> Vec<usize> {
-    let mut order: Vec<(f64, usize)> = (0..r.len())
-        .map(|i| {
-            (
-                c.utility(r.row(i)).expect("caller checked utility"),
-                i,
-            )
-        })
-        .collect();
+    sfs_with(c, r, c.score_matrix(r).as_ref())
+}
+
+/// SFS with the dominance backend chosen by the caller (`matrix` from
+/// [`CompiledPref::score_matrix`], or `None` for the generic path).
+///
+/// # Panics
+/// If some row has no utility; use [`sfs`] or [`try_sfs_with`] for the
+/// checked entries.
+pub fn sfs_with(c: &CompiledPref, r: &Relation, matrix: Option<&ScoreMatrix>) -> Vec<usize> {
+    try_sfs_with(c, r, matrix).expect("preference admits no monotone utility on this input")
+}
+
+/// Checked SFS: `None` when any row lacks a utility (the sort order
+/// would not be topologically compatible and silent misresults could
+/// follow).
+pub fn try_sfs_with(
+    c: &CompiledPref,
+    r: &Relation,
+    matrix: Option<&ScoreMatrix>,
+) -> Option<Vec<usize>> {
+    let mut order: Vec<(f64, usize)> = Vec::with_capacity(r.len());
+    for i in 0..r.len() {
+        order.push((c.utility(r.row(i))?, i));
+    }
     // Descending utility; ties broken by row index for determinism.
     order.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
 
+    Some(match matrix {
+        Some(m) => filter_pass(&order, |x, y| m.better(x, y)),
+        None => filter_pass(&order, |x, y| c.better(r.row(x), r.row(y))),
+    })
+}
+
+fn filter_pass(order: &[(f64, usize)], better: impl Fn(usize, usize) -> bool) -> Vec<usize> {
     let mut maxima: Vec<usize> = Vec::new();
-    'next: for &(_, i) in &order {
-        let t = r.row(i);
+    'next: for &(_, i) in order {
         for &m in &maxima {
-            if c.better(t, r.row(m)) {
+            if better(i, m) {
                 continue 'next;
             }
         }
@@ -89,6 +113,18 @@ mod tests {
                 "SFS diverged for {p}"
             );
         }
+    }
+
+    #[test]
+    fn matrix_and_generic_filter_passes_agree() {
+        let r = rel! {
+            ("a": Int, "b": Int);
+            (1, 9), (2, 8), (3, 7), (9, 1), (5, 5), (6, 6), (1, 9), (0, 10),
+        };
+        let p = around("a", 3).pareto(lowest("b"));
+        let c = CompiledPref::compile(&p, r.schema()).unwrap();
+        let m = c.score_matrix(&r).expect("scored term materializes");
+        assert_eq!(sfs_with(&c, &r, Some(&m)), sfs_with(&c, &r, None));
     }
 
     #[test]

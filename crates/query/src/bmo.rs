@@ -6,7 +6,7 @@
 //! (§5.1); it is the correctness oracle of the test suite and the baseline
 //! of the scaling benchmarks.
 
-use pref_core::eval::CompiledPref;
+use pref_core::eval::{CompiledPref, ScoreMatrix};
 use pref_core::term::Pref;
 use pref_relation::Relation;
 
@@ -14,13 +14,41 @@ use crate::error::QueryError;
 
 /// Naive `σ[P](R)` by exhaustive pairwise better-than tests.
 /// Returns the indices of the maximal tuples, in row order.
+///
+/// Still O(n²) tests, but they run on the score-matrix backend when the
+/// term materializes; [`sigma_naive_generic`] is the backend-independent
+/// oracle the test suite checks every path against.
 pub fn sigma_naive(pref: &Pref, r: &Relation) -> Result<Vec<usize>, QueryError> {
     let c = CompiledPref::compile(pref, r.schema())?;
     Ok(sigma_naive_compiled(&c, r))
 }
 
-/// Naive evaluation with a pre-compiled preference.
+/// Naive evaluation with a pre-compiled preference; uses the score
+/// matrix when available.
 pub fn sigma_naive_compiled(c: &CompiledPref, r: &Relation) -> Vec<usize> {
+    match c.score_matrix(r) {
+        Some(m) => sigma_naive_matrix(&m),
+        None => sigma_naive_generic_compiled(c, r),
+    }
+}
+
+/// Naive evaluation over a materialized score matrix.
+pub fn sigma_naive_matrix(m: &ScoreMatrix) -> Vec<usize> {
+    (0..m.len())
+        .filter(|&i| (0..m.len()).all(|other| !m.better(i, other)))
+        .collect()
+}
+
+/// Naive `σ[P](R)` forced onto the generic term-walk path — the
+/// correctness oracle, deliberately independent of the score-matrix
+/// subsystem.
+pub fn sigma_naive_generic(pref: &Pref, r: &Relation) -> Result<Vec<usize>, QueryError> {
+    let c = CompiledPref::compile(pref, r.schema())?;
+    Ok(sigma_naive_generic_compiled(&c, r))
+}
+
+/// Generic-path naive evaluation with a pre-compiled preference.
+pub fn sigma_naive_generic_compiled(c: &CompiledPref, r: &Relation) -> Vec<usize> {
     let rows = r.rows();
     (0..rows.len())
         .filter(|&i| {
@@ -55,10 +83,7 @@ mod tests {
         )
         .unwrap();
         let result = sigma_relation(&p, &r).unwrap();
-        let colors: Vec<&str> = result
-            .iter()
-            .map(|t| t[0].as_str().unwrap())
-            .collect();
+        let colors: Vec<&str> = result.iter().map(|t| t[0].as_str().unwrap()).collect();
         assert_eq!(colors, vec!["yellow", "red"]);
     }
 
@@ -87,7 +112,7 @@ mod tests {
         let r = rel! { ("a": Int, "b": Int); (1, 2), (2, 1), (0, 0) };
         for p in [
             lowest("a").pareto(lowest("b")),
-            pos("a", [99i64]),            // nothing matches the wish
+            pos("a", [99i64]), // nothing matches the wish
             around("a", 1000).prior(highest("b")),
         ] {
             assert!(!sigma_naive(&p, &r).unwrap().is_empty(), "{p}");

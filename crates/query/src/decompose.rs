@@ -115,9 +115,7 @@ pub fn yy(p1: &Pref, p2: &Pref, r: &Relation) -> Result<Vec<usize>, QueryError> 
         }
         let t = &rows[i];
         // P1↑t ∩ P2↑t ∩ R[A] = ∅ ?
-        let has_common_dominator = rows
-            .iter()
-            .any(|v| c1.better(t, v) && c2.better(t, v));
+        let has_common_dominator = rows.iter().any(|v| c1.better(t, v) && c2.better(t, v));
         if !has_common_dominator {
             out.push(i);
         }

@@ -131,12 +131,7 @@ mod tests {
             ("a": Str, "b": Str, "x": Int);
             ("p", "q", 3), ("p", "q", 1), ("p", "r", 9), ("s", "q", 2),
         };
-        let got = sigma_groupby(
-            &lowest("x"),
-            &AttrSet::new(["a", "b"]),
-            &r,
-        )
-        .unwrap();
+        let got = sigma_groupby(&lowest("x"), &AttrSet::new(["a", "b"]), &r).unwrap();
         assert_eq!(got, vec![1, 2, 3]);
     }
 }

@@ -21,20 +21,15 @@ use crate::error::QueryError;
 /// Level-based relaxation: all rows whose level in the database
 /// preference `P_R` is at most `max_level`. `max_level = 1` is exactly
 /// `σ[P](R)`; higher levels concede one better-than step at a time.
-pub fn sigma_levels(
-    pref: &Pref,
-    r: &Relation,
-    max_level: u32,
-) -> Result<Vec<usize>, QueryError> {
+pub fn sigma_levels(pref: &Pref, r: &Relation, max_level: u32) -> Result<Vec<usize>, QueryError> {
     let c = CompiledPref::compile(pref, r.schema())?;
     // The SPO check cannot fail for terms built from this crate's
     // constructors (Prop. 1); it surfaces bugs in custom base preferences.
-    let g = BetterGraph::from_relation(&c, r)
-        .map_err(|_| QueryError::AlgorithmMismatch {
-            algorithm: "level relaxation",
-            term: pref.to_string(),
-            reason: "preference violates the strict-partial-order axioms",
-        })?;
+    let g = BetterGraph::from_relation(&c, r).map_err(|_| QueryError::AlgorithmMismatch {
+        algorithm: "level relaxation",
+        term: pref.to_string(),
+        reason: "preference violates the strict-partial-order axioms",
+    })?;
     Ok((0..r.len()).filter(|&i| g.level(i) <= max_level).collect())
 }
 
@@ -68,13 +63,12 @@ impl NegotiationTable {
 
         let level_of = |p: &Pref| -> Result<Vec<u32>, QueryError> {
             let c = CompiledPref::compile(p, r.schema())?;
-            let g = BetterGraph::from_relation(&c, r).map_err(|_| {
-                QueryError::AlgorithmMismatch {
+            let g =
+                BetterGraph::from_relation(&c, r).map_err(|_| QueryError::AlgorithmMismatch {
                     algorithm: "negotiation",
                     term: p.to_string(),
                     reason: "preference violates the strict-partial-order axioms",
-                }
-            })?;
+                })?;
             Ok((0..r.len()).map(|i| g.level(i)).collect())
         };
         let la = level_of(a)?;
@@ -110,13 +104,9 @@ impl NegotiationTable {
     /// The most balanced compromise: minimal level gap between the
     /// parties, ties broken by combined quality.
     pub fn most_balanced(&self) -> Option<&Offer> {
-        self.offers.iter().min_by_key(|o| {
-            (
-                o.level_a.abs_diff(o.level_b),
-                o.level_a + o.level_b,
-                o.row,
-            )
-        })
+        self.offers
+            .iter()
+            .min_by_key(|o| (o.level_a.abs_diff(o.level_b), o.level_a + o.level_b, o.row))
     }
 }
 
@@ -173,17 +163,13 @@ mod tests {
             v.sort_unstable();
             v
         };
-        assert_eq!(
-            frontier,
-            sigma_naive(&customer.pareto(vendor), &r).unwrap()
-        );
+        assert_eq!(frontier, sigma_naive(&customer.pareto(vendor), &r).unwrap());
     }
 
     #[test]
     fn levels_expose_the_tradeoff() {
         let r = car_db();
-        let table =
-            NegotiationTable::build(&lowest("price"), &highest("commission"), &r).unwrap();
+        let table = NegotiationTable::build(&lowest("price"), &highest("commission"), &r).unwrap();
         for o in table.offers() {
             // On this anti-correlated toy set, nobody gets a unanimous
             // deal: what one party loves the other ranks worse.
@@ -202,8 +188,7 @@ mod tests {
             (10_000, 900), // cheapest AND highest commission
             (12_000, 300),
         };
-        let table =
-            NegotiationTable::build(&lowest("price"), &highest("commission"), &r).unwrap();
+        let table = NegotiationTable::build(&lowest("price"), &highest("commission"), &r).unwrap();
         let unanimous = table.unanimous();
         assert_eq!(unanimous.len(), 1);
         assert_eq!(unanimous[0].row, 0);

@@ -2,15 +2,18 @@
 //!
 //! "Building efficient preference query optimizers, which can cope with
 //! the intrinsic non-monotonic nature of preference queries" is the
-//! paper's stated next step; this module implements the two levers the
-//! paper provides:
+//! paper's stated next step; this module implements three levers:
 //!
 //! 1. **algebraic rewriting** — `simplify` applies the laws of Prop. 2–4;
 //!    by Prop. 7 (`P1 ≡ P2 ⟹ σ[P1](R) = σ[P2](R)`) this never changes
 //!    results;
 //! 2. **algorithm selection** — D&C for `SKYLINE OF` shapes, cascade for
 //!    chain-headed prioritisation (Prop. 11), SFS when a monotone utility
-//!    exists, BNL otherwise; decomposition (Prop. 8–12) on request.
+//!    exists, BNL otherwise; decomposition (Prop. 8–12) on request;
+//! 3. **dominance-backend selection** — the term is compiled once, a
+//!    [`ScoreMatrix`] is materialized once when the term is
+//!    score-representable, and every downstream algorithm runs its
+//!    pairwise tests on that columnar backend instead of term-tree walks.
 //!
 //! Every evaluation returns an [`Explain`] recording what was chosen and
 //! why — the `EXPLAIN` of Preference SQL.
@@ -18,12 +21,12 @@
 use std::fmt;
 
 use pref_core::algebra::simplify;
-use pref_core::eval::CompiledPref;
+use pref_core::eval::{CompiledPref, ScoreMatrix};
 use pref_core::term::Pref;
 use pref_relation::Relation;
 
 use crate::algorithms::{bnl, dnc, sfs};
-use crate::bmo::sigma_naive;
+use crate::bmo::{sigma_naive_generic_compiled, sigma_naive_matrix};
 use crate::decompose::sigma_decomposed;
 use crate::error::QueryError;
 
@@ -72,6 +75,9 @@ pub struct Explain {
     pub rewritten: bool,
     /// The chosen evaluation strategy.
     pub algorithm: Algorithm,
+    /// Whether dominance tests ran on a materialized score matrix
+    /// (`false` = generic term-walk backend).
+    pub materialized: bool,
     /// Human-readable selection rationale.
     pub reason: String,
 }
@@ -83,6 +89,22 @@ impl fmt::Display for Explain {
             writeln!(f, "rewritten  : {}", self.simplified)?;
         }
         writeln!(f, "algorithm  : {}", self.algorithm)?;
+        writeln!(
+            f,
+            "dominance  : {}",
+            if self.materialized {
+                "score-matrix (columnar keys)"
+            } else if self.algorithm == Algorithm::Dnc {
+                "columnar skyline vectors"
+            } else if matches!(self.algorithm, Algorithm::Cascade | Algorithm::Decomposed) {
+                // The decomposition evaluator picks a backend per
+                // sub-query (its inner BNL calls still materialize when
+                // the sub-term allows); no single top-level label applies.
+                "per-subquery (decomposed evaluation)"
+            } else {
+                "generic term-walk"
+            }
+        )?;
         write!(f, "reason     : {}", self.reason)
     }
 }
@@ -96,6 +118,11 @@ pub struct Optimizer {
     pub threads: usize,
     /// Skip the algebraic rewrite pass.
     pub no_rewrite: bool,
+    /// Skip score-matrix materialization at the top level (forces the
+    /// term-walk backend); benchmark ablation and debugging knob. Does
+    /// not reach the decomposition evaluator's per-subquery BNL calls,
+    /// which choose their own backend.
+    pub no_materialize: bool,
 }
 
 impl Optimizer {
@@ -109,54 +136,155 @@ impl Optimizer {
         self
     }
 
-    /// Plan only: rewrite and select an algorithm without evaluating —
-    /// the `EXPLAIN` path of Preference SQL.
-    pub fn plan(&self, pref: &Pref, r: &Relation) -> Result<Explain, QueryError> {
-        let original = pref.to_string();
-        let simplified = if self.no_rewrite {
+    /// Disable the score-matrix backend (ablation knob).
+    pub fn without_materialization(mut self) -> Self {
+        self.no_materialize = true;
+        self
+    }
+
+    fn rewrite(&self, pref: &Pref) -> Pref {
+        if self.no_rewrite {
             pref.clone()
         } else {
             simplify(pref)
-        };
+        }
+    }
+
+    /// Does `algorithm` run its *top-level* pairwise dominance tests on
+    /// a score matrix? D&C builds its own columnar skyline vectors, and
+    /// the cascade/decomposition evaluators recurse into sub-queries
+    /// (whose inner BNL calls materialize their own sub-matrices when
+    /// possible) — no whole-relation matrix is built for any of them.
+    fn uses_matrix(algorithm: Algorithm) -> bool {
+        matches!(
+            algorithm,
+            Algorithm::Naive | Algorithm::Bnl | Algorithm::BnlParallel | Algorithm::Sfs
+        )
+    }
+
+    fn materialize(
+        &self,
+        algorithm: Algorithm,
+        c: &CompiledPref,
+        r: &Relation,
+    ) -> Option<ScoreMatrix> {
+        if self.no_materialize || !Self::uses_matrix(algorithm) {
+            None
+        } else {
+            c.score_matrix(r)
+        }
+    }
+
+    /// Plan only: rewrite, compile, and select an algorithm without
+    /// evaluating — the `EXPLAIN` path of Preference SQL. The backend
+    /// report uses the allocation-free representability probe; no matrix
+    /// is materialized.
+    pub fn plan(&self, pref: &Pref, r: &Relation) -> Result<Explain, QueryError> {
+        let original = pref.to_string();
+        let simplified = self.rewrite(pref);
         let simplified_str = simplified.to_string();
+        let c = CompiledPref::compile(&simplified, r.schema())?;
         let (algorithm, reason) = match self.force {
             Some(a) => (a, "forced by caller".to_string()),
-            None => self.select(&simplified, r)?,
+            None => self.select(&simplified, &c, r)?,
         };
+        let materialized =
+            !self.no_materialize && Self::uses_matrix(algorithm) && c.supports_matrix(r);
         Ok(Explain {
             rewritten: simplified_str != original,
             original,
             simplified: simplified_str,
             algorithm,
+            materialized,
             reason,
         })
     }
 
     /// Evaluate `σ[P](R)`, returning sorted row indices and the
-    /// explanation.
+    /// explanation. The term is compiled once; the score matrix is
+    /// materialized once, and only when the selected algorithm actually
+    /// runs pairwise dominance tests on it.
     pub fn evaluate(&self, pref: &Pref, r: &Relation) -> Result<(Vec<usize>, Explain), QueryError> {
         let original = pref.to_string();
-        let simplified = if self.no_rewrite {
-            pref.clone()
-        } else {
-            simplify(pref)
-        };
+        let simplified = self.rewrite(pref);
         let simplified_str = simplified.to_string();
         let rewritten = simplified_str != original;
 
-        let (algorithm, reason) = match self.force {
+        let c = CompiledPref::compile(&simplified, r.schema())?;
+        let (mut algorithm, mut reason) = match self.force {
             Some(a) => (a, "forced by caller".to_string()),
-            None => self.select(&simplified, r)?,
+            None => self.select(&simplified, &c, r)?,
         };
+        let matrix = self.materialize(algorithm, &c, r);
 
         let rows = match algorithm {
-            Algorithm::Naive => sigma_naive(&simplified, r)?,
-            Algorithm::Bnl => bnl::bnl(&simplified, r)?,
+            Algorithm::Naive => match &matrix {
+                Some(m) => sigma_naive_matrix(m),
+                None => sigma_naive_generic_compiled(&c, r),
+            },
+            Algorithm::Bnl => match &matrix {
+                Some(m) => bnl::bnl_matrix(m),
+                None => bnl::bnl_generic(&c, r),
+            },
             Algorithm::BnlParallel => {
-                bnl::bnl_parallel(&simplified, r, self.threads.max(2))?
+                let threads = self.threads.max(2);
+                match &matrix {
+                    Some(m) => bnl::bnl_parallel_matrix(m, threads),
+                    None => bnl::bnl_parallel_generic(&c, r, threads),
+                }
             }
-            Algorithm::Dnc => dnc::dnc(&simplified, r)?,
-            Algorithm::Sfs => sfs::sfs(&simplified, r)?,
+            Algorithm::Dnc => {
+                // Like SFS below: selection checks the term's *shape*,
+                // but evaluability is per-value (a NULL in a chain column
+                // has no embedding), so the checked entry decides.
+                match dnc::try_dnc_compiled(&c, r) {
+                    Some(rows) => rows,
+                    None if self.force.is_some() => {
+                        return Err(QueryError::AlgorithmMismatch {
+                            algorithm: "divide & conquer",
+                            term: simplified.to_string(),
+                            reason: "not a Pareto accumulation of LOWEST/HIGHEST chains \
+                                     over numerically embeddable columns",
+                        });
+                    }
+                    None => {
+                        algorithm = Algorithm::Bnl;
+                        reason = "chain column not numerically embeddable on this input: \
+                                  fell back to block-nested-loops"
+                            .to_string();
+                        bnl::bnl_generic(&c, r)
+                    }
+                }
+            }
+            Algorithm::Sfs => {
+                // Utility is per-row (a NULL under a scored chain has
+                // none), so the checked entry decides; a first-row probe
+                // would let `sfs_with` panic on later rows.
+                match sfs::try_sfs_with(&c, r, matrix.as_ref()) {
+                    Some(rows) => rows,
+                    // Forced by the caller: surface the mismatch.
+                    None if self.force.is_some() => {
+                        return Err(QueryError::AlgorithmMismatch {
+                            algorithm: "sort-filter-skyline",
+                            term: simplified.to_string(),
+                            reason: "preference admits no monotone utility on this input",
+                        });
+                    }
+                    // Auto-selected from a first-row probe: some later
+                    // row lacks a utility — fall back to BNL rather than
+                    // failing a valid query.
+                    None => {
+                        algorithm = Algorithm::Bnl;
+                        reason = "utility incomplete on this input: fell back to \
+                                  block-nested-loops"
+                            .to_string();
+                        match &matrix {
+                            Some(m) => bnl::bnl_matrix(m),
+                            None => bnl::bnl_generic(&c, r),
+                        }
+                    }
+                }
+            }
             Algorithm::Cascade | Algorithm::Decomposed => sigma_decomposed(&simplified, r)?,
         };
 
@@ -167,15 +295,19 @@ impl Optimizer {
                 simplified: simplified_str,
                 rewritten,
                 algorithm,
+                materialized: matrix.is_some(),
                 reason,
             },
         ))
     }
 
-    /// Pick an algorithm for an already-simplified term.
-    fn select(&self, pref: &Pref, r: &Relation) -> Result<(Algorithm, String), QueryError> {
-        let c = CompiledPref::compile(pref, r.schema())?;
-
+    /// Pick an algorithm for an already-simplified, compiled term.
+    fn select(
+        &self,
+        pref: &Pref,
+        c: &CompiledPref,
+        r: &Relation,
+    ) -> Result<(Algorithm, String), QueryError> {
         if c.chain_dims().is_some() {
             return Ok((
                 Algorithm::Dnc,
@@ -200,7 +332,10 @@ impl Optimizer {
         if self.threads >= 2 && r.len() >= 4096 {
             return Ok((
                 Algorithm::BnlParallel,
-                format!("general partial order, large input: {} BNL workers", self.threads),
+                format!(
+                    "general partial order, large input: {} BNL workers",
+                    self.threads
+                ),
             ));
         }
         Ok((
@@ -245,23 +380,26 @@ mod tests {
             neg("c", ["z"]).pareto(pos("c", ["x"])),
         ];
         for p in prefs {
-            let baseline = crate::bmo::sigma_naive(&p, &r).unwrap();
+            let baseline = crate::bmo::sigma_naive_generic(&p, &r).unwrap();
             for algo in [
                 Algorithm::Naive,
                 Algorithm::Bnl,
                 Algorithm::BnlParallel,
                 Algorithm::Decomposed,
             ] {
-                let opt = Optimizer {
-                    force: Some(algo),
-                    threads: 2,
-                    no_rewrite: false,
-                };
-                assert_eq!(
-                    opt.evaluate(&p, &r).unwrap().0,
-                    baseline,
-                    "{algo} diverged on {p}"
-                );
+                for no_materialize in [false, true] {
+                    let opt = Optimizer {
+                        force: Some(algo),
+                        threads: 2,
+                        no_rewrite: false,
+                        no_materialize,
+                    };
+                    assert_eq!(
+                        opt.evaluate(&p, &r).unwrap().0,
+                        baseline,
+                        "{algo} (no_materialize={no_materialize}) diverged on {p}"
+                    );
+                }
             }
         }
     }
@@ -272,6 +410,63 @@ mod tests {
         let p = lowest("a").pareto(highest("b"));
         let (_, ex) = Optimizer::new().evaluate(&p, &r).unwrap();
         assert_eq!(ex.algorithm, Algorithm::Dnc);
+        // D&C runs on its own columnar skyline vectors; no score matrix
+        // is (or should be) materialized for it.
+        assert!(!ex.materialized);
+        assert!(ex.to_string().contains("columnar skyline vectors"));
+    }
+
+    #[test]
+    fn dnc_falls_back_on_non_embeddable_chain_values() {
+        // chain_dims is shape-only; a NULL in a chain column must not be
+        // scored -∞ (that would silently drop an incomparable maximum).
+        let mut r = rel! { ("a": Int, "b": Int); (1, 9) };
+        r.push(pref_relation::Tuple::new(vec![
+            pref_relation::Value::Null,
+            pref_relation::Value::from(5),
+        ]))
+        .unwrap();
+        let p = lowest("a").pareto(highest("b"));
+        let oracle = crate::bmo::sigma_naive_generic(&p, &r).unwrap();
+        assert_eq!(
+            oracle,
+            vec![0, 1],
+            "NULL row is incomparable, stays maximal"
+        );
+
+        let (rows, ex) = Optimizer::new().evaluate(&p, &r).unwrap();
+        assert_eq!(rows, oracle);
+        assert_eq!(ex.algorithm, Algorithm::Bnl);
+        assert!(ex.reason.contains("fell back"));
+
+        let forced = Optimizer::new().with_algorithm(Algorithm::Dnc);
+        assert!(matches!(
+            forced.evaluate(&p, &r),
+            Err(QueryError::AlgorithmMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn sfs_handles_partial_utilities_without_panicking() {
+        // Row 0 has a utility but the NULL row has none: a first-row
+        // probe alone would let SFS panic mid-run.
+        let mut r = rel! { ("a": Int); (1,), (2,) };
+        r.push_values(vec![pref_relation::Value::Null]).unwrap();
+
+        // Forced: clean mismatch error.
+        let forced = Optimizer::new().with_algorithm(Algorithm::Sfs);
+        assert!(matches!(
+            forced.evaluate(&lowest("a"), &r),
+            Err(QueryError::AlgorithmMismatch { .. })
+        ));
+
+        // Auto-selected (scored, non-chain shape so selection probes
+        // utility): falls back to BNL and still answers correctly.
+        let p = around("a", 1).pareto(lowest("a"));
+        let (rows, ex) = Optimizer::new().evaluate(&p, &r).unwrap();
+        assert_eq!(ex.algorithm, Algorithm::Bnl);
+        assert!(ex.reason.contains("fell back"));
+        assert_eq!(rows, crate::bmo::sigma_naive_generic(&p, &r).unwrap());
     }
 
     #[test]
@@ -296,6 +491,33 @@ mod tests {
         let p = pos("c", ["x"]).pareto(neg("c", ["z"]));
         let (_, ex) = Optimizer::new().evaluate(&p, &r).unwrap();
         assert_eq!(ex.algorithm, Algorithm::Bnl);
+        // POS/NEG are level-representable: still a matrix backend.
+        assert!(ex.materialized);
+    }
+
+    #[test]
+    fn explicit_terms_fall_back_to_the_generic_backend() {
+        let r = sample();
+        let p = explicit("c", [("z", "x")]).unwrap();
+        let (rows, ex) = Optimizer::new().evaluate(&p, &r).unwrap();
+        assert!(!ex.materialized);
+        assert_eq!(rows, crate::bmo::sigma_naive_generic(&p, &r).unwrap());
+        assert!(ex.to_string().contains("generic term-walk"));
+    }
+
+    #[test]
+    fn forced_mismatches_error_cleanly() {
+        let r = sample();
+        let opt = Optimizer::new().with_algorithm(Algorithm::Dnc);
+        assert!(matches!(
+            opt.evaluate(&pos("c", ["x"]), &r),
+            Err(QueryError::AlgorithmMismatch { .. })
+        ));
+        let opt = Optimizer::new().with_algorithm(Algorithm::Sfs);
+        assert!(matches!(
+            opt.evaluate(&pos("c", ["x"]), &r),
+            Err(QueryError::AlgorithmMismatch { .. })
+        ));
     }
 
     #[test]

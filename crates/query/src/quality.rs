@@ -92,10 +92,7 @@ impl QualityFilter {
     }
 }
 
-fn base_on<'a>(
-    pref: &'a Pref,
-    attr: &Attr,
-) -> Option<&'a pref_core::term::BasePref> {
+fn base_on<'a>(pref: &'a Pref, attr: &Attr) -> Option<&'a pref_core::term::BasePref> {
     pref.bases().into_iter().find(|b| &b.attr == attr)
 }
 
@@ -144,9 +141,7 @@ pub fn perfect_match(pref: &Pref, r: &Relation, t: &Tuple) -> Result<Option<bool
         }
         Pref::Antichain(_) => Some(true),
         Pref::Dual(_) => None, // would need an `is_bottom` notion
-        Pref::Pareto(children) | Pref::Prior(children) => {
-            all_tops(children.iter(), r, t)?
-        }
+        Pref::Pareto(children) | Pref::Prior(children) => all_tops(children.iter(), r, t)?,
         Pref::Rank(_, _) => None, // depends on F's extrema
         Pref::Inter(l, rt) => match (perfect_match(l, r, t)?, perfect_match(rt, r, t)?) {
             (Some(true), _) | (_, Some(true)) => Some(true),
@@ -302,11 +297,14 @@ mod tests {
         let p = lowest("a").pareto(lowest("b"));
         let bmo = crate::bmo::sigma_naive(&p, &r).unwrap();
         let kb = k_best(&p, &r, r.len()).unwrap();
-        assert_eq!({
-            let mut head: Vec<usize> = kb[..bmo.len()].to_vec();
-            head.sort_unstable();
-            head
-        }, bmo);
+        assert_eq!(
+            {
+                let mut head: Vec<usize> = kb[..bmo.len()].to_vec();
+                head.sort_unstable();
+                head
+            },
+            bmo
+        );
     }
 
     #[test]

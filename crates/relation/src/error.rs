@@ -33,9 +33,16 @@ impl fmt::Display for RelationError {
             }
             RelationError::UnknownAttr(a) => write!(f, "unknown attribute `{a}`"),
             RelationError::ArityMismatch { expected, got } => {
-                write!(f, "row arity mismatch: schema has {expected} columns, row has {got}")
+                write!(
+                    f,
+                    "row arity mismatch: schema has {expected} columns, row has {got}"
+                )
             }
-            RelationError::TypeMismatch { attr, expected, got } => write!(
+            RelationError::TypeMismatch {
+                attr,
+                expected,
+                got,
+            } => write!(
                 f,
                 "type mismatch for attribute `{attr}`: expected {expected}, got value {got}"
             ),
@@ -57,7 +64,10 @@ mod tests {
     fn display_messages_are_readable() {
         let e = RelationError::DuplicateAttr(attr("price"));
         assert_eq!(e.to_string(), "duplicate attribute `price` in schema");
-        let e = RelationError::ArityMismatch { expected: 3, got: 2 };
+        let e = RelationError::ArityMismatch {
+            expected: 3,
+            got: 2,
+        };
         assert!(e.to_string().contains("3 columns"));
         let e = RelationError::TypeMismatch {
             attr: attr("price"),

@@ -27,6 +27,7 @@
 //! ```
 
 pub mod attr;
+pub mod column;
 pub mod error;
 pub mod relation;
 pub mod schema;
@@ -37,6 +38,7 @@ pub mod value;
 mod macros;
 
 pub use attr::{attr, Attr, AttrSet};
+pub use column::Column;
 pub use error::RelationError;
 pub use relation::Relation;
 pub use schema::{DataType, Field, Schema};

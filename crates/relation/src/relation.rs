@@ -207,7 +207,9 @@ mod tests {
     #[test]
     fn push_validates() {
         let mut r = cars();
-        assert!(r.push_values(vec![Value::from("Opel"), Value::from(1)]).is_ok());
+        assert!(r
+            .push_values(vec![Value::from("Opel"), Value::from(1)])
+            .is_ok());
         assert!(r.push_values(vec![Value::from(1), Value::from(1)]).is_err());
         assert!(r.push_values(vec![Value::from("Opel")]).is_err());
         assert_eq!(r.len(), 5);

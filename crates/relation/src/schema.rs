@@ -232,9 +232,7 @@ mod tests {
     #[test]
     fn projection_sorts_attrs() {
         let s = car_schema();
-        let p = s
-            .project(&AttrSet::new(["price", "make"]))
-            .unwrap();
+        let p = s.project(&AttrSet::new(["price", "make"])).unwrap();
         // AttrSet is sorted, so `make` precedes `price`.
         assert_eq!(p.fields()[0].name, attr("make"));
         assert_eq!(p.fields()[1].name, attr("price"));

@@ -99,12 +99,11 @@ pub fn catalog(n: usize, seed: u64) -> Relation {
         let sporty = matches!(category, "cabriolet" | "roadster" | "suv");
 
         let base_hp: i64 = rng.random_range(45..=120);
-        let horsepower =
-            base_hp + if premium { 60 } else { 0 } + if sporty { 50 } else { 0 };
+        let horsepower = base_hp + if premium { 60 } else { 0 } + if sporty { 50 } else { 0 };
 
         // Mileage grows with age; price decays with age and mileage, and
         // grows with horsepower and brand premium.
-        let mileage = (age * rng.random_range(8_000..22_000)).max(0);
+        let mileage = (age * rng.random_range(8_000i64..22_000)).max(0);
         let new_price = 12_000
             + horsepower * 180
             + if premium { 9_000 } else { 0 }
@@ -114,12 +113,12 @@ pub fn catalog(n: usize, seed: u64) -> Relation {
         let price = ((new_price as f64) * depreciation * wear).round() as i64;
         let price = price.max(500);
 
-        let commission = ((price as f64) * rng.random_range(0.03..0.08)).round() as i64;
+        let commission = ((price as f64) * rng.random_range(0.03f64..0.08)).round() as i64;
         // Miles-per-gallon-ish figure: drops with horsepower.
-        let fuel_economy = (55 - horsepower / 6 + rng.random_range(-4..=4)).max(8);
-        let insurance_rating = (horsepower / 25 + if sporty { 4 } else { 0 }
-            + rng.random_range(0..=3))
-        .clamp(1, 20);
+        let fuel_economy = (55 - horsepower / 6 + rng.random_range(-4i64..=4)).max(8);
+        let insurance_rating =
+            (horsepower / 25 + if sporty { 4 } else { 0 } + rng.random_range(0i64..=3))
+                .clamp(1, 20);
 
         r.push_values(vec![
             Value::from(make),

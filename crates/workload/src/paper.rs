@@ -106,7 +106,9 @@ pub fn example6_q1() -> Pref {
 /// Example 6: `Q2 = (Q1 & P6) & P7` with the dealer's additions
 /// `P6 = HIGHEST(year)`, `P7 = HIGHEST(commission)`.
 pub fn example6_q2() -> Pref {
-    example6_q1().prior(highest("year")).prior(highest("commission"))
+    example6_q1()
+        .prior(highest("year"))
+        .prior(highest("commission"))
 }
 
 /// Example 6: Leslie's color taste `P8`.
@@ -198,17 +200,32 @@ mod tests {
 
     #[test]
     fn all_fixtures_compile_against_their_relations() {
-        assert!(!sigma(&example1_pref(), &example1_domain()).unwrap().is_empty());
-        assert!(!sigma(&example2_pref(), &example2_relation()).unwrap().is_empty());
-        assert!(!sigma(&example3_pref(), &example3_relation()).unwrap().is_empty());
-        assert!(!sigma(&example5_pref(), &example5_relation()).unwrap().is_empty());
-        assert!(!sigma(&example7_pref(), &example7_cardb()).unwrap().is_empty());
+        assert!(!sigma(&example1_pref(), &example1_domain())
+            .unwrap()
+            .is_empty());
+        assert!(!sigma(&example2_pref(), &example2_relation())
+            .unwrap()
+            .is_empty());
+        assert!(!sigma(&example3_pref(), &example3_relation())
+            .unwrap()
+            .is_empty());
+        assert!(!sigma(&example5_pref(), &example5_relation())
+            .unwrap()
+            .is_empty());
+        assert!(!sigma(&example7_pref(), &example7_cardb())
+            .unwrap()
+            .is_empty());
     }
 
     #[test]
     fn example6_terms_cover_the_car_schema() {
         let schema = crate::cars::car_schema();
-        for q in [example6_q1(), example6_q2(), example6_q1_star(), example6_q2_star()] {
+        for q in [
+            example6_q1(),
+            example6_q2(),
+            example6_q1_star(),
+            example6_q2_star(),
+        ] {
             for a in q.attributes().iter() {
                 assert!(schema.index_of(a).is_some(), "{a} missing from car schema");
             }

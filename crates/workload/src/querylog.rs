@@ -52,17 +52,25 @@ impl CustomerQuery {
         catalog.select(|t| {
             cols.iter().all(|(c, n)| match n {
                 Narrow::Equals(_, v) => &t[*c] == v,
-                Narrow::AtMost(_, v) => {
-                    t[*c].sql_cmp(v).is_some_and(|o| o.is_le())
-                }
+                Narrow::AtMost(_, v) => t[*c].sql_cmp(v).is_some_and(|o| o.is_le()),
             })
         })
     }
 }
 
-const COLOR_CHOICES: &[&str] = &["black", "silver", "gray", "white", "blue", "red", "green", "yellow"];
+const COLOR_CHOICES: &[&str] = &[
+    "black", "silver", "gray", "white", "blue", "red", "green", "yellow",
+];
 const MAKE_CHOICES: &[&str] = &["VW", "Opel", "Ford", "BMW", "Mercedes", "Audi", "Toyota"];
-const CATEGORY_CHOICES: &[&str] = &["sedan", "compact", "station wagon", "van", "suv", "cabriolet", "roadster"];
+const CATEGORY_CHOICES: &[&str] = &[
+    "sedan",
+    "compact",
+    "station wagon",
+    "van",
+    "suv",
+    "cabriolet",
+    "roadster",
+];
 
 fn pick<'a>(rng: &mut StdRng, xs: &'a [&'a str]) -> &'a str {
     xs[rng.random_range(0..xs.len())]
@@ -76,8 +84,8 @@ fn base_preference(rng: &mut StdRng) -> Pref {
         2 => pos("make", [pick(rng, MAKE_CHOICES), pick(rng, MAKE_CHOICES)]),
         3 => {
             let a = rng.random_range(0..CATEGORY_CHOICES.len());
-            let b = (a + 1 + rng.random_range(0..CATEGORY_CHOICES.len() - 1))
-                % CATEGORY_CHOICES.len();
+            let b =
+                (a + 1 + rng.random_range(0..CATEGORY_CHOICES.len() - 1)) % CATEGORY_CHOICES.len();
             pos_pos("category", [CATEGORY_CHOICES[a]], [CATEGORY_CHOICES[b]])
                 .expect("distinct categories are disjoint")
         }

@@ -72,7 +72,7 @@ fn vector(rng: &mut StdRng, d: usize, dist: Distribution) -> Vec<f64> {
             (0..d)
                 .map(|_| (level + gaussian(rng) * 0.05).clamp(0.0, 1.0))
                 .collect()
-            }
+        }
         Distribution::Anticorrelated => {
             // Rescale a uniform vector to a common per-row sum so that a
             // high coordinate forces low ones elsewhere.

@@ -8,14 +8,7 @@ use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
 const DESTINATIONS: &[&str] = &[
-    "Mallorca",
-    "Crete",
-    "Tenerife",
-    "Tuscany",
-    "Provence",
-    "Algarve",
-    "Cyprus",
-    "Madeira",
+    "Mallorca", "Crete", "Tenerife", "Tuscany", "Provence", "Algarve", "Cyprus", "Madeira",
 ];
 
 /// Schema: destination, start_date, duration (days), price.
@@ -37,8 +30,10 @@ pub fn trips(n: usize, seed: u64) -> Relation {
     for _ in 0..n {
         let destination = DESTINATIONS[rng.random_range(0..DESTINATIONS.len())];
         let start = Date::from_days(base.days() + rng.random_range(0..60));
-        let duration: i64 = *[7, 10, 14, 14, 14, 21].get(rng.random_range(0..6)).unwrap();
-        let price = 300 + duration * rng.random_range(35..90) + rng.random_range(0..200);
+        let duration: i64 = *[7, 10, 14, 14, 14, 21]
+            .get(rng.random_range(0usize..6))
+            .unwrap();
+        let price = 300 + duration * rng.random_range(35i64..90) + rng.random_range(0i64..200);
         r.push_values(vec![
             Value::from(destination),
             Value::from(start),

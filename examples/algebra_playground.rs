@@ -35,7 +35,10 @@ fn main() {
     let compiled = CompiledPref::compile(&pareto, cardb.schema()).expect("compiles");
     let graph = BetterGraph::from_relation(&compiled, &cardb).expect("SPO");
     let labels: Vec<String> = (1..=cardb.len()).map(|i| format!("val{i}")).collect();
-    println!("Better-than graph of P1 ⊗ P2 on Car-DB:\n{}", graph.render(&labels));
+    println!(
+        "Better-than graph of P1 ⊗ P2 on Car-DB:\n{}",
+        graph.render(&labels)
+    );
 
     // ---- the law collection, spot-checked ----------------------------------
     let sample = rel! {
@@ -78,6 +81,9 @@ fn main() {
         yy.iter().map(|&i| r.row(i)[0].clone()).collect::<Vec<_>>()
     );
     let full = sigma(&low.pareto(high), &r).expect("compiles");
-    println!("  σ[P1⊗P2](R) = all {} values — the conflict left everything unranked,", full.len());
+    println!(
+        "  σ[P1⊗P2](R) = all {} values — the conflict left everything unranked,",
+        full.len()
+    );
     println!("  the anti-chain: \"a natural reservoir to negotiate compromises\".");
 }

@@ -28,9 +28,7 @@ fn main() {
     println!("  → the notorious empty-result problem\n");
 
     // 2. The other extreme: disjunctive weakening floods the user.
-    let flood = catalog.select(|t| {
-        t[0] == Value::from("Audi") || t[2] == Value::from("yellow")
-    });
+    let flood = catalog.select(|t| t[0] == Value::from("Audi") || t[2] == Value::from("yellow"));
     println!(
         "Disjunctive rescue (make=Audi OR color=yellow): {} rows",
         flood.len()
@@ -44,7 +42,10 @@ fn main() {
         .pareto(highest("year"));
     let best = sigma_rel(&wish, &catalog).expect("catalog schema covers the wish");
     println!("BMO query σ[{wish}]:");
-    println!("  {} best matches — never empty, never flooding\n", best.len());
+    println!(
+        "  {} best matches — never empty, never flooding\n",
+        best.len()
+    );
     for t in best.iter().take(5) {
         println!("   {t}");
     }
@@ -63,8 +64,7 @@ fn main() {
                 return None;
             }
             Some(
-                result_size(&q.preference, &candidates)
-                    .expect("catalog schema covers log queries"),
+                result_size(&q.preference, &candidates).expect("catalog schema covers log queries"),
             )
         })
         .collect();

@@ -32,8 +32,8 @@ fn main() {
         println!(
             "{:5}  {:5}  {:10}  {:11}  {:13}",
             o.row,
-            t[4],  // price
-            t[8],  // commission
+            t[4], // price
+            t[8], // commission
             o.level_a,
             o.level_b
         );

@@ -34,7 +34,10 @@ q2 = ($color & (($category ⊗ $transmission ⊗ $power) & $budget) \
     let repo = Repository::from_text(&text).expect("repository text is well-formed");
     println!("loaded {} entries:", repo.len());
     for name in repo.names() {
-        println!("  {name:12} = {}", repo.get(name).expect("listed name exists"));
+        println!(
+            "  {name:12} = {}",
+            repo.get(name).expect("listed name exists")
+        );
     }
 
     // Persist and reload — the repository is plain text.
@@ -54,8 +57,8 @@ q2 = ($color & (($category ⊗ $transmission ⊗ $power) & $budget) \
     }
 
     // Single terms also round-trip through plain strings:
-    let wish = parse_term("(NEG(color; {'gray'}) & LOWEST(price))")
-        .expect("paper-notation term parses");
+    let wish =
+        parse_term("(NEG(color; {'gray'}) & LOWEST(price))").expect("paper-notation term parses");
     println!("\nparsed ad-hoc term: {wish}");
     std::fs::remove_file(&path).ok();
 }

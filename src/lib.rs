@@ -47,7 +47,9 @@ pub mod prelude {
     pub use pref_core::prelude::*;
     pub use pref_query::quality::{self, QualityCond, QualityFilter};
     pub use pref_query::{sigma, sigma_rel, Algorithm, Optimizer, QueryError};
-    pub use pref_relation::{attr, rel, Attr, AttrSet, DataType, Date, Relation, Schema, Tuple, Value};
+    pub use pref_relation::{
+        attr, rel, Attr, AttrSet, DataType, Date, Relation, Schema, Tuple, Value,
+    };
     pub use pref_sql::PrefSql;
     pub use pref_xpath::{parse_xml, PrefXPath};
 }

@@ -7,7 +7,7 @@ mod common;
 
 use common::{arb_pref, arb_relation, test_schema};
 use preferences::prelude::*;
-use preferences::query::bmo::sigma_naive;
+use preferences::query::bmo::{sigma_naive, sigma_naive_generic};
 use preferences::query::decompose::{pareto_decomposition, sigma_decomposed};
 use preferences::query::groupby::{sigma_groupby, sigma_groupby_definitional};
 use preferences::query::stats::FilterEffectReport;
@@ -45,7 +45,15 @@ proptest! {
 
     #[test]
     fn all_algorithms_agree_with_the_oracle(p in arb_pref(), r in arb_relation(16)) {
-        let oracle = sigma_naive(&p, &r).expect("term compiles");
+        // The generic-path naive evaluator is the backend-independent
+        // oracle; the auto-path one (score matrix when available) must
+        // match it before anything else is compared.
+        let oracle = sigma_naive_generic(&p, &r).expect("term compiles");
+        prop_assert_eq!(
+            sigma_naive(&p, &r).expect("term compiles"),
+            oracle.clone(),
+            "matrix-backed naive diverged for {}", p
+        );
         prop_assert_eq!(
             algorithms::bnl(&p, &r).expect("term compiles"),
             oracle.clone(),

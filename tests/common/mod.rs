@@ -22,12 +22,8 @@ pub fn arb_relation(max_rows: usize) -> impl Strategy<Value = Relation> {
         let cats = ["x", "y", "z", "w"];
         let mut r = Relation::empty(test_schema());
         for (a, b, c) in rows {
-            r.push_values(vec![
-                Value::from(a),
-                Value::from(b),
-                Value::from(cats[c]),
-            ])
-            .expect("row matches test schema");
+            r.push_values(vec![Value::from(a), Value::from(b), Value::from(cats[c])])
+                .expect("row matches test schema");
         }
         r
     })

@@ -55,7 +55,12 @@ fn sql_and_xpath_agree_on_a_skyline() {
     let mut sql_vals: Vec<(i64, i64)> = sql
         .relation
         .iter()
-        .map(|t| (t[price_col].as_int().unwrap(), t[mileage_col].as_int().unwrap()))
+        .map(|t| {
+            (
+                t[price_col].as_int().unwrap(),
+                t[mileage_col].as_int().unwrap(),
+            )
+        })
         .collect();
     let mut xpath_vals: Vec<(i64, i64)> = hits
         .iter()

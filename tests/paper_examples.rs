@@ -156,11 +156,7 @@ fn example8_bmo_and_perfect_match() {
 #[test]
 fn example9_nonmonotonic_series() {
     let p = paper::example9_pref();
-    let expected: Vec<Vec<&str>> = vec![
-        vec!["frog"],
-        vec!["frog", "shark"],
-        vec!["turtle"],
-    ];
+    let expected: Vec<Vec<&str>> = vec![vec!["frog"], vec!["frog", "shark"], vec!["turtle"]];
     for (r, want) in paper::example9_series().into_iter().zip(expected) {
         let res = sigma_rel(&p, &r).expect("fixture compiles");
         let names: Vec<&str> = res.iter().map(|t| t[2].as_str().unwrap()).collect();
@@ -205,11 +201,7 @@ fn example11_pareto_decomposition() {
     let second = sigma(&p2.clone().prior(p1.clone()), &r).expect("fixture compiles");
     assert_eq!(first, vec![0]); // value 3
     assert_eq!(second, vec![2]); // value 9
-    let yy = decompose::yy(
-        &p1.clone().prior(p2.clone()),
-        &p2.prior(p1),
-        &r,
-    )
-    .expect("fixture compiles");
+    let yy =
+        decompose::yy(&p1.clone().prior(p2.clone()), &p2.prior(p1), &r).expect("fixture compiles");
     assert_eq!(yy, vec![1]); // value 6
 }

@@ -1,0 +1,105 @@
+//! Property-based verification of the score-matrix evaluation path: on
+//! randomized relations and preference terms, the materialized columnar
+//! backend must agree *pointwise* with the generic term-walk backend, and
+//! every evaluation algorithm must return the same BMO index set on both
+//! backends.
+
+mod common;
+
+use common::{arb_pref, arb_relation, test_schema};
+use preferences::prelude::*;
+use preferences::query::algorithms::bnl::{
+    bnl_generic, bnl_matrix, bnl_parallel_generic, bnl_parallel_matrix,
+};
+use preferences::query::algorithms::{dnc, sfs};
+use preferences::query::bmo::{sigma_naive_generic, sigma_naive_matrix};
+use preferences::query::{Optimizer, QueryError};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn matrix_dominance_agrees_pointwise(p in arb_pref(), r in arb_relation(14)) {
+        let c = CompiledPref::compile(&p, &test_schema()).expect("term compiles");
+        if let Some(m) = c.score_matrix(&r) {
+            prop_assert_eq!(m.len(), r.len());
+            for x in 0..r.len() {
+                for y in 0..r.len() {
+                    prop_assert_eq!(
+                        m.better(x, y),
+                        c.better(r.row(x), r.row(y)),
+                        "backends disagree on rows ({}, {}) under {}", x, y, p
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_algorithm_agrees_on_both_backends(p in arb_pref(), r in arb_relation(16)) {
+        let oracle = sigma_naive_generic(&p, &r).expect("term compiles");
+        let c = CompiledPref::compile(&p, &test_schema()).expect("term compiles");
+
+        prop_assert_eq!(bnl_generic(&c, &r), oracle.clone(), "generic BNL vs oracle for {}", p);
+        prop_assert_eq!(
+            bnl_parallel_generic(&c, &r, 3),
+            oracle.clone(),
+            "generic parallel BNL vs oracle for {}", p
+        );
+        if let Some(m) = c.score_matrix(&r) {
+            prop_assert_eq!(sigma_naive_matrix(&m), oracle.clone(), "matrix naive vs oracle for {}", p);
+            prop_assert_eq!(bnl_matrix(&m), oracle.clone(), "matrix BNL vs oracle for {}", p);
+            prop_assert_eq!(
+                bnl_parallel_matrix(&m, 3),
+                oracle.clone(),
+                "matrix parallel BNL vs oracle for {}", p
+            );
+        }
+
+        // D&C and SFS apply only to restricted shapes; when they do, they
+        // must agree too.
+        match dnc::dnc(&p, &r) {
+            Ok(rows) => prop_assert_eq!(rows, oracle.clone(), "D&C vs oracle for {}", p),
+            Err(QueryError::AlgorithmMismatch { .. }) => {}
+            Err(e) => prop_assert!(false, "unexpected D&C error: {e}"),
+        }
+        match sfs::sfs(&p, &r) {
+            Ok(rows) => prop_assert_eq!(rows, oracle.clone(), "SFS vs oracle for {}", p),
+            Err(QueryError::AlgorithmMismatch { .. }) => {}
+            Err(e) => prop_assert!(false, "unexpected SFS error: {e}"),
+        }
+
+        // The optimizer end-to-end, with and without materialization.
+        let (with, explain) = Optimizer::new().evaluate(&p, &r).expect("term compiles");
+        prop_assert_eq!(with, oracle.clone(), "optimizer ({}) vs oracle for {}", explain.algorithm, p);
+        let (without, _) = Optimizer::new()
+            .without_materialization()
+            .evaluate(&p, &r)
+            .expect("term compiles");
+        prop_assert_eq!(without, oracle, "ablated optimizer vs oracle for {}", p);
+    }
+
+    #[test]
+    fn materialization_covers_the_representable_fragment(r in arb_relation(12)) {
+        // The test schema's a/b are Int columns: every score-family and
+        // level-based term over them must materialize.
+        for p in [
+            lowest("a").pareto(highest("b")),
+            around("a", 3).prior(between("b", 1, 4).unwrap()),
+            pos("c", ["x"]).pareto(neg("c", ["y"])),
+            antichain(["c"]).prior(lowest("a")).dual(),
+        ] {
+            let c = CompiledPref::compile(&p, &test_schema()).expect("term compiles");
+            prop_assert!(c.score_matrix(&r).is_some(), "{} should materialize", p);
+        }
+        // EXPLICIT stays on the generic path — except on empty relations,
+        // where materialization is vacuous (no value can be rejected) and
+        // either backend is fine.
+        let e = explicit("c", [("x", "y")]).unwrap();
+        let c = CompiledPref::compile(&e, &test_schema()).expect("term compiles");
+        if !r.is_empty() {
+            prop_assert!(c.score_matrix(&r).is_none());
+        }
+    }
+}

@@ -1,0 +1,311 @@
+//! Minimal, offline stand-in for the `criterion` benchmark harness.
+//!
+//! Implements the API surface the workspace's benches use —
+//! [`Criterion`], [`BenchmarkGroup`], [`BenchmarkId`], [`Bencher::iter`],
+//! [`criterion_group!`], [`criterion_main!`] — with a simple wall-clock
+//! measurement loop instead of criterion's statistical machinery:
+//! one warm-up run, then `sample_size` timed samples (time-boxed), with
+//! median / mean / min reported per benchmark on stdout.
+//!
+//! Benches must set `harness = false` in the manifest, exactly as with
+//! the real criterion.
+
+use std::time::{Duration, Instant};
+
+/// Re-export for benches that use `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Benchmark identifier: a function name plus a parameter, displayed as
+/// `name/param`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+    param: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl Into<String>, param: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: name.into(),
+            param: param.to_string(),
+        }
+    }
+
+    /// Parameter-only id (`bench_with_input` under a group).
+    pub fn from_parameter(param: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: String::new(),
+            param: param.to_string(),
+        }
+    }
+
+    fn render(&self) -> String {
+        match (self.name.is_empty(), self.param.is_empty()) {
+            (false, false) => format!("{}/{}", self.name, self.param),
+            (false, true) => self.name.clone(),
+            _ => self.param.clone(),
+        }
+    }
+}
+
+/// Passed to the measurement closure; `iter` runs and times the payload.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    target_samples: usize,
+    time_cap: Duration,
+}
+
+impl Bencher {
+    fn new(target_samples: usize, time_cap: Duration) -> Self {
+        Bencher {
+            samples: Vec::with_capacity(target_samples),
+            target_samples,
+            time_cap,
+        }
+    }
+
+    /// Time `f`, collecting up to `target_samples` samples within the
+    /// time budget (always at least one).
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut f: F) {
+        black_box(f()); // warm-up, untimed
+        let began = Instant::now();
+        loop {
+            let start = Instant::now();
+            black_box(f());
+            self.samples.push(start.elapsed());
+            if self.samples.len() >= self.target_samples || began.elapsed() >= self.time_cap {
+                break;
+            }
+        }
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+fn report(label: &str, samples: &[Duration]) {
+    if samples.is_empty() {
+        println!("{label:<58} (no samples)");
+        return;
+    }
+    let mut sorted: Vec<Duration> = samples.to_vec();
+    sorted.sort();
+    let median = sorted[sorted.len() / 2];
+    let min = sorted[0];
+    let mean = sorted.iter().sum::<Duration>() / sorted.len() as u32;
+    println!(
+        "{label:<58} median {:>10}   mean {:>10}   min {:>10}   ({} samples)",
+        fmt_duration(median),
+        fmt_duration(mean),
+        fmt_duration(min),
+        sorted.len()
+    );
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    filter: Option<String>,
+    default_sample_size: usize,
+    time_cap: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench -- <filter>` passes the filter as a free argument;
+        // flags (e.g. `--bench`) are ignored.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion {
+            filter,
+            default_sample_size: 10,
+            time_cap: Duration::from_secs(5),
+        }
+    }
+}
+
+impl Criterion {
+    fn enabled(&self, label: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| label.contains(f))
+    }
+
+    /// Run a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        if self.enabled(name) {
+            let mut b = Bencher::new(self.default_sample_size, self.time_cap);
+            f(&mut b);
+            report(name, &b.samples);
+        }
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+}
+
+/// Throughput annotation; accepted and ignored by this shim.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+    BytesDecimal(u64),
+}
+
+/// A group of related benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Record the per-iteration throughput (ignored; API parity only).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, label: String, mut f: F) {
+        if self.criterion.enabled(&label) {
+            let n = self
+                .sample_size
+                .unwrap_or(self.criterion.default_sample_size);
+            let mut b = Bencher::new(n, self.criterion.time_cap);
+            f(&mut b);
+            report(&label, &b.samples);
+        }
+    }
+
+    /// Benchmark with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.render());
+        self.run(label, |b| f(b, input));
+        self
+    }
+
+    /// Benchmark without an input value.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id().render());
+        self.run(label, |b| f(b));
+        self
+    }
+
+    /// Close the group (report separator).
+    pub fn finish(self) {}
+}
+
+/// Conversion into [`BenchmarkId`] for `bench_function` arguments.
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            name: self.to_string(),
+            param: String::new(),
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            name: self,
+            param: String::new(),
+        }
+    }
+}
+
+/// Declare a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declare the bench entry point, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut b = Bencher::new(5, Duration::from_secs(1));
+        b.iter(|| black_box(2 + 2));
+        assert!(!b.samples.is_empty() && b.samples.len() <= 5);
+    }
+
+    #[test]
+    fn ids_render() {
+        assert_eq!(BenchmarkId::new("bnl", 1000).render(), "bnl/1000");
+        assert_eq!(BenchmarkId::from_parameter(7).render(), "7");
+    }
+
+    #[test]
+    fn group_runs_benchmarks() {
+        let mut c = Criterion {
+            filter: None,
+            default_sample_size: 3,
+            time_cap: Duration::from_millis(200),
+        };
+        let mut ran = 0;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(2);
+            g.bench_with_input(BenchmarkId::new("x", 1), &41, |b, &i| {
+                b.iter(|| black_box(i + 1));
+                ran += 1;
+            });
+            g.finish();
+        }
+        assert_eq!(ran, 1);
+    }
+}

@@ -1,0 +1,112 @@
+//! `any::<T>()` — canonical strategies for primitive types, with the edge
+//! cases real proptest's arbitrary impls are known for (bounds, zero)
+//! mixed in at a small probability.
+
+use std::fmt::Debug;
+use std::marker::PhantomData;
+
+use rand::{Rng, RngExt};
+
+use crate::strategy::Strategy;
+use crate::TestRng;
+
+/// Types with a canonical generation strategy.
+pub trait Arbitrary: Debug + Sized + 'static {
+    fn arbitrary_with(rng: &mut TestRng) -> Self;
+}
+
+/// The canonical strategy for `A`.
+pub fn any<A: Arbitrary>() -> Any<A> {
+    Any(PhantomData)
+}
+
+/// See [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<A>(PhantomData<A>);
+
+impl<A: Arbitrary> Strategy for Any<A> {
+    type Value = A;
+
+    fn sample(&self, rng: &mut TestRng) -> A {
+        A::arbitrary_with(rng)
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary_with(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary_with(rng: &mut TestRng) -> $t {
+                // 1-in-16 edge case, otherwise the full uniform range.
+                if rng.random_range(0u32..16) == 0 {
+                    *[<$t>::MIN, <$t>::MAX, 0, 1].get(rng.random_range(0usize..4)).unwrap()
+                } else {
+                    rng.next_u64() as $t
+                }
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl Arbitrary for f64 {
+    fn arbitrary_with(rng: &mut TestRng) -> f64 {
+        if rng.random_range(0u32..16) == 0 {
+            *[0.0, -0.0, 1.0, -1.0, f64::MAX, f64::MIN_POSITIVE]
+                .get(rng.random_range(0usize..6))
+                .unwrap()
+        } else {
+            // Finite, wide-ranged: mantissa × 2^[-64, 64].
+            let m = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64 - 0.5;
+            let e = rng.random_range(-64i32..64);
+            m * (e as f64).exp2()
+        }
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary_with(rng: &mut TestRng) -> char {
+        // Printable ASCII, occasionally exotic.
+        if rng.random_range(0u32..8) == 0 {
+            *['\u{0}', 'é', '中', '\u{10FFFF}']
+                .get(rng.random_range(0usize..4))
+                .unwrap()
+        } else {
+            rng.random_range(32u32..127)
+                .try_into()
+                .expect("printable ASCII")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_rng;
+
+    #[test]
+    fn any_bool_hits_both() {
+        let mut rng = test_rng("any_bool_hits_both");
+        let s = any::<bool>();
+        let mut seen = [false; 2];
+        for _ in 0..64 {
+            seen[s.sample(&mut rng) as usize] = true;
+        }
+        assert!(seen[0] && seen[1]);
+    }
+
+    #[test]
+    fn any_i64_produces_edges_eventually() {
+        let mut rng = test_rng("any_i64_produces_edges_eventually");
+        let s = any::<i64>();
+        let vals: Vec<i64> = (0..2000).map(|_| s.sample(&mut rng)).collect();
+        assert!(vals.iter().any(|&v| v == i64::MIN || v == i64::MAX));
+        assert!(vals.iter().any(|&v| v != vals[0]));
+    }
+}

@@ -1,0 +1,101 @@
+//! Collection strategies (`prop::collection::vec`).
+
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+
+use rand::RngExt;
+
+use crate::strategy::Strategy;
+use crate::TestRng;
+
+/// Inclusive bounds on a generated collection's length.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    pub min: usize,
+    pub max: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { min: n, max: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            min: r.start,
+            max: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty size range");
+        SizeRange {
+            min: *r.start(),
+            max: *r.end(),
+        }
+    }
+}
+
+/// Strategy for `Vec`s whose length lies in `size` and whose elements come
+/// from `element`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// See [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S>
+where
+    S::Value: Debug,
+{
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = rng.random_range(self.size.min..=self.size.max);
+        (0..n).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::Strategy;
+    use crate::test_rng;
+
+    #[test]
+    fn lengths_respect_bounds() {
+        let mut rng = test_rng("lengths_respect_bounds");
+        let s = vec(0i64..5, 2..6);
+        let mut lens = [0usize; 8];
+        for _ in 0..200 {
+            let v = s.sample(&mut rng);
+            assert!((2..=5).contains(&v.len()));
+            lens[v.len()] += 1;
+            assert!(v.iter().all(|x| (0..5).contains(x)));
+        }
+        assert!(lens[2] > 0 && lens[5] > 0);
+    }
+
+    #[test]
+    fn inclusive_and_exact_sizes() {
+        let mut rng = test_rng("inclusive_and_exact_sizes");
+        let s = vec(0i64..5, 0..=3);
+        for _ in 0..50 {
+            assert!(s.sample(&mut rng).len() <= 3);
+        }
+        let exact = vec(0i64..5, 4usize);
+        assert_eq!(exact.sample(&mut rng).len(), 4);
+    }
+}

@@ -1,0 +1,210 @@
+//! A sampler for the regex subset proptest string strategies use in this
+//! workspace: concatenations of literal characters and character classes
+//! (`[a-z' ]`, `[ -~]`), each optionally quantified by `{m,n}`, `{n}`,
+//! `?`, `*` or `+`.
+
+use rand::RngExt;
+
+use crate::TestRng;
+
+#[derive(Debug, Clone)]
+struct Atom {
+    /// The concrete characters this atom can produce.
+    chars: Vec<char>,
+    /// Repetition bounds (inclusive).
+    min: usize,
+    max: usize,
+}
+
+/// Generate one string matching `pattern`.
+///
+/// # Panics
+/// On syntax outside the supported subset — a loud failure is preferable
+/// to silently generating strings that don't match the test's intent.
+pub fn sample_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let atoms = parse(pattern);
+    let mut out = String::new();
+    for atom in &atoms {
+        let n = rng.random_range(atom.min..=atom.max);
+        for _ in 0..n {
+            out.push(atom.chars[rng.random_range(0..atom.chars.len())]);
+        }
+    }
+    out
+}
+
+fn parse(pattern: &str) -> Vec<Atom> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let set = match chars[i] {
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .unwrap_or_else(|| panic!("unclosed '[' in pattern {pattern:?}"));
+                let class: Vec<char> = chars[i + 1..i + close].to_vec();
+                i += close + 1;
+                expand_class(&class, pattern)
+            }
+            '\\' => {
+                i += 1;
+                let c = *chars
+                    .get(i)
+                    .unwrap_or_else(|| panic!("dangling escape in pattern {pattern:?}"));
+                i += 1;
+                escape_set(c)
+            }
+            '.' => {
+                i += 1;
+                (' '..='~').collect()
+            }
+            c => {
+                assert!(
+                    !"|()^$".contains(c),
+                    "unsupported regex feature {c:?} in pattern {pattern:?}"
+                );
+                i += 1;
+                vec![c]
+            }
+        };
+        // Optional quantifier.
+        let (min, max) = match chars.get(i) {
+            Some('{') => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .unwrap_or_else(|| panic!("unclosed '{{' in pattern {pattern:?}"));
+                let body: String = chars[i + 1..i + close].iter().collect();
+                i += close + 1;
+                match body.split_once(',') {
+                    Some((lo, hi)) => {
+                        let lo = lo.trim().parse().expect("quantifier lower bound");
+                        let hi = if hi.trim().is_empty() {
+                            lo + 8 // open-ended `{m,}`: cap for generation
+                        } else {
+                            hi.trim().parse().expect("quantifier upper bound")
+                        };
+                        (lo, hi)
+                    }
+                    None => {
+                        let n = body.trim().parse().expect("exact quantifier");
+                        (n, n)
+                    }
+                }
+            }
+            Some('?') => {
+                i += 1;
+                (0, 1)
+            }
+            Some('*') => {
+                i += 1;
+                (0, 8)
+            }
+            Some('+') => {
+                i += 1;
+                (1, 8)
+            }
+            _ => (1, 1),
+        };
+        atoms.push(Atom {
+            chars: set,
+            min,
+            max,
+        });
+    }
+    atoms
+}
+
+/// Expand a character-class body (`a-z' `) into its member characters.
+fn expand_class(class: &[char], pattern: &str) -> Vec<char> {
+    assert!(
+        class.first() != Some(&'^'),
+        "negated classes unsupported in pattern {pattern:?}"
+    );
+    let mut set = Vec::new();
+    let mut i = 0;
+    while i < class.len() {
+        if class[i] == '\\' {
+            i += 1;
+            set.extend(escape_set(class[i]));
+            i += 1;
+        } else if i + 2 < class.len() && class[i + 1] == '-' {
+            let (lo, hi) = (class[i], class[i + 2]);
+            assert!(lo <= hi, "inverted range in pattern {pattern:?}");
+            set.extend(lo..=hi);
+            i += 3;
+        } else {
+            // `-` in first/last position is a literal.
+            set.push(class[i]);
+            i += 1;
+        }
+    }
+    assert!(!set.is_empty(), "empty class in pattern {pattern:?}");
+    set
+}
+
+fn escape_set(c: char) -> Vec<char> {
+    match c {
+        'd' => ('0'..='9').collect(),
+        'w' => ('a'..='z')
+            .chain('A'..='Z')
+            .chain('0'..='9')
+            .chain(['_'])
+            .collect(),
+        's' => vec![' ', '\t'],
+        other => vec![other],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_rng;
+
+    #[test]
+    fn class_with_quantifier() {
+        let mut rng = test_rng("class_with_quantifier");
+        for _ in 0..200 {
+            let s = sample_pattern("[a-z]{0,8}", &mut rng);
+            assert!(s.len() <= 8);
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn printable_ascii_range() {
+        let mut rng = test_rng("printable_ascii_range");
+        for _ in 0..100 {
+            let s = sample_pattern("[ -~]{0,120}", &mut rng);
+            assert!(s.len() <= 120);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn literal_members_and_quote() {
+        let mut rng = test_rng("literal_members_and_quote");
+        let mut saw_quote = false;
+        let mut saw_space = false;
+        for _ in 0..500 {
+            let s = sample_pattern("[a-z' ]{0,10}", &mut rng);
+            saw_quote |= s.contains('\'');
+            saw_space |= s.contains(' ');
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c == '\'' || c == ' '));
+        }
+        assert!(saw_quote && saw_space);
+    }
+
+    #[test]
+    fn literals_and_exact_counts() {
+        let mut rng = test_rng("literals_and_exact_counts");
+        assert_eq!(sample_pattern("abc", &mut rng), "abc");
+        let s = sample_pattern("x[0-9]{3}", &mut rng);
+        assert_eq!(s.len(), 4);
+        assert!(s.starts_with('x'));
+    }
+}

@@ -1,0 +1,206 @@
+//! Minimal, offline stand-in for the `rand` crate.
+//!
+//! The build environment has no network access, so this vendored shim
+//! implements the slice of the `rand` API the workspace uses: the
+//! [`SeedableRng`]/[`Rng`]/[`RngExt`] traits, [`rngs::StdRng`] (here an
+//! xoshiro256++ generator seeded through SplitMix64), and uniform range
+//! sampling over the primitive integer and float types.
+//!
+//! Determinism is the only contract the workload generators rely on —
+//! identical seeds always produce identical streams — and the generator
+//! passes the usual quick sanity checks (full-period state mixing, no
+//! obvious lattice structure) far beyond what seeded test data needs.
+
+/// A source of random 64-bit words.
+pub trait Rng {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Construction of a generator from seed material.
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+
+    /// Build a generator from OS entropy — here a fixed-seed fallback,
+    /// since deterministic behaviour is what the workspace wants.
+    fn from_entropy() -> Self {
+        Self::seed_from_u64(0x9E37_79B9_7F4A_7C15)
+    }
+}
+
+/// Types that can be sampled uniformly from a range.
+pub trait SampleRange<T> {
+    /// Draw a uniform sample from `self` using `rng`.
+    fn sample(self, rng: &mut dyn FnMut() -> u64) -> T;
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample(self, rng: &mut dyn FnMut() -> u64) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = bounded(rng, span);
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample(self, rng: &mut dyn FnMut() -> u64) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let v = bounded(rng, span);
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+/// Uniform integer in `[0, span)` by 128-bit multiply-shift (Lemire);
+/// bias is < 2⁻⁶⁴, far below anything observable in seeded workloads.
+fn bounded(rng: &mut dyn FnMut() -> u64, span: u128) -> u128 {
+    debug_assert!(span > 0);
+    if span > u64::MAX as u128 {
+        // Degenerate huge spans: combine two words.
+        let hi = rng() as u128;
+        let lo = rng() as u128;
+        return ((hi << 64) | lo) % span;
+    }
+    (rng() as u128 * span) >> 64
+}
+
+impl SampleRange<f64> for std::ops::Range<f64> {
+    fn sample(self, rng: &mut dyn FnMut() -> u64) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let unit = (rng() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let v = self.start + unit * (self.end - self.start);
+        // Floating rounding can land exactly on `end`; clamp back inside.
+        if v >= self.end {
+            f64::from_bits(self.end.to_bits() - 1)
+        } else {
+            v
+        }
+    }
+}
+
+impl SampleRange<f32> for std::ops::Range<f32> {
+    fn sample(self, rng: &mut dyn FnMut() -> u64) -> f32 {
+        let r = (self.start as f64)..(self.end as f64);
+        r.sample(rng) as f32
+    }
+}
+
+/// Convenience sampling methods; mirrors the `rand::Rng`/`RngExt` surface
+/// the workspace uses.
+pub trait RngExt: Rng {
+    /// Uniform sample from `range`.
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        let mut draw = || self.next_u64();
+        range.sample(&mut draw)
+    }
+
+    /// Bernoulli draw with probability `p` of `true`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        self.random_range(0.0..1.0) < p
+    }
+}
+
+impl<T: Rng + ?Sized> RngExt for T {}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{Rng, SeedableRng};
+
+    /// xoshiro256++ — small, fast, and statistically solid for test data.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, per the xoshiro reference code.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.random_range(0i64..1000), b.random_range(0i64..1000));
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        let va: Vec<i64> = (0..32).map(|_| a.random_range(0..1000)).collect();
+        let vc: Vec<i64> = (0..32).map(|_| c.random_range(0..1000)).collect();
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..10_000 {
+            let x = rng.random_range(-5i64..5);
+            assert!((-5..5).contains(&x));
+            let y = rng.random_range(1i64..=6);
+            assert!((1..=6).contains(&y));
+            let f = rng.random_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+            let u = rng.random_range(0usize..3);
+            assert!(u < 3);
+        }
+    }
+
+    #[test]
+    fn all_values_reachable() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 6];
+        for _ in 0..1000 {
+            seen[rng.random_range(0usize..6)] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+}
