@@ -1,0 +1,70 @@
+//! The `engine_cache` group: end-to-end amortization of a replayed
+//! customer query log through the prepared-query engine.
+//!
+//! `cold` is the deprecated free-function style — every query of every
+//! round re-plans, re-compiles, and re-materializes its score matrix.
+//! `warm` prepares the log once and replays it through a long-lived
+//! [`Engine`], so every round after the first serves its matrices from
+//! the `(relation generation, term fingerprint)` cache. The spread
+//! between the two is the per-round cost the cache removes; `invalidate`
+//! bounds it from the other side by mutating the catalog before each
+//! round, forcing a fresh generation (every execution misses).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pref_query::Engine;
+use pref_workload::querylog::{prepare_log, query_log, replay};
+use pref_workload::{cars, Distribution};
+use std::hint::black_box;
+
+const LOG_LEN: usize = 24;
+const CATALOG_ROWS: usize = 4_000;
+
+fn bench_engine_cache(c: &mut Criterion) {
+    let catalog = cars::catalog(CATALOG_ROWS, 7);
+    let log = query_log(LOG_LEN, 11);
+    let mut group = c.benchmark_group("engine_cache");
+    group.sample_size(10);
+
+    group.bench_function("cold-free-functions", |b| {
+        b.iter(|| {
+            let mut total = 0;
+            for p in &log {
+                total += pref_query::sigma(p, &catalog).expect("log compiles").len();
+            }
+            black_box(total)
+        })
+    });
+
+    let engine = Engine::new().with_capacity(2 * LOG_LEN);
+    let prepared = prepare_log(&engine, &log, catalog.schema()).expect("log compiles");
+    // First round populates the cache; the measured rounds replay warm.
+    let expected = replay(&prepared, &catalog).expect("replay runs");
+    group.bench_function("warm-prepared-engine", |b| {
+        b.iter(|| {
+            let total = replay(&prepared, &catalog).expect("replay runs");
+            assert_eq!(total, expected, "cache must not change results");
+            black_box(total)
+        })
+    });
+
+    // Mutation before every round: each replay sees a fresh generation,
+    // so the cache cannot help — the invalidation-cost bound.
+    let engine = Engine::new().with_capacity(2 * LOG_LEN);
+    let prepared = prepare_log(&engine, &log, catalog.schema()).expect("log compiles");
+    group.bench_function("invalidate-every-round", |b| {
+        let mut moving = catalog.clone();
+        b.iter(|| {
+            let extra = moving.row(0).clone();
+            moving.push(extra).expect("same schema");
+            black_box(replay(&prepared, &moving).expect("replay runs"))
+        })
+    });
+    group.finish();
+
+    // Keep the synthetic-distribution API linked into this bench so the
+    // `-- --test` CI smoke covers it.
+    let _ = Distribution::Independent.name();
+}
+
+criterion_group!(benches, bench_engine_cache);
+criterion_main!(benches);

@@ -29,7 +29,7 @@ pub mod score;
 pub use around::Around;
 pub use between::Between;
 pub use combinators::{AntichainBase, DualBase, InterBase, LinearSum, SubsetBase, UnionBase};
-pub use explicit::Explicit;
+pub use explicit::{Explicit, Reachability};
 pub use extremal::{Highest, Lowest};
 pub use layered::Layered;
 pub use neg::Neg;
@@ -123,6 +123,15 @@ pub trait BasePreference: fmt::Debug + Send + Sync {
     /// HIGHEST on an unbounded domain), `None` when unknown. Drives
     /// perfect-match detection in BMO queries.
     fn is_top(&self, _v: &Value) -> Option<bool> {
+        None
+    }
+
+    /// Downcast hook for the one base constructor with a materializable
+    /// *partial* order: EXPLICIT graphs expose their vertex index and
+    /// reachability bitset here, which lets the score-matrix evaluator
+    /// resolve values to vertex ids once per relation instead of walking
+    /// the term per comparison. Everything else stays `None`.
+    fn as_explicit(&self) -> Option<&Explicit> {
         None
     }
 

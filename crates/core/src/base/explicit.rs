@@ -1,11 +1,62 @@
 //! EXPLICIT preference (Def. 6e): a hand-crafted finite better-than graph.
 
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 use pref_relation::Value;
 
 use super::{BasePreference, Range};
 use crate::error::CoreError;
+
+/// The transitive closure of an EXPLICIT graph, materialized as a dense
+/// reachability bitset over vertex *ids* — `n` vertices plus one virtual
+/// "outside the graph" id (`n` itself). Cheap to clone (the bit matrix is
+/// shared), so evaluators can lift it out of the [`Explicit`] term and
+/// run dominance tests on pre-resolved ids with two loads and a mask
+/// instead of `Value` clones and hash-set probes.
+#[derive(Debug, Clone)]
+pub struct Reachability {
+    n: usize,
+    /// Words per row of the bit matrix.
+    stride: usize,
+    /// Row-major bits: vertex `i` row holds a set bit at column `j` iff
+    /// `i <E j` (j is better than i).
+    bits: Arc<[u64]>,
+    /// Fragment orders do not rank outside values below the graph.
+    fragment: bool,
+}
+
+impl Reachability {
+    /// Number of graph vertices; `vertex_count()` doubles as the id of
+    /// the virtual outside-the-graph vertex.
+    pub fn vertex_count(&self) -> usize {
+        self.n
+    }
+
+    /// The id callers must use for values that are not graph vertices.
+    pub fn outside_id(&self) -> usize {
+        self.n
+    }
+
+    #[inline]
+    fn bit(&self, i: usize, j: usize) -> bool {
+        self.bits[i * self.stride + j / 64] & (1u64 << (j % 64)) != 0
+    }
+
+    /// Strict better-than on vertex ids (Def. 6e): `b` beats `a` iff the
+    /// closure has the edge, or `a` is outside a completed graph and `b`
+    /// is inside.
+    #[inline]
+    pub fn better_ids(&self, a: usize, b: usize) -> bool {
+        if b >= self.n {
+            false
+        } else if a >= self.n {
+            !self.fragment
+        } else {
+            self.bit(a, b)
+        }
+    }
+}
 
 /// `EXPLICIT(A, EXPLICIT-graph{(val1, val2), …})`.
 ///
@@ -27,8 +78,10 @@ pub struct Explicit {
     edges: Vec<(Value, Value)>,
     /// All vertices (edge endpoints plus explicitly added ones).
     vertices: Vec<Value>,
-    /// Transitive closure: `closure[(x, y)]` present iff `x <E y`.
-    closure: HashSet<(Value, Value)>,
+    /// Vertex → dense id, the key into the reachability bitset.
+    index: HashMap<Value, usize>,
+    /// Transitive closure as a reachability bitset over vertex ids.
+    reach: Reachability,
     /// Longest-path level (1 = maximal) of each vertex within the graph.
     levels: HashMap<Value, u32>,
     /// Fragment mode: just `E = (V, <E)` without the
@@ -59,6 +112,7 @@ impl Explicit {
     {
         let mut e = Explicit::with_vertices(edges, Vec::<Value>::new())?;
         e.fragment = true;
+        e.reach.fragment = true;
         Ok(e)
     }
 
@@ -122,11 +176,14 @@ impl Explicit {
             }
         }
 
-        let mut closure = HashSet::new();
+        // Pack the closure into a row-major bitset: dominance tests (and
+        // the score-matrix EXPLICIT backend) become two loads and a mask.
+        let stride = n.div_ceil(64).max(1);
+        let mut bits = vec![0u64; n * stride];
         for i in 0..n {
             for j in 0..n {
                 if reach[i * n + j] {
-                    closure.insert((vertices[i].clone(), vertices[j].clone()));
+                    bits[i * stride + j / 64] |= 1u64 << (j % 64);
                 }
             }
         }
@@ -159,10 +216,22 @@ impl Explicit {
             levels.insert(v.clone(), lv[i]);
         }
 
+        let index: HashMap<Value, usize> = vertices
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (v.clone(), i))
+            .collect();
+
         Ok(Explicit {
             edges,
             vertices,
-            closure,
+            index,
+            reach: Reachability {
+                n,
+                stride,
+                bits: bits.into(),
+                fragment: false,
+            },
             levels,
             fragment: false,
         })
@@ -175,7 +244,26 @@ impl Explicit {
 
     /// Is `v` a vertex of the explicit graph?
     pub fn in_graph(&self, v: &Value) -> bool {
-        self.levels.contains_key(v)
+        self.index.contains_key(v)
+    }
+
+    /// Number of graph vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// The dense id of `v` in the reachability bitset, `None` for values
+    /// outside the graph (use [`Reachability::outside_id`] for those).
+    pub fn vertex_index(&self, v: &Value) -> Option<usize> {
+        self.index.get(v).copied()
+    }
+
+    /// A shared handle to the materialized transitive closure — the
+    /// input of the score-matrix EXPLICIT backend, which resolves every
+    /// row's value to a vertex id once and then runs all O(n²) dominance
+    /// tests on the bitset.
+    pub fn reachability(&self) -> Reachability {
+        self.reach.clone()
     }
 
     /// The raw edges `(worse, better)`.
@@ -199,8 +287,12 @@ impl BasePreference for Explicit {
     }
 
     fn better(&self, x: &Value, y: &Value) -> bool {
-        self.closure.contains(&(x.clone(), y.clone()))
-            || (!self.fragment && !self.in_graph(x) && self.in_graph(y))
+        let id = |v: &Value| self.vertex_index(v).unwrap_or(self.reach.outside_id());
+        self.reach.better_ids(id(x), id(y))
+    }
+
+    fn as_explicit(&self) -> Option<&Explicit> {
+        Some(self)
     }
 
     fn level(&self, v: &Value) -> Option<u32> {
@@ -309,6 +401,31 @@ mod tests {
         assert!(!p.better(&v("solo"), &v("a")));
         assert_eq!(p.level(&v("solo")), Some(1));
         assert_eq!(p.level(&v("outside")), Some(3));
+    }
+
+    #[test]
+    fn reachability_bitset_agrees_with_value_level_better() {
+        for p in [
+            example1(),
+            Explicit::fragment([("a", "b"), ("b", "c")]).unwrap(),
+            Explicit::with_vertices([("b", "a")], ["solo"]).unwrap(),
+        ] {
+            let reach = p.reachability();
+            assert_eq!(reach.vertex_count(), p.vertex_count());
+            let mut dom: Vec<Value> = p.vertices().to_vec();
+            dom.push(v("outside-1"));
+            dom.push(v("outside-2"));
+            let id = |x: &Value| p.vertex_index(x).unwrap_or(reach.outside_id());
+            for x in &dom {
+                for y in &dom {
+                    assert_eq!(
+                        reach.better_ids(id(x), id(y)),
+                        p.better(x, y),
+                        "bitset diverged on ({x}, {y})"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -15,7 +15,7 @@ use std::collections::HashMap;
 
 use pref_relation::{Relation, Schema, Tuple};
 
-use crate::base::BaseRef;
+use crate::base::{BaseRef, Reachability};
 use crate::error::CoreError;
 use crate::term::{CombineFn, Pref};
 
@@ -92,11 +92,14 @@ impl CompiledPref {
     /// O(n²)-ish dominance loops of BMO evaluation become plain `f64`/`u32`
     /// comparisons instead of term-tree walks over [`Value`]s.
     ///
+    /// EXPLICIT base preferences materialize too, via per-row vertex ids
+    /// plus the graph's reachability bitset ([`Reachability`]); the
+    /// matrix reports that through [`ScoreMatrix::explicit_backend`].
+    ///
     /// Returns `None` when the term (or a value in the relation) is not
-    /// score-representable — EXPLICIT base preferences, intersection and
-    /// disjoint-union aggregation, chains over non-numeric columns — in
-    /// which case callers fall back to the generic [`CompiledPref::better`]
-    /// path.
+    /// representable — intersection and disjoint-union aggregation,
+    /// chains over non-numeric columns — in which case callers fall back
+    /// to the generic [`CompiledPref::better`] path.
     ///
     /// `r` must have the schema this preference was compiled against.
     ///
@@ -112,6 +115,31 @@ impl CompiledPref {
     /// matrix assembly.
     pub fn supports_matrix(&self, r: &Relation) -> bool {
         supports(&self.node, r)
+    }
+
+    /// A stable *structural fingerprint* of the compiled term: equal for
+    /// two compilations of syntactically equal terms against the same
+    /// schema (same resolved column indices, same base constructors with
+    /// the same printed parameters), and different with overwhelming
+    /// probability otherwise. The fingerprint is a pure function of the
+    /// compiled structure — no addresses, no hash-map iteration order —
+    /// so it is reproducible across processes and suitable as one half of
+    /// a `(relation generation, term fingerprint)` cache key.
+    ///
+    /// Base preferences are identified by constructor name plus printed
+    /// parameters, exactly like [`crate::base::base_eq`]; custom `SCORE`
+    /// functions must carry distinct names to be distinguishable.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fingerprint::new();
+        self.node.fingerprint_into(&mut h);
+        h.finish()
+    }
+
+    /// Does the term contain EXPLICIT base preferences (the sub-terms the
+    /// score matrix materializes via reachability bitsets)? Structural
+    /// probe for `EXPLAIN`-style backend reporting.
+    pub fn has_explicit(&self) -> bool {
+        self.node.has_explicit()
     }
 
     /// The chain dimensions of a `SKYLINE OF`-shaped term (§6.1): a Pareto
@@ -202,7 +230,110 @@ fn compile_children(ps: &[Pref], schema: &Schema) -> Result<Vec<Child>, CoreErro
         .collect()
 }
 
+/// FNV-1a accumulator for structural fingerprints. Deliberately *not*
+/// `std::hash::Hasher`-based: the std trait gives no stability guarantee
+/// across releases, while cache keys derived here must be reproducible.
+struct Fingerprint(u64);
+
+impl Fingerprint {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    fn new() -> Self {
+        Fingerprint(Self::OFFSET)
+    }
+
+    fn byte(&mut self, b: u8) {
+        self.0 = (self.0 ^ u64::from(b)).wrapping_mul(Self::PRIME);
+    }
+
+    /// Structural tag separating node kinds and field boundaries.
+    fn tag(&mut self, t: u8) {
+        self.byte(t);
+    }
+
+    fn word(&mut self, w: u64) {
+        for b in w.to_le_bytes() {
+            self.byte(b);
+        }
+    }
+
+    /// Length-prefixed so `("ab", "c")` and `("a", "bc")` differ.
+    fn str(&mut self, s: &str) {
+        self.word(s.len() as u64);
+        for b in s.as_bytes() {
+            self.byte(*b);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
 impl Node {
+    fn fingerprint_into(&self, h: &mut Fingerprint) {
+        match self {
+            Node::Base { col, base } => {
+                h.tag(1);
+                h.word(*col as u64);
+                h.str(base.name());
+                h.str(&base.params());
+            }
+            Node::Antichain => h.tag(2),
+            Node::Dual(inner) => {
+                h.tag(3);
+                inner.fingerprint_into(h);
+            }
+            Node::Pareto(children) | Node::Prior(children) => {
+                h.tag(if matches!(self, Node::Pareto(_)) {
+                    4
+                } else {
+                    5
+                });
+                h.word(children.len() as u64);
+                for c in children {
+                    c.node.fingerprint_into(h);
+                    h.word(c.eq_cols.len() as u64);
+                    for col in &c.eq_cols {
+                        h.word(*col as u64);
+                    }
+                }
+            }
+            Node::Rank { combine, inputs } => {
+                h.tag(6);
+                h.str(combine.name());
+                h.word(inputs.len() as u64);
+                for (col, base) in inputs {
+                    h.word(*col as u64);
+                    h.str(base.name());
+                    h.str(&base.params());
+                }
+            }
+            Node::Inter(l, r) | Node::Union(l, r) => {
+                h.tag(if matches!(self, Node::Inter(..)) {
+                    7
+                } else {
+                    8
+                });
+                l.fingerprint_into(h);
+                r.fingerprint_into(h);
+            }
+        }
+    }
+
+    fn has_explicit(&self) -> bool {
+        match self {
+            Node::Base { base, .. } => base.as_explicit().is_some(),
+            Node::Antichain | Node::Rank { .. } => false,
+            Node::Dual(inner) => inner.has_explicit(),
+            Node::Pareto(children) | Node::Prior(children) => {
+                children.iter().any(|c| c.node.has_explicit())
+            }
+            Node::Inter(l, r) | Node::Union(l, r) => l.has_explicit() || r.has_explicit(),
+        }
+    }
+
     fn better(&self, x: &Tuple, y: &Tuple) -> bool {
         match self {
             Node::Base { col, base } => base.better(&x[*col], &y[*col]),
@@ -323,6 +454,10 @@ enum ScorePlan {
     Pareto(Vec<(ScorePlan, usize)>),
     /// Prioritised accumulation: `(child, eq slot)` per operand.
     Prior(Vec<(ScorePlan, usize)>),
+    /// EXPLICIT sub-term: per-row vertex ids in slot `ids`, dominance via
+    /// the graph's reachability bitset. A genuine partial order — the one
+    /// base shape with no `f64` embedding that still materializes.
+    Explicit { ids: usize, reach: Reachability },
 }
 
 impl ScoreMatrix {
@@ -444,19 +579,41 @@ impl ScoreMatrix {
                 }
                 false
             }
+            ScorePlan::Explicit { ids, reach } => {
+                reach.better_ids(self.eq(x, *ids) as usize, self.eq(y, *ids) as usize)
+            }
         }
+    }
+
+    /// Does this matrix run any sub-term on the EXPLICIT reachability
+    /// bitset backend (as opposed to pure `f64` dominance keys)?
+    pub fn explicit_backend(&self) -> bool {
+        fn walk(p: &ScorePlan) -> bool {
+            match p {
+                ScorePlan::Explicit { .. } => true,
+                ScorePlan::Dual(inner) => walk(inner),
+                ScorePlan::Pareto(children) | ScorePlan::Prior(children) => {
+                    children.iter().any(|(c, _)| walk(c))
+                }
+                ScorePlan::Key(_) | ScorePlan::Antichain | ScorePlan::ParetoKeys(_) => false,
+            }
+        }
+        walk(&self.plan)
     }
 }
 
 /// Mirror of [`MatrixBuilder::plan`]'s success condition, minus every
 /// allocation: keys must embed (non-`None`, non-NaN) for each base and
-/// rank term; equality encodings always exist.
+/// rank term, EXPLICIT graphs always materialize (vertex-id encoding),
+/// and equality encodings always exist.
 fn supports(node: &Node, r: &Relation) -> bool {
     match node {
-        Node::Base { col, base } => r
-            .column(*col)
-            .iter()
-            .all(|v| base.dominance_key(v).is_some_and(|k| !k.is_nan())),
+        Node::Base { col, base } => {
+            base.as_explicit().is_some()
+                || r.column(*col)
+                    .iter()
+                    .all(|v| base.dominance_key(v).is_some_and(|k| !k.is_nan()))
+        }
         Node::Antichain => true,
         Node::Dual(inner) => supports(inner, r),
         Node::Rank { combine, inputs } => r
@@ -483,6 +640,23 @@ impl MatrixBuilder<'_> {
     fn plan(&mut self, node: &Node) -> Option<ScorePlan> {
         match node {
             Node::Base { col, base } => {
+                if let Some(e) = base.as_explicit() {
+                    // EXPLICIT has no f64 embedding (genuine partial
+                    // order), but values resolve to graph-vertex ids once
+                    // and dominance becomes a reachability-bitset probe.
+                    let reach = e.reachability();
+                    let outside = reach.outside_id() as u64;
+                    let ids = self
+                        .r
+                        .column(*col)
+                        .iter()
+                        .map(|v| e.vertex_index(v).map_or(outside, |i| i as u64))
+                        .collect();
+                    return Some(ScorePlan::Explicit {
+                        ids: self.push_raw_eq(ids),
+                        reach,
+                    });
+                }
                 let keys = self
                     .r
                     .column(*col)
@@ -540,6 +714,14 @@ impl MatrixBuilder<'_> {
     fn push_key(&mut self, keys: Vec<f64>) -> usize {
         self.keys.push(keys);
         self.keys.len() - 1
+    }
+
+    /// Push a code column that is *not* an equality encoding (EXPLICIT
+    /// vertex ids collapse all outside values onto one id), bypassing the
+    /// eq-slot dedup cache.
+    fn push_raw_eq(&mut self, codes: Vec<u64>) -> usize {
+        self.eqs.push(codes);
+        self.eqs.len() - 1
     }
 
     fn eq_slot(&mut self, cols: &[usize]) -> usize {
@@ -838,9 +1020,6 @@ mod tests {
     #[test]
     fn score_matrix_unavailable_for_non_embeddable_terms() {
         let r = rel! { ("color": Str); ("red",), ("green",) };
-        // EXPLICIT is a genuine partial order — no per-value embedding.
-        let p = crate::term::explicit("color", [("red", "green")]).unwrap();
-        assert!(compile(&p, &r).score_matrix(&r).is_none());
         // Chains over string columns compare lexically, off the f64 axis.
         let p = lowest("color");
         assert!(compile(&p, &r).score_matrix(&r).is_none());
@@ -848,6 +1027,93 @@ mod tests {
         let r2 = example2_rel();
         let p = lowest("A1").intersect(highest("A1")).unwrap();
         assert!(compile(&p, &r2).score_matrix(&r2).is_none());
+    }
+
+    #[test]
+    fn explicit_materializes_via_reachability_bitsets() {
+        // Example 1's EXPLICIT graph over a column with in-graph, outside
+        // and duplicate values: the matrix backend must agree pointwise
+        // with the term walk and report itself as the EXPLICIT backend.
+        let r = rel! {
+            ("color": Str);
+            ("white",), ("red",), ("yellow",), ("green",), ("brown",),
+            ("black",), ("yellow",),
+        };
+        let e = crate::term::explicit(
+            "color",
+            [("green", "yellow"), ("green", "red"), ("yellow", "white")],
+        )
+        .unwrap();
+        for p in [
+            e.clone(),
+            e.clone().dual(),
+            e.clone().pareto(lowest("color").dual().dual()).dual(),
+            e.clone().prior(crate::term::antichain(["color"])),
+        ] {
+            let c = compile(&p, &r);
+            // The pareto case mixes EXPLICIT with a non-embeddable chain
+            // (string LOWEST): the whole term must *not* materialize.
+            match c.score_matrix(&r) {
+                Some(m) => {
+                    assert!(c.supports_matrix(&r));
+                    assert!(m.explicit_backend(), "{p} should report the backend");
+                    for x in 0..r.len() {
+                        for y in 0..r.len() {
+                            assert_eq!(
+                                m.better(x, y),
+                                c.better(r.row(x), r.row(y)),
+                                "bitset backend diverged for {p} on rows {x}, {y}"
+                            );
+                        }
+                    }
+                }
+                None => assert!(!c.supports_matrix(&r), "probe must mirror build for {p}"),
+            }
+        }
+        // Pure-key matrices do not claim the EXPLICIT backend.
+        let r2 = example2_rel();
+        let m = compile(&lowest("A1"), &r2).score_matrix(&r2).unwrap();
+        assert!(!m.explicit_backend());
+    }
+
+    #[test]
+    fn fingerprints_are_stable_and_structural() {
+        let r = example2_rel();
+        let fp = |p: &Pref| compile(p, &r).fingerprint();
+
+        // Recompilation and syntactic equality agree.
+        assert_eq!(fp(&example2_pref()), fp(&example2_pref()));
+        assert_eq!(
+            fp(&lowest("A1").pareto(highest("A2"))),
+            fp(&lowest("A1").pareto(highest("A2")))
+        );
+
+        // Structure, parameters, attributes, and operator all matter.
+        let distinct = [
+            lowest("A1"),
+            lowest("A2"),
+            highest("A1"),
+            around("A1", 0),
+            around("A1", 1),
+            lowest("A1").dual(),
+            lowest("A1").pareto(highest("A2")),
+            highest("A2").pareto(lowest("A1")),
+            lowest("A1").prior(highest("A2")),
+            lowest("A1").intersect(highest("A1")).unwrap(),
+            crate::term::antichain(["A1"]).prior(lowest("A2")),
+            Pref::rank(CombineFn::sum(), vec![lowest("A1"), highest("A2")]).unwrap(),
+            Pref::rank(CombineFn::min(), vec![lowest("A1"), highest("A2")]).unwrap(),
+        ];
+        let fps: Vec<u64> = distinct.iter().map(fp).collect();
+        for i in 0..fps.len() {
+            for j in (i + 1)..fps.len() {
+                assert_ne!(
+                    fps[i], fps[j],
+                    "fingerprint collision between {} and {}",
+                    distinct[i], distinct[j]
+                );
+            }
+        }
     }
 
     #[test]

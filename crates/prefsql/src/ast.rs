@@ -60,13 +60,18 @@ pub enum CmpOp {
 }
 
 /// Literal values as parsed (dates arrive as strings and are coerced
-/// against the column type during rewriting).
+/// against the column type during rewriting). `Param` is a prepared
+/// statement's `$n` placeholder: it survives parsing and is substituted
+/// by [`crate::executor::PreparedStatement::execute`]; reaching the
+/// rewriter unbound is an error.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Literal {
     Int(i64),
     Float(f64),
     Str(String),
     Bool(bool),
+    /// `$n` placeholder, 1-based.
+    Param(usize),
 }
 
 impl fmt::Display for Literal {
@@ -76,6 +81,7 @@ impl fmt::Display for Literal {
             Literal::Float(v) => write!(f, "{v}"),
             Literal::Str(s) => write!(f, "'{s}'"),
             Literal::Bool(b) => write!(f, "{b}"),
+            Literal::Param(n) => write!(f, "${n}"),
         }
     }
 }
@@ -145,6 +151,214 @@ impl PrefExpr {
                 children.iter().map(PrefExpr::atom_count).sum()
             }
         }
+    }
+}
+
+// ---- literal traversal (prepared-statement machinery) ------------------
+
+impl Query {
+    /// Visit every literal in the query (hard conditions, preference
+    /// atoms; quality bounds are plain numbers, not literals).
+    pub fn walk_literals(&self, f: &mut impl FnMut(&Literal)) {
+        if let Some(h) = &self.hard {
+            h.walk_literals(f);
+        }
+        if let Some(p) = &self.preferring {
+            p.walk_literals(f);
+        }
+        for c in &self.cascade {
+            c.walk_literals(f);
+        }
+    }
+
+    /// The number of `$n` parameters this query expects: the highest
+    /// placeholder index used anywhere (0 when unparameterized).
+    pub fn param_count(&self) -> usize {
+        let mut max = 0;
+        self.walk_literals(&mut |l| {
+            if let Literal::Param(n) = l {
+                max = max.max(*n);
+            }
+        });
+        max
+    }
+
+    /// Rebuild the query with every literal passed through `f` — the
+    /// substitution step of parameter binding. Literal-free fields are
+    /// cloned exactly once (no struct-update `self.clone()`, which would
+    /// deep-clone the expression trees a second time just to drop them).
+    pub fn map_literals<E>(
+        &self,
+        f: &mut impl FnMut(&Literal) -> Result<Literal, E>,
+    ) -> Result<Query, E> {
+        Ok(Query {
+            explain: self.explain,
+            select: self.select.clone(),
+            table: self.table.clone(),
+            hard: self.hard.as_ref().map(|h| h.map_literals(f)).transpose()?,
+            preferring: self
+                .preferring
+                .as_ref()
+                .map(|p| p.map_literals(f))
+                .transpose()?,
+            group_by: self.group_by.clone(),
+            cascade: self
+                .cascade
+                .iter()
+                .map(|c| c.map_literals(f))
+                .collect::<Result<_, E>>()?,
+            but_only: self.but_only.clone(),
+            limit: self.limit,
+            top: self.top,
+        })
+    }
+}
+
+impl HardExpr {
+    fn walk_literals(&self, f: &mut impl FnMut(&Literal)) {
+        match self {
+            HardExpr::Cmp(_, _, l) => f(l),
+            HardExpr::Between(_, lo, hi) => {
+                f(lo);
+                f(hi);
+            }
+            HardExpr::In(_, ls, _) => ls.iter().for_each(f),
+            HardExpr::And(a, b) | HardExpr::Or(a, b) => {
+                a.walk_literals(f);
+                b.walk_literals(f);
+            }
+            HardExpr::Not(inner) => inner.walk_literals(f),
+        }
+    }
+
+    fn map_literals<E>(
+        &self,
+        f: &mut impl FnMut(&Literal) -> Result<Literal, E>,
+    ) -> Result<HardExpr, E> {
+        Ok(match self {
+            HardExpr::Cmp(a, op, l) => HardExpr::Cmp(a.clone(), *op, f(l)?),
+            HardExpr::Between(a, lo, hi) => HardExpr::Between(a.clone(), f(lo)?, f(hi)?),
+            HardExpr::In(a, ls, neg) => HardExpr::In(
+                a.clone(),
+                ls.iter().map(&mut *f).collect::<Result<_, E>>()?,
+                *neg,
+            ),
+            HardExpr::And(a, b) => {
+                HardExpr::And(Box::new(a.map_literals(f)?), Box::new(b.map_literals(f)?))
+            }
+            HardExpr::Or(a, b) => {
+                HardExpr::Or(Box::new(a.map_literals(f)?), Box::new(b.map_literals(f)?))
+            }
+            HardExpr::Not(inner) => HardExpr::Not(Box::new(inner.map_literals(f)?)),
+        })
+    }
+}
+
+impl PrefExpr {
+    fn walk_literals(&self, f: &mut impl FnMut(&Literal)) {
+        match self {
+            PrefExpr::Prior(children) | PrefExpr::Pareto(children) => {
+                children.iter().for_each(|c| c.walk_literals(f));
+            }
+            PrefExpr::Atom(a) => a.walk_literals(f),
+        }
+    }
+
+    fn map_literals<E>(
+        &self,
+        f: &mut impl FnMut(&Literal) -> Result<Literal, E>,
+    ) -> Result<PrefExpr, E> {
+        Ok(match self {
+            PrefExpr::Prior(children) => PrefExpr::Prior(
+                children
+                    .iter()
+                    .map(|c| c.map_literals(f))
+                    .collect::<Result<_, E>>()?,
+            ),
+            PrefExpr::Pareto(children) => PrefExpr::Pareto(
+                children
+                    .iter()
+                    .map(|c| c.map_literals(f))
+                    .collect::<Result<_, E>>()?,
+            ),
+            PrefExpr::Atom(a) => PrefExpr::Atom(a.map_literals(f)?),
+        })
+    }
+}
+
+impl PrefAtom {
+    fn walk_literals(&self, f: &mut impl FnMut(&Literal)) {
+        match self {
+            PrefAtom::Pos { values, .. } | PrefAtom::Neg { values, .. } => {
+                values.iter().for_each(f)
+            }
+            PrefAtom::PosPos { pos1, pos2, .. } => {
+                pos1.iter().for_each(&mut *f);
+                pos2.iter().for_each(f);
+            }
+            PrefAtom::PosNeg { pos, neg, .. } => {
+                pos.iter().for_each(&mut *f);
+                neg.iter().for_each(f);
+            }
+            PrefAtom::Around { target, .. } => f(target),
+            PrefAtom::Between { low, up, .. } => {
+                f(low);
+                f(up);
+            }
+            PrefAtom::Lowest { .. } | PrefAtom::Highest { .. } => {}
+            PrefAtom::Explicit { edges, .. } => {
+                for (w, b) in edges {
+                    f(w);
+                    f(b);
+                }
+            }
+        }
+    }
+
+    fn map_literals<E>(
+        &self,
+        f: &mut impl FnMut(&Literal) -> Result<Literal, E>,
+    ) -> Result<PrefAtom, E> {
+        let map_vec = |ls: &[Literal], f: &mut dyn FnMut(&Literal) -> Result<Literal, E>| {
+            ls.iter().map(f).collect::<Result<Vec<_>, E>>()
+        };
+        Ok(match self {
+            PrefAtom::Pos { attr, values } => PrefAtom::Pos {
+                attr: attr.clone(),
+                values: map_vec(values, f)?,
+            },
+            PrefAtom::Neg { attr, values } => PrefAtom::Neg {
+                attr: attr.clone(),
+                values: map_vec(values, f)?,
+            },
+            PrefAtom::PosPos { attr, pos1, pos2 } => PrefAtom::PosPos {
+                attr: attr.clone(),
+                pos1: map_vec(pos1, f)?,
+                pos2: map_vec(pos2, f)?,
+            },
+            PrefAtom::PosNeg { attr, pos, neg } => PrefAtom::PosNeg {
+                attr: attr.clone(),
+                pos: map_vec(pos, f)?,
+                neg: map_vec(neg, f)?,
+            },
+            PrefAtom::Around { attr, target } => PrefAtom::Around {
+                attr: attr.clone(),
+                target: f(target)?,
+            },
+            PrefAtom::Between { attr, low, up } => PrefAtom::Between {
+                attr: attr.clone(),
+                low: f(low)?,
+                up: f(up)?,
+            },
+            PrefAtom::Lowest { .. } | PrefAtom::Highest { .. } => self.clone(),
+            PrefAtom::Explicit { attr, edges } => PrefAtom::Explicit {
+                attr: attr.clone(),
+                edges: edges
+                    .iter()
+                    .map(|(w, b)| Ok((f(w)?, f(b)?)))
+                    .collect::<Result<_, E>>()?,
+            },
+        })
     }
 }
 

@@ -24,6 +24,14 @@ pub enum SqlError {
     UnknownColumn { table: String, column: String },
     /// A literal cannot be coerced to the column's type.
     BadLiteral { column: String, literal: String },
+    /// A prepared statement was executed with the wrong number of
+    /// parameters.
+    ParamCount { expected: usize, got: usize },
+    /// A `$n` placeholder reached evaluation without a bound value
+    /// (e.g. via `execute` instead of `prepare` + bind).
+    UnboundParam { index: usize },
+    /// A bound parameter value cannot stand in for a literal (e.g. NULL).
+    BadParam { index: usize, value: String },
     /// Preference construction failed (e.g. overlapping POS/NEG sets).
     Core(CoreError),
     /// BMO evaluation failed.
@@ -50,6 +58,19 @@ impl fmt::Display for SqlError {
             }
             SqlError::BadLiteral { column, literal } => {
                 write!(f, "literal {literal} does not fit column `{column}`")
+            }
+            SqlError::ParamCount { expected, got } => {
+                write!(f, "statement takes {expected} parameter(s), {got} given")
+            }
+            SqlError::UnboundParam { index } => {
+                write!(
+                    f,
+                    "parameter ${index} is not bound; prepare the statement and \
+                     pass values to execute"
+                )
+            }
+            SqlError::BadParam { index, value } => {
+                write!(f, "parameter ${index} cannot bind value {value}")
             }
             SqlError::Core(e) => write!(f, "{e}"),
             SqlError::Query(e) => write!(f, "{e}"),

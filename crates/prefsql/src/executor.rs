@@ -12,11 +12,10 @@
 use std::borrow::Cow;
 
 use pref_core::term::Pref;
-use pref_query::groupby::sigma_groupby;
-use pref_query::{Explain, Optimizer};
+use pref_query::{Engine, Explain, Optimizer};
 use pref_relation::{AttrSet, DataType, Relation, Schema, Value};
 
-use crate::ast::{Query, SelectList};
+use crate::ast::{Literal, Query, SelectList};
 use crate::catalog::Catalog;
 use crate::error::SqlError;
 use crate::parser::parse;
@@ -35,11 +34,14 @@ pub struct QueryResult {
     pub candidates: usize,
 }
 
-/// A Preference SQL session: a catalog plus an optimizer configuration.
+/// A Preference SQL session: a catalog plus a prepared-query
+/// [`Engine`]. The engine's score-matrix cache spans all queries of the
+/// session, so repeating a statement over an unchanged table reuses the
+/// materialized matrix (`QueryResult::explain` reports hit/miss).
 #[derive(Debug, Default)]
 pub struct PrefSql {
     catalog: Catalog,
-    optimizer: Optimizer,
+    engine: Engine,
 }
 
 impl PrefSql {
@@ -57,15 +59,45 @@ impl PrefSql {
         &self.catalog
     }
 
-    /// Use a custom optimizer configuration.
+    /// Use a custom optimizer configuration (fresh engine, empty cache).
     pub fn with_optimizer(mut self, optimizer: Optimizer) -> Self {
-        self.optimizer = optimizer;
+        self.engine = Engine::with_optimizer(optimizer);
         self
+    }
+
+    /// The session's query engine (shared matrix cache + stats).
+    pub fn engine(&self) -> &Engine {
+        &self.engine
     }
 
     /// Parse and execute a query string.
     pub fn execute(&self, sql: &str) -> Result<QueryResult, SqlError> {
         self.run(&parse(sql)?)
+    }
+
+    /// Parse a statement once into a [`PreparedStatement`]. Literal
+    /// positions may hold `$n` placeholders (1-based), bound at
+    /// [`PreparedStatement::execute`] time:
+    ///
+    /// ```
+    /// use pref_sql::PrefSql;
+    /// use pref_relation::{rel, Value};
+    ///
+    /// let mut db = PrefSql::new();
+    /// db.register("car", rel! {
+    ///     ("make": Str, "price": Int);
+    ///     ("Opel", 38_000), ("BMW", 45_000), ("Opel", 44_000),
+    /// });
+    /// let stmt = db.prepare("SELECT * FROM car PREFERRING price AROUND $1").unwrap();
+    /// for target in [40_000i64, 45_000] {
+    ///     let res = stmt.execute(&db, &[Value::from(target)]).unwrap();
+    ///     assert_eq!(res.relation.len(), 1);
+    /// }
+    /// ```
+    pub fn prepare(&self, sql: &str) -> Result<PreparedStatement, SqlError> {
+        let query = parse(sql)?;
+        let param_count = query.param_count();
+        Ok(PreparedStatement { query, param_count })
     }
 
     /// Execute a parsed query.
@@ -109,7 +141,14 @@ impl PrefSql {
                 let rows = pref_query::quality::k_best(&pref, base, k)?;
                 (rows, Some(pref), None)
             } else if q.group_by.is_empty() {
-                let (rows, explain) = self.optimizer.evaluate(&pref, base)?;
+                // A WHERE clause derives a fresh relation per call; its
+                // generation can never recur, so don't let its matrix
+                // displace reusable catalog-table entries.
+                let (rows, explain) = if q.hard.is_some() {
+                    self.engine.evaluate_uncached(&pref, base)?
+                } else {
+                    self.engine.evaluate(&pref, base)?
+                };
                 (rows, Some(pref), Some(explain))
             } else {
                 let attrs = AttrSet::new(q.group_by.iter().map(String::as_str));
@@ -121,7 +160,11 @@ impl PrefSql {
                         });
                     }
                 }
-                let rows = sigma_groupby(&pref, &attrs, base)?;
+                let rows = if q.hard.is_some() {
+                    self.engine.sigma_groupby_uncached(&pref, &attrs, base)?
+                } else {
+                    self.engine.sigma_groupby(&pref, &attrs, base)?
+                };
                 (rows, Some(pref), None)
             }
         };
@@ -193,7 +236,7 @@ impl PrefSql {
         } else {
             let pref = Pref::prior_all(parts)?;
             if q.group_by.is_empty() {
-                let plan = self.optimizer.plan(&pref, base)?;
+                let plan = self.engine.plan(&pref, base)?;
                 for l in plan.to_string().lines() {
                     lines.push(l.to_string());
                 }
@@ -226,6 +269,70 @@ impl PrefSql {
             candidates,
         })
     }
+}
+
+/// A parsed Preference SQL statement with `$n` parameter placeholders —
+/// the lexer and parser run once per statement, not once per call. Each
+/// [`PreparedStatement::execute`] binds the parameter values, runs
+/// through the session's engine, and therefore shares the score-matrix
+/// cache: the same binding over an unchanged table hits.
+#[derive(Debug, Clone)]
+pub struct PreparedStatement {
+    query: Query,
+    param_count: usize,
+}
+
+impl PreparedStatement {
+    /// Number of `$n` parameters this statement expects (the highest
+    /// placeholder index).
+    pub fn param_count(&self) -> usize {
+        self.param_count
+    }
+
+    /// The parsed query (placeholders still in place).
+    pub fn query(&self) -> &Query {
+        &self.query
+    }
+
+    /// Bind `params` ($1 = `params[0]`, …) and run the statement on
+    /// `db`. The parameter count must match exactly; unusable values
+    /// (NULL) and type mismatches surface as binding errors.
+    pub fn execute(&self, db: &PrefSql, params: &[Value]) -> Result<QueryResult, SqlError> {
+        if params.len() != self.param_count {
+            return Err(SqlError::ParamCount {
+                expected: self.param_count,
+                got: params.len(),
+            });
+        }
+        if self.param_count == 0 {
+            return db.run(&self.query);
+        }
+        let bound = self.query.map_literals(&mut |lit| match lit {
+            Literal::Param(n) => value_to_literal(&params[*n - 1], *n),
+            other => Ok(other.clone()),
+        })?;
+        db.run(&bound)
+    }
+}
+
+/// Turn a bound parameter value into the literal the rewriter expects;
+/// type coercion against the column happens later, exactly as for
+/// inline literals. Dates round-trip through their canonical
+/// `YYYY/MM/DD` form.
+fn value_to_literal(v: &Value, index: usize) -> Result<Literal, SqlError> {
+    Ok(match v {
+        Value::Int(i) => Literal::Int(*i),
+        Value::Float(f) => Literal::Float(*f),
+        Value::Str(s) => Literal::Str(s.to_string()),
+        Value::Bool(b) => Literal::Bool(*b),
+        Value::Date(d) => Literal::Str(d.to_string()),
+        Value::Null => {
+            return Err(SqlError::BadParam {
+                index,
+                value: "NULL".into(),
+            })
+        }
+    })
 }
 
 #[cfg(test)]
@@ -452,6 +559,107 @@ mod tests {
             .unwrap();
         let text = format!("{}", res.relation);
         assert!(text.contains("hash grouping"));
+    }
+
+    #[test]
+    fn prepared_statement_binds_and_reexecutes() {
+        let s = session();
+        let stmt = s
+            .prepare(
+                "SELECT * FROM car WHERE make = $1 \
+                 PREFERRING price AROUND $2 AND HIGHEST(power)",
+            )
+            .unwrap();
+        assert_eq!(stmt.param_count(), 2);
+
+        let res = stmt
+            .execute(&s, &[Value::from("Opel"), Value::from(40_000)])
+            .unwrap();
+        assert_eq!(res.candidates, 4);
+        assert!(!res.relation.is_empty());
+        // Same statement, new binding — no re-parse, different result set.
+        let res = stmt
+            .execute(&s, &[Value::from("BMW"), Value::from(45_000)])
+            .unwrap();
+        assert_eq!(res.candidates, 1);
+        assert_eq!(res.relation.row(0)[0], Value::from("BMW"));
+    }
+
+    #[test]
+    fn repeated_prepared_queries_hit_the_matrix_cache() {
+        let s = session();
+        // No WHERE clause: the pipeline runs on the catalog table itself,
+        // so its generation is stable across executions.
+        let stmt = s
+            .prepare("SELECT * FROM car PREFERRING price AROUND 40000 AND LOWEST(mileage)")
+            .unwrap();
+        let first = stmt.execute(&s, &[]).unwrap();
+        let ex = first.explain.expect("BMO stage ran");
+        assert!(ex.materialized);
+        assert_eq!(ex.cache, pref_query::CacheStatus::Miss);
+
+        let second = stmt.execute(&s, &[]).unwrap();
+        let ex2 = second.explain.expect("BMO stage ran");
+        assert_eq!(
+            ex2.cache,
+            pref_query::CacheStatus::Hit,
+            "same statement over unchanged table must hit the cache"
+        );
+        assert_eq!(ex.generation, ex2.generation);
+        assert_eq!(
+            format!("{}", first.relation),
+            format!("{}", second.relation)
+        );
+        assert!(s.engine().cache_stats().hits >= 1);
+    }
+
+    #[test]
+    fn param_binding_errors() {
+        let s = session();
+        let stmt = s
+            .prepare("SELECT * FROM car PREFERRING price AROUND $1")
+            .unwrap();
+        assert_eq!(stmt.param_count(), 1);
+
+        // Wrong arity, both directions.
+        assert!(matches!(
+            stmt.execute(&s, &[]),
+            Err(SqlError::ParamCount {
+                expected: 1,
+                got: 0
+            })
+        ));
+        assert!(matches!(
+            stmt.execute(&s, &[Value::from(1), Value::from(2)]),
+            Err(SqlError::ParamCount {
+                expected: 1,
+                got: 2
+            })
+        ));
+
+        // NULL cannot stand in for a literal.
+        assert!(matches!(
+            stmt.execute(&s, &[Value::Null]),
+            Err(SqlError::BadParam { index: 1, .. })
+        ));
+
+        // Type mismatches surface exactly like inline literals.
+        assert!(matches!(
+            stmt.execute(&s, &[Value::from("cheap")]),
+            Err(SqlError::BadLiteral { .. })
+        ));
+
+        // Direct execution of parameterized SQL leaves $1 unbound.
+        assert!(matches!(
+            s.execute("SELECT * FROM car PREFERRING price AROUND $1"),
+            Err(SqlError::UnboundParam { index: 1 })
+        ));
+
+        // $0 is rejected by the lexer.
+        assert!(matches!(
+            s.prepare("SELECT * FROM car PREFERRING price AROUND $0"),
+            Err(SqlError::Lex { .. })
+        ));
     }
 
     #[test]

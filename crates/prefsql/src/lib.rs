@@ -42,5 +42,5 @@ mod token;
 
 pub use catalog::Catalog;
 pub use error::SqlError;
-pub use executor::{PrefSql, QueryResult};
+pub use executor::{PrefSql, PreparedStatement, QueryResult};
 pub use parser::parse;

@@ -113,6 +113,10 @@ impl Parser {
                 self.pos += 1;
                 Ok(Literal::Str(s))
             }
+            Tok::Param(n) => {
+                self.pos += 1;
+                Ok(Literal::Param(n))
+            }
             Tok::Keyword(Kw::True) => {
                 self.pos += 1;
                 Ok(Literal::Bool(true))

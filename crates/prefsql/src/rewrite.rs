@@ -19,6 +19,9 @@ pub fn literal_to_value(lit: &Literal, column: &str, dtype: DataType) -> Result<
         literal: lit.to_string(),
     };
     Ok(match (lit, dtype) {
+        // A placeholder this deep means nobody bound it: surface the
+        // dedicated error, not a type mismatch.
+        (Literal::Param(n), _) => return Err(SqlError::UnboundParam { index: *n }),
         (Literal::Int(v), DataType::Int) => Value::from(*v),
         (Literal::Int(v), DataType::Float) => Value::from(*v as f64),
         (Literal::Float(v), DataType::Float) => Value::from(*v),

@@ -16,6 +16,8 @@ pub enum Tok {
     Int(i64),
     Float(f64),
     Str(String),
+    /// Prepared-statement parameter placeholder `$n` (1-based).
+    Param(usize),
     LParen,
     RParen,
     Comma,
@@ -107,6 +109,7 @@ impl fmt::Display for Tok {
             Tok::Int(v) => write!(f, "{v}"),
             Tok::Float(v) => write!(f, "{v}"),
             Tok::Str(s) => write!(f, "'{s}'"),
+            Tok::Param(n) => write!(f, "${n}"),
             Tok::LParen => write!(f, "("),
             Tok::RParen => write!(f, ")"),
             Tok::Comma => write!(f, ","),
@@ -187,6 +190,31 @@ pub fn lex(input: &str) -> Result<Vec<Tok>, SqlError> {
                         message: "unexpected `!`".into(),
                     });
                 }
+            }
+            '$' => {
+                let start = i;
+                i += 1;
+                let digits_from = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                if digits_from == i {
+                    return Err(SqlError::Lex {
+                        pos: start,
+                        message: "expected parameter number after `$`".into(),
+                    });
+                }
+                let n: usize = input[digits_from..i].parse().map_err(|_| SqlError::Lex {
+                    pos: start,
+                    message: format!("bad parameter number `{}`", &input[start..i]),
+                })?;
+                if n == 0 {
+                    return Err(SqlError::Lex {
+                        pos: start,
+                        message: "parameters are numbered from $1".into(),
+                    });
+                }
+                toks.push(Tok::Param(n));
             }
             '\'' => {
                 let mut s = String::new();
@@ -359,6 +387,18 @@ mod tests {
         assert!(matches!(lex("'open"), Err(SqlError::Lex { .. })));
         assert!(matches!(lex("a ? b"), Err(SqlError::Lex { .. })));
         assert!(matches!(lex("- x"), Err(SqlError::Lex { .. })));
+    }
+
+    #[test]
+    fn parameter_placeholders() {
+        assert_eq!(
+            lex("$1 $12").unwrap(),
+            vec![Tok::Param(1), Tok::Param(12), Tok::Eof]
+        );
+        // $0 and a bare $ are rejected at lex time.
+        assert!(matches!(lex("$0"), Err(SqlError::Lex { .. })));
+        assert!(matches!(lex("$ 1"), Err(SqlError::Lex { .. })));
+        assert!(matches!(lex("$x"), Err(SqlError::Lex { .. })));
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //!
 //! * the **score-matrix path** ([`bnl_matrix`]) — dominance tests are
 //!   `f64`/`u32` comparisons over the columnar
-//!   [`ScoreMatrix`](pref_core::eval::ScoreMatrix), used whenever the
+//!   [`ScoreMatrix`], used whenever the
 //!   term materializes;
 //! * the **generic path** ([`bnl_generic`]) — term-tree walks via
 //!   [`CompiledPref::better`], correct for any strict partial order.

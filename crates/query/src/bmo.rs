@@ -58,9 +58,16 @@ pub fn sigma_naive_generic_compiled(c: &CompiledPref, r: &Relation) -> Vec<usize
         .collect()
 }
 
-/// Materialise a BMO result: the sub-relation of maximal tuples.
+/// Materialise a BMO result: the sub-relation of maximal tuples, by
+/// naive evaluation. Shares the engine's single result-materialization
+/// path with [`crate::sigma_rel`] — only the forced algorithm differs.
 pub fn sigma_relation(pref: &Pref, r: &Relation) -> Result<Relation, QueryError> {
-    Ok(r.take_rows(&sigma_naive(pref, r)?))
+    crate::engine::Engine::with_optimizer(
+        crate::Optimizer::new().with_algorithm(crate::Algorithm::Naive),
+    )
+    .with_capacity(0)
+    .prepare(pref, r.schema())?
+    .execute_rel(r)
 }
 
 #[cfg(test)]

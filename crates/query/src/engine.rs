@@ -1,0 +1,658 @@
+//! The prepared-query engine: compile once, cache score matrices,
+//! execute many.
+//!
+//! The BMO model assumes users fire *streams* of preference queries
+//! against slowly-changing relations (the paper's e-shopping sessions;
+//! Chomicki's changing-preferences setting formalizes the same reuse).
+//! The free-function entry points ([`crate::sigma`], [`Optimizer::evaluate`])
+//! re-plan, re-compile and re-materialize the [`ScoreMatrix`] on every
+//! call; an [`Engine`] amortizes all three:
+//!
+//! * [`Engine::prepare`] rewrites and compiles a term **once**, producing
+//!   a [`Prepared`] query that carries the compiled form plus its stable
+//!   structural fingerprint ([`CompiledPref::fingerprint`]);
+//! * [`Prepared::execute`] fetches the score matrix from an engine-level
+//!   cache keyed by `(relation generation, term fingerprint)` — repeat
+//!   executions over an unchanged relation skip materialization entirely,
+//!   while any mutation moves the relation to a fresh generation
+//!   ([`Relation::generation`]) and transparently invalidates every
+//!   cached matrix built on the old state;
+//! * the [`Explain`] of each execution reports the cache outcome
+//!   ([`CacheStatus`]) and the generation it ran against, so callers can
+//!   assert amortization instead of guessing.
+//!
+//! The engine is cheaply clonable (all state behind an `Arc`) and
+//! thread-safe; a [`Prepared`] holds a handle to its engine, so prepared
+//! queries stay valid wherever they are sent.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use pref_core::eval::{CompiledPref, ScoreMatrix};
+use pref_core::term::Pref;
+use pref_relation::{AttrSet, Relation, RelationError, Schema};
+
+use crate::error::QueryError;
+use crate::optimizer::{run_algorithm, CacheStatus, Explain, Optimizer};
+
+/// Default number of cached score matrices per engine.
+const DEFAULT_CAPACITY: usize = 64;
+
+/// Aggregate cache counters of an [`Engine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Executions served from a cached matrix.
+    pub hits: u64,
+    /// Executions that had to build (and then cached) a matrix.
+    pub misses: u64,
+    /// Matrices currently resident.
+    pub entries: usize,
+}
+
+impl fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} hits / {} misses, {} resident",
+            self.hits, self.misses, self.entries
+        )
+    }
+}
+
+struct CacheEntry {
+    matrix: Arc<ScoreMatrix>,
+    last_used: u64,
+}
+
+#[derive(Default)]
+struct MatrixCache {
+    map: HashMap<(u64, u64), CacheEntry>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+struct EngineInner {
+    optimizer: Optimizer,
+    capacity: usize,
+    cache: Mutex<MatrixCache>,
+}
+
+impl fmt::Debug for EngineInner {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Engine")
+            .field("optimizer", &self.optimizer)
+            .field("capacity", &self.capacity)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A long-lived preference query engine: optimizer configuration plus a
+/// bounded, LRU-evicted cache of score matrices keyed by
+/// `(relation generation, term fingerprint)`.
+#[derive(Debug, Clone)]
+pub struct Engine {
+    inner: Arc<EngineInner>,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::new()
+    }
+}
+
+impl Engine {
+    /// Engine with the default optimizer configuration.
+    pub fn new() -> Self {
+        Engine::with_optimizer(Optimizer::new())
+    }
+
+    /// Engine with a custom optimizer configuration (forced algorithms,
+    /// thread counts, materialization ablation — all honored per query).
+    pub fn with_optimizer(optimizer: Optimizer) -> Self {
+        Engine {
+            inner: Arc::new(EngineInner {
+                optimizer,
+                capacity: DEFAULT_CAPACITY,
+                cache: Mutex::new(MatrixCache::default()),
+            }),
+        }
+    }
+
+    /// Bound the matrix cache to `capacity` entries (LRU eviction).
+    /// `0` disables caching: every execution rebuilds its matrix.
+    pub fn with_capacity(mut self, capacity: usize) -> Self {
+        // Engines are only configured before being shared; keep the
+        // builder ergonomic without an extra config struct.
+        Arc::get_mut(&mut self.inner)
+            .expect("with_capacity is a builder call, before the engine is shared")
+            .capacity = capacity;
+        self
+    }
+
+    /// The engine's optimizer configuration.
+    pub fn optimizer(&self) -> &Optimizer {
+        &self.inner.optimizer
+    }
+
+    /// Compile `pref` against `schema` once: algebraic rewrite
+    /// (Prop. 2–4, sound by Prop. 7), attribute resolution, fingerprint.
+    /// The returned [`Prepared`] can be executed any number of times
+    /// against relations with the same schema.
+    pub fn prepare(&self, pref: &Pref, schema: &Schema) -> Result<Prepared, QueryError> {
+        let original = pref.to_string();
+        let simplified = self.inner.optimizer.rewrite(pref);
+        let simplified_str = simplified.to_string();
+        let compiled = CompiledPref::compile(&simplified, schema)?;
+        let fingerprint = compiled.fingerprint();
+        Ok(Prepared {
+            engine: self.clone(),
+            rewritten: simplified_str != original,
+            original,
+            simplified,
+            simplified_str,
+            compiled,
+            fingerprint,
+            schema: schema.clone(),
+        })
+    }
+
+    /// One-shot `σ[P](R)` through the engine: prepare + execute. The
+    /// matrix cache still applies, so repeating the same term over the
+    /// same relation generation hits even without keeping the
+    /// [`Prepared`] around.
+    pub fn evaluate(&self, pref: &Pref, r: &Relation) -> Result<(Vec<usize>, Explain), QueryError> {
+        self.prepare(pref, r.schema())?.execute(r)
+    }
+
+    /// [`Engine::evaluate`] without populating the matrix cache — see
+    /// [`Prepared::execute_uncached`].
+    pub fn evaluate_uncached(
+        &self,
+        pref: &Pref,
+        r: &Relation,
+    ) -> Result<(Vec<usize>, Explain), QueryError> {
+        self.prepare(pref, r.schema())?.execute_uncached(r)
+    }
+
+    /// Plan without executing (the `EXPLAIN` path).
+    pub fn plan(&self, pref: &Pref, r: &Relation) -> Result<Explain, QueryError> {
+        self.inner.optimizer.plan(pref, r)
+    }
+
+    /// Optimized `σ[P](R)` returning row indices.
+    pub fn sigma(&self, pref: &Pref, r: &Relation) -> Result<Vec<usize>, QueryError> {
+        Ok(self.evaluate(pref, r)?.0)
+    }
+
+    /// Optimized `σ[P](R)` returning the materialized sub-relation of
+    /// best matches — *the* result-materialization path shared by every
+    /// public entry point ([`crate::sigma_rel`], [`crate::bmo::sigma_relation`],
+    /// Preference SQL).
+    pub fn sigma_rel(&self, pref: &Pref, r: &Relation) -> Result<Relation, QueryError> {
+        self.prepare(pref, r.schema())?.execute_rel(r)
+    }
+
+    /// `σ[P groupby A](R)` (Def. 16) on the columnar path: partition row
+    /// ids once via [`Relation::group_ids`], then run the per-group BMO
+    /// windows over the engine-cached score matrix, so the same matrix
+    /// serves every group — and every later query on the same relation
+    /// generation. Falls back to the generic term-walk backend when the
+    /// term does not materialize (or the optimizer disables
+    /// materialization).
+    pub fn sigma_groupby(
+        &self,
+        pref: &Pref,
+        group_attrs: &AttrSet,
+        r: &Relation,
+    ) -> Result<Vec<usize>, QueryError> {
+        self.groupby_inner(pref, group_attrs, r, true)
+    }
+
+    /// [`Engine::sigma_groupby`] without populating the matrix cache —
+    /// for derived/ephemeral relations whose generation will never
+    /// recur (see [`Prepared::execute_uncached`]).
+    pub fn sigma_groupby_uncached(
+        &self,
+        pref: &Pref,
+        group_attrs: &AttrSet,
+        r: &Relation,
+    ) -> Result<Vec<usize>, QueryError> {
+        self.groupby_inner(pref, group_attrs, r, false)
+    }
+
+    fn groupby_inner(
+        &self,
+        pref: &Pref,
+        group_attrs: &AttrSet,
+        r: &Relation,
+        populate: bool,
+    ) -> Result<Vec<usize>, QueryError> {
+        let group_cols = r.schema().resolve(group_attrs)?;
+        let prepared = self.prepare(pref, r.schema())?;
+        let (ids, n_groups) = r.group_ids(&group_cols);
+        let matrix = if self.inner.optimizer.no_materialize {
+            None
+        } else {
+            self.cached_matrix(prepared.fingerprint, &prepared.compiled, r, populate)
+                .0
+        };
+
+        let mut members: Vec<Vec<usize>> = vec![Vec::new(); n_groups];
+        for (i, &g) in ids.iter().enumerate() {
+            members[g as usize].push(i);
+        }
+
+        let mut result = match &matrix {
+            Some(m) => groupby_windows(&members, |x, y| m.better(x, y)),
+            None => groupby_windows(&members, |x, y| {
+                prepared.compiled.better(r.row(x), r.row(y))
+            }),
+        };
+        result.sort_unstable();
+        Ok(result)
+    }
+
+    /// Current cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        let cache = self.inner.cache.lock();
+        CacheStats {
+            hits: cache.hits,
+            misses: cache.misses,
+            entries: cache.map.len(),
+        }
+    }
+
+    /// Drop every cached matrix (counters survive).
+    pub fn clear_cache(&self) {
+        self.inner.cache.lock().map.clear();
+    }
+
+    /// Fetch or build the score matrix for `(r.generation(), fp)`.
+    /// Returns [`CacheStatus::Bypass`] when the term does not materialize
+    /// on `r`, so callers can tell "reused" from "not applicable". The
+    /// cache is always consulted (when enabled); `populate` controls
+    /// whether a freshly built matrix is inserted — callers evaluating a
+    /// derived relation whose generation will never recur pass `false`
+    /// so dead entries cannot evict reusable ones.
+    fn cached_matrix(
+        &self,
+        fp: u64,
+        c: &CompiledPref,
+        r: &Relation,
+        populate: bool,
+    ) -> (Option<Arc<ScoreMatrix>>, CacheStatus) {
+        let key = (r.generation(), fp);
+        if self.inner.capacity > 0 {
+            let mut cache = self.inner.cache.lock();
+            cache.tick += 1;
+            let tick = cache.tick;
+            if let Some(entry) = cache.map.get_mut(&key) {
+                entry.last_used = tick;
+                let matrix = Arc::clone(&entry.matrix);
+                cache.hits += 1;
+                return (Some(matrix), CacheStatus::Hit);
+            }
+        }
+        // Build outside the lock: materialization is the expensive part,
+        // and concurrent executions of the same query should not serialize
+        // on it (a duplicate build is wasted work, never wrong results).
+        match c.score_matrix(r) {
+            None => (None, CacheStatus::Bypass),
+            Some(m) => {
+                let m = Arc::new(m);
+                let mut cache = self.inner.cache.lock();
+                // Count every fresh build, cached or not, so stats stay
+                // consistent with the `Miss` the Explain reports.
+                cache.misses += 1;
+                if populate && self.inner.capacity > 0 {
+                    if cache.map.len() >= self.inner.capacity {
+                        if let Some(&oldest) = cache
+                            .map
+                            .iter()
+                            .min_by_key(|(_, e)| e.last_used)
+                            .map(|(k, _)| k)
+                        {
+                            cache.map.remove(&oldest);
+                        }
+                    }
+                    let tick = cache.tick;
+                    cache.map.insert(
+                        key,
+                        CacheEntry {
+                            matrix: Arc::clone(&m),
+                            last_used: tick,
+                        },
+                    );
+                }
+                (Some(m), CacheStatus::Miss)
+            }
+        }
+    }
+}
+
+/// Per-group BNL windows over pre-partitioned (global) row ids, with a
+/// pluggable dominance backend — the shared inner loop of the columnar
+/// `groupby` path.
+fn groupby_windows(members: &[Vec<usize>], better: impl Fn(usize, usize) -> bool) -> Vec<usize> {
+    let mut result = Vec::new();
+    for group in members {
+        let mut window: Vec<usize> = Vec::new();
+        'next: for &i in group {
+            let mut j = 0;
+            while j < window.len() {
+                if better(i, window[j]) {
+                    continue 'next;
+                }
+                if better(window[j], i) {
+                    window.swap_remove(j);
+                } else {
+                    j += 1;
+                }
+            }
+            window.push(i);
+        }
+        result.extend(window);
+    }
+    result
+}
+
+/// A preference query compiled once by [`Engine::prepare`], executable
+/// many times. Holds the rewritten term, its compiled form, the
+/// structural fingerprint, and a handle to the engine whose matrix cache
+/// serves its executions.
+#[derive(Debug, Clone)]
+pub struct Prepared {
+    engine: Engine,
+    original: String,
+    simplified: Pref,
+    simplified_str: String,
+    rewritten: bool,
+    compiled: CompiledPref,
+    fingerprint: u64,
+    schema: Schema,
+}
+
+impl Prepared {
+    /// The simplified (rewritten) term this query evaluates.
+    pub fn term(&self) -> &Pref {
+        &self.simplified
+    }
+
+    /// The stable structural fingerprint of the compiled term — one half
+    /// of the engine's `(generation, fingerprint)` cache key.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Evaluate `σ[P](R)`, returning sorted row indices plus the
+    /// [`Explain`] (including cache outcome and relation generation).
+    ///
+    /// `r` must have the schema the query was prepared against; a
+    /// mismatch surfaces as a schema error instead of silently reading
+    /// the wrong columns.
+    pub fn execute(&self, r: &Relation) -> Result<(Vec<usize>, Explain), QueryError> {
+        self.run(r, true)
+    }
+
+    /// [`Prepared::execute`] without populating the matrix cache. Use
+    /// for *derived* relations whose generation will never recur — a
+    /// WHERE-filtered base, a per-request sub-relation: their matrices
+    /// can never be re-served, so inserting them would only pin dead
+    /// memory and evict reusable entries. The cache is still *read*
+    /// (hits on a clone of a cached state are legitimate), and the
+    /// `Explain` still reports the build as a miss.
+    pub fn execute_uncached(&self, r: &Relation) -> Result<(Vec<usize>, Explain), QueryError> {
+        self.run(r, false)
+    }
+
+    fn run(&self, r: &Relation, populate: bool) -> Result<(Vec<usize>, Explain), QueryError> {
+        if !r.schema().same_as(&self.schema) {
+            return Err(QueryError::Relation(RelationError::SchemaMismatch {
+                left: self.schema.to_string(),
+                right: r.schema().to_string(),
+            }));
+        }
+        let opt = &self.engine.inner.optimizer;
+        let (algorithm, reason) = match opt.force {
+            Some(a) => (a, "forced by caller".to_string()),
+            None => opt.select(&self.simplified, &self.compiled, r)?,
+        };
+        let (matrix, cache) = if opt.no_materialize || !Optimizer::uses_matrix(algorithm) {
+            (None, CacheStatus::Bypass)
+        } else {
+            self.engine
+                .cached_matrix(self.fingerprint, &self.compiled, r, populate)
+        };
+        let (rows, algorithm, reason) = run_algorithm(
+            opt,
+            &self.simplified,
+            &self.compiled,
+            matrix.as_deref(),
+            algorithm,
+            reason,
+            r,
+        )?;
+        Ok((
+            rows,
+            Explain {
+                original: self.original.clone(),
+                simplified: self.simplified_str.clone(),
+                rewritten: self.rewritten,
+                algorithm,
+                materialized: matrix.is_some(),
+                explicit_bitsets: matrix.as_deref().is_some_and(ScoreMatrix::explicit_backend),
+                cache,
+                generation: r.generation(),
+                reason,
+            },
+        ))
+    }
+
+    /// Evaluate and materialize the sub-relation of best matches.
+    pub fn execute_rel(&self, r: &Relation) -> Result<Relation, QueryError> {
+        Ok(r.take_rows(&self.execute(r)?.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bmo::sigma_naive_generic;
+    use crate::optimizer::Algorithm;
+    use pref_core::prelude::*;
+    use pref_relation::{rel, Value};
+
+    fn sample() -> Relation {
+        rel! {
+            ("a": Int, "b": Int, "c": Str);
+            (1, 9, "x"), (2, 8, "y"), (3, 7, "x"), (9, 1, "z"),
+            (5, 5, "x"), (6, 6, "y"), (1, 9, "x"), (0, 10, "z"),
+        }
+    }
+
+    #[test]
+    fn repeat_executions_hit_the_matrix_cache() {
+        let engine = Engine::new();
+        let r = sample();
+        let p = pos("c", ["x"]).pareto(neg("c", ["z"]));
+        let q = engine.prepare(&p, r.schema()).unwrap();
+
+        let (rows1, ex1) = q.execute(&r).unwrap();
+        assert!(ex1.materialized);
+        assert_eq!(ex1.cache, CacheStatus::Miss);
+        assert_eq!(ex1.generation, r.generation());
+
+        let (rows2, ex2) = q.execute(&r).unwrap();
+        assert_eq!(ex2.cache, CacheStatus::Hit, "unchanged relation must hit");
+        assert_eq!(rows1, rows2);
+        let stats = engine.cache_stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+
+        // A different prepared query with the same structure shares the
+        // cache entry: the fingerprint, not the Prepared identity, keys it.
+        let (_, ex3) = engine.prepare(&p, r.schema()).unwrap().execute(&r).unwrap();
+        assert_eq!(ex3.cache, CacheStatus::Hit);
+    }
+
+    #[test]
+    fn mutation_invalidates_and_results_stay_fresh() {
+        let engine = Engine::new();
+        let mut r = rel! {
+            ("a": Int, "b": Int, "c": Str);
+            (1, 9, "x"), (2, 8, "y"), (3, 7, "x"),
+        };
+        let p = around("a", 2).pareto(lowest("b"));
+        let q = engine.prepare(&p, r.schema()).unwrap();
+
+        let (_, ex) = q.execute(&r).unwrap();
+        assert_eq!(ex.cache, CacheStatus::Miss);
+        let gen_before = ex.generation;
+        assert_eq!(q.execute(&r).unwrap().1.cache, CacheStatus::Hit);
+
+        // Mutate: a dominating row appears. The cached matrix must not
+        // answer for the new state.
+        r.push_values(vec![Value::from(2), Value::from(0), Value::from("w")])
+            .unwrap();
+        let (rows, ex) = q.execute(&r).unwrap();
+        assert_ne!(ex.generation, gen_before);
+        assert_eq!(ex.cache, CacheStatus::Miss, "new generation must rebuild");
+        assert_eq!(rows, sigma_naive_generic(&p, &r).unwrap());
+    }
+
+    #[test]
+    fn prepared_agrees_with_fresh_sigma_across_shapes() {
+        let engine = Engine::new();
+        let r = sample();
+        for p in [
+            lowest("a").pareto(highest("b")),
+            around("a", 3).pareto(lowest("b")),
+            pos("c", ["x"]).prior(lowest("a")),
+            neg("c", ["z"]).pareto(pos("c", ["x"])),
+            explicit("c", [("z", "x")]).unwrap(),
+            lowest("a").intersect(highest("a")).unwrap(),
+        ] {
+            let q = engine.prepare(&p, r.schema()).unwrap();
+            for _ in 0..2 {
+                assert_eq!(
+                    q.execute(&r).unwrap().0,
+                    sigma_naive_generic(&p, &r).unwrap(),
+                    "prepared execution diverged for {p}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn explicit_terms_report_the_bitset_backend() {
+        let engine = Engine::new();
+        let r = sample();
+        let p = explicit("c", [("z", "x")]).unwrap();
+        let (rows, ex) = engine.evaluate(&p, &r).unwrap();
+        assert!(ex.materialized, "EXPLICIT now materializes");
+        assert!(ex.explicit_bitsets);
+        assert!(ex.to_string().contains("reachability bitsets"));
+        assert_eq!(rows, sigma_naive_generic(&p, &r).unwrap());
+    }
+
+    #[test]
+    fn schema_mismatch_is_an_error_not_a_wrong_answer() {
+        let engine = Engine::new();
+        let r = sample();
+        let q = engine.prepare(&lowest("a"), r.schema()).unwrap();
+        let other = rel! { ("a": Str, "z": Int); ("v", 1) };
+        assert!(matches!(
+            q.execute(&other),
+            Err(QueryError::Relation(RelationError::SchemaMismatch { .. }))
+        ));
+    }
+
+    #[test]
+    fn capacity_zero_disables_caching_and_lru_evicts() {
+        let r = sample();
+        let p = lowest("a").pareto(highest("b"));
+
+        let uncached = Engine::new().with_capacity(0);
+        let q = uncached.prepare(&p, r.schema()).unwrap();
+        // D&C shape — force BNL so a matrix is actually requested.
+        let forced = Engine::with_optimizer(Optimizer::new().with_algorithm(Algorithm::Bnl))
+            .with_capacity(0);
+        let qf = forced.prepare(&p, r.schema()).unwrap();
+        assert_eq!(qf.execute(&r).unwrap().1.cache, CacheStatus::Miss);
+        assert_eq!(qf.execute(&r).unwrap().1.cache, CacheStatus::Miss);
+        let stats = forced.cache_stats();
+        assert_eq!(stats.entries, 0);
+        assert_eq!(
+            (stats.hits, stats.misses),
+            (0, 2),
+            "fresh builds count as misses even with caching disabled"
+        );
+        drop(q);
+
+        // Capacity 1: the second distinct query evicts the first.
+        let small = Engine::with_optimizer(Optimizer::new().with_algorithm(Algorithm::Bnl))
+            .with_capacity(1);
+        let q1 = small.prepare(&p, r.schema()).unwrap();
+        let q2 = small
+            .prepare(&around("a", 1).pareto(lowest("b")), r.schema())
+            .unwrap();
+        assert_eq!(q1.execute(&r).unwrap().1.cache, CacheStatus::Miss);
+        assert_eq!(q2.execute(&r).unwrap().1.cache, CacheStatus::Miss);
+        assert_eq!(small.cache_stats().entries, 1);
+        assert_eq!(q1.execute(&r).unwrap().1.cache, CacheStatus::Miss);
+    }
+
+    #[test]
+    fn uncached_execution_reads_but_never_populates() {
+        let engine = Engine::new();
+        let r = sample();
+        let p = pos("c", ["x"]).pareto(neg("c", ["z"]));
+        let q = engine.prepare(&p, r.schema()).unwrap();
+
+        // Uncached: builds, counts the miss, inserts nothing.
+        let (rows, ex) = q.execute_uncached(&r).unwrap();
+        assert_eq!(ex.cache, CacheStatus::Miss);
+        assert_eq!(engine.cache_stats().entries, 0);
+        assert_eq!(rows, sigma_naive_generic(&p, &r).unwrap());
+
+        // But it does read entries a caching execution left behind.
+        q.execute(&r).unwrap();
+        assert_eq!(q.execute_uncached(&r).unwrap().1.cache, CacheStatus::Hit);
+        assert_eq!(engine.cache_stats().entries, 1);
+    }
+
+    #[test]
+    fn groupby_honors_the_ablation_knob() {
+        let engine = Engine::with_optimizer(Optimizer::new().without_materialization());
+        let r = sample();
+        let p = around("a", 2).pareto(lowest("b"));
+        let attrs = pref_relation::AttrSet::new(["c"]);
+        let rows = engine.sigma_groupby(&p, &attrs, &r).unwrap();
+        let stats = engine.cache_stats();
+        assert_eq!(
+            (stats.hits, stats.misses, stats.entries),
+            (0, 0, 0),
+            "no_materialize groupby must not touch the matrix cache"
+        );
+        assert_eq!(rows, Engine::new().sigma_groupby(&p, &attrs, &r).unwrap());
+    }
+
+    #[test]
+    fn forced_and_ablated_configurations_flow_through() {
+        let r = sample();
+        let p = pos("c", ["x"]).pareto(neg("c", ["z"]));
+        let oracle = sigma_naive_generic(&p, &r).unwrap();
+
+        let ablated = Engine::with_optimizer(Optimizer::new().without_materialization());
+        let (rows, ex) = ablated.evaluate(&p, &r).unwrap();
+        assert_eq!(rows, oracle);
+        assert!(!ex.materialized);
+        assert_eq!(ex.cache, CacheStatus::Bypass);
+
+        let forced = Engine::with_optimizer(Optimizer::new().with_algorithm(Algorithm::Naive));
+        assert_eq!(forced.sigma(&p, &r).unwrap(), oracle);
+    }
+}

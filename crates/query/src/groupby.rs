@@ -2,57 +2,32 @@
 //! `σ[P groupby A](R) := σ[A↔ & P](R)`.
 //!
 //! Operationally "a grouping of R by equal A-values, evaluating for each
-//! group Gi of tuples the preference query σ\[P\](Gi)" — implemented here by
-//! hash grouping, with the definitional equality checked in the tests.
+//! group Gi of tuples the preference query σ\[P\](Gi)" — implemented on
+//! the columnar path: [`Relation::group_ids`] partitions the row ids
+//! once (dictionary/fingerprint encoding, no per-row `Tuple` projection
+//! keys), and every group's BMO window runs over the engine-cached score
+//! matrix of the *whole* relation, so one materialization serves all
+//! groups — and all repetitions of the query on an unchanged relation.
+//! The definitional equality is checked in the tests.
 
-use std::collections::HashMap;
-
-use pref_core::eval::CompiledPref;
 use pref_core::term::Pref;
-use pref_relation::{AttrSet, Relation, Tuple};
+use pref_relation::{AttrSet, Relation};
 
 use crate::algorithms::bnl;
+use crate::engine::Engine;
 use crate::error::QueryError;
 
 /// `σ[P groupby A](R)`: per-group BMO evaluation. Returns sorted row
 /// indices of tuples maximal within their A-group.
+///
+/// One-shot convenience over [`Engine::sigma_groupby`]; hold an engine
+/// to reuse the cached matrix across a query stream.
 pub fn sigma_groupby(
     pref: &Pref,
     group_attrs: &AttrSet,
     r: &Relation,
 ) -> Result<Vec<usize>, QueryError> {
-    let group_cols = r.schema().resolve(group_attrs)?;
-    let c = CompiledPref::compile(pref, r.schema())?;
-
-    let mut groups: HashMap<Tuple, Vec<usize>> = HashMap::new();
-    for (i, t) in r.rows().iter().enumerate() {
-        groups.entry(t.project(&group_cols)).or_default().push(i);
-    }
-
-    let mut result = Vec::new();
-    for (_, members) in groups {
-        // Window-based maxima within the group.
-        let mut window: Vec<usize> = Vec::new();
-        'next: for &i in &members {
-            let t = r.row(i);
-            let mut j = 0;
-            while j < window.len() {
-                let w = r.row(window[j]);
-                if c.better(t, w) {
-                    continue 'next;
-                }
-                if c.better(w, t) {
-                    window.swap_remove(j);
-                } else {
-                    j += 1;
-                }
-            }
-            window.push(i);
-        }
-        result.extend(window);
-    }
-    result.sort_unstable();
-    Ok(result)
+    Engine::new().sigma_groupby(pref, group_attrs, r)
 }
 
 /// The definitional form `σ[A↔ & P](R)` (Def. 16), for cross-checking.
@@ -123,6 +98,36 @@ mod tests {
             sigma_groupby(&p, &AttrSet::empty(), &r).unwrap(),
             crate::bmo::sigma_naive(&p, &r).unwrap()
         );
+    }
+
+    #[test]
+    fn repeated_groupby_reuses_the_cached_matrix() {
+        let engine = Engine::new();
+        let r = cars();
+        let p = around("price", 40_000);
+        let attrs = AttrSet::single(attr("make"));
+        let first = engine.sigma_groupby(&p, &attrs, &r).unwrap();
+        assert_eq!(engine.cache_stats().misses, 1);
+        let second = engine.sigma_groupby(&p, &attrs, &r).unwrap();
+        assert_eq!(first, second);
+        let stats = engine.cache_stats();
+        assert_eq!(
+            (stats.hits, stats.misses),
+            (1, 1),
+            "second groupby must reuse the whole-relation matrix"
+        );
+    }
+
+    #[test]
+    fn groupby_falls_back_to_the_generic_backend() {
+        // LOWEST over a string column has no f64 embedding: the groupby
+        // windows must run on the term walk and still be correct.
+        let r = cars();
+        let p = lowest("make");
+        let attrs = AttrSet::single(attr("make"));
+        let a = sigma_groupby(&p, &attrs, &r).unwrap();
+        let b = sigma_groupby_definitional(&p, &attrs, &r).unwrap();
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -11,6 +11,8 @@
 //!   sort-filter-skyline;
 //! * [`decompose`] — the decomposition theorems (Prop. 8–12) as an
 //!   executable divide & conquer evaluator, incl. `YY` sets;
+//! * [`engine`] — the prepared-query engine: compile once, cache score
+//!   matrices by `(relation generation, term fingerprint)`, execute many;
 //! * [`groupby`] — `σ[P groupby A](R)` (Def. 16);
 //! * [`quality`] — LEVEL/DISTANCE quality functions, `BUT ONLY` filters,
 //!   perfect matches (Def. 14b), top-k ranked queries (§6.2);
@@ -41,6 +43,7 @@
 pub mod algorithms;
 pub mod bmo;
 pub mod decompose;
+pub mod engine;
 pub mod error;
 pub mod groupby;
 pub mod negotiate;
@@ -48,5 +51,6 @@ pub mod optimizer;
 pub mod quality;
 pub mod stats;
 
+pub use engine::{CacheStats, Engine, Prepared};
 pub use error::QueryError;
-pub use optimizer::{sigma, sigma_rel, Algorithm, Explain, Optimizer};
+pub use optimizer::{sigma, sigma_rel, Algorithm, CacheStatus, Explain, Optimizer};

@@ -64,6 +64,29 @@ impl fmt::Display for Algorithm {
     }
 }
 
+/// Outcome of the engine's score-matrix cache for one execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheStatus {
+    /// Served from a matrix cached for this `(generation, fingerprint)`.
+    Hit,
+    /// Built fresh (and cached, when an engine with caching ran it).
+    Miss,
+    /// No matrix was involved: the algorithm doesn't use one, the term
+    /// doesn't materialize on this input, caching is disabled, or the
+    /// call went through a plan-only path.
+    Bypass,
+}
+
+impl fmt::Display for CacheStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CacheStatus::Hit => "hit",
+            CacheStatus::Miss => "miss",
+            CacheStatus::Bypass => "bypass",
+        })
+    }
+}
+
 /// What the optimizer did for one query.
 #[derive(Debug, Clone)]
 pub struct Explain {
@@ -78,6 +101,14 @@ pub struct Explain {
     /// Whether dominance tests ran on a materialized score matrix
     /// (`false` = generic term-walk backend).
     pub materialized: bool,
+    /// Whether the matrix ran EXPLICIT sub-terms on the reachability
+    /// bitset backend (a distinct backend from pure `f64` keys).
+    pub explicit_bitsets: bool,
+    /// Score-matrix cache outcome of this execution.
+    pub cache: CacheStatus,
+    /// The relation generation the query ran against (pairs with
+    /// `cache` to make amortization assertable).
+    pub generation: u64,
     /// Human-readable selection rationale.
     pub reason: String,
 }
@@ -92,7 +123,9 @@ impl fmt::Display for Explain {
         writeln!(
             f,
             "dominance  : {}",
-            if self.materialized {
+            if self.materialized && self.explicit_bitsets {
+                "score-matrix (columnar keys + EXPLICIT reachability bitsets)"
+            } else if self.materialized {
                 "score-matrix (columnar keys)"
             } else if self.algorithm == Algorithm::Dnc {
                 "columnar skyline vectors"
@@ -104,6 +137,11 @@ impl fmt::Display for Explain {
             } else {
                 "generic term-walk"
             }
+        )?;
+        writeln!(
+            f,
+            "cache      : {} (relation generation {})",
+            self.cache, self.generation
         )?;
         write!(f, "reason     : {}", self.reason)
     }
@@ -142,7 +180,7 @@ impl Optimizer {
         self
     }
 
-    fn rewrite(&self, pref: &Pref) -> Pref {
+    pub(crate) fn rewrite(&self, pref: &Pref) -> Pref {
         if self.no_rewrite {
             pref.clone()
         } else {
@@ -155,24 +193,11 @@ impl Optimizer {
     /// the cascade/decomposition evaluators recurse into sub-queries
     /// (whose inner BNL calls materialize their own sub-matrices when
     /// possible) — no whole-relation matrix is built for any of them.
-    fn uses_matrix(algorithm: Algorithm) -> bool {
+    pub(crate) fn uses_matrix(algorithm: Algorithm) -> bool {
         matches!(
             algorithm,
             Algorithm::Naive | Algorithm::Bnl | Algorithm::BnlParallel | Algorithm::Sfs
         )
-    }
-
-    fn materialize(
-        &self,
-        algorithm: Algorithm,
-        c: &CompiledPref,
-        r: &Relation,
-    ) -> Option<ScoreMatrix> {
-        if self.no_materialize || !Self::uses_matrix(algorithm) {
-            None
-        } else {
-            c.score_matrix(r)
-        }
     }
 
     /// Plan only: rewrite, compile, and select an algorithm without
@@ -196,113 +221,32 @@ impl Optimizer {
             simplified: simplified_str,
             algorithm,
             materialized,
+            explicit_bitsets: materialized && c.has_explicit(),
+            cache: CacheStatus::Bypass,
+            generation: r.generation(),
             reason,
         })
     }
 
     /// Evaluate `σ[P](R)`, returning sorted row indices and the
-    /// explanation. The term is compiled once; the score matrix is
-    /// materialized once, and only when the selected algorithm actually
-    /// runs pairwise dominance tests on it.
+    /// explanation.
+    ///
+    /// This is the one-shot convenience path: it runs through a
+    /// transient [`Engine`](crate::engine::Engine), so the term is
+    /// compiled once and the score matrix materialized once per call —
+    /// but nothing is reused *across* calls. Query streams should hold a
+    /// long-lived engine and [`prepare`](crate::engine::Engine::prepare)
+    /// instead.
     pub fn evaluate(&self, pref: &Pref, r: &Relation) -> Result<(Vec<usize>, Explain), QueryError> {
-        let original = pref.to_string();
-        let simplified = self.rewrite(pref);
-        let simplified_str = simplified.to_string();
-        let rewritten = simplified_str != original;
-
-        let c = CompiledPref::compile(&simplified, r.schema())?;
-        let (mut algorithm, mut reason) = match self.force {
-            Some(a) => (a, "forced by caller".to_string()),
-            None => self.select(&simplified, &c, r)?,
-        };
-        let matrix = self.materialize(algorithm, &c, r);
-
-        let rows = match algorithm {
-            Algorithm::Naive => match &matrix {
-                Some(m) => sigma_naive_matrix(m),
-                None => sigma_naive_generic_compiled(&c, r),
-            },
-            Algorithm::Bnl => match &matrix {
-                Some(m) => bnl::bnl_matrix(m),
-                None => bnl::bnl_generic(&c, r),
-            },
-            Algorithm::BnlParallel => {
-                let threads = self.threads.max(2);
-                match &matrix {
-                    Some(m) => bnl::bnl_parallel_matrix(m, threads),
-                    None => bnl::bnl_parallel_generic(&c, r, threads),
-                }
-            }
-            Algorithm::Dnc => {
-                // Like SFS below: selection checks the term's *shape*,
-                // but evaluability is per-value (a NULL in a chain column
-                // has no embedding), so the checked entry decides.
-                match dnc::try_dnc_compiled(&c, r) {
-                    Some(rows) => rows,
-                    None if self.force.is_some() => {
-                        return Err(QueryError::AlgorithmMismatch {
-                            algorithm: "divide & conquer",
-                            term: simplified.to_string(),
-                            reason: "not a Pareto accumulation of LOWEST/HIGHEST chains \
-                                     over numerically embeddable columns",
-                        });
-                    }
-                    None => {
-                        algorithm = Algorithm::Bnl;
-                        reason = "chain column not numerically embeddable on this input: \
-                                  fell back to block-nested-loops"
-                            .to_string();
-                        bnl::bnl_generic(&c, r)
-                    }
-                }
-            }
-            Algorithm::Sfs => {
-                // Utility is per-row (a NULL under a scored chain has
-                // none), so the checked entry decides; a first-row probe
-                // would let `sfs_with` panic on later rows.
-                match sfs::try_sfs_with(&c, r, matrix.as_ref()) {
-                    Some(rows) => rows,
-                    // Forced by the caller: surface the mismatch.
-                    None if self.force.is_some() => {
-                        return Err(QueryError::AlgorithmMismatch {
-                            algorithm: "sort-filter-skyline",
-                            term: simplified.to_string(),
-                            reason: "preference admits no monotone utility on this input",
-                        });
-                    }
-                    // Auto-selected from a first-row probe: some later
-                    // row lacks a utility — fall back to BNL rather than
-                    // failing a valid query.
-                    None => {
-                        algorithm = Algorithm::Bnl;
-                        reason = "utility incomplete on this input: fell back to \
-                                  block-nested-loops"
-                            .to_string();
-                        match &matrix {
-                            Some(m) => bnl::bnl_matrix(m),
-                            None => bnl::bnl_generic(&c, r),
-                        }
-                    }
-                }
-            }
-            Algorithm::Cascade | Algorithm::Decomposed => sigma_decomposed(&simplified, r)?,
-        };
-
-        Ok((
-            rows,
-            Explain {
-                original,
-                simplified: simplified_str,
-                rewritten,
-                algorithm,
-                materialized: matrix.is_some(),
-                reason,
-            },
-        ))
+        // Capacity 0: the transient engine dies with this call, so
+        // inserting the matrix into its cache would be pure overhead.
+        crate::engine::Engine::with_optimizer(self.clone())
+            .with_capacity(0)
+            .evaluate(pref, r)
     }
 
     /// Pick an algorithm for an already-simplified, compiled term.
-    fn select(
+    pub(crate) fn select(
         &self,
         pref: &Pref,
         c: &CompiledPref,
@@ -345,15 +289,113 @@ impl Optimizer {
     }
 }
 
+/// Run the selected algorithm over an already-compiled term and an
+/// optionally materialized matrix — the dispatch shared by
+/// [`Optimizer::evaluate`] and the prepared-query engine. Returns the
+/// result rows plus the (possibly fallback-adjusted) algorithm and
+/// rationale.
+pub(crate) fn run_algorithm(
+    opt: &Optimizer,
+    simplified: &Pref,
+    c: &CompiledPref,
+    matrix: Option<&ScoreMatrix>,
+    mut algorithm: Algorithm,
+    mut reason: String,
+    r: &Relation,
+) -> Result<(Vec<usize>, Algorithm, String), QueryError> {
+    let rows = match algorithm {
+        Algorithm::Naive => match matrix {
+            Some(m) => sigma_naive_matrix(m),
+            None => sigma_naive_generic_compiled(c, r),
+        },
+        Algorithm::Bnl => match matrix {
+            Some(m) => bnl::bnl_matrix(m),
+            None => bnl::bnl_generic(c, r),
+        },
+        Algorithm::BnlParallel => {
+            let threads = opt.threads.max(2);
+            match matrix {
+                Some(m) => bnl::bnl_parallel_matrix(m, threads),
+                None => bnl::bnl_parallel_generic(c, r, threads),
+            }
+        }
+        Algorithm::Dnc => {
+            // Selection checks the term's *shape*, but evaluability is
+            // per-value (a NULL in a chain column has no embedding), so
+            // the checked entry decides.
+            match dnc::try_dnc_compiled(c, r) {
+                Some(rows) => rows,
+                None if opt.force.is_some() => {
+                    return Err(QueryError::AlgorithmMismatch {
+                        algorithm: "divide & conquer",
+                        term: simplified.to_string(),
+                        reason: "not a Pareto accumulation of LOWEST/HIGHEST chains \
+                                 over numerically embeddable columns",
+                    });
+                }
+                None => {
+                    algorithm = Algorithm::Bnl;
+                    reason = "chain column not numerically embeddable on this input: \
+                              fell back to block-nested-loops"
+                        .to_string();
+                    bnl::bnl_generic(c, r)
+                }
+            }
+        }
+        Algorithm::Sfs => {
+            // Utility is per-row (a NULL under a scored chain has none),
+            // so the checked entry decides; a first-row probe would let
+            // `sfs_with` panic on later rows.
+            match sfs::try_sfs_with(c, r, matrix) {
+                Some(rows) => rows,
+                // Forced by the caller: surface the mismatch.
+                None if opt.force.is_some() => {
+                    return Err(QueryError::AlgorithmMismatch {
+                        algorithm: "sort-filter-skyline",
+                        term: simplified.to_string(),
+                        reason: "preference admits no monotone utility on this input",
+                    });
+                }
+                // Auto-selected from a first-row probe: some later row
+                // lacks a utility — fall back to BNL rather than failing
+                // a valid query.
+                None => {
+                    algorithm = Algorithm::Bnl;
+                    reason = "utility incomplete on this input: fell back to \
+                              block-nested-loops"
+                        .to_string();
+                    match matrix {
+                        Some(m) => bnl::bnl_matrix(m),
+                        None => bnl::bnl_generic(c, r),
+                    }
+                }
+            }
+        }
+        Algorithm::Cascade | Algorithm::Decomposed => sigma_decomposed(simplified, r)?,
+    };
+    Ok((rows, algorithm, reason))
+}
+
 /// Convenience entry point: optimized `σ[P](R)` returning row indices.
+///
+/// Deprecated style: every call re-plans, re-compiles, and re-builds the
+/// score matrix. Hold an [`Engine`](crate::engine::Engine) and
+/// [`prepare`](crate::engine::Engine::prepare) to amortize query streams.
 pub fn sigma(pref: &Pref, r: &Relation) -> Result<Vec<usize>, QueryError> {
     Ok(Optimizer::new().evaluate(pref, r)?.0)
 }
 
 /// Convenience entry point: optimized `σ[P](R)` returning the
 /// sub-relation of best matches.
+///
+/// Deprecated style: see [`sigma`]. Thin wrapper over the engine's
+/// single result-materialization path
+/// ([`Prepared::execute_rel`](crate::engine::Prepared::execute_rel)).
 pub fn sigma_rel(pref: &Pref, r: &Relation) -> Result<Relation, QueryError> {
-    Ok(r.take_rows(&sigma(pref, r)?))
+    crate::engine::Engine::new()
+        .with_capacity(0)
+        .prepare(pref, r.schema())?
+        .execute_rel(r)
 }
 
 #[cfg(test)]
@@ -496,12 +538,19 @@ mod tests {
     }
 
     #[test]
-    fn explicit_terms_fall_back_to_the_generic_backend() {
+    fn explicit_terms_use_the_reachability_bitset_backend() {
         let r = sample();
         let p = explicit("c", [("z", "x")]).unwrap();
         let (rows, ex) = Optimizer::new().evaluate(&p, &r).unwrap();
-        assert!(!ex.materialized);
+        assert!(ex.materialized);
+        assert!(ex.explicit_bitsets);
         assert_eq!(rows, crate::bmo::sigma_naive_generic(&p, &r).unwrap());
+        assert!(ex.to_string().contains("reachability bitsets"));
+
+        // A non-materializable shape still reports the generic backend.
+        let p = lowest("c"); // string chain: off the f64 axis
+        let (_, ex) = Optimizer::new().evaluate(&p, &r).unwrap();
+        assert!(!ex.materialized && !ex.explicit_bitsets);
         assert!(ex.to_string().contains("generic term-walk"));
     }
 

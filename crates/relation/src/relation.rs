@@ -2,6 +2,7 @@
 
 use std::collections::HashSet;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crate::attr::AttrSet;
@@ -11,12 +12,26 @@ use crate::tuple::Tuple;
 use crate::value::Value;
 use crate::Result;
 
+/// Process-wide generation source. Every distinct relation *content
+/// state* gets a unique number: construction draws a fresh one, every
+/// mutation draws another. Two relations sharing a generation therefore
+/// hold identical rows in identical order (clones before divergence),
+/// which is exactly the soundness condition content-addressed caches
+/// (e.g. the query engine's score-matrix cache) need.
+static GENERATION: AtomicU64 = AtomicU64::new(1);
+
+fn next_generation() -> u64 {
+    GENERATION.fetch_add(1, Ordering::Relaxed)
+}
+
 /// An in-memory relation. Rows are stored in insertion order; duplicate
 /// rows are allowed (bag semantics, like SQL tables with no key).
 #[derive(Debug, Clone)]
 pub struct Relation {
     schema: Arc<Schema>,
     rows: Vec<Tuple>,
+    /// See [`Relation::generation`].
+    generation: u64,
 }
 
 impl Relation {
@@ -25,6 +40,7 @@ impl Relation {
         Relation {
             schema: Arc::new(schema),
             rows: Vec::new(),
+            generation: next_generation(),
         }
     }
 
@@ -45,6 +61,20 @@ impl Relation {
     /// Shared handle to the schema.
     pub fn schema_arc(&self) -> Arc<Schema> {
         Arc::clone(&self.schema)
+    }
+
+    /// The relation's *generation*: a process-unique version number for
+    /// its current content. Every mutating operation ([`Relation::push`],
+    /// [`Relation::union_all`], [`Relation::sort_by_key`], …) moves the
+    /// relation to a fresh generation; derived relations (selections,
+    /// projections) start at their own fresh generation. Clones share the
+    /// generation until either side mutates.
+    ///
+    /// Equal generations imply identical row content *and* row order, so
+    /// `(generation, query fingerprint)` is a sound cache key for any
+    /// per-relation materialization: mutation can never serve stale data.
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Number of tuples (`card(R)`).
@@ -76,6 +106,7 @@ impl Relation {
     pub fn push(&mut self, row: Tuple) -> Result<()> {
         self.schema.check_row(row.values())?;
         self.rows.push(row);
+        self.generation = next_generation();
         Ok(())
     }
 
@@ -92,6 +123,7 @@ impl Relation {
         Relation {
             schema: Arc::clone(&self.schema),
             rows: self.rows.iter().filter(|t| pred(t)).cloned().collect(),
+            generation: next_generation(),
         }
     }
 
@@ -100,6 +132,7 @@ impl Relation {
         Relation {
             schema: Arc::clone(&self.schema),
             rows: indices.iter().map(|&i| self.rows[i].clone()).collect(),
+            generation: next_generation(),
         }
     }
 
@@ -111,6 +144,7 @@ impl Relation {
         Ok(Relation {
             schema: Arc::new(schema),
             rows,
+            generation: next_generation(),
         })
     }
 
@@ -126,6 +160,7 @@ impl Relation {
         Relation {
             schema: Arc::clone(&self.schema),
             rows: keep,
+            generation: next_generation(),
         }
     }
 
@@ -149,16 +184,19 @@ impl Relation {
             });
         }
         self.rows.extend(other.rows.iter().cloned());
+        self.generation = next_generation();
         Ok(())
     }
 
-    /// Stable sort of rows by a key function.
+    /// Stable sort of rows by a key function. Reordering is a mutation:
+    /// row indices change meaning, so the generation moves.
     pub fn sort_by_key<K, F>(&mut self, f: F)
     where
         F: FnMut(&Tuple) -> K,
         K: Ord,
     {
         self.rows.sort_by_key(f);
+        self.generation = next_generation();
     }
 }
 
@@ -260,6 +298,33 @@ mod tests {
         r.sort_by_key(|t| t[1].clone());
         let prices: Vec<_> = r.iter().map(|t| t[1].as_int().unwrap()).collect();
         assert_eq!(prices, vec![20_000, 35_000, 40_000, 50_000]);
+    }
+
+    #[test]
+    fn generations_track_content_states() {
+        let mut r = cars();
+        let g0 = r.generation();
+        // Clones share the generation until either side mutates.
+        let snapshot = r.clone();
+        assert_eq!(snapshot.generation(), g0);
+
+        r.push_values(vec![Value::from("Opel"), Value::from(1)])
+            .unwrap();
+        let g1 = r.generation();
+        assert_ne!(g0, g1, "push must move the generation");
+        assert_eq!(snapshot.generation(), g0, "clone keeps its own state");
+
+        // Failed mutations leave the generation untouched.
+        assert!(r.push_values(vec![Value::from(1)]).is_err());
+        assert_eq!(r.generation(), g1);
+
+        r.sort_by_key(|t| t[1].clone());
+        assert_ne!(r.generation(), g1, "reordering is a mutation");
+
+        // Derived relations live in their own generations.
+        let derived = r.select(|_| true);
+        assert_ne!(derived.generation(), r.generation());
+        assert_ne!(r.take_rows(&[0]).generation(), r.generation());
     }
 
     #[test]

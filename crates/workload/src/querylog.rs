@@ -9,7 +9,9 @@
 //! SQL's `PREFERRING … AND … CASCADE` produces.
 
 use pref_core::term::{around, between, highest, lowest, neg, pos, pos_pos, Pref};
-use pref_relation::{attr, Relation, Value};
+use pref_query::engine::{Engine, Prepared};
+use pref_query::QueryError;
+use pref_relation::{attr, Relation, Schema, Value};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
@@ -144,6 +146,31 @@ fn narrowing(rng: &mut StdRng) -> Vec<Narrow> {
     out
 }
 
+/// Prepare every query of a log against `schema` once — the session
+/// setup step of a replay (parse/rewrite/compile amortized across all
+/// subsequent [`replay`] rounds).
+pub fn prepare_log(
+    engine: &Engine,
+    log: &[Pref],
+    schema: &Schema,
+) -> Result<Vec<Prepared>, QueryError> {
+    log.iter().map(|p| engine.prepare(p, schema)).collect()
+}
+
+/// Replay a prepared query log against a catalog, returning the total
+/// number of best matches across all queries. Executions flow through
+/// the engine's score-matrix cache: the first round over a relation
+/// generation builds matrices, later rounds (and repeated queries) hit —
+/// the streams-of-queries setting the BMO model assumes, measurable via
+/// [`Engine::cache_stats`].
+pub fn replay(prepared: &[Prepared], catalog: &Relation) -> Result<usize, QueryError> {
+    let mut total = 0;
+    for q in prepared {
+        total += q.execute(catalog)?.0.len();
+    }
+    Ok(total)
+}
+
 fn preference_query(rng: &mut StdRng) -> Pref {
     let width = rng.random_range(2..=4);
     let mut parts: Vec<Pref> = Vec::with_capacity(width);
@@ -213,6 +240,38 @@ mod tests {
                     .unwrap()
                     .is_empty());
             }
+        }
+    }
+
+    #[test]
+    fn replay_amortizes_across_rounds_and_stays_correct() {
+        let cars = crate::cars::catalog(400, 2);
+        let log = query_log(12, 6);
+        let engine = Engine::new();
+        let prepared = prepare_log(&engine, &log, cars.schema()).unwrap();
+
+        let round1 = replay(&prepared, &cars).unwrap();
+        let after_first = engine.cache_stats();
+        let round2 = replay(&prepared, &cars).unwrap();
+        let after_second = engine.cache_stats();
+
+        assert_eq!(round1, round2, "replay must be deterministic");
+        assert_eq!(
+            after_second.misses, after_first.misses,
+            "second round must not rebuild any matrix"
+        );
+        assert!(
+            after_second.hits > after_first.hits,
+            "second round must hit the cache"
+        );
+
+        // Replay agrees with the free-function path, query by query.
+        for (p, q) in log.iter().zip(&prepared) {
+            assert_eq!(
+                q.execute(&cars).unwrap().0,
+                pref_query::sigma(p, &cars).unwrap(),
+                "prepared replay diverged for {p}"
+            );
         }
     }
 

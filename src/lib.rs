@@ -46,7 +46,9 @@ pub use pref_xpath as prefxpath;
 pub mod prelude {
     pub use pref_core::prelude::*;
     pub use pref_query::quality::{self, QualityCond, QualityFilter};
-    pub use pref_query::{sigma, sigma_rel, Algorithm, Optimizer, QueryError};
+    pub use pref_query::{
+        sigma, sigma_rel, Algorithm, CacheStatus, Engine, Optimizer, Prepared, QueryError,
+    };
     pub use pref_relation::{
         attr, rel, Attr, AttrSet, DataType, Date, Relation, Schema, Tuple, Value,
     };

@@ -93,13 +93,16 @@ proptest! {
             let c = CompiledPref::compile(&p, &test_schema()).expect("term compiles");
             prop_assert!(c.score_matrix(&r).is_some(), "{} should materialize", p);
         }
-        // EXPLICIT stays on the generic path — except on empty relations,
-        // where materialization is vacuous (no value can be rejected) and
-        // either backend is fine.
+        // EXPLICIT materializes too (reachability-bitset backend) and
+        // must agree pointwise with the term walk.
         let e = explicit("c", [("x", "y")]).unwrap();
         let c = CompiledPref::compile(&e, &test_schema()).expect("term compiles");
-        if !r.is_empty() {
-            prop_assert!(c.score_matrix(&r).is_none());
+        let m = c.score_matrix(&r).expect("EXPLICIT materializes via bitsets");
+        prop_assert!(r.is_empty() || m.explicit_backend());
+        for x in 0..r.len() {
+            for y in 0..r.len() {
+                prop_assert_eq!(m.better(x, y), c.better(r.row(x), r.row(y)));
+            }
         }
     }
 }

@@ -122,12 +122,19 @@ pub struct Criterion {
 impl Default for Criterion {
     fn default() -> Self {
         // `cargo bench -- <filter>` passes the filter as a free argument;
-        // flags (e.g. `--bench`) are ignored.
+        // flags other than `--test` are ignored. `--test` mirrors real
+        // criterion's test mode: run every benchmark once to prove it
+        // works, skip the timing loop — the CI smoke-step contract.
+        let test_mode = std::env::args().skip(1).any(|a| a == "--test");
         let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
         Criterion {
             filter,
-            default_sample_size: 10,
-            time_cap: Duration::from_secs(5),
+            default_sample_size: if test_mode { 1 } else { 10 },
+            time_cap: if test_mode {
+                Duration::ZERO
+            } else {
+                Duration::from_secs(5)
+            },
         }
     }
 }

@@ -138,7 +138,7 @@ where
     }
 }
 
-/// Uniform choice among same-typed strategies ([`prop_oneof!`]).
+/// Uniform choice among same-typed strategies ([`crate::prop_oneof!`]).
 pub struct Union<V> {
     arms: Vec<BoxedStrategy<V>>,
 }
