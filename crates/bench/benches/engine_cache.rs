@@ -11,8 +11,10 @@
 //! round, forcing a fresh generation (every execution misses).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use pref_query::Engine;
-use pref_workload::querylog::{prepare_log, query_log, replay};
+use pref_query::{CacheStatus, Engine};
+use pref_workload::querylog::{
+    customer_log, prepare_customer_log, prepare_log, query_log, replay, replay_customers,
+};
 use pref_workload::{cars, Distribution};
 use std::hint::black_box;
 
@@ -57,6 +59,52 @@ fn bench_engine_cache(c: &mut Criterion) {
             let extra = moving.row(0).clone();
             moving.push(extra).expect("same schema");
             black_box(replay(&prepared, &moving).expect("replay runs"))
+        })
+    });
+
+    // WHERE-heavy log: every query narrows the catalog first (the
+    // Preference SQL hard-selection pattern). `cold` re-derives and
+    // rebuilds per round; `warm` re-derives too — the candidate sets are
+    // fresh relations every time — but their lineage is stable, so the
+    // engine serves the matrices from its derived-entry cache.
+    let wlog = customer_log(LOG_LEN, 13);
+    group.bench_function("where-cold-free-functions", |b| {
+        b.iter(|| {
+            let mut total = 0;
+            for q in &wlog {
+                let candidates = q.candidates(&catalog);
+                total += pref_query::sigma(&q.preference, &candidates)
+                    .expect("log compiles")
+                    .len();
+            }
+            black_box(total)
+        })
+    });
+
+    let engine = Engine::new().with_capacity(4 * LOG_LEN);
+    let prepared = prepare_customer_log(&engine, &wlog, catalog.schema()).expect("log compiles");
+    // First round populates the derived-entry cache; the measured rounds
+    // replay warm.
+    let expected = replay_customers(&prepared, &catalog).expect("replay runs");
+    // Smoke guard (runs under `-- --test` in CI): a warmed-up engine must
+    // never report an uncached rebuild for a materializable WHERE query.
+    for (q, customer) in &prepared {
+        let candidates = customer.candidates_derived(&catalog);
+        let (_, ex) = q.execute(&candidates).expect("warm execution runs");
+        assert!(
+            !(ex.materialized && ex.cache == CacheStatus::Miss),
+            "expected a warm derived hit after the warm-up round, got {ex}"
+        );
+    }
+    assert!(
+        engine.cache_stats().derived_hits > 0,
+        "the WHERE-heavy warm path must resolve matrices via lineage"
+    );
+    group.bench_function("where-warm-prepared-engine", |b| {
+        b.iter(|| {
+            let total = replay_customers(&prepared, &catalog).expect("replay runs");
+            assert_eq!(total, expected, "derived cache must not change results");
+            black_box(total)
         })
     });
     group.finish();

@@ -15,7 +15,7 @@ use std::collections::HashMap;
 
 use pref_relation::{Relation, Schema, Tuple};
 
-use crate::base::{BaseRef, Reachability};
+use crate::base::{base_eq, BaseRef, Reachability};
 use crate::error::CoreError;
 use crate::term::{CombineFn, Pref};
 
@@ -429,6 +429,12 @@ pub struct ScoreMatrix {
     /// Row-major keys: `keys[row * key_stride + slot]`.
     keys: Vec<f64>,
     key_stride: usize,
+    /// Per key slot: the `(column, base preference)` whose
+    /// `dominance_key` filled it, for slots that came from a base
+    /// preference (`None` for `rank(F)` slots). Lets quality functions
+    /// (LEVEL/DISTANCE of `BUT ONLY`) read the materialized keys back
+    /// instead of re-walking values.
+    key_bases: Vec<Option<(usize, BaseRef)>>,
     /// Row-major equality codes: `eqs[row * eq_stride + slot]`. A slot is
     /// either a lossless value fingerprint (numeric columns) or a dense
     /// dictionary id (strings, multi-attribute projections); both compare
@@ -465,6 +471,7 @@ impl ScoreMatrix {
         let mut b = MatrixBuilder {
             r,
             keys: Vec::new(),
+            key_bases: Vec::new(),
             eqs: Vec::new(),
             eq_cache: HashMap::new(),
         };
@@ -492,6 +499,7 @@ impl ScoreMatrix {
             rows,
             keys,
             key_stride,
+            key_bases: b.key_bases,
             eqs,
             eq_stride,
             plan,
@@ -521,6 +529,26 @@ impl ScoreMatrix {
     #[inline]
     fn key(&self, row: usize, slot: usize) -> f64 {
         self.keys[row * self.key_stride + slot]
+    }
+
+    /// The key slot filled by `base`'s `dominance_key` over column
+    /// `col`, when this matrix materialized that base preference
+    /// (identified like [`crate::base::base_eq`]: name + printed
+    /// parameters).
+    pub fn base_key_slot(&self, col: usize, base: &BaseRef) -> Option<usize> {
+        self.key_bases.iter().position(|slot| {
+            slot.as_ref()
+                .is_some_and(|(c, b)| *c == col && base_eq(b, base))
+        })
+    }
+
+    /// The materialized dominance key of `row` in `slot` (a
+    /// [`ScoreMatrix::base_key_slot`] result). The inverse quality
+    /// lookups [`crate::base::BasePreference::level_from_key`] /
+    /// [`distance_from_key`](crate::base::BasePreference::distance_from_key)
+    /// apply to exactly these values.
+    pub fn key_at(&self, row: usize, slot: usize) -> f64 {
+        self.key(row, slot)
     }
 
     #[inline]
@@ -630,6 +658,8 @@ fn supports(node: &Node, r: &Relation) -> bool {
 struct MatrixBuilder<'a> {
     r: &'a Relation,
     keys: Vec<Vec<f64>>,
+    /// Per key slot: origin `(col, base)` for base-preference slots.
+    key_bases: Vec<Option<(usize, BaseRef)>>,
     eqs: Vec<Vec<u64>>,
     /// Dedup equality slots by their column signature — Pareto and Prior
     /// operands over the same attribute set share one encoding.
@@ -663,7 +693,9 @@ impl MatrixBuilder<'_> {
                     // NaN keys would order inconsistently under `<`;
                     // treat them as non-embeddable.
                     .map_f64(|v| base.dominance_key(v).filter(|k| !k.is_nan()))?;
-                Some(ScorePlan::Key(self.push_key(keys)))
+                Some(ScorePlan::Key(
+                    self.push_key(keys, Some((*col, base.clone()))),
+                ))
             }
             Node::Antichain => Some(ScorePlan::Antichain),
             Node::Dual(inner) => Some(ScorePlan::Dual(Box::new(self.plan(inner)?))),
@@ -674,7 +706,7 @@ impl MatrixBuilder<'_> {
                     .iter()
                     .map(|t| Some(rank_value(combine, inputs, t)).filter(|k| !k.is_nan()))
                     .collect();
-                Some(ScorePlan::Key(self.push_key(keys?)))
+                Some(ScorePlan::Key(self.push_key(keys?, None)))
             }
             Node::Pareto(children) => {
                 let built = self.children(children)?;
@@ -711,8 +743,9 @@ impl MatrixBuilder<'_> {
             .collect()
     }
 
-    fn push_key(&mut self, keys: Vec<f64>) -> usize {
+    fn push_key(&mut self, keys: Vec<f64>, origin: Option<(usize, BaseRef)>) -> usize {
         self.keys.push(keys);
+        self.key_bases.push(origin);
         self.keys.len() - 1
     }
 

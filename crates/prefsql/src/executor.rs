@@ -12,7 +12,7 @@
 use std::borrow::Cow;
 
 use pref_core::term::Pref;
-use pref_query::{Engine, Explain, Optimizer};
+use pref_query::{Engine, Explain, Optimizer, Prepared};
 use pref_relation::{AttrSet, DataType, Relation, Schema, Value};
 
 use crate::ast::{Literal, Query, SelectList};
@@ -94,24 +94,80 @@ impl PrefSql {
     ///     assert_eq!(res.relation.len(), 1);
     /// }
     /// ```
+    ///
+    /// Unparameterized statements additionally run the AST→term rewriter
+    /// and [`Engine::prepare`] **now**: executions reuse the prebuilt
+    /// term and compiled engine query instead of re-rewriting per call
+    /// (re-registering the table with a different schema transparently
+    /// falls back to the per-execution path).
     pub fn prepare(&self, sql: &str) -> Result<PreparedStatement, SqlError> {
         let query = parse(sql)?;
         let param_count = query.param_count();
-        Ok(PreparedStatement { query, param_count })
+        let compiled = if param_count == 0 {
+            self.compile_statement(&query)
+        } else {
+            None
+        };
+        Ok(PreparedStatement {
+            query,
+            param_count,
+            compiled,
+        })
+    }
+
+    /// Prepare-time compilation of an unparameterized statement: build
+    /// the preference term once, and — for the plain BMO path — the
+    /// engine-prepared query too. `None` when the statement has nothing
+    /// to prebuild or its table is not (yet) registered; any rewrite
+    /// error is deferred to execution, where it surfaces through the
+    /// identical per-execution path.
+    fn compile_statement(&self, q: &Query) -> Option<CompiledStatement> {
+        if q.explain || (q.preferring.is_none() && q.cascade.is_empty()) {
+            return None;
+        }
+        let table = self.catalog.get(&q.table).ok()?;
+        let schema = table.schema().clone();
+        let pref = assemble_term(q, &schema)?;
+        let prepared = if q.top.is_none() && q.group_by.is_empty() {
+            Some(self.engine.prepare(&pref, &schema).ok()?)
+        } else {
+            None
+        };
+        Some(CompiledStatement {
+            schema,
+            pref,
+            prepared,
+        })
     }
 
     /// Execute a parsed query.
     pub fn run(&self, q: &Query) -> Result<QueryResult, SqlError> {
+        self.run_inner(q, None)
+    }
+
+    fn run_inner(
+        &self,
+        q: &Query,
+        pre: Option<&CompiledStatement>,
+    ) -> Result<QueryResult, SqlError> {
         let table = self.catalog.get(&q.table)?;
+        // A statement compiled at prepare time is only valid against the
+        // schema it was built for; a re-registered table falls back to
+        // the per-execution path.
+        let pre = pre.filter(|c| table.schema().same_as(&c.schema));
 
         // 1. Hard selection (exact-match world). With no WHERE clause the
         //    whole pipeline runs on a borrow of the catalog table — row
         //    indices flow through the BMO stage and only the final result
-        //    is materialized.
+        //    is materialized. A WHERE clause produces a *derived view*
+        //    carrying `(table generation, predicate fingerprint)`
+        //    lineage, so the engine recognizes the re-derived subset a
+        //    repeated statement produces and serves its score matrices
+        //    warm instead of rebuilding per call.
         let base: Cow<'_, Relation> = match &q.hard {
             Some(h) => {
                 let pred = hard_to_predicate(h, table.schema(), &q.table)?;
-                Cow::Owned(table.select(|t| pred(t)))
+                Cow::Owned(table.select_derived(|t| pred(t), h.fingerprint()))
             }
             None => Cow::Borrowed(table),
         };
@@ -123,57 +179,62 @@ impl PrefSql {
         }
 
         // 2. Assemble the preference term: PREFERRING ... CASCADE ... is
-        //    prioritised accumulation, outer clause most important.
-        let mut parts: Vec<Pref> = Vec::new();
-        if let Some(p) = &q.preferring {
-            parts.push(pref_to_term(p, base.schema(), &q.table)?);
-        }
-        for c in &q.cascade {
-            parts.push(pref_to_term(c, base.schema(), &q.table)?);
-        }
-
-        let (rows, preference, explain) = if parts.is_empty() {
-            ((0..base.len()).collect::<Vec<_>>(), None, None)
-        } else {
-            let pref = Pref::prior_all(parts)?;
-            if let Some(k) = q.top {
-                // §6.2 k-best: BMO first, then deeper quality levels.
-                let rows = pref_query::quality::k_best(&pref, base, k)?;
-                (rows, Some(pref), None)
-            } else if q.group_by.is_empty() {
-                // A WHERE clause derives a fresh relation per call; its
-                // generation can never recur, so don't let its matrix
-                // displace reusable catalog-table entries.
-                let (rows, explain) = if q.hard.is_some() {
-                    self.engine.evaluate_uncached(&pref, base)?
-                } else {
-                    self.engine.evaluate(&pref, base)?
-                };
-                (rows, Some(pref), Some(explain))
-            } else {
-                let attrs = AttrSet::new(q.group_by.iter().map(String::as_str));
-                for a in attrs.iter() {
-                    if base.schema().index_of(a).is_none() {
-                        return Err(SqlError::UnknownColumn {
-                            table: q.table.clone(),
-                            column: a.to_string(),
-                        });
-                    }
+        //    prioritised accumulation, outer clause most important —
+        //    prebuilt at prepare time for unparameterized statements.
+        let assembled = match pre {
+            Some(c) => Some(c.pref.clone()),
+            None => {
+                let mut parts: Vec<Pref> = Vec::new();
+                if let Some(p) = &q.preferring {
+                    parts.push(pref_to_term(p, base.schema(), &q.table)?);
                 }
-                let rows = if q.hard.is_some() {
-                    self.engine.sigma_groupby_uncached(&pref, &attrs, base)?
+                for c in &q.cascade {
+                    parts.push(pref_to_term(c, base.schema(), &q.table)?);
+                }
+                if parts.is_empty() {
+                    None
                 } else {
-                    self.engine.sigma_groupby(&pref, &attrs, base)?
-                };
-                (rows, Some(pref), None)
+                    Some(Pref::prior_all(parts)?)
+                }
             }
         };
 
-        // 3. BUT ONLY quality supervision.
+        let (rows, preference, explain) = match assembled {
+            None => ((0..base.len()).collect::<Vec<_>>(), None, None),
+            Some(pref) => {
+                if let Some(k) = q.top {
+                    // §6.2 k-best: BMO first, then deeper quality levels —
+                    // the level graph runs on the engine-cached matrix.
+                    let rows = pref_query::quality::k_best_with(&self.engine, &pref, base, k)?;
+                    (rows, Some(pref), None)
+                } else if q.group_by.is_empty() {
+                    let (rows, explain) = match pre.and_then(|c| c.prepared.as_ref()) {
+                        Some(prepared) => prepared.execute(base)?,
+                        None => self.engine.evaluate(&pref, base)?,
+                    };
+                    (rows, Some(pref), Some(explain))
+                } else {
+                    let attrs = AttrSet::new(q.group_by.iter().map(String::as_str));
+                    for a in attrs.iter() {
+                        if base.schema().index_of(a).is_none() {
+                            return Err(SqlError::UnknownColumn {
+                                table: q.table.clone(),
+                                column: a.to_string(),
+                            });
+                        }
+                    }
+                    let rows = self.engine.sigma_groupby(&pref, &attrs, base)?;
+                    (rows, Some(pref), None)
+                }
+            }
+        };
+
+        // 3. BUT ONLY quality supervision — on the matrix the BMO stage
+        //    just used, where the backend supports it.
         let rows = match (&preference, q.but_only.is_empty()) {
             (Some(pref), false) => {
                 let filter = quality_to_filter(&q.but_only, base.schema(), &q.table)?;
-                filter.filter_rows(pref, base, &rows)?
+                filter.filter_rows_with(&self.engine, pref, base, &rows)?
             }
             _ => rows,
         };
@@ -250,11 +311,23 @@ impl PrefSql {
                 (Some(pref), None)
             }
         };
+        // Post-BMO stages must appear in the plan exactly as — and in
+        // the order — query() executes them: TOP relaxes the BMO result
+        // first, BUT ONLY then filters the relaxed set, LIMIT truncates
+        // last. A missing or misplaced line is a lying plan.
+        if let Some(k) = q.top {
+            lines.push(format!(
+                "top        : k-best relaxation to {k} row(s) (§6.2)"
+            ));
+        }
         if !q.but_only.is_empty() {
             lines.push(format!(
                 "but only   : {} quality constraint(s) post-filter",
                 q.but_only.len()
             ));
+        }
+        if let Some(k) = q.limit {
+            lines.push(format!("limit      : first {k} row(s) of the BMO result"));
         }
 
         let schema = Schema::new(vec![("plan", DataType::Str)])?;
@@ -271,15 +344,51 @@ impl PrefSql {
     }
 }
 
+/// Build the PREFERRING/CASCADE term of `q` against `schema`; `None`
+/// when the statement has no preference clauses or rewriting fails (the
+/// caller defers the error to the per-execution path, which reports it
+/// identically).
+fn assemble_term(q: &Query, schema: &Schema) -> Option<Pref> {
+    let mut parts: Vec<Pref> = Vec::new();
+    if let Some(p) = &q.preferring {
+        parts.push(pref_to_term(p, schema, &q.table).ok()?);
+    }
+    for c in &q.cascade {
+        parts.push(pref_to_term(c, schema, &q.table).ok()?);
+    }
+    Pref::prior_all(parts).ok()
+}
+
+/// The prepare-time artifacts of an unparameterized statement: the
+/// AST→term rewriter output and (for the plain BMO path) the compiled
+/// engine query, built once in [`PrefSql::prepare`] instead of on every
+/// execution.
+#[derive(Debug, Clone)]
+struct CompiledStatement {
+    /// Schema snapshot the plan was built against; executions against a
+    /// re-registered table with a different schema fall back.
+    schema: Schema,
+    /// The assembled PREFERRING/CASCADE term.
+    pref: Pref,
+    /// The engine-prepared query (plain BMO statements only — TOP and
+    /// GROUP BY run through their dedicated engine entry points).
+    prepared: Option<Prepared>,
+}
+
 /// A parsed Preference SQL statement with `$n` parameter placeholders —
 /// the lexer and parser run once per statement, not once per call. Each
 /// [`PreparedStatement::execute`] binds the parameter values, runs
 /// through the session's engine, and therefore shares the score-matrix
 /// cache: the same binding over an unchanged table hits.
+///
+/// Unparameterized statements go further: the AST→term rewrite and the
+/// engine compilation also happen once, at [`PrefSql::prepare`] time
+/// (see [`PreparedStatement::is_precompiled`]).
 #[derive(Debug, Clone)]
 pub struct PreparedStatement {
     query: Query,
     param_count: usize,
+    compiled: Option<CompiledStatement>,
 }
 
 impl PreparedStatement {
@@ -294,6 +403,14 @@ impl PreparedStatement {
         &self.query
     }
 
+    /// Did [`PrefSql::prepare`] build the preference term (and, for
+    /// plain BMO statements, the compiled engine query) ahead of time?
+    /// True only for unparameterized preference statements whose table
+    /// was registered at prepare time.
+    pub fn is_precompiled(&self) -> bool {
+        self.compiled.is_some()
+    }
+
     /// Bind `params` ($1 = `params[0]`, …) and run the statement on
     /// `db`. The parameter count must match exactly; unusable values
     /// (NULL) and type mismatches surface as binding errors.
@@ -305,7 +422,7 @@ impl PreparedStatement {
             });
         }
         if self.param_count == 0 {
-            return db.run(&self.query);
+            return db.run_inner(&self.query, self.compiled.as_ref());
         }
         let bound = self.query.map_literals(&mut |lit| match lit {
             Literal::Param(n) => value_to_literal(&params[*n - 1], *n),
@@ -660,6 +777,194 @@ mod tests {
             s.prepare("SELECT * FROM car PREFERRING price AROUND $0"),
             Err(SqlError::Lex { .. })
         ));
+    }
+
+    #[test]
+    fn repeated_where_queries_hit_the_derived_cache() {
+        let s = session();
+        let sql = "SELECT * FROM car WHERE make = 'Opel' \
+                   PREFERRING price AROUND 40000 AND LOWEST(mileage)";
+        let first = s.execute(sql).unwrap();
+        let ex1 = first.explain.expect("BMO stage ran");
+        assert!(ex1.materialized);
+        assert_eq!(ex1.cache, pref_query::CacheStatus::Miss);
+        let lineage = ex1.lineage.expect("WHERE produces a derived view");
+
+        // Same statement again: a fresh derivation (new generation), but
+        // the engine recognizes the lineage and serves the matrix warm.
+        let second = s.execute(sql).unwrap();
+        let ex2 = second.explain.expect("BMO stage ran");
+        assert_eq!(
+            ex2.cache,
+            pref_query::CacheStatus::DerivedHit,
+            "repeated WHERE over an unchanged table must not rebuild"
+        );
+        assert_ne!(ex1.generation, ex2.generation, "derivations are fresh");
+        assert_eq!(ex2.lineage, Some(lineage));
+        assert_eq!(
+            format!("{}", first.relation),
+            format!("{}", second.relation)
+        );
+        assert!(s.engine().cache_stats().derived_hits >= 1);
+
+        // A different WHERE clause is a different subset: its first
+        // execution must rebuild, not reuse the other predicate's matrix.
+        let other = s
+            .execute(
+                "SELECT * FROM car WHERE make = 'BMW' \
+                 PREFERRING price AROUND 40000 AND LOWEST(mileage)",
+            )
+            .unwrap();
+        let ex3 = other.explain.expect("BMO stage ran");
+        assert_eq!(ex3.cache, pref_query::CacheStatus::Miss);
+        assert_ne!(ex3.lineage, Some(lineage));
+        assert_eq!(other.candidates, 1);
+    }
+
+    #[test]
+    fn mutation_invalidates_derived_entries() {
+        let mut s = session();
+        let sql = "SELECT * FROM car WHERE make = 'Opel' \
+                   PREFERRING price AROUND 1 AND LOWEST(mileage)";
+        s.execute(sql).unwrap();
+        assert_eq!(
+            s.execute(sql).unwrap().explain.unwrap().cache,
+            pref_query::CacheStatus::DerivedHit
+        );
+
+        // Re-register with an extra dominating row: the base generation
+        // moves, so the old lineage key is unreachable and the result is
+        // computed fresh.
+        let mut table = s.catalog().get("car").unwrap().clone();
+        table
+            .push_values(vec![
+                Value::from("Opel"),
+                Value::from("roadster"),
+                Value::from("red"),
+                Value::from(1),
+                Value::from(999),
+                Value::from(0),
+            ])
+            .unwrap();
+        s.register("car", table);
+        let res = s.execute(sql).unwrap();
+        let ex = res.explain.unwrap();
+        assert_eq!(ex.cache, pref_query::CacheStatus::Miss);
+        assert_eq!(res.relation.len(), 1, "the new dominating row wins");
+        assert_eq!(res.relation.row(0)[3], Value::from(1));
+    }
+
+    #[test]
+    fn explain_reports_the_limit_stage() {
+        let s = session();
+        let sql_no_limit = "SELECT * FROM car PREFERRING LOWEST(price)";
+        let plan = |sql: &str| {
+            let res = s.execute(&format!("EXPLAIN {sql}")).unwrap();
+            res.relation
+                .iter()
+                .map(|t| t[0].as_str().unwrap().to_string())
+                .collect::<Vec<_>>()
+        };
+
+        // Plan/execution parity: a LIMIT in the query shows up as a plan
+        // stage, and its absence leaves no such line.
+        assert!(!plan(sql_no_limit).iter().any(|l| l.starts_with("limit")));
+        let with_limit = plan("SELECT * FROM car PREFERRING LOWEST(price) LIMIT 1");
+        assert!(
+            with_limit
+                .iter()
+                .any(|l| l.starts_with("limit") && l.contains('1')),
+            "plan must show the LIMIT stage query() executes: {with_limit:?}"
+        );
+        // And the executed query indeed truncates to the planned bound.
+        let res = s
+            .execute("SELECT * FROM car PREFERRING LOWEST(price) LIMIT 1")
+            .unwrap();
+        assert_eq!(res.relation.len(), 1);
+
+        let with_top = plan("SELECT TOP 3 * FROM car PREFERRING LOWEST(price)");
+        assert!(with_top
+            .iter()
+            .any(|l| l.starts_with("top") && l.contains('3')));
+
+        // Stage *order* parity too: query() relaxes with TOP first, then
+        // applies BUT ONLY, then LIMIT — the plan must read the same way.
+        let ordered = plan(
+            "SELECT TOP 3 * FROM car PREFERRING price AROUND 40000 \
+             BUT ONLY DISTANCE(price) <= 5000 LIMIT 2",
+        );
+        let pos_of = |prefix: &str| {
+            ordered
+                .iter()
+                .position(|l| l.starts_with(prefix))
+                .unwrap_or_else(|| panic!("missing {prefix} stage in {ordered:?}"))
+        };
+        assert!(pos_of("top") < pos_of("but only"));
+        assert!(pos_of("but only") < pos_of("limit"));
+    }
+
+    #[test]
+    fn unparameterized_statements_precompile_at_prepare_time() {
+        let s = session();
+        let stmt = s
+            .prepare("SELECT * FROM car PREFERRING price AROUND 40000 AND LOWEST(mileage)")
+            .unwrap();
+        assert!(stmt.is_precompiled(), "no $n params: term built once");
+        let parameterized = s
+            .prepare("SELECT * FROM car PREFERRING price AROUND $1")
+            .unwrap();
+        assert!(
+            !parameterized.is_precompiled(),
+            "parameterized statements still rebuild per binding"
+        );
+
+        // The precompiled path agrees with ad-hoc execution and shares
+        // the matrix cache.
+        let adhoc = s
+            .execute("SELECT * FROM car PREFERRING price AROUND 40000 AND LOWEST(mileage)")
+            .unwrap();
+        let first = stmt.execute(&s, &[]).unwrap();
+        assert_eq!(format!("{}", adhoc.relation), format!("{}", first.relation));
+        assert_eq!(
+            first.explain.unwrap().cache,
+            pref_query::CacheStatus::Hit,
+            "the ad-hoc execution already cached this matrix"
+        );
+
+        // Re-registering the table with a *different schema* falls back
+        // to per-execution compilation instead of mis-resolving columns.
+        let mut s = session();
+        let stmt = s
+            .prepare("SELECT * FROM car PREFERRING LOWEST(price)")
+            .unwrap();
+        assert!(stmt.is_precompiled());
+        s.register(
+            "car",
+            rel! {
+                ("extra": Str, "price": Int);
+                ("a", 3), ("b", 1),
+            },
+        );
+        let res = stmt.execute(&s, &[]).unwrap();
+        assert_eq!(res.relation.len(), 1);
+        assert_eq!(res.relation.row(0)[1], Value::from(1));
+    }
+
+    #[test]
+    fn prepare_before_registration_still_executes() {
+        let mut s = PrefSql::new();
+        let stmt = s
+            .prepare("SELECT * FROM late PREFERRING LOWEST(x)")
+            .unwrap();
+        assert!(!stmt.is_precompiled(), "table unknown at prepare time");
+        assert!(matches!(
+            stmt.execute(&s, &[]),
+            Err(SqlError::UnknownTable(_))
+        ));
+        s.register("late", rel! { ("x": Int); (2,), (1,) });
+        let res = stmt.execute(&s, &[]).unwrap();
+        assert_eq!(res.relation.len(), 1);
+        assert_eq!(res.relation.row(0)[0], Value::from(1));
     }
 
     #[test]

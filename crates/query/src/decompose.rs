@@ -17,34 +17,88 @@
 
 use std::collections::HashSet;
 
-use pref_core::eval::CompiledPref;
 use pref_core::term::Pref;
-use pref_relation::Relation;
+use pref_relation::{predicate_fingerprint, Relation};
 
-use crate::algorithms::bnl::bnl_compiled;
+use crate::algorithms::bnl::{bnl_compiled, bnl_matrix};
+use crate::engine::Engine;
 use crate::error::QueryError;
-use crate::groupby::sigma_groupby;
+
+/// How many matrices a transient decomposition engine may hold. The
+/// free-function entry points have no caller-provided [`Engine`], but the
+/// recursion still re-evaluates sub-terms over the same relation (the
+/// prioritised views of Prop. 12, the `YY` overlap); a small per-call
+/// cache de-duplicates those builds and dies with the call.
+const TRANSIENT_CAPACITY: usize = 32;
 
 /// Evaluate `σ[P](R)` by structural decomposition, falling back to BNL
 /// for sub-terms with no applicable theorem. Returns sorted row indices.
+///
+/// One-shot convenience over [`sigma_decomposed_with`]: sub-queries share
+/// matrices within this call only. Query streams should hold an
+/// [`Engine`] so recursive evaluations reuse the engine-cached matrices
+/// across calls too.
 pub fn sigma_decomposed(pref: &Pref, r: &Relation) -> Result<Vec<usize>, QueryError> {
-    let mut out = eval(pref, r)?;
+    sigma_decomposed_with(&Engine::new().with_capacity(TRANSIENT_CAPACITY), pref, r)
+}
+
+/// [`sigma_decomposed`] through a caller-provided [`Engine`]: every
+/// sub-query of the recursion (the decomposed views, `YY` overlaps, the
+/// BNL fallbacks) fetches its score matrix from the engine cache instead
+/// of re-walking the term per tuple pair — and the σ\[P1\](R)
+/// sub-relations of Prop. 11 cascades are derived views
+/// ([`Relation::take_rows_derived`]), so repeating the decomposition over
+/// an unchanged relation serves even the recursive stages warm.
+pub fn sigma_decomposed_with(
+    engine: &Engine,
+    pref: &Pref,
+    r: &Relation,
+) -> Result<Vec<usize>, QueryError> {
+    sigma_decomposed_inner(engine, pref, r, true)
+}
+
+/// [`sigma_decomposed_with`] with explicit cache-population control:
+/// `populate = false` threads an `execute_uncached` caller's choice down
+/// the whole recursion (sub-query matrices are still *read* from the
+/// cache, but never inserted), so uncached executions of decomposable
+/// terms cannot pin dead entries.
+pub(crate) fn sigma_decomposed_inner(
+    engine: &Engine,
+    pref: &Pref,
+    r: &Relation,
+    populate: bool,
+) -> Result<Vec<usize>, QueryError> {
+    let mut out = eval(engine, pref, r, populate)?;
     out.sort_unstable();
     Ok(out)
 }
 
-fn eval(pref: &Pref, r: &Relation) -> Result<Vec<usize>, QueryError> {
+/// A stable fingerprint for the row subset `σ[P](R)` — the lineage a
+/// cascade sub-relation carries (`P`'s display form is canonical).
+fn sigma_fp(p: &Pref) -> u64 {
+    predicate_fingerprint(format!("σ[{p}]").as_bytes())
+}
+
+fn eval(
+    engine: &Engine,
+    pref: &Pref,
+    r: &Relation,
+    populate: bool,
+) -> Result<Vec<usize>, QueryError> {
     match pref {
         // Prop. 8.
         Pref::Union(l, rt) => {
-            let a: HashSet<usize> = eval(l, r)?.into_iter().collect();
-            Ok(eval(rt, r)?.into_iter().filter(|i| a.contains(i)).collect())
+            let a: HashSet<usize> = eval(engine, l, r, populate)?.into_iter().collect();
+            Ok(eval(engine, rt, r, populate)?
+                .into_iter()
+                .filter(|i| a.contains(i))
+                .collect())
         }
         // Prop. 9.
         Pref::Inter(l, rt) => {
-            let mut set: HashSet<usize> = eval(l, r)?.into_iter().collect();
-            set.extend(eval(rt, r)?);
-            set.extend(yy(l, rt, r)?);
+            let mut set: HashSet<usize> = eval(engine, l, r, populate)?.into_iter().collect();
+            set.extend(eval(engine, rt, r, populate)?);
+            set.extend(yy_inner(engine, l, rt, r, populate)?);
             Ok(set.into_iter().collect())
         }
         Pref::Prior(children) if children.len() >= 2 => {
@@ -57,22 +111,32 @@ fn eval(pref: &Pref, r: &Relation) -> Result<Vec<usize>, QueryError> {
             let a1 = p1.attributes();
 
             if p1.is_chain() {
-                // Prop. 11: cascade — evaluate the tail on σ[P1](R).
-                let s1 = eval(&p1, r)?;
-                let sub = r.take_rows(&s1);
-                let inner = eval(&rest, &sub)?;
+                // Prop. 11: cascade — evaluate the tail on σ[P1](R). The
+                // sub-relation is a *derived view*: its rows are a
+                // deterministic function of `r`'s content (sorted so
+                // set-built intermediates cannot leak nondeterministic
+                // row order into the lineage contract), so the tail's
+                // matrices stay cache-servable across repetitions.
+                let mut s1 = eval(engine, &p1, r, populate)?;
+                s1.sort_unstable();
+                let sub = r.take_rows_derived(&s1, sigma_fp(&p1));
+                let inner = eval(engine, &rest, &sub, populate)?;
                 return Ok(inner.into_iter().map(|i| s1[i]).collect());
             }
             if a1.is_disjoint(&rest.attributes()) {
-                // Prop. 10: grouping.
-                let s1: HashSet<usize> = eval(&p1, r)?.into_iter().collect();
-                let grouped = sigma_groupby(&rest, &a1, r)?;
+                // Prop. 10: grouping — over the engine's shared matrix.
+                let s1: HashSet<usize> = eval(engine, &p1, r, populate)?.into_iter().collect();
+                let grouped = if populate {
+                    engine.sigma_groupby(&rest, &a1, r)?
+                } else {
+                    engine.sigma_groupby_uncached(&rest, &a1, r)?
+                };
                 return Ok(grouped.into_iter().filter(|i| s1.contains(i)).collect());
             }
             // Shared attributes: no decomposition theorem — evaluate
             // directly (the optimizer's rewrite pass usually removes
             // this case via Prop. 4a first).
-            direct(pref, r)
+            direct(engine, pref, r, populate)
         }
         Pref::Pareto(children) if children.len() >= 2 => {
             // Prop. 5 / Prop. 12: ⊗ → (&, &) ♦-composition, then recurse.
@@ -86,36 +150,91 @@ fn eval(pref: &Pref, r: &Relation) -> Result<Vec<usize>, QueryError> {
                 Pref::Prior(vec![p1.clone(), p2.clone()]).into(),
                 Pref::Prior(vec![p2, p1]).into(),
             );
-            eval(&nondiscrimination, r)
+            eval(engine, &nondiscrimination, r, populate)
         }
         // Leaves and terms without a decomposition: direct evaluation.
-        _ => direct(pref, r),
+        _ => direct(engine, pref, r, populate),
     }
 }
 
-fn direct(pref: &Pref, r: &Relation) -> Result<Vec<usize>, QueryError> {
-    let c = CompiledPref::compile(pref, r.schema())?;
-    Ok(bnl_compiled(&c, r))
+/// BNL over the engine-cached matrix when the sub-term materializes,
+/// generic BNL otherwise. Deliberately *not* `engine.evaluate`: that
+/// would re-enter algorithm selection (infinite recursion under a forced
+/// `Decomposed`), while the decomposition's fallback is BNL by
+/// construction.
+fn direct(
+    engine: &Engine,
+    pref: &Pref,
+    r: &Relation,
+    populate: bool,
+) -> Result<Vec<usize>, QueryError> {
+    let q = engine.prepare(pref, r.schema())?;
+    Ok(match q.matrix_with(r, populate) {
+        Some(m) => bnl_matrix(&m),
+        None => bnl_compiled(q.compiled(), r),
+    })
 }
 
 /// `YY(P1, P2)_R` (Def. 17c, R-relative reading): tuples non-maximal in
 /// both database preferences whose better-than sets within R share no
 /// common dominator — exactly the extra maxima intersection `♦` creates.
 pub fn yy(p1: &Pref, p2: &Pref, r: &Relation) -> Result<Vec<usize>, QueryError> {
-    let c1 = CompiledPref::compile(p1, r.schema())?;
-    let c2 = CompiledPref::compile(p2, r.schema())?;
-    let max1: HashSet<usize> = bnl_compiled(&c1, r).into_iter().collect();
-    let max2: HashSet<usize> = bnl_compiled(&c2, r).into_iter().collect();
+    yy_with(&Engine::new().with_capacity(TRANSIENT_CAPACITY), p1, p2, r)
+}
 
-    let rows = r.rows();
+/// [`yy`] with the pairwise dominance tests running on engine-cached
+/// score matrices where the terms materialize (term-walk fallback
+/// otherwise) — the O(n²) common-dominator scan is the hottest loop of
+/// the decomposition evaluator.
+pub fn yy_with(
+    engine: &Engine,
+    p1: &Pref,
+    p2: &Pref,
+    r: &Relation,
+) -> Result<Vec<usize>, QueryError> {
+    yy_inner(engine, p1, p2, r, true)
+}
+
+fn yy_inner(
+    engine: &Engine,
+    p1: &Pref,
+    p2: &Pref,
+    r: &Relation,
+    populate: bool,
+) -> Result<Vec<usize>, QueryError> {
+    let q1 = engine.prepare(p1, r.schema())?;
+    let q2 = engine.prepare(p2, r.schema())?;
+    let m1 = q1.matrix_with(r, populate);
+    let m2 = q2.matrix_with(r, populate);
+    let better1 = |x: usize, y: usize| match &m1 {
+        Some(m) => m.better(x, y),
+        None => q1.compiled().better(r.row(x), r.row(y)),
+    };
+    let better2 = |x: usize, y: usize| match &m2 {
+        Some(m) => m.better(x, y),
+        None => q2.compiled().better(r.row(x), r.row(y)),
+    };
+    let max1: HashSet<usize> = match &m1 {
+        Some(m) => bnl_matrix(m),
+        None => bnl_compiled(q1.compiled(), r),
+    }
+    .into_iter()
+    .collect();
+    let max2: HashSet<usize> = match &m2 {
+        Some(m) => bnl_matrix(m),
+        None => bnl_compiled(q2.compiled(), r),
+    }
+    .into_iter()
+    .collect();
+
+    let n = r.len();
     let mut out = Vec::new();
-    for i in 0..rows.len() {
+    for i in 0..n {
         if max1.contains(&i) || max2.contains(&i) {
             continue;
         }
-        let t = &rows[i];
         // P1↑t ∩ P2↑t ∩ R[A] = ∅ ?
-        let has_common_dominator = rows.iter().any(|v| c1.better(t, v) && c2.better(t, v));
+        let has_common_dominator = (0..n).any(|v| better1(i, v) && better2(i, v));
         if !has_common_dominator {
             out.push(i);
         }
@@ -156,8 +275,22 @@ impl ParetoDecomposition {
 }
 
 /// Compute the Prop. 12 decomposition of `σ[P1 ⊗ P2](R)` for preferences
-/// over disjoint attribute sets.
+/// over disjoint attribute sets. One-shot wrapper over
+/// [`pareto_decomposition_with`] (sub-query matrices shared within this
+/// call only).
 pub fn pareto_decomposition(
+    p1: &Pref,
+    p2: &Pref,
+    r: &Relation,
+) -> Result<ParetoDecomposition, QueryError> {
+    pareto_decomposition_with(&Engine::new().with_capacity(TRANSIENT_CAPACITY), p1, p2, r)
+}
+
+/// [`pareto_decomposition`] through a caller-provided [`Engine`]: the
+/// two prioritised views, both groupings, and the `YY` overlap all run
+/// on engine-cached score matrices.
+pub fn pareto_decomposition_with(
+    engine: &Engine,
     p1: &Pref,
     p2: &Pref,
     r: &Relation,
@@ -172,14 +305,15 @@ pub fn pareto_decomposition(
         });
     }
 
-    let s1: HashSet<usize> = direct(p1, r)?.into_iter().collect();
-    let s2: HashSet<usize> = direct(p2, r)?.into_iter().collect();
-    let g1 = sigma_groupby(p2, &a1, r)?; // σ[P2 groupby A1](R)
-    let g2 = sigma_groupby(p1, &a2, r)?; // σ[P1 groupby A2](R)
+    let s1: HashSet<usize> = direct(engine, p1, r, true)?.into_iter().collect();
+    let s2: HashSet<usize> = direct(engine, p2, r, true)?.into_iter().collect();
+    let g1 = engine.sigma_groupby(p2, &a1, r)?; // σ[P2 groupby A1](R)
+    let g2 = engine.sigma_groupby(p1, &a2, r)?; // σ[P1 groupby A2](R)
 
     let first: Vec<usize> = g1.into_iter().filter(|i| s1.contains(i)).collect();
     let second: Vec<usize> = g2.into_iter().filter(|i| s2.contains(i)).collect();
-    let overlap_yy = yy(
+    let overlap_yy = yy_with(
+        engine,
         &Pref::Prior(vec![p1.clone(), p2.clone()]),
         &Pref::Prior(vec![p2.clone(), p1.clone()]),
         r,
@@ -312,6 +446,50 @@ mod tests {
                 "decomposition diverged for {p}"
             );
         }
+    }
+
+    #[test]
+    fn decomposition_through_a_shared_engine_reuses_matrices() {
+        let engine = Engine::new();
+        let r = rel! {
+            ("make": Str, "price": Int, "oid": Int);
+            ("Audi", 40_000, 1), ("BMW", 35_000, 2),
+            ("VW", 20_000, 3), ("BMW", 50_000, 4),
+        };
+        let q = antichain(["make"]).prior(around("price", 40_000));
+        let first = sigma_decomposed_with(&engine, &q, &r).unwrap();
+        let stats1 = engine.cache_stats();
+        assert!(stats1.misses > 0, "recursion must have built matrices");
+        let second = sigma_decomposed_with(&engine, &q, &r).unwrap();
+        let stats2 = engine.cache_stats();
+        assert_eq!(first, second);
+        assert_eq!(
+            stats2.misses, stats1.misses,
+            "second decomposition must not rebuild any sub-query matrix"
+        );
+        assert!(stats2.hits > stats1.hits);
+    }
+
+    #[test]
+    fn cascade_subrelations_are_derived_views_and_hit_across_calls() {
+        let engine = Engine::new();
+        let r = rel! {
+            ("a": Int, "b": Int, "c": Str);
+            (1, 9, "x"), (1, 2, "y"), (5, 0, "x"), (1, 2, "z"),
+        };
+        // Chain head → Prop. 11: the tail runs on a σ[P1](R) derived view.
+        let p = lowest("a").prior(pos("c", ["x"]).pareto(neg("c", ["z"])));
+        let first = sigma_decomposed_with(&engine, &p, &r).unwrap();
+        assert_eq!(first, sigma_naive(&p, &r).unwrap());
+        let stats1 = engine.cache_stats();
+        let second = sigma_decomposed_with(&engine, &p, &r).unwrap();
+        let stats2 = engine.cache_stats();
+        assert_eq!(first, second);
+        assert_eq!(stats2.misses, stats1.misses);
+        assert!(
+            stats2.derived_hits > stats1.derived_hits,
+            "the re-derived cascade sub-relation must resolve via lineage"
+        );
     }
 
     #[test]

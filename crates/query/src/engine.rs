@@ -44,8 +44,13 @@ const DEFAULT_CAPACITY: usize = 64;
 /// Aggregate cache counters of an [`Engine`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
-    /// Executions served from a cached matrix.
+    /// Executions served from a cached matrix (generation *or* lineage
+    /// route).
     pub hits: u64,
+    /// The subset of `hits` resolved through a derived relation's
+    /// lineage `(base generation, predicate fingerprint)` rather than an
+    /// exact generation match.
+    pub derived_hits: u64,
     /// Executions that had to build (and then cached) a matrix.
     pub misses: u64,
     /// Matrices currently resident.
@@ -56,10 +61,22 @@ impl fmt::Display for CacheStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} hits / {} misses, {} resident",
-            self.hits, self.misses, self.entries
+            "{} hits ({} derived) / {} misses, {} resident",
+            self.hits, self.derived_hits, self.misses, self.entries
         )
     }
+}
+
+/// A matrix cache key. Whole relations key by content generation; derived
+/// views key by their [`Lineage`] so a *re-derivation* of the same subset
+/// (fresh generation, equal lineage) still finds the matrix. Both key
+/// kinds embed the term fingerprint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum MatrixKey {
+    /// `(relation generation, term fingerprint)`.
+    Generation(u64, u64),
+    /// `(base generation, predicate fingerprint, term fingerprint)`.
+    Derived(u64, u64, u64),
 }
 
 struct CacheEntry {
@@ -69,9 +86,10 @@ struct CacheEntry {
 
 #[derive(Default)]
 struct MatrixCache {
-    map: HashMap<(u64, u64), CacheEntry>,
+    map: HashMap<MatrixKey, CacheEntry>,
     tick: u64,
     hits: u64,
+    derived_hits: u64,
     misses: u64,
 }
 
@@ -261,6 +279,7 @@ impl Engine {
         let cache = self.inner.cache.lock();
         CacheStats {
             hits: cache.hits,
+            derived_hits: cache.derived_hits,
             misses: cache.misses,
             entries: cache.map.len(),
         }
@@ -271,13 +290,21 @@ impl Engine {
         self.inner.cache.lock().map.clear();
     }
 
-    /// Fetch or build the score matrix for `(r.generation(), fp)`.
+    /// Fetch or build the score matrix for term fingerprint `fp` over
+    /// `r`. Lookup tries the exact `(generation, fp)` key first, then —
+    /// for derived views — the `(base generation, predicate fp, fp)`
+    /// lineage key, so a fresh re-derivation of a cached subset is served
+    /// warm ([`CacheStatus::DerivedHit`]).
+    ///
     /// Returns [`CacheStatus::Bypass`] when the term does not materialize
     /// on `r`, so callers can tell "reused" from "not applicable". The
     /// cache is always consulted (when enabled); `populate` controls
-    /// whether a freshly built matrix is inserted — callers evaluating a
-    /// derived relation whose generation will never recur pass `false`
-    /// so dead entries cannot evict reusable ones.
+    /// whether a freshly built matrix is inserted. Lineage-carrying
+    /// relations insert under their lineage key (re-derivations recur);
+    /// lineage-less relations insert under the generation key — callers
+    /// evaluating an ephemeral relation whose generation will never recur
+    /// pass `populate = false` so dead entries cannot evict reusable
+    /// ones.
     fn cached_matrix(
         &self,
         fp: u64,
@@ -285,16 +312,26 @@ impl Engine {
         r: &Relation,
         populate: bool,
     ) -> (Option<Arc<ScoreMatrix>>, CacheStatus) {
-        let key = (r.generation(), fp);
+        let primary = MatrixKey::Generation(r.generation(), fp);
+        let derived = r
+            .lineage()
+            .map(|l| MatrixKey::Derived(l.base_generation(), l.predicate(), fp));
         if self.inner.capacity > 0 {
             let mut cache = self.inner.cache.lock();
             cache.tick += 1;
             let tick = cache.tick;
-            if let Some(entry) = cache.map.get_mut(&key) {
-                entry.last_used = tick;
-                let matrix = Arc::clone(&entry.matrix);
-                cache.hits += 1;
-                return (Some(matrix), CacheStatus::Hit);
+            for (key, status) in std::iter::once((primary, CacheStatus::Hit))
+                .chain(derived.map(|k| (k, CacheStatus::DerivedHit)))
+            {
+                if let Some(entry) = cache.map.get_mut(&key) {
+                    entry.last_used = tick;
+                    let matrix = Arc::clone(&entry.matrix);
+                    cache.hits += 1;
+                    if status == CacheStatus::DerivedHit {
+                        cache.derived_hits += 1;
+                    }
+                    return (Some(matrix), status);
+                }
             }
         }
         // Build outside the lock: materialization is the expensive part,
@@ -321,7 +358,7 @@ impl Engine {
                     }
                     let tick = cache.tick;
                     cache.map.insert(
-                        key,
+                        derived.unwrap_or(primary),
                         CacheEntry {
                             matrix: Arc::clone(&m),
                             last_used: tick,
@@ -331,6 +368,20 @@ impl Engine {
                 (Some(m), CacheStatus::Miss)
             }
         }
+    }
+
+    /// The cached (or freshly built and cached) score matrix for `pref`
+    /// over `r`, or `None` when the term does not materialize on `r` (or
+    /// materialization is disabled). This is the handle the
+    /// decomposition evaluator and the quality machinery use to run
+    /// their per-tuple work on the columnar backend the preference stage
+    /// already paid for.
+    pub fn matrix_for(
+        &self,
+        pref: &Pref,
+        r: &Relation,
+    ) -> Result<Option<Arc<ScoreMatrix>>, QueryError> {
+        Ok(self.prepare(pref, r.schema())?.matrix(r))
     }
 }
 
@@ -388,6 +439,36 @@ impl Prepared {
         self.fingerprint
     }
 
+    /// The compiled (rewritten) form of the term — for callers that need
+    /// direct `better`/`utility` access on the exact object the engine
+    /// caches matrices for.
+    pub fn compiled(&self) -> &CompiledPref {
+        &self.compiled
+    }
+
+    /// The engine-cached score matrix of this query over `r` (built and
+    /// cached on first request), or `None` when the term does not
+    /// materialize on `r` or the engine's optimizer disables
+    /// materialization. Derived views resolve through their lineage, so
+    /// a re-derivation of an already-seen subset returns the cached
+    /// matrix without a rebuild.
+    pub fn matrix(&self, r: &Relation) -> Option<Arc<ScoreMatrix>> {
+        self.matrix_with(r, true)
+    }
+
+    /// [`Prepared::matrix`] with explicit control over cache population —
+    /// the decomposition evaluator threads its caller's
+    /// `execute`/`execute_uncached` choice through here so an uncached
+    /// execution's sub-queries cannot pin dead entries either.
+    pub(crate) fn matrix_with(&self, r: &Relation, populate: bool) -> Option<Arc<ScoreMatrix>> {
+        if self.engine.inner.optimizer.no_materialize {
+            return None;
+        }
+        self.engine
+            .cached_matrix(self.fingerprint, &self.compiled, r, populate)
+            .0
+    }
+
     /// Evaluate `σ[P](R)`, returning sorted row indices plus the
     /// [`Explain`] (including cache outcome and relation generation).
     ///
@@ -428,13 +509,13 @@ impl Prepared {
                 .cached_matrix(self.fingerprint, &self.compiled, r, populate)
         };
         let (rows, algorithm, reason) = run_algorithm(
-            opt,
+            &self.engine,
             &self.simplified,
             &self.compiled,
             matrix.as_deref(),
-            algorithm,
-            reason,
+            (algorithm, reason),
             r,
+            populate,
         )?;
         Ok((
             rows,
@@ -447,6 +528,7 @@ impl Prepared {
                 explicit_bitsets: matrix.as_deref().is_some_and(ScoreMatrix::explicit_backend),
                 cache,
                 generation: r.generation(),
+                lineage: r.lineage(),
                 reason,
             },
         ))
@@ -622,6 +704,86 @@ mod tests {
         q.execute(&r).unwrap();
         assert_eq!(q.execute_uncached(&r).unwrap().1.cache, CacheStatus::Hit);
         assert_eq!(engine.cache_stats().entries, 1);
+    }
+
+    #[test]
+    fn rederived_views_hit_via_lineage() {
+        let engine = Engine::new();
+        let r = sample();
+        let p = pos("c", ["x"]).pareto(neg("c", ["z"]));
+        let q = engine.prepare(&p, r.schema()).unwrap();
+        let fp = pref_relation::predicate_fingerprint(b"a <= 5");
+        let pred = |t: &pref_relation::Tuple| t[0] <= pref_relation::Value::from(5);
+
+        // First derivation: a miss, cached under the lineage key.
+        let d1 = r.select_derived(pred, fp);
+        let (rows1, ex1) = q.execute(&d1).unwrap();
+        assert_eq!(ex1.cache, CacheStatus::Miss);
+        assert_eq!(ex1.lineage, d1.lineage());
+
+        // A *fresh* derivation of the same subset: new generation, same
+        // lineage — served warm.
+        let d2 = r.select_derived(pred, fp);
+        assert_ne!(d1.generation(), d2.generation());
+        let (rows2, ex2) = q.execute(&d2).unwrap();
+        assert_eq!(ex2.cache, CacheStatus::DerivedHit);
+        assert_eq!(rows1, rows2);
+        assert_eq!(rows2, sigma_naive_generic(&p, &d2).unwrap());
+        let stats = engine.cache_stats();
+        assert_eq!((stats.hits, stats.derived_hits, stats.misses), (1, 1, 1));
+
+        // A different predicate over the same base is a different
+        // subset: no cross-predicate reuse.
+        let d3 = r.select_derived(|t| t[0] <= pref_relation::Value::from(2), fp ^ 1);
+        let (rows3, ex3) = q.execute(&d3).unwrap();
+        assert_eq!(ex3.cache, CacheStatus::Miss);
+        assert_eq!(rows3, sigma_naive_generic(&p, &d3).unwrap());
+    }
+
+    #[test]
+    fn base_mutation_invalidates_derived_entries() {
+        let engine = Engine::new();
+        let mut r = sample();
+        let p = pos("c", ["x"]).pareto(neg("c", ["z"]));
+        let q = engine.prepare(&p, r.schema()).unwrap();
+        let fp = 99;
+        let pred = |t: &pref_relation::Tuple| t[2] != pref_relation::Value::from("y");
+
+        q.execute(&r.select_derived(pred, fp)).unwrap();
+        assert_eq!(
+            q.execute(&r.select_derived(pred, fp)).unwrap().1.cache,
+            CacheStatus::DerivedHit
+        );
+
+        // Mutating the base moves its generation: the re-derived view is
+        // rooted in a new state, so the old entry is unreachable.
+        r.push_values(vec![Value::from(0), Value::from(0), Value::from("x")])
+            .unwrap();
+        let d = r.select_derived(pred, fp);
+        let (rows, ex) = q.execute(&d).unwrap();
+        assert_eq!(ex.cache, CacheStatus::Miss, "new base state must rebuild");
+        assert_eq!(rows, sigma_naive_generic(&p, &d).unwrap());
+    }
+
+    #[test]
+    fn uncached_decomposed_execution_pins_nothing() {
+        let engine = Engine::new();
+        let r = sample();
+        // Chain head → Cascade: the recursion evaluates sub-queries (and
+        // derived sub-relations) that would otherwise populate the cache.
+        let p = lowest("a").prior(pos("c", ["x"]).pareto(neg("c", ["z"])));
+        let (rows, ex) = engine.evaluate_uncached(&p, &r).unwrap();
+        assert_eq!(ex.algorithm, Algorithm::Cascade);
+        assert_eq!(
+            engine.cache_stats().entries,
+            0,
+            "uncached decomposed execution must not pin sub-query matrices"
+        );
+        assert_eq!(rows, sigma_naive_generic(&p, &r).unwrap());
+
+        // The cached flavor of the same execution does populate.
+        engine.evaluate(&p, &r).unwrap();
+        assert!(engine.cache_stats().entries > 0);
     }
 
     #[test]

@@ -23,11 +23,10 @@ use std::fmt;
 use pref_core::algebra::simplify;
 use pref_core::eval::{CompiledPref, ScoreMatrix};
 use pref_core::term::Pref;
-use pref_relation::Relation;
+use pref_relation::{Lineage, Relation};
 
 use crate::algorithms::{bnl, dnc, sfs};
 use crate::bmo::{sigma_naive_generic_compiled, sigma_naive_matrix};
-use crate::decompose::sigma_decomposed;
 use crate::error::QueryError;
 
 /// Evaluation strategies.
@@ -69,6 +68,12 @@ impl fmt::Display for Algorithm {
 pub enum CacheStatus {
     /// Served from a matrix cached for this `(generation, fingerprint)`.
     Hit,
+    /// Served from a matrix cached for this relation's *lineage* —
+    /// `(base generation, predicate fingerprint, term fingerprint)`. The
+    /// relation itself is a fresh derivation (fresh generation), but it
+    /// was recognized as a re-derivation of a subset the engine has
+    /// already materialized.
+    DerivedHit,
     /// Built fresh (and cached, when an engine with caching ran it).
     Miss,
     /// No matrix was involved: the algorithm doesn't use one, the term
@@ -77,10 +82,18 @@ pub enum CacheStatus {
     Bypass,
 }
 
+impl CacheStatus {
+    /// Was the matrix served without a rebuild (either cache route)?
+    pub fn is_warm(&self) -> bool {
+        matches!(self, CacheStatus::Hit | CacheStatus::DerivedHit)
+    }
+}
+
 impl fmt::Display for CacheStatus {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(match self {
             CacheStatus::Hit => "hit",
+            CacheStatus::DerivedHit => "derived-hit",
             CacheStatus::Miss => "miss",
             CacheStatus::Bypass => "bypass",
         })
@@ -109,6 +122,11 @@ pub struct Explain {
     /// The relation generation the query ran against (pairs with
     /// `cache` to make amortization assertable).
     pub generation: u64,
+    /// The lineage of the relation the query ran against, when it was a
+    /// derived view ([`pref_relation::Relation::lineage`]) — the key a
+    /// [`CacheStatus::DerivedHit`] resolved, reported even on misses so
+    /// callers can see what later executions will be able to reuse.
+    pub lineage: Option<Lineage>,
     /// Human-readable selection rationale.
     pub reason: String,
 }
@@ -138,11 +156,22 @@ impl fmt::Display for Explain {
                 "generic term-walk"
             }
         )?;
-        writeln!(
-            f,
-            "cache      : {} (relation generation {})",
-            self.cache, self.generation
-        )?;
+        match self.lineage {
+            Some(l) => writeln!(
+                f,
+                "cache      : {} (relation generation {}; derived from base \
+                 generation {} via predicate {:#018x})",
+                self.cache,
+                self.generation,
+                l.base_generation(),
+                l.predicate()
+            )?,
+            None => writeln!(
+                f,
+                "cache      : {} (relation generation {})",
+                self.cache, self.generation
+            )?,
+        }
         write!(f, "reason     : {}", self.reason)
     }
 }
@@ -224,6 +253,7 @@ impl Optimizer {
             explicit_bitsets: materialized && c.has_explicit(),
             cache: CacheStatus::Bypass,
             generation: r.generation(),
+            lineage: r.lineage(),
             reason,
         })
     }
@@ -295,14 +325,16 @@ impl Optimizer {
 /// result rows plus the (possibly fallback-adjusted) algorithm and
 /// rationale.
 pub(crate) fn run_algorithm(
-    opt: &Optimizer,
+    engine: &crate::engine::Engine,
     simplified: &Pref,
     c: &CompiledPref,
     matrix: Option<&ScoreMatrix>,
-    mut algorithm: Algorithm,
-    mut reason: String,
+    selection: (Algorithm, String),
     r: &Relation,
+    populate: bool,
 ) -> Result<(Vec<usize>, Algorithm, String), QueryError> {
+    let opt = engine.optimizer();
+    let (mut algorithm, mut reason) = selection;
     let rows = match algorithm {
         Algorithm::Naive => match matrix {
             Some(m) => sigma_naive_matrix(m),
@@ -371,7 +403,9 @@ pub(crate) fn run_algorithm(
                 }
             }
         }
-        Algorithm::Cascade | Algorithm::Decomposed => sigma_decomposed(simplified, r)?,
+        Algorithm::Cascade | Algorithm::Decomposed => {
+            crate::decompose::sigma_decomposed_inner(engine, simplified, r, populate)?
+        }
     };
     Ok((rows, algorithm, reason))
 }

@@ -8,9 +8,13 @@
 //!   full-text engines (§6.2), which deliberately returns some
 //!   non-maximal tuples when the best-matches-only set is too small.
 
+use pref_core::base::BaseRef;
+use pref_core::eval::ScoreMatrix;
+use pref_core::graph::BetterGraph;
 use pref_core::term::Pref;
 use pref_relation::{Attr, Relation, Tuple};
 
+use crate::engine::Engine;
 use crate::error::QueryError;
 
 /// A conjunction of quality constraints (the `BUT ONLY` clause).
@@ -76,17 +80,141 @@ impl QualityFilter {
     }
 
     /// Apply the filter to a set of row indices (a BMO result).
+    ///
+    /// Resolves every constraint **once** (base preference + column)
+    /// instead of re-walking the term per tuple; see
+    /// [`QualityFilter::filter_rows_with`] for the engine-backed variant
+    /// that additionally reads quality values off the cached
+    /// [`ScoreMatrix`].
     pub fn filter_rows(
         &self,
         pref: &Pref,
         r: &Relation,
         rows: &[usize],
     ) -> Result<Vec<usize>, QueryError> {
+        self.filter_rows_inner(pref, r, rows, None)
+    }
+
+    /// [`QualityFilter::filter_rows`] through an [`Engine`]: when the
+    /// engine holds (or can build) a materialized matrix for `pref` over
+    /// `r` — which the preceding BMO stage normally just paid for — each
+    /// LEVEL/DISTANCE check becomes a key read plus the base
+    /// preference's exact key inverse
+    /// ([`level_from_key`](pref_core::base::BasePreference::level_from_key) /
+    /// [`distance_from_key`](pref_core::base::BasePreference::distance_from_key)),
+    /// with the per-value walk as fallback for backends without one.
+    pub fn filter_rows_with(
+        &self,
+        engine: &Engine,
+        pref: &Pref,
+        r: &Relation,
+        rows: &[usize],
+    ) -> Result<Vec<usize>, QueryError> {
+        if self.conds.is_empty() {
+            return Ok(rows.to_vec());
+        }
+        let matrix = engine.matrix_for(pref, r)?;
+        self.filter_rows_inner(pref, r, rows, matrix.as_deref())
+    }
+
+    fn filter_rows_inner(
+        &self,
+        pref: &Pref,
+        r: &Relation,
+        rows: &[usize],
+        matrix: Option<&ScoreMatrix>,
+    ) -> Result<Vec<usize>, QueryError> {
+        // Resolve each constraint once: base preference, column, bound,
+        // and — when the matrix materialized this base — its key slot.
+        // Resolution failures are *recorded*, not raised: like the
+        // per-tuple [`QualityFilter::accepts`] loop, an unsatisfiable
+        // constraint only errors when some row actually reaches it (a
+        // row rejected by an earlier condition never evaluates it, and
+        // an empty row set evaluates nothing).
+        struct Resolved<'a> {
+            attr: &'a Attr,
+            quality: &'static str,
+            base: Option<&'a BaseRef>,
+            col: Option<usize>,
+            slot: Option<usize>,
+            bound: Bound,
+        }
+        enum Bound {
+            Level(u32),
+            Distance(f64),
+        }
+        let mut resolved = Vec::with_capacity(self.conds.len());
+        for cond in &self.conds {
+            let (attr, quality, bound) = match cond {
+                QualityCond::LevelLe(a, b) => (a, "LEVEL", Bound::Level(*b)),
+                QualityCond::DistanceLe(a, b) => (a, "DISTANCE", Bound::Distance(*b)),
+            };
+            let base = base_on(pref, attr).map(|b| &b.base);
+            let col = r.schema().index_of(attr);
+            resolved.push(Resolved {
+                attr,
+                quality,
+                base,
+                col,
+                slot: base
+                    .zip(col)
+                    .and_then(|(b, c)| matrix.and_then(|m| m.base_key_slot(c, b))),
+                bound,
+            });
+        }
+
         let mut out = Vec::with_capacity(rows.len());
-        for &i in rows {
-            if self.accepts(pref, r, r.row(i))? {
-                out.push(i);
+        'rows: for &i in rows {
+            for c in &resolved {
+                // Deferred resolution errors, in the per-tuple path's
+                // precedence: missing base preference first, unknown
+                // column second.
+                let base = c.base.ok_or_else(|| QueryError::NoQualityFunction {
+                    attr: c.attr.to_string(),
+                    quality: c.quality,
+                })?;
+                let col = match c.col {
+                    Some(col) => col,
+                    None => r.schema().require(c.attr)?,
+                };
+                match c.bound {
+                    Bound::Level(bound) => {
+                        let lv = c
+                            .slot
+                            .and_then(|s| {
+                                base.level_from_key(
+                                    matrix.expect("slot implies matrix").key_at(i, s),
+                                )
+                            })
+                            .or_else(|| base.level(&r.row(i)[col]))
+                            .ok_or_else(|| QueryError::NoQualityFunction {
+                                attr: c.attr.to_string(),
+                                quality: "LEVEL",
+                            })?;
+                        if lv > bound {
+                            continue 'rows;
+                        }
+                    }
+                    Bound::Distance(bound) => {
+                        let d = c
+                            .slot
+                            .and_then(|s| {
+                                base.distance_from_key(
+                                    matrix.expect("slot implies matrix").key_at(i, s),
+                                )
+                            })
+                            .or_else(|| base.distance(&r.row(i)[col]))
+                            .ok_or_else(|| QueryError::NoQualityFunction {
+                                attr: c.attr.to_string(),
+                                quality: "DISTANCE",
+                            })?;
+                        if d > bound {
+                            continue 'rows;
+                        }
+                    }
+                }
             }
+            out.push(i);
         }
         Ok(out)
     }
@@ -180,14 +308,39 @@ fn all_tops<'a>(
 /// level break by row order.
 pub fn k_best(pref: &Pref, r: &Relation, k: usize) -> Result<Vec<usize>, QueryError> {
     let c = pref_core::eval::CompiledPref::compile(pref, r.schema())?;
-    let g = pref_core::graph::BetterGraph::from_relation(&c, r).map_err(|_| {
-        QueryError::AlgorithmMismatch {
-            algorithm: "k-best",
-            term: pref.to_string(),
-            reason: "preference violates the strict-partial-order axioms",
-        }
+    let g = BetterGraph::from_relation(&c, r).map_err(|_| QueryError::AlgorithmMismatch {
+        algorithm: "k-best",
+        term: pref.to_string(),
+        reason: "preference violates the strict-partial-order axioms",
     })?;
-    let mut idx: Vec<usize> = (0..r.len()).collect();
+    k_best_of_graph(&g, r.len(), k)
+}
+
+/// [`k_best`] through an [`Engine`]: the O(n²) better-than graph is
+/// built from the engine-cached [`ScoreMatrix`] when the term
+/// materializes (numeric key comparisons instead of per-pair term
+/// walks), with the compiled-term walk as fallback.
+pub fn k_best_with(
+    engine: &Engine,
+    pref: &Pref,
+    r: &Relation,
+    k: usize,
+) -> Result<Vec<usize>, QueryError> {
+    let q = engine.prepare(pref, r.schema())?;
+    let g = match q.matrix(r) {
+        Some(m) => BetterGraph::from_fn(r.len(), |x, y| m.better(x, y)),
+        None => BetterGraph::from_relation(q.compiled(), r),
+    }
+    .map_err(|_| QueryError::AlgorithmMismatch {
+        algorithm: "k-best",
+        term: pref.to_string(),
+        reason: "preference violates the strict-partial-order axioms",
+    })?;
+    k_best_of_graph(&g, r.len(), k)
+}
+
+fn k_best_of_graph(g: &BetterGraph, n: usize, k: usize) -> Result<Vec<usize>, QueryError> {
+    let mut idx: Vec<usize> = (0..n).collect();
     idx.sort_by_key(|&i| (g.level(i), i));
     idx.truncate(k);
     Ok(idx)
@@ -199,6 +352,28 @@ pub fn k_best(pref: &Pref, r: &Relation, k: usize) -> Result<Vec<usize>, QueryEr
 /// tuples always precede non-maximal ones.
 pub fn top_k(pref: &Pref, r: &Relation, k: usize) -> Result<Vec<usize>, QueryError> {
     let c = pref_core::eval::CompiledPref::compile(pref, r.schema())?;
+    top_k_compiled(&c, pref, r, k)
+}
+
+/// [`top_k`] through an [`Engine`]: rewrite + compile happen once via
+/// [`Engine::prepare`] (the utility scan itself needs no matrix — it is
+/// a single O(n) pass, not a pairwise loop).
+pub fn top_k_with(
+    engine: &Engine,
+    pref: &Pref,
+    r: &Relation,
+    k: usize,
+) -> Result<Vec<usize>, QueryError> {
+    let q = engine.prepare(pref, r.schema())?;
+    top_k_compiled(q.compiled(), pref, r, k)
+}
+
+fn top_k_compiled(
+    c: &pref_core::eval::CompiledPref,
+    pref: &Pref,
+    r: &Relation,
+    k: usize,
+) -> Result<Vec<usize>, QueryError> {
     let mut scored: Vec<(f64, usize)> = Vec::with_capacity(r.len());
     for i in 0..r.len() {
         let u = c
@@ -250,6 +425,107 @@ mod tests {
         let all: Vec<usize> = (0..r.len()).collect();
         let kept = f.filter_rows(&p, &r, &all).unwrap();
         assert_eq!(kept, vec![0, 3]);
+    }
+
+    #[test]
+    fn filter_errors_stay_lazy_like_accepts() {
+        // An unsatisfiable constraint only errors when a row actually
+        // reaches it — exactly like the per-tuple `accepts` loop.
+        let r = rel! { ("a": Int); (5,) };
+        let p = around("a", 0);
+        let engine = Engine::new();
+        let bad = QualityFilter::new().and(QualityCond::LevelLe(attr("missing"), 1));
+
+        // Empty row set: nothing is evaluated, nothing errors.
+        assert_eq!(bad.filter_rows(&p, &r, &[]).unwrap(), Vec::<usize>::new());
+        assert_eq!(
+            bad.filter_rows_with(&engine, &p, &r, &[]).unwrap(),
+            Vec::<usize>::new()
+        );
+        // A row that reaches the constraint surfaces the error.
+        assert!(bad.filter_rows(&p, &r, &[0]).is_err());
+        assert!(bad.filter_rows_with(&engine, &p, &r, &[0]).is_err());
+
+        // A row rejected by an earlier condition never evaluates the
+        // invalid one (distance of 5 > 1 rejects first).
+        let short_circuit = QualityFilter::new()
+            .and(QualityCond::DistanceLe(attr("a"), 1.0))
+            .and(QualityCond::LevelLe(attr("missing"), 1));
+        assert_eq!(
+            short_circuit.filter_rows(&p, &r, &[0]).unwrap(),
+            Vec::<usize>::new()
+        );
+        assert_eq!(
+            short_circuit
+                .filter_rows_with(&engine, &p, &r, &[0])
+                .unwrap(),
+            Vec::<usize>::new()
+        );
+    }
+
+    #[test]
+    fn engine_backed_filter_reads_the_cached_matrix() {
+        let r = rel! {
+            ("color": Str, "start": Int, "duration": Int);
+            ("red", 10, 14), ("gray", 13, 14), ("red", 10, 20), ("blue", 11, 15),
+        };
+        let p = pos_neg("color", ["red"], ["gray"])
+            .unwrap()
+            .pareto(around("start", 10))
+            .pareto(around("duration", 14));
+        let f = QualityFilter::new()
+            .and(QualityCond::LevelLe(attr("color"), 2))
+            .and(QualityCond::DistanceLe(attr("start"), 2.0))
+            .and(QualityCond::DistanceLe(attr("duration"), 2.0));
+        let all: Vec<usize> = (0..r.len()).collect();
+
+        let engine = Engine::new();
+        // The term materializes: the filter must run off matrix keys and
+        // agree with the per-value walk.
+        let m = engine.matrix_for(&p, &r).unwrap().expect("materializes");
+        let col = r.schema().require(&attr("start")).unwrap();
+        let base = &base_on(&p, &attr("start")).unwrap().base;
+        let slot = m.base_key_slot(col, base).expect("AROUND slot recorded");
+        assert_eq!(base.distance_from_key(m.key_at(1, slot)), Some(3.0));
+
+        let via_engine = f.filter_rows_with(&engine, &p, &r, &all).unwrap();
+        let via_walk = f.filter_rows(&p, &r, &all).unwrap();
+        assert_eq!(via_engine, via_walk);
+        // Row 1 fails twice (NEG'd color, start 3 off), row 2's duration
+        // is 6 off; rows 0 and 3 satisfy every bound.
+        assert_eq!(via_engine, vec![0, 3]);
+        assert!(
+            engine.cache_stats().hits >= 1 || engine.cache_stats().misses == 1,
+            "the filter shares the engine matrix, not a private rebuild"
+        );
+
+        // Error semantics survive the fast path: LEVEL on a continuous
+        // preference is still undefined.
+        let bad = QualityFilter::new().and(QualityCond::LevelLe(attr("start"), 1));
+        assert!(bad.filter_rows_with(&engine, &p, &r, &all).is_err());
+        assert!(bad.filter_rows(&p, &r, &all).is_err());
+    }
+
+    #[test]
+    fn k_best_with_engine_agrees_and_reuses_matrices() {
+        let r = rel! { ("a": Int, "b": Int); (1, 9), (2, 8), (9, 1), (5, 5) };
+        let p = around("a", 1).pareto(lowest("b"));
+        let engine = Engine::new();
+        for k in 0..=r.len() {
+            assert_eq!(
+                k_best_with(&engine, &p, &r, k).unwrap(),
+                k_best(&p, &r, k).unwrap()
+            );
+        }
+        let stats = engine.cache_stats();
+        assert_eq!(stats.misses, 1, "one matrix serves every k");
+        assert!(stats.hits >= 1);
+        // And the ranked model too.
+        let ranked = Pref::rank(CombineFn::sum(), vec![highest("a"), highest("b")]).unwrap();
+        assert_eq!(
+            top_k_with(&engine, &ranked, &r, 3).unwrap(),
+            top_k(&ranked, &r, 3).unwrap()
+        );
     }
 
     #[test]

@@ -24,6 +24,66 @@ fn next_generation() -> u64 {
     GENERATION.fetch_add(1, Ordering::Relaxed)
 }
 
+/// The *lineage* of a derived relation: which content state it was
+/// derived from (the base's [`Relation::generation`]) and a stable
+/// fingerprint of the derivation (a WHERE predicate, a σ\[P\] row
+/// subset, …).
+///
+/// Lineage is the cache key that survives re-derivation. A fresh
+/// selection over an unchanged base draws a fresh generation — useless
+/// as a cache key, the generation never recurs — but its lineage is
+/// identical to the previous derivation's, so caches keyed by
+/// `(base generation, predicate fingerprint, …)` can serve the new copy
+/// from work done for the old one. Mutating the base moves its
+/// generation, which makes every lineage rooted in the old state
+/// unreachable: stale reuse is impossible by construction.
+///
+/// **Soundness contract:** callers of [`Relation::select_derived`] /
+/// [`Relation::take_rows_derived`] must guarantee that the fingerprint
+/// uniquely determines the derivation given the parent's content — two
+/// derivations from equal parent states with equal fingerprints must
+/// yield identical rows in identical order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Lineage {
+    base_generation: u64,
+    predicate: u64,
+}
+
+impl Lineage {
+    /// The generation of the (transitively) underived base relation this
+    /// view was computed from.
+    pub fn base_generation(&self) -> u64 {
+        self.base_generation
+    }
+
+    /// The accumulated fingerprint of the derivation chain (one folded
+    /// value even for stacked derivations).
+    pub fn predicate(&self) -> u64 {
+        self.predicate
+    }
+}
+
+/// FNV-1a over a byte string — the helper derivation fingerprints are
+/// built from. Deliberately simple and process-independent: lineage keys
+/// must be reproducible, not cryptographic.
+pub fn predicate_fingerprint(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Fold a further derivation fingerprint onto an existing one (stacked
+/// views: `σ_pred2(σ_pred1(R))`).
+fn fold_fingerprint(acc: u64, fp: u64) -> u64 {
+    let mut h = acc;
+    for b in fp.to_le_bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
 /// An in-memory relation. Rows are stored in insertion order; duplicate
 /// rows are allowed (bag semantics, like SQL tables with no key).
 #[derive(Debug, Clone)]
@@ -32,6 +92,8 @@ pub struct Relation {
     rows: Vec<Tuple>,
     /// See [`Relation::generation`].
     generation: u64,
+    /// See [`Relation::lineage`].
+    lineage: Option<Lineage>,
 }
 
 impl Relation {
@@ -41,6 +103,7 @@ impl Relation {
             schema: Arc::new(schema),
             rows: Vec::new(),
             generation: next_generation(),
+            lineage: None,
         }
     }
 
@@ -77,6 +140,35 @@ impl Relation {
         self.generation
     }
 
+    /// The relation's [`Lineage`], when it is a derived view built by
+    /// [`Relation::select_derived`] or [`Relation::take_rows_derived`].
+    /// `None` for base relations and for derived relations built through
+    /// the lineage-blind operations ([`Relation::select`],
+    /// [`Relation::take_rows`], projections, …). Mutating a derived
+    /// relation severs the lineage: its content no longer equals the
+    /// recorded derivation.
+    pub fn lineage(&self) -> Option<Lineage> {
+        self.lineage
+    }
+
+    /// The lineage a view derived from `self` with fingerprint `fp`
+    /// carries: rooted at this relation's generation, or — when `self` is
+    /// itself a derived view — at its base's generation with the two
+    /// fingerprints folded, so stacked derivations stay cacheable as long
+    /// as the *underived* base is unchanged.
+    fn derive_lineage(&self, fp: u64) -> Lineage {
+        match self.lineage {
+            Some(l) => Lineage {
+                base_generation: l.base_generation,
+                predicate: fold_fingerprint(l.predicate, fp),
+            },
+            None => Lineage {
+                base_generation: self.generation,
+                predicate: fold_fingerprint(0xcbf2_9ce4_8422_2325, fp),
+            },
+        }
+    }
+
     /// Number of tuples (`card(R)`).
     pub fn len(&self) -> usize {
         self.rows.len()
@@ -107,6 +199,7 @@ impl Relation {
         self.schema.check_row(row.values())?;
         self.rows.push(row);
         self.generation = next_generation();
+        self.lineage = None;
         Ok(())
     }
 
@@ -124,6 +217,28 @@ impl Relation {
             schema: Arc::clone(&self.schema),
             rows: self.rows.iter().filter(|t| pred(t)).cloned().collect(),
             generation: next_generation(),
+            lineage: None,
+        }
+    }
+
+    /// [`Relation::select`] as a *derived view*: the result carries a
+    /// [`Lineage`] rooted at this relation's generation with
+    /// `predicate_fp` identifying the predicate, so downstream caches can
+    /// recognize re-derivations of the same subset (a repeated WHERE
+    /// clause over an unchanged table) instead of treating every
+    /// selection as an unrelated relation.
+    ///
+    /// See the [`Lineage`] soundness contract: `predicate_fp` must
+    /// uniquely determine `pred`'s semantics.
+    pub fn select_derived<F>(&self, pred: F, predicate_fp: u64) -> Relation
+    where
+        F: Fn(&Tuple) -> bool,
+    {
+        Relation {
+            schema: Arc::clone(&self.schema),
+            rows: self.rows.iter().filter(|t| pred(t)).cloned().collect(),
+            generation: next_generation(),
+            lineage: Some(self.derive_lineage(predicate_fp)),
         }
     }
 
@@ -133,6 +248,21 @@ impl Relation {
             schema: Arc::clone(&self.schema),
             rows: indices.iter().map(|&i| self.rows[i].clone()).collect(),
             generation: next_generation(),
+            lineage: None,
+        }
+    }
+
+    /// [`Relation::take_rows`] as a *derived view* — for row subsets that
+    /// are a deterministic function of this relation's content (e.g. the
+    /// σ\[P\] result a decomposition recursion evaluates further), with
+    /// `subset_fp` identifying that function. Same [`Lineage`] contract
+    /// as [`Relation::select_derived`].
+    pub fn take_rows_derived(&self, indices: &[usize], subset_fp: u64) -> Relation {
+        Relation {
+            schema: Arc::clone(&self.schema),
+            rows: indices.iter().map(|&i| self.rows[i].clone()).collect(),
+            generation: next_generation(),
+            lineage: Some(self.derive_lineage(subset_fp)),
         }
     }
 
@@ -145,6 +275,7 @@ impl Relation {
             schema: Arc::new(schema),
             rows,
             generation: next_generation(),
+            lineage: None,
         })
     }
 
@@ -161,6 +292,7 @@ impl Relation {
             schema: Arc::clone(&self.schema),
             rows: keep,
             generation: next_generation(),
+            lineage: None,
         }
     }
 
@@ -185,6 +317,7 @@ impl Relation {
         }
         self.rows.extend(other.rows.iter().cloned());
         self.generation = next_generation();
+        self.lineage = None;
         Ok(())
     }
 
@@ -197,6 +330,7 @@ impl Relation {
     {
         self.rows.sort_by_key(f);
         self.generation = next_generation();
+        self.lineage = None;
     }
 }
 
@@ -325,6 +459,74 @@ mod tests {
         let derived = r.select(|_| true);
         assert_ne!(derived.generation(), r.generation());
         assert_ne!(r.take_rows(&[0]).generation(), r.generation());
+    }
+
+    #[test]
+    fn derived_views_carry_stable_lineage() {
+        let r = cars();
+        let fp = predicate_fingerprint(b"make = 'BMW'");
+        let a = r.select_derived(|t| t[0] == Value::from("BMW"), fp);
+        let b = r.select_derived(|t| t[0] == Value::from("BMW"), fp);
+
+        // Fresh generations (content states are distinct objects) but
+        // identical lineage — that is the reusable key.
+        assert_ne!(a.generation(), b.generation());
+        assert_eq!(a.lineage(), b.lineage());
+        let l = a.lineage().unwrap();
+        assert_eq!(l.base_generation(), r.generation());
+
+        // A different predicate over the same base differs in lineage.
+        let c = r.select_derived(|_| true, predicate_fingerprint(b"true"));
+        assert_ne!(c.lineage(), a.lineage());
+
+        // Lineage-blind derivations carry none.
+        assert!(r.select(|_| true).lineage().is_none());
+        assert!(r.take_rows(&[0]).lineage().is_none());
+        assert!(r
+            .project(&AttrSet::single(attr("make")))
+            .unwrap()
+            .lineage()
+            .is_none());
+    }
+
+    #[test]
+    fn stacked_derivations_fold_onto_the_base_generation() {
+        let r = cars();
+        let first = r.select_derived(|t| t[0] == Value::from("BMW"), 7);
+        let second = first.take_rows_derived(&[0], 9);
+        let l = second.lineage().unwrap();
+        assert_eq!(l.base_generation(), r.generation());
+        // Recomputing the same chain reproduces the folded fingerprint.
+        let again = r
+            .select_derived(|t| t[0] == Value::from("BMW"), 7)
+            .take_rows_derived(&[0], 9);
+        assert_eq!(again.lineage(), second.lineage());
+        // Order and fingerprints both matter.
+        let swapped = r.select_derived(|_| true, 9).take_rows_derived(&[0], 7);
+        assert_ne!(swapped.lineage(), second.lineage());
+    }
+
+    #[test]
+    fn mutation_severs_lineage() {
+        let r = cars();
+        let mut d = r.select_derived(|_| true, 42);
+        assert!(d.lineage().is_some());
+        d.push_values(vec![Value::from("Opel"), Value::from(1)])
+            .unwrap();
+        assert!(d.lineage().is_none(), "pushed rows break the derivation");
+
+        let mut d = r.select_derived(|_| true, 42);
+        d.sort_by_key(|t| t[1].clone());
+        assert!(d.lineage().is_none(), "reordering breaks the derivation");
+
+        let mut d = r.select_derived(|_| true, 42);
+        let other = cars();
+        d.union_all(&other).unwrap();
+        assert!(d.lineage().is_none());
+
+        // Clones keep the lineage (identical content).
+        let d = r.select_derived(|_| true, 42);
+        assert_eq!(d.clone().lineage(), d.lineage());
     }
 
     #[test]

@@ -50,7 +50,8 @@ pub mod prelude {
         sigma, sigma_rel, Algorithm, CacheStatus, Engine, Optimizer, Prepared, QueryError,
     };
     pub use pref_relation::{
-        attr, rel, Attr, AttrSet, DataType, Date, Relation, Schema, Tuple, Value,
+        attr, predicate_fingerprint, rel, Attr, AttrSet, DataType, Date, Lineage, Relation, Schema,
+        Tuple, Value,
     };
     pub use pref_sql::PrefSql;
     pub use pref_xpath::{parse_xml, PrefXPath};

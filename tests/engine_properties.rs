@@ -71,6 +71,66 @@ proptest! {
     }
 
     #[test]
+    fn derived_view_caching_agrees_with_uncached_materialized_copies(
+        p in arb_pref(),
+        mut r in arb_relation(12),
+        extra in arb_relation(5),
+        mut thresholds in proptest::collection::vec(0i64..6, 1..4),
+    ) {
+        // Distinct predicates over the same base generation must cache
+        // independently, and every cached answer must equal an uncached
+        // execution over a lineage-less materialized copy of the same
+        // filtered rows.
+        thresholds.sort_unstable();
+        thresholds.dedup();
+        let engine = Engine::new();
+        let q = engine.prepare(&p, &test_schema()).expect("term compiles");
+
+        // Panicking asserts inside the helper surface as proptest
+        // failures just like `prop_assert!` would.
+        let check_round = |r: &Relation, th: i64| {
+            let fp = pref_relation::predicate_fingerprint(format!("a <= {th}").as_bytes());
+            let pred = |t: &pref_relation::Tuple| t[0] <= Value::from(th);
+
+            let oracle = q
+                .execute_uncached(&r.select(pred))
+                .expect("uncached copy runs")
+                .0;
+            let d1 = r.select_derived(pred, fp);
+            let (rows1, ex1) = q.execute(&d1).expect("derived execution runs");
+            assert_eq!(rows1, oracle, "first derivation diverged for {p}");
+            if ex1.materialized {
+                assert_eq!(ex1.cache, CacheStatus::Miss,
+                    "a fresh base state must not serve old derived entries for {p}");
+            }
+
+            // Re-derivation: same subset, fresh generation — warm iff a
+            // matrix exists for this backend.
+            let d2 = r.select_derived(pred, fp);
+            assert_ne!(d1.generation(), d2.generation());
+            let (rows2, ex2) = q.execute(&d2).expect("derived re-execution runs");
+            assert_eq!(rows2, oracle, "re-derivation diverged for {p}");
+            if ex2.materialized {
+                assert_eq!(ex2.cache, CacheStatus::DerivedHit,
+                    "re-derived subset must resolve via lineage for {p}");
+            } else {
+                assert_eq!(ex2.cache, CacheStatus::Bypass);
+            }
+        };
+
+        for &th in &thresholds {
+            check_round(&r, th);
+        }
+
+        // Mutating the base must invalidate every derived entry: the
+        // first post-mutation execution per predicate rebuilds.
+        r.union_all(&extra).expect("same schema");
+        for &th in &thresholds {
+            check_round(&r, th);
+        }
+    }
+
+    #[test]
     fn columnar_groupby_agrees_with_the_definitional_form(
         p in arb_pref(),
         r in arb_relation(12),
