@@ -11,15 +11,33 @@
 //! round, forcing a fresh generation (every execution misses).
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use pref_core::term::{around, lowest};
 use pref_query::{CacheStatus, Engine};
+use pref_relation::{attr, predicate_fingerprint, Relation, Value};
 use pref_workload::querylog::{
     customer_log, prepare_customer_log, prepare_log, query_log, replay, replay_customers,
 };
 use pref_workload::{cars, Distribution};
 use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 const LOG_LEN: usize = 24;
 const CATALOG_ROWS: usize = 4_000;
+/// Fresh predicates per measured window round.
+const WINDOW_PREDICATES: i64 = 8;
+
+/// A candidate view under a predicate the engine has *never seen*: the
+/// fingerprint is drawn from a process-wide counter, so no derived-entry
+/// (lineage) reuse is possible — only the window tier can serve it warm.
+static FRESH_PREDICATE: AtomicU64 = AtomicU64::new(1);
+
+fn fresh_candidates(catalog: &Relation, price_col: usize, threshold: i64) -> Relation {
+    let nonce = FRESH_PREDICATE.fetch_add(1, Ordering::Relaxed);
+    catalog.select_derived(
+        move |t| t[price_col] <= Value::from(threshold),
+        predicate_fingerprint(format!("bench-window-{nonce}").as_bytes()),
+    )
+}
 
 fn bench_engine_cache(c: &mut Criterion) {
     let catalog = cars::catalog(CATALOG_ROWS, 7);
@@ -104,6 +122,81 @@ fn bench_engine_cache(c: &mut Criterion) {
         b.iter(|| {
             let total = replay_customers(&prepared, &catalog).expect("replay runs");
             assert_eq!(total, expected, "derived cache must not change results");
+            black_box(total)
+        })
+    });
+
+    // Window tier: *never-seen* WHERE predicates over a warmed base.
+    // Every derivation below draws a fresh predicate fingerprint, so the
+    // lineage (derived-entry) route can never serve it; `window-cold`
+    // runs on a capacity-0 engine and rebuilds a subset matrix per
+    // derivation, while `window-fresh-predicate` holds an engine whose
+    // whole-catalog matrix is resident — each brand-new predicate
+    // resolves via `CacheStatus::WindowHit` (row-id indirection over the
+    // cached matrix, zero materialization).
+    let wpref = around("price", 20_000).pareto(lowest("mileage"));
+    let price_col = catalog
+        .schema()
+        .index_of(&attr("price"))
+        .expect("catalog has a price column");
+
+    let cold_engine = Engine::new().with_capacity(0);
+    let q_cold = cold_engine
+        .prepare(&wpref, catalog.schema())
+        .expect("window preference compiles");
+    let warm_engine = Engine::new();
+    let q_warm = warm_engine
+        .prepare(&wpref, catalog.schema())
+        .expect("window preference compiles");
+    // One full-catalog execution warms the whole-base matrix.
+    let (_, ex) = q_warm.execute(&catalog).expect("warm-up runs");
+    assert_eq!(ex.cache, CacheStatus::Miss);
+
+    // Smoke guard (runs under `-- --test` in CI): a fresh predicate over
+    // the warmed base must report a window hit — not a rebuild, and not
+    // silent generic evaluation.
+    let probe = fresh_candidates(&catalog, price_col, 20_000);
+    let (warm_rows, ex) = q_warm.execute(&probe).expect("window execution runs");
+    assert!(
+        ex.materialized,
+        "window probe must run on the matrix backend"
+    );
+    assert_eq!(
+        ex.cache,
+        CacheStatus::WindowHit,
+        "a never-seen predicate over a warmed base must window, got {ex}"
+    );
+    assert!(warm_engine.cache_stats().window_hits > 0);
+    // And windowing must not change results: the cold rebuild agrees.
+    let (cold_rows, ex) = q_cold
+        .execute(&fresh_candidates(&catalog, price_col, 20_000))
+        .expect("cold execution runs");
+    assert_eq!(ex.cache, CacheStatus::Miss);
+    assert_eq!(warm_rows, cold_rows, "window must not change results");
+
+    group.bench_function("window-cold-rebuild", |b| {
+        b.iter(|| {
+            let mut total = 0;
+            for k in 0..WINDOW_PREDICATES {
+                let candidates = fresh_candidates(&catalog, price_col, 12_000 + 2_000 * k);
+                total += q_cold.execute(&candidates).expect("cold runs").0.len();
+            }
+            black_box(total)
+        })
+    });
+    group.bench_function("window-fresh-predicate", |b| {
+        b.iter(|| {
+            let mut total = 0;
+            for k in 0..WINDOW_PREDICATES {
+                let candidates = fresh_candidates(&catalog, price_col, 12_000 + 2_000 * k);
+                let (rows, ex) = q_warm.execute(&candidates).expect("warm runs");
+                assert_eq!(
+                    ex.cache,
+                    CacheStatus::WindowHit,
+                    "every fresh predicate must stay on the window tier"
+                );
+                total += rows.len();
+            }
             black_box(total)
         })
     });

@@ -1,0 +1,200 @@
+//! The bench-trajectory gate: merge the `--json` documents the vendored
+//! criterion stub writes, compute the warm/cold ratios of the committed
+//! cache scenarios, emit `BENCH_<n>.json`, and **fail** when a ratio
+//! exceeds its committed threshold.
+//!
+//! CI runs the timed benches with `--json <tmp>.json`, then:
+//!
+//! ```text
+//! bench_gate --out BENCH_4.json engine_cache.json pareto.json
+//! ```
+//!
+//! The output document records, per scenario, the cold and warm medians
+//! plus their ratio — one point of the performance trajectory the
+//! `BENCH_*.json` artifacts trace across PRs — and every raw benchmark
+//! record that went in. A warm path that stops being warm (ratio drifts
+//! toward or past 1.0) turns the CI step red instead of silently
+//! landing.
+
+use std::process::ExitCode;
+
+/// A committed warm/cold scenario: the warm benchmark label, the cold
+/// baseline label, and the maximum tolerated `warm / cold` ratio.
+///
+/// Thresholds are deliberately loose against CI noise (locally the
+/// ratios sit near 0.5–0.75): the gate exists to catch a cache tier
+/// silently degenerating into a rebuild (ratio ≥ 1), not to police
+/// single-digit percents.
+const SCENARIOS: &[(&str, &str, &str, f64)] = &[
+    (
+        "replay",
+        "engine_cache/warm-prepared-engine",
+        "engine_cache/cold-free-functions",
+        0.95,
+    ),
+    (
+        "where-derived",
+        "engine_cache/where-warm-prepared-engine",
+        "engine_cache/where-cold-free-functions",
+        0.95,
+    ),
+    (
+        "window-fresh-predicate",
+        "engine_cache/window-fresh-predicate",
+        "engine_cache/window-cold-rebuild",
+        0.95,
+    ),
+];
+
+#[derive(Debug, Clone)]
+struct Record {
+    name: String,
+    median_ns: u128,
+    raw: String,
+}
+
+/// Extract the benchmark records from one stub-written document. This
+/// parses exactly the format `vendor/criterion`'s `finalize()` emits
+/// (one object per line inside `"benchmarks": [...]`) — it is a
+/// companion tool to the stub, not a general JSON parser.
+fn parse_records(doc: &str, from: &str) -> Result<Vec<Record>, String> {
+    let mut out = Vec::new();
+    for line in doc.lines() {
+        let line = line.trim().trim_end_matches(',');
+        if !line.starts_with("{\"name\"") {
+            continue;
+        }
+        let name = field_str(line, "name")
+            .ok_or_else(|| format!("{from}: record without a name: {line}"))?;
+        let median = field_u128(line, "median_ns")
+            .ok_or_else(|| format!("{from}: record without median_ns: {line}"))?;
+        out.push(Record {
+            name,
+            median_ns: median,
+            raw: line.to_string(),
+        });
+    }
+    if out.is_empty() {
+        return Err(format!("{from}: no benchmark records found"));
+    }
+    Ok(out)
+}
+
+fn field_str(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\": \"");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest.find('"')?;
+    Some(rest[..end].to_string())
+}
+
+fn field_u128(line: &str, key: &str) -> Option<u128> {
+    let pat = format!("\"{key}\": ");
+    let start = line.find(&pat)? + pat.len();
+    let digits: String = line[start..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits.parse().ok()
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut out_path = None;
+    let mut inputs = Vec::new();
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => out_path = args.next(),
+            _ => inputs.push(a),
+        }
+    }
+    let Some(out_path) = out_path else {
+        eprintln!("usage: bench_gate --out BENCH_<n>.json <stub-json>...");
+        return ExitCode::FAILURE;
+    };
+    if inputs.is_empty() {
+        eprintln!("bench_gate: no input documents given");
+        return ExitCode::FAILURE;
+    }
+
+    let mut records: Vec<Record> = Vec::new();
+    for path in &inputs {
+        let doc = match std::fs::read_to_string(path) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("bench_gate: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match parse_records(&doc, path) {
+            Ok(mut rs) => records.append(&mut rs),
+            Err(e) => {
+                eprintln!("bench_gate: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let median_of = |label: &str| -> Option<u128> {
+        records
+            .iter()
+            .find(|r| r.name == label)
+            .map(|r| r.median_ns)
+    };
+
+    let mut failed = false;
+    let mut scenario_json = Vec::new();
+    for &(scenario, warm_label, cold_label, threshold) in SCENARIOS {
+        let (Some(warm), Some(cold)) = (median_of(warm_label), median_of(cold_label)) else {
+            // A missing scenario is a gate failure, not a silent pass —
+            // otherwise renaming a benchmark would disable the gate.
+            eprintln!(
+                "bench_gate: scenario `{scenario}` incomplete \
+                 (need `{warm_label}` and `{cold_label}` in the inputs)"
+            );
+            failed = true;
+            continue;
+        };
+        let ratio = warm as f64 / cold as f64;
+        let ok = ratio <= threshold;
+        println!(
+            "scenario {scenario:<24} warm {warm:>12} ns   cold {cold:>12} ns   \
+             warm/cold {ratio:.3} (threshold {threshold:.2}) {}",
+            if ok { "OK" } else { "FAIL" }
+        );
+        if !ok {
+            eprintln!(
+                "bench_gate: `{scenario}` regressed: warm/cold {ratio:.3} > {threshold:.2} — \
+                 the warm tier is no longer meaningfully cheaper than a rebuild"
+            );
+            failed = true;
+        }
+        scenario_json.push(format!(
+            "    \"{scenario}\": {{\"warm_ns\": {warm}, \"cold_ns\": {cold}, \
+             \"ratio\": {ratio:.4}, \"threshold\": {threshold}, \"ok\": {ok}}}"
+        ));
+    }
+
+    let mut doc = String::from("{\n  \"pr\": 4,\n  \"scenarios\": {\n");
+    doc.push_str(&scenario_json.join(",\n"));
+    doc.push_str("\n  },\n  \"benchmarks\": [\n");
+    doc.push_str(
+        &records
+            .iter()
+            .map(|r| format!("    {}", r.raw))
+            .collect::<Vec<_>>()
+            .join(",\n"),
+    );
+    doc.push_str("\n  ]\n}\n");
+    if let Err(e) = std::fs::write(&out_path, doc) {
+        eprintln!("bench_gate: cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote trajectory document: {out_path}");
+
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

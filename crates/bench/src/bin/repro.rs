@@ -123,7 +123,6 @@ fn e5(h: &mut Harness) {
     let p = paper::example5_pref();
     let c = CompiledPref::compile(&p, r.schema()).expect("fixture compiles");
     let f: Vec<f64> = r
-        .rows()
         .iter()
         .map(|t| c.utility(t).expect("rank utility"))
         .collect();
@@ -223,7 +222,7 @@ fn e8(h: &mut Harness) {
     h.check(
         "E8",
         "red is a perfect match",
-        perfect_match(&p, &r, &r.rows()[1]).expect("compiles") == Some(true),
+        perfect_match(&p, &r, r.row(1)).expect("compiles") == Some(true),
     );
 }
 

@@ -46,8 +46,8 @@ pub fn inequivalence_witness(
     }
     let c1 = CompiledPref::compile(p1, r.schema())?;
     let c2 = CompiledPref::compile(p2, r.schema())?;
-    for (i, x) in r.rows().iter().enumerate() {
-        for (j, y) in r.rows().iter().enumerate() {
+    for (i, x) in r.iter().enumerate() {
+        for (j, y) in r.iter().enumerate() {
             let left = c1.better(x, y);
             let right = c2.better(x, y);
             if left != right {

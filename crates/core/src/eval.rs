@@ -12,6 +12,7 @@
 //! sets) of the paper.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use pref_relation::{Relation, Schema, Tuple};
 
@@ -630,6 +631,139 @@ impl ScoreMatrix {
     }
 }
 
+/// A pairwise dominance backend over row indices — the interface the
+/// BMO inner loops (BNL windows, SFS filter passes, naive scans) are
+/// generic over, implemented by the [`ScoreMatrix`] itself and by
+/// [`MatrixWindow`] views onto one.
+pub trait Dominance {
+    /// Number of rows covered.
+    fn len(&self) -> usize;
+
+    /// Is `y` better than `x`?
+    fn better(&self, x: usize, y: usize) -> bool;
+
+    /// Is the backend over an empty relation?
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Dominance for ScoreMatrix {
+    fn len(&self) -> usize {
+        ScoreMatrix::len(self)
+    }
+
+    fn better(&self, x: usize, y: usize) -> bool {
+        ScoreMatrix::better(self, x, y)
+    }
+}
+
+/// A view of a shared [`ScoreMatrix`], optionally *windowed* onto a row
+/// subset by an index vector.
+///
+/// Every per-row quantity the matrix materializes — dominance keys,
+/// equality ids, EXPLICIT vertex ids — is a pure function of that row's
+/// values (equality ids compare only for equality, which restriction
+/// preserves), so the matrix built for a whole relation answers
+/// dominance questions for **any** subset of its rows: evaluating row
+/// `i` of a subset is evaluating base row `ids[i]` of the full matrix.
+/// A windowed view is therefore semantically identical to the matrix a
+/// fresh materialization of the subset would produce, at the cost of
+/// one index indirection per row access — which is how a *never-seen*
+/// selection over an already-materialized base runs warm.
+#[derive(Debug, Clone)]
+pub struct MatrixWindow {
+    matrix: Arc<ScoreMatrix>,
+    /// `None` = the identity view (the full matrix).
+    ids: Option<Arc<[u32]>>,
+}
+
+impl MatrixWindow {
+    /// The identity view over a whole matrix.
+    pub fn full(matrix: Arc<ScoreMatrix>) -> Self {
+        MatrixWindow { matrix, ids: None }
+    }
+
+    /// Window `matrix` onto the subset selected by `ids` (row `i` of the
+    /// window is base row `ids[i]`).
+    ///
+    /// Every id must be `< matrix.len()`; out-of-range ids panic on
+    /// first access, exactly like out-of-range row indices on the
+    /// matrix itself.
+    pub fn windowed(matrix: Arc<ScoreMatrix>, ids: Arc<[u32]>) -> Self {
+        MatrixWindow {
+            matrix,
+            ids: Some(ids),
+        }
+    }
+
+    /// Is this a genuine window (index indirection), as opposed to the
+    /// identity view?
+    pub fn is_windowed(&self) -> bool {
+        self.ids.is_some()
+    }
+
+    /// The shared underlying matrix.
+    pub fn matrix(&self) -> &Arc<ScoreMatrix> {
+        &self.matrix
+    }
+
+    /// The base-matrix row backing window row `row`.
+    #[inline]
+    fn base_row(&self, row: usize) -> usize {
+        match &self.ids {
+            Some(ids) => ids[row] as usize,
+            None => row,
+        }
+    }
+
+    /// Number of rows in the view.
+    pub fn len(&self) -> usize {
+        match &self.ids {
+            Some(ids) => ids.len(),
+            None => self.matrix.len(),
+        }
+    }
+
+    /// Is the view empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The strict better-than test on *view* row indices.
+    #[inline]
+    pub fn better(&self, x: usize, y: usize) -> bool {
+        self.matrix.better(self.base_row(x), self.base_row(y))
+    }
+
+    /// [`ScoreMatrix::base_key_slot`], unchanged by windowing (slots are
+    /// per-term, not per-row).
+    pub fn base_key_slot(&self, col: usize, base: &BaseRef) -> Option<usize> {
+        self.matrix.base_key_slot(col, base)
+    }
+
+    /// The materialized dominance key of *view* row `row` in `slot`.
+    pub fn key_at(&self, row: usize, slot: usize) -> f64 {
+        self.matrix.key_at(self.base_row(row), slot)
+    }
+
+    /// Does the underlying matrix run EXPLICIT sub-terms on the
+    /// reachability-bitset backend?
+    pub fn explicit_backend(&self) -> bool {
+        self.matrix.explicit_backend()
+    }
+}
+
+impl Dominance for MatrixWindow {
+    fn len(&self) -> usize {
+        MatrixWindow::len(self)
+    }
+
+    fn better(&self, x: usize, y: usize) -> bool {
+        MatrixWindow::better(self, x, y)
+    }
+}
+
 /// Mirror of [`MatrixBuilder::plan`]'s success condition, minus every
 /// allocation: keys must embed (non-`None`, non-NaN) for each base and
 /// rank term, EXPLICIT graphs always materialize (vertex-id encoding),
@@ -644,10 +778,9 @@ fn supports(node: &Node, r: &Relation) -> bool {
         }
         Node::Antichain => true,
         Node::Dual(inner) => supports(inner, r),
-        Node::Rank { combine, inputs } => r
-            .rows()
-            .iter()
-            .all(|t| !rank_value(combine, inputs, t).is_nan()),
+        Node::Rank { combine, inputs } => {
+            r.iter().all(|t| !rank_value(combine, inputs, t).is_nan())
+        }
         Node::Pareto(children) | Node::Prior(children) => {
             children.iter().all(|c| supports(&c.node, r))
         }
@@ -702,7 +835,6 @@ impl MatrixBuilder<'_> {
             Node::Rank { combine, inputs } => {
                 let keys: Option<Vec<f64>> = self
                     .r
-                    .rows()
                     .iter()
                     .map(|t| Some(rank_value(combine, inputs, t)).filter(|k| !k.is_nan()))
                     .collect();
@@ -821,7 +953,7 @@ mod tests {
     fn example2_pareto_better_than_graph_relations() {
         let r = example2_rel();
         let c = compile(&example2_pref(), &r);
-        let rows = r.rows();
+        let rows = r.to_owned_rows();
         // From the drawn graph: val2 < val1, val4 < val3, val7 < val3,
         // val6 < val5; the level-1 values are pairwise unranked.
         assert!(c.better(&rows[1], &rows[0])); // val2 < val1
@@ -850,8 +982,8 @@ mod tests {
         };
         let p = around("A1", 0).pareto(highest("A2"));
         let c = compile(&p, &r);
-        assert!(!c.better(&r.rows()[0], &r.rows()[1]));
-        assert!(!c.better(&r.rows()[1], &r.rows()[0]));
+        assert!(!c.better(r.row(0), r.row(1)));
+        assert!(!c.better(r.row(1), r.row(0)));
     }
 
     #[test]
@@ -864,7 +996,7 @@ mod tests {
         let p = pos("color", ["green", "yellow"])
             .pareto(neg("color", ["red", "green", "blue", "purple"]));
         let c = compile(&p, &r);
-        let row = |i: usize| &r.rows()[i];
+        let row = |i: usize| r.row(i);
         // On a shared attribute, Pareto needs BOTH operands to agree
         // (Prop. 6: ⊗ ≡ ♦ there). Only yellow wins both views, so only
         // yellow dominates the NEG values; green and black are maximal
@@ -894,7 +1026,7 @@ mod tests {
         // LOWEST(A1) & LOWEST(A2)
         let p = lowest("A1").prior(lowest("A2"));
         let c = compile(&p, &r);
-        let rows = r.rows();
+        let rows = r.to_owned_rows();
         assert!(c.better(&rows[0], &rows[1])); // tie on A1, A2 decides
         assert!(c.better(&rows[2], &rows[0])); // A1 decides
         assert!(c.better(&rows[2], &rows[1]));
@@ -912,7 +1044,7 @@ mod tests {
         };
         let p = crate::term::antichain(["make"]).prior(lowest("price"));
         let c = compile(&p, &r);
-        let rows = r.rows();
+        let rows = r.to_owned_rows();
         assert!(c.better(&rows[1], &rows[0])); // same make, cheaper
         assert!(!c.better(&rows[0], &rows[2])); // different make: unranked
         assert!(!c.better(&rows[2], &rows[0]));
@@ -935,7 +1067,7 @@ mod tests {
         let p = Pref::rank(CombineFn::weighted_sum(vec![1.0, 2.0]), vec![f1, f2]).unwrap();
         let c = compile(&p, &r);
         // F-values: 15, 17, 11, 21, 10, 10 → chain val4→val2→val1→val3→{val5,val6}
-        let rows = r.rows();
+        let rows = r.to_owned_rows();
         let f = |i: usize| {
             // recover F via utility
             c.utility(&rows[i]).unwrap()
@@ -960,8 +1092,8 @@ mod tests {
         let p = example2_pref();
         let c = compile(&p, &r);
         let d = compile(&p.clone().dual(), &r);
-        for x in r.rows() {
-            for y in r.rows() {
+        for x in r.iter() {
+            for y in r.iter() {
                 assert_eq!(c.better(x, y), d.better(y, x));
             }
         }
@@ -987,11 +1119,11 @@ mod tests {
         let r = rel! { ("a": Int, "b": Int); (1, 2) };
         let sky = lowest("a").pareto(highest("b"));
         let c = compile(&sky, &r);
-        assert_eq!(c.score_vector(&r.rows()[0]), Some(vec![-1.0, 2.0]));
+        assert_eq!(c.score_vector(r.row(0)), Some(vec![-1.0, 2.0]));
         // AROUND is not score-injective → not skyline-shaped
         let not_sky = around("a", 0).pareto(highest("b"));
         let c2 = compile(&not_sky, &r);
-        assert_eq!(c2.score_vector(&r.rows()[0]), None);
+        assert_eq!(c2.score_vector(r.row(0)), None);
     }
 
     #[test]
@@ -1161,8 +1293,8 @@ mod tests {
         let r = example2_rel();
         let p = example2_pref();
         let c = compile(&p, &r);
-        for x in r.rows() {
-            for y in r.rows() {
+        for x in r.iter() {
+            for y in r.iter() {
                 if c.better(x, y) {
                     assert!(c.utility(x).unwrap() < c.utility(y).unwrap());
                 }

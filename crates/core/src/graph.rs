@@ -190,7 +190,7 @@ impl BetterGraph {
 
 /// Convenience: label list from a relation's tuples.
 pub fn tuple_labels(rel: &Relation) -> Vec<String> {
-    rel.rows().iter().map(Tuple::to_string).collect()
+    rel.iter().map(Tuple::to_string).collect()
 }
 
 #[cfg(test)]

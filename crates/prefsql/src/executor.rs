@@ -159,11 +159,14 @@ impl PrefSql {
         // 1. Hard selection (exact-match world). With no WHERE clause the
         //    whole pipeline runs on a borrow of the catalog table — row
         //    indices flow through the BMO stage and only the final result
-        //    is materialized. A WHERE clause produces a *derived view*
-        //    carrying `(table generation, predicate fingerprint)`
-        //    lineage, so the engine recognizes the re-derived subset a
-        //    repeated statement produces and serves its score matrices
-        //    warm instead of rebuilding per call.
+        //    is materialized. A WHERE clause produces a zero-copy *row-id
+        //    view* (shared tuple storage, O(k) id construction) carrying
+        //    `(table generation, predicate fingerprint)` lineage, so the
+        //    engine serves its score matrices warm instead of rebuilding
+        //    per call: a repeated statement resolves via the lineage key,
+        //    and even a *first-time* WHERE clause over a table whose full
+        //    matrix is cached resolves by windowing that matrix onto the
+        //    view (`CacheStatus::WindowHit`).
         let base: Cow<'_, Relation> = match &q.hard {
             Some(h) => {
                 let pred = hard_to_predicate(h, table.schema(), &q.table)?;
@@ -819,6 +822,60 @@ mod tests {
         assert_eq!(ex3.cache, pref_query::CacheStatus::Miss);
         assert_ne!(ex3.lineage, Some(lineage));
         assert_eq!(other.candidates, 1);
+    }
+
+    #[test]
+    fn first_time_where_windows_onto_a_warmed_table() {
+        let s = session();
+        // Warm the whole-table matrix with a no-WHERE statement.
+        let warm = s
+            .execute("SELECT * FROM car PREFERRING price AROUND 40000 AND LOWEST(mileage)")
+            .unwrap();
+        assert_eq!(warm.explain.unwrap().cache, pref_query::CacheStatus::Miss);
+
+        // A WHERE clause this session has *never seen*: its candidate
+        // set is a fresh row-id view, and the engine windows the cached
+        // table matrix onto it — warm on first execution.
+        let res = s
+            .execute(
+                "SELECT * FROM car WHERE make = 'Opel' \
+                 PREFERRING price AROUND 40000 AND LOWEST(mileage)",
+            )
+            .unwrap();
+        let ex = res.explain.expect("BMO stage ran");
+        assert_eq!(
+            ex.cache,
+            pref_query::CacheStatus::WindowHit,
+            "fresh WHERE over a warmed table must window, not rebuild"
+        );
+        assert_eq!(res.candidates, 4);
+        assert!(s.engine().cache_stats().window_hits >= 1);
+
+        // And a different fresh WHERE clause stays warm too.
+        let res = s
+            .execute(
+                "SELECT * FROM car WHERE price < 42000 \
+                 PREFERRING price AROUND 40000 AND LOWEST(mileage)",
+            )
+            .unwrap();
+        assert_eq!(
+            res.explain.unwrap().cache,
+            pref_query::CacheStatus::WindowHit
+        );
+    }
+
+    #[test]
+    fn query_results_share_catalog_storage() {
+        // The SELECT-* pipeline materializes no tuples: WHERE emits a
+        // row-id view of the table, and the final result is a row-id
+        // view again.
+        let s = session();
+        let res = s
+            .execute("SELECT * FROM car WHERE make = 'Opel' PREFERRING LOWEST(price)")
+            .unwrap();
+        let table = s.catalog().get("car").unwrap();
+        assert!(res.relation.shares_storage_with(table));
+        assert!(res.relation.row_ids().is_some());
     }
 
     #[test]

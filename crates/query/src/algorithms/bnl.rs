@@ -10,8 +10,9 @@
 //!
 //! * the **score-matrix path** ([`bnl_matrix`]) — dominance tests are
 //!   `f64`/`u32` comparisons over the columnar
-//!   [`ScoreMatrix`], used whenever the
-//!   term materializes;
+//!   [`ScoreMatrix`](pref_core::eval::ScoreMatrix) (or a
+//!   [`MatrixWindow`](pref_core::eval::MatrixWindow) onto a cached
+//!   one), used whenever the term materializes;
 //! * the **generic path** ([`bnl_generic`]) — term-tree walks via
 //!   [`CompiledPref::better`], correct for any strict partial order.
 //!
@@ -22,7 +23,7 @@
 //! swapping in a work-stealing pool once that dependency is available
 //! offline.
 
-use pref_core::eval::{CompiledPref, ScoreMatrix};
+use pref_core::eval::{CompiledPref, Dominance};
 use pref_core::term::Pref;
 use pref_relation::Relation;
 
@@ -44,8 +45,13 @@ pub fn bnl_compiled(c: &CompiledPref, r: &Relation) -> Vec<usize> {
     }
 }
 
-/// BNL over the score-matrix dominance backend.
-pub fn bnl_matrix(m: &ScoreMatrix) -> Vec<usize> {
+/// BNL over a materialized dominance backend — the [`ScoreMatrix`]
+/// itself or a [`MatrixWindow`] onto a cached one (the warm path for
+/// derived row-id views).
+///
+/// [`ScoreMatrix`]: pref_core::eval::ScoreMatrix
+/// [`MatrixWindow`]: pref_core::eval::MatrixWindow
+pub fn bnl_matrix<M: Dominance>(m: &M) -> Vec<usize> {
     let mut window = bnl_window(|x, y| m.better(x, y), 0..m.len());
     window.sort_unstable();
     window
@@ -104,8 +110,8 @@ pub fn bnl_parallel_compiled(c: &CompiledPref, r: &Relation, threads: usize) -> 
     }
 }
 
-/// Parallel partitioned BNL over a materialized score matrix.
-pub fn bnl_parallel_matrix(m: &ScoreMatrix, threads: usize) -> Vec<usize> {
+/// Parallel partitioned BNL over a materialized dominance backend.
+pub fn bnl_parallel_matrix<M: Dominance + Sync>(m: &M, threads: usize) -> Vec<usize> {
     let threads = threads.max(1);
     if threads == 1 || m.len() < 2 * threads {
         return bnl_matrix(m);

@@ -8,7 +8,7 @@
 //! the progressive behaviour of \[TEO01\]. The filtering pass runs on the
 //! score-matrix dominance backend whenever the term materializes.
 
-use pref_core::eval::{CompiledPref, ScoreMatrix};
+use pref_core::eval::{CompiledPref, Dominance};
 use pref_core::term::Pref;
 use pref_relation::Relation;
 
@@ -42,17 +42,17 @@ pub fn sfs_compiled(c: &CompiledPref, r: &Relation) -> Vec<usize> {
 /// # Panics
 /// If some row has no utility; use [`sfs`] or [`try_sfs_with`] for the
 /// checked entries.
-pub fn sfs_with(c: &CompiledPref, r: &Relation, matrix: Option<&ScoreMatrix>) -> Vec<usize> {
+pub fn sfs_with<M: Dominance>(c: &CompiledPref, r: &Relation, matrix: Option<&M>) -> Vec<usize> {
     try_sfs_with(c, r, matrix).expect("preference admits no monotone utility on this input")
 }
 
 /// Checked SFS: `None` when any row lacks a utility (the sort order
 /// would not be topologically compatible and silent misresults could
 /// follow).
-pub fn try_sfs_with(
+pub fn try_sfs_with<M: Dominance>(
     c: &CompiledPref,
     r: &Relation,
-    matrix: Option<&ScoreMatrix>,
+    matrix: Option<&M>,
 ) -> Option<Vec<usize>> {
     let mut order: Vec<(f64, usize)> = Vec::with_capacity(r.len());
     for i in 0..r.len() {
@@ -124,7 +124,10 @@ mod tests {
         let p = around("a", 3).pareto(lowest("b"));
         let c = CompiledPref::compile(&p, r.schema()).unwrap();
         let m = c.score_matrix(&r).expect("scored term materializes");
-        assert_eq!(sfs_with(&c, &r, Some(&m)), sfs_with(&c, &r, None));
+        assert_eq!(
+            sfs_with(&c, &r, Some(&m)),
+            sfs_with::<pref_core::eval::ScoreMatrix>(&c, &r, None)
+        );
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! (§5.1); it is the correctness oracle of the test suite and the baseline
 //! of the scaling benchmarks.
 
-use pref_core::eval::{CompiledPref, ScoreMatrix};
+use pref_core::eval::{CompiledPref, Dominance};
 use pref_core::term::Pref;
 use pref_relation::Relation;
 
@@ -32,8 +32,10 @@ pub fn sigma_naive_compiled(c: &CompiledPref, r: &Relation) -> Vec<usize> {
     }
 }
 
-/// Naive evaluation over a materialized score matrix.
-pub fn sigma_naive_matrix(m: &ScoreMatrix) -> Vec<usize> {
+/// Naive evaluation over a materialized dominance backend (a
+/// [`ScoreMatrix`](pref_core::eval::ScoreMatrix) or a
+/// [`MatrixWindow`](pref_core::eval::MatrixWindow) onto a cached one).
+pub fn sigma_naive_matrix<M: Dominance>(m: &M) -> Vec<usize> {
     (0..m.len())
         .filter(|&i| (0..m.len()).all(|other| !m.better(i, other)))
         .collect()
@@ -49,11 +51,10 @@ pub fn sigma_naive_generic(pref: &Pref, r: &Relation) -> Result<Vec<usize>, Quer
 
 /// Generic-path naive evaluation with a pre-compiled preference.
 pub fn sigma_naive_generic_compiled(c: &CompiledPref, r: &Relation) -> Vec<usize> {
-    let rows = r.rows();
-    (0..rows.len())
+    (0..r.len())
         .filter(|&i| {
             // t is in the result iff no tuple in R is better (Def. 14a/15).
-            rows.iter().all(|other| !c.better(&rows[i], other))
+            r.iter().all(|other| !c.better(r.row(i), other))
         })
         .collect()
 }

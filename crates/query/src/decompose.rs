@@ -24,22 +24,28 @@ use crate::algorithms::bnl::{bnl_compiled, bnl_matrix};
 use crate::engine::Engine;
 use crate::error::QueryError;
 
-/// How many matrices a transient decomposition engine may hold. The
-/// free-function entry points have no caller-provided [`Engine`], but the
-/// recursion still re-evaluates sub-terms over the same relation (the
-/// prioritised views of Prop. 12, the `YY` overlap); a small per-call
-/// cache de-duplicates those builds and dies with the call.
-const TRANSIENT_CAPACITY: usize = 32;
+/// A transient engine for the one-shot free-function entry points:
+/// **capacity 0** — every call pays full materialization and nothing is
+/// retained, because the engine (and any matrix it could cache) dies
+/// with the call. Anything above 0 here only buys intra-call sub-term
+/// dedup at the cost of per-call allocation of cache machinery; callers
+/// issuing more than one query should hold a long-lived [`Engine`] and
+/// use the `_with` variants instead, which amortize *across* calls too.
+fn transient_engine() -> Engine {
+    Engine::new().with_capacity(0)
+}
 
 /// Evaluate `σ[P](R)` by structural decomposition, falling back to BNL
 /// for sub-terms with no applicable theorem. Returns sorted row indices.
 ///
-/// One-shot convenience over [`sigma_decomposed_with`]: sub-queries share
-/// matrices within this call only. Query streams should hold an
-/// [`Engine`] so recursive evaluations reuse the engine-cached matrices
-/// across calls too.
+/// One-shot convenience over [`sigma_decomposed_with`], run on a
+/// transient capacity-0 engine: nothing is cached, within or across
+/// calls. Any query stream — and any caller that repeats terms or
+/// relations — should hold an [`Engine`] and call
+/// [`sigma_decomposed_with`] so recursive evaluations reuse the
+/// engine-cached (and windowed) matrices.
 pub fn sigma_decomposed(pref: &Pref, r: &Relation) -> Result<Vec<usize>, QueryError> {
-    sigma_decomposed_with(&Engine::new().with_capacity(TRANSIENT_CAPACITY), pref, r)
+    sigma_decomposed_with(&transient_engine(), pref, r)
 }
 
 /// [`sigma_decomposed`] through a caller-provided [`Engine`]: every
@@ -178,8 +184,11 @@ fn direct(
 /// `YY(P1, P2)_R` (Def. 17c, R-relative reading): tuples non-maximal in
 /// both database preferences whose better-than sets within R share no
 /// common dominator — exactly the extra maxima intersection `♦` creates.
+///
+/// One-shot convenience on a transient capacity-0 engine; query streams
+/// should use [`yy_with`] through a long-lived [`Engine`].
 pub fn yy(p1: &Pref, p2: &Pref, r: &Relation) -> Result<Vec<usize>, QueryError> {
-    yy_with(&Engine::new().with_capacity(TRANSIENT_CAPACITY), p1, p2, r)
+    yy_with(&transient_engine(), p1, p2, r)
 }
 
 /// [`yy`] with the pairwise dominance tests running on engine-cached
@@ -276,14 +285,15 @@ impl ParetoDecomposition {
 
 /// Compute the Prop. 12 decomposition of `σ[P1 ⊗ P2](R)` for preferences
 /// over disjoint attribute sets. One-shot wrapper over
-/// [`pareto_decomposition_with`] (sub-query matrices shared within this
-/// call only).
+/// [`pareto_decomposition_with`] on a transient capacity-0 engine —
+/// nothing is cached; hold an [`Engine`] and use the `_with` variant
+/// for anything beyond a single call.
 pub fn pareto_decomposition(
     p1: &Pref,
     p2: &Pref,
     r: &Relation,
 ) -> Result<ParetoDecomposition, QueryError> {
-    pareto_decomposition_with(&Engine::new().with_capacity(TRANSIENT_CAPACITY), p1, p2, r)
+    pareto_decomposition_with(&transient_engine(), p1, p2, r)
 }
 
 /// [`pareto_decomposition`] through a caller-provided [`Engine`]: the

@@ -31,7 +31,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use pref_core::eval::{CompiledPref, ScoreMatrix};
+use pref_core::eval::{CompiledPref, MatrixWindow, ScoreMatrix};
 use pref_core::term::Pref;
 use pref_relation::{AttrSet, Relation, RelationError, Schema};
 
@@ -44,13 +44,18 @@ const DEFAULT_CAPACITY: usize = 64;
 /// Aggregate cache counters of an [`Engine`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
-    /// Executions served from a cached matrix (generation *or* lineage
-    /// route).
+    /// Executions served from a cached matrix (generation, lineage, or
+    /// window route).
     pub hits: u64,
     /// The subset of `hits` resolved through a derived relation's
     /// lineage `(base generation, predicate fingerprint)` rather than an
     /// exact generation match.
     pub derived_hits: u64,
+    /// The subset of `hits` served by *windowing* the cached whole-base
+    /// matrix onto a row-id view — a subset (even with a never-seen
+    /// predicate) running warm through index indirection
+    /// ([`CacheStatus::WindowHit`]).
+    pub window_hits: u64,
     /// Executions that had to build (and then cached) a matrix.
     pub misses: u64,
     /// Matrices currently resident.
@@ -61,8 +66,8 @@ impl fmt::Display for CacheStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} hits ({} derived) / {} misses, {} resident",
-            self.hits, self.derived_hits, self.misses, self.entries
+            "{} hits ({} derived, {} windowed) / {} misses, {} resident",
+            self.hits, self.derived_hits, self.window_hits, self.misses, self.entries
         )
     }
 }
@@ -90,6 +95,7 @@ struct MatrixCache {
     tick: u64,
     hits: u64,
     derived_hits: u64,
+    window_hits: u64,
     misses: u64,
 }
 
@@ -280,6 +286,7 @@ impl Engine {
         CacheStats {
             hits: cache.hits,
             derived_hits: cache.derived_hits,
+            window_hits: cache.window_hits,
             misses: cache.misses,
             entries: cache.map.len(),
         }
@@ -291,10 +298,18 @@ impl Engine {
     }
 
     /// Fetch or build the score matrix for term fingerprint `fp` over
-    /// `r`. Lookup tries the exact `(generation, fp)` key first, then —
-    /// for derived views — the `(base generation, predicate fp, fp)`
-    /// lineage key, so a fresh re-derivation of a cached subset is served
-    /// warm ([`CacheStatus::DerivedHit`]).
+    /// `r`. Lookup resolution order:
+    ///
+    /// 1. exact `(generation, fp)` key ([`CacheStatus::Hit`]);
+    /// 2. for derived views, the `(base generation, predicate fp, fp)`
+    ///    lineage key — a fresh re-derivation of a cached subset is
+    ///    served warm ([`CacheStatus::DerivedHit`]);
+    /// 3. for *windowable* row-id views ([`Relation::window_ids`]), the
+    ///    dense base's own `(base generation, fp)` entry, served through
+    ///    a [`MatrixWindow`] index indirection
+    ///    ([`CacheStatus::WindowHit`]) — this is how a subset under a
+    ///    never-before-seen predicate still skips materialization;
+    /// 4. build ([`CacheStatus::Miss`]).
     ///
     /// Returns [`CacheStatus::Bypass`] when the term does not materialize
     /// on `r`, so callers can tell "reused" from "not applicable". The
@@ -311,7 +326,7 @@ impl Engine {
         c: &CompiledPref,
         r: &Relation,
         populate: bool,
-    ) -> (Option<Arc<ScoreMatrix>>, CacheStatus) {
+    ) -> (Option<MatrixWindow>, CacheStatus) {
         let primary = MatrixKey::Generation(r.generation(), fp);
         let derived = r
             .lineage()
@@ -330,7 +345,31 @@ impl Engine {
                     if status == CacheStatus::DerivedHit {
                         cache.derived_hits += 1;
                     }
-                    return (Some(matrix), status);
+                    return (Some(MatrixWindow::full(matrix)), status);
+                }
+            }
+            // Window tier: the subset itself was never materialized, but
+            // its rows are (a subset of) the dense base's rows, and the
+            // base's whole-relation matrix is resident — serve it through
+            // row-id indirection instead of building a subset matrix.
+            if let Some((base_gen, ids)) = r.window_ids() {
+                let key = MatrixKey::Generation(base_gen, fp);
+                if let Some(entry) = cache.map.get_mut(&key) {
+                    // The windowable invariant guarantees every id indexes
+                    // the base's row space; keep a release-mode guard so a
+                    // broken lineage contract degrades to a rebuild, never
+                    // to out-of-range reads of someone else's matrix.
+                    let rows = entry.matrix.len();
+                    if ids.iter().all(|&i| (i as usize) < rows) {
+                        entry.last_used = tick;
+                        let matrix = Arc::clone(&entry.matrix);
+                        cache.hits += 1;
+                        cache.window_hits += 1;
+                        return (
+                            Some(MatrixWindow::windowed(matrix, Arc::clone(ids))),
+                            CacheStatus::WindowHit,
+                        );
+                    }
                 }
             }
         }
@@ -365,22 +404,23 @@ impl Engine {
                         },
                     );
                 }
-                (Some(m), CacheStatus::Miss)
+                (Some(MatrixWindow::full(m)), CacheStatus::Miss)
             }
         }
     }
 
-    /// The cached (or freshly built and cached) score matrix for `pref`
-    /// over `r`, or `None` when the term does not materialize on `r` (or
-    /// materialization is disabled). This is the handle the
+    /// The cached (or freshly built and cached) score matrix view for
+    /// `pref` over `r`, or `None` when the term does not materialize on
+    /// `r` (or materialization is disabled). This is the handle the
     /// decomposition evaluator and the quality machinery use to run
     /// their per-tuple work on the columnar backend the preference stage
-    /// already paid for.
+    /// already paid for — possibly a [`MatrixWindow`] onto the base's
+    /// cached matrix when `r` is a row-id view.
     pub fn matrix_for(
         &self,
         pref: &Pref,
         r: &Relation,
-    ) -> Result<Option<Arc<ScoreMatrix>>, QueryError> {
+    ) -> Result<Option<MatrixWindow>, QueryError> {
         Ok(self.prepare(pref, r.schema())?.matrix(r))
     }
 }
@@ -446,13 +486,15 @@ impl Prepared {
         &self.compiled
     }
 
-    /// The engine-cached score matrix of this query over `r` (built and
-    /// cached on first request), or `None` when the term does not
+    /// The engine-cached score matrix view of this query over `r` (built
+    /// and cached on first request), or `None` when the term does not
     /// materialize on `r` or the engine's optimizer disables
     /// materialization. Derived views resolve through their lineage, so
     /// a re-derivation of an already-seen subset returns the cached
-    /// matrix without a rebuild.
-    pub fn matrix(&self, r: &Relation) -> Option<Arc<ScoreMatrix>> {
+    /// matrix without a rebuild — and a windowable row-id view over a
+    /// warmed base returns a [`MatrixWindow`] onto the base's matrix
+    /// even when the subset itself was never seen.
+    pub fn matrix(&self, r: &Relation) -> Option<MatrixWindow> {
         self.matrix_with(r, true)
     }
 
@@ -460,7 +502,7 @@ impl Prepared {
     /// the decomposition evaluator threads its caller's
     /// `execute`/`execute_uncached` choice through here so an uncached
     /// execution's sub-queries cannot pin dead entries either.
-    pub(crate) fn matrix_with(&self, r: &Relation, populate: bool) -> Option<Arc<ScoreMatrix>> {
+    pub(crate) fn matrix_with(&self, r: &Relation, populate: bool) -> Option<MatrixWindow> {
         if self.engine.inner.optimizer.no_materialize {
             return None;
         }
@@ -512,7 +554,7 @@ impl Prepared {
             &self.engine,
             &self.simplified,
             &self.compiled,
-            matrix.as_deref(),
+            matrix.as_ref(),
             (algorithm, reason),
             r,
             populate,
@@ -525,7 +567,7 @@ impl Prepared {
                 rewritten: self.rewritten,
                 algorithm,
                 materialized: matrix.is_some(),
-                explicit_bitsets: matrix.as_deref().is_some_and(ScoreMatrix::explicit_backend),
+                explicit_bitsets: matrix.as_ref().is_some_and(MatrixWindow::explicit_backend),
                 cache,
                 generation: r.generation(),
                 lineage: r.lineage(),
@@ -738,6 +780,140 @@ mod tests {
         let (rows3, ex3) = q.execute(&d3).unwrap();
         assert_eq!(ex3.cache, CacheStatus::Miss);
         assert_eq!(rows3, sigma_naive_generic(&p, &d3).unwrap());
+    }
+
+    #[test]
+    fn fresh_predicates_window_onto_the_warmed_base_matrix() {
+        let engine = Engine::new();
+        let r = sample();
+        let p = pos("c", ["x"]).pareto(neg("c", ["z"]));
+        let q = engine.prepare(&p, r.schema()).unwrap();
+
+        // Warm the whole-base matrix.
+        assert_eq!(q.execute(&r).unwrap().1.cache, CacheStatus::Miss);
+
+        // A *never-seen* predicate: no derived entry exists, but the
+        // row-id view windows onto the base's cached matrix — warm on
+        // its very first execution, no subset matrix built.
+        let d = r.select_derived(
+            |t| t[0] <= pref_relation::Value::from(5),
+            pref_relation::predicate_fingerprint(b"a <= 5"),
+        );
+        let (rows, ex) = q.execute(&d).unwrap();
+        assert_eq!(ex.cache, CacheStatus::WindowHit);
+        assert!(ex.cache.is_warm());
+        assert_eq!(rows, sigma_naive_generic(&p, &d).unwrap());
+        let stats = engine.cache_stats();
+        assert_eq!(
+            (stats.window_hits, stats.misses, stats.entries),
+            (1, 1, 1),
+            "window hits must not build or insert subset matrices"
+        );
+
+        // Another fresh predicate over the same base — still warm.
+        let d2 = r.select_derived(|t| t[0] >= pref_relation::Value::from(2), 0xbeef);
+        let (rows2, ex2) = q.execute(&d2).unwrap();
+        assert_eq!(ex2.cache, CacheStatus::WindowHit);
+        assert_eq!(rows2, sigma_naive_generic(&p, &d2).unwrap());
+
+        // Stacked derivations window onto the *root* base.
+        let dd = d.take_rows_derived(&[0, 1], 0x77);
+        let (rows3, ex3) = q.execute(&dd).unwrap();
+        assert_eq!(ex3.cache, CacheStatus::WindowHit);
+        assert_eq!(rows3, sigma_naive_generic(&p, &dd).unwrap());
+
+        // The view shares the base's tuple storage: re-derivation was
+        // O(k) id construction, not a copy.
+        assert!(d.shares_storage_with(&r));
+        assert_eq!(d.row_ids().map(<[u32]>::len), Some(d.len()));
+    }
+
+    #[test]
+    fn base_mutation_severs_windows() {
+        let engine = Engine::new();
+        let mut r = sample();
+        let p = pos("c", ["x"]).pareto(neg("c", ["z"]));
+        let q = engine.prepare(&p, r.schema()).unwrap();
+        q.execute(&r).unwrap(); // warm the base matrix
+
+        let pred = |t: &pref_relation::Tuple| t[0] <= pref_relation::Value::from(5);
+        assert_eq!(
+            q.execute(&r.select_derived(pred, 9)).unwrap().1.cache,
+            CacheStatus::WindowHit
+        );
+
+        // Mutation moves the base generation: views derived from the new
+        // state root there, where no matrix is cached — they must
+        // rebuild, not window onto the stale matrix.
+        r.push_values(vec![
+            pref_relation::Value::from(0),
+            pref_relation::Value::from(0),
+            pref_relation::Value::from("x"),
+        ])
+        .unwrap();
+        let d = r.select_derived(pred, 9);
+        let (rows, ex) = q.execute(&d).unwrap();
+        assert_eq!(ex.cache, CacheStatus::Miss, "stale window must not serve");
+        assert_eq!(rows, sigma_naive_generic(&p, &d).unwrap());
+
+        // Mutating the *view* severs its lineage — and its window.
+        q.execute(&r).unwrap(); // warm the new base state
+        let mut dv = r.select_derived(pred, 9);
+        dv.sort_by_key(|t| t[0].clone());
+        assert!(dv.window_ids().is_none());
+        let (rows, ex) = q.execute(&dv).unwrap();
+        assert_eq!(ex.cache, CacheStatus::Miss);
+        assert_eq!(rows, sigma_naive_generic(&p, &dv).unwrap());
+    }
+
+    #[test]
+    fn derived_entries_take_precedence_over_windows() {
+        // Resolution order is exact → derived → window: a subset whose
+        // own matrix was cached (lineage route) keeps using it even once
+        // the base matrix is warm.
+        let engine = Engine::new();
+        let r = sample();
+        let p = pos("c", ["x"]).pareto(neg("c", ["z"]));
+        let q = engine.prepare(&p, r.schema()).unwrap();
+        let pred = |t: &pref_relation::Tuple| t[0] <= pref_relation::Value::from(5);
+
+        // Cold base: the first derivation builds and caches a subset
+        // matrix under its lineage key.
+        assert_eq!(
+            q.execute(&r.select_derived(pred, 5)).unwrap().1.cache,
+            CacheStatus::Miss
+        );
+        q.execute(&r).unwrap(); // now warm the base too
+        let (_, ex) = q.execute(&r.select_derived(pred, 5)).unwrap();
+        assert_eq!(
+            ex.cache,
+            CacheStatus::DerivedHit,
+            "the subset's own matrix wins over the window route"
+        );
+    }
+
+    #[test]
+    fn groupby_windows_onto_cached_base_matrices() {
+        let engine = Engine::new();
+        let r = sample();
+        let p = around("a", 2).pareto(lowest("b"));
+        let attrs = pref_relation::AttrSet::new(["c"]);
+
+        // Warm the base matrix through the groupby path itself.
+        let base_rows = engine.sigma_groupby(&p, &attrs, &r).unwrap();
+        assert_eq!(engine.cache_stats().misses, 1);
+
+        // Grouped evaluation over a fresh derived view reuses it via a
+        // window instead of building a subset matrix.
+        let d = r.select_derived(|_| true, 0x51);
+        let grouped = engine.sigma_groupby(&p, &attrs, &d).unwrap();
+        assert_eq!(grouped, base_rows);
+        let stats = engine.cache_stats();
+        assert_eq!(
+            (stats.window_hits, stats.misses),
+            (1, 1),
+            "groupby over the view must window, not rebuild"
+        );
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //!    chain-headed prioritisation (Prop. 11), SFS when a monotone utility
 //!    exists, BNL otherwise; decomposition (Prop. 8–12) on request;
 //! 3. **dominance-backend selection** — the term is compiled once, a
-//!    [`ScoreMatrix`] is materialized once when the term is
+//!    [`ScoreMatrix`](pref_core::eval::ScoreMatrix) is materialized once when the term is
 //!    score-representable, and every downstream algorithm runs its
 //!    pairwise tests on that columnar backend instead of term-tree walks.
 //!
@@ -21,7 +21,7 @@
 use std::fmt;
 
 use pref_core::algebra::simplify;
-use pref_core::eval::{CompiledPref, ScoreMatrix};
+use pref_core::eval::{CompiledPref, MatrixWindow};
 use pref_core::term::Pref;
 use pref_relation::{Lineage, Relation};
 
@@ -74,6 +74,15 @@ pub enum CacheStatus {
     /// was recognized as a re-derivation of a subset the engine has
     /// already materialized.
     DerivedHit,
+    /// Served by *windowing* the cached whole-base matrix onto this
+    /// row-id view (`(base generation, term fingerprint)` plus the
+    /// view's index vector). The subset itself was never materialized —
+    /// not even its predicate has been seen before — but every row of
+    /// the view exists in the base, so the base's matrix answers through
+    /// one index indirection
+    /// ([`MatrixWindow`]). This is the
+    /// warm path for *brand-new* WHERE predicates over a warmed base.
+    WindowHit,
     /// Built fresh (and cached, when an engine with caching ran it).
     Miss,
     /// No matrix was involved: the algorithm doesn't use one, the term
@@ -83,9 +92,12 @@ pub enum CacheStatus {
 }
 
 impl CacheStatus {
-    /// Was the matrix served without a rebuild (either cache route)?
+    /// Was the matrix served without a rebuild (any cache route)?
     pub fn is_warm(&self) -> bool {
-        matches!(self, CacheStatus::Hit | CacheStatus::DerivedHit)
+        matches!(
+            self,
+            CacheStatus::Hit | CacheStatus::DerivedHit | CacheStatus::WindowHit
+        )
     }
 }
 
@@ -94,6 +106,7 @@ impl fmt::Display for CacheStatus {
         f.write_str(match self {
             CacheStatus::Hit => "hit",
             CacheStatus::DerivedHit => "derived-hit",
+            CacheStatus::WindowHit => "window-hit (base matrix via row-id indirection)",
             CacheStatus::Miss => "miss",
             CacheStatus::Bypass => "bypass",
         })
@@ -328,7 +341,7 @@ pub(crate) fn run_algorithm(
     engine: &crate::engine::Engine,
     simplified: &Pref,
     c: &CompiledPref,
-    matrix: Option<&ScoreMatrix>,
+    matrix: Option<&MatrixWindow>,
     selection: (Algorithm, String),
     r: &Relation,
     populate: bool,

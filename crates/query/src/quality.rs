@@ -9,7 +9,7 @@
 //!   non-maximal tuples when the best-matches-only set is too small.
 
 use pref_core::base::BaseRef;
-use pref_core::eval::ScoreMatrix;
+use pref_core::eval::MatrixWindow;
 use pref_core::graph::BetterGraph;
 use pref_core::term::Pref;
 use pref_relation::{Attr, Relation, Tuple};
@@ -85,7 +85,8 @@ impl QualityFilter {
     /// instead of re-walking the term per tuple; see
     /// [`QualityFilter::filter_rows_with`] for the engine-backed variant
     /// that additionally reads quality values off the cached
-    /// [`ScoreMatrix`].
+    /// [`ScoreMatrix`](pref_core::eval::ScoreMatrix) — possibly through
+    /// a [`MatrixWindow`] when `r` is a row-id view.
     pub fn filter_rows(
         &self,
         pref: &Pref,
@@ -114,7 +115,7 @@ impl QualityFilter {
             return Ok(rows.to_vec());
         }
         let matrix = engine.matrix_for(pref, r)?;
-        self.filter_rows_inner(pref, r, rows, matrix.as_deref())
+        self.filter_rows_inner(pref, r, rows, matrix.as_ref())
     }
 
     fn filter_rows_inner(
@@ -122,7 +123,7 @@ impl QualityFilter {
         pref: &Pref,
         r: &Relation,
         rows: &[usize],
-        matrix: Option<&ScoreMatrix>,
+        matrix: Option<&MatrixWindow>,
     ) -> Result<Vec<usize>, QueryError> {
         // Resolve each constraint once: base preference, column, bound,
         // and — when the matrix materialized this base — its key slot.
@@ -317,7 +318,8 @@ pub fn k_best(pref: &Pref, r: &Relation, k: usize) -> Result<Vec<usize>, QueryEr
 }
 
 /// [`k_best`] through an [`Engine`]: the O(n²) better-than graph is
-/// built from the engine-cached [`ScoreMatrix`] when the term
+/// built from the engine-cached
+/// [`ScoreMatrix`](pref_core::eval::ScoreMatrix) when the term
 /// materializes (numeric key comparisons instead of per-pair term
 /// walks), with the compiled-term walk as fallback.
 pub fn k_best_with(

@@ -80,9 +80,11 @@ impl<'a> Column<'a> {
         self.rel.is_empty()
     }
 
-    /// Iterate over the column's values, top to bottom.
+    /// Iterate over the column's values, top to bottom. Row-id views
+    /// read through their index vector into the shared storage, so a
+    /// derived relation's columns are the base's tuples, not copies.
     pub fn iter(&self) -> impl Iterator<Item = &'a Value> + '_ {
-        self.rel.rows().iter().map(move |t| &t[self.col])
+        self.rel.iter().map(move |t| &t[self.col])
     }
 
     /// Materialize the column on the ordered numeric axis (ints, floats,
@@ -175,7 +177,6 @@ impl Relation {
         }
         let mut dict: FastMap<Tuple, u32> = FastMap::default();
         let ids = self
-            .rows()
             .iter()
             .map(|t| {
                 let key = t.project(cols);

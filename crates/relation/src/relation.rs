@@ -86,22 +86,83 @@ fn fold_fingerprint(acc: u64, fp: u64) -> u64 {
 
 /// An in-memory relation. Rows are stored in insertion order; duplicate
 /// rows are allowed (bag semantics, like SQL tables with no key).
+///
+/// ## Shared storage and row-id views
+///
+/// Tuple storage lives behind an `Arc`, and a relation is either *dense*
+/// (its rows are the whole storage vector, in order) or a **row-id
+/// view**: an index vector over storage shared with the relation it was
+/// derived from. [`Relation::select`] / [`Relation::take_rows`] and
+/// their `_derived` flavors build views — O(k) id construction, zero
+/// tuple clones — so deriving a subset never copies values, and the
+/// view's columns and dictionary encodings read the very same tuples as
+/// the base's. Mutating either side is copy-on-write: the mutated
+/// relation flattens (or `Arc::make_mut`s) its own storage, the other
+/// keeps reading the old tuples.
 #[derive(Debug, Clone)]
 pub struct Relation {
     schema: Arc<Schema>,
-    rows: Vec<Tuple>,
+    /// Shared tuple storage. `Arc<Vec<_>>` rather than `Arc<[_]>` so a
+    /// uniquely-owned relation still pushes in O(1) amortized
+    /// (`Arc::make_mut`); views clone the handle, not the tuples.
+    rows: Arc<Vec<Tuple>>,
+    /// `None` = dense (all of `rows`, in order). `Some(ids)` = a view:
+    /// row `i` of this relation is `rows[ids[i]]`.
+    row_ids: Option<Arc<[u32]>>,
+    /// Do `row_ids` index, one-to-one and in order, the rows of the
+    /// relation at generation `lineage.base_generation()`? True exactly
+    /// when that base was dense over this same storage (directly or
+    /// through a chain of windowable views), which is what lets a cached
+    /// whole-base score matrix be *windowed* onto this view by plain
+    /// index indirection. See [`Relation::window_ids`].
+    windowable: bool,
     /// See [`Relation::generation`].
     generation: u64,
     /// See [`Relation::lineage`].
     lineage: Option<Lineage>,
 }
 
+/// Iterator over a relation's tuples (dense storage or a row-id view).
+#[derive(Debug, Clone)]
+pub struct Rows<'a> {
+    rows: &'a [Tuple],
+    ids: Option<std::slice::Iter<'a, u32>>,
+    next: usize,
+}
+
+impl<'a> Iterator for Rows<'a> {
+    type Item = &'a Tuple;
+
+    fn next(&mut self) -> Option<&'a Tuple> {
+        match &mut self.ids {
+            Some(ids) => ids.next().map(|&i| &self.rows[i as usize]),
+            None => {
+                let t = self.rows.get(self.next)?;
+                self.next += 1;
+                Some(t)
+            }
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = match &self.ids {
+            Some(ids) => ids.len(),
+            None => self.rows.len() - self.next,
+        };
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for Rows<'_> {}
+
 impl Relation {
     /// Empty relation with the given schema.
     pub fn empty(schema: Schema) -> Self {
         Relation {
             schema: Arc::new(schema),
-            rows: Vec::new(),
+            rows: Arc::new(Vec::new()),
+            row_ids: None,
+            windowable: false,
             generation: next_generation(),
             lineage: None,
         }
@@ -171,33 +232,108 @@ impl Relation {
 
     /// Number of tuples (`card(R)`).
     pub fn len(&self) -> usize {
-        self.rows.len()
+        match &self.row_ids {
+            Some(ids) => ids.len(),
+            None => self.rows.len(),
+        }
     }
 
     /// Is the relation empty?
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
-    }
-
-    /// The rows.
-    pub fn rows(&self) -> &[Tuple] {
-        &self.rows
+        self.len() == 0
     }
 
     /// Row at index `i`.
     pub fn row(&self, i: usize) -> &Tuple {
-        &self.rows[i]
+        match &self.row_ids {
+            Some(ids) => &self.rows[ids[i] as usize],
+            None => &self.rows[i],
+        }
     }
 
     /// Iterate over tuples.
-    pub fn iter(&self) -> std::slice::Iter<'_, Tuple> {
-        self.rows.iter()
+    pub fn iter(&self) -> Rows<'_> {
+        Rows {
+            rows: &self.rows,
+            ids: self.row_ids.as_ref().map(|ids| ids.iter()),
+            next: 0,
+        }
+    }
+
+    /// Materialize an owned copy of every row, in order — an explicit
+    /// O(n) tuple-clone. The old `rows() -> &[Tuple]` accessor is gone:
+    /// a row-id view has no contiguous slice of its tuples, and handing
+    /// one out silently materialized the copy. Callers that really need
+    /// owned contiguous rows opt in here; everything else should use
+    /// [`Relation::iter`] / [`Relation::row`].
+    pub fn to_owned_rows(&self) -> Vec<Tuple> {
+        self.iter().cloned().collect()
+    }
+
+    /// The row-id index vector when this relation is a zero-copy *view*
+    /// over shared storage (`None` for dense relations). `ids[i]` is the
+    /// storage position of row `i`. Mostly useful for asserting that a
+    /// derivation was O(k) id construction rather than a tuple copy.
+    pub fn row_ids(&self) -> Option<&[u32]> {
+        self.row_ids.as_deref()
+    }
+
+    /// Does this relation read the exact same tuple storage as `other`
+    /// (one is a zero-copy view or clone of the other)?
+    pub fn shares_storage_with(&self, other: &Relation) -> bool {
+        Arc::ptr_eq(&self.rows, &other.rows)
+    }
+
+    /// The window key of this view, when a cached whole-base
+    /// materialization can serve it by index indirection: the generation
+    /// of the dense base relation whose rows `row_ids` index one-to-one,
+    /// plus the ids themselves. `None` for dense relations, for views
+    /// whose lineage was severed, and for views derived from a relation
+    /// that was itself not storage-identical to its lineage base (there
+    /// the ids point into storage, not into the base's row space).
+    pub fn window_ids(&self) -> Option<(u64, &Arc<[u32]>)> {
+        if !self.windowable {
+            return None;
+        }
+        match (&self.lineage, &self.row_ids) {
+            (Some(l), Some(ids)) => Some((l.base_generation(), ids)),
+            _ => None,
+        }
+    }
+
+    /// The row-id view a derivation of `self` carries for the row at
+    /// *view position* `k`: storage-relative, composing through this
+    /// relation's own ids when it is itself a view.
+    fn storage_id(&self, k: usize) -> u32 {
+        match &self.row_ids {
+            Some(ids) => ids[k],
+            None => u32::try_from(k).expect("relation exceeds u32 row-id space"),
+        }
+    }
+
+    /// Is a view derived from `self` windowable onto `self`'s lineage
+    /// base (or onto `self` itself when `self` is the dense base)?
+    fn derivable_window(&self) -> bool {
+        (self.row_ids.is_none() && self.lineage.is_none()) || self.windowable
+    }
+
+    /// Exclusive access to dense storage for mutation: flattens a view
+    /// into fresh owned storage first (the one place a view pays the
+    /// copy — mutating it), then copy-on-writes shared dense storage.
+    fn rows_mut(&mut self) -> &mut Vec<Tuple> {
+        if self.row_ids.is_some() {
+            let dense: Vec<Tuple> = self.iter().cloned().collect();
+            self.rows = Arc::new(dense);
+            self.row_ids = None;
+        }
+        self.windowable = false;
+        Arc::make_mut(&mut self.rows)
     }
 
     /// Append a validated tuple.
     pub fn push(&mut self, row: Tuple) -> Result<()> {
         self.schema.check_row(row.values())?;
-        self.rows.push(row);
+        self.rows_mut().push(row);
         self.generation = next_generation();
         self.lineage = None;
         Ok(())
@@ -208,17 +344,52 @@ impl Relation {
         self.push(Tuple::new(values))
     }
 
+    /// The storage-relative id vector of a selection over this relation.
+    fn filter_ids<F>(&self, pred: F) -> Arc<[u32]>
+    where
+        F: Fn(&Tuple) -> bool,
+    {
+        match &self.row_ids {
+            Some(ids) => ids
+                .iter()
+                .copied()
+                .filter(|&i| pred(&self.rows[i as usize]))
+                .collect(),
+            None => {
+                assert!(
+                    self.rows.len() <= u32::MAX as usize,
+                    "relation exceeds u32 row-id space"
+                );
+                self.rows
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, t)| pred(t))
+                    .map(|(i, _)| i as u32)
+                    .collect()
+            }
+        }
+    }
+
+    /// A zero-copy view over this relation's storage with the given
+    /// storage-relative ids.
+    fn view(&self, ids: Arc<[u32]>, lineage: Option<Lineage>) -> Relation {
+        Relation {
+            schema: Arc::clone(&self.schema),
+            rows: Arc::clone(&self.rows),
+            row_ids: Some(ids),
+            windowable: lineage.is_some() && self.derivable_window(),
+            generation: next_generation(),
+            lineage,
+        }
+    }
+
     /// Hard selection σ (exact-match world): keep rows satisfying `pred`.
+    /// A zero-copy row-id view — O(k) id construction, no tuple clones.
     pub fn select<F>(&self, pred: F) -> Relation
     where
         F: Fn(&Tuple) -> bool,
     {
-        Relation {
-            schema: Arc::clone(&self.schema),
-            rows: self.rows.iter().filter(|t| pred(t)).cloned().collect(),
-            generation: next_generation(),
-            lineage: None,
-        }
+        self.view(self.filter_ids(pred), None)
     }
 
     /// [`Relation::select`] as a *derived view*: the result carries a
@@ -226,7 +397,10 @@ impl Relation {
     /// `predicate_fp` identifying the predicate, so downstream caches can
     /// recognize re-derivations of the same subset (a repeated WHERE
     /// clause over an unchanged table) instead of treating every
-    /// selection as an unrelated relation.
+    /// selection as an unrelated relation — and, when this relation is
+    /// the dense base (or windowable itself), *window* a cached
+    /// whole-base materialization onto the subset by index indirection
+    /// ([`Relation::window_ids`]).
     ///
     /// See the [`Lineage`] soundness contract: `predicate_fp` must
     /// uniquely determine `pred`'s semantics.
@@ -234,74 +408,66 @@ impl Relation {
     where
         F: Fn(&Tuple) -> bool,
     {
-        Relation {
-            schema: Arc::clone(&self.schema),
-            rows: self.rows.iter().filter(|t| pred(t)).cloned().collect(),
-            generation: next_generation(),
-            lineage: Some(self.derive_lineage(predicate_fp)),
-        }
+        self.view(
+            self.filter_ids(pred),
+            Some(self.derive_lineage(predicate_fp)),
+        )
     }
 
-    /// Keep only rows at the given indices (in the given order).
+    /// Keep only rows at the given indices (in the given order). A
+    /// zero-copy row-id view, like [`Relation::select`].
     pub fn take_rows(&self, indices: &[usize]) -> Relation {
-        Relation {
-            schema: Arc::clone(&self.schema),
-            rows: indices.iter().map(|&i| self.rows[i].clone()).collect(),
-            generation: next_generation(),
-            lineage: None,
-        }
+        self.view(indices.iter().map(|&i| self.storage_id(i)).collect(), None)
     }
 
     /// [`Relation::take_rows`] as a *derived view* — for row subsets that
     /// are a deterministic function of this relation's content (e.g. the
     /// σ\[P\] result a decomposition recursion evaluates further), with
     /// `subset_fp` identifying that function. Same [`Lineage`] contract
-    /// as [`Relation::select_derived`].
+    /// (and windowing behavior) as [`Relation::select_derived`].
     pub fn take_rows_derived(&self, indices: &[usize], subset_fp: u64) -> Relation {
-        Relation {
-            schema: Arc::clone(&self.schema),
-            rows: indices.iter().map(|&i| self.rows[i].clone()).collect(),
-            generation: next_generation(),
-            lineage: Some(self.derive_lineage(subset_fp)),
-        }
+        self.view(
+            indices.iter().map(|&i| self.storage_id(i)).collect(),
+            Some(self.derive_lineage(subset_fp)),
+        )
     }
 
-    /// Projection π onto `attrs` (sorted attribute order), keeping duplicates.
+    /// Projection π onto `attrs` (sorted attribute order), keeping
+    /// duplicates. Builds new tuples (the one derivation that cannot be
+    /// a row-id view: the rows themselves change shape).
     pub fn project(&self, attrs: &AttrSet) -> Result<Relation> {
         let cols = self.schema.resolve(attrs)?;
         let schema = self.schema.project(attrs)?;
-        let rows = self.rows.iter().map(|t| t.project(&cols)).collect();
+        let rows = self.iter().map(|t| t.project(&cols)).collect();
         Ok(Relation {
             schema: Arc::new(schema),
-            rows,
+            rows: Arc::new(rows),
+            row_ids: None,
+            windowable: false,
             generation: next_generation(),
             lineage: None,
         })
     }
 
     /// Remove duplicate rows (first occurrence wins, order preserved).
+    /// A zero-copy row-id view over this relation's storage.
     pub fn distinct(&self) -> Relation {
-        let mut seen: HashSet<&Tuple> = HashSet::with_capacity(self.rows.len());
-        let mut keep = Vec::new();
-        for t in &self.rows {
+        let mut seen: HashSet<&Tuple> = HashSet::with_capacity(self.len());
+        let mut keep: Vec<u32> = Vec::new();
+        for (k, t) in self.iter().enumerate() {
             if seen.insert(t) {
-                keep.push(t.clone());
+                keep.push(self.storage_id(k));
             }
         }
-        Relation {
-            schema: Arc::clone(&self.schema),
-            rows: keep,
-            generation: next_generation(),
-            lineage: None,
-        }
+        self.view(keep.into(), None)
     }
 
     /// `card(π_attrs(R))` after dedup — the denominator in result-size
     /// statistics (Def. 18 counts *different A-values*).
     pub fn distinct_count(&self, attrs: &AttrSet) -> Result<usize> {
         let cols = self.schema.resolve(attrs)?;
-        let mut seen: HashSet<Tuple> = HashSet::with_capacity(self.rows.len());
-        for t in &self.rows {
+        let mut seen: HashSet<Tuple> = HashSet::with_capacity(self.len());
+        for t in self.iter() {
             seen.insert(t.project(&cols));
         }
         Ok(seen.len())
@@ -315,7 +481,8 @@ impl Relation {
                 right: other.schema().to_string(),
             });
         }
-        self.rows.extend(other.rows.iter().cloned());
+        let extra: Vec<Tuple> = other.iter().cloned().collect();
+        self.rows_mut().extend(extra);
         self.generation = next_generation();
         self.lineage = None;
         Ok(())
@@ -328,7 +495,7 @@ impl Relation {
         F: FnMut(&Tuple) -> K,
         K: Ord,
     {
-        self.rows.sort_by_key(f);
+        self.rows_mut().sort_by_key(f);
         self.generation = next_generation();
         self.lineage = None;
     }
@@ -337,7 +504,7 @@ impl Relation {
 impl fmt::Display for Relation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "{}", self.schema)?;
-        for t in &self.rows {
+        for t in self.iter() {
             writeln!(f, "  {t}")?;
         }
         Ok(())
@@ -346,10 +513,10 @@ impl fmt::Display for Relation {
 
 impl<'a> IntoIterator for &'a Relation {
     type Item = &'a Tuple;
-    type IntoIter = std::slice::Iter<'a, Tuple>;
+    type IntoIter = Rows<'a>;
 
     fn into_iter(self) -> Self::IntoIter {
-        self.rows.iter()
+        self.iter()
     }
 }
 
@@ -535,5 +702,95 @@ mod tests {
         let p = r.project(&AttrSet::empty()).unwrap();
         assert_eq!(p.schema().arity(), 0);
         assert_eq!(p.distinct().len(), 1); // all rows project to ()
+    }
+
+    #[test]
+    fn selections_are_zero_copy_views() {
+        let r = cars();
+        let bmw = r.select(|t| t[0] == Value::from("BMW"));
+        assert!(bmw.shares_storage_with(&r), "select must not clone tuples");
+        assert_eq!(bmw.row_ids(), Some(&[1u32, 3][..]));
+        assert_eq!(bmw.row(1)[1], Value::from(50_000));
+
+        let sub = r.take_rows(&[3, 0]);
+        assert!(sub.shares_storage_with(&r));
+        assert_eq!(sub.row_ids(), Some(&[3u32, 0][..]));
+
+        // Stacked views compose ids onto the same storage.
+        let nested = bmw.take_rows(&[1]);
+        assert!(nested.shares_storage_with(&r));
+        assert_eq!(nested.row_ids(), Some(&[3u32][..]));
+        assert_eq!(nested.row(0)[1], Value::from(50_000));
+
+        // Dense relations report no ids; projection re-materializes.
+        assert_eq!(r.row_ids(), None);
+        let proj = r.project(&AttrSet::single(attr("make"))).unwrap();
+        assert!(!proj.shares_storage_with(&r));
+    }
+
+    #[test]
+    fn mutating_a_view_copies_on_write() {
+        let r = cars();
+        let mut v = r.select(|t| t[0] == Value::from("BMW"));
+        v.push_values(vec![Value::from("Opel"), Value::from(1)])
+            .unwrap();
+        assert!(!v.shares_storage_with(&r), "mutation must flatten the view");
+        assert_eq!(v.row_ids(), None);
+        assert_eq!(v.len(), 3);
+        assert_eq!(r.len(), 4, "the base is untouched");
+
+        // Mutating the base of a live view leaves the view reading the
+        // old storage.
+        let mut base = cars();
+        let v = base.select(|_| true);
+        base.sort_by_key(|t| t[1].clone());
+        assert!(!v.shares_storage_with(&base));
+        assert_eq!(v.row(0)[0], Value::from("Audi"), "view sees old order");
+    }
+
+    #[test]
+    fn window_ids_track_the_dense_base() {
+        let r = cars();
+        let d = r.select_derived(|t| t[0] == Value::from("BMW"), 7);
+        let (base_gen, ids) = d.window_ids().expect("derived from a dense base");
+        assert_eq!(base_gen, r.generation());
+        assert_eq!(&ids[..], &[1u32, 3]);
+
+        // Stacked derivations stay windowable onto the root base.
+        let dd = d.take_rows_derived(&[1], 9);
+        let (gen2, ids2) = dd.window_ids().expect("stacked view stays windowable");
+        assert_eq!(gen2, r.generation());
+        assert_eq!(&ids2[..], &[3u32]);
+
+        // Lineage-blind views are not windowable, and neither is a
+        // derivation rooted at one: its lineage base is the blind view,
+        // whose row space is not the shared storage.
+        let blind = r.select(|_| true);
+        assert!(blind.window_ids().is_none());
+        let from_blind = blind.select_derived(|_| true, 3);
+        assert_eq!(
+            from_blind.lineage().unwrap().base_generation(),
+            blind.generation()
+        );
+        assert!(from_blind.window_ids().is_none());
+
+        // Mutation severs the window along with the lineage.
+        let mut d = r.select_derived(|_| true, 42);
+        assert!(d.window_ids().is_some());
+        d.sort_by_key(|t| t[1].clone());
+        assert!(d.window_ids().is_none());
+
+        // Dense relations have no window.
+        assert!(r.window_ids().is_none());
+    }
+
+    #[test]
+    fn to_owned_rows_is_the_explicit_copy() {
+        let r = cars();
+        let v = r.take_rows(&[2, 1]);
+        let owned = v.to_owned_rows();
+        assert_eq!(owned.len(), 2);
+        assert_eq!(owned[0][0], Value::from("VW"));
+        assert!(v.iter().eq(owned.iter()));
     }
 }

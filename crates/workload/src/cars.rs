@@ -147,7 +147,7 @@ mod tests {
     fn deterministic_and_sized() {
         let a = catalog(100, 5);
         let b = catalog(100, 5);
-        assert_eq!(a.rows(), b.rows());
+        assert_eq!(a.to_owned_rows(), b.to_owned_rows());
         assert_eq!(a.len(), 100);
         assert_eq!(a.schema().arity(), 11);
     }

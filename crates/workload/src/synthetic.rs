@@ -101,9 +101,9 @@ mod tests {
     fn deterministic_for_fixed_seed() {
         let a = table(50, 3, Distribution::Independent, 42);
         let b = table(50, 3, Distribution::Independent, 42);
-        assert_eq!(a.rows(), b.rows());
+        assert_eq!(a.to_owned_rows(), b.to_owned_rows());
         let c = table(50, 3, Distribution::Independent, 43);
-        assert_ne!(a.rows(), c.rows());
+        assert_ne!(a.to_owned_rows(), c.to_owned_rows());
     }
 
     #[test]

@@ -54,7 +54,7 @@ mod tests {
     fn deterministic_and_in_season() {
         let a = trips(50, 3);
         let b = trips(50, 3);
-        assert_eq!(a.rows(), b.rows());
+        assert_eq!(a.to_owned_rows(), b.to_owned_rows());
         let date_col = a.schema().index_of(&attr("start_date")).unwrap();
         let lo = Date::parse("2001/11/01").unwrap();
         let hi = Date::parse("2002/01/01").unwrap();

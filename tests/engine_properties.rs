@@ -131,6 +131,100 @@ proptest! {
     }
 
     #[test]
+    fn windowed_execution_agrees_with_fresh_materialization(
+        p in arb_pref(),
+        mut r in arb_relation(12),
+        extra in arb_relation(5),
+        subset_seeds in proptest::collection::vec(
+            proptest::collection::vec(0usize..64, 0..12), 1..4),
+        stack_seed in proptest::collection::vec(0usize..64, 0..8),
+    ) {
+        // Windowed execution over arbitrary row subsets of a warmed base
+        // must equal a fresh uncached materialization of the same rows —
+        // across base mutations (the generation bump must sever every
+        // window) and across stacked derivations.
+        let engine = Engine::new();
+        let q = engine.prepare(&p, &test_schema()).expect("term compiles");
+
+        let check_round = |r: &Relation, subsets: &[Vec<usize>], fp_salt: u64| {
+            // Warm the whole-base matrix for this content state.
+            let (_, ex_base) = q.execute(r).expect("base execution runs");
+            let base_materialized = ex_base.materialized;
+
+            for (si, seeds) in subsets.iter().enumerate() {
+                if r.is_empty() {
+                    continue;
+                }
+                let idx: Vec<usize> = seeds.iter().map(|s| s % r.len()).collect();
+                let d = r.take_rows_derived(&idx, fp_salt ^ (si as u64 + 1));
+
+                // The derivation is O(k) id construction over shared
+                // storage — no per-tuple clones.
+                assert!(d.shares_storage_with(r), "derivation copied tuples for {p}");
+                assert_eq!(d.row_ids().map(<[u32]>::len), Some(idx.len()));
+
+                // Oracle: a lineage-less materialized copy, uncached.
+                let oracle = q
+                    .execute_uncached(&Relation::from_rows(
+                        test_schema(),
+                        d.to_owned_rows(),
+                    ).expect("copy of valid rows"))
+                    .expect("oracle runs")
+                    .0;
+                let (rows, ex) = q.execute(&d).expect("windowed execution runs");
+                assert_eq!(rows, oracle, "windowed result diverged for {p}");
+                if base_materialized {
+                    assert_eq!(ex.cache, CacheStatus::WindowHit,
+                        "warmed base must serve the subset via a window for {p}");
+                } else {
+                    assert_eq!(ex.cache, CacheStatus::Bypass);
+                }
+
+                // A stacked derivation windows onto the *root* base.
+                if !d.is_empty() {
+                    let idx2: Vec<usize> = stack_seed.iter().map(|s| s % d.len()).collect();
+                    let dd = d.take_rows_derived(&idx2, fp_salt ^ 0x5157);
+                    assert!(dd.shares_storage_with(r));
+                    let oracle2 = q
+                        .execute_uncached(&Relation::from_rows(
+                            test_schema(),
+                            dd.to_owned_rows(),
+                        ).expect("copy of valid rows"))
+                        .expect("oracle runs")
+                        .0;
+                    let (rows2, ex2) = q.execute(&dd).expect("stacked execution runs");
+                    assert_eq!(rows2, oracle2, "stacked window diverged for {p}");
+                    if base_materialized {
+                        assert_eq!(ex2.cache, CacheStatus::WindowHit);
+                    }
+                }
+            }
+        };
+
+        check_round(&r, &subset_seeds, 0x1000);
+
+        // Mutate the base: its generation moves, so every window rooted
+        // in the old state is unreachable — post-mutation derivations
+        // must run against the new content (re-warmed inside the round),
+        // and results must reflect the mutated rows.
+        r.union_all(&extra).expect("same schema");
+        check_round(&r, &subset_seeds, 0x2000);
+
+        // Mutating a *view* severs its lineage (and window) and detaches
+        // its storage: the executed result still matches its frozen
+        // content.
+        if !r.is_empty() {
+            let mut v = r.take_rows_derived(&[0, r.len() - 1], 0x3000);
+            v.push_values(vec![Value::from(1), Value::from(1), Value::from("x")])
+                .expect("row matches test schema");
+            assert!(v.window_ids().is_none(), "mutation must sever the window");
+            let oracle = q.execute_uncached(&v).expect("oracle runs").0;
+            let (rows, _) = q.execute(&v).expect("mutated view runs");
+            assert_eq!(rows, oracle);
+        }
+    }
+
+    #[test]
     fn columnar_groupby_agrees_with_the_definitional_form(
         p in arb_pref(),
         r in arb_relation(12),

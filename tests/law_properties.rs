@@ -161,8 +161,8 @@ proptest! {
     fn duals_are_involutive_pointwise(p in arb_pref(), r in arb_relation(10)) {
         let c = CompiledPref::compile(&p, &test_schema()).expect("term compiles");
         let d = CompiledPref::compile(&p.clone().dual(), &test_schema()).expect("dual compiles");
-        for x in r.rows() {
-            for y in r.rows() {
+        for x in r.iter() {
+            for y in r.iter() {
                 prop_assert_eq!(c.better(x, y), d.better(y, x));
             }
         }
@@ -173,8 +173,8 @@ proptest! {
         // Prop. 3h on the tuple level, modulo duplicate projections.
         let p = lowest("a").prior(highest("b"));
         let c = CompiledPref::compile(&p, &test_schema()).expect("term compiles");
-        for x in r.rows() {
-            for y in r.rows() {
+        for x in r.iter() {
+            for y in r.iter() {
                 let ranked = c.better(x, y) || c.better(y, x);
                 let same_proj = x[0] == y[0] && x[1] == y[1];
                 prop_assert_eq!(ranked, !same_proj);

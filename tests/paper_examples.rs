@@ -144,11 +144,11 @@ fn example8_bmo_and_perfect_match() {
     assert_eq!(colors, vec!["yellow", "red"]);
     // "Note that red is a perfect match."
     assert_eq!(
-        perfect_match(&p, &r, &r.rows()[1]).expect("fixture compiles"),
+        perfect_match(&p, &r, r.row(1)).expect("fixture compiles"),
         Some(true)
     );
     assert_eq!(
-        perfect_match(&p, &r, &r.rows()[0]).expect("fixture compiles"),
+        perfect_match(&p, &r, r.row(0)).expect("fixture compiles"),
         Some(false)
     );
 }

@@ -9,11 +9,91 @@
 //!
 //! Benches must set `harness = false` in the manifest, exactly as with
 //! the real criterion.
+//!
+//! Extension over the real criterion's CLI: `--json <path>` writes every
+//! benchmark's summary statistics as a machine-readable JSON document
+//! when the process finishes ([`finalize`], invoked by
+//! [`criterion_main!`]) — the hook the CI bench-trajectory gate reads.
 
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Re-export for benches that use `criterion::black_box`.
 pub use std::hint::black_box;
+
+/// One finished benchmark's summary statistics, accumulated across every
+/// [`Criterion`] instance of the process for [`finalize`].
+#[derive(Debug, Clone)]
+struct BenchRecord {
+    label: String,
+    median_ns: u128,
+    mean_ns: u128,
+    min_ns: u128,
+    samples: usize,
+}
+
+/// Process-wide record sink: each group builds its own [`Criterion`],
+/// so per-instance storage would lose everything but the last group.
+static RESULTS: Mutex<Vec<BenchRecord>> = Mutex::new(Vec::new());
+
+/// The `--json <path>` argument, if present.
+fn json_path() -> Option<String> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--json" {
+            return args.next();
+        }
+    }
+    None
+}
+
+/// Minimal JSON string escape (labels are plain ASCII benchmark names,
+/// but quotes and backslashes must never corrupt the document).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Write the accumulated benchmark records to the `--json <path>` file,
+/// when the flag was given. Called once at the end of the
+/// [`criterion_main!`]-generated `main`; a no-op otherwise. Format:
+///
+/// ```json
+/// {"benchmarks": [
+///   {"name": "group/bench/param", "median_ns": 1234,
+///    "mean_ns": 1300, "min_ns": 1200, "samples": 10}
+/// ]}
+/// ```
+pub fn finalize() {
+    let Some(path) = json_path() else { return };
+    let results = RESULTS.lock().expect("bench results poisoned");
+    let mut doc = String::from("{\"benchmarks\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        if i > 0 {
+            doc.push_str(",\n");
+        }
+        doc.push_str(&format!(
+            "  {{\"name\": \"{}\", \"median_ns\": {}, \"mean_ns\": {}, \
+             \"min_ns\": {}, \"samples\": {}}}",
+            json_escape(&r.label),
+            r.median_ns,
+            r.mean_ns,
+            r.min_ns,
+            r.samples
+        ));
+    }
+    doc.push_str("\n]}\n");
+    std::fs::write(&path, doc).unwrap_or_else(|e| panic!("cannot write --json {path}: {e}"));
+    println!("wrote benchmark JSON: {path}");
+}
 
 /// Benchmark identifier: a function name plus a parameter, displayed as
 /// `name/param`.
@@ -110,6 +190,16 @@ fn report(label: &str, samples: &[Duration]) {
         fmt_duration(min),
         sorted.len()
     );
+    RESULTS
+        .lock()
+        .expect("bench results poisoned")
+        .push(BenchRecord {
+            label: label.to_string(),
+            median_ns: median.as_nanos(),
+            mean_ns: mean.as_nanos(),
+            min_ns: min.as_nanos(),
+            samples: sorted.len(),
+        });
 }
 
 /// Top-level benchmark driver.
@@ -121,12 +211,26 @@ pub struct Criterion {
 
 impl Default for Criterion {
     fn default() -> Self {
-        // `cargo bench -- <filter>` passes the filter as a free argument;
-        // flags other than `--test` are ignored. `--test` mirrors real
-        // criterion's test mode: run every benchmark once to prove it
-        // works, skip the timing loop — the CI smoke-step contract.
-        let test_mode = std::env::args().skip(1).any(|a| a == "--test");
-        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        // `cargo bench -- <filter>` passes the filter as a free argument.
+        // `--test` mirrors real criterion's test mode: run every
+        // benchmark once to prove it works, skip the timing loop — the
+        // CI smoke-step contract. `--json <path>` requests the summary
+        // document ([`finalize`]); its value must not be mistaken for
+        // the filter, so flags with values are skipped pairwise. Other
+        // flags are ignored.
+        let mut test_mode = false;
+        let mut filter = None;
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--test" => test_mode = true,
+                "--json" => {
+                    let _ = args.next(); // the path, consumed by finalize()
+                }
+                a if !a.starts_with('-') && filter.is_none() => filter = Some(a.to_string()),
+                _ => {}
+            }
+        }
         Criterion {
             filter,
             default_sample_size: if test_mode { 1 } else { 10 },
@@ -269,12 +373,15 @@ macro_rules! criterion_group {
     };
 }
 
-/// Declare the bench entry point, mirroring criterion's macro.
+/// Declare the bench entry point, mirroring criterion's macro. After
+/// every group has run, [`finalize`] writes the `--json` summary
+/// document when that flag was passed.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $( $group(); )+
+            $crate::finalize();
         }
     };
 }
@@ -288,6 +395,16 @@ mod tests {
         let mut b = Bencher::new(5, Duration::from_secs(1));
         b.iter(|| black_box(2 + 2));
         assert!(!b.samples.is_empty() && b.samples.len() <= 5);
+    }
+
+    #[test]
+    fn json_escaping_is_safe() {
+        assert_eq!(json_escape(r#"a"b\c"#), r#"a\"b\\c"#);
+        assert_eq!(
+            json_escape("pareto/backend/bnl-matrix/16000"),
+            "pareto/backend/bnl-matrix/16000"
+        );
+        assert_eq!(json_escape("a\nb"), "a\\u000ab");
     }
 
     #[test]
