@@ -14,6 +14,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use pref_core::term::{around, lowest};
 use pref_query::{CacheStatus, Engine};
 use pref_relation::{attr, predicate_fingerprint, Relation, Value};
+use pref_sql::PrefSql;
 use pref_workload::querylog::{
     customer_log, prepare_customer_log, prepare_log, query_log, replay, replay_customers,
 };
@@ -197,6 +198,86 @@ fn bench_engine_cache(c: &mut Criterion) {
                 );
                 total += rows.len();
             }
+            black_box(total)
+        })
+    });
+
+    // Parameterized prepared statements: the statement's *shape* — lex,
+    // parse, AST→term rewrite, engine compilation — is built once at
+    // prepare time; every request only re-binds literals (a slot patch
+    // over the compiled shape). `param-cold-reparse` is the per-request
+    // style: a fresh session lexes, parses, rewrites, compiles and
+    // materializes per query; `param-warm-prepared-statement` replays the
+    // same bindings through one prepared statement, where each candidate
+    // view windows onto the resident whole-table matrix.
+    let mut db = PrefSql::new();
+    db.register("car", catalog.clone());
+    let stmt = db
+        .prepare(
+            "SELECT * FROM car WHERE price <= $1 \
+             PREFERRING price AROUND $2 AND LOWEST(mileage)",
+        )
+        .expect("statement parses");
+    assert!(
+        stmt.is_precompiled(),
+        "parameterized statements must compile their shape at prepare time"
+    );
+    // Prime the preference binding once: its first-ever sighting builds
+    // a matrix (the executor only pays the whole-table warm-keep once a
+    // parameterized preference binding proves to recur).
+    stmt.execute(&db, &[Value::from(12_000), Value::from(20_000)])
+        .expect("priming binding runs");
+    // Smoke guard (runs under `-- --test` in CI): after priming, every
+    // binding — including every *fresh* WHERE binding — must report a
+    // warm cache status and the stable shape fingerprint.
+    let mut param_expected = 0;
+    let mut shape_fp = None;
+    for k in 0..WINDOW_PREDICATES {
+        let res = stmt
+            .execute(&db, &[Value::from(12_000 + 2_000 * k), Value::from(20_000)])
+            .expect("binding runs");
+        let ex = res.explain.expect("BMO stage ran");
+        assert!(
+            ex.cache.is_warm(),
+            "parameterized binding must run warm, got {ex}"
+        );
+        let fp = ex.shape_fingerprint.expect("bound shape reports itself");
+        assert_eq!(
+            *shape_fp.get_or_insert(fp),
+            fp,
+            "shape fingerprint must be stable across bindings"
+        );
+        param_expected += res.relation.len();
+    }
+    group.bench_function("param-cold-reparse", |b| {
+        b.iter(|| {
+            let mut fresh = PrefSql::new();
+            fresh.register("car", catalog.clone());
+            let mut total = 0;
+            for k in 0..WINDOW_PREDICATES {
+                let sql = format!(
+                    "SELECT * FROM car WHERE price <= {} \
+                     PREFERRING price AROUND 20000 AND LOWEST(mileage)",
+                    12_000 + 2_000 * k
+                );
+                total += fresh.execute(&sql).expect("query runs").relation.len();
+            }
+            black_box(total)
+        })
+    });
+    group.bench_function("param-warm-prepared-statement", |b| {
+        b.iter(|| {
+            let mut total = 0;
+            for k in 0..WINDOW_PREDICATES {
+                let res = stmt
+                    .execute(&db, &[Value::from(12_000 + 2_000 * k), Value::from(20_000)])
+                    .expect("binding runs");
+                total += res.relation.len();
+            }
+            assert_eq!(
+                total, param_expected,
+                "binding replay must be deterministic"
+            );
             black_box(total)
         })
     });

@@ -44,6 +44,12 @@ const SCENARIOS: &[(&str, &str, &str, f64)] = &[
         "engine_cache/window-cold-rebuild",
         0.95,
     ),
+    (
+        "param-replay",
+        "engine_cache/param-warm-prepared-statement",
+        "engine_cache/param-cold-reparse",
+        0.95,
+    ),
 ];
 
 #[derive(Debug, Clone)]
@@ -98,6 +104,91 @@ fn field_u128(line: &str, key: &str) -> Option<u128> {
     digits.parse().ok()
 }
 
+fn field_f64(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\": ");
+    let start = line.find(&pat)? + pat.len();
+    let digits: String = line[start..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+        .collect();
+    digits.parse().ok()
+}
+
+/// The PR number encoded in a `BENCH_<n>.json` path, if any.
+fn trajectory_number(path: &str) -> Option<u32> {
+    let name = path.rsplit('/').next()?;
+    let digits = name.strip_prefix("BENCH_")?.strip_suffix(".json")?;
+    digits.parse().ok()
+}
+
+/// Read the scenario ratios out of a previously committed trajectory
+/// document (our own output format: one scenario object per line).
+fn previous_ratios(doc: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for line in doc.lines() {
+        let line = line.trim().trim_end_matches(',');
+        if !line.starts_with('"') || !line.contains("\"warm_ns\"") {
+            continue;
+        }
+        let Some(end) = line[1..].find('"') else {
+            continue;
+        };
+        let name = line[1..=end].to_string();
+        if let Some(ratio) = field_f64(line, "ratio") {
+            out.push((name, ratio));
+        }
+    }
+    out
+}
+
+/// Compare this run's ratios against the previous committed trajectory
+/// point (`BENCH_<n-1>.json`, looked up next to the output path). A
+/// missing previous point is **warned about loudly** — an empty
+/// trajectory means the gate is only checking absolute thresholds, not
+/// the PR-to-PR drift it exists to trace. Drift itself is advisory
+/// (timings move between machines); the hard gate stays the committed
+/// thresholds.
+fn report_trajectory(out_path: &str, current: &[(String, f64)]) {
+    let Some(n) = trajectory_number(out_path) else {
+        eprintln!(
+            "bench_gate: warning: output `{out_path}` is not BENCH_<n>.json; \
+             cannot locate a previous trajectory point"
+        );
+        return;
+    };
+    let prev_path = match out_path.rfind('/') {
+        Some(i) => format!("{}BENCH_{}.json", &out_path[..=i], n - 1),
+        None => format!("BENCH_{}.json", n - 1),
+    };
+    let Ok(doc) = std::fs::read_to_string(&prev_path) else {
+        eprintln!(
+            "bench_gate: warning: previous trajectory point `{prev_path}` is \
+             missing — no PR-to-PR drift check, gating against committed \
+             thresholds only. Commit the generated {out_path} so the next PR \
+             has a baseline."
+        );
+        return;
+    };
+    let prev = previous_ratios(&doc);
+    if prev.is_empty() {
+        eprintln!("bench_gate: warning: `{prev_path}` contains no scenario ratios");
+        return;
+    }
+    for (scenario, ratio) in current {
+        match prev.iter().find(|(name, _)| name == scenario) {
+            Some((_, before)) => {
+                let drift = ratio - before;
+                println!(
+                    "trajectory {scenario:<24} warm/cold {before:.3} -> {ratio:.3} \
+                     ({}{drift:.3} vs {prev_path})",
+                    if drift >= 0.0 { "+" } else { "" }
+                );
+            }
+            None => println!("trajectory {scenario:<24} new scenario (absent from {prev_path})"),
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let mut out_path = None;
@@ -144,6 +235,7 @@ fn main() -> ExitCode {
 
     let mut failed = false;
     let mut scenario_json = Vec::new();
+    let mut current_ratios: Vec<(String, f64)> = Vec::new();
     for &(scenario, warm_label, cold_label, threshold) in SCENARIOS {
         let (Some(warm), Some(cold)) = (median_of(warm_label), median_of(cold_label)) else {
             // A missing scenario is a gate failure, not a silent pass —
@@ -173,9 +265,13 @@ fn main() -> ExitCode {
             "    \"{scenario}\": {{\"warm_ns\": {warm}, \"cold_ns\": {cold}, \
              \"ratio\": {ratio:.4}, \"threshold\": {threshold}, \"ok\": {ok}}}"
         ));
+        current_ratios.push((scenario.to_string(), ratio));
     }
 
-    let mut doc = String::from("{\n  \"pr\": 4,\n  \"scenarios\": {\n");
+    report_trajectory(&out_path, &current_ratios);
+
+    let pr = trajectory_number(&out_path).map_or_else(|| "null".to_string(), |n| n.to_string());
+    let mut doc = format!("{{\n  \"pr\": {pr},\n  \"scenarios\": {{\n");
     doc.push_str(&scenario_json.join(",\n"));
     doc.push_str("\n  },\n  \"benchmarks\": [\n");
     doc.push_str(

@@ -56,6 +56,7 @@ pub mod base;
 pub mod error;
 pub mod eval;
 pub mod graph;
+pub mod param;
 pub mod repo;
 pub mod spo;
 pub mod term;
@@ -70,6 +71,7 @@ pub mod prelude {
     pub use crate::error::CoreError;
     pub use crate::eval::CompiledPref;
     pub use crate::graph::BetterGraph;
+    pub use crate::param::{around_slot, ParamBase, ParamSpec, SlotValue};
     pub use crate::repo::Repository;
     pub use crate::term::{
         antichain, around, between, explicit, highest, layered, lowest, neg, pos, pos_neg, pos_pos,

@@ -1,0 +1,339 @@
+//! Parameterized preference shapes: terms whose base-preference
+//! constructors hold `$n` **slots** alongside concrete values.
+//!
+//! Kießling's framework treats a preference query as a fixed term shape
+//! over varying constants — exactly the workload a prepared-statement
+//! engine sees when the same `PREFERRING price AROUND $1` runs with a
+//! different binding per request. A [`ParamBase`] is a base-preference
+//! *shape*: it prints and fingerprints like the constructor it stands
+//! for (with `$n` in the parameter positions), participates in term
+//! algebra as an ordinary [`Pref::Base`](crate::term::Pref) leaf, and
+//! [instantiates](ParamSpec::instantiate) into the concrete constructor
+//! once values are bound.
+//!
+//! Binding never re-walks an AST or re-resolves attributes: the shape is
+//! compiled once ([`crate::eval::CompiledPref`]), and
+//! [`CompiledPref::bind`](crate::eval::CompiledPref::bind) patches the
+//! slot-bearing nodes in place, preserving every resolved column index
+//! and equality-projection layout.
+//!
+//! As a *preference*, an unbound shape denotes the empty order (nothing
+//! is better than anything) — a valid strict partial order, so shapes
+//! flow through the algebra and the optimizer without special cases;
+//! evaluating one without binding is a caller error the query layer
+//! rejects up front.
+
+use std::fmt;
+use std::sync::Arc;
+
+use pref_relation::Value;
+
+use crate::base::{Around, BasePreference, BaseRef, Range};
+use crate::error::CoreError;
+
+/// A parameter position in a shape: either a concrete value fixed at
+/// prepare time or a 1-based `$n` slot filled at bind time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SlotValue {
+    /// A constant, fixed when the shape was built.
+    Const(Value),
+    /// `$n` (1-based), resolved against the binding's `values[n - 1]`.
+    Slot(usize),
+}
+
+impl SlotValue {
+    /// Resolve against a binding. `Const` ignores `values`; `Slot(n)`
+    /// reads `values[n - 1]` and fails with
+    /// [`CoreError::UnboundSlot`] when the binding is too short.
+    pub fn resolve<'a>(&'a self, values: &'a [Value]) -> Result<&'a Value, CoreError> {
+        match self {
+            SlotValue::Const(v) => Ok(v),
+            SlotValue::Slot(n) => values
+                .get(n.checked_sub(1).ok_or(CoreError::UnboundSlot { slot: 0 })?)
+                .ok_or(CoreError::UnboundSlot { slot: *n }),
+        }
+    }
+
+    /// The slot index, if this is a slot.
+    pub fn slot(&self) -> Option<usize> {
+        match self {
+            SlotValue::Const(_) => None,
+            SlotValue::Slot(n) => Some(*n),
+        }
+    }
+}
+
+impl fmt::Display for SlotValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SlotValue::Const(v) => write!(f, "{v}"),
+            SlotValue::Slot(n) => write!(f, "${n}"),
+        }
+    }
+}
+
+/// A parameterized base-preference constructor: how a slot-bearing shape
+/// prints, which slots it reads, and how it instantiates into a concrete
+/// [`BasePreference`] once values are bound.
+///
+/// Implementations own any value coercion (the SQL layer coerces bound
+/// values against the column type here); a value that cannot stand in
+/// for the slot surfaces as [`CoreError::BadBinding`].
+pub trait ParamSpec: fmt::Debug + Send + Sync {
+    /// Constructor name as the paper writes it (`"AROUND"`, `"POS"`, …) —
+    /// the name of the *instantiated* constructor, so shape fingerprints
+    /// and concrete fingerprints share a namespace but never collide
+    /// (the shape's parameter rendering contains `$n`).
+    fn ctor_name(&self) -> &'static str;
+
+    /// Parameter rendering with `$n` in the slot positions — the shape
+    /// half of the fingerprint, stable across bindings.
+    fn shape_params(&self) -> String;
+
+    /// Will the instantiated constructor belong to the SCORE family
+    /// ([`BasePreference::is_numerical`])? Governs whether the shape may
+    /// stand in a `rank(F)` operand position before binding.
+    fn numerical_hint(&self) -> bool {
+        false
+    }
+
+    /// Append every slot index this shape reads (1-based, duplicates
+    /// allowed) to `out`.
+    fn collect_slots(&self, out: &mut Vec<usize>);
+
+    /// Build the concrete base preference for a binding
+    /// (`values[0] = $1`). Fails with [`CoreError::UnboundSlot`] when
+    /// the binding is too short and [`CoreError::BadBinding`] when a
+    /// value cannot inhabit its slot.
+    fn instantiate(&self, values: &[Value]) -> Result<BaseRef, CoreError>;
+}
+
+/// A base-preference *shape* — the [`BasePreference`] wrapper around a
+/// [`ParamSpec`] that lets parameterized terms flow through the algebra,
+/// the compiler and the fingerprint machinery as ordinary base leaves.
+///
+/// The order it denotes while unbound is empty (`better` is constantly
+/// false): shapes are placeholders, not preferences to evaluate, and the
+/// query layer refuses to execute an unbound one.
+#[derive(Debug, Clone)]
+pub struct ParamBase {
+    spec: Arc<dyn ParamSpec>,
+}
+
+impl ParamBase {
+    /// Wrap a parameter spec.
+    pub fn new(spec: impl ParamSpec + 'static) -> Self {
+        ParamBase {
+            spec: Arc::new(spec),
+        }
+    }
+
+    /// Wrap a shared parameter spec handle.
+    pub fn from_spec(spec: Arc<dyn ParamSpec>) -> Self {
+        ParamBase { spec }
+    }
+
+    /// The underlying spec.
+    pub fn spec(&self) -> &Arc<dyn ParamSpec> {
+        &self.spec
+    }
+
+    /// The slot indices this shape reads (sorted, deduplicated).
+    pub fn slots(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.spec.collect_slots(&mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Instantiate the concrete base preference for a binding.
+    pub fn instantiate(&self, values: &[Value]) -> Result<BaseRef, CoreError> {
+        self.spec.instantiate(values)
+    }
+}
+
+impl BasePreference for ParamBase {
+    fn name(&self) -> &'static str {
+        self.spec.ctor_name()
+    }
+
+    // An unbound shape ranks nothing: the empty order is a strict
+    // partial order, so shapes compose under every constructor.
+    fn better(&self, _x: &Value, _y: &Value) -> bool {
+        false
+    }
+
+    fn is_numerical(&self) -> bool {
+        self.spec.numerical_hint()
+    }
+
+    fn range(&self) -> Range {
+        Range::Unbounded
+    }
+
+    fn params(&self) -> String {
+        self.spec.shape_params()
+    }
+
+    fn as_param(&self) -> Option<&ParamBase> {
+        Some(self)
+    }
+}
+
+/// The canonical core-level shape: `AROUND(A; $n)` with the target
+/// supplied at bind time. Richer shapes (typed against a schema, mixing
+/// constants and slots in value sets) live in the SQL layer; this one
+/// exists so engine-level callers and tests can exercise the bind path
+/// without a SQL front end.
+#[derive(Debug, Clone)]
+pub struct AroundSlot {
+    slot: usize,
+}
+
+impl AroundSlot {
+    /// `AROUND(·; $slot)` (1-based).
+    pub fn new(slot: usize) -> Self {
+        assert!(slot >= 1, "slots are 1-based, like $n placeholders");
+        AroundSlot { slot }
+    }
+}
+
+impl ParamSpec for AroundSlot {
+    fn ctor_name(&self) -> &'static str {
+        "AROUND"
+    }
+
+    fn shape_params(&self) -> String {
+        format!("${}", self.slot)
+    }
+
+    fn numerical_hint(&self) -> bool {
+        true
+    }
+
+    fn collect_slots(&self, out: &mut Vec<usize>) {
+        out.push(self.slot);
+    }
+
+    fn instantiate(&self, values: &[Value]) -> Result<BaseRef, CoreError> {
+        let v = values
+            .get(self.slot - 1)
+            .ok_or(CoreError::UnboundSlot { slot: self.slot })?;
+        if v.ordinal().is_none() {
+            return Err(CoreError::BadBinding {
+                slot: self.slot,
+                value: v.to_string(),
+                expected: "a numeric or date AROUND target".to_string(),
+            });
+        }
+        Ok(Arc::new(Around::new(v.clone())))
+    }
+}
+
+/// `AROUND(attr; $slot)` as a term — the parameterized counterpart of
+/// [`crate::term::around`].
+pub fn around_slot(attr: impl Into<pref_relation::Attr>, slot: usize) -> crate::term::Pref {
+    crate::term::Pref::base(attr, ParamBase::new(AroundSlot::new(slot)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::{around, lowest, Pref};
+    use pref_relation::{rel, Schema};
+
+    #[test]
+    fn shapes_print_and_fingerprint_with_slots() {
+        let p = around_slot("price", 1);
+        assert_eq!(p.to_string(), "AROUND(price; $1)");
+        assert!(p.has_params());
+        assert_eq!(p.param_slots(), vec![1]);
+        assert!(!around("price", 4).has_params());
+    }
+
+    #[test]
+    fn shape_equality_is_by_slot() {
+        assert_eq!(around_slot("a", 1), around_slot("a", 1));
+        assert_ne!(around_slot("a", 1), around_slot("a", 2));
+        assert_ne!(around_slot("a", 1), around("a", 1));
+    }
+
+    #[test]
+    fn unbound_shapes_denote_the_empty_order() {
+        let shape = ParamBase::new(AroundSlot::new(1));
+        assert!(!shape.better(&Value::from(1), &Value::from(2)));
+        assert!(!shape.better(&Value::from(2), &Value::from(1)));
+    }
+
+    #[test]
+    fn term_binding_patches_slots_only() {
+        let schema = Schema::new(vec![
+            ("price", pref_relation::DataType::Int),
+            ("mileage", pref_relation::DataType::Int),
+        ])
+        .unwrap();
+        let shape = around_slot("price", 1).pareto(lowest("mileage"));
+        let bound = shape.bind_params(&[Value::from(40_000)]).unwrap();
+        assert!(!bound.has_params());
+        assert_eq!(bound, around("price", 40_000).pareto(lowest("mileage")));
+
+        // Binding agrees with a fresh compile: same fingerprint.
+        let from_shape = crate::eval::CompiledPref::compile(&shape, &schema)
+            .unwrap()
+            .bind(&[Value::from(40_000)])
+            .unwrap();
+        let fresh = crate::eval::CompiledPref::compile(&bound, &schema).unwrap();
+        assert_eq!(from_shape.fingerprint(), fresh.fingerprint());
+        assert!(!from_shape.has_params());
+    }
+
+    #[test]
+    fn bind_errors_name_the_slot() {
+        let shape = around_slot("price", 2);
+        assert!(matches!(
+            shape.bind_params(&[Value::from(1)]),
+            Err(CoreError::UnboundSlot { slot: 2 })
+        ));
+        assert!(matches!(
+            shape.bind_params(&[Value::from(1), Value::from("nope")]),
+            Err(CoreError::BadBinding { slot: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn bound_shapes_evaluate_like_their_concrete_twins() {
+        let r = rel! { ("price": Int); (38_000,), (45_000,), (44_000,) };
+        let shape = around_slot("price", 1);
+        for target in [40_000i64, 45_000] {
+            let bound = shape.bind_params(&[Value::from(target)]).unwrap();
+            let concrete = around("price", target);
+            let cb = crate::eval::CompiledPref::compile(&bound, r.schema()).unwrap();
+            let cc = crate::eval::CompiledPref::compile(&concrete, r.schema()).unwrap();
+            for x in 0..r.len() {
+                for y in 0..r.len() {
+                    assert_eq!(cb.better(r.row(x), r.row(y)), cc.better(r.row(x), r.row(y)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rank_shapes_bind_too() {
+        let shape = Pref::rank(
+            crate::term::CombineFn::sum(),
+            vec![around_slot("a", 1), around("b", 0)],
+        )
+        .unwrap();
+        assert!(shape.has_params());
+        let bound = shape.bind_params(&[Value::from(3)]).unwrap();
+        assert_eq!(
+            bound,
+            Pref::rank(
+                crate::term::CombineFn::sum(),
+                vec![around("a", 3), around("b", 0)]
+            )
+            .unwrap()
+        );
+    }
+}

@@ -6,6 +6,8 @@
 
 use std::fmt;
 
+use pref_relation::Date;
+
 /// A parsed Preference SQL query.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Query {
@@ -23,11 +25,39 @@ pub struct Query {
     pub cascade: Vec<PrefExpr>,
     /// The BUT ONLY quality constraints.
     pub but_only: Vec<QualityCondAst>,
-    /// LIMIT (truncates the BMO result).
-    pub limit: Option<usize>,
+    /// LIMIT (truncates the BMO result); may be a `$n` placeholder.
+    pub limit: Option<LimitSpec>,
     /// `SELECT TOP k`: the §6.2 k-best model — BMO first, then further
-    /// quality levels until k rows are returned.
-    pub top: Option<usize>,
+    /// quality levels until k rows are returned; may be a `$n`
+    /// placeholder.
+    pub top: Option<LimitSpec>,
+}
+
+/// A row-count position (`LIMIT k` / `TOP k`): a literal count or a
+/// prepared statement's `$n` placeholder bound at execute time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LimitSpec {
+    /// A literal count.
+    Count(usize),
+    /// `$n` placeholder, 1-based; must bind to a non-negative integer.
+    Param(usize),
+}
+
+impl LimitSpec {
+    fn collect_params(&self, out: &mut Vec<usize>) {
+        if let LimitSpec::Param(n) = self {
+            out.push(*n);
+        }
+    }
+}
+
+impl fmt::Display for LimitSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LimitSpec::Count(k) => write!(f, "{k}"),
+            LimitSpec::Param(n) => write!(f, "${n}"),
+        }
+    }
 }
 
 /// Projection list.
@@ -70,6 +100,11 @@ pub enum Literal {
     Float(f64),
     Str(String),
     Bool(bool),
+    /// A typed calendar date. The parser never produces this (dates are
+    /// written as strings and coerced against the column type); it
+    /// exists so a bound [`pref_relation::Value::Date`] parameter stays
+    /// typed instead of round-tripping through its string rendering.
+    Date(Date),
     /// `$n` placeholder, 1-based.
     Param(usize),
 }
@@ -81,6 +116,7 @@ impl fmt::Display for Literal {
             Literal::Float(v) => write!(f, "{v}"),
             Literal::Str(s) => write!(f, "'{s}'"),
             Literal::Bool(b) => write!(f, "{b}"),
+            Literal::Date(d) => write!(f, "'{d}'"),
             Literal::Param(n) => write!(f, "${n}"),
         }
     }
@@ -172,15 +208,32 @@ impl Query {
     }
 
     /// The number of `$n` parameters this query expects: the highest
-    /// placeholder index used anywhere (0 when unparameterized).
+    /// placeholder index used anywhere — literals, `LIMIT` and `TOP`
+    /// positions included (0 when unparameterized).
     pub fn param_count(&self) -> usize {
-        let mut max = 0;
+        self.param_slots().last().copied().unwrap_or(0)
+    }
+
+    /// Every `$n` placeholder index this query reads, across literals
+    /// and the `LIMIT`/`TOP` positions (sorted, deduplicated). A gap in
+    /// the sequence `1..=param_count()` means a slot a binding can never
+    /// reach — [`crate::executor::PrefSql::prepare`] rejects it.
+    pub fn param_slots(&self) -> Vec<usize> {
+        let mut out = Vec::new();
         self.walk_literals(&mut |l| {
             if let Literal::Param(n) = l {
-                max = max.max(*n);
+                out.push(*n);
             }
         });
-        max
+        if let Some(t) = &self.top {
+            t.collect_params(&mut out);
+        }
+        if let Some(l) = &self.limit {
+            l.collect_params(&mut out);
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
     }
 
     /// Rebuild the query with every literal passed through `f` — the
@@ -258,6 +311,10 @@ impl HardExpr {
                     buf.push(5);
                     buf.extend_from_slice(&(*n as u64).to_le_bytes());
                 }
+                Literal::Date(d) => {
+                    buf.push(6);
+                    buf.extend_from_slice(&d.days().to_le_bytes());
+                }
             }
         }
         match self {
@@ -298,7 +355,8 @@ impl HardExpr {
         }
     }
 
-    fn walk_literals(&self, f: &mut impl FnMut(&Literal)) {
+    /// Visit every literal of the condition.
+    pub fn walk_literals(&self, f: &mut impl FnMut(&Literal)) {
         match self {
             HardExpr::Cmp(_, _, l) => f(l),
             HardExpr::Between(_, lo, hi) => {
@@ -314,7 +372,9 @@ impl HardExpr {
         }
     }
 
-    fn map_literals<E>(
+    /// Rebuild the condition with every literal passed through `f` —
+    /// the WHERE half of parameter binding.
+    pub fn map_literals<E>(
         &self,
         f: &mut impl FnMut(&Literal) -> Result<Literal, E>,
     ) -> Result<HardExpr, E> {
@@ -338,7 +398,8 @@ impl HardExpr {
 }
 
 impl PrefExpr {
-    fn walk_literals(&self, f: &mut impl FnMut(&Literal)) {
+    /// Visit every literal of the expression.
+    pub fn walk_literals(&self, f: &mut impl FnMut(&Literal)) {
         match self {
             PrefExpr::Prior(children) | PrefExpr::Pareto(children) => {
                 children.iter().for_each(|c| c.walk_literals(f));

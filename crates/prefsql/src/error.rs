@@ -30,8 +30,14 @@ pub enum SqlError {
     /// A `$n` placeholder reached evaluation without a bound value
     /// (e.g. via `execute` instead of `prepare` + bind).
     UnboundParam { index: usize },
-    /// A bound parameter value cannot stand in for a literal (e.g. NULL).
+    /// A bound parameter value cannot stand in for a literal (NULL, a
+    /// non-finite float, a type the slot's column rejects, a negative
+    /// LIMIT/TOP count).
     BadParam { index: usize, value: String },
+    /// `prepare` found a `$n` index the statement never reads (gapped
+    /// numbering, e.g. `$1` and `$3` with no `$2`): every binding would
+    /// silently ignore a value.
+    UnusedParam { index: usize },
     /// Preference construction failed (e.g. overlapping POS/NEG sets).
     Core(CoreError),
     /// BMO evaluation failed.
@@ -71,6 +77,13 @@ impl fmt::Display for SqlError {
             }
             SqlError::BadParam { index, value } => {
                 write!(f, "parameter ${index} cannot bind value {value}")
+            }
+            SqlError::UnusedParam { index } => {
+                write!(
+                    f,
+                    "parameter ${index} is never used; placeholder numbering \
+                     must be gapless from $1"
+                )
             }
             SqlError::Core(e) => write!(f, "{e}"),
             SqlError::Query(e) => write!(f, "{e}"),

@@ -12,14 +12,16 @@
 use std::borrow::Cow;
 
 use pref_core::term::Pref;
-use pref_query::{Engine, Explain, Optimizer, Prepared};
+use pref_core::CoreError;
+use pref_query::{Engine, Explain, Optimizer, Prepared, QueryError};
 use pref_relation::{AttrSet, DataType, Relation, Schema, Value};
 
-use crate::ast::{Literal, Query, SelectList};
+use crate::ast::{HardExpr, LimitSpec, Literal, Query, SelectList};
 use crate::catalog::Catalog;
 use crate::error::SqlError;
 use crate::parser::parse;
 use crate::rewrite::{hard_to_predicate, pref_to_term, quality_to_filter};
+use crate::shape::pref_to_shape_term;
 
 /// The result of a Preference SQL query.
 #[derive(Debug)]
@@ -95,19 +97,28 @@ impl PrefSql {
     /// }
     /// ```
     ///
-    /// Unparameterized statements additionally run the AST→term rewriter
-    /// and [`Engine::prepare`] **now**: executions reuse the prebuilt
-    /// term and compiled engine query instead of re-rewriting per call
-    /// (re-registering the table with a different schema transparently
-    /// falls back to the per-execution path).
+    /// All statements — parameterized or not — additionally run the
+    /// AST→term rewriter and [`Engine::prepare`] **now**: a `$n`
+    /// placeholder becomes a typed *slot* in the compiled shape, and
+    /// executions only patch slots with bound values
+    /// ([`pref_query::Prepared::bind`]) — no re-lex, no re-parse, no
+    /// AST→term rewrite per binding. Re-registering the table with a
+    /// different schema transparently falls back to the per-execution
+    /// path.
+    ///
+    /// Placeholder numbering must be gapless from `$1`: an index the
+    /// statement never reads ([`SqlError::UnusedParam`]) would make
+    /// every binding silently ignore a value.
     pub fn prepare(&self, sql: &str) -> Result<PreparedStatement, SqlError> {
         let query = parse(sql)?;
-        let param_count = query.param_count();
-        let compiled = if param_count == 0 {
-            self.compile_statement(&query)
-        } else {
-            None
-        };
+        let slots = query.param_slots();
+        let param_count = slots.last().copied().unwrap_or(0);
+        for n in 1..=param_count {
+            if slots.binary_search(&n).is_err() {
+                return Err(SqlError::UnusedParam { index: n });
+            }
+        }
+        let compiled = self.compile_statement(&query);
         Ok(PreparedStatement {
             query,
             param_count,
@@ -115,46 +126,68 @@ impl PrefSql {
         })
     }
 
-    /// Prepare-time compilation of an unparameterized statement: build
-    /// the preference term once, and — for the plain BMO path — the
-    /// engine-prepared query too. `None` when the statement has nothing
-    /// to prebuild or its table is not (yet) registered; any rewrite
-    /// error is deferred to execution, where it surfaces through the
-    /// identical per-execution path.
+    /// Prepare-time compilation: build the preference term (a
+    /// parameterized statement yields a slot-bearing *shape*) once, and —
+    /// for the plain BMO path — the engine-prepared query too. `None`
+    /// when the statement has nothing to prebuild or its table is not
+    /// (yet) registered; any rewrite error is deferred to execution,
+    /// where it surfaces through the identical per-execution path.
     fn compile_statement(&self, q: &Query) -> Option<CompiledStatement> {
         if q.explain || (q.preferring.is_none() && q.cascade.is_empty()) {
             return None;
         }
         let table = self.catalog.get(&q.table).ok()?;
         let schema = table.schema().clone();
-        let pref = assemble_term(q, &schema)?;
+        let pref = assemble_shape(q, &schema)?;
         let prepared = if q.top.is_none() && q.group_by.is_empty() {
             Some(self.engine.prepare(&pref, &schema).ok()?)
         } else {
             None
         };
+        let hard_has_params = q.hard.as_ref().is_some_and(|h| {
+            let mut found = false;
+            h.walk_literals(&mut |l| found |= matches!(l, Literal::Param(_)));
+            found
+        });
         Some(CompiledStatement {
             schema,
+            pref_has_params: pref.has_params(),
             pref,
             prepared,
+            hard_has_params,
+            seen_bindings: Default::default(),
         })
     }
 
     /// Execute a parsed query.
     pub fn run(&self, q: &Query) -> Result<QueryResult, SqlError> {
-        self.run_inner(q, None)
+        self.run_inner(q, None, &[])
     }
 
     fn run_inner(
         &self,
         q: &Query,
         pre: Option<&CompiledStatement>,
+        params: &[Value],
     ) -> Result<QueryResult, SqlError> {
         let table = self.catalog.get(&q.table)?;
         // A statement compiled at prepare time is only valid against the
         // schema it was built for; a re-registered table falls back to
         // the per-execution path.
         let pre = pre.filter(|c| table.schema().same_as(&c.schema));
+
+        // No prepare-time shape to bind (table unknown at prepare time,
+        // schema changed since, EXPLAIN): substitute the literals and run
+        // the plain per-execution path.
+        if pre.is_none() && !params.is_empty() {
+            let mut bound = q.map_literals(&mut |lit| bind_literal(lit, params))?;
+            bound.top = resolve_limit(&q.top, params)?.map(LimitSpec::Count);
+            bound.limit = resolve_limit(&q.limit, params)?.map(LimitSpec::Count);
+            return self.run_inner(&bound, None, &[]);
+        }
+
+        let top = resolve_limit(&q.top, params)?;
+        let limit = resolve_limit(&q.limit, params)?;
 
         // 1. Hard selection (exact-match world). With no WHERE clause the
         //    whole pipeline runs on a borrow of the catalog table — row
@@ -166,8 +199,19 @@ impl PrefSql {
         //    per call: a repeated statement resolves via the lineage key,
         //    and even a *first-time* WHERE clause over a table whose full
         //    matrix is cached resolves by windowing that matrix onto the
-        //    view (`CacheStatus::WindowHit`).
-        let base: Cow<'_, Relation> = match &q.hard {
+        //    view (`CacheStatus::WindowHit`). Parameterized conditions
+        //    bind their `$n` literals here — a per-binding map over the
+        //    WHERE tree only, never the whole statement.
+        let bound_hard;
+        let hard: Option<&HardExpr> = match (&q.hard, params.is_empty()) {
+            (Some(h), false) => {
+                bound_hard = h.map_literals(&mut |lit| bind_literal(lit, params))?;
+                Some(&bound_hard)
+            }
+            (Some(h), true) => Some(h),
+            (None, _) => None,
+        };
+        let base: Cow<'_, Relation> = match hard {
             Some(h) => {
                 let pred = hard_to_predicate(h, table.schema(), &q.table)?;
                 Cow::Owned(table.select_derived(|t| pred(t), h.fingerprint()))
@@ -183,8 +227,10 @@ impl PrefSql {
 
         // 2. Assemble the preference term: PREFERRING ... CASCADE ... is
         //    prioritised accumulation, outer clause most important —
-        //    prebuilt at prepare time for unparameterized statements.
+        //    prebuilt at prepare time; a parameterized shape binds its
+        //    slots (a tree patch, no AST→term rewrite).
         let assembled = match pre {
+            Some(c) if c.pref_has_params => Some(c.pref.bind_params(params).map_err(bind_error)?),
             Some(c) => Some(c.pref.clone()),
             None => {
                 let mut parts: Vec<Pref> = Vec::new();
@@ -205,14 +251,42 @@ impl PrefSql {
         let (rows, preference, explain) = match assembled {
             None => ((0..base.len()).collect::<Vec<_>>(), None, None),
             Some(pref) => {
-                if let Some(k) = q.top {
+                if let Some(k) = top {
                     // §6.2 k-best: BMO first, then deeper quality levels —
                     // the level graph runs on the engine-cached matrix.
                     let rows = pref_query::quality::k_best_with(&self.engine, &pref, base, k)?;
                     (rows, Some(pref), None)
                 } else if q.group_by.is_empty() {
                     let (rows, explain) = match pre.and_then(|c| c.prepared.as_ref()) {
-                        Some(prepared) => prepared.execute(base)?,
+                        Some(prepared) => {
+                            let bound;
+                            let exec: &Prepared = if params.is_empty() {
+                                prepared
+                            } else {
+                                bound = prepared.bind(params).map_err(bind_error)?;
+                                &bound
+                            };
+                            // A parameterized WHERE clause derives a
+                            // fresh, never-seen predicate per binding;
+                            // keep the whole-table matrix resident so
+                            // such views resolve through the window tier
+                            // (row-id indirection over the cached matrix)
+                            // instead of building a subset matrix per
+                            // binding. When the preference side is
+                            // parameterized too, the table matrix is
+                            // per-preference-binding — only pay its
+                            // O(table) materialization once a binding
+                            // proves to recur, so a one-shot binding
+                            // over a tiny view stays O(view).
+                            if let Some(c) = pre.filter(|c| c.hard_has_params) {
+                                let keep_warm =
+                                    !c.pref_has_params || c.recurred(exec.fingerprint());
+                                if keep_warm {
+                                    let _ = exec.matrix(table);
+                                }
+                            }
+                            exec.execute(base)?
+                        }
                         None => self.engine.evaluate(&pref, base)?,
                     };
                     (rows, Some(pref), Some(explain))
@@ -243,7 +317,7 @@ impl PrefSql {
         };
 
         // 4. LIMIT.
-        let rows: Vec<usize> = match q.limit {
+        let rows: Vec<usize> = match limit {
             Some(k) => rows.into_iter().take(k).collect(),
             None => rows,
         };
@@ -318,7 +392,7 @@ impl PrefSql {
         // the order — query() executes them: TOP relaxes the BMO result
         // first, BUT ONLY then filters the relaxed set, LIMIT truncates
         // last. A missing or misplaced line is a lying plan.
-        if let Some(k) = q.top {
+        if let Some(k) = &q.top {
             lines.push(format!(
                 "top        : k-best relaxation to {k} row(s) (§6.2)"
             ));
@@ -329,7 +403,7 @@ impl PrefSql {
                 q.but_only.len()
             ));
         }
-        if let Some(k) = q.limit {
+        if let Some(k) = &q.limit {
             lines.push(format!("limit      : first {k} row(s) of the BMO result"));
         }
 
@@ -347,46 +421,72 @@ impl PrefSql {
     }
 }
 
-/// Build the PREFERRING/CASCADE term of `q` against `schema`; `None`
-/// when the statement has no preference clauses or rewriting fails (the
-/// caller defers the error to the per-execution path, which reports it
-/// identically).
-fn assemble_term(q: &Query, schema: &Schema) -> Option<Pref> {
+/// Build the PREFERRING/CASCADE term of `q` against `schema`, with `$n`
+/// placeholders becoming typed slots; `None` when the statement has no
+/// preference clauses or rewriting fails (the caller defers the error to
+/// the per-execution path, which reports it identically).
+fn assemble_shape(q: &Query, schema: &Schema) -> Option<Pref> {
     let mut parts: Vec<Pref> = Vec::new();
     if let Some(p) = &q.preferring {
-        parts.push(pref_to_term(p, schema, &q.table).ok()?);
+        parts.push(pref_to_shape_term(p, schema, &q.table).ok()?);
     }
     for c in &q.cascade {
-        parts.push(pref_to_term(c, schema, &q.table).ok()?);
+        parts.push(pref_to_shape_term(c, schema, &q.table).ok()?);
     }
     Pref::prior_all(parts).ok()
 }
 
-/// The prepare-time artifacts of an unparameterized statement: the
-/// AST→term rewriter output and (for the plain BMO path) the compiled
-/// engine query, built once in [`PrefSql::prepare`] instead of on every
-/// execution.
+/// The prepare-time artifacts of a statement: the AST→term rewriter
+/// output (a slot-bearing *shape* for parameterized statements) and
+/// (for the plain BMO path) the compiled engine query, built once in
+/// [`PrefSql::prepare`] instead of on every execution.
 #[derive(Debug, Clone)]
 struct CompiledStatement {
     /// Schema snapshot the plan was built against; executions against a
     /// re-registered table with a different schema fall back.
     schema: Schema,
-    /// The assembled PREFERRING/CASCADE term.
+    /// The assembled PREFERRING/CASCADE term (shape).
     pref: Pref,
+    /// Does `pref` contain slots that must bind per execution?
+    pref_has_params: bool,
     /// The engine-prepared query (plain BMO statements only — TOP and
-    /// GROUP BY run through their dedicated engine entry points).
+    /// GROUP BY run through their dedicated engine entry points). For a
+    /// parameterized statement this is the compiled *shape*, patched per
+    /// binding by [`Prepared::bind`].
     prepared: Option<Prepared>,
+    /// Does the WHERE clause contain `$n` placeholders? Every binding
+    /// then derives a fresh predicate, so executions keep the table's
+    /// whole-relation matrix warm for the window tier.
+    hard_has_params: bool,
+    /// Preference-binding fingerprints seen by executions of this
+    /// statement — the recurrence signal gating the whole-table
+    /// warm-keep when the preference side is parameterized.
+    seen_bindings: std::sync::Arc<std::sync::Mutex<std::collections::HashSet<u64>>>,
+}
+
+impl CompiledStatement {
+    /// Record a preference-binding fingerprint; `true` once it has been
+    /// seen before (i.e. the binding recurs). The set is bounded —
+    /// a pathological stream of one-shot bindings resets it rather than
+    /// growing without bound.
+    fn recurred(&self, fingerprint: u64) -> bool {
+        let mut seen = self.seen_bindings.lock().expect("binding set lock");
+        if seen.len() > 1024 {
+            seen.clear();
+        }
+        !seen.insert(fingerprint)
+    }
 }
 
 /// A parsed Preference SQL statement with `$n` parameter placeholders —
-/// the lexer and parser run once per statement, not once per call. Each
-/// [`PreparedStatement::execute`] binds the parameter values, runs
-/// through the session's engine, and therefore shares the score-matrix
-/// cache: the same binding over an unchanged table hits.
-///
-/// Unparameterized statements go further: the AST→term rewrite and the
-/// engine compilation also happen once, at [`PrefSql::prepare`] time
-/// (see [`PreparedStatement::is_precompiled`]).
+/// the lexer, parser, AST→term rewriter and engine compiler run once per
+/// statement, not once per call. Each [`PreparedStatement::execute`]
+/// validates and binds the parameter values (a slot patch over the
+/// precompiled shape), runs through the session's engine, and therefore
+/// shares the score-matrix cache: the same binding over an unchanged
+/// table hits exactly, a fresh WHERE binding windows onto the warmed
+/// table matrix, and `QueryResult::explain` reports the shape
+/// fingerprint plus the binding.
 #[derive(Debug, Clone)]
 pub struct PreparedStatement {
     query: Query,
@@ -406,17 +506,19 @@ impl PreparedStatement {
         &self.query
     }
 
-    /// Did [`PrefSql::prepare`] build the preference term (and, for
-    /// plain BMO statements, the compiled engine query) ahead of time?
-    /// True only for unparameterized preference statements whose table
-    /// was registered at prepare time.
+    /// Did [`PrefSql::prepare`] build the preference term — a
+    /// slot-bearing shape for parameterized statements — (and, for plain
+    /// BMO statements, the compiled engine query) ahead of time? True
+    /// for preference statements whose table was registered at prepare
+    /// time, parameterized or not.
     pub fn is_precompiled(&self) -> bool {
         self.compiled.is_some()
     }
 
     /// Bind `params` ($1 = `params[0]`, …) and run the statement on
-    /// `db`. The parameter count must match exactly; unusable values
-    /// (NULL) and type mismatches surface as binding errors.
+    /// `db`. The parameter count must match exactly; unusable values —
+    /// NULL, non-finite floats, types the slot's column rejects —
+    /// surface as [`SqlError::BadParam`] naming the parameter.
     pub fn execute(&self, db: &PrefSql, params: &[Value]) -> Result<QueryResult, SqlError> {
         if params.len() != self.param_count {
             return Err(SqlError::ParamCount {
@@ -424,34 +526,92 @@ impl PreparedStatement {
                 got: params.len(),
             });
         }
-        if self.param_count == 0 {
-            return db.run_inner(&self.query, self.compiled.as_ref());
+        // Bind-time validation, before any value flows anywhere: NULL
+        // can never stand in for a literal, and a non-finite float would
+        // poison WHERE comparisons and the NaN-filtered dominance-key
+        // materialization alike.
+        for (i, v) in params.iter().enumerate() {
+            let unusable = match v {
+                Value::Null => true,
+                Value::Float(f) => !f.is_finite(),
+                _ => false,
+            };
+            if unusable {
+                return Err(SqlError::BadParam {
+                    index: i + 1,
+                    value: v.to_string(),
+                });
+            }
         }
-        let bound = self.query.map_literals(&mut |lit| match lit {
-            Literal::Param(n) => value_to_literal(&params[*n - 1], *n),
-            other => Ok(other.clone()),
-        })?;
-        db.run(&bound)
+        db.run_inner(&self.query, self.compiled.as_ref(), params)
     }
 }
 
-/// Turn a bound parameter value into the literal the rewriter expects;
-/// type coercion against the column happens later, exactly as for
-/// inline literals. Dates round-trip through their canonical
-/// `YYYY/MM/DD` form.
+/// Substitute one literal position during fallback binding.
+fn bind_literal(lit: &Literal, params: &[Value]) -> Result<Literal, SqlError> {
+    match lit {
+        Literal::Param(n) => match params.get(*n - 1) {
+            Some(v) => value_to_literal(v, *n),
+            None => Err(SqlError::UnboundParam { index: *n }),
+        },
+        other => Ok(other.clone()),
+    }
+}
+
+/// Resolve a `LIMIT` / `TOP` position against the binding: a literal
+/// count passes through, `$n` must bind a non-negative integer.
+fn resolve_limit(spec: &Option<LimitSpec>, params: &[Value]) -> Result<Option<usize>, SqlError> {
+    Ok(match spec {
+        None => None,
+        Some(LimitSpec::Count(k)) => Some(*k),
+        Some(LimitSpec::Param(n)) => {
+            let v = params
+                .get(*n - 1)
+                .ok_or(SqlError::UnboundParam { index: *n })?;
+            match v.as_int() {
+                Some(k) if k >= 0 => Some(k as usize),
+                _ => {
+                    return Err(SqlError::BadParam {
+                        index: *n,
+                        value: v.to_string(),
+                    })
+                }
+            }
+        }
+    })
+}
+
+/// Map bind-time core errors onto parameter errors: a value that cannot
+/// inhabit its slot is the caller's `$n` argument at fault, so it
+/// surfaces as [`SqlError::BadParam`] naming the parameter.
+fn bind_error<E: Into<SqlError>>(e: E) -> SqlError {
+    match e.into() {
+        SqlError::Core(CoreError::BadBinding { slot, value, .. })
+        | SqlError::Query(QueryError::Core(CoreError::BadBinding { slot, value, .. })) => {
+            SqlError::BadParam { index: slot, value }
+        }
+        other => other,
+    }
+}
+
+/// Turn a bound parameter value into the literal the rewriter expects
+/// (the fallback path for statements without a precompiled shape); type
+/// coercion against the column happens later, exactly as for inline
+/// literals. Dates bind as *typed* date literals — no string
+/// round-trip — and non-finite floats are rejected outright.
 fn value_to_literal(v: &Value, index: usize) -> Result<Literal, SqlError> {
+    let bad = || SqlError::BadParam {
+        index,
+        value: v.to_string(),
+    };
     Ok(match v {
         Value::Int(i) => Literal::Int(*i),
-        Value::Float(f) => Literal::Float(*f),
+        Value::Float(f) if f.is_finite() => Literal::Float(*f),
+        Value::Float(_) => return Err(bad()),
         Value::Str(s) => Literal::Str(s.to_string()),
         Value::Bool(b) => Literal::Bool(*b),
-        Value::Date(d) => Literal::Str(d.to_string()),
-        Value::Null => {
-            return Err(SqlError::BadParam {
-                index,
-                value: "NULL".into(),
-            })
-        }
+        Value::Date(d) => Literal::Date(*d),
+        Value::Null => return Err(bad()),
     })
 }
 
@@ -763,11 +923,20 @@ mod tests {
             Err(SqlError::BadParam { index: 1, .. })
         ));
 
-        // Type mismatches surface exactly like inline literals.
+        // Type mismatches are parameter errors naming the slot.
         assert!(matches!(
             stmt.execute(&s, &[Value::from("cheap")]),
-            Err(SqlError::BadLiteral { .. })
+            Err(SqlError::BadParam { index: 1, .. })
         ));
+
+        // Non-finite floats are rejected at bind time: they would poison
+        // WHERE comparisons and the NaN-filtered dominance-key path.
+        for v in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert!(matches!(
+                stmt.execute(&s, &[Value::from(v)]),
+                Err(SqlError::BadParam { index: 1, .. })
+            ));
+        }
 
         // Direct execution of parameterized SQL leaves $1 unbound.
         assert!(matches!(
@@ -971,8 +1140,8 @@ mod tests {
             .prepare("SELECT * FROM car PREFERRING price AROUND $1")
             .unwrap();
         assert!(
-            !parameterized.is_precompiled(),
-            "parameterized statements still rebuild per binding"
+            parameterized.is_precompiled(),
+            "parameterized statements compile their shape at prepare time"
         );
 
         // The precompiled path agrees with ad-hoc execution and shares
@@ -1005,6 +1174,226 @@ mod tests {
         let res = stmt.execute(&s, &[]).unwrap();
         assert_eq!(res.relation.len(), 1);
         assert_eq!(res.relation.row(0)[1], Value::from(1));
+    }
+
+    #[test]
+    fn parameterized_executions_bind_without_rewriting_and_run_warm() {
+        let s = session();
+        let stmt = s
+            .prepare(
+                "SELECT * FROM car WHERE price <= $1 \
+                 PREFERRING price AROUND $2 AND LOWEST(mileage)",
+            )
+            .unwrap();
+        assert!(stmt.is_precompiled(), "shape compiled at prepare time");
+
+        // The preference side is parameterized, so the very first
+        // sighting of a preference binding builds its (subset) matrix;
+        // from then on the executor keeps the table's whole-relation
+        // matrix resident and every fresh WHERE binding windows onto it.
+        let first = stmt
+            .execute(&s, &[Value::from(45_000), Value::from(40_000)])
+            .unwrap();
+        assert_eq!(
+            first.explain.unwrap().cache,
+            pref_query::CacheStatus::Miss,
+            "a never-seen preference binding builds once"
+        );
+        let mut shape_fp = None;
+        for (cap, target) in [(45_000i64, 40_000i64), (41_000, 40_000), (39_000, 40_000)] {
+            let res = stmt
+                .execute(&s, &[Value::from(cap), Value::from(target)])
+                .unwrap();
+            let ex = res.explain.expect("BMO stage ran");
+            assert!(
+                ex.cache.is_warm(),
+                "binding ({cap}, {target}) must run warm, got {ex}"
+            );
+            // The shape fingerprint is stable across bindings; the
+            // binding itself is reported.
+            let fp = ex.shape_fingerprint.expect("bound shape reports itself");
+            assert_eq!(*shape_fp.get_or_insert(fp), fp);
+            assert_eq!(
+                ex.binding.as_deref(),
+                Some(&[Value::from(cap), Value::from(target)][..])
+            );
+            // Results agree with ad-hoc execution of the bound SQL.
+            let adhoc = s
+                .execute(&format!(
+                    "SELECT * FROM car WHERE price <= {cap} \
+                     PREFERRING price AROUND {target} AND LOWEST(mileage)"
+                ))
+                .unwrap();
+            assert_eq!(
+                format!("{}", res.relation),
+                format!("{}", adhoc.relation),
+                "prepare+bind must agree with fresh parse/execute"
+            );
+        }
+
+        // A repeated preference binding re-uses its matrix outright, and
+        // the fresh WHERE bindings above resolved via the window tier.
+        let repeat = stmt
+            .execute(&s, &[Value::from(45_000), Value::from(40_000)])
+            .unwrap();
+        assert!(repeat.explain.unwrap().cache.is_warm());
+        assert!(s.engine().cache_stats().window_hits >= 2);
+
+        // A statement whose *preference* is concrete (only WHERE-side
+        // params) warms from the very first execution: the table matrix
+        // fingerprint is stable, so it is kept resident outright.
+        let s2 = session();
+        let where_only = s2
+            .prepare(
+                "SELECT * FROM car WHERE price <= $1 \
+                 PREFERRING price AROUND 40000 AND LOWEST(mileage)",
+            )
+            .unwrap();
+        for cap in [45_000i64, 41_000, 39_000] {
+            let res = where_only.execute(&s2, &[Value::from(cap)]).unwrap();
+            assert_eq!(
+                res.explain.unwrap().cache,
+                pref_query::CacheStatus::WindowHit,
+                "WHERE-only bindings must window from execution #1"
+            );
+        }
+    }
+
+    #[test]
+    fn gapped_parameter_numbering_is_rejected_at_prepare() {
+        let s = session();
+        // $1 and $3 with no $2: a binding would silently drop a value.
+        assert!(matches!(
+            s.prepare("SELECT * FROM car WHERE price <= $1 PREFERRING price AROUND $3"),
+            Err(SqlError::UnusedParam { index: 2 })
+        ));
+        assert!(matches!(
+            s.prepare("SELECT * FROM car PREFERRING price AROUND $2"),
+            Err(SqlError::UnusedParam { index: 1 })
+        ));
+        // Gapless numbering (in any clause, including LIMIT) is fine, and
+        // re-using a slot does not count as a gap.
+        let stmt = s
+            .prepare("SELECT * FROM car PREFERRING price BETWEEN $1 AND $2 LIMIT $3")
+            .unwrap();
+        assert_eq!(stmt.param_count(), 3);
+        let stmt = s
+            .prepare("SELECT * FROM car WHERE price >= $1 PREFERRING price AROUND $1")
+            .unwrap();
+        assert_eq!(stmt.param_count(), 1);
+    }
+
+    #[test]
+    fn date_params_bind_typed_end_to_end() {
+        let mut s = PrefSql::new();
+        let day = |d: &str| pref_relation::Date::parse(d).unwrap();
+        s.register(
+            "trips",
+            rel! {
+                ("start_date": Date, "duration": Int);
+                (day("2001/11/23"), 14),
+                (day("2001/11/26"), 14),
+                (day("2001/12/24"), 7),
+            },
+        );
+        let stmt = s
+            .prepare("SELECT * FROM trips WHERE start_date <= $1 PREFERRING start_date AROUND $2")
+            .unwrap();
+        assert!(stmt.is_precompiled());
+
+        // A typed Date value binds directly — no string round-trip.
+        let res = stmt
+            .execute(
+                &s,
+                &[
+                    Value::from(day("2001/12/01")),
+                    Value::from(day("2001/11/25")),
+                ],
+            )
+            .unwrap();
+        assert_eq!(res.candidates, 2);
+        assert_eq!(res.relation.len(), 1);
+        assert_eq!(res.relation.row(0)[0], Value::from(day("2001/11/26")));
+
+        // Strings still coerce, exactly like inline literals.
+        let res = stmt
+            .execute(&s, &[Value::from("2001/12/31"), Value::from("2001/11/22")])
+            .unwrap();
+        assert_eq!(res.relation.row(0)[0], Value::from(day("2001/11/23")));
+
+        // A value that fits no date slot is a parameter error naming it.
+        assert!(matches!(
+            stmt.execute(&s, &[Value::from("2001/12/31"), Value::from(2)]),
+            Err(SqlError::BadParam { index: 2, .. })
+        ));
+        // WHERE-side coercion failures go through the literal machinery,
+        // exactly like inline literals.
+        assert!(matches!(
+            stmt.execute(&s, &[Value::from(1), Value::from(day("2001/11/25"))]),
+            Err(SqlError::BadLiteral { .. })
+        ));
+    }
+
+    #[test]
+    fn limit_and_top_take_params() {
+        let s = session();
+        let stmt = s
+            .prepare("SELECT * FROM car PREFERRING LOWEST(price) LIMIT $1")
+            .unwrap();
+        assert!(stmt.is_precompiled());
+        assert_eq!(
+            stmt.execute(&s, &[Value::from(1)]).unwrap().relation.len(),
+            1
+        );
+
+        let stmt = s
+            .prepare("SELECT TOP $1 * FROM car PREFERRING LOWEST(price)")
+            .unwrap();
+        for k in [1i64, 3, 5] {
+            let res = stmt.execute(&s, &[Value::from(k)]).unwrap();
+            assert_eq!(res.relation.len(), k as usize);
+        }
+        // LIMIT/TOP must bind non-negative integers.
+        assert!(matches!(
+            stmt.execute(&s, &[Value::from(-1)]),
+            Err(SqlError::BadParam { index: 1, .. })
+        ));
+        assert!(matches!(
+            stmt.execute(&s, &[Value::from("three")]),
+            Err(SqlError::BadParam { index: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn repeated_pref_bindings_hit_exactly() {
+        // No WHERE clause: the pipeline runs on the catalog table, so a
+        // repeated binding resolves via the exact (generation, term
+        // fingerprint) key — the same entry inline literals would use.
+        let s = session();
+        let stmt = s
+            .prepare("SELECT * FROM car PREFERRING price AROUND $1 AND LOWEST(mileage)")
+            .unwrap();
+        let first = stmt.execute(&s, &[Value::from(40_000)]).unwrap();
+        assert_eq!(
+            first.explain.unwrap().cache,
+            pref_query::CacheStatus::Miss,
+            "first-ever binding builds"
+        );
+        let second = stmt.execute(&s, &[Value::from(40_000)]).unwrap();
+        assert_eq!(
+            second.explain.unwrap().cache,
+            pref_query::CacheStatus::Hit,
+            "repeated binding hits exactly"
+        );
+        // The ad-hoc inline-literal statement shares the very same entry.
+        let adhoc = s
+            .execute("SELECT * FROM car PREFERRING price AROUND 40000 AND LOWEST(mileage)")
+            .unwrap();
+        assert_eq!(adhoc.explain.unwrap().cache, pref_query::CacheStatus::Hit);
+
+        // A different binding is a different concrete query: cold once.
+        let other = stmt.execute(&s, &[Value::from(39_000)]).unwrap();
+        assert_eq!(other.explain.unwrap().cache, pref_query::CacheStatus::Miss);
     }
 
     #[test]

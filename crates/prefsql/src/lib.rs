@@ -38,6 +38,7 @@ pub mod error;
 pub mod executor;
 pub mod parser;
 pub mod rewrite;
+mod shape;
 mod token;
 
 pub use catalog::Catalog;

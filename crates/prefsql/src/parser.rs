@@ -144,16 +144,7 @@ impl Parser {
         let explain = self.eat_kw(Kw::Explain);
         self.expect_kw(Kw::Select)?;
         let top = if self.eat_kw(Kw::Top) {
-            match self.bump() {
-                Tok::Int(v) if v >= 0 => Some(v as usize),
-                other => {
-                    return Err(SqlError::Parse {
-                        pos: self.pos - 1,
-                        expected: "non-negative integer after TOP".into(),
-                        found: other.to_string(),
-                    })
-                }
-            }
+            Some(self.limit_spec("non-negative integer or $n after TOP")?)
         } else {
             None
         };
@@ -196,16 +187,7 @@ impl Parser {
         }
 
         let limit = if self.eat_kw(Kw::Limit) {
-            match self.bump() {
-                Tok::Int(v) if v >= 0 => Some(v as usize),
-                other => {
-                    return Err(SqlError::Parse {
-                        pos: self.pos - 1,
-                        expected: "non-negative integer".into(),
-                        found: other.to_string(),
-                    })
-                }
-            }
+            Some(self.limit_spec("non-negative integer or $n after LIMIT")?)
         } else {
             None
         };
@@ -227,6 +209,20 @@ impl Parser {
             limit,
             top,
         })
+    }
+
+    /// A `LIMIT` / `TOP` count position: a non-negative integer or a
+    /// `$n` placeholder bound at execute time.
+    fn limit_spec(&mut self, expected: &str) -> Result<LimitSpec, SqlError> {
+        match self.bump() {
+            Tok::Int(v) if v >= 0 => Ok(LimitSpec::Count(v as usize)),
+            Tok::Param(n) => Ok(LimitSpec::Param(n)),
+            other => Err(SqlError::Parse {
+                pos: self.pos - 1,
+                expected: expected.into(),
+                found: other.to_string(),
+            }),
+        }
     }
 
     fn expect_end(&mut self) -> Result<(), SqlError> {
@@ -654,7 +650,7 @@ mod tests {
         )
         .unwrap();
         assert_eq!(q.group_by, vec!["make"]);
-        assert_eq!(q.limit, Some(5));
+        assert_eq!(q.limit, Some(LimitSpec::Count(5)));
         assert!(matches!(q.select, SelectList::Columns(ref c) if c.len() == 2));
     }
 

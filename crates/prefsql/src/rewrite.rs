@@ -27,6 +27,7 @@ pub fn literal_to_value(lit: &Literal, column: &str, dtype: DataType) -> Result<
         (Literal::Float(v), DataType::Float) => Value::from(*v),
         (Literal::Str(s), DataType::Str) => Value::from(s.as_str()),
         (Literal::Str(s), DataType::Date) => Value::from(Date::parse(s).ok_or_else(bad)?),
+        (Literal::Date(d), DataType::Date) => Value::from(*d),
         (Literal::Bool(b), DataType::Bool) => Value::from(*b),
         _ => return Err(bad()),
     })

@@ -1,0 +1,406 @@
+//! Statement *shapes*: the AST→term rewrite of a parameterized
+//! statement, performed once at prepare time.
+//!
+//! A `$n` placeholder in a preference atom becomes a typed
+//! [`ParamSpec`] capturing the constructor, the target column's
+//! [`DataType`] and the mix of constants (coerced now, exactly like
+//! inline literals) and slots (coerced at bind time against the same
+//! column type). The resulting term carries
+//! [`ParamBase`](pref_core::param::ParamBase) leaves and compiles,
+//! fingerprints and rewrites like any other — executions just
+//! [bind](pref_core::eval::CompiledPref::bind) it instead of re-running
+//! the rewriter.
+//!
+//! Atoms without placeholders go through the ordinary
+//! [`atom rewriting`](crate::rewrite::pref_to_term) path, so an
+//! unparameterized statement's shape term is *identical* (same
+//! fingerprints, shared matrix cache entries) to what ad-hoc execution
+//! builds.
+
+use std::sync::Arc;
+
+use pref_core::base::{Around, BaseRef, Between, Explicit, Neg, Pos, PosNeg, PosPos};
+use pref_core::param::{ParamBase, ParamSpec, SlotValue};
+use pref_core::term::Pref;
+use pref_core::CoreError;
+use pref_relation::{DataType, Date, Schema, Value};
+
+use crate::ast::{Literal, PrefAtom, PrefExpr};
+use crate::error::SqlError;
+use crate::rewrite::{literal_to_value, pref_to_term};
+
+/// Does the expression contain `$n` placeholders anywhere?
+pub(crate) fn expr_has_params(expr: &PrefExpr) -> bool {
+    let mut found = false;
+    expr.walk_literals(&mut |l| found |= matches!(l, Literal::Param(_)));
+    found
+}
+
+/// Like [`pref_to_term`], but `$n` placeholders become typed slot shapes
+/// instead of erroring: the prepare-time rewrite of a parameterized
+/// statement. Sub-expressions without placeholders delegate to the
+/// ordinary rewriter, so their sub-terms match ad-hoc execution exactly.
+pub(crate) fn pref_to_shape_term(
+    expr: &PrefExpr,
+    schema: &Schema,
+    table: &str,
+) -> Result<Pref, SqlError> {
+    if !expr_has_params(expr) {
+        return pref_to_term(expr, schema, table);
+    }
+    Ok(match expr {
+        PrefExpr::Prior(children) => Pref::prior_all(
+            children
+                .iter()
+                .map(|c| pref_to_shape_term(c, schema, table))
+                .collect::<Result<Vec<_>, _>>()?,
+        )?,
+        PrefExpr::Pareto(children) => Pref::pareto_all(
+            children
+                .iter()
+                .map(|c| pref_to_shape_term(c, schema, table))
+                .collect::<Result<Vec<_>, _>>()?,
+        )?,
+        PrefExpr::Atom(atom) => atom_to_shape(atom, schema, table)?,
+    })
+}
+
+fn column_type(schema: &Schema, table: &str, column: &str) -> Result<DataType, SqlError> {
+    schema
+        .field(&pref_relation::attr(column))
+        .map(|f| f.dtype)
+        .ok_or_else(|| SqlError::UnknownColumn {
+            table: table.to_string(),
+            column: column.to_string(),
+        })
+}
+
+/// One literal position of a shape: constants coerce now (identically to
+/// inline literals), placeholders defer to bind time.
+fn slot_value(lit: &Literal, column: &str, dtype: DataType) -> Result<SlotValue, SqlError> {
+    Ok(match lit {
+        Literal::Param(n) => SlotValue::Slot(*n),
+        other => SlotValue::Const(literal_to_value(other, column, dtype)?),
+    })
+}
+
+fn slot_values(
+    lits: &[Literal],
+    column: &str,
+    dtype: DataType,
+) -> Result<Vec<SlotValue>, SqlError> {
+    lits.iter().map(|l| slot_value(l, column, dtype)).collect()
+}
+
+fn atom_to_shape(atom: &PrefAtom, schema: &Schema, table: &str) -> Result<Pref, SqlError> {
+    let shaped = |attr: &str, ctor: ShapeCtor| -> Result<Pref, SqlError> {
+        let dtype = column_type(schema, table, attr)?;
+        Ok(Pref::base(attr, ParamBase::new(AtomShape { dtype, ctor })))
+    };
+    match atom {
+        PrefAtom::Pos { attr, values } => {
+            let dt = column_type(schema, table, attr)?;
+            shaped(attr, ShapeCtor::Pos(slot_values(values, attr, dt)?))
+        }
+        PrefAtom::Neg { attr, values } => {
+            let dt = column_type(schema, table, attr)?;
+            shaped(attr, ShapeCtor::Neg(slot_values(values, attr, dt)?))
+        }
+        PrefAtom::PosPos { attr, pos1, pos2 } => {
+            let dt = column_type(schema, table, attr)?;
+            shaped(
+                attr,
+                ShapeCtor::PosPos(slot_values(pos1, attr, dt)?, slot_values(pos2, attr, dt)?),
+            )
+        }
+        PrefAtom::PosNeg { attr, pos, neg } => {
+            let dt = column_type(schema, table, attr)?;
+            shaped(
+                attr,
+                ShapeCtor::PosNeg(slot_values(pos, attr, dt)?, slot_values(neg, attr, dt)?),
+            )
+        }
+        PrefAtom::Around { attr, target } => {
+            let dt = column_type(schema, table, attr)?;
+            if !dt.is_ordinal() {
+                return Err(SqlError::BadLiteral {
+                    column: attr.clone(),
+                    literal: format!("AROUND on non-ordinal column of type {dt}"),
+                });
+            }
+            shaped(attr, ShapeCtor::Around(slot_value(target, attr, dt)?))
+        }
+        PrefAtom::Between { attr, low, up } => {
+            let dt = column_type(schema, table, attr)?;
+            shaped(
+                attr,
+                ShapeCtor::Between(slot_value(low, attr, dt)?, slot_value(up, attr, dt)?),
+            )
+        }
+        // LOWEST/HIGHEST carry no literals; a parameterized expression
+        // can still contain them as concrete siblings.
+        PrefAtom::Lowest { .. } | PrefAtom::Highest { .. } => {
+            pref_to_term(&PrefExpr::Atom(atom.clone()), schema, table)
+        }
+        PrefAtom::Explicit { attr, edges } => {
+            let dt = column_type(schema, table, attr)?;
+            shaped(
+                attr,
+                ShapeCtor::Explicit(
+                    edges
+                        .iter()
+                        .map(|(w, b)| Ok((slot_value(w, attr, dt)?, slot_value(b, attr, dt)?)))
+                        .collect::<Result<Vec<_>, SqlError>>()?,
+                ),
+            )
+        }
+    }
+}
+
+/// The constructor half of a typed shape, mirroring [`PrefAtom`] with
+/// [`SlotValue`] in every literal position.
+#[derive(Debug, Clone)]
+enum ShapeCtor {
+    Pos(Vec<SlotValue>),
+    Neg(Vec<SlotValue>),
+    PosPos(Vec<SlotValue>, Vec<SlotValue>),
+    PosNeg(Vec<SlotValue>, Vec<SlotValue>),
+    Around(SlotValue),
+    Between(SlotValue, SlotValue),
+    Explicit(Vec<(SlotValue, SlotValue)>),
+}
+
+/// A parameterized Preference SQL atom: constructor + target column type.
+/// Bind-time values coerce against `dtype` with the same rules inline
+/// literals follow ([`literal_to_value`]), except typed — a
+/// [`Value::Date`] binds a Date column directly, no string round-trip.
+#[derive(Debug, Clone)]
+struct AtomShape {
+    dtype: DataType,
+    ctor: ShapeCtor,
+}
+
+/// Coerce a bound parameter value against a column type. Mirrors the
+/// literal coercion matrix: integers widen to floats, strings parse as
+/// dates for Date columns; a typed [`Value::Date`] passes through.
+fn coerce_param(v: &Value, dtype: DataType, slot: usize) -> Result<Value, CoreError> {
+    let bad = || CoreError::BadBinding {
+        slot,
+        value: v.to_string(),
+        expected: format!("a value for a {dtype} column"),
+    };
+    Ok(match (v, dtype) {
+        (Value::Int(i), DataType::Int) => Value::from(*i),
+        (Value::Int(i), DataType::Float) => Value::from(*i as f64),
+        (Value::Float(x), DataType::Float) => Value::from(*x),
+        (Value::Str(s), DataType::Str) => Value::from(s.as_ref()),
+        (Value::Str(s), DataType::Date) => Value::from(Date::parse(s).ok_or_else(bad)?),
+        (Value::Date(d), DataType::Date) => Value::from(*d),
+        (Value::Bool(b), DataType::Bool) => Value::from(*b),
+        _ => return Err(bad()),
+    })
+}
+
+impl AtomShape {
+    fn resolve(&self, sv: &SlotValue, values: &[Value]) -> Result<Value, CoreError> {
+        match sv {
+            SlotValue::Const(v) => Ok(v.clone()),
+            SlotValue::Slot(n) => {
+                let v = sv.resolve(values)?;
+                coerce_param(v, self.dtype, *n)
+            }
+        }
+    }
+
+    fn resolve_all(&self, svs: &[SlotValue], values: &[Value]) -> Result<Vec<Value>, CoreError> {
+        svs.iter().map(|sv| self.resolve(sv, values)).collect()
+    }
+}
+
+fn fmt_set(svs: &[SlotValue]) -> String {
+    let body: Vec<String> = svs.iter().map(|s| s.to_string()).collect();
+    format!("{{{}}}", body.join(", "))
+}
+
+impl ParamSpec for AtomShape {
+    fn ctor_name(&self) -> &'static str {
+        match &self.ctor {
+            ShapeCtor::Pos(_) => "POS",
+            ShapeCtor::Neg(_) => "NEG",
+            ShapeCtor::PosPos(..) => "POS/POS",
+            ShapeCtor::PosNeg(..) => "POS/NEG",
+            ShapeCtor::Around(_) => "AROUND",
+            ShapeCtor::Between(..) => "BETWEEN",
+            ShapeCtor::Explicit(_) => "EXPLICIT",
+        }
+    }
+
+    fn shape_params(&self) -> String {
+        match &self.ctor {
+            ShapeCtor::Pos(vs) | ShapeCtor::Neg(vs) => fmt_set(vs),
+            ShapeCtor::PosPos(a, b) | ShapeCtor::PosNeg(a, b) => {
+                format!("{}; {}", fmt_set(a), fmt_set(b))
+            }
+            ShapeCtor::Around(t) => t.to_string(),
+            ShapeCtor::Between(lo, up) => format!("[{lo}, {up}]"),
+            ShapeCtor::Explicit(edges) => {
+                let body: Vec<String> = edges.iter().map(|(w, b)| format!("{w} < {b}")).collect();
+                format!("{{{}}}", body.join(", "))
+            }
+        }
+    }
+
+    fn numerical_hint(&self) -> bool {
+        matches!(self.ctor, ShapeCtor::Around(_) | ShapeCtor::Between(..))
+    }
+
+    fn collect_slots(&self, out: &mut Vec<usize>) {
+        let mut push = |sv: &SlotValue| {
+            if let Some(n) = sv.slot() {
+                out.push(n);
+            }
+        };
+        match &self.ctor {
+            ShapeCtor::Pos(vs) | ShapeCtor::Neg(vs) => vs.iter().for_each(&mut push),
+            ShapeCtor::PosPos(a, b) | ShapeCtor::PosNeg(a, b) => {
+                a.iter().for_each(&mut push);
+                b.iter().for_each(&mut push);
+            }
+            ShapeCtor::Around(t) => push(t),
+            ShapeCtor::Between(lo, up) => {
+                push(lo);
+                push(up);
+            }
+            ShapeCtor::Explicit(edges) => {
+                for (w, b) in edges {
+                    push(w);
+                    push(b);
+                }
+            }
+        }
+    }
+
+    fn instantiate(&self, values: &[Value]) -> Result<BaseRef, CoreError> {
+        Ok(match &self.ctor {
+            ShapeCtor::Pos(vs) => Arc::new(Pos::new(self.resolve_all(vs, values)?)),
+            ShapeCtor::Neg(vs) => Arc::new(Neg::new(self.resolve_all(vs, values)?)),
+            ShapeCtor::PosPos(a, b) => Arc::new(PosPos::new(
+                self.resolve_all(a, values)?,
+                self.resolve_all(b, values)?,
+            )?),
+            ShapeCtor::PosNeg(a, b) => Arc::new(PosNeg::new(
+                self.resolve_all(a, values)?,
+                self.resolve_all(b, values)?,
+            )?),
+            ShapeCtor::Around(t) => Arc::new(Around::new(self.resolve(t, values)?)),
+            ShapeCtor::Between(lo, up) => Arc::new(Between::new(
+                self.resolve(lo, values)?,
+                self.resolve(up, values)?,
+            )?),
+            ShapeCtor::Explicit(edges) => Arc::new(Explicit::new(
+                edges
+                    .iter()
+                    .map(|(w, b)| Ok((self.resolve(w, values)?, self.resolve(b, values)?)))
+                    .collect::<Result<Vec<_>, CoreError>>()?,
+            )?),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use crate::rewrite::pref_to_term;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            ("make", DataType::Str),
+            ("price", DataType::Int),
+            ("rating", DataType::Float),
+            ("start_date", DataType::Date),
+        ])
+        .unwrap()
+    }
+
+    fn shape_of(sql: &str) -> Pref {
+        let q = parse(sql).unwrap();
+        pref_to_shape_term(&q.preferring.unwrap(), &schema(), "t").unwrap()
+    }
+
+    #[test]
+    fn shapes_print_slots_in_paper_notation() {
+        let p = shape_of("SELECT * FROM t PREFERRING price AROUND $1");
+        assert_eq!(p.to_string(), "AROUND(price; $1)");
+        assert!(p.has_params());
+
+        let p =
+            shape_of("SELECT * FROM t PREFERRING make IN ('VW', $2) AND price BETWEEN $1 AND 9");
+        assert_eq!(
+            p.to_string(),
+            "(POS(make; {'VW', $2}) ⊗ BETWEEN(price; [$1, 9]))"
+        );
+    }
+
+    #[test]
+    fn unparameterized_expressions_delegate_to_the_plain_rewriter() {
+        let q = parse("SELECT * FROM t PREFERRING price AROUND 5 AND LOWEST(rating)").unwrap();
+        let expr = q.preferring.unwrap();
+        let shaped = pref_to_shape_term(&expr, &schema(), "t").unwrap();
+        let plain = pref_to_term(&expr, &schema(), "t").unwrap();
+        assert_eq!(shaped, plain);
+        assert!(!shaped.has_params());
+    }
+
+    #[test]
+    fn binding_coerces_against_the_column_type() {
+        // Int widens for a Float column; a typed Date binds directly.
+        let p = shape_of("SELECT * FROM t PREFERRING rating AROUND $1");
+        let b = p.bind_params(&[Value::from(3)]).unwrap();
+        assert_eq!(b.to_string(), "AROUND(rating; 3)");
+
+        let p = shape_of("SELECT * FROM t PREFERRING start_date AROUND $1");
+        let d = Date::parse("2001/11/23").unwrap();
+        let b = p.bind_params(&[Value::from(d)]).unwrap();
+        assert_eq!(b.to_string(), "AROUND(start_date; 2001/11/23)");
+        // …and a string still parses, like an inline literal.
+        let b = p.bind_params(&[Value::from("2001/11/24")]).unwrap();
+        assert!(b.to_string().contains("2001/11/24"));
+    }
+
+    #[test]
+    fn bad_bindings_report_the_slot() {
+        let p = shape_of("SELECT * FROM t PREFERRING price AROUND $1");
+        assert!(matches!(
+            p.bind_params(&[Value::from("cheap")]),
+            Err(CoreError::BadBinding { slot: 1, .. })
+        ));
+        assert!(matches!(
+            p.bind_params(&[]),
+            Err(CoreError::UnboundSlot { slot: 1 })
+        ));
+    }
+
+    #[test]
+    fn constructor_validation_defers_to_bind_time() {
+        // POS/NEG disjointness cannot be checked while a slot is open;
+        // a binding that overlaps surfaces the constructor's own error.
+        let p = shape_of("SELECT * FROM t PREFERRING make = $1 ELSE make <> 'VW'");
+        assert!(p.bind_params(&[Value::from("Opel")]).is_ok());
+        assert!(matches!(
+            p.bind_params(&[Value::from("VW")]),
+            Err(CoreError::OverlappingSets { .. })
+        ));
+    }
+
+    #[test]
+    fn bound_shape_matches_the_fresh_rewrite() {
+        // prepare+bind and parse-with-inline-literals meet in the same
+        // term, hence the same compiled fingerprint.
+        let shape = shape_of("SELECT * FROM t PREFERRING price AROUND $1 AND LOWEST(rating)");
+        let bound = shape.bind_params(&[Value::from(40_000)]).unwrap();
+        let q = parse("SELECT * FROM t PREFERRING price AROUND 40000 AND LOWEST(rating)").unwrap();
+        let fresh = pref_to_term(&q.preferring.unwrap(), &schema(), "t").unwrap();
+        assert_eq!(bound, fresh);
+    }
+}

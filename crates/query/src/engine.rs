@@ -33,7 +33,8 @@ use parking_lot::Mutex;
 
 use pref_core::eval::{CompiledPref, MatrixWindow, ScoreMatrix};
 use pref_core::term::Pref;
-use pref_relation::{AttrSet, Relation, RelationError, Schema};
+use pref_core::CoreError;
+use pref_relation::{AttrSet, Relation, RelationError, Schema, Value};
 
 use crate::error::QueryError;
 use crate::optimizer::{run_algorithm, CacheStatus, Explain, Optimizer};
@@ -172,6 +173,7 @@ impl Engine {
         let simplified_str = simplified.to_string();
         let compiled = CompiledPref::compile(&simplified, schema)?;
         let fingerprint = compiled.fingerprint();
+        let param_slots = compiled.param_slots();
         Ok(Prepared {
             engine: self.clone(),
             rewritten: simplified_str != original,
@@ -180,6 +182,8 @@ impl Engine {
             simplified_str,
             compiled,
             fingerprint,
+            param_slots,
+            binding: None,
             schema: schema.clone(),
         })
     }
@@ -455,6 +459,13 @@ fn groupby_windows(members: &[Vec<usize>], better: impl Fn(usize, usize) -> bool
 /// many times. Holds the rewritten term, its compiled form, the
 /// structural fingerprint, and a handle to the engine whose matrix cache
 /// serves its executions.
+///
+/// A query prepared from a term containing parameterized shapes
+/// (`$n` slots, [`pref_core::param::ParamBase`]) is a **shape**: its
+/// fingerprint is the shape fingerprint, stable across bindings, and it
+/// cannot execute until [`Prepared::bind`] patches the slots with
+/// concrete values — a cheap clone-and-patch that re-uses the compiled
+/// column resolution and equality-projection layouts verbatim.
 #[derive(Debug, Clone)]
 pub struct Prepared {
     engine: Engine,
@@ -464,6 +475,11 @@ pub struct Prepared {
     rewritten: bool,
     compiled: CompiledPref,
     fingerprint: u64,
+    /// `$n` slots still unbound (sorted, deduplicated; empty = concrete).
+    param_slots: Vec<usize>,
+    /// Set when this query came out of [`Prepared::bind`]: the shape's
+    /// fingerprint plus the bound values, reported through [`Explain`].
+    binding: Option<(u64, Vec<Value>)>,
     schema: Schema,
 }
 
@@ -484,6 +500,79 @@ impl Prepared {
     /// caches matrices for.
     pub fn compiled(&self) -> &CompiledPref {
         &self.compiled
+    }
+
+    /// Does this query still contain unbound `$n` slots? Such a *shape*
+    /// must be [`Prepared::bind`]-ed before execution.
+    pub fn has_params(&self) -> bool {
+        !self.param_slots.is_empty()
+    }
+
+    /// The unbound slot indices (sorted, deduplicated).
+    pub fn param_slots(&self) -> &[usize] {
+        &self.param_slots
+    }
+
+    /// The shape fingerprint this query's bindings share: for a bound
+    /// query, the fingerprint of the shape it was bound from; for an
+    /// unbound shape, its own fingerprint. `None` for queries prepared
+    /// directly from concrete terms.
+    pub fn shape_fingerprint(&self) -> Option<u64> {
+        match &self.binding {
+            Some((fp, _)) => Some(*fp),
+            None if self.has_params() => Some(self.fingerprint),
+            None => None,
+        }
+    }
+
+    /// Patch every `$n` slot with `values[n - 1]`, producing a concrete,
+    /// executable query. On the fast path the compiled node tree is
+    /// cloned and patched in place — resolved columns, equality
+    /// projections and the algebraic rewrite are all reused; cost is
+    /// O(term nodes), independent of the original statement size. The
+    /// bound query's fingerprint equals a fresh prepare of the bound
+    /// term, so repeated executions of the same binding hit the engine's
+    /// matrix cache exactly like inline literals would — including when
+    /// the binding makes previously distinct slots equal (`$1 = $2`
+    /// turning `P ⊗ P` collapsible): a cheap re-simplification check
+    /// detects that case and recompiles the reduced term instead of
+    /// keeping the unreduced patch.
+    ///
+    /// Binding a query with no slots returns a plain clone. A too-short
+    /// binding fails with [`CoreError::UnboundSlot`]; a value that cannot
+    /// inhabit its slot fails with [`CoreError::BadBinding`].
+    pub fn bind(&self, values: &[Value]) -> Result<Prepared, QueryError> {
+        if !self.has_params() {
+            return Ok(self.clone());
+        }
+        let shape_fp = self
+            .binding
+            .as_ref()
+            .map_or(self.fingerprint, |(fp, _)| *fp);
+        let bound = self.simplified.bind_params(values)?;
+        // Binding can introduce syntactic equalities the shape didn't
+        // have; only then does the slot patch diverge from a fresh
+        // prepare, and only then do we pay a recompilation.
+        let resimplified = self.engine.inner.optimizer.rewrite(&bound);
+        let (simplified, rewritten, compiled) = if resimplified == bound {
+            (bound, self.rewritten, self.compiled.bind(values)?)
+        } else {
+            let compiled = CompiledPref::compile(&resimplified, &self.schema)?;
+            (resimplified, true, compiled)
+        };
+        let fingerprint = compiled.fingerprint();
+        Ok(Prepared {
+            engine: self.engine.clone(),
+            original: self.original.clone(),
+            simplified_str: simplified.to_string(),
+            simplified,
+            rewritten,
+            compiled,
+            fingerprint,
+            param_slots: Vec::new(),
+            binding: Some((shape_fp, values.to_vec())),
+            schema: self.schema.clone(),
+        })
     }
 
     /// The engine-cached score matrix view of this query over `r` (built
@@ -533,6 +622,11 @@ impl Prepared {
     }
 
     fn run(&self, r: &Relation, populate: bool) -> Result<(Vec<usize>, Explain), QueryError> {
+        // An unbound shape denotes the empty order — evaluating it would
+        // silently return every row. Refuse instead of guessing.
+        if let Some(&slot) = self.param_slots.first() {
+            return Err(QueryError::Core(CoreError::UnboundSlot { slot }));
+        }
         if !r.schema().same_as(&self.schema) {
             return Err(QueryError::Relation(RelationError::SchemaMismatch {
                 left: self.schema.to_string(),
@@ -571,6 +665,8 @@ impl Prepared {
                 cache,
                 generation: r.generation(),
                 lineage: r.lineage(),
+                shape_fingerprint: self.binding.as_ref().map(|(fp, _)| *fp),
+                binding: self.binding.as_ref().map(|(_, values)| values.clone()),
                 reason,
             },
         ))
@@ -976,6 +1072,109 @@ mod tests {
             "no_materialize groupby must not touch the matrix cache"
         );
         assert_eq!(rows, Engine::new().sigma_groupby(&p, &attrs, &r).unwrap());
+    }
+
+    #[test]
+    fn parameterized_shapes_bind_and_share_the_cache() {
+        let engine = Engine::new();
+        let r = sample();
+        let shape = engine
+            .prepare(&around_slot("a", 1).pareto(lowest("b")), r.schema())
+            .unwrap();
+        assert!(shape.has_params());
+        assert_eq!(shape.param_slots(), &[1]);
+        assert_eq!(shape.shape_fingerprint(), Some(shape.fingerprint()));
+
+        // An unbound shape refuses to execute instead of returning the
+        // empty order's "everything is maximal".
+        assert!(matches!(
+            shape.execute(&r),
+            Err(QueryError::Core(CoreError::UnboundSlot { slot: 1 }))
+        ));
+
+        // Binding patches the slot; results agree with the concrete term
+        // and the fingerprint equals a fresh concrete compile, so both
+        // routes share one matrix cache entry.
+        let bound = shape.bind(&[Value::from(3)]).unwrap();
+        assert!(!bound.has_params());
+        let concrete_term = around("a", 3).pareto(lowest("b"));
+        let (rows, ex) = bound.execute(&r).unwrap();
+        assert_eq!(rows, sigma_naive_generic(&concrete_term, &r).unwrap());
+        assert_eq!(ex.shape_fingerprint, shape.shape_fingerprint());
+        assert_eq!(ex.binding.as_deref(), Some(&[Value::from(3)][..]));
+        assert!(ex.to_string().contains("shape"));
+
+        let concrete = engine.prepare(&concrete_term, r.schema()).unwrap();
+        assert_eq!(concrete.fingerprint(), bound.fingerprint());
+        if ex.materialized {
+            assert_eq!(concrete.execute(&r).unwrap().1.cache, CacheStatus::Hit);
+        }
+
+        // Re-binding with fresh values is a different concrete query —
+        // cold once, then warm; the shape fingerprint stays put.
+        let bound2 = shape.bind(&[Value::from(5)]).unwrap();
+        assert_ne!(bound2.fingerprint(), bound.fingerprint());
+        assert_eq!(bound2.shape_fingerprint(), shape.shape_fingerprint());
+        let (rows2, e1) = bound2.execute(&r).unwrap();
+        assert_eq!(
+            rows2,
+            sigma_naive_generic(&around("a", 5).pareto(lowest("b")), &r).unwrap()
+        );
+        if e1.materialized {
+            assert_eq!(e1.cache, CacheStatus::Miss);
+            assert_eq!(bound2.execute(&r).unwrap().1.cache, CacheStatus::Hit);
+        }
+
+        // Bad bindings name the slot.
+        assert!(matches!(
+            shape.bind(&[]),
+            Err(QueryError::Core(CoreError::UnboundSlot { slot: 1 }))
+        ));
+        assert!(matches!(
+            shape.bind(&[Value::from("off-axis")]),
+            Err(QueryError::Core(CoreError::BadBinding { slot: 1, .. }))
+        ));
+
+        // Binding a concrete query is the identity.
+        let same = concrete.bind(&[Value::from(9)]).unwrap();
+        assert_eq!(same.fingerprint(), concrete.fingerprint());
+        assert!(same.execute(&r).unwrap().1.binding.is_none());
+    }
+
+    #[test]
+    fn binding_that_collapses_slots_matches_a_fresh_prepare() {
+        // `$1 = $2` can make a Pareto of distinct shapes collapsible
+        // (Prop. 3l: P ⊗ P ≡ P). The bound query must re-simplify so its
+        // fingerprint — and hence its matrix cache entry — matches a
+        // fresh prepare of the bound term.
+        let engine = Engine::new();
+        let r = sample();
+        let shape = engine
+            .prepare(&around_slot("a", 1).pareto(around_slot("a", 2)), r.schema())
+            .unwrap();
+
+        let collapsed = shape.bind(&[Value::from(3), Value::from(3)]).unwrap();
+        let fresh = engine.prepare(&around("a", 3), r.schema()).unwrap();
+        assert_eq!(
+            collapsed.fingerprint(),
+            fresh.fingerprint(),
+            "equal bindings must collapse like inline literals"
+        );
+        assert_eq!(
+            collapsed.execute(&r).unwrap().0,
+            fresh.execute(&r).unwrap().0
+        );
+
+        // Distinct bindings keep the two-operand Pareto (fast path).
+        let distinct = shape.bind(&[Value::from(2), Value::from(4)]).unwrap();
+        let fresh2 = engine
+            .prepare(&around("a", 2).pareto(around("a", 4)), r.schema())
+            .unwrap();
+        assert_eq!(distinct.fingerprint(), fresh2.fingerprint());
+        assert_eq!(
+            distinct.execute(&r).unwrap().0,
+            fresh2.execute(&r).unwrap().0
+        );
     }
 
     #[test]

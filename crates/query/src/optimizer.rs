@@ -23,7 +23,7 @@ use std::fmt;
 use pref_core::algebra::simplify;
 use pref_core::eval::{CompiledPref, MatrixWindow};
 use pref_core::term::Pref;
-use pref_relation::{Lineage, Relation};
+use pref_relation::{Lineage, Relation, Value};
 
 use crate::algorithms::{bnl, dnc, sfs};
 use crate::bmo::{sigma_naive_generic_compiled, sigma_naive_matrix};
@@ -140,6 +140,14 @@ pub struct Explain {
     /// [`CacheStatus::DerivedHit`] resolved, reported even on misses so
     /// callers can see what later executions will be able to reuse.
     pub lineage: Option<Lineage>,
+    /// When the executed query was produced by binding a parameterized
+    /// shape ([`Prepared::bind`](crate::engine::Prepared::bind)): the
+    /// shape's stable fingerprint, identical across bindings. `None` for
+    /// queries prepared directly from concrete terms.
+    pub shape_fingerprint: Option<u64>,
+    /// The bound parameter values of this execution (`binding[0] = $1`),
+    /// when the query came from [`Prepared::bind`](crate::engine::Prepared::bind).
+    pub binding: Option<Vec<Value>>,
     /// Human-readable selection rationale.
     pub reason: String,
 }
@@ -169,6 +177,10 @@ impl fmt::Display for Explain {
                 "generic term-walk"
             }
         )?;
+        if let (Some(fp), Some(binding)) = (self.shape_fingerprint, &self.binding) {
+            let values: Vec<String> = binding.iter().map(Value::to_string).collect();
+            writeln!(f, "shape      : {fp:#018x} bound [{}]", values.join(", "))?;
+        }
         match self.lineage {
             Some(l) => writeln!(
                 f,
@@ -267,6 +279,8 @@ impl Optimizer {
             cache: CacheStatus::Bypass,
             generation: r.generation(),
             lineage: r.lineage(),
+            shape_fingerprint: None,
+            binding: None,
             reason,
         })
     }

@@ -7,6 +7,7 @@
 mod common;
 
 use common::{arb_pref, arb_relation, test_schema};
+use preferences::prefsql::PrefSql;
 use preferences::prelude::*;
 use preferences::query::bmo::sigma_naive_generic;
 use preferences::query::engine::Engine;
@@ -236,5 +237,90 @@ proptest! {
         let a = sigma_groupby(&p, &attrs, &r).expect("term compiles");
         let b = sigma_groupby_definitional(&p, &attrs, &r).expect("term compiles");
         prop_assert_eq!(a, b, "groupby paths diverged for {}", p);
+    }
+
+    #[test]
+    fn parameterized_prepare_bind_agrees_with_fresh_execution(
+        rows in proptest::collection::vec((0i64..40, 0i64..40, 0usize..4), 1..14),
+        bindings in proptest::collection::vec((0i64..50, 0i64..50), 1..5),
+        extra in proptest::collection::vec((0i64..40, 0i64..40, 0usize..4), 1..4),
+    ) {
+        // prepare + bind ≡ fresh parse/execute: a statement compiled once
+        // as a parameterized shape, re-bound per request, must agree row
+        // for row with parsing the bound literals from scratch — across
+        // random bindings and across a catalog mutation that invalidates
+        // every cached matrix.
+        let cats = ["x", "y", "z", "w"];
+        let make_table = |rows: &[(i64, i64, usize)]| {
+            let mut r = Relation::empty(
+                Schema::new(vec![
+                    ("price", DataType::Int),
+                    ("mileage", DataType::Int),
+                    ("color", DataType::Str),
+                ])
+                .expect("static schema"),
+            );
+            for (p, m, c) in rows {
+                r.push_values(vec![Value::from(*p), Value::from(*m), Value::from(cats[*c])])
+                    .expect("row matches schema");
+            }
+            r
+        };
+        let sql = "SELECT * FROM cars WHERE price <= $1 \
+                   PREFERRING price AROUND $2 AND LOWEST(mileage)";
+
+        let mut db = PrefSql::new();
+        db.register("cars", make_table(&rows));
+        let stmt = db.prepare(sql).expect("statement parses");
+        prop_assert!(stmt.is_precompiled(), "parameterized shape must precompile");
+
+        let check_bindings = |db: &PrefSql, table_rows: &[(i64, i64, usize)]| {
+            for (cap, target) in &bindings {
+                let bound = stmt
+                    .execute(db, &[Value::from(*cap), Value::from(*target)])
+                    .expect("binding runs");
+                // Oracle: a cold session parsing the bound literals fresh.
+                let mut fresh = PrefSql::new();
+                fresh.register("cars", make_table(table_rows));
+                let adhoc = fresh
+                    .execute(&format!(
+                        "SELECT * FROM cars WHERE price <= {cap} \
+                         PREFERRING price AROUND {target} AND LOWEST(mileage)"
+                    ))
+                    .expect("fresh execution runs");
+                prop_assert_eq!(
+                    format!("{}", bound.relation),
+                    format!("{}", adhoc.relation),
+                    "prepare+bind diverged from fresh execution for ({}, {})",
+                    cap,
+                    target
+                );
+                // The shape reports itself, and re-executing the same
+                // binding over the unchanged table runs warm.
+                let ex = bound.explain.expect("BMO stage ran");
+                prop_assert!(ex.shape_fingerprint.is_some());
+                let again = stmt
+                    .execute(db, &[Value::from(*cap), Value::from(*target)])
+                    .expect("binding re-runs");
+                let ex2 = again.explain.expect("BMO stage ran");
+                if ex.materialized {
+                    prop_assert!(
+                        ex2.cache.is_warm(),
+                        "repeated binding must run warm, got {}", ex2
+                    );
+                }
+            }
+            Ok(())
+        };
+
+        check_bindings(&db, &rows)?;
+
+        // Mutation: re-register with extra rows. Every cached matrix is
+        // rooted in the old generation, so bindings must re-materialize
+        // against the new content — stale results are the failure mode.
+        let mut mutated = rows.clone();
+        mutated.extend(extra.iter().cloned());
+        db.register("cars", make_table(&mutated));
+        check_bindings(&db, &mutated)?;
     }
 }
