@@ -50,6 +50,18 @@ const SCENARIOS: &[(&str, &str, &str, f64)] = &[
         "engine_cache/param-cold-reparse",
         0.95,
     ),
+    (
+        "shard-parallel-build",
+        "engine_cache/shard-parallel-build",
+        "engine_cache/shard-single-build",
+        0.95,
+    ),
+    (
+        "shard-append-warm",
+        "engine_cache/shard-append-warm",
+        "engine_cache/shard-append-cold",
+        0.90,
+    ),
 ];
 
 #[derive(Debug, Clone)]

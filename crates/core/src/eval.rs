@@ -106,7 +106,74 @@ impl CompiledPref {
     ///
     /// [`Value`]: pref_relation::Value
     pub fn score_matrix(&self, r: &Relation) -> Option<ScoreMatrix> {
-        ScoreMatrix::build(&self.node, r)
+        self.score_matrix_with(r, 1, 0)
+    }
+
+    /// [`CompiledPref::score_matrix`] with the key-lane materialization
+    /// fanned out over `threads` scoped worker threads (shard-granular;
+    /// `0` and `1` both mean sequential — callers resolve "auto" to a
+    /// concrete count, e.g. via `std::thread::available_parallelism`).
+    pub fn score_matrix_parallel(&self, r: &Relation, threads: usize) -> Option<ScoreMatrix> {
+        self.score_matrix_with(r, threads, 0)
+    }
+
+    /// Fully parameterized matrix build: `threads` workers over shards of
+    /// `shard_rows` rows (rounded up to a power of two; `0` = the default
+    /// of [`ScoreMatrix::DEFAULT_SHARD_ROWS`]). Small shard sizes exist
+    /// for tests that must exercise shard boundaries on tiny relations.
+    pub fn score_matrix_with(
+        &self,
+        r: &Relation,
+        threads: usize,
+        shard_rows: usize,
+    ) -> Option<ScoreMatrix> {
+        ScoreMatrix::build(&self.node, r, threads, shard_shift(shard_rows), None)
+    }
+
+    /// Incremental rebuild against `prev`, a matrix this same preference
+    /// materialized for an earlier content state of `r`: rows
+    /// `0..prefix_len` of `r` are identical to `prev`'s rows except those
+    /// listed in `dirty`, and rows `prefix_len..` are appended. Key lanes
+    /// of *clean* shards — fully inside the prefix, no dirty row — are
+    /// reused by `Arc` clone (keys are pure per-row functions), so only
+    /// dirty and tail shards pay the per-value `dominance_key` dispatch.
+    /// Equality lanes with row-pure encodings (value fingerprints,
+    /// EXPLICIT vertex ids) are patched the same way — prefix copied,
+    /// dirty and appended rows re-encoded; only dictionary lanes
+    /// (strings, multi-attribute projections) pay a full re-encode,
+    /// because their dense first-seen ids are a whole-column property an
+    /// in-place update can perturb.
+    ///
+    /// Reused shards keep their [`ScoreMatrix::shard_generations`] stamp;
+    /// rebuilt shards are stamped with `r.generation()` — which is what
+    /// makes per-shard invalidation observable.
+    ///
+    /// Returns `None` when the term does not materialize on `r` or the
+    /// prefix claim is inconsistent. A `prev` with a mismatched layout
+    /// (different shard size or key-slot count) is not an error — it
+    /// simply reuses nothing and degenerates to a full build.
+    pub fn score_matrix_incremental(
+        &self,
+        r: &Relation,
+        prev: &ScoreMatrix,
+        prefix_len: usize,
+        dirty: &[u32],
+        threads: usize,
+    ) -> Option<ScoreMatrix> {
+        if prefix_len > prev.len() || prefix_len > r.len() {
+            return None;
+        }
+        ScoreMatrix::build(
+            &self.node,
+            r,
+            threads,
+            prev.shard_shift,
+            Some(Reuse {
+                prev,
+                prefix_len,
+                dirty,
+            }),
+        )
     }
 
     /// Would [`CompiledPref::score_matrix`] succeed on `r`? An
@@ -543,27 +610,105 @@ fn rank_value(combine: &CombineFn, inputs: &[(usize, BaseRef)], t: &Tuple) -> f6
 /// `better(x, y)` then runs the Def. 8–12 recursion over row *indices*
 /// touching only these vectors — branch-light numeric comparisons with no
 /// `Value` dispatch, no hash-set membership tests, no distance
-/// recomputation. Building is a single O(n · terms) pass, amortized over
-/// the O(n²)-ish comparisons of BMO evaluation.
+/// recomputation.
+///
+/// ## Sharded structure-of-arrays storage
+///
+/// Keys are stored as **per-shard lanes**, `shards[row >> shift]
+/// .lanes[slot][row & mask]`, not row-major strips: the relation's row
+/// range is cut into fixed-size shards (a power of two,
+/// [`ScoreMatrix::DEFAULT_SHARD_ROWS`] by default) and each shard holds
+/// one contiguous `f64` lane per key slot behind an `Arc`. This buys
+/// three things:
+///
+/// * **parallel build** — shards materialize independently on scoped
+///   threads (the per-value `dominance_key` dispatch dominates build
+///   cost);
+/// * **incremental rebuild** — an append or targeted update re-derives
+///   only the affected shards and `Arc`-clones the clean ones
+///   ([`CompiledPref::score_matrix_incremental`]);
+/// * **batch dominance** — a lane is contiguous per slot, so the BNL
+///   inner loop can compare one candidate's key vector against a lane of
+///   window keys with no per-row stride arithmetic
+///   ([`Dominance::pareto_access`]).
+///
+/// Equality lanes are slot-major over the whole relation (`eqs[slot]
+/// [row]`): dictionary encodings need globally consistent first-seen
+/// ids, so they build in one sequential hash pass and are recomputed on
+/// every incremental rebuild, while the row-pure encodings (value
+/// fingerprints, EXPLICIT vertex ids) are patched — prefix copied,
+/// dirty and appended rows re-encoded.
 #[derive(Debug, Clone)]
 pub struct ScoreMatrix {
     rows: usize,
-    /// Row-major keys: `keys[row * key_stride + slot]`.
-    keys: Vec<f64>,
-    key_stride: usize,
+    /// log2 of the shard row count.
+    shard_shift: u32,
+    /// Per-shard key lanes: `shards[row >> shard_shift]`.
+    shards: Vec<KeyShard>,
+    /// Per shard: the relation generation whose build (re)materialized
+    /// it. A full build stamps every shard alike; an incremental rebuild
+    /// stamps only the shards it actually recomputed.
+    shard_gens: Vec<u64>,
     /// Per key slot: the `(column, base preference)` whose
     /// `dominance_key` filled it, for slots that came from a base
     /// preference (`None` for `rank(F)` slots). Lets quality functions
     /// (LEVEL/DISTANCE of `BUT ONLY`) read the materialized keys back
     /// instead of re-walking values.
     key_bases: Vec<Option<(usize, BaseRef)>>,
-    /// Row-major equality codes: `eqs[row * eq_stride + slot]`. A slot is
-    /// either a lossless value fingerprint (numeric columns) or a dense
-    /// dictionary id (strings, multi-attribute projections); both compare
-    /// by `==`.
-    eqs: Vec<u64>,
-    eq_stride: usize,
+    /// Slot-major equality codes: `eqs[slot][row]`. A slot is either a
+    /// lossless value fingerprint (numeric columns) or a dense dictionary
+    /// id (strings, multi-attribute projections); both compare by `==`.
+    eqs: Vec<Vec<u64>>,
+    /// Per eq slot: which encoding filled it. Incremental rebuilds reuse
+    /// the row-pure encodings (fingerprints, EXPLICIT vertex ids) by
+    /// patching only dirty and appended rows; dictionary lanes always
+    /// re-encode, because dense first-seen ids are a whole-column
+    /// property an in-place update can perturb.
+    eq_kinds: Vec<EqEncoding>,
     plan: ScorePlan,
+}
+
+/// How one equality lane was encoded — decides whether an incremental
+/// rebuild may reuse it row-wise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EqEncoding {
+    /// Lossless per-value fingerprint ([`pref_relation::Column::fingerprints`]):
+    /// a pure per-row function, reusable under patching.
+    Fingerprint,
+    /// Dense dictionary ids in first-seen order: only valid as a whole
+    /// column, never patched.
+    Dictionary,
+    /// EXPLICIT-graph vertex ids: a pure per-row function, reusable
+    /// under patching.
+    Vertex,
+}
+
+/// One shard's key storage: a contiguous `f64` lane per key slot,
+/// covering a fixed row range. Lanes sit behind `Arc` so incremental
+/// rebuilds reuse clean shards without copying.
+#[derive(Debug, Clone)]
+struct KeyShard {
+    lanes: Vec<Arc<[f64]>>,
+}
+
+/// Reuse directive for an incremental build: `prev` covers rows
+/// `0..prefix_len` of the new relation, identically except rows in
+/// `dirty`.
+#[derive(Clone, Copy)]
+struct Reuse<'a> {
+    prev: &'a ScoreMatrix,
+    prefix_len: usize,
+    dirty: &'a [u32],
+}
+
+/// Convert a requested shard row count to the shift (0 = default;
+/// otherwise rounded up to a power of two, min 1 row).
+fn shard_shift(shard_rows: usize) -> u32 {
+    if shard_rows == 0 {
+        ScoreMatrix::DEFAULT_SHARD_ROWS.trailing_zeros()
+    } else {
+        shard_rows.next_power_of_two().trailing_zeros()
+    }
 }
 
 /// The structural skeleton `better` interprets over the materialized
@@ -589,41 +734,38 @@ enum ScorePlan {
 }
 
 impl ScoreMatrix {
-    fn build(node: &Node, r: &Relation) -> Option<ScoreMatrix> {
+    /// Default rows per shard (a power of two). Sized so one shard's key
+    /// lanes stay cache-resident during a batch compare while still
+    /// giving parallel builds enough shards to spread across cores.
+    pub const DEFAULT_SHARD_ROWS: usize = 4096;
+
+    fn build(
+        node: &Node,
+        r: &Relation,
+        threads: usize,
+        shift: u32,
+        reuse: Option<Reuse<'_>>,
+    ) -> Option<ScoreMatrix> {
         let mut b = MatrixBuilder {
-            r,
-            keys: Vec::new(),
+            key_specs: Vec::new(),
             key_bases: Vec::new(),
-            eqs: Vec::new(),
+            eq_specs: Vec::new(),
             eq_cache: HashMap::new(),
         };
         let plan = b.plan(node)?;
-        let rows = r.len();
-
-        // Transpose the per-slot columns into row-major strips so one
-        // row's keys are contiguous during pairwise comparison.
-        let key_stride = b.keys.len();
-        let mut keys = vec![0.0f64; rows * key_stride];
-        for (s, col) in b.keys.iter().enumerate() {
-            for (i, &k) in col.iter().enumerate() {
-                keys[i * key_stride + s] = k;
-            }
-        }
-        let eq_stride = b.eqs.len();
-        let mut eqs = vec![0u64; rows * eq_stride];
-        for (s, col) in b.eqs.iter().enumerate() {
-            for (i, &e) in col.iter().enumerate() {
-                eqs[i * eq_stride + s] = e;
-            }
-        }
-
+        // Key lanes validate per value (every dominance key must embed),
+        // so they run first: non-embeddable relations bail before paying
+        // for the equality pass.
+        let (shards, shard_gens) = build_key_shards(&b.key_specs, r, shift, threads, reuse)?;
+        let (eqs, eq_kinds) = build_eqs(&b.eq_specs, r, reuse);
         Some(ScoreMatrix {
-            rows,
-            keys,
-            key_stride,
+            rows: r.len(),
+            shard_shift: shift,
+            shards,
+            shard_gens,
             key_bases: b.key_bases,
             eqs,
-            eq_stride,
+            eq_kinds,
             plan,
         })
     }
@@ -640,17 +782,36 @@ impl ScoreMatrix {
 
     /// Number of materialized key columns.
     pub fn key_slots(&self) -> usize {
-        self.key_stride
+        self.key_bases.len()
     }
 
     /// Number of materialized equality-id columns.
     pub fn eq_slots(&self) -> usize {
-        self.eq_stride
+        self.eqs.len()
+    }
+
+    /// Rows per shard (a power of two; the last shard may be partial).
+    pub fn shard_rows(&self) -> usize {
+        1 << self.shard_shift
+    }
+
+    /// Number of row-range shards (`0` on an empty relation).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Per-shard build stamps: the relation generation whose (re)build
+    /// materialized each shard's key lanes. After an incremental rebuild
+    /// only the recomputed shards carry the new generation — the
+    /// observable form of per-shard invalidation.
+    pub fn shard_generations(&self) -> &[u64] {
+        &self.shard_gens
     }
 
     #[inline]
     fn key(&self, row: usize, slot: usize) -> f64 {
-        self.keys[row * self.key_stride + slot]
+        let mask = (1usize << self.shard_shift) - 1;
+        self.shards[row >> self.shard_shift].lanes[slot][row & mask]
     }
 
     /// The key slot filled by `base`'s `dominance_key` over column
@@ -675,7 +836,7 @@ impl ScoreMatrix {
 
     #[inline]
     fn eq(&self, row: usize, slot: usize) -> u64 {
-        self.eqs[row * self.eq_stride + slot]
+        self.eqs[slot][row]
     }
 
     /// The strict better-than test on row indices: is `y` better than
@@ -767,6 +928,74 @@ pub trait Dominance {
     fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Batch-gather access to the backend's flat Pareto dimensions, when
+    /// the order is a pure `ParetoKeys` plan (every operand a dominance
+    /// key). `None` — the default — means the backend has no such lanes
+    /// and callers must stay on the pairwise [`Dominance::better`] path.
+    fn pareto_access(&self) -> Option<ParetoAccess<'_>> {
+        None
+    }
+
+    /// Preferred row-chunk alignment for parallel partitioning (`1` = no
+    /// preference). Sharded matrices report their shard size so chunk
+    /// boundaries coincide with lane boundaries.
+    fn chunk_alignment(&self) -> usize {
+        1
+    }
+}
+
+/// Gather-based access to the key/equality lanes of a flat Pareto order
+/// — the batch-dominance interface of [`Dominance::pareto_access`].
+///
+/// One call to [`ParetoAccess::gather`] copies a row's per-dimension
+/// `(key, eq)` pairs into caller-owned buffers; the caller then compares
+/// that row against *its own* contiguous structure-of-arrays copies of
+/// whatever row set it maintains (e.g. a BNL window), which is where the
+/// auto-vectorizable inner loops live. Only the gather pays the window
+/// indirection of a [`MatrixWindow`].
+#[derive(Debug, Clone, Copy)]
+pub struct ParetoAccess<'m> {
+    matrix: &'m ScoreMatrix,
+    /// `(key slot, eq slot)` per Pareto dimension.
+    slots: &'m [(usize, usize)],
+    /// Window indirection: row `i` here is matrix row `ids[i]`.
+    ids: Option<&'m [u32]>,
+}
+
+impl ParetoAccess<'_> {
+    /// Number of Pareto dimensions.
+    pub fn dims(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of rows covered (window rows when windowed).
+    pub fn len(&self) -> usize {
+        match self.ids {
+            Some(ids) => ids.len(),
+            None => self.matrix.len(),
+        }
+    }
+
+    /// Is the row set empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Copy row `row`'s per-dimension dominance keys and equality codes
+    /// into `keys` / `eqs` (each at least [`ParetoAccess::dims`] long).
+    /// Keys are never NaN — the matrix build rejects NaN embeddings.
+    #[inline]
+    pub fn gather(&self, row: usize, keys: &mut [f64], eqs: &mut [u64]) {
+        let base = match self.ids {
+            Some(ids) => ids[row] as usize,
+            None => row,
+        };
+        for (d, &(k, e)) in self.slots.iter().enumerate() {
+            keys[d] = self.matrix.key(base, k);
+            eqs[d] = self.matrix.eq(base, e);
+        }
+    }
 }
 
 impl Dominance for ScoreMatrix {
@@ -776,6 +1005,21 @@ impl Dominance for ScoreMatrix {
 
     fn better(&self, x: usize, y: usize) -> bool {
         ScoreMatrix::better(self, x, y)
+    }
+
+    fn pareto_access(&self) -> Option<ParetoAccess<'_>> {
+        match &self.plan {
+            ScorePlan::ParetoKeys(slots) => Some(ParetoAccess {
+                matrix: self,
+                slots,
+                ids: None,
+            }),
+            _ => None,
+        }
+    }
+
+    fn chunk_alignment(&self) -> usize {
+        self.shard_rows()
     }
 }
 
@@ -883,6 +1127,26 @@ impl Dominance for MatrixWindow {
     fn better(&self, x: usize, y: usize) -> bool {
         MatrixWindow::better(self, x, y)
     }
+
+    fn pareto_access(&self) -> Option<ParetoAccess<'_>> {
+        match &self.matrix.plan {
+            ScorePlan::ParetoKeys(slots) => Some(ParetoAccess {
+                matrix: &self.matrix,
+                slots,
+                ids: self.ids.as_deref(),
+            }),
+            _ => None,
+        }
+    }
+
+    fn chunk_alignment(&self) -> usize {
+        // A windowed view's row indices do not map onto contiguous base
+        // rows, so shard alignment means nothing there.
+        match self.ids {
+            Some(_) => 1,
+            None => self.matrix.shard_rows(),
+        }
+    }
 }
 
 /// Mirror of [`MatrixBuilder::plan`]'s success condition, minus every
@@ -909,18 +1173,49 @@ fn supports(node: &Node, r: &Relation) -> bool {
     }
 }
 
-struct MatrixBuilder<'a> {
-    r: &'a Relation,
-    keys: Vec<Vec<f64>>,
+/// How one key slot's lane is computed from a row. Structural — carries
+/// no relation data, so a plan compiles once and its lanes materialize
+/// per shard, on whichever thread owns the shard.
+enum KeySpec {
+    /// `base.dominance_key(row[col])`.
+    Base { col: usize, base: BaseRef },
+    /// `F(f1(row[c1]), …)` of `rank(F)`.
+    Rank {
+        combine: CombineFn,
+        inputs: Vec<(usize, BaseRef)>,
+    },
+}
+
+/// How one equality slot's codes are computed. Equality lanes are
+/// relation-wide (dictionary ids need globally consistent first-seen
+/// order), so these evaluate in one sequential pass.
+enum EqSpec {
+    /// Projection equality over `cols`: value fingerprints for a single
+    /// numeric column, dictionary group ids otherwise.
+    Projection(Vec<usize>),
+    /// EXPLICIT vertex ids: `base`'s graph-vertex index of `row[col]`,
+    /// with every outside value collapsed onto `outside`.
+    ExplicitIds {
+        col: usize,
+        base: BaseRef,
+        outside: u64,
+    },
+}
+
+struct MatrixBuilder {
+    key_specs: Vec<KeySpec>,
     /// Per key slot: origin `(col, base)` for base-preference slots.
     key_bases: Vec<Option<(usize, BaseRef)>>,
-    eqs: Vec<Vec<u64>>,
+    eq_specs: Vec<EqSpec>,
     /// Dedup equality slots by their column signature — Pareto and Prior
     /// operands over the same attribute set share one encoding.
     eq_cache: HashMap<Vec<usize>, usize>,
 }
 
-impl MatrixBuilder<'_> {
+impl MatrixBuilder {
+    /// Compile `node` into a [`ScorePlan`] plus the key/eq lane specs the
+    /// build phases execute. Purely structural: data-dependent failures
+    /// (non-embeddable values) surface later, in [`build_key_shards`].
     fn plan(&mut self, node: &Node) -> Option<ScorePlan> {
         match node {
             Node::Base { col, base } => {
@@ -930,37 +1225,33 @@ impl MatrixBuilder<'_> {
                     // and dominance becomes a reachability-bitset probe.
                     let reach = e.reachability();
                     let outside = reach.outside_id() as u64;
-                    let ids = self
-                        .r
-                        .column(*col)
-                        .iter()
-                        .map(|v| e.vertex_index(v).map_or(outside, |i| i as u64))
-                        .collect();
+                    self.eq_specs.push(EqSpec::ExplicitIds {
+                        col: *col,
+                        base: base.clone(),
+                        outside,
+                    });
                     return Some(ScorePlan::Explicit {
-                        ids: self.push_raw_eq(ids),
+                        ids: self.eq_specs.len() - 1,
                         reach,
                     });
                 }
-                let keys = self
-                    .r
-                    .column(*col)
-                    // NaN keys would order inconsistently under `<`;
-                    // treat them as non-embeddable.
-                    .map_f64(|v| base.dominance_key(v).filter(|k| !k.is_nan()))?;
-                Some(ScorePlan::Key(
-                    self.push_key(keys, Some((*col, base.clone()))),
-                ))
+                Some(ScorePlan::Key(self.push_key(
+                    KeySpec::Base {
+                        col: *col,
+                        base: base.clone(),
+                    },
+                    Some((*col, base.clone())),
+                )))
             }
             Node::Antichain => Some(ScorePlan::Antichain),
             Node::Dual(inner) => Some(ScorePlan::Dual(Box::new(self.plan(inner)?))),
-            Node::Rank { combine, inputs } => {
-                let keys: Option<Vec<f64>> = self
-                    .r
-                    .iter()
-                    .map(|t| Some(rank_value(combine, inputs, t)).filter(|k| !k.is_nan()))
-                    .collect();
-                Some(ScorePlan::Key(self.push_key(keys?, None)))
-            }
+            Node::Rank { combine, inputs } => Some(ScorePlan::Key(self.push_key(
+                KeySpec::Rank {
+                    combine: combine.clone(),
+                    inputs: inputs.clone(),
+                },
+                None,
+            ))),
             Node::Pareto(children) => {
                 let built = self.children(children)?;
                 // Flatten all-key Pareto terms into the tight loop.
@@ -996,39 +1287,250 @@ impl MatrixBuilder<'_> {
             .collect()
     }
 
-    fn push_key(&mut self, keys: Vec<f64>, origin: Option<(usize, BaseRef)>) -> usize {
-        self.keys.push(keys);
+    fn push_key(&mut self, spec: KeySpec, origin: Option<(usize, BaseRef)>) -> usize {
+        self.key_specs.push(spec);
         self.key_bases.push(origin);
-        self.keys.len() - 1
-    }
-
-    /// Push a code column that is *not* an equality encoding (EXPLICIT
-    /// vertex ids collapse all outside values onto one id), bypassing the
-    /// eq-slot dedup cache.
-    fn push_raw_eq(&mut self, codes: Vec<u64>) -> usize {
-        self.eqs.push(codes);
-        self.eqs.len() - 1
+        self.key_specs.len() - 1
     }
 
     fn eq_slot(&mut self, cols: &[usize]) -> usize {
         if let Some(&slot) = self.eq_cache.get(cols) {
             return slot;
         }
-        // Prefer the hash-free fingerprint encoding for single numeric
-        // columns; dictionary-encode strings and wider projections.
-        let codes = match cols {
-            [col] => self.r.column(*col).fingerprints(),
-            _ => None,
-        }
-        .unwrap_or_else(|| {
-            let (ids, _) = self.r.group_ids(cols);
-            ids.into_iter().map(u64::from).collect()
-        });
-        self.eqs.push(codes);
-        let slot = self.eqs.len() - 1;
+        self.eq_specs.push(EqSpec::Projection(cols.to_vec()));
+        let slot = self.eq_specs.len() - 1;
         self.eq_cache.insert(cols.to_vec(), slot);
         slot
     }
+}
+
+/// Materialize one shard's lane for `spec` over rows `lo..hi`. `None`
+/// when any value fails to embed (no dominance key, or a NaN key that
+/// would order inconsistently under `<`) — which aborts the whole build,
+/// exactly like the former whole-column validation.
+fn compute_lane(spec: &KeySpec, r: &Relation, lo: usize, hi: usize) -> Option<Vec<f64>> {
+    let mut lane = Vec::with_capacity(hi - lo);
+    match spec {
+        KeySpec::Base { col, base } => {
+            for i in lo..hi {
+                lane.push(
+                    base.dominance_key(&r.row(i)[*col])
+                        .filter(|k| !k.is_nan())?,
+                );
+            }
+        }
+        KeySpec::Rank { combine, inputs } => {
+            for i in lo..hi {
+                let k = rank_value(combine, inputs, r.row(i));
+                if k.is_nan() {
+                    return None;
+                }
+                lane.push(k);
+            }
+        }
+    }
+    Some(lane)
+}
+
+/// Materialize the equality lanes, one sequential pass per slot — or,
+/// on an incremental rebuild, patch the row-pure lanes of `reuse.prev`
+/// in place of a full pass: the fingerprint and EXPLICIT-vertex
+/// encodings are pure per-row functions, so copying the clean prefix and
+/// re-encoding only dirty and appended rows agrees bit-for-bit with a
+/// fresh build. Dictionary lanes (strings, multi-attribute projections)
+/// always re-encode: their dense first-seen ids are a whole-column
+/// property.
+fn build_eqs(
+    specs: &[EqSpec],
+    r: &Relation,
+    reuse: Option<Reuse<'_>>,
+) -> (Vec<Vec<u64>>, Vec<EqEncoding>) {
+    // Lane-shape mismatch (a structurally different `prev`) reuses
+    // nothing, mirroring the key-shard layout guard.
+    let prev = reuse.filter(|ru| ru.prev.eq_slots() == specs.len());
+    let mut lanes = Vec::with_capacity(specs.len());
+    let mut kinds = Vec::with_capacity(specs.len());
+    for (slot, spec) in specs.iter().enumerate() {
+        let patched = prev.and_then(|ru| patch_eq_lane(spec, r, ru, slot));
+        let (lane, kind) = patched.unwrap_or_else(|| encode_eq_lane(spec, r));
+        lanes.push(lane);
+        kinds.push(kind);
+    }
+    (lanes, kinds)
+}
+
+/// One full sequential encoding pass for `spec` over `r`.
+fn encode_eq_lane(spec: &EqSpec, r: &Relation) -> (Vec<u64>, EqEncoding) {
+    match spec {
+        EqSpec::Projection(cols) => {
+            // Prefer the hash-free fingerprint encoding for single
+            // numeric columns; dictionary-encode strings and wider
+            // projections.
+            let fp = match cols.as_slice() {
+                [col] => r.column(*col).fingerprints(),
+                _ => None,
+            };
+            match fp {
+                Some(lane) => (lane, EqEncoding::Fingerprint),
+                None => {
+                    let (ids, _) = r.group_ids(cols);
+                    (
+                        ids.into_iter().map(u64::from).collect(),
+                        EqEncoding::Dictionary,
+                    )
+                }
+            }
+        }
+        EqSpec::ExplicitIds { col, base, outside } => {
+            let e = base
+                .as_explicit()
+                .expect("ExplicitIds specs are built from EXPLICIT bases");
+            (
+                r.column(*col)
+                    .iter()
+                    .map(|v| e.vertex_index(v).map_or(*outside, |i| i as u64))
+                    .collect(),
+                EqEncoding::Vertex,
+            )
+        }
+    }
+}
+
+/// Try to derive slot `slot` of an incremental rebuild by patching the
+/// previous lane: copy rows `0..prefix_len`, re-encode the dirty rows
+/// inside the prefix, extend with the appended rows. `None` (fall back
+/// to [`encode_eq_lane`]) when the previous lane used a non-row-pure
+/// encoding or a patched value stops being encodable (e.g. a NULL
+/// written into a fingerprint lane).
+fn patch_eq_lane(
+    spec: &EqSpec,
+    r: &Relation,
+    ru: Reuse<'_>,
+    slot: usize,
+) -> Option<(Vec<u64>, EqEncoding)> {
+    let kind = *ru.prev.eq_kinds.get(slot)?;
+    let encode_row: Box<dyn Fn(usize) -> Option<u64>> = match (spec, kind) {
+        (EqSpec::Projection(cols), EqEncoding::Fingerprint) => match cols.as_slice() {
+            [col] => {
+                let col = *col;
+                Box::new(move |row| r.column(col).fingerprint_at(row))
+            }
+            _ => return None,
+        },
+        (EqSpec::ExplicitIds { col, base, outside }, EqEncoding::Vertex) => {
+            let e = base
+                .as_explicit()
+                .expect("ExplicitIds specs are built from EXPLICIT bases");
+            let (col, outside) = (*col, *outside);
+            Box::new(move |row| {
+                Some(
+                    e.vertex_index(&r.row(row)[col])
+                        .map_or(outside, |i| i as u64),
+                )
+            })
+        }
+        _ => return None,
+    };
+    let mut lane = ru.prev.eqs[slot][..ru.prefix_len].to_vec();
+    for &d in ru.dirty {
+        let d = d as usize;
+        if d < ru.prefix_len {
+            lane[d] = encode_row(d)?;
+        }
+    }
+    for row in ru.prefix_len..r.len() {
+        lane.push(encode_row(row)?);
+    }
+    Some((lane, kind))
+}
+
+/// Materialize the key shards for `specs` over `r`, fanning independent
+/// shards out over up to `threads` scoped worker threads and `Arc`-reusing
+/// any shard `reuse` proves clean. `None` when any value fails to embed.
+fn build_key_shards(
+    specs: &[KeySpec],
+    r: &Relation,
+    shift: u32,
+    threads: usize,
+    reuse: Option<Reuse<'_>>,
+) -> Option<(Vec<KeyShard>, Vec<u64>)> {
+    let rows = r.len();
+    let shard_rows = 1usize << shift;
+    let n_shards = rows.div_ceil(shard_rows);
+    let gen = r.generation();
+
+    // A layout-mismatched `prev` (different shard size or slot count)
+    // reuses nothing and degenerates to a full build.
+    let prev =
+        reuse.filter(|ru| ru.prev.shard_shift == shift && ru.prev.key_slots() == specs.len());
+
+    let mut shards: Vec<Option<(KeyShard, u64)>> = Vec::with_capacity(n_shards);
+    let mut todo: Vec<usize> = Vec::new();
+    for s in 0..n_shards {
+        let lo = s * shard_rows;
+        let hi = (lo + shard_rows).min(rows);
+        let clean = prev.as_ref().is_some_and(|ru| {
+            // Clean ⟺ the shard lies fully inside the unchanged prefix,
+            // covers the same row range in `prev` (a partial tail shard
+            // that grew must rebuild), and contains no dirty row.
+            hi <= ru.prefix_len
+                && ((s + 1) * shard_rows).min(ru.prev.len()) == hi
+                && !ru
+                    .dirty
+                    .iter()
+                    .any(|&d| (d as usize) >= lo && (d as usize) < hi)
+        });
+        match clean.then(|| prev.as_ref().unwrap()) {
+            Some(ru) => shards.push(Some((ru.prev.shards[s].clone(), ru.prev.shard_gens[s]))),
+            None => {
+                shards.push(None);
+                todo.push(s);
+            }
+        }
+    }
+
+    let compute = |s: usize| -> Option<KeyShard> {
+        let lo = s * shard_rows;
+        let hi = (lo + shard_rows).min(rows);
+        let mut lanes = Vec::with_capacity(specs.len());
+        for spec in specs {
+            lanes.push(Arc::from(compute_lane(spec, r, lo, hi)?));
+        }
+        Some(KeyShard { lanes })
+    };
+
+    let workers = threads.max(1).min(todo.len());
+    let computed: Vec<Option<KeyShard>> = if workers <= 1 {
+        todo.iter().map(|&s| compute(s)).collect()
+    } else {
+        let chunk = todo.len().div_ceil(workers);
+        let mut out = Vec::with_capacity(todo.len());
+        std::thread::scope(|scope| {
+            let compute = &compute;
+            let handles: Vec<_> = todo
+                .chunks(chunk)
+                .map(|group| {
+                    scope.spawn(move || group.iter().map(|&s| compute(s)).collect::<Vec<_>>())
+                })
+                .collect();
+            for h in handles {
+                out.extend(h.join().expect("shard build worker panicked"));
+            }
+        });
+        out
+    };
+    for (&s, shard) in todo.iter().zip(computed) {
+        shards[s] = Some((shard?, gen));
+    }
+
+    let mut out_shards = Vec::with_capacity(n_shards);
+    let mut gens = Vec::with_capacity(n_shards);
+    for entry in shards {
+        let (shard, g) = entry.expect("every shard either reused or computed");
+        out_shards.push(shard);
+        gens.push(g);
+    }
+    Some((out_shards, gens))
 }
 
 #[cfg(test)]
@@ -1407,6 +1909,219 @@ mod tests {
         let r = rel! { ("a": Int); };
         let m = compile(&lowest("a"), &r).score_matrix(&r).unwrap();
         assert!(m.is_empty());
+        assert_eq!(m.shard_count(), 0);
+    }
+
+    #[test]
+    fn sharded_layouts_agree_with_the_default_build() {
+        let r = example2_rel();
+        for p in [
+            example2_pref(),
+            around("A1", 0).prior(lowest("A2")),
+            example2_pref().dual(),
+            Pref::rank(CombineFn::sum(), vec![lowest("A1"), highest("A2")]).unwrap(),
+        ] {
+            let c = compile(&p, &r);
+            let whole = c.score_matrix(&r).unwrap();
+            assert_eq!(whole.shard_count(), 1, "7 rows fit one default shard");
+            for (shard_rows, threads) in [(1, 1), (2, 1), (2, 3), (3, 2), (64, 4)] {
+                let m = c.score_matrix_with(&r, threads, shard_rows).unwrap();
+                let rounded: usize = shard_rows.next_power_of_two();
+                assert_eq!(m.shard_rows(), rounded);
+                assert_eq!(m.shard_count(), r.len().div_ceil(rounded));
+                assert!(m.shard_generations().iter().all(|&g| g == r.generation()));
+                for x in 0..r.len() {
+                    for y in 0..r.len() {
+                        assert_eq!(
+                            m.better(x, y),
+                            whole.better(x, y),
+                            "sharded build diverged for {p} at shard_rows={shard_rows}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_rebuild_reuses_clean_shards_and_restamps_the_rest() {
+        let r1 = rel! {
+            ("A1": Int, "A2": Int);
+            (1, 9), (2, 8), (3, 7), (4, 6), (5, 5), (6, 4),
+        };
+        let mut r2 = r1.clone();
+        r2.push(pref_relation::Tuple::new(vec![
+            Value::from(0),
+            Value::from(0),
+        ]))
+        .unwrap();
+
+        let p = lowest("A1").pareto(lowest("A2"));
+        let c = compile(&p, &r1);
+        let prev = c.score_matrix_with(&r1, 1, 2).unwrap();
+        assert_eq!(prev.shard_count(), 3);
+        let prev_gens = prev.shard_generations().to_vec();
+
+        // Pure append: shards 0..3 reused (old stamps), tail shard new.
+        let m = c
+            .score_matrix_incremental(&r2, &prev, prev.len(), &[], 2)
+            .unwrap();
+        assert_eq!(m.len(), 7);
+        assert_eq!(m.shard_count(), 4);
+        assert_eq!(&m.shard_generations()[..3], &prev_gens[..]);
+        assert_eq!(m.shard_generations()[3], r2.generation());
+        let fresh = c.score_matrix_with(&r2, 1, 2).unwrap();
+        for x in 0..7 {
+            for y in 0..7 {
+                assert_eq!(m.better(x, y), fresh.better(x, y));
+            }
+        }
+
+        // Dirty row 2 lives in shard 1: only that shard restamps.
+        let r3 = rel! {
+            ("A1": Int, "A2": Int);
+            (1, 9), (2, 8), (9, 9), (4, 6), (5, 5), (6, 4),
+        };
+        let m = c
+            .score_matrix_incremental(&r3, &prev, prev.len(), &[2], 1)
+            .unwrap();
+        assert_eq!(m.shard_generations()[0], prev_gens[0]);
+        assert_eq!(m.shard_generations()[1], r3.generation());
+        assert_eq!(m.shard_generations()[2], prev_gens[2]);
+        let fresh = c.score_matrix_with(&r3, 1, 2).unwrap();
+        for x in 0..6 {
+            for y in 0..6 {
+                assert_eq!(m.better(x, y), fresh.better(x, y));
+            }
+        }
+
+        // An incremental rebuild inherits `prev`'s shard layout: the full
+        // leading shard is reused, the partial tail shard that grew is
+        // rebuilt.
+        let coarse = c.score_matrix_with(&r1, 1, 4).unwrap();
+        let m = c
+            .score_matrix_incremental(&r2, &coarse, coarse.len(), &[], 1)
+            .unwrap();
+        assert_eq!(m.shard_rows(), 4);
+        assert_eq!(m.shard_count(), 2);
+        assert_eq!(m.shard_generations()[0], coarse.shard_generations()[0]);
+        assert_eq!(m.shard_generations()[1], r2.generation());
+
+        // A prefix claim longer than the relation is refused outright.
+        assert!(c
+            .score_matrix_incremental(&r1, &m, m.len(), &[], 1)
+            .is_none());
+    }
+
+    /// Eq-lane patching is where incremental correctness is subtle:
+    /// `around` maps distinct values to *equal* dominance keys, so the
+    /// Pareto equality test rides entirely on the patched fingerprint
+    /// lane; string operands exercise the dictionary fallback that must
+    /// re-encode in full.
+    #[test]
+    fn incremental_rebuild_patches_eq_lanes_consistently() {
+        let check = |p: &Pref, prev_rel: &Relation, next: &Relation, dirty: &[u32]| {
+            let c = compile(p, prev_rel);
+            let prev = c.score_matrix_with(prev_rel, 1, 2).unwrap();
+            let m = c
+                .score_matrix_incremental(next, &prev, prev_rel.len(), dirty, 1)
+                .unwrap();
+            let fresh = c.score_matrix_with(next, 1, 2).unwrap();
+            for x in 0..next.len() {
+                for y in 0..next.len() {
+                    assert_eq!(
+                        m.better(x, y),
+                        fresh.better(x, y),
+                        "patched eq lanes diverged for {p} at ({x}, {y})"
+                    );
+                }
+            }
+        };
+
+        // AROUND 5 sends 3 and 7 to the same key; only the fingerprint
+        // lane separates them. The dirty row swaps 3 for its mirror 7.
+        let r1 = rel! {
+            ("A1": Int, "A2": Int);
+            (3, 1), (7, 1), (5, 2), (9, 0), (1, 3),
+        };
+        let r2 = rel! {
+            ("A1": Int, "A2": Int);
+            (7, 1), (7, 1), (5, 2), (9, 0), (1, 3),
+        };
+        let p = around("A1", 5).pareto(lowest("A2"));
+        check(&p, &r1, &r2, &[0]);
+
+        // Append across the shard boundary: the appended row mirrors an
+        // existing key, so its fingerprint must extend the reused lane.
+        let mut r3 = r1.clone();
+        r3.push(pref_relation::Tuple::new(vec![
+            Value::from(7),
+            Value::from(9),
+        ]))
+        .unwrap();
+        check(&p, &r1, &r3, &[]);
+
+        // String operands take the dictionary encoding (no row-pure
+        // patching): a full re-encode must still agree with fresh.
+        let s1 = rel! {
+            ("A1": Str, "A2": Int);
+            ("red", 1), ("blue", 2), ("red", 3), ("green", 0),
+        };
+        let s2 = rel! {
+            ("A1": Str, "A2": Int);
+            ("red", 1), ("cyan", 2), ("red", 3), ("green", 0),
+        };
+        let p = crate::term::pos("A1", ["red", "green"]).pareto(lowest("A2"));
+        check(&p, &s1, &s2, &[1]);
+    }
+
+    #[test]
+    fn pareto_access_gathers_matrix_and_window_rows() {
+        let r = example2_rel();
+        let c = compile(&example2_pref(), &r);
+        let m = Arc::new(c.score_matrix_with(&r, 1, 2).unwrap());
+        let acc = Dominance::pareto_access(&*m).expect("flat Pareto exposes lanes");
+        assert_eq!(acc.dims(), 3);
+        assert_eq!(acc.len(), r.len());
+
+        // Reconstruct `better` from gathered lanes and cross-check.
+        let gathered_better = |acc: &ParetoAccess<'_>, x: usize, y: usize| {
+            let d = acc.dims();
+            let (mut kx, mut ky) = (vec![0.0; d], vec![0.0; d]);
+            let (mut ex, mut ey) = (vec![0u64; d], vec![0u64; d]);
+            acc.gather(x, &mut kx, &mut ex);
+            acc.gather(y, &mut ky, &mut ey);
+            let mut any_strict = false;
+            for i in 0..d {
+                if kx[i] < ky[i] {
+                    any_strict = true;
+                } else if ex[i] != ey[i] {
+                    return false;
+                }
+            }
+            any_strict
+        };
+        for x in 0..r.len() {
+            for y in 0..r.len() {
+                assert_eq!(gathered_better(&acc, x, y), m.better(x, y));
+            }
+        }
+
+        // Windowed access crosses shard boundaries through the ids map.
+        let ids: Arc<[u32]> = Arc::from(vec![6u32, 0, 3].as_slice());
+        let w = MatrixWindow::windowed(Arc::clone(&m), ids);
+        let wacc = Dominance::pareto_access(&w).unwrap();
+        assert_eq!(wacc.len(), 3);
+        for x in 0..3 {
+            for y in 0..3 {
+                assert_eq!(gathered_better(&wacc, x, y), w.better(x, y));
+            }
+        }
+
+        // Non-flat plans expose no lanes.
+        let prior = compile(&lowest("A1").prior(lowest("A2")), &r);
+        let pm = prior.score_matrix(&r).unwrap();
+        assert!(Dominance::pareto_access(&pm).is_none());
     }
 
     #[test]

@@ -102,9 +102,10 @@ impl PrefSql {
     /// placeholder becomes a typed *slot* in the compiled shape, and
     /// executions only patch slots with bound values
     /// ([`pref_query::Prepared::bind`]) — no re-lex, no re-parse, no
-    /// AST→term rewrite per binding. Re-registering the table with a
-    /// different schema transparently falls back to the per-execution
-    /// path.
+    /// AST→term rewrite per binding. Re-registering the table with an
+    /// *identical* schema keeps the prepare-time shape; a different
+    /// schema (or a table unknown at prepare time) recompiles the shape
+    /// lazily — once per schema change, not once per execution.
     ///
     /// Placeholder numbering must be gapless from `$1`: an index the
     /// statement never reads ([`SqlError::UnusedParam`]) would make
@@ -123,6 +124,7 @@ impl PrefSql {
             query,
             param_count,
             compiled,
+            recompiled: Default::default(),
         })
     }
 
@@ -492,6 +494,12 @@ pub struct PreparedStatement {
     query: Query,
     param_count: usize,
     compiled: Option<CompiledStatement>,
+    /// Lazily (re)compiled artifacts for a table whose schema no longer
+    /// matches the prepare-time snapshot (or was unknown at prepare
+    /// time). Compiled at most once per schema change, then reused by
+    /// every execution — the fallback used to substitute literals and
+    /// re-run the AST→term rewriter on *every* call instead.
+    recompiled: std::sync::Arc<std::sync::Mutex<Option<CompiledStatement>>>,
 }
 
 impl PreparedStatement {
@@ -543,7 +551,31 @@ impl PreparedStatement {
                 });
             }
         }
-        db.run_inner(&self.query, self.compiled.as_ref(), params)
+        // Resolve compiled artifacts against the table's *current*
+        // schema: the prepare-time snapshot while it still matches,
+        // otherwise a lazily recompiled statement cached until the
+        // schema changes again. Only when the statement has nothing to
+        // compile (EXPLAIN, no preference, unresolvable columns) does
+        // execution fall back to per-call literal substitution.
+        let current = db
+            .catalog()
+            .get(&self.query.table)
+            .ok()
+            .map(Relation::schema);
+        let guard;
+        let pre: Option<&CompiledStatement> = match (&self.compiled, current) {
+            (Some(c), Some(schema)) if schema.same_as(&c.schema) => Some(c),
+            (_, Some(schema)) => {
+                let mut cached = self.recompiled.lock().expect("recompile cache lock");
+                if !cached.as_ref().is_some_and(|c| schema.same_as(&c.schema)) {
+                    *cached = db.compile_statement(&self.query);
+                }
+                guard = cached;
+                guard.as_ref()
+            }
+            (c, None) => c.as_ref(),
+        };
+        db.run_inner(&self.query, pre, params)
     }
 }
 
@@ -1411,6 +1443,61 @@ mod tests {
         let res = stmt.execute(&s, &[]).unwrap();
         assert_eq!(res.relation.len(), 1);
         assert_eq!(res.relation.row(0)[0], Value::from(1));
+    }
+
+    #[test]
+    fn schema_changes_recompile_the_shape_instead_of_substituting_literals() {
+        // A parameterized execution through the compiled shape reports a
+        // shape fingerprint; the literal-substitution fallback re-runs
+        // the rewriter on an inline-literal query and reports none —
+        // making the execution path externally observable.
+        let mut s = session();
+        let stmt = s
+            .prepare("SELECT * FROM car PREFERRING price AROUND $1")
+            .unwrap();
+        let fp = |res: QueryResult| res.explain.unwrap().shape_fingerprint;
+        let shape_fp = fp(stmt.execute(&s, &[Value::from(40_000)]).unwrap());
+        assert!(shape_fp.is_some(), "prepare-time shape executes bound");
+
+        // Re-registering with an *identical* schema keeps the
+        // prepare-time shape (fresh data, same plan).
+        s.register(
+            "car",
+            rel! {
+                ("make": Str, "category": Str, "color": Str, "price": Int,
+                 "power": Int, "mileage": Int);
+                ("Fiat", "van", "white", 12_000, 70, 90_000),
+            },
+        );
+        assert_eq!(
+            fp(stmt.execute(&s, &[Value::from(40_000)]).unwrap()),
+            shape_fp,
+            "identical schema must reuse the compiled shape"
+        );
+
+        // A *changed* schema recompiles the shape lazily — executions
+        // still run bound (shape fingerprint present), not through
+        // per-call literal substitution.
+        s.register(
+            "car",
+            rel! {
+                ("price": Int, "tax": Int);
+                (30_000, 5), (20_000, 9),
+            },
+        );
+        let after = stmt.execute(&s, &[Value::from(21_000)]).unwrap();
+        assert_eq!(after.relation.len(), 1);
+        assert_eq!(after.relation.row(0)[0], Value::from(20_000));
+        assert!(
+            fp(stmt.execute(&s, &[Value::from(21_000)]).unwrap()).is_some(),
+            "changed schema must recompile the shape, not substitute literals"
+        );
+
+        // The lazily recompiled statement is a real prepared query: the
+        // same binding over the unchanged new table now hits the matrix
+        // cache exactly.
+        let warm = stmt.execute(&s, &[Value::from(21_000)]).unwrap();
+        assert!(warm.explain.unwrap().cache.is_warm());
     }
 
     #[test]

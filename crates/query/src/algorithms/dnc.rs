@@ -56,6 +56,20 @@ pub fn dnc_compiled(c: &CompiledPref, r: &Relation) -> Vec<usize> {
 /// whose `None`s flag exactly the values (off-axis, `-0.0`) where plain
 /// `f64` comparisons disagree with the chain's order.
 pub fn try_dnc_compiled(c: &CompiledPref, r: &Relation) -> Option<Vec<usize>> {
+    try_dnc_compiled_parallel(c, r, 1)
+}
+
+/// [`try_dnc_compiled`] with the recursion's top level partitioned over
+/// `threads` scoped worker threads: each chunk of the row range computes
+/// its local maxima independently, and the locals pairwise tree-merge
+/// with a mutual coordinate-wise filter. Sound for the same reason
+/// partitioned BNL is — a globally maximal vector is maximal in its
+/// chunk (`max(P_R) ⊆ max(P_R1) ∪ … ∪ max(P_Rk)`).
+pub fn try_dnc_compiled_parallel(
+    c: &CompiledPref,
+    r: &Relation,
+    threads: usize,
+) -> Option<Vec<usize>> {
     let dims = c.chain_dims()?;
     let columns: Vec<Vec<f64>> = dims
         .iter()
@@ -64,10 +78,71 @@ pub fn try_dnc_compiled(c: &CompiledPref, r: &Relation) -> Option<Vec<usize>> {
     let vectors: Vec<Vec<f64>> = (0..r.len())
         .map(|i| columns.iter().map(|col| col[i]).collect())
         .collect();
-    let mut idx: Vec<usize> = (0..vectors.len()).collect();
-    let mut result = maxima(&vectors, &mut idx);
+
+    let threads = threads.max(1);
+    let mut result = if threads == 1 || vectors.len() < 2 * threads {
+        let mut idx: Vec<usize> = (0..vectors.len()).collect();
+        maxima(&vectors, &mut idx)
+    } else {
+        let chunk = vectors.len().div_ceil(threads);
+        let vectors = &vectors;
+        let mut queue: Vec<Vec<usize>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..vectors.len().div_ceil(chunk))
+                .map(|t| {
+                    let lo = t * chunk;
+                    let hi = ((t + 1) * chunk).min(vectors.len());
+                    scope.spawn(move || {
+                        let mut idx: Vec<usize> = (lo..hi).collect();
+                        maxima(vectors, &mut idx)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("D&C worker panicked"))
+                .collect()
+        });
+        // Pairwise tree merge: each side keeps what the other side's
+        // maxima fail to dominate.
+        while queue.len() > 1 {
+            queue = std::thread::scope(|scope| {
+                let handles: Vec<_> = queue
+                    .chunks(2)
+                    .map(|pair| {
+                        scope.spawn(move || match pair {
+                            [a, b] => merge_maxima(vectors, a, b),
+                            [odd] => odd.clone(),
+                            _ => unreachable!("chunks(2) yields one or two"),
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("D&C merge worker panicked"))
+                    .collect()
+            });
+        }
+        queue.pop().unwrap_or_default()
+    };
     result.sort_unstable();
     Some(result)
+}
+
+/// Merge two local maxima sets by mutual filtering: a vector survives
+/// iff no vector of the *other* side dominates it (its own side already
+/// proved it locally maximal).
+fn merge_maxima(vectors: &[Vec<f64>], a: &[usize], b: &[usize]) -> Vec<usize> {
+    let mut out: Vec<usize> = a
+        .iter()
+        .copied()
+        .filter(|&i| b.iter().all(|&j| !dominates(&vectors[j], &vectors[i])))
+        .collect();
+    out.extend(
+        b.iter()
+            .copied()
+            .filter(|&i| a.iter().all(|&j| !dominates(&vectors[j], &vectors[i]))),
+    );
+    out
 }
 
 /// `a` dominates `b`: every coordinate ≥, at least one >.
@@ -285,6 +360,30 @@ mod tests {
         let r = pseudo_random_relation(800, 3, 7);
         let p = skyline_pref(3);
         assert_eq!(dnc(&p, &r).unwrap(), sigma_naive(&p, &r).unwrap());
+    }
+
+    #[test]
+    fn parallel_partitioning_agrees_with_sequential() {
+        for d in 1..=4 {
+            let r = pseudo_random_relation(500, d, 13 + d as u64);
+            let p = skyline_pref(d);
+            let c = CompiledPref::compile(&p, r.schema()).unwrap();
+            let sequential = try_dnc_compiled(&c, &r).unwrap();
+            for threads in [2, 3, 8] {
+                assert_eq!(
+                    try_dnc_compiled_parallel(&c, &r, threads).unwrap(),
+                    sequential,
+                    "d={d}, threads={threads}"
+                );
+            }
+        }
+        // Tiny inputs take the sequential fallback but stay correct.
+        let r = pseudo_random_relation(3, 2, 99);
+        let c = CompiledPref::compile(&skyline_pref(2), r.schema()).unwrap();
+        assert_eq!(
+            try_dnc_compiled_parallel(&c, &r, 8).unwrap(),
+            try_dnc_compiled(&c, &r).unwrap()
+        );
     }
 
     #[test]

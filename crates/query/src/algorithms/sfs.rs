@@ -8,7 +8,7 @@
 //! the progressive behaviour of \[TEO01\]. The filtering pass runs on the
 //! score-matrix dominance backend whenever the term materializes.
 
-use pref_core::eval::{CompiledPref, Dominance};
+use pref_core::eval::{CompiledPref, Dominance, ParetoAccess};
 use pref_core::term::Pref;
 use pref_relation::Relation;
 
@@ -62,7 +62,10 @@ pub fn try_sfs_with<M: Dominance>(
     order.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
 
     Some(match matrix {
-        Some(m) => filter_pass(&order, |x, y| m.better(x, y)),
+        Some(m) => match m.pareto_access() {
+            Some(acc) => filter_pass_batch(&order, &acc),
+            None => filter_pass(&order, |x, y| m.better(x, y)),
+        },
         None => filter_pass(&order, |x, y| c.better(r.row(x), r.row(y))),
     })
 }
@@ -76,6 +79,51 @@ fn filter_pass(order: &[(f64, usize)], better: impl Fn(usize, usize) -> bool) ->
             }
         }
         maxima.push(i);
+    }
+    maxima.sort_unstable();
+    maxima
+}
+
+/// The filter pass over the structure-of-arrays lanes of a flat Pareto
+/// order. SFS only ever asks one direction — can an *accepted* maximum
+/// dominate the candidate? (accepted tuples are final under the sort) —
+/// so two flag bits per accepted row suffice: strictly-better-somewhere
+/// and blocked-somewhere. The accepted lanes are grow-only copies swept
+/// contiguously per dimension, like the batch BNL window.
+fn filter_pass_batch(order: &[(f64, usize)], acc: &ParetoAccess<'_>) -> Vec<usize> {
+    let dims = acc.dims();
+    let mut maxima: Vec<usize> = Vec::new();
+    let mut mkeys: Vec<Vec<f64>> = vec![Vec::new(); dims];
+    let mut meqs: Vec<Vec<u64>> = vec![Vec::new(); dims];
+    let mut ckeys = vec![0.0f64; dims];
+    let mut ceqs = vec![0u64; dims];
+    let mut flags: Vec<u8> = Vec::new();
+    'next: for &(_, i) in order {
+        acc.gather(i, &mut ckeys, &mut ceqs);
+        let w = maxima.len();
+        flags.clear();
+        flags.resize(w, 0);
+        for d in 0..dims {
+            let (ck, ce) = (ckeys[d], ceqs[d]);
+            let lane = &mkeys[d][..w];
+            let elane = &meqs[d][..w];
+            let f = &mut flags[..w];
+            for j in 0..w {
+                let lt = (ck < lane[j]) as u8;
+                let ne = (ce != elane[j]) as u8;
+                f[j] |= lt | (((lt ^ 1) & ne) << 1);
+            }
+        }
+        // Accepted j dominates the candidate iff strictly better
+        // somewhere (bit 0) and blocked nowhere (bit 1).
+        if flags.contains(&0b01) {
+            continue 'next;
+        }
+        maxima.push(i);
+        for d in 0..dims {
+            mkeys[d].push(ckeys[d]);
+            meqs[d].push(ceqs[d]);
+        }
     }
     maxima.sort_unstable();
     maxima
@@ -128,6 +176,15 @@ mod tests {
             sfs_with(&c, &r, Some(&m)),
             sfs_with::<pref_core::eval::ScoreMatrix>(&c, &r, None)
         );
+        // The batch filter pass must agree across shard boundaries too.
+        for shard_rows in [1, 2, 4] {
+            let m = c.score_matrix_with(&r, 2, shard_rows).unwrap();
+            assert_eq!(
+                sfs_with(&c, &r, Some(&m)),
+                sfs_with::<pref_core::eval::ScoreMatrix>(&c, &r, None),
+                "batch filter diverged at shard_rows={shard_rows}"
+            );
+        }
     }
 
     #[test]

@@ -57,6 +57,12 @@ pub struct CacheStats {
     /// predicate) running warm through index indirection
     /// ([`CacheStatus::WindowHit`]).
     pub window_hits: u64,
+    /// Executions served by an *incremental shard rebuild*: the relation
+    /// mutated, but its [`Delta`](pref_relation::Delta) matched a cached
+    /// prior state, so only the affected shards were recomputed
+    /// ([`CacheStatus::ShardHit`]). Counted separately from both `hits`
+    /// (some keys were built) and `misses` (most were not).
+    pub shard_hits: u64,
     /// Executions that had to build (and then cached) a matrix.
     pub misses: u64,
     /// Matrices currently resident.
@@ -67,8 +73,13 @@ impl fmt::Display for CacheStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} hits ({} derived, {} windowed) / {} misses, {} resident",
-            self.hits, self.derived_hits, self.window_hits, self.misses, self.entries
+            "{} hits ({} derived, {} windowed) / {} shard-incremental / {} misses, {} resident",
+            self.hits,
+            self.derived_hits,
+            self.window_hits,
+            self.shard_hits,
+            self.misses,
+            self.entries
         )
     }
 }
@@ -97,7 +108,33 @@ struct MatrixCache {
     hits: u64,
     derived_hits: u64,
     window_hits: u64,
+    shard_hits: u64,
     misses: u64,
+}
+
+impl MatrixCache {
+    /// Insert `m` under `key`, LRU-evicting one entry if `capacity` is
+    /// reached.
+    fn insert_bounded(&mut self, capacity: usize, key: MatrixKey, m: &Arc<ScoreMatrix>) {
+        if self.map.len() >= capacity {
+            if let Some(&oldest) = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k)
+            {
+                self.map.remove(&oldest);
+            }
+        }
+        let tick = self.tick;
+        self.map.insert(
+            key,
+            CacheEntry {
+                matrix: Arc::clone(m),
+                last_used: tick,
+            },
+        );
+    }
 }
 
 struct EngineInner {
@@ -291,6 +328,7 @@ impl Engine {
             hits: cache.hits,
             derived_hits: cache.derived_hits,
             window_hits: cache.window_hits,
+            shard_hits: cache.shard_hits,
             misses: cache.misses,
             entries: cache.map.len(),
         }
@@ -313,7 +351,12 @@ impl Engine {
     ///    a [`MatrixWindow`] index indirection
     ///    ([`CacheStatus::WindowHit`]) — this is how a subset under a
     ///    never-before-seen predicate still skips materialization;
-    /// 4. build ([`CacheStatus::Miss`]).
+    /// 4. for mutated relations carrying a [`Delta`](pref_relation::Delta),
+    ///    any remembered prior content state with a resident matrix —
+    ///    the matrix is rebuilt *incrementally*, recomputing only the
+    ///    shards the mutation touched and carrying every clean shard's
+    ///    key lanes over by reference ([`CacheStatus::ShardHit`]);
+    /// 5. build ([`CacheStatus::Miss`]).
     ///
     /// Returns [`CacheStatus::Bypass`] when the term does not materialize
     /// on `r`, so callers can tell "reused" from "not applicable". The
@@ -331,10 +374,16 @@ impl Engine {
         r: &Relation,
         populate: bool,
     ) -> (Option<MatrixWindow>, CacheStatus) {
+        let opt = &self.inner.optimizer;
+        let threads = opt.effective_threads();
         let primary = MatrixKey::Generation(r.generation(), fp);
         let derived = r
             .lineage()
             .map(|l| MatrixKey::Derived(l.base_generation(), l.predicate(), fp));
+        // A prior content state whose matrix is resident, found through
+        // the relation's mutation delta — the incremental-rebuild seed,
+        // resolved under the lock but consumed outside it.
+        let mut reusable: Option<(Arc<ScoreMatrix>, usize)> = None;
         if self.inner.capacity > 0 {
             let mut cache = self.inner.cache.lock();
             cache.tick += 1;
@@ -376,11 +425,40 @@ impl Engine {
                     }
                 }
             }
+            // Shard tier: the relation mutated, but its delta names prior
+            // content states it extends. If any of them has a resident
+            // matrix of exactly the recorded prefix length, seed an
+            // incremental rebuild from it: only the shards the mutation
+            // touched are recomputed (outside the lock, below).
+            if let Some(delta) = r.delta() {
+                for &(base_gen, base_len) in delta.bases() {
+                    let key = MatrixKey::Generation(base_gen, fp);
+                    if let Some(entry) = cache.map.get_mut(&key) {
+                        if entry.matrix.len() == base_len {
+                            entry.last_used = tick;
+                            reusable = Some((Arc::clone(&entry.matrix), base_len));
+                            break;
+                        }
+                    }
+                }
+            }
         }
         // Build outside the lock: materialization is the expensive part,
         // and concurrent executions of the same query should not serialize
         // on it (a duplicate build is wasted work, never wrong results).
-        match c.score_matrix(r) {
+        if let Some((prev, prefix_len)) = reusable {
+            let dirty = r.delta().map_or(&[][..], |d| d.dirty());
+            if let Some(m) = c.score_matrix_incremental(r, &prev, prefix_len, dirty, threads) {
+                let m = Arc::new(m);
+                let mut cache = self.inner.cache.lock();
+                cache.shard_hits += 1;
+                if populate && self.inner.capacity > 0 {
+                    cache.insert_bounded(self.inner.capacity, derived.unwrap_or(primary), &m);
+                }
+                return (Some(MatrixWindow::full(m)), CacheStatus::ShardHit);
+            }
+        }
+        match c.score_matrix_with(r, threads, opt.shard_rows) {
             None => (None, CacheStatus::Bypass),
             Some(m) => {
                 let m = Arc::new(m);
@@ -389,24 +467,7 @@ impl Engine {
                 // consistent with the `Miss` the Explain reports.
                 cache.misses += 1;
                 if populate && self.inner.capacity > 0 {
-                    if cache.map.len() >= self.inner.capacity {
-                        if let Some(&oldest) = cache
-                            .map
-                            .iter()
-                            .min_by_key(|(_, e)| e.last_used)
-                            .map(|(k, _)| k)
-                        {
-                            cache.map.remove(&oldest);
-                        }
-                    }
-                    let tick = cache.tick;
-                    cache.map.insert(
-                        derived.unwrap_or(primary),
-                        CacheEntry {
-                            matrix: Arc::clone(&m),
-                            last_used: tick,
-                        },
-                    );
+                    cache.insert_bounded(self.inner.capacity, derived.unwrap_or(primary), &m);
                 }
                 (Some(MatrixWindow::full(m)), CacheStatus::Miss)
             }
@@ -734,12 +795,91 @@ mod tests {
         assert_eq!(q.execute(&r).unwrap().1.cache, CacheStatus::Hit);
 
         // Mutate: a dominating row appears. The cached matrix must not
-        // answer for the new state.
+        // answer for the new state — but the append-shaped delta lets the
+        // rebuild reuse the clean shards incrementally.
         r.push_values(vec![Value::from(2), Value::from(0), Value::from("w")])
             .unwrap();
         let (rows, ex) = q.execute(&r).unwrap();
         assert_ne!(ex.generation, gen_before);
-        assert_eq!(ex.cache, CacheStatus::Miss, "new generation must rebuild");
+        assert_eq!(
+            ex.cache,
+            CacheStatus::ShardHit,
+            "append over a warmed matrix must rebuild incrementally"
+        );
+        assert!(!ex.cache.is_warm(), "a shard hit still computed keys");
+        assert_eq!(rows, sigma_naive_generic(&p, &r).unwrap());
+
+        // An engine that never saw the old state cannot take the
+        // incremental route.
+        let cold = Engine::new();
+        let (rows2, ex2) = cold.prepare(&p, r.schema()).unwrap().execute(&r).unwrap();
+        assert_eq!(ex2.cache, CacheStatus::Miss);
+        assert_eq!(rows, rows2);
+    }
+
+    #[test]
+    fn appends_and_updates_rebuild_only_their_shards() {
+        // shard_rows = 4 over 10 rows → shards [0..4), [4..8), [8..10).
+        let engine = Engine::with_optimizer(Optimizer::new().with_shard_rows(4));
+        let mut r = rel! { ("a": Int, "b": Int); (0, 0) };
+        for i in 1..10i64 {
+            r.push_values(vec![Value::from(i), Value::from(100 - i)])
+                .unwrap();
+        }
+        let p = around("a", 4).pareto(lowest("b"));
+        let q = engine.prepare(&p, r.schema()).unwrap();
+        assert_eq!(q.execute(&r).unwrap().1.cache, CacheStatus::Miss);
+        let gens_before = q.matrix(&r).unwrap().matrix().shard_generations().to_vec();
+        assert_eq!(gens_before.len(), 3);
+
+        // Append within the tail shard: shards 0 and 1 carry over.
+        r.push_values(vec![Value::from(99), Value::from(99)])
+            .unwrap();
+        let (rows, ex) = q.execute(&r).unwrap();
+        assert_eq!(ex.cache, CacheStatus::ShardHit);
+        assert_eq!(rows, sigma_naive_generic(&p, &r).unwrap());
+        let gens_after = q.matrix(&r).unwrap().matrix().shard_generations().to_vec();
+        assert_eq!(
+            &gens_after[..2],
+            &gens_before[..2],
+            "clean shards keep their stamps"
+        );
+        assert_ne!(
+            gens_after[2], gens_before[2],
+            "the grown tail shard was rebuilt"
+        );
+
+        // In-place update of row 1: only shard 0 is recomputed.
+        r.update_row(1, vec![Value::from(4), Value::from(0)])
+            .unwrap();
+        let (rows, ex) = q.execute(&r).unwrap();
+        assert_eq!(ex.cache, CacheStatus::ShardHit);
+        assert_eq!(rows, sigma_naive_generic(&p, &r).unwrap());
+        let gens_updated = q.matrix(&r).unwrap().matrix().shard_generations().to_vec();
+        assert_ne!(gens_updated[0], gens_after[0], "dirty shard rebuilt");
+        assert_eq!(
+            &gens_updated[1..],
+            &gens_after[1..],
+            "untouched shards survive"
+        );
+        let stats = engine.cache_stats();
+        assert_eq!(stats.shard_hits, 2);
+        assert_eq!(stats.misses, 1, "only the cold build was a full miss");
+    }
+
+    #[test]
+    fn reordering_mutations_forfeit_the_incremental_route() {
+        let engine = Engine::new();
+        let mut r = sample();
+        let p = around("a", 2).pareto(lowest("b"));
+        let q = engine.prepare(&p, r.schema()).unwrap();
+        q.execute(&r).unwrap();
+
+        // A sort invalidates every prefix claim: full rebuild.
+        r.sort_by_key(|t| t[0].clone());
+        assert!(r.delta().is_none());
+        let (rows, ex) = q.execute(&r).unwrap();
+        assert_eq!(ex.cache, CacheStatus::Miss);
         assert_eq!(rows, sigma_naive_generic(&p, &r).unwrap());
     }
 

@@ -83,6 +83,14 @@ pub enum CacheStatus {
     /// ([`MatrixWindow`]). This is the
     /// warm path for *brand-new* WHERE predicates over a warmed base.
     WindowHit,
+    /// Rebuilt *incrementally*: the relation mutated since the cached
+    /// matrix was built, but its [`Delta`](pref_relation::Delta) proved
+    /// the old rows unchanged (appends) or named the few that did change,
+    /// so only the affected tail/dirty shards were recomputed and every
+    /// clean shard's key lanes were carried over by reference. Not a warm
+    /// serve — keys *were* computed — but the work was proportional to
+    /// the mutation, not the relation.
+    ShardHit,
     /// Built fresh (and cached, when an engine with caching ran it).
     Miss,
     /// No matrix was involved: the algorithm doesn't use one, the term
@@ -107,6 +115,7 @@ impl fmt::Display for CacheStatus {
             CacheStatus::Hit => "hit",
             CacheStatus::DerivedHit => "derived-hit",
             CacheStatus::WindowHit => "window-hit (base matrix via row-id indirection)",
+            CacheStatus::ShardHit => "shard-hit (incremental rebuild of mutated shards only)",
             CacheStatus::Miss => "miss",
             CacheStatus::Bypass => "bypass",
         })
@@ -206,8 +215,15 @@ impl fmt::Display for Explain {
 pub struct Optimizer {
     /// Force a specific algorithm (skips selection, not rewriting).
     pub force: Option<Algorithm>,
-    /// Number of worker threads for parallel BNL (0 = auto-disable).
+    /// Number of worker threads for parallel evaluation and parallel
+    /// shard builds. `0` = auto: use
+    /// [`std::thread::available_parallelism`] (resolved per call by
+    /// [`Optimizer::effective_threads`]).
     pub threads: usize,
+    /// Rows per score-matrix shard, rounded up to a power of two. `0` =
+    /// the default layout
+    /// ([`ScoreMatrix::DEFAULT_SHARD_ROWS`](pref_core::eval::ScoreMatrix::DEFAULT_SHARD_ROWS)).
+    pub shard_rows: usize,
     /// Skip the algebraic rewrite pass.
     pub no_rewrite: bool,
     /// Skip score-matrix materialization at the top level (forces the
@@ -226,6 +242,29 @@ impl Optimizer {
     pub fn with_algorithm(mut self, a: Algorithm) -> Self {
         self.force = Some(a);
         self
+    }
+
+    /// Set the worker-thread count (`0` = auto-detect).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Set the score-matrix shard granularity (`0` = default layout).
+    pub fn with_shard_rows(mut self, shard_rows: usize) -> Self {
+        self.shard_rows = shard_rows;
+        self
+    }
+
+    /// The worker-thread count after resolving `threads == 0` to the
+    /// machine's [`std::thread::available_parallelism`] (1 when that is
+    /// unknowable).
+    pub fn effective_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        }
     }
 
     /// Disable the score-matrix backend (ablation knob).
@@ -330,13 +369,11 @@ impl Optimizer {
                 "monotone utility available: presort and filter".to_string(),
             ));
         }
-        if self.threads >= 2 && r.len() >= 4096 {
+        let threads = self.effective_threads();
+        if threads >= 2 && r.len() >= 4096 {
             return Ok((
                 Algorithm::BnlParallel,
-                format!(
-                    "general partial order, large input: {} BNL workers",
-                    self.threads
-                ),
+                format!("general partial order, large input: {threads} BNL workers"),
             ));
         }
         Ok((
@@ -372,7 +409,7 @@ pub(crate) fn run_algorithm(
             None => bnl::bnl_generic(c, r),
         },
         Algorithm::BnlParallel => {
-            let threads = opt.threads.max(2);
+            let threads = opt.effective_threads().max(2);
             match matrix {
                 Some(m) => bnl::bnl_parallel_matrix(m, threads),
                 None => bnl::bnl_parallel_generic(c, r, threads),
@@ -381,8 +418,14 @@ pub(crate) fn run_algorithm(
         Algorithm::Dnc => {
             // Selection checks the term's *shape*, but evaluability is
             // per-value (a NULL in a chain column has no embedding), so
-            // the checked entry decides.
-            match dnc::try_dnc_compiled(c, r) {
+            // the checked entry decides. Large inputs partition the
+            // top-level recursion over worker threads.
+            let threads = if r.len() >= 4096 {
+                opt.effective_threads()
+            } else {
+                1
+            };
+            match dnc::try_dnc_compiled_parallel(c, r, threads) {
                 Some(rows) => rows,
                 None if opt.force.is_some() => {
                     return Err(QueryError::AlgorithmMismatch {
@@ -494,6 +537,7 @@ mod tests {
                     let opt = Optimizer {
                         force: Some(algo),
                         threads: 2,
+                        shard_rows: 0,
                         no_rewrite: false,
                         no_materialize,
                     };

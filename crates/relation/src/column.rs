@@ -128,18 +128,32 @@ impl<'a> Column<'a> {
     /// A schema-typed column holds one variant (plus NULLs, which disable
     /// the fingerprint), so cross-variant bit collisions cannot occur.
     pub fn fingerprints(&self) -> Option<Vec<u64>> {
-        const EXACT: i64 = 1 << 53;
-        self.iter()
-            .map(|v| match v {
-                Value::Int(i) if (-EXACT..=EXACT).contains(i) => Some((*i as f64).to_bits()),
-                // total_cmp equality ⟺ bit equality (distinguishes ±0.0
-                // and NaN payloads exactly like `Value`'s total order).
-                Value::Float(f) => Some(f.to_bits()),
-                Value::Date(d) => Some((d.days() as f64).to_bits()),
-                Value::Bool(b) => Some(*b as u64),
-                _ => None,
-            })
-            .collect()
+        self.iter().map(value_fingerprint).collect()
+    }
+
+    /// The [`Column::fingerprints`] encoding of one row, without
+    /// materializing the whole lane. Incremental matrix rebuilds use this
+    /// to patch exactly the dirty and appended rows of a reused
+    /// fingerprint lane — the encoding is a pure per-value function, so a
+    /// row-at-a-time patch agrees bit-for-bit with a full re-encode.
+    pub fn fingerprint_at(&self, row: usize) -> Option<u64> {
+        value_fingerprint(&self.rel.row(row)[self.col])
+    }
+}
+
+/// The per-value half of [`Column::fingerprints`]: a lossless `u64`
+/// equality image, or `None` for values without one (strings, nulls,
+/// integers beyond the f64-exact range).
+fn value_fingerprint(v: &Value) -> Option<u64> {
+    const EXACT: i64 = 1 << 53;
+    match v {
+        Value::Int(i) if (-EXACT..=EXACT).contains(i) => Some((*i as f64).to_bits()),
+        // total_cmp equality ⟺ bit equality (distinguishes ±0.0
+        // and NaN payloads exactly like `Value`'s total order).
+        Value::Float(f) => Some(f.to_bits()),
+        Value::Date(d) => Some((d.days() as f64).to_bits()),
+        Value::Bool(b) => Some(*b as u64),
+        _ => None,
     }
 }
 

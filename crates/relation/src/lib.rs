@@ -40,7 +40,7 @@ mod macros;
 pub use attr::{attr, Attr, AttrSet};
 pub use column::Column;
 pub use error::RelationError;
-pub use relation::{predicate_fingerprint, Lineage, Relation, Rows};
+pub use relation::{predicate_fingerprint, Delta, Lineage, Relation, Rows};
 pub use schema::{DataType, Field, Schema};
 pub use tuple::Tuple;
 pub use value::{Date, Value};

@@ -21,13 +21,10 @@ macro_rules! rel {
         let schema = $crate::Schema::new(vec![
             $( ($name, $crate::DataType::$dt) ),+
         ]).expect("rel!: invalid schema literal");
-        #[allow(unused_mut)]
-        let mut r = $crate::Relation::empty(schema);
-        $(
-            r.push_values(vec![ $( $crate::Value::from($v) ),+ ])
-                .expect("rel!: invalid row literal");
-        )*
-        r
+        let rows = vec![
+            $( $crate::Tuple::new(vec![ $( $crate::Value::from($v) ),+ ]) ),*
+        ];
+        $crate::Relation::from_rows(schema, rows).expect("rel!: invalid row literal")
     }};
 }
 

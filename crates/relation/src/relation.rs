@@ -84,6 +84,48 @@ fn fold_fingerprint(acc: u64, fp: u64) -> u64 {
     h
 }
 
+/// Mutation provenance: how the current content state relates to recent
+/// earlier states of the same relation, for caches that would rather
+/// patch a previous materialization than rebuild from scratch.
+///
+/// The contract, for every recorded base `(generation, len)`: rows
+/// `0..len` of the *current* relation are identical (content and order)
+/// to the rows of the state that carried `generation`, **except possibly
+/// the rows listed in [`Delta::dirty`]** — appends extend, in-place
+/// updates are enumerated, and anything else (sorts, flattens that
+/// reorder) clears the delta entirely. `dirty` is a single global
+/// over-approximation shared by all bases: a row listed there may in
+/// fact be unchanged relative to a newer base, which costs a cache only
+/// wasted recomputation, never staleness.
+#[derive(Debug, Clone, Default)]
+pub struct Delta {
+    /// Earlier content states this relation extends, most recent first,
+    /// capped at [`Delta::MAX_BASES`].
+    bases: Vec<(u64, usize)>,
+    /// Indices of rows whose content may differ from the recorded bases.
+    dirty: Vec<u32>,
+}
+
+impl Delta {
+    /// How many prior content states a relation remembers.
+    pub const MAX_BASES: usize = 4;
+    /// Dirty-row budget: past this much in-place churn an incremental
+    /// rebuild would touch most shards anyway, so tracking stops and the
+    /// relation reports no delta.
+    pub const MAX_DIRTY: usize = 64;
+
+    /// The remembered `(generation, prefix length)` base states, most
+    /// recent first.
+    pub fn bases(&self) -> &[(u64, usize)] {
+        &self.bases
+    }
+
+    /// Indices of possibly-changed rows within the base prefixes.
+    pub fn dirty(&self) -> &[u32] {
+        &self.dirty
+    }
+}
+
 /// An in-memory relation. Rows are stored in insertion order; duplicate
 /// rows are allowed (bag semantics, like SQL tables with no key).
 ///
@@ -120,6 +162,8 @@ pub struct Relation {
     generation: u64,
     /// See [`Relation::lineage`].
     lineage: Option<Lineage>,
+    /// See [`Relation::delta`].
+    delta: Option<Delta>,
 }
 
 /// Iterator over a relation's tuples (dense storage or a row-id view).
@@ -165,6 +209,7 @@ impl Relation {
             windowable: false,
             generation: next_generation(),
             lineage: None,
+            delta: None,
         }
     }
 
@@ -174,6 +219,8 @@ impl Relation {
         for row in rows {
             r.push(row)?;
         }
+        // Bulk construction is one content state, not a mutation history.
+        r.delta = None;
         Ok(r)
     }
 
@@ -330,12 +377,53 @@ impl Relation {
         Arc::make_mut(&mut self.rows)
     }
 
+    /// The relation's mutation provenance, when its recent history is
+    /// append/update-shaped (see [`Delta`]). `None` for fresh or derived
+    /// relations, after reordering mutations, and once in-place churn
+    /// exceeds the [`Delta::MAX_DIRTY`] budget.
+    pub fn delta(&self) -> Option<&Delta> {
+        self.delta.as_ref()
+    }
+
+    /// Record that the state `(old_gen, old_len)` is a clean prefix of
+    /// the current content. Must be called *after* a successful
+    /// append-shaped mutation, with the values captured before it.
+    fn record_extension(&mut self, old_gen: u64, old_len: usize) {
+        let d = self.delta.get_or_insert_with(Delta::default);
+        d.bases.insert(0, (old_gen, old_len));
+        d.bases.truncate(Delta::MAX_BASES);
+    }
+
     /// Append a validated tuple.
     pub fn push(&mut self, row: Tuple) -> Result<()> {
         self.schema.check_row(row.values())?;
+        let (old_gen, old_len) = (self.generation, self.len());
         self.rows_mut().push(row);
         self.generation = next_generation();
         self.lineage = None;
+        self.record_extension(old_gen, old_len);
+        Ok(())
+    }
+
+    /// Replace the row at index `i` in place (validated against the
+    /// schema). An update moves the generation like any mutation, but
+    /// additionally records `i` as a *dirty row* in the [`Delta`], so
+    /// caches can re-derive just the storage region that changed.
+    ///
+    /// Panics when `i` is out of bounds, like [`Relation::row`].
+    pub fn update_row(&mut self, i: usize, values: Vec<Value>) -> Result<()> {
+        self.schema.check_row(&values)?;
+        assert!(i < self.len(), "update_row index {i} out of bounds");
+        let (old_gen, old_len) = (self.generation, self.len());
+        self.rows_mut()[i] = Tuple::new(values);
+        self.generation = next_generation();
+        self.lineage = None;
+        self.record_extension(old_gen, old_len);
+        let d = self.delta.as_mut().expect("record_extension ensures delta");
+        d.dirty.push(i as u32);
+        if d.dirty.len() > Delta::MAX_DIRTY {
+            self.delta = None;
+        }
         Ok(())
     }
 
@@ -380,6 +468,7 @@ impl Relation {
             windowable: lineage.is_some() && self.derivable_window(),
             generation: next_generation(),
             lineage,
+            delta: None,
         }
     }
 
@@ -446,6 +535,7 @@ impl Relation {
             windowable: false,
             generation: next_generation(),
             lineage: None,
+            delta: None,
         })
     }
 
@@ -482,14 +572,17 @@ impl Relation {
             });
         }
         let extra: Vec<Tuple> = other.iter().cloned().collect();
+        let (old_gen, old_len) = (self.generation, self.len());
         self.rows_mut().extend(extra);
         self.generation = next_generation();
         self.lineage = None;
+        self.record_extension(old_gen, old_len);
         Ok(())
     }
 
     /// Stable sort of rows by a key function. Reordering is a mutation:
-    /// row indices change meaning, so the generation moves.
+    /// row indices change meaning, so the generation moves — and no
+    /// earlier state survives as a prefix, so the [`Delta`] clears.
     pub fn sort_by_key<K, F>(&mut self, f: F)
     where
         F: FnMut(&Tuple) -> K,
@@ -498,6 +591,7 @@ impl Relation {
         self.rows_mut().sort_by_key(f);
         self.generation = next_generation();
         self.lineage = None;
+        self.delta = None;
     }
 }
 
@@ -626,6 +720,82 @@ mod tests {
         let derived = r.select(|_| true);
         assert_ne!(derived.generation(), r.generation());
         assert_ne!(r.take_rows(&[0]).generation(), r.generation());
+    }
+
+    #[test]
+    fn deltas_record_appends_updates_and_clear_on_reorder() {
+        let mut r = cars();
+        assert!(r.delta().is_none(), "bulk construction carries no delta");
+        let g0 = r.generation();
+
+        r.push_values(vec![Value::from("Opel"), Value::from(1)])
+            .unwrap();
+        let g1 = r.generation();
+        let d = r.delta().unwrap();
+        assert_eq!(d.bases(), &[(g0, 4)]);
+        assert!(d.dirty().is_empty());
+
+        r.union_all(&cars()).unwrap();
+        let d = r.delta().unwrap();
+        assert_eq!(d.bases(), &[(g1, 5), (g0, 4)], "most recent base first");
+
+        // In-place updates keep the prefix claim but flag the row.
+        let g2 = r.generation();
+        r.update_row(2, vec![Value::from("VW"), Value::from(19_000)])
+            .unwrap();
+        let d = r.delta().unwrap();
+        assert_eq!(d.bases().first(), Some(&(g2, 9)));
+        assert_eq!(d.dirty(), &[2]);
+
+        // The base list is capped, newest kept.
+        for _ in 0..Delta::MAX_BASES {
+            r.push_values(vec![Value::from("Fiat"), Value::from(2)])
+                .unwrap();
+        }
+        let d = r.delta().unwrap();
+        assert_eq!(d.bases().len(), Delta::MAX_BASES);
+        assert_eq!(d.dirty(), &[2], "dirty rows survive later appends");
+
+        // Reordering invalidates every prefix claim.
+        r.sort_by_key(|t| t[1].clone());
+        assert!(r.delta().is_none());
+
+        // Excessive in-place churn drops the delta instead of growing it.
+        let mut r = cars();
+        for _ in 0..=Delta::MAX_DIRTY {
+            r.update_row(0, vec![Value::from("Audi"), Value::from(1)])
+                .unwrap();
+        }
+        assert!(r.delta().is_none());
+
+        // Derived views start with no delta; mutating one then records
+        // against the flattened copy, which is still a valid prefix.
+        let base = cars();
+        let mut v = base.select(|t| t[0] == Value::from("BMW"));
+        assert!(v.delta().is_none());
+        let vg = v.generation();
+        v.push_values(vec![Value::from("BMW"), Value::from(1)])
+            .unwrap();
+        assert_eq!(v.delta().unwrap().bases(), &[(vg, 2)]);
+
+        // Failed mutations record nothing.
+        let mut r = cars();
+        assert!(r.push_values(vec![Value::from(1)]).is_err());
+        assert!(r.delta().is_none());
+        assert!(r.update_row(0, vec![Value::from(1)]).is_err());
+        assert!(r.delta().is_none());
+    }
+
+    #[test]
+    fn update_row_replaces_in_place() {
+        let mut r = cars();
+        r.update_row(1, vec![Value::from("BMW"), Value::from(1_000)])
+            .unwrap();
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.row(1)[1], Value::from(1_000));
+        assert!(r
+            .update_row(1, vec![Value::from(9), Value::from(9)])
+            .is_err());
     }
 
     #[test]
