@@ -1,0 +1,146 @@
+//! The `server_load` group: concurrent refinement sessions over the
+//! shared server state.
+//!
+//! `server-throughput-cold` drives the same four session scripts
+//! through a server whose engine retains nothing (capacity-0 cache):
+//! every materializing statement of every session rebuilds its score
+//! matrix from scratch — the per-request cost a shared-nothing server
+//! would pay. `server-throughput-warm` drives the identical traffic
+//! through the default shared engine after one warm-up pass: sessions
+//! resolve each other's anchors from the exact/derived tiers and their
+//! own tightened caps from the window tier. The spread is the
+//! concurrency dividend of sharing one engine across sessions.
+//!
+//! Timings here are wall-clock for a fixed request batch, so the
+//! warm/cold ratio doubles as a throughput ratio at equal offered work.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pref_bench::loadgen::{self, Arrival, LoadConfig};
+use pref_query::Engine;
+use pref_server::{ServerState, Session};
+use pref_sql::PrefSql;
+use pref_workload::cars;
+use pref_workload::sessions::{session_scripts, SessionScript};
+use std::hint::black_box;
+use std::sync::Arc;
+
+const ROWS: usize = 1_500;
+const SESSIONS: usize = 4;
+const STEPS: usize = 10;
+
+fn serve(engine: Option<Engine>) -> Arc<ServerState> {
+    let mut db = match engine {
+        Some(e) => PrefSql::new().with_engine(e),
+        None => PrefSql::new(),
+    };
+    db.register("car", cars::catalog(ROWS, 11));
+    ServerState::new(db)
+}
+
+/// Replay every script through its own session on its own thread; the
+/// returned body-line total is a cheap checksum over all result sets.
+fn drive(state: &Arc<ServerState>, scripts: &[SessionScript]) -> usize {
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = scripts
+            .iter()
+            .map(|s| {
+                scope.spawn(move || {
+                    let mut session = state.session();
+                    let mut total = 0usize;
+                    for sql in &s.statements {
+                        let reply = session.handle_line(&format!("EXEC {sql}"));
+                        assert!(reply.is_ok(), "{sql}\n  -> {}", reply.status);
+                        total += reply.body.len();
+                    }
+                    total
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("session thread"))
+            .sum()
+    })
+}
+
+fn bench_server_load(c: &mut Criterion) {
+    let scripts = session_scripts(SESSIONS, STEPS, 23);
+    let mut group = c.benchmark_group("server_load");
+    group.sample_size(10);
+
+    // Cold baseline: a capacity-0 cache retains nothing between
+    // statements, so reusing the state across iterations is still a
+    // fully cold server — and keeps catalog construction out of the
+    // timing, same as the warm arm.
+    let cold = serve(Some(Engine::new().with_capacity(0)));
+    let cold_total = drive(&cold, &scripts);
+
+    // Warm server: the first pass populates the shared cache; measured
+    // iterations replay against it.
+    let warm = serve(None);
+    let warm_total = drive(&warm, &scripts);
+    assert_eq!(
+        warm_total, cold_total,
+        "shared cache must not change results"
+    );
+
+    // Smoke guard (runs under `-- --test` in CI): replayed session
+    // traffic over a warmed shared engine must be served mostly warm,
+    // and the capacity-0 baseline must stay entirely cold.
+    drive(&warm, &scripts);
+    let stats = warm.engine().cache_stats();
+    assert!(
+        stats.hits + stats.derived_hits + stats.window_hits > stats.misses,
+        "warm replay should be dominated by warm tiers: {stats:?}"
+    );
+    let cold_stats = cold.engine().cache_stats();
+    assert_eq!(
+        cold_stats.hits + cold_stats.derived_hits + cold_stats.window_hits + cold_stats.shard_hits,
+        0,
+        "capacity-0 baseline must never serve warm: {cold_stats:?}"
+    );
+
+    group.bench_function("server-throughput-cold", |b| {
+        b.iter(|| black_box(drive(&cold, &scripts)))
+    });
+    group.bench_function("server-throughput-warm", |b| {
+        b.iter(|| {
+            let total = drive(&warm, &scripts);
+            assert_eq!(total, warm_total, "replay must be deterministic");
+            black_box(total)
+        })
+    });
+    group.finish();
+
+    // Open-loop harness smoke (also under `-- --test`): a short burst
+    // through in-process sessions at a modest target rate must complete
+    // with zero errors and a sane latency distribution.
+    let statements = loadgen::interleave_sessions(&scripts);
+    let cfg = LoadConfig {
+        rate: 2_000.0,
+        requests: statements.len(),
+        workers: SESSIONS,
+        arrival: Arrival::Poisson,
+        seed: 5,
+    };
+    let report = loadgen::run(&cfg, &statements, || {
+        let mut session: Session = warm.session();
+        move |sql: &str| {
+            let reply = session.handle_line(&format!("EXEC {sql}"));
+            if reply.is_ok() {
+                Ok(())
+            } else {
+                Err(reply.status)
+            }
+        }
+    });
+    assert_eq!(report.errors, 0, "open-loop burst must not error");
+    assert!(
+        report.p50_us <= report.p95_us && report.p95_us <= report.p99_us,
+        "percentiles must be ordered: {}",
+        report.to_json()
+    );
+}
+
+criterion_group!(benches, bench_server_load);
+criterion_main!(benches);

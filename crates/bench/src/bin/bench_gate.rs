@@ -62,6 +62,12 @@ const SCENARIOS: &[(&str, &str, &str, f64)] = &[
         "engine_cache/shard-append-cold",
         0.90,
     ),
+    (
+        "server-throughput-warm",
+        "server_load/server-throughput-warm",
+        "server_load/server-throughput-cold",
+        0.95,
+    ),
 ];
 
 #[derive(Debug, Clone)]

@@ -1,0 +1,139 @@
+//! Open-loop load generator for the preference query server.
+//!
+//! ```text
+//! loadgen [--mode inproc|tcp] [--addr HOST:PORT]
+//!         [--rate RPS] [--requests N] [--workers N]
+//!         [--arrival poisson|fixed] [--sessions N] [--steps N]
+//!         [--rows N] [--seed N] [--json PATH]
+//! ```
+//!
+//! `inproc` (default) stands up the shared [`ServerState`] in this
+//! process and drives one [`Session`] per worker — no sockets, pure
+//! engine-concurrency measurement. `tcp` connects one client per worker
+//! to a running server (start one with the `serve` binary) and measures
+//! the full wire round trip.
+//!
+//! Requests are the interleaved statements of `--sessions` refinement
+//! chains; arrivals follow the target rate open-loop, so latency
+//! percentiles include queueing delay when the server can't keep up
+//! (no coordinated omission). Prints the JSON report to stdout, and to
+//! `--json PATH` when given.
+
+use pref_bench::loadgen::{self, Arrival, LoadConfig};
+use pref_server::{Client, ServerState, Session};
+use pref_sql::PrefSql;
+use pref_workload::sessions::session_scripts;
+
+fn main() {
+    let mut mode = "inproc".to_string();
+    let mut addr = "127.0.0.1:7878".to_string();
+    let mut rate = 500.0f64;
+    let mut requests = 2_000usize;
+    let mut workers = 4usize;
+    let mut arrival = Arrival::Poisson;
+    let mut sessions = 8usize;
+    let mut steps = 12usize;
+    let mut rows = 10_000usize;
+    let mut seed = 1u64;
+    let mut json_path: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut take = |what: &str| {
+            args.next()
+                .unwrap_or_else(|| fail(&format!("{what} requires a value")))
+        };
+        match arg.as_str() {
+            "--mode" => mode = take("--mode"),
+            "--addr" => addr = take("--addr"),
+            "--rate" => rate = parse(&take("--rate")),
+            "--requests" => requests = parse(&take("--requests")),
+            "--workers" => workers = parse(&take("--workers")),
+            "--arrival" => {
+                arrival = match take("--arrival").as_str() {
+                    "poisson" => Arrival::Poisson,
+                    "fixed" => Arrival::Fixed,
+                    other => fail(&format!("unknown arrival `{other}`")),
+                }
+            }
+            "--sessions" => sessions = parse(&take("--sessions")),
+            "--steps" => steps = parse(&take("--steps")),
+            "--rows" => rows = parse(&take("--rows")),
+            "--seed" => seed = parse(&take("--seed")),
+            "--json" => json_path = Some(take("--json")),
+            "--help" | "-h" => {
+                println!(
+                    "usage: loadgen [--mode inproc|tcp] [--addr HOST:PORT] [--rate RPS] \
+                     [--requests N] [--workers N] [--arrival poisson|fixed] \
+                     [--sessions N] [--steps N] [--rows N] [--seed N] [--json PATH]"
+                );
+                return;
+            }
+            other => fail(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let cfg = LoadConfig {
+        rate,
+        requests,
+        workers,
+        arrival,
+        seed,
+    };
+    let statements = loadgen::interleave_sessions(&session_scripts(sessions, steps, seed));
+
+    let report = match mode.as_str() {
+        "inproc" => {
+            let mut db = PrefSql::new();
+            db.register("car", pref_workload::cars::catalog(rows, seed));
+            let state = ServerState::new(db);
+            loadgen::run(&cfg, &statements, || {
+                let mut session: Session = state.session();
+                move |sql: &str| {
+                    let reply = session.handle_line(&format!("EXEC {sql}"));
+                    if reply.is_ok() {
+                        Ok(())
+                    } else {
+                        Err(reply.status)
+                    }
+                }
+            })
+        }
+        "tcp" => loadgen::run(&cfg, &statements, || {
+            let mut client = Client::connect(addr.as_str())
+                .unwrap_or_else(|e| fail(&format!("cannot connect to {addr}: {e}")));
+            move |sql: &str| {
+                let reply = client
+                    .request(&format!("EXEC {sql}"))
+                    .map_err(|e| e.to_string())?;
+                if reply.is_ok() {
+                    Ok(())
+                } else {
+                    Err(reply.status)
+                }
+            }
+        }),
+        other => fail(&format!("unknown mode `{other}`")),
+    };
+
+    let json = report.to_json();
+    println!("{json}");
+    if let Some(path) = json_path {
+        std::fs::write(&path, format!("{json}\n"))
+            .unwrap_or_else(|e| fail(&format!("cannot write {path}: {e}")));
+    }
+    if report.errors > 0 {
+        eprintln!("loadgen: {} request(s) failed", report.errors);
+        std::process::exit(1);
+    }
+}
+
+fn parse<T: std::str::FromStr>(s: &str) -> T {
+    s.parse()
+        .unwrap_or_else(|_| fail(&format!("bad numeric value `{s}`")))
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("loadgen: {msg}");
+    std::process::exit(2);
+}

@@ -3,6 +3,8 @@
 //! Shared setup code for the criterion benches (`benches/`) and the
 //! `repro` binary that regenerates every experiment of EXPERIMENTS.md.
 
+pub mod loadgen;
+
 use pref_core::prelude::*;
 use pref_core::term::Pref;
 use pref_relation::Relation;

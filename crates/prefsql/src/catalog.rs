@@ -29,6 +29,17 @@ impl Catalog {
             .ok_or_else(|| SqlError::UnknownTable(name.to_string()))
     }
 
+    /// Look up a table for in-place mutation. Mutating through the
+    /// returned reference (e.g. [`Relation::push_values`]) bumps the
+    /// table's generation, so cached score matrices can never serve
+    /// stale data — the engine either rebuilds or takes the
+    /// incremental shard route.
+    pub fn get_mut(&mut self, name: &str) -> Result<&mut Relation, SqlError> {
+        self.tables
+            .get_mut(&name.to_ascii_lowercase())
+            .ok_or_else(|| SqlError::UnknownTable(name.to_string()))
+    }
+
     /// Registered table names (lower-cased), sorted.
     pub fn table_names(&self) -> Vec<&str> {
         let mut names: Vec<&str> = self.tables.keys().map(String::as_str).collect();

@@ -67,9 +67,28 @@ impl PrefSql {
         self
     }
 
+    /// Use an existing engine. The engine is cheaply clonable shared
+    /// state, so sessions constructed from clones of the same engine
+    /// share one score-matrix cache — this is how the query server
+    /// gives every connection the same warm tiers.
+    pub fn with_engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
+    }
+
     /// The session's query engine (shared matrix cache + stats).
     pub fn engine(&self) -> &Engine {
         &self.engine
+    }
+
+    /// Append one row to a registered table **in place**. Unlike
+    /// re-registering a rebuilt table, this keeps the relation's
+    /// mutation [`Delta`](pref_relation::Relation) intact, so the next
+    /// query over the table rebuilds only the touched score-matrix
+    /// shard (`CacheStatus::ShardHit`) instead of the whole matrix.
+    pub fn append_row(&mut self, table: &str, values: Vec<Value>) -> Result<(), SqlError> {
+        self.catalog.get_mut(table)?.push_values(values)?;
+        Ok(())
     }
 
     /// Parse and execute a query string.

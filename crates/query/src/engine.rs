@@ -24,12 +24,24 @@
 //! The engine is cheaply clonable (all state behind an `Arc`) and
 //! thread-safe; a [`Prepared`] holds a handle to its engine, so prepared
 //! queries stay valid wherever they are sent.
+//!
+//! Concurrency: the matrix cache is split into 16 fingerprint-keyed
+//! read/write-locked shards (`CACHE_SHARDS`), so the warm path
+//! (exact / derived / window lookups) takes exactly one shard's *read*
+//! lock — concurrent sessions executing different prepared queries
+//! never touch the same lock, and sessions repeating the same query
+//! share a read lock that admits them all at once. Cache statistics are
+//! plain atomics ([`Engine::cache_stats`] is lock-free). Only cold
+//! builds and incremental rebuilds take a write lock, and only to
+//! insert the finished matrix — materialization itself always runs
+//! outside every lock.
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use parking_lot::RwLock;
 
 use pref_core::eval::{CompiledPref, MatrixWindow, ScoreMatrix};
 use pref_core::term::Pref;
@@ -41,6 +53,26 @@ use crate::optimizer::{run_algorithm, CacheStatus, Explain, Optimizer};
 
 /// Default number of cached score matrices per engine.
 const DEFAULT_CAPACITY: usize = 64;
+
+/// Number of lock shards the matrix cache is split over (power of two).
+///
+/// Every cache key a single lookup can probe — exact generation, derived
+/// lineage, window base, delta base — embeds the same *term fingerprint*,
+/// so sharding by fingerprint keeps a whole lookup inside one shard: one
+/// read-lock acquisition resolves every tier, and lookups for *different*
+/// terms never contend on the same lock. Concurrent sessions executing
+/// distinct prepared queries therefore scale with cores instead of
+/// convoying on a global mutex; same-term readers still proceed in
+/// parallel because the shard lock is a read/write lock and warm hits
+/// only ever take the read side.
+const CACHE_SHARDS: usize = 16;
+
+/// The shard a term fingerprint's cache entries live in. Fingerprints
+/// are already well-mixed 64-bit hashes; fold the high half in so the
+/// shard index uses all of them.
+pub(crate) fn cache_shard_of(fp: u64) -> usize {
+    ((fp ^ (fp >> 32)) as usize) & (CACHE_SHARDS - 1)
+}
 
 /// Aggregate cache counters of an [`Engine`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -96,51 +128,106 @@ enum MatrixKey {
     Derived(u64, u64, u64),
 }
 
+impl MatrixKey {
+    /// The term fingerprint embedded in every key kind — the shard
+    /// selector.
+    fn fingerprint(self) -> u64 {
+        match self {
+            MatrixKey::Generation(_, fp) | MatrixKey::Derived(_, _, fp) => fp,
+        }
+    }
+
+    fn shard(self) -> usize {
+        cache_shard_of(self.fingerprint())
+    }
+}
+
 struct CacheEntry {
     matrix: Arc<ScoreMatrix>,
-    last_used: u64,
+    /// LRU stamp, atomic so the read-locked hit path can refresh it
+    /// without upgrading to a write lock.
+    last_used: AtomicU64,
 }
 
+/// One lock shard of the matrix cache: a plain map, all cross-shard
+/// state (stats, LRU clock, resident count) lives in atomics on
+/// [`EngineInner`].
 #[derive(Default)]
-struct MatrixCache {
+struct CacheShard {
     map: HashMap<MatrixKey, CacheEntry>,
-    tick: u64,
-    hits: u64,
-    derived_hits: u64,
-    window_hits: u64,
-    shard_hits: u64,
-    misses: u64,
-}
-
-impl MatrixCache {
-    /// Insert `m` under `key`, LRU-evicting one entry if `capacity` is
-    /// reached.
-    fn insert_bounded(&mut self, capacity: usize, key: MatrixKey, m: &Arc<ScoreMatrix>) {
-        if self.map.len() >= capacity {
-            if let Some(&oldest) = self
-                .map
-                .iter()
-                .min_by_key(|(_, e)| e.last_used)
-                .map(|(k, _)| k)
-            {
-                self.map.remove(&oldest);
-            }
-        }
-        let tick = self.tick;
-        self.map.insert(
-            key,
-            CacheEntry {
-                matrix: Arc::clone(m),
-                last_used: tick,
-            },
-        );
-    }
 }
 
 struct EngineInner {
     optimizer: Optimizer,
     capacity: usize,
-    cache: Mutex<MatrixCache>,
+    /// The matrix cache, split into [`CACHE_SHARDS`] read/write-locked
+    /// shards keyed by term fingerprint ([`cache_shard_of`]). Warm
+    /// lookups take one shard's *read* lock; only inserts and evictions
+    /// take a write lock, and never more than one shard lock at a time.
+    shards: Vec<RwLock<CacheShard>>,
+    /// Global LRU clock (monotone; ties are harmless).
+    tick: AtomicU64,
+    /// Matrices currently resident across all shards — maintained on
+    /// insert/evict/clear so [`Engine::cache_stats`] never takes a lock.
+    resident: AtomicUsize,
+    hits: AtomicU64,
+    derived_hits: AtomicU64,
+    window_hits: AtomicU64,
+    shard_hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl EngineInner {
+    /// Insert `m` under `key`, then LRU-evict until the *global*
+    /// capacity holds. The insert write-locks exactly one shard; the
+    /// eviction scan acquires one shard lock at a time (so concurrent
+    /// inserters can never deadlock on each other), which means resident
+    /// can transiently overshoot `capacity` under contention — bounded
+    /// by the number of concurrent inserters, and immediately repaired.
+    fn insert_bounded(&self, key: MatrixKey, m: &Arc<ScoreMatrix>) {
+        let tick = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
+        {
+            let mut shard = self.shards[key.shard()].write();
+            if shard
+                .map
+                .insert(
+                    key,
+                    CacheEntry {
+                        matrix: Arc::clone(m),
+                        last_used: AtomicU64::new(tick),
+                    },
+                )
+                .is_none()
+            {
+                self.resident.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        while self.resident.load(Ordering::Relaxed) > self.capacity {
+            // Find the globally least-recently-used entry, one shard at
+            // a time, then re-check under that shard's write lock: if
+            // the entry was touched (or evicted) in between, retry
+            // rather than evict a freshly used matrix.
+            let mut victim: Option<(usize, MatrixKey, u64)> = None;
+            for (i, shard) in self.shards.iter().enumerate() {
+                let shard = shard.read();
+                for (k, e) in &shard.map {
+                    let lu = e.last_used.load(Ordering::Relaxed);
+                    if victim.is_none_or(|(_, _, best)| lu < best) {
+                        victim = Some((i, *k, lu));
+                    }
+                }
+            }
+            let Some((i, k, lu)) = victim else { break };
+            let mut shard = self.shards[i].write();
+            match shard.map.get(&k) {
+                Some(e) if e.last_used.load(Ordering::Relaxed) == lu => {
+                    shard.map.remove(&k);
+                    self.resident.fetch_sub(1, Ordering::Relaxed);
+                }
+                _ => continue,
+            }
+        }
+    }
 }
 
 impl fmt::Debug for EngineInner {
@@ -179,7 +266,14 @@ impl Engine {
             inner: Arc::new(EngineInner {
                 optimizer,
                 capacity: DEFAULT_CAPACITY,
-                cache: Mutex::new(MatrixCache::default()),
+                shards: (0..CACHE_SHARDS).map(|_| RwLock::default()).collect(),
+                tick: AtomicU64::new(0),
+                resident: AtomicUsize::new(0),
+                hits: AtomicU64::new(0),
+                derived_hits: AtomicU64::new(0),
+                window_hits: AtomicU64::new(0),
+                shard_hits: AtomicU64::new(0),
+                misses: AtomicU64::new(0),
             }),
         }
     }
@@ -321,22 +415,38 @@ impl Engine {
         Ok(result)
     }
 
-    /// Current cache counters.
+    /// Current cache counters. Lock-free: every counter (including the
+    /// resident-entry count) is an atomic maintained by the execution
+    /// paths, so stats reads never contend with — or convoy behind —
+    /// concurrent query executions. Counters are individually exact;
+    /// a snapshot taken while executions are in flight may be skewed by
+    /// those in-flight requests, exactly like any monitoring read.
     pub fn cache_stats(&self) -> CacheStats {
-        let cache = self.inner.cache.lock();
+        let inner = &self.inner;
         CacheStats {
-            hits: cache.hits,
-            derived_hits: cache.derived_hits,
-            window_hits: cache.window_hits,
-            shard_hits: cache.shard_hits,
-            misses: cache.misses,
-            entries: cache.map.len(),
+            hits: inner.hits.load(Ordering::Relaxed),
+            derived_hits: inner.derived_hits.load(Ordering::Relaxed),
+            window_hits: inner.window_hits.load(Ordering::Relaxed),
+            shard_hits: inner.shard_hits.load(Ordering::Relaxed),
+            misses: inner.misses.load(Ordering::Relaxed),
+            entries: inner.resident.load(Ordering::Relaxed),
         }
     }
 
-    /// Drop every cached matrix (counters survive).
+    /// Drop every cached matrix (counters survive). Clears one shard at
+    /// a time; entries inserted concurrently into already-cleared shards
+    /// survive, which is the same guarantee a single global lock gave a
+    /// caller racing a concurrent insert.
     pub fn clear_cache(&self) {
-        self.inner.cache.lock().map.clear();
+        for shard in &self.inner.shards {
+            let removed = {
+                let mut shard = shard.write();
+                let n = shard.map.len();
+                shard.map.clear();
+                n
+            };
+            self.inner.resident.fetch_sub(removed, Ordering::Relaxed);
+        }
     }
 
     /// Fetch or build the score matrix for term fingerprint `fp` over
@@ -374,7 +484,8 @@ impl Engine {
         r: &Relation,
         populate: bool,
     ) -> (Option<MatrixWindow>, CacheStatus) {
-        let opt = &self.inner.optimizer;
+        let inner = &self.inner;
+        let opt = &inner.optimizer;
         let threads = opt.effective_threads();
         let primary = MatrixKey::Generation(r.generation(), fp);
         let derived = r
@@ -382,21 +493,25 @@ impl Engine {
             .map(|l| MatrixKey::Derived(l.base_generation(), l.predicate(), fp));
         // A prior content state whose matrix is resident, found through
         // the relation's mutation delta — the incremental-rebuild seed,
-        // resolved under the lock but consumed outside it.
+        // resolved under the read lock but consumed outside it.
         let mut reusable: Option<(Arc<ScoreMatrix>, usize)> = None;
-        if self.inner.capacity > 0 {
-            let mut cache = self.inner.cache.lock();
-            cache.tick += 1;
-            let tick = cache.tick;
+        if inner.capacity > 0 {
+            let tick = inner.tick.fetch_add(1, Ordering::Relaxed) + 1;
+            // Every probe below keys by the same term fingerprint, so the
+            // whole multi-tier lookup resolves inside this one shard —
+            // a single read-lock acquisition, shared with every other
+            // concurrent reader of this term and independent of every
+            // other term's shard.
+            let shard = inner.shards[cache_shard_of(fp)].read();
             for (key, status) in std::iter::once((primary, CacheStatus::Hit))
                 .chain(derived.map(|k| (k, CacheStatus::DerivedHit)))
             {
-                if let Some(entry) = cache.map.get_mut(&key) {
-                    entry.last_used = tick;
+                if let Some(entry) = shard.map.get(&key) {
+                    entry.last_used.store(tick, Ordering::Relaxed);
                     let matrix = Arc::clone(&entry.matrix);
-                    cache.hits += 1;
+                    inner.hits.fetch_add(1, Ordering::Relaxed);
                     if status == CacheStatus::DerivedHit {
-                        cache.derived_hits += 1;
+                        inner.derived_hits.fetch_add(1, Ordering::Relaxed);
                     }
                     return (Some(MatrixWindow::full(matrix)), status);
                 }
@@ -407,17 +522,17 @@ impl Engine {
             // row-id indirection instead of building a subset matrix.
             if let Some((base_gen, ids)) = r.window_ids() {
                 let key = MatrixKey::Generation(base_gen, fp);
-                if let Some(entry) = cache.map.get_mut(&key) {
+                if let Some(entry) = shard.map.get(&key) {
                     // The windowable invariant guarantees every id indexes
                     // the base's row space; keep a release-mode guard so a
                     // broken lineage contract degrades to a rebuild, never
                     // to out-of-range reads of someone else's matrix.
                     let rows = entry.matrix.len();
                     if ids.iter().all(|&i| (i as usize) < rows) {
-                        entry.last_used = tick;
+                        entry.last_used.store(tick, Ordering::Relaxed);
                         let matrix = Arc::clone(&entry.matrix);
-                        cache.hits += 1;
-                        cache.window_hits += 1;
+                        inner.hits.fetch_add(1, Ordering::Relaxed);
+                        inner.window_hits.fetch_add(1, Ordering::Relaxed);
                         return (
                             Some(MatrixWindow::windowed(matrix, Arc::clone(ids))),
                             CacheStatus::WindowHit,
@@ -433,9 +548,9 @@ impl Engine {
             if let Some(delta) = r.delta() {
                 for &(base_gen, base_len) in delta.bases() {
                     let key = MatrixKey::Generation(base_gen, fp);
-                    if let Some(entry) = cache.map.get_mut(&key) {
+                    if let Some(entry) = shard.map.get(&key) {
                         if entry.matrix.len() == base_len {
-                            entry.last_used = tick;
+                            entry.last_used.store(tick, Ordering::Relaxed);
                             reusable = Some((Arc::clone(&entry.matrix), base_len));
                             break;
                         }
@@ -443,17 +558,16 @@ impl Engine {
                 }
             }
         }
-        // Build outside the lock: materialization is the expensive part,
+        // Build outside any lock: materialization is the expensive part,
         // and concurrent executions of the same query should not serialize
         // on it (a duplicate build is wasted work, never wrong results).
         if let Some((prev, prefix_len)) = reusable {
             let dirty = r.delta().map_or(&[][..], |d| d.dirty());
             if let Some(m) = c.score_matrix_incremental(r, &prev, prefix_len, dirty, threads) {
                 let m = Arc::new(m);
-                let mut cache = self.inner.cache.lock();
-                cache.shard_hits += 1;
-                if populate && self.inner.capacity > 0 {
-                    cache.insert_bounded(self.inner.capacity, derived.unwrap_or(primary), &m);
+                inner.shard_hits.fetch_add(1, Ordering::Relaxed);
+                if populate && inner.capacity > 0 {
+                    inner.insert_bounded(derived.unwrap_or(primary), &m);
                 }
                 return (Some(MatrixWindow::full(m)), CacheStatus::ShardHit);
             }
@@ -462,12 +576,11 @@ impl Engine {
             None => (None, CacheStatus::Bypass),
             Some(m) => {
                 let m = Arc::new(m);
-                let mut cache = self.inner.cache.lock();
                 // Count every fresh build, cached or not, so stats stay
                 // consistent with the `Miss` the Explain reports.
-                cache.misses += 1;
-                if populate && self.inner.capacity > 0 {
-                    cache.insert_bounded(self.inner.capacity, derived.unwrap_or(primary), &m);
+                inner.misses.fetch_add(1, Ordering::Relaxed);
+                if populate && inner.capacity > 0 {
+                    inner.insert_bounded(derived.unwrap_or(primary), &m);
                 }
                 (Some(MatrixWindow::full(m)), CacheStatus::Miss)
             }
@@ -724,6 +837,13 @@ impl Prepared {
                 materialized: matrix.is_some(),
                 explicit_bitsets: matrix.as_ref().is_some_and(MatrixWindow::explicit_backend),
                 cache,
+                // Which lock shard the lookup ran through — every key a
+                // term can probe lives in the shard its fingerprint
+                // selects, so this is exact for hits, misses and
+                // incremental rebuilds alike. `None` when no cache
+                // lookup happened at all (Bypass).
+                cache_shard: (cache != CacheStatus::Bypass)
+                    .then(|| cache_shard_of(self.fingerprint)),
                 generation: r.generation(),
                 lineage: r.lineage(),
                 shape_fingerprint: self.binding.as_ref().map(|(fp, _)| *fp),

@@ -1,0 +1,69 @@
+//! Stand-alone preference query server over the cars catalog.
+//!
+//! ```text
+//! serve [--addr HOST:PORT] [--rows N] [--seed N]
+//! ```
+//!
+//! Binds the address (default `127.0.0.1:7878`), registers a seeded
+//! cars catalog as table `car`, and serves the line protocol until
+//! killed. Try it with a line-mode TCP client:
+//!
+//! ```text
+//! EXEC SELECT * FROM car WHERE make = 'Opel' PREFERRING LOWEST(price) LIMIT 3
+//! ```
+
+use pref_server::{Server, ServerState};
+use pref_sql::PrefSql;
+
+fn main() {
+    let mut addr = "127.0.0.1:7878".to_string();
+    let mut rows = 10_000usize;
+    let mut seed = 1u64;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut take = |what: &str| {
+            args.next()
+                .unwrap_or_else(|| fail(&format!("{what} requires a value")))
+        };
+        match arg.as_str() {
+            "--addr" => addr = take("--addr"),
+            "--rows" => rows = parse(&take("--rows")),
+            "--seed" => seed = parse(&take("--seed")),
+            "--help" | "-h" => {
+                println!("usage: serve [--addr HOST:PORT] [--rows N] [--seed N]");
+                return;
+            }
+            other => fail(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let mut db = PrefSql::new();
+    db.register("car", pref_workload::cars::catalog(rows, seed));
+    let state = ServerState::new(db);
+    let server = match Server::bind(state, addr.as_str()) {
+        Ok(s) => s,
+        Err(e) => fail(&format!("cannot bind {addr}: {e}")),
+    };
+    println!(
+        "pref-server listening on {} ({} car rows, seed {})",
+        server.local_addr(),
+        rows,
+        seed
+    );
+    // The accept loop runs on its own thread; park the main thread for
+    // the life of the process.
+    loop {
+        std::thread::park();
+    }
+}
+
+fn parse<T: std::str::FromStr>(s: &str) -> T {
+    s.parse()
+        .unwrap_or_else(|_| fail(&format!("bad numeric value `{s}`")))
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("serve: {msg}");
+    std::process::exit(2);
+}

@@ -1,0 +1,62 @@
+//! A minimal blocking client for the line protocol — what the TCP
+//! tests and the load generator's socket mode use. One request in
+//! flight at a time, replies read until the `.` terminator and
+//! dot-unstuffed back into [`Reply`].
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::protocol::{Reply, END};
+
+/// A connected client session.
+#[derive(Debug)]
+pub struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            writer,
+            reader: BufReader::new(stream),
+        })
+    }
+
+    /// Send one request line and read the full reply.
+    pub fn request(&mut self, line: &str) -> std::io::Result<Reply> {
+        debug_assert!(!line.contains('\n'), "requests are single lines");
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+
+        let mut status = String::new();
+        if self.reader.read_line(&mut status)? == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        let status = status.trim_end_matches(['\r', '\n']).to_string();
+        let mut body = Vec::new();
+        loop {
+            let mut line = String::new();
+            if self.reader.read_line(&mut line)? == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "reply not terminated",
+                ));
+            }
+            let line = line.trim_end_matches(['\r', '\n']);
+            if line == END {
+                break;
+            }
+            // Undo dot-stuffing: a lone `.` was the terminator above, so
+            // any remaining leading dot carries one stuffed dot.
+            body.push(line.strip_prefix('.').unwrap_or(line).to_string());
+        }
+        Ok(Reply { status, body })
+    }
+}

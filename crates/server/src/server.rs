@@ -1,0 +1,120 @@
+//! The TCP front end: a listener thread accepting connections, one
+//! thread per connection, every connection driving its own
+//! [`Session`](crate::session::Session) over the shared
+//! [`ServerState`].
+//!
+//! Connections speak the line protocol of [`crate::protocol`]: one
+//! request per line, dot-terminated replies. A connection ends on
+//! `QUIT`, on EOF, or on an unreadable stream; the server ends when
+//! [`Server::shutdown`] flips the stop flag and nudges the listener
+//! with a wake-up connection.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use crate::session::ServerState;
+
+/// A running TCP server. Dropping it without calling
+/// [`Server::shutdown`] leaves the listener thread running for the
+/// life of the process (tests should shut down explicitly).
+#[derive(Debug)]
+pub struct Server {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    state: Arc<ServerState>,
+}
+
+impl Server {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// start accepting connections on a background thread.
+    pub fn bind(state: Arc<ServerState>, addr: impl ToSocketAddrs) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_state = Arc::clone(&state);
+        let accept_stop = Arc::clone(&stop);
+        let accept_thread = std::thread::Builder::new()
+            .name("pref-server-accept".to_string())
+            .spawn(move || accept_loop(listener, accept_state, accept_stop))?;
+        Ok(Server {
+            addr,
+            stop,
+            accept_thread: Some(accept_thread),
+            state,
+        })
+    }
+
+    /// The bound address (with the ephemeral port resolved).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared state connections run on.
+    pub fn state(&self) -> &Arc<ServerState> {
+        &self.state
+    }
+
+    /// Stop accepting and join the listener thread. Established
+    /// connections finish on their own threads — each ends at its
+    /// client's QUIT or disconnect; this call joins the ones already
+    /// done and detaches from the rest.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // The listener blocks in accept(); a throwaway connection
+        // wakes it so it can observe the flag and exit.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, state: Arc<ServerState>, stop: Arc<AtomicBool>) {
+    // Finished connection threads are reaped opportunistically so a
+    // long-lived server does not accumulate dead handles.
+    let workers: Mutex<Vec<JoinHandle<()>>> = Mutex::new(Vec::new());
+    for stream in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let conn_state = Arc::clone(&state);
+        let handle = std::thread::Builder::new()
+            .name("pref-server-conn".to_string())
+            .spawn(move || serve_connection(stream, conn_state));
+        if let Ok(h) = handle {
+            let mut ws = workers.lock().expect("worker list lock");
+            ws.retain(|w| !w.is_finished());
+            ws.push(h);
+        }
+    }
+    for w in workers.into_inner().expect("worker list lock") {
+        if w.is_finished() {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Drive one connection: read request lines, write framed replies.
+fn serve_connection(stream: TcpStream, state: Arc<ServerState>) {
+    let mut session = state.session();
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        let reply = session.handle_line(&line);
+        if writer.write_all(reply.frame().as_bytes()).is_err() {
+            break;
+        }
+        if session.closed() {
+            break;
+        }
+    }
+}

@@ -1,0 +1,293 @@
+//! Sessions over one shared database.
+//!
+//! [`ServerState`] owns the process-wide [`PrefSql`] (catalog + engine)
+//! behind a read/write lock: queries — ad hoc or prepared — take the
+//! read lock, so any number of sessions execute concurrently and meet
+//! only at the engine's internal cache shards; `APPEND` takes the write
+//! lock for the in-place mutation. [`Session`] is the per-connection
+//! state machine (prepared-statement handles, staged bindings, the last
+//! EXPLAIN) — the TCP server drives one per connection, and tests or
+//! the load generator can drive one directly with no socket at all.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use pref_query::Engine;
+use pref_relation::Value;
+use pref_sql::executor::QueryResult;
+use pref_sql::{PrefSql, PreparedStatement};
+
+use crate::protocol::{Command, Reply};
+
+/// The process-wide shared state: one catalog, one engine, all sessions.
+#[derive(Debug)]
+pub struct ServerState {
+    db: RwLock<PrefSql>,
+    /// A clone of the database's engine (shared state, same cache):
+    /// lets `STATS` read the lock-free counters without touching the
+    /// catalog lock at all.
+    engine: Engine,
+}
+
+impl ServerState {
+    /// Wrap a database for serving. The engine handle is cloned out
+    /// first so statistics bypass the catalog lock.
+    pub fn new(db: PrefSql) -> Arc<ServerState> {
+        let engine = db.engine().clone();
+        Arc::new(ServerState {
+            db: RwLock::new(db),
+            engine,
+        })
+    }
+
+    /// Open a new session on this state.
+    pub fn session(self: &Arc<ServerState>) -> Session {
+        Session {
+            state: Arc::clone(self),
+            statements: HashMap::new(),
+            bindings: HashMap::new(),
+            last_explain: None,
+            closed: false,
+        }
+    }
+
+    /// The shared engine (same cache every session hits).
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// The shared database, for out-of-band setup in tests.
+    pub fn db(&self) -> &RwLock<PrefSql> {
+        &self.db
+    }
+}
+
+/// One client session: statement handles and bindings are scoped to it;
+/// the data and the score-matrix cache are shared with every other
+/// session via [`ServerState`].
+#[derive(Debug)]
+pub struct Session {
+    state: Arc<ServerState>,
+    statements: HashMap<String, PreparedStatement>,
+    bindings: HashMap<String, Vec<Value>>,
+    last_explain: Option<Vec<String>>,
+    closed: bool,
+}
+
+impl Session {
+    /// Parse and run one request line. Protocol errors and SQL errors
+    /// both come back as `ERR` replies; the connection stays usable.
+    pub fn handle_line(&mut self, line: &str) -> Reply {
+        match Command::parse(line) {
+            Ok(cmd) => self.handle(cmd),
+            Err(e) => Reply::err(e),
+        }
+    }
+
+    /// Run one parsed command.
+    pub fn handle(&mut self, cmd: Command) -> Reply {
+        match cmd {
+            Command::Exec(sql) => {
+                let result = self.state.db.read().execute(&sql);
+                self.reply_result(result)
+            }
+            Command::Prepare(name, sql) => match self.state.db.read().prepare(&sql) {
+                Ok(stmt) => {
+                    let params = stmt.param_count();
+                    self.bindings.remove(&name);
+                    self.statements.insert(name.clone(), stmt);
+                    Reply::ok(format!("prepared {name} ({params} param(s))"))
+                }
+                Err(e) => Reply::err(e),
+            },
+            Command::Bind(name, values) => {
+                if !self.statements.contains_key(&name) {
+                    return Reply::err(format!("no prepared statement `{name}`"));
+                }
+                let n = values.len();
+                self.bindings.insert(name.clone(), values);
+                Reply::ok(format!("bound {name} ({n} value(s))"))
+            }
+            Command::Execute(name, inline) => {
+                if !self.statements.contains_key(&name) {
+                    return Reply::err(format!("no prepared statement `{name}`"));
+                }
+                // Inline values become the staged binding, so a
+                // follow-up bare EXECUTE repeats them — the refinement
+                // loop a shopping session runs.
+                if let Some(values) = inline {
+                    self.bindings.insert(name.clone(), values);
+                }
+                let params = self.bindings.get(&name).cloned().unwrap_or_default();
+                let stmt = &self.statements[&name];
+                let result = stmt.execute(&self.state.db.read(), &params);
+                self.reply_result(result)
+            }
+            Command::Explain => match &self.last_explain {
+                Some(lines) => Reply::ok("explain").with_body(lines.clone()),
+                None => Reply::err("no statement has executed in this session yet"),
+            },
+            Command::Append(table, values) => {
+                match self.state.db.write().append_row(&table, values) {
+                    Ok(()) => Reply::ok(format!("appended to {table}")),
+                    Err(e) => Reply::err(e),
+                }
+            }
+            Command::Stats => {
+                let s = self.state.engine.cache_stats();
+                Reply::ok("stats").with_body(vec![format!(
+                    "hits={} derived_hits={} window_hits={} shard_hits={} misses={} entries={}",
+                    s.hits, s.derived_hits, s.window_hits, s.shard_hits, s.misses, s.entries
+                )])
+            }
+            Command::Tables => {
+                let db = self.state.db.read();
+                let names: Vec<String> = db
+                    .catalog()
+                    .table_names()
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect();
+                Reply::ok(format!("{} table(s)", names.len())).with_body(names)
+            }
+            Command::Ping => Reply::ok("pong"),
+            Command::Quit => {
+                self.closed = true;
+                Reply::ok("bye")
+            }
+        }
+    }
+
+    /// Has the client said QUIT?
+    pub fn closed(&self) -> bool {
+        self.closed
+    }
+
+    /// The shared state this session runs on.
+    pub fn state(&self) -> &Arc<ServerState> {
+        &self.state
+    }
+
+    /// Render a query result (or error) as a reply, recording the
+    /// EXPLAIN lines for the next `EXPLAIN` request. The body is the
+    /// relation's own display — header plus one line per tuple — so
+    /// replies are comparable byte-for-byte across sessions.
+    fn reply_result(&mut self, result: Result<QueryResult, pref_sql::SqlError>) -> Reply {
+        match result {
+            Ok(res) => {
+                self.last_explain = Some(match &res.explain {
+                    Some(ex) => ex.to_string().lines().map(String::from).collect(),
+                    None => vec!["exact-match statement (no BMO stage)".to_string()],
+                });
+                let body: Vec<String> =
+                    res.relation.to_string().lines().map(String::from).collect();
+                Reply::ok(format!("{} row(s)", res.relation.len())).with_body(body)
+            }
+            Err(e) => Reply::err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pref_relation::rel;
+
+    fn state() -> Arc<ServerState> {
+        let mut db = PrefSql::new();
+        db.register(
+            "car",
+            rel! {
+                ("make": Str, "price": Int, "mileage": Int);
+                ("Opel", 38_000, 20_000), ("BMW", 45_000, 10_000),
+                ("Opel", 44_000, 60_000),
+            },
+        );
+        ServerState::new(db)
+    }
+
+    #[test]
+    fn exec_returns_relation_lines() {
+        let mut s = state().session();
+        let r = s.handle_line("EXEC SELECT * FROM car PREFERRING LOWEST(price)");
+        assert_eq!(r.status, "OK 1 row(s)");
+        assert_eq!(r.body.len(), 2, "schema header + one tuple: {:?}", r.body);
+        assert!(r.body[1].contains("38000"));
+    }
+
+    #[test]
+    fn prepare_bind_execute_lifecycle() {
+        let mut s = state().session();
+        assert!(s
+            .handle_line(
+                "PREPARE best SELECT * FROM car WHERE price <= $1 PREFERRING LOWEST(mileage)"
+            )
+            .is_ok());
+        // EXECUTE with inline params stages them…
+        let r = s.handle_line("EXECUTE best\t50000");
+        assert_eq!(r.status, "OK 1 row(s)");
+        assert!(r.body[1].contains("BMW"));
+        // …so a bare EXECUTE repeats the binding.
+        let again = s.handle_line("EXECUTE best");
+        assert_eq!(again, r);
+        // BIND replaces it.
+        assert!(s.handle_line("BIND best\t40000").is_ok());
+        let cheap = s.handle_line("EXECUTE best");
+        assert_eq!(cheap.status, "OK 1 row(s)");
+        assert!(cheap.body[1].contains("Opel"));
+        // Handles are session-scoped.
+        let mut other = s.state().session();
+        assert!(!other.handle_line("EXECUTE best").is_ok());
+    }
+
+    #[test]
+    fn explain_reports_last_execution() {
+        let mut s = state().session();
+        assert!(!s.handle_line("EXPLAIN").is_ok(), "nothing has run yet");
+        let sql = "EXEC SELECT * FROM car PREFERRING price AROUND 40000 AND LOWEST(mileage)";
+        s.handle_line(sql);
+        s.handle_line(sql);
+        let r = s.handle_line("EXPLAIN");
+        assert!(r.is_ok());
+        let cache_line = r
+            .body
+            .iter()
+            .find(|l| l.starts_with("cache"))
+            .expect("explain has a cache line");
+        assert!(
+            cache_line.contains("hit"),
+            "second run is warm: {cache_line}"
+        );
+        assert!(cache_line.contains("shard"), "shard must be reported");
+    }
+
+    #[test]
+    fn append_mutates_in_place_and_errors_surface() {
+        let mut s = state().session();
+        assert!(s.handle_line("APPEND car\t'VW'\t30000\t5000").is_ok());
+        let r = s.handle_line("EXEC SELECT * FROM car PREFERRING LOWEST(price)");
+        assert!(r.body[1].contains("VW"));
+        assert!(!s.handle_line("APPEND nope\t1").is_ok());
+        assert!(!s.handle_line("APPEND car\t'too'\t'few'").is_ok());
+        assert!(!s.handle_line("EXEC SELECT * FROM nope").is_ok());
+        assert!(!s.handle_line("NONSENSE").is_ok());
+    }
+
+    #[test]
+    fn stats_and_tables_and_quit() {
+        let mut s = state().session();
+        let sql = "EXEC SELECT * FROM car PREFERRING price AROUND 40000 AND LOWEST(mileage)";
+        s.handle_line(sql);
+        s.handle_line(sql);
+        let stats = s.handle_line("STATS");
+        assert!(stats.body[0].contains("hits=1"), "{:?}", stats.body);
+        assert!(stats.body[0].contains("misses=1"));
+        let tables = s.handle_line("TABLES");
+        assert_eq!(tables.body, vec!["car".to_string()]);
+        assert!(s.handle_line("PING").is_ok());
+        assert!(!s.closed());
+        assert!(s.handle_line("QUIT").is_ok());
+        assert!(s.closed());
+    }
+}

@@ -1,0 +1,156 @@
+//! End-to-end smoke test over real sockets: spawn the TCP server on an
+//! ephemeral port, drive a short mixed workload from several client
+//! connections, and assert zero errors plus at least one warm hit from
+//! *every* cache tier (exact, derived, window, shard) — the sequence CI
+//! runs on every push.
+
+use std::sync::Arc;
+
+use pref_server::{Client, Server, ServerState};
+use pref_sql::PrefSql;
+use pref_workload::cars;
+
+fn start_server() -> Server {
+    let mut db = PrefSql::new();
+    db.register("car", cars::catalog(300, 11));
+    let state: Arc<ServerState> = ServerState::new(db);
+    Server::bind(state, "127.0.0.1:0").expect("bind ephemeral port")
+}
+
+/// Send a request and require an OK reply.
+fn ok(client: &mut Client, line: &str) -> Vec<String> {
+    let reply = client.request(line).expect("request round-trips");
+    assert!(reply.is_ok(), "{line}\n  -> {}", reply.status);
+    reply.body
+}
+
+#[test]
+fn tcp_mixed_workload_zero_errors_and_every_tier_warms() {
+    let server = start_server();
+    let addr = server.local_addr();
+    let mut a = Client::connect(addr).expect("client A connects");
+    let mut b = Client::connect(addr).expect("client B connects");
+
+    const PREF: &str = "PREFERRING price AROUND 9000 AND LOWEST(mileage)";
+
+    // 1. A WHERE statement: first sighting builds (miss)…
+    ok(
+        &mut a,
+        &format!("EXEC SELECT * FROM car WHERE make = 'VW' {PREF}"),
+    );
+    // 2. …and its repeat — from the *other* client — resolves through
+    //    the derived-lineage tier: the matrix A built serves B.
+    ok(
+        &mut b,
+        &format!("EXEC SELECT * FROM car WHERE make = 'VW' {PREF}"),
+    );
+    // 3. A no-WHERE statement warms the whole-table matrix…
+    ok(&mut a, &format!("EXEC SELECT * FROM car {PREF}"));
+    // 4. …so a never-seen WHERE windows onto it warm…
+    ok(
+        &mut b,
+        &format!("EXEC SELECT * FROM car WHERE price <= 15000 {PREF}"),
+    );
+    // 5. …and the no-WHERE repeat is an exact hit.
+    ok(&mut b, &format!("EXEC SELECT * FROM car {PREF}"));
+    // 6. Append a row in place: the table mutates, the delta survives…
+    ok(
+        &mut a,
+        "APPEND car\t'VW'\t'compact'\t'red'\t'manual'\t8800\t75\t9000\t2000\t350\t38\t3",
+    );
+    // 7. …so the next whole-table execution rebuilds only the tail
+    //    shard (shard hit), not the whole matrix.
+    ok(&mut a, &format!("EXEC SELECT * FROM car {PREF}"));
+
+    // Prepared statements over the wire, for good measure.
+    ok(
+        &mut b,
+        &format!("PREPARE caps SELECT * FROM car WHERE price <= $1 {PREF}"),
+    );
+    ok(&mut b, "EXECUTE caps\t12000");
+    ok(&mut b, "EXECUTE caps\t10000");
+    let explain = ok(&mut b, "EXPLAIN");
+    let cache_line = explain
+        .iter()
+        .find(|l| l.starts_with("cache"))
+        .expect("EXPLAIN reports the cache line");
+    assert!(
+        cache_line.contains("shard") && cache_line.contains("tier"),
+        "EXPLAIN must name the serving shard and lock tier: {cache_line}"
+    );
+
+    // Every tier served at least once, and nothing errored.
+    let stats = ok(&mut a, "STATS").join("\n");
+    let field = |name: &str| -> u64 {
+        stats
+            .split_whitespace()
+            .find_map(|kv| kv.strip_prefix(&format!("{name}=")))
+            .unwrap_or_else(|| panic!("missing {name} in {stats}"))
+            .parse()
+            .expect("numeric stat")
+    };
+    assert!(field("hits") >= 1, "exact tier: {stats}");
+    assert!(field("derived_hits") >= 1, "derived tier: {stats}");
+    assert!(field("window_hits") >= 1, "window tier: {stats}");
+    assert!(field("shard_hits") >= 1, "shard tier: {stats}");
+    assert!(field("misses") >= 1, "cold builds happened: {stats}");
+
+    // Clean lifecycle: explicit QUIT, then server shutdown.
+    assert!(a.request("QUIT").expect("quit").is_ok());
+    assert!(b.request("QUIT").expect("quit").is_ok());
+    server.shutdown();
+}
+
+#[test]
+fn tcp_errors_are_replies_not_disconnects() {
+    let server = start_server();
+    let mut c = Client::connect(server.local_addr()).expect("connects");
+
+    for bad in [
+        "EXEC SELECT * FROM nope",
+        "EXECUTE ghost",
+        "FROB twiddle",
+        "APPEND car\t'too'\t'few'",
+    ] {
+        let reply = c.request(bad).expect("error still replies");
+        assert!(!reply.is_ok(), "{bad} should ERR");
+        assert!(reply.status.starts_with("ERR "), "{}", reply.status);
+    }
+    // The connection survived all of it.
+    assert!(c.request("PING").expect("ping").is_ok());
+    server.shutdown();
+}
+
+#[test]
+fn concurrent_tcp_clients_agree() {
+    let server = start_server();
+    let addr = server.local_addr();
+    let sql = "EXEC SELECT * FROM car WHERE category = 'sedan' \
+               PREFERRING price AROUND 8000 AND HIGHEST(year)";
+
+    let replies: Vec<String> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut c = Client::connect(addr).expect("connects");
+                    let mut out = String::new();
+                    for _ in 0..5 {
+                        let reply = c.request(sql).expect("round-trips");
+                        assert!(reply.is_ok(), "{}", reply.status);
+                        out.push_str(&reply.frame());
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    assert!(
+        replies.windows(2).all(|w| w[0] == w[1]),
+        "clients saw different answers to the same statement"
+    );
+    server.shutdown();
+}

@@ -10,11 +10,14 @@
 //! * [`trips`] — travel offers for the `BUT ONLY` Preference SQL example;
 //! * [`querylog`] — random customer preference queries reproducing the
 //!   \[KFH01\] result-size benchmark;
+//! * [`sessions`] — multi-user Preference SQL refinement chains plus
+//!   open-loop (Poisson) arrival schedules, the query-server workload;
 //! * [`paper`] — the exact literal datasets of Examples 1–11.
 
 pub mod cars;
 pub mod paper;
 pub mod querylog;
+pub mod sessions;
 pub mod synthetic;
 pub mod trips;
 

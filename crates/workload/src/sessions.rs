@@ -1,0 +1,263 @@
+//! Multi-user Preference SQL *session* scripts — the interactive
+//! e-shopping traffic the paper's client/server deployment serves.
+//!
+//! A session is a refinement chain, not a bag of independent queries: a
+//! shopper anchors on a preference (often one of a handful of popular
+//! search-mask combinations), then narrows step by step — tightening the
+//! price cap, lingering on a result page, occasionally wandering to a
+//! fresh query. That shape is exactly what the engine's warm tiers are
+//! built for: the anchor warms the whole-table matrix, every tightened
+//! cap is a never-seen predicate that *windows* onto it, a lingering
+//! repeat resolves via lineage, and only wandering builds cold.
+//!
+//! Statements are plain Preference SQL strings over the
+//! [`cars`](crate::cars) catalog (table `car`), so they can be replayed
+//! through an in-process `PrefSql` session or piped verbatim to the
+//! query server's `EXEC`.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// One client's statement chain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionScript {
+    /// Preference SQL statements, in session order.
+    pub statements: Vec<String>,
+}
+
+const COLORS: &[&str] = &[
+    "black", "silver", "gray", "white", "blue", "red", "green", "yellow",
+];
+const MAKES: &[&str] = &["VW", "Opel", "Ford", "BMW", "Mercedes", "Audi", "Toyota"];
+const CATEGORIES: &[&str] = &[
+    "sedan",
+    "compact",
+    "station wagon",
+    "van",
+    "suv",
+    "cabriolet",
+    "roadster",
+];
+
+fn pick<'a>(rng: &mut StdRng, xs: &'a [&'a str]) -> &'a str {
+    xs[rng.random_range(0..xs.len())]
+}
+
+/// One base preference as SQL, with the attribute it constrains (the
+/// same search-mask templates as [`crate::querylog::query_log`], in
+/// Preference SQL surface syntax).
+fn base_preference_sql(rng: &mut StdRng) -> (&'static str, String) {
+    match rng.random_range(0..10) {
+        0 => ("color", format!("color IN ('{}')", pick(rng, COLORS))),
+        1 => ("color", format!("color NOT IN ('{}')", pick(rng, COLORS))),
+        2 => (
+            "make",
+            format!("make IN ('{}', '{}')", pick(rng, MAKES), pick(rng, MAKES)),
+        ),
+        3 => {
+            let a = rng.random_range(0..CATEGORIES.len());
+            let b = (a + 1 + rng.random_range(0..CATEGORIES.len() - 1)) % CATEGORIES.len();
+            (
+                "category",
+                format!(
+                    "category = '{}' ELSE category = '{}'",
+                    CATEGORIES[a], CATEGORIES[b]
+                ),
+            )
+        }
+        4 => (
+            "price",
+            format!("price AROUND {}", rng.random_range(3..30) * 1_000),
+        ),
+        5 => {
+            let lo = rng.random_range(2..15) * 1_000;
+            let hi = lo + rng.random_range(1..=4) * 500;
+            ("price", format!("price BETWEEN {lo} AND {hi}"))
+        }
+        6 => (
+            "horsepower",
+            format!("horsepower AROUND {}", rng.random_range(6..22) * 10),
+        ),
+        7 => ("mileage", "LOWEST(mileage)".to_string()),
+        8 => ("price", "LOWEST(price)".to_string()),
+        _ => ("year", "HIGHEST(year)".to_string()),
+    }
+}
+
+/// A full PREFERRING clause body: a Pareto accumulation of 2–4 base
+/// preferences over distinct attributes, 30% of the time prioritised
+/// behind a must-have (`PRIOR TO`), like `CASCADE` chains in the paper.
+fn preference_sql(rng: &mut StdRng) -> String {
+    let width = rng.random_range(2..=4);
+    let mut attrs: Vec<&str> = Vec::with_capacity(width);
+    let mut parts: Vec<String> = Vec::with_capacity(width);
+    for _ in 0..width {
+        let (attr, sql) = base_preference_sql(rng);
+        if !attrs.contains(&attr) {
+            attrs.push(attr);
+            parts.push(sql);
+        }
+    }
+    let pareto = parts.join(" AND ");
+    if rng.random_range(0.0..1.0) < 0.3 {
+        format!("transmission = 'automatic' PRIOR TO ({pareto})")
+    } else {
+        pareto
+    }
+}
+
+/// A search-mask WHERE clause: customers almost always fix a make or a
+/// category and usually cap the price (the [`crate::querylog`]
+/// narrowing, as SQL).
+fn narrowing_sql(rng: &mut StdRng) -> String {
+    let mut out = if rng.random_range(0.0..1.0) < 0.6 {
+        format!("WHERE make = '{}'", pick(rng, MAKES))
+    } else {
+        format!("WHERE category = '{}'", pick(rng, CATEGORIES))
+    };
+    if rng.random_range(0.0..1.0) < 0.7 {
+        out.push_str(&format!(
+            " AND price <= {}",
+            rng.random_range(6..30) * 1_000
+        ));
+    }
+    out
+}
+
+/// `n` independent customer statements (hard narrowing + preference) —
+/// the \[KFH01\]-shaped query log as Preference SQL, for replay through
+/// the server.
+pub fn sql_customer_log(n: usize, seed: u64) -> Vec<String> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let narrowing = narrowing_sql(&mut rng);
+            let pref = preference_sql(&mut rng);
+            format!("SELECT * FROM car {narrowing} PREFERRING {pref}")
+        })
+        .collect()
+}
+
+/// `sessions` refinement chains of `steps` statements each. Sessions
+/// draw their anchor preference from a small shared pool (popular
+/// search-mask combinations recur across clients, so one session's warm
+/// matrix serves another's), then mostly *tighten* — fresh price caps
+/// over the anchored preference — with occasional lingering repeats and
+/// rare wanders to brand-new queries.
+pub fn session_scripts(sessions: usize, steps: usize, seed: u64) -> Vec<SessionScript> {
+    let mut pool_rng = StdRng::seed_from_u64(seed ^ 0x5e55_10a5);
+    let pool: Vec<String> = (0..8).map(|_| preference_sql(&mut pool_rng)).collect();
+    (0..sessions as u64)
+        .map(|i| {
+            let mut rng = StdRng::seed_from_u64(seed.wrapping_add(i.wrapping_mul(0x9e37_79b9)));
+            let pref = &pool[rng.random_range(0..pool.len())];
+            let mut statements = vec![format!("SELECT * FROM car PREFERRING {pref}")];
+            let mut cap = rng.random_range(18i64..40) * 1_000;
+            for _ in 1..steps {
+                let roll = rng.random_range(0.0..1.0);
+                if roll < 0.2 {
+                    // Linger: re-run the last statement (a warm repeat).
+                    let last = statements.last().expect("chain starts non-empty").clone();
+                    statements.push(last);
+                } else if roll < 0.85 {
+                    // Refine: tighten the cap — a never-seen predicate
+                    // over the anchored (warmed) preference.
+                    cap = (cap * i64::from(rng.random_range(70..95u32)) / 100).max(2_000);
+                    statements.push(format!(
+                        "SELECT * FROM car WHERE price <= {cap} PREFERRING {pref}"
+                    ));
+                } else {
+                    // Wander: a brand-new customer query.
+                    let narrowing = narrowing_sql(&mut rng);
+                    let fresh = preference_sql(&mut rng);
+                    statements.push(format!("SELECT * FROM car {narrowing} PREFERRING {fresh}"));
+                }
+            }
+            SessionScript { statements }
+        })
+        .collect()
+}
+
+/// Open-loop arrival offsets (nanoseconds from start) for `n` events at
+/// `rate_per_sec`: exponential inter-arrivals, i.e. a Poisson process —
+/// the independent-clients model, bursts included. Deterministic per
+/// seed.
+pub fn poisson_arrivals(n: usize, rate_per_sec: f64, seed: u64) -> Vec<u64> {
+    assert!(rate_per_sec > 0.0, "arrival rate must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = 0.0f64;
+    (0..n)
+        .map(|_| {
+            let u: f64 = rng.random_range(0.0..1.0);
+            // Inverse-CDF sampling; 1-u is in (0, 1] so ln is finite.
+            t += -(1.0 - u).ln() / rate_per_sec;
+            (t * 1e9) as u64
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pref_sql::{parse, PrefSql};
+
+    #[test]
+    fn scripts_are_deterministic_and_sized() {
+        let a = session_scripts(6, 10, 42);
+        let b = session_scripts(6, 10, 42);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 6);
+        assert!(a.iter().all(|s| s.statements.len() == 10));
+        // Different seeds actually vary.
+        assert_ne!(a, session_scripts(6, 10, 43));
+    }
+
+    #[test]
+    fn every_generated_statement_parses() {
+        for script in session_scripts(12, 12, 7) {
+            for sql in &script.statements {
+                parse(sql).unwrap_or_else(|e| panic!("{sql}: {e}"));
+            }
+        }
+        for sql in sql_customer_log(50, 3) {
+            parse(&sql).unwrap_or_else(|e| panic!("{sql}: {e}"));
+        }
+    }
+
+    #[test]
+    fn refinement_chains_run_warm() {
+        let mut db = PrefSql::new();
+        db.register("car", crate::cars::catalog(600, 2));
+        for script in session_scripts(4, 8, 11) {
+            for sql in &script.statements {
+                db.execute(sql).unwrap_or_else(|e| panic!("{sql}: {e}"));
+            }
+        }
+        let stats = db.engine().cache_stats();
+        // The chains are refinement-shaped: tightened caps must resolve
+        // through the window tier, and warm executions must dominate
+        // cold builds across the run.
+        assert!(stats.window_hits > 0, "no window hits: {stats:?}");
+        assert!(
+            stats.hits > stats.misses,
+            "refinement traffic should be warm-dominated: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn poisson_arrivals_are_monotone_and_rate_shaped() {
+        let arrivals = poisson_arrivals(2_000, 500.0, 9);
+        assert!(arrivals.windows(2).all(|w| w[0] <= w[1]));
+        // Mean inter-arrival ≈ 2ms at 500/s; allow generous slack.
+        let total_s = *arrivals.last().unwrap() as f64 / 1e9;
+        let achieved = arrivals.len() as f64 / total_s;
+        assert!(
+            (achieved - 500.0).abs() < 75.0,
+            "achieved arrival rate {achieved:.0}/s, wanted ~500/s"
+        );
+        assert_eq!(
+            poisson_arrivals(10, 500.0, 9),
+            poisson_arrivals(10, 500.0, 9)
+        );
+    }
+}

@@ -14,6 +14,7 @@
 //! | [`query`] | BMO evaluation: algorithms, decomposition, optimizer |
 //! | [`prefsql`] | Preference SQL (`PREFERRING … CASCADE … BUT ONLY`) |
 //! | [`prefxpath`] | Preference XPath (`#[ … ]#` soft selections) |
+//! | [`server`] | concurrent query service (TCP + in-process sessions) |
 //! | [`workload`] | seeded data generators + the paper's literal examples |
 //!
 //! ## Quickstart
@@ -38,6 +39,7 @@
 pub use pref_core as core;
 pub use pref_query as query;
 pub use pref_relation as relation;
+pub use pref_server as server;
 pub use pref_sql as prefsql;
 pub use pref_workload as workload;
 pub use pref_xpath as prefxpath;
