@@ -37,6 +37,7 @@ const WINDOW_PREDICATES: i64 = 8;
 static FRESH_PREDICATE: AtomicU64 = AtomicU64::new(1);
 
 fn fresh_candidates(catalog: &Relation, price_col: usize, threshold: i64) -> Relation {
+    // Relaxed: only uniqueness of the nonce matters.
     let nonce = FRESH_PREDICATE.fetch_add(1, Ordering::Relaxed);
     catalog.select_derived(
         move |t| t[price_col] <= Value::from(threshold),

@@ -123,7 +123,15 @@ fn main() {
             .unwrap_or_else(|e| fail(&format!("cannot write {path}: {e}")));
     }
     if report.errors > 0 {
-        eprintln!("loadgen: {} request(s) failed", report.errors);
+        // Print what actually failed, not just how many: the first few
+        // `statement -> server reply` pairs, verbatim.
+        eprintln!(
+            "loadgen: {} request(s) failed; first failures:",
+            report.errors
+        );
+        for sample in &report.error_samples {
+            eprintln!("loadgen:   {sample}");
+        }
         std::process::exit(1);
     }
 }

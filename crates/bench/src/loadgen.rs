@@ -56,7 +56,14 @@ pub struct LoadReport {
     pub p95_us: f64,
     pub p99_us: f64,
     pub max_us: f64,
+    /// The first few failing requests, as `"statement -> error"` — so a
+    /// non-zero error count is diagnosable from the report alone (CI
+    /// can print *what* failed, not just how many).
+    pub error_samples: Vec<String>,
 }
+
+/// How many failing requests a report keeps verbatim.
+const ERROR_SAMPLE_CAP: usize = 5;
 
 impl LoadReport {
     /// Render as a JSON object (no external serializer offline).
@@ -115,8 +122,11 @@ where
     let workers: Vec<F> = (0..cfg.workers).map(|_| make_worker()).collect();
 
     let start = Instant::now();
-    // (latency_ns, ok) per request, merged across workers afterwards.
+    // (latency_ns, ok) per request, merged across workers afterwards;
+    // error texts are sampled separately (first few per worker) so the
+    // happy path never allocates.
     let mut samples: Vec<(u64, bool)> = Vec::with_capacity(schedule.len());
+    let mut error_samples: Vec<String> = Vec::new();
     std::thread::scope(|scope| {
         let handles: Vec<_> = workers
             .into_iter()
@@ -125,29 +135,43 @@ where
                 let schedule = &schedule;
                 scope.spawn(move || {
                     let mut local: Vec<(u64, bool)> = Vec::new();
+                    let mut local_errors: Vec<String> = Vec::new();
                     loop {
+                        // Relaxed: the ticket counter only needs atomic
+                        // uniqueness; the schedule slice is immutable.
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         let Some(&due_ns) = schedule.get(i) else {
-                            return local;
+                            return (local, local_errors);
                         };
                         let due = Duration::from_nanos(due_ns);
                         let now = start.elapsed();
                         if due > now {
                             std::thread::sleep(due - now);
                         }
-                        let ok = exec(&statements[i % statements.len()]).is_ok();
+                        let stmt = &statements[i % statements.len()];
+                        let result = exec(stmt);
+                        if let Err(e) = &result {
+                            if local_errors.len() < ERROR_SAMPLE_CAP {
+                                local_errors.push(format!("{stmt} -> {e}"));
+                            }
+                        }
                         // Latency from the *scheduled* arrival: waiting
                         // for a free worker counts against the server.
                         let lat = start.elapsed().saturating_sub(due);
-                        local.push((lat.as_nanos() as u64, ok));
+                        local.push((lat.as_nanos() as u64, result.is_ok()));
                     }
                 })
             })
             .collect();
         for h in handles {
-            samples.extend(h.join().expect("load worker panicked"));
+            let (local, local_errors) = h.join().expect("load worker panicked");
+            samples.extend(local);
+            if error_samples.len() < ERROR_SAMPLE_CAP {
+                error_samples.extend(local_errors);
+            }
         }
     });
+    error_samples.truncate(ERROR_SAMPLE_CAP);
     let duration_s = start.elapsed().as_secs_f64();
 
     let errors = samples.iter().filter(|(_, ok)| !ok).count();
@@ -176,6 +200,7 @@ where
         p95_us: pct(0.95),
         p99_us: pct(0.99),
         max_us: pct(1.0),
+        error_samples,
     }
 }
 
@@ -217,6 +242,7 @@ mod tests {
         let statements = vec!["a".to_string(), "b".to_string()];
         let report = run(&cfg, &statements, || {
             |sql: &str| {
+                // Relaxed: test-only call counter, read after join.
                 executed.fetch_add(1, Ordering::Relaxed);
                 if sql == "a" || sql == "b" {
                     Ok(())
@@ -226,6 +252,7 @@ mod tests {
             }
         });
         assert_eq!(report.requests, 400);
+        // Relaxed: the scope join above already ordered all increments.
         assert_eq!(executed.load(Ordering::Relaxed), 400);
         assert_eq!(report.errors, 0);
         assert!(report.achieved_rps > 0.0);
@@ -258,6 +285,13 @@ mod tests {
         });
         assert_eq!(report.requests, 100);
         assert_eq!(report.errors, 50);
+        assert!(!report.error_samples.is_empty(), "failures are sampled");
+        assert!(report.error_samples.len() <= 5, "sampling is capped");
+        assert!(
+            report.error_samples.iter().all(|s| s == "fail -> nope"),
+            "{:?}",
+            report.error_samples
+        );
     }
 
     #[test]

@@ -1,0 +1,453 @@
+//! A hand-rolled, dependency-free Rust lexer — just enough fidelity for
+//! the lint rules: identifiers, numbers, punctuation, with comments,
+//! string/char literals and lifetimes recognized and set aside so rule
+//! patterns can never fire inside a string or a comment.
+//!
+//! The lexer also extracts the two side channels the rules consume:
+//! which lines carry comments (the `ordering-documented` rationale
+//! check) and every `preflint: allow(rule) — reason` suppression.
+
+use std::collections::BTreeSet;
+
+/// One lexed token kind. String/char literal *content* is deliberately
+/// dropped: no rule may match inside a literal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword.
+    Ident(String),
+    /// A single punctuation character (`::` arrives as two `:`).
+    Punct(char),
+    /// Numeric literal, verbatim (suffix and `_` separators included).
+    Num(String),
+    /// Any string, raw-string, byte-string or char literal.
+    Lit,
+    /// A lifetime such as `'a` (kept distinct from char literals).
+    Lifetime,
+}
+
+/// A token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub tok: Tok,
+    pub line: u32,
+}
+
+/// One `preflint: allow(...)` suppression comment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Allow {
+    /// Line the comment appears on.
+    pub line: u32,
+    /// The rule id inside `allow(...)`, static when known.
+    pub rule: &'static str,
+    /// The verbatim rule text (for unknown-rule reporting).
+    pub raw_rule: String,
+    /// Whether a non-trivial reason follows the `allow(...)`.
+    pub has_reason: bool,
+}
+
+/// The lexed view of one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    /// Every line that contains (part of) a comment.
+    pub comment_lines: BTreeSet<u32>,
+    /// All suppression comments, in order.
+    pub allows: Vec<Allow>,
+    /// Inclusive line ranges covered by `#[cfg(test)]` items.
+    pub test_regions: Vec<(u32, u32)>,
+}
+
+impl Lexed {
+    /// Is `line` inside a `#[cfg(test)]` region?
+    pub fn in_test_region(&self, line: u32) -> bool {
+        self.test_regions
+            .iter()
+            .any(|&(start, end)| (start..=end).contains(&line))
+    }
+
+    /// Does `line` (or one of the `above` lines directly over it) carry
+    /// a comment? The rationale-comment check for atomic orderings.
+    pub fn has_comment_near(&self, line: u32, above: u32) -> bool {
+        (line.saturating_sub(above)..=line).any(|l| self.comment_lines.contains(&l))
+    }
+}
+
+/// Lex `text` into tokens plus the comment/suppression side channels.
+pub fn lex(text: &str) -> Lexed {
+    let mut lx = Lexed::default();
+    let bytes: Vec<char> = text.chars().collect();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let n = bytes.len();
+
+    while i < n {
+        let c = bytes[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if i + 1 < n && bytes[i + 1] == '/' => {
+                let start = i;
+                while i < n && bytes[i] != '\n' {
+                    i += 1;
+                }
+                let comment: String = bytes[start..i].iter().collect();
+                lx.comment_lines.insert(line);
+                // Doc comments (`///`, `//!`) never carry directives —
+                // they document the suppression syntax without using it.
+                if !comment.starts_with("///") && !comment.starts_with("//!") {
+                    parse_allow(&comment, line, &mut lx.allows);
+                }
+            }
+            '/' if i + 1 < n && bytes[i + 1] == '*' => {
+                // Block comment; Rust block comments nest.
+                lx.comment_lines.insert(line);
+                let is_doc = i + 2 < n && (bytes[i + 2] == '*' || bytes[i + 2] == '!');
+                let mut depth = 1;
+                i += 2;
+                let start = i;
+                while i < n && depth > 0 {
+                    if bytes[i] == '\n' {
+                        line += 1;
+                        lx.comment_lines.insert(line);
+                        i += 1;
+                    } else if bytes[i] == '/' && i + 1 < n && bytes[i + 1] == '*' {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == '*' && i + 1 < n && bytes[i + 1] == '/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                let comment: String = bytes[start..i.min(n)].iter().collect();
+                if !is_doc {
+                    parse_allow(&comment, line, &mut lx.allows);
+                }
+            }
+            '"' => {
+                lx.tokens.push(Token {
+                    tok: Tok::Lit,
+                    line,
+                });
+                i = skip_string(&bytes, i, &mut line);
+            }
+            'r' | 'b' if is_raw_or_byte_string(&bytes, i) => {
+                lx.tokens.push(Token {
+                    tok: Tok::Lit,
+                    line,
+                });
+                i = skip_raw_or_byte(&bytes, i, &mut line);
+            }
+            '\'' => {
+                // Lifetime (`'a`) vs char literal (`'a'`, `'\n'`).
+                let mut j = i + 1;
+                if j < n && bytes[j] == '\\' {
+                    // Escaped char literal: skip to closing quote.
+                    lx.tokens.push(Token {
+                        tok: Tok::Lit,
+                        line,
+                    });
+                    j += 2; // the backslash and the escaped char
+                    while j < n && bytes[j] != '\'' {
+                        j += 1;
+                    }
+                    i = (j + 1).min(n);
+                } else {
+                    let ident_end = ident_run(&bytes, j);
+                    if ident_end < n && bytes[ident_end] == '\'' && ident_end == j + 1 {
+                        // Exactly one char then a quote: 'x'.
+                        lx.tokens.push(Token {
+                            tok: Tok::Lit,
+                            line,
+                        });
+                        i = ident_end + 1;
+                    } else if ident_end > j {
+                        lx.tokens.push(Token {
+                            tok: Tok::Lifetime,
+                            line,
+                        });
+                        i = ident_end;
+                    } else {
+                        // Stray quote (e.g. inside a macro): treat as punct.
+                        lx.tokens.push(Token {
+                            tok: Tok::Punct('\''),
+                            line,
+                        });
+                        i += 1;
+                    }
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                i += 1;
+                while i < n && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_') {
+                    i += 1;
+                }
+                // One fractional part, but never a `..` range.
+                if i + 1 < n && bytes[i] == '.' && bytes[i + 1].is_ascii_digit() {
+                    i += 1;
+                    while i < n && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_') {
+                        i += 1;
+                    }
+                }
+                lx.tokens.push(Token {
+                    tok: Tok::Num(bytes[start..i].iter().collect()),
+                    line,
+                });
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                i = ident_run(&bytes, i);
+                lx.tokens.push(Token {
+                    tok: Tok::Ident(bytes[start..i].iter().collect()),
+                    line,
+                });
+            }
+            c => {
+                lx.tokens.push(Token {
+                    tok: Tok::Punct(c),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    lx.test_regions = find_test_regions(&lx.tokens);
+    lx
+}
+
+/// End index of the identifier run starting at `i`.
+fn ident_run(bytes: &[char], mut i: usize) -> usize {
+    while i < bytes.len() && (bytes[i].is_alphanumeric() || bytes[i] == '_') {
+        i += 1;
+    }
+    i
+}
+
+/// Is `bytes[i..]` the start of a raw/byte string (`r"`, `r#"`, `b"`,
+/// `br"`, `br#"`)? Plain identifiers starting with r/b fall through.
+fn is_raw_or_byte_string(bytes: &[char], i: usize) -> bool {
+    let n = bytes.len();
+    let mut j = i;
+    if bytes[j] == 'b' {
+        j += 1;
+        if j < n && bytes[j] == '"' {
+            return true;
+        }
+    }
+    if j < n && bytes[j] == 'r' {
+        j += 1;
+        while j < n && bytes[j] == '#' {
+            j += 1;
+        }
+        return j < n && bytes[j] == '"';
+    }
+    false
+}
+
+/// Skip a raw or byte string starting at `i`; returns the index after it.
+fn skip_raw_or_byte(bytes: &[char], mut i: usize, line: &mut u32) -> usize {
+    let n = bytes.len();
+    if bytes[i] == 'b' {
+        i += 1;
+    }
+    if i < n && bytes[i] == 'r' {
+        i += 1;
+        let mut hashes = 0;
+        while i < n && bytes[i] == '#' {
+            hashes += 1;
+            i += 1;
+        }
+        i += 1; // opening quote
+        while i < n {
+            if bytes[i] == '\n' {
+                *line += 1;
+                i += 1;
+            } else if bytes[i] == '"' {
+                let mut k = 0;
+                while k < hashes && i + 1 + k < n && bytes[i + 1 + k] == '#' {
+                    k += 1;
+                }
+                if k == hashes {
+                    return i + 1 + hashes;
+                }
+                i += 1;
+            } else {
+                i += 1;
+            }
+        }
+        n
+    } else {
+        // b"..." — an ordinary escaped string after the prefix.
+        skip_string(bytes, i, line)
+    }
+}
+
+/// Skip an escaped `"..."` string starting at the opening quote.
+fn skip_string(bytes: &[char], mut i: usize, line: &mut u32) -> usize {
+    let n = bytes.len();
+    i += 1;
+    while i < n {
+        match bytes[i] {
+            '\\' => i += 2,
+            '\n' => {
+                *line += 1;
+                i += 1;
+            }
+            '"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    n
+}
+
+/// Extract a `preflint: allow(rule) — reason` suppression from a
+/// comment's text, if present.
+fn parse_allow(comment: &str, line: u32, out: &mut Vec<Allow>) {
+    let Some(at) = comment.find("preflint:") else {
+        return;
+    };
+    let rest = comment[at + "preflint:".len()..].trim_start();
+    let Some(rest) = rest.strip_prefix("allow(") else {
+        return;
+    };
+    let Some(close) = rest.find(')') else {
+        return;
+    };
+    let raw_rule = rest[..close].trim().to_string();
+    let reason = rest[close + 1..]
+        .trim_start_matches([' ', '\t', '—', '-', ':', '–'])
+        .trim();
+    let rule = crate::ALL_RULES
+        .iter()
+        .find(|r| **r == raw_rule)
+        .copied()
+        .unwrap_or("");
+    out.push(Allow {
+        line,
+        rule,
+        raw_rule,
+        has_reason: reason.chars().count() >= 3,
+    });
+}
+
+/// Locate `#[cfg(test)]` items: the attribute, then everything up to the
+/// matching close brace of the item that follows.
+fn find_test_regions(tokens: &[Token]) -> Vec<(u32, u32)> {
+    let mut regions = Vec::new();
+    let mut i = 0;
+    while i + 6 < tokens.len() {
+        let is_cfg_test = matches!(&tokens[i].tok, Tok::Punct('#'))
+            && matches!(&tokens[i + 1].tok, Tok::Punct('['))
+            && matches!(&tokens[i + 2].tok, Tok::Ident(s) if s == "cfg")
+            && matches!(&tokens[i + 3].tok, Tok::Punct('('))
+            && matches!(&tokens[i + 4].tok, Tok::Ident(s) if s == "test")
+            && matches!(&tokens[i + 5].tok, Tok::Punct(')'))
+            && matches!(&tokens[i + 6].tok, Tok::Punct(']'));
+        if !is_cfg_test {
+            i += 1;
+            continue;
+        }
+        let start_line = tokens[i].line;
+        // Skip to the item's opening brace, then to its matching close.
+        let mut j = i + 7;
+        while j < tokens.len() && !matches!(tokens[j].tok, Tok::Punct('{')) {
+            j += 1;
+        }
+        let mut depth = 0i32;
+        while j < tokens.len() {
+            match tokens[j].tok {
+                Tok::Punct('{') => depth += 1,
+                Tok::Punct('}') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        let end_line = tokens.get(j).map_or(u32::MAX, |t| t.line);
+        regions.push((start_line, end_line));
+        i = j + 1;
+    }
+    regions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_comments_and_lifetimes_do_not_produce_idents() {
+        let lx = lex(r#"fn f<'a>(x: &'a str) { let s = "score_matrix .read()"; } // .write()"#);
+        let idents: Vec<&str> = lx
+            .tokens
+            .iter()
+            .filter_map(|t| match &t.tok {
+                Tok::Ident(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert!(!idents.contains(&"score_matrix"));
+        assert!(!idents.contains(&"read"));
+        assert!(!idents.contains(&"write"));
+        assert!(idents.contains(&"let"));
+        assert!(lx.comment_lines.contains(&1));
+        assert_eq!(
+            lx.tokens.iter().filter(|t| t.tok == Tok::Lifetime).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn raw_strings_and_char_literals_are_opaque() {
+        let src = "let a = r#\"x.read()\"#; let c = 'r'; let nl = '\\n';";
+        let lx = lex(src);
+        assert!(!lx
+            .tokens
+            .iter()
+            .any(|t| matches!(&t.tok, Tok::Ident(s) if s == "read")));
+        assert_eq!(lx.tokens.iter().filter(|t| t.tok == Tok::Lit).count(), 3);
+    }
+
+    #[test]
+    fn allow_comments_parse_rule_and_reason() {
+        let lx = lex("// preflint: allow(parking-lot-only) — the shim itself\nlet x = 1;\n// preflint: allow(seqcst-suspect)\n");
+        assert_eq!(lx.allows.len(), 2);
+        assert_eq!(lx.allows[0].rule, crate::rules::PARKING_LOT_ONLY);
+        assert!(lx.allows[0].has_reason);
+        assert!(!lx.allows[1].has_reason, "reason is mandatory");
+
+        let doc = lex("/// Example: `// preflint: allow(parking-lot-only) — why`\n//! preflint: allow(seqcst-suspect) — also a doc\nfn f() {}\n");
+        assert!(doc.allows.is_empty(), "doc comments never carry directives");
+    }
+
+    #[test]
+    fn cfg_test_regions_span_the_item() {
+        let src = "fn a() {}\n#[cfg(test)]\nmod tests {\n  fn b() { x.unwrap(); }\n}\nfn c() {}\n";
+        let lx = lex(src);
+        assert_eq!(lx.test_regions, vec![(2, 5)]);
+        assert!(lx.in_test_region(4));
+        assert!(!lx.in_test_region(6));
+    }
+
+    #[test]
+    fn numbers_lex_with_suffix_and_separators() {
+        let lx = lex("const N: usize = 32_768; let f = 0.5; let h = 0xFFusize;");
+        let nums: Vec<&str> = lx
+            .tokens
+            .iter()
+            .filter_map(|t| match &t.tok {
+                Tok::Num(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(nums, vec!["32_768", "0.5", "0xFFusize"]);
+    }
+}

@@ -1,0 +1,64 @@
+//! CLI: `cargo run -p preflint -- --check <path>`.
+//!
+//! Exits 0 on a clean tree, 1 when any diagnostic survives suppression,
+//! 2 on usage or I/O errors. Output is `file:line: error[rule]: message`
+//! per finding plus a one-line summary, so CI logs read like rustc's.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut root: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--check" => {
+                if i + 1 >= args.len() {
+                    eprintln!("preflint: --check requires a path");
+                    return usage();
+                }
+                root = Some(args[i + 1].clone());
+                i += 2;
+            }
+            "--rules" => {
+                for r in preflint::ALL_RULES {
+                    println!("{r}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => return usage(),
+            other => {
+                eprintln!("preflint: unknown argument `{other}`");
+                return usage();
+            }
+        }
+    }
+    let Some(root) = root else {
+        return usage();
+    };
+
+    match preflint::check_tree(Path::new(&root)) {
+        Ok((diags, checked)) => {
+            let clean = preflint::report(&diags, checked, &mut std::io::stdout());
+            if clean {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("preflint: cannot walk `{root}`: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: preflint --check <path>   lint every product .rs file under <path>\n\
+         \x20      preflint --rules         list known rule ids\n\
+         suppress a finding with `// preflint: allow(<rule>) — <reason>`"
+    );
+    ExitCode::from(2)
+}

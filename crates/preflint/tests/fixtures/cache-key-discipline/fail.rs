@@ -1,0 +1,3 @@
+fn keys(generation: u64, fp: u64) -> MatrixKey {
+    MatrixKey::Generation(fp, generation)
+}

@@ -1,0 +1,10 @@
+fn keys(generation: u64, pred: u64, fp: u64) -> (MatrixKey, MatrixKey) {
+    (
+        MatrixKey::Generation(generation, fp),
+        MatrixKey::Derived(generation, pred, fp),
+    )
+}
+
+fn from_compiled(generation: u64, c: &Compiled) -> MatrixKey {
+    MatrixKey::Generation(generation, c.fingerprint())
+}

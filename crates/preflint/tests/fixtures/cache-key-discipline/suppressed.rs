@@ -1,0 +1,4 @@
+fn legacy_key(generation: u64, term_hash: u64) -> MatrixKey {
+    // preflint: allow(cache-key-discipline) — fixture: term_hash IS the fingerprint, renamed
+    MatrixKey::Generation(generation, term_hash)
+}

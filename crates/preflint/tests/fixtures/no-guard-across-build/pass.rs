@@ -1,0 +1,20 @@
+fn warm_or_build(cache: &Cache, r: &Relation) -> Matrix {
+    {
+        let shard = cache.shards[0].read();
+        if let Some(m) = shard.get(r) {
+            return m;
+        }
+    }
+    // Guard scope closed: the build runs outside every lock.
+    score_matrix_with(r, 4, 256)
+}
+
+fn explicit_drop(cache: &Cache, r: &Relation) -> Matrix {
+    let shard = cache.shards[0].read();
+    let warm = shard.get(r);
+    drop(shard);
+    match warm {
+        Some(m) => m,
+        None => score_matrix_with(r, 4, 256),
+    }
+}

@@ -1,0 +1,6 @@
+fn rebuild_under_lock(cache: &Cache, r: &Relation) -> Matrix {
+    let shard = cache.shards[0].read();
+    let _ = &shard;
+    // preflint: allow(no-guard-across-build) — fixture: pretend single-threaded setup path
+    score_matrix_with(r, 1, 0)
+}

@@ -1,0 +1,8 @@
+fn handle(line: &str, sessions: &Registry) -> Reply {
+    let id: u64 = line.parse().unwrap();
+    let session = sessions.get(id).expect("session must exist");
+    if session.closed() {
+        panic!("closed session {id}");
+    }
+    session.reply()
+}

@@ -1,0 +1,19 @@
+fn handle(line: &str, sessions: &Registry) -> Reply {
+    let Ok(id) = line.parse::<u64>() else {
+        return Reply::err("bad session id");
+    };
+    match sessions.get(id) {
+        Some(session) if !session.closed() => session.reply(),
+        _ => Reply::err(format!("no live session {id}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code may panic freely; the rule only covers the product path.
+    #[test]
+    fn parses() {
+        let id: u64 = "7".parse().unwrap();
+        assert_eq!(id, 7);
+    }
+}

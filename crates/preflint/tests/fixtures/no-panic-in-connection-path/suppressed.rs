@@ -1,0 +1,7 @@
+fn handle(line: &str) -> Reply {
+    if line.len() > MAX_LINE {
+        // preflint: allow(no-panic-in-connection-path) — fixture: length was validated by the framing layer
+        unreachable!("framing layer rejects oversized lines");
+    }
+    Reply::ok("fine")
+}

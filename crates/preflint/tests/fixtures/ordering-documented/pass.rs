@@ -1,0 +1,15 @@
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn bump(c: &AtomicU64) -> u64 {
+    // Relaxed: monotone statistic, nothing is published alongside it.
+    c.fetch_add(1, Ordering::Relaxed)
+}
+
+fn publish(flag: &std::sync::atomic::AtomicBool) {
+    flag.store(true, Ordering::Release); // pairs with the Acquire load in poll()
+}
+
+fn compare(a: u32, b: u32) -> bool {
+    // `cmp::Ordering` is not an atomic ordering; no comment needed.
+    a.cmp(&b) == std::cmp::Ordering::Less
+}

@@ -1,0 +1,6 @@
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn bump(c: &AtomicU64) -> u64 {
+    // preflint: allow(ordering-documented) — fixture: rationale lives on the field doc
+    c.fetch_add(1, Ordering::Relaxed)
+}

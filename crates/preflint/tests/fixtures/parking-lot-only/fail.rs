@@ -1,0 +1,9 @@
+use std::sync::{Arc, Mutex};
+
+fn shared() -> Arc<Mutex<u64>> {
+    Arc::new(Mutex::new(0))
+}
+
+fn inline_path() -> std::sync::RwLock<u64> {
+    std::sync::RwLock::new(0)
+}

@@ -1,0 +1,17 @@
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+
+fn shared() -> Arc<Mutex<u64>> {
+    Arc::new(Mutex::new(0))
+}
+
+fn lock() -> RwLock<u64> {
+    RwLock::new(0)
+}
+
+fn counter(c: &AtomicU64) -> u64 {
+    // Relaxed: statistic only.
+    c.load(Ordering::Relaxed)
+}

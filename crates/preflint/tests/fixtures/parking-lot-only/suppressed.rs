@@ -1,0 +1,6 @@
+// preflint: allow(parking-lot-only) — fixture: interop with an std-API callback
+use std::sync::Mutex;
+
+fn shared() -> Mutex<u64> {
+    Mutex::new(0)
+}

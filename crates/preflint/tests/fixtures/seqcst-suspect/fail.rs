@@ -1,0 +1,6 @@
+use std::sync::atomic::{AtomicBool, Ordering};
+
+fn stop(flag: &AtomicBool) {
+    // Stop flag for the accept loop.
+    flag.store(true, Ordering::SeqCst)
+}

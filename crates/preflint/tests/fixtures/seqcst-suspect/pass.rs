@@ -1,0 +1,6 @@
+use std::sync::atomic::{AtomicBool, Ordering};
+
+fn stop(flag: &AtomicBool) {
+    // Release pairs with the Acquire load in the accept loop.
+    flag.store(true, Ordering::Release)
+}

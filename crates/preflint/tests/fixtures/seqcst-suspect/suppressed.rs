@@ -1,0 +1,10 @@
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+fn dekker_left(a: &AtomicBool, b: &AtomicBool) -> bool {
+    // Store-load visibility between two flags genuinely needs the
+    // total order here (Dekker-style handshake).
+    // preflint: allow(seqcst-suspect) — fixture: store-load fence required across both flags
+    a.store(true, Ordering::SeqCst);
+    // preflint: allow(seqcst-suspect) — fixture: same handshake, load side
+    !b.load(Ordering::SeqCst)
+}

@@ -1,0 +1,5 @@
+const CACHE_SHARDS: usize = 12;
+
+fn shard_of(fp: u64) -> usize {
+    (fp as usize) & (CACHE_SHARDS - 1)
+}

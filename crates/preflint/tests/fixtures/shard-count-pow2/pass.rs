@@ -1,0 +1,7 @@
+const CACHE_SHARDS: usize = 16;
+const SHARD_ROWS: usize = 32_768;
+const UNRELATED_LIMIT: usize = 12;
+
+fn shard_of(fp: u64) -> usize {
+    (fp as usize) & (CACHE_SHARDS - 1)
+}

@@ -1,0 +1,6 @@
+// preflint: allow(shard-count-pow2) — fixture: modulo addressing, not mask addressing
+const LEGACY_SHARDS: usize = 12;
+
+fn shard_of(fp: u64) -> usize {
+    (fp as usize) % LEGACY_SHARDS
+}

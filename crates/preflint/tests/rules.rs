@@ -1,0 +1,140 @@
+//! Fixture-driven self-tests: every rule must demonstrably fire on its
+//! `fail.rs` fixture, stay quiet on `pass.rs`, and be silenced by a
+//! well-formed suppression in `suppressed.rs`. A final test runs the
+//! real tree walk over this repository and requires it clean — `cargo
+//! test` therefore enforces lint-cleanliness, not just CI's dedicated
+//! preflint job.
+
+use std::path::{Path, PathBuf};
+
+use preflint::{check_source, check_tree, Diagnostic, ALL_RULES};
+
+fn fixture_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+/// Check one fixture under a display path that activates path-scoped
+/// rules (`no-panic-in-connection-path` only looks under
+/// `crates/server/src`); using it for every rule is harmless since no
+/// other rule is path-scoped.
+fn check_fixture(rule: &str, which: &str) -> Vec<Diagnostic> {
+    let path = fixture_dir().join(rule).join(which);
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing fixture {}: {e}", path.display()));
+    check_source(&format!("crates/server/src/fixtures/{rule}/{which}"), &text)
+}
+
+#[test]
+fn every_rule_has_a_complete_fixture_triple() {
+    for rule in ALL_RULES {
+        for which in ["fail.rs", "pass.rs", "suppressed.rs"] {
+            let path = fixture_dir().join(rule).join(which);
+            assert!(path.is_file(), "missing fixture {}", path.display());
+        }
+    }
+}
+
+#[test]
+fn each_rule_fires_on_its_failing_fixture() {
+    for rule in ALL_RULES {
+        let diags = check_fixture(rule, "fail.rs");
+        assert!(
+            diags.iter().any(|d| d.rule == *rule),
+            "rule `{rule}` did not fire on its fail fixture; got: {diags:?}"
+        );
+        // Diagnostics carry a real location and render rustc-style.
+        let own = diags.iter().find(|d| d.rule == *rule).unwrap();
+        assert!(own.line >= 1);
+        assert!(own.to_string().contains(&format!("error[{rule}]")), "{own}");
+    }
+}
+
+#[test]
+fn each_rule_stays_quiet_on_its_passing_fixture() {
+    for rule in ALL_RULES {
+        let diags = check_fixture(rule, "pass.rs");
+        assert!(
+            diags.iter().all(|d| d.rule != *rule),
+            "rule `{rule}` misfired on its pass fixture: {diags:?}"
+        );
+    }
+}
+
+#[test]
+fn a_reasoned_allow_comment_silences_each_rule() {
+    for rule in ALL_RULES {
+        let diags = check_fixture(rule, "suppressed.rs");
+        assert!(
+            diags.is_empty(),
+            "suppression for `{rule}` did not silence cleanly: {diags:?}"
+        );
+    }
+}
+
+#[test]
+fn suppression_without_reason_does_not_silence() {
+    // Take each fail fixture and bolt a reasonless allow onto the first
+    // diagnostic's line: the original finding must survive, joined by a
+    // missing-reason diagnostic.
+    for rule in ALL_RULES {
+        let path = fixture_dir().join(rule).join("fail.rs");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let display = format!("crates/server/src/fixtures/{rule}/fail.rs");
+        let line = check_source(&display, &text)
+            .iter()
+            .find(|d| d.rule == *rule)
+            .map(|d| d.line)
+            .unwrap() as usize;
+        let patched: String = text
+            .lines()
+            .enumerate()
+            .map(|(i, l)| {
+                if i + 1 == line {
+                    format!("{l} // preflint: allow({rule})\n")
+                } else {
+                    format!("{l}\n")
+                }
+            })
+            .collect();
+        let diags = check_source(&display, &patched);
+        assert!(
+            diags.iter().any(|d| d.rule == *rule),
+            "reasonless allow must not silence `{rule}`: {diags:?}"
+        );
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.message.contains("requires a reason")),
+            "missing-reason diagnostic absent for `{rule}`: {diags:?}"
+        );
+    }
+}
+
+#[test]
+fn the_repository_tree_is_clean() {
+    // CARGO_MANIFEST_DIR = crates/preflint → repo root is two up.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("repo root")
+        .to_path_buf();
+    assert!(
+        root.join("Cargo.toml").is_file() && root.join("ROADMAP.md").is_file(),
+        "unexpected repo layout at {}",
+        root.display()
+    );
+    let (diags, checked) = check_tree(&root).expect("tree walk");
+    assert!(
+        checked > 50,
+        "walk looks truncated: only {checked} files checked"
+    );
+    assert!(
+        diags.is_empty(),
+        "the tree must stay preflint-clean:\n{}",
+        diags
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

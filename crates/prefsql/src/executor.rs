@@ -482,7 +482,7 @@ struct CompiledStatement {
     /// Preference-binding fingerprints seen by executions of this
     /// statement — the recurrence signal gating the whole-table
     /// warm-keep when the preference side is parameterized.
-    seen_bindings: std::sync::Arc<std::sync::Mutex<std::collections::HashSet<u64>>>,
+    seen_bindings: std::sync::Arc<parking_lot::Mutex<std::collections::HashSet<u64>>>,
 }
 
 impl CompiledStatement {
@@ -491,7 +491,7 @@ impl CompiledStatement {
     /// a pathological stream of one-shot bindings resets it rather than
     /// growing without bound.
     fn recurred(&self, fingerprint: u64) -> bool {
-        let mut seen = self.seen_bindings.lock().expect("binding set lock");
+        let mut seen = self.seen_bindings.lock();
         if seen.len() > 1024 {
             seen.clear();
         }
@@ -518,7 +518,7 @@ pub struct PreparedStatement {
     /// time). Compiled at most once per schema change, then reused by
     /// every execution — the fallback used to substitute literals and
     /// re-run the AST→term rewriter on *every* call instead.
-    recompiled: std::sync::Arc<std::sync::Mutex<Option<CompiledStatement>>>,
+    recompiled: std::sync::Arc<parking_lot::Mutex<Option<CompiledStatement>>>,
 }
 
 impl PreparedStatement {
@@ -585,7 +585,7 @@ impl PreparedStatement {
         let pre: Option<&CompiledStatement> = match (&self.compiled, current) {
             (Some(c), Some(schema)) if schema.same_as(&c.schema) => Some(c),
             (_, Some(schema)) => {
-                let mut cached = self.recompiled.lock().expect("recompile cache lock");
+                let mut cached = self.recompiled.lock();
                 if !cached.as_ref().is_some_and(|c| schema.same_as(&c.schema)) {
                     *cached = db.compile_statement(&self.query);
                 }

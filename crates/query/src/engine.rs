@@ -74,6 +74,26 @@ pub(crate) fn cache_shard_of(fp: u64) -> usize {
     ((fp ^ (fp >> 32)) as usize) & (CACHE_SHARDS - 1)
 }
 
+/// `lock_diag` group name of the matrix-cache shard locks.
+///
+/// Only the cache shards are tagged — not every lock in the process —
+/// because the concurrency contract is specifically "builds run outside
+/// the *engine's cache* locks": a server session legitimately holds the
+/// catalog's read lock across a whole statement execution, matrix
+/// builds included.
+const MATRIX_CACHE_GROUP: &str = "pref-query/matrix-cache";
+
+/// Marker for the start of a matrix materialization: under
+/// `--cfg lock_diag` builds, panics if the calling thread still holds
+/// any matrix-cache shard lock — the cheapest possible proof that the
+/// expensive build really runs outside the engine's cache locks
+/// (concurrent warm hits on other terms are never blocked by a build).
+/// Compiled to nothing otherwise.
+#[inline]
+fn build_scope() {
+    parking_lot::lock_diag::assert_group_free(MATRIX_CACHE_GROUP);
+}
+
 /// Aggregate cache counters of an [`Engine`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
@@ -199,9 +219,15 @@ impl EngineInner {
                 )
                 .is_none()
             {
+                // Relaxed: `resident` is an advisory count driving the
+                // eviction loop; the shard write lock orders the map
+                // itself, and the loop re-checks under that lock.
                 self.resident.fetch_add(1, Ordering::Relaxed);
             }
         }
+        // Relaxed: transient over/undershoot only delays or repeats an
+        // eviction pass; every structural decision re-checks under the
+        // victim shard's write lock below.
         while self.resident.load(Ordering::Relaxed) > self.capacity {
             // Find the globally least-recently-used entry, one shard at
             // a time, then re-check under that shard's write lock: if
@@ -211,6 +237,8 @@ impl EngineInner {
             for (i, shard) in self.shards.iter().enumerate() {
                 let shard = shard.read();
                 for (k, e) in &shard.map {
+                    // Relaxed: a stale LRU stamp can only mis-rank the
+                    // victim; the write-locked re-check below catches it.
                     let lu = e.last_used.load(Ordering::Relaxed);
                     if victim.is_none_or(|(_, _, best)| lu < best) {
                         victim = Some((i, *k, lu));
@@ -220,8 +248,11 @@ impl EngineInner {
             let Some((i, k, lu)) = victim else { break };
             let mut shard = self.shards[i].write();
             match shard.map.get(&k) {
+                // Relaxed: this re-read runs under the shard write lock,
+                // which orders it against every touch of the entry.
                 Some(e) if e.last_used.load(Ordering::Relaxed) == lu => {
                     shard.map.remove(&k);
+                    // Relaxed: advisory count, see insert above.
                     self.resident.fetch_sub(1, Ordering::Relaxed);
                 }
                 _ => continue,
@@ -266,7 +297,15 @@ impl Engine {
             inner: Arc::new(EngineInner {
                 optimizer,
                 capacity: DEFAULT_CAPACITY,
-                shards: (0..CACHE_SHARDS).map(|_| RwLock::default()).collect(),
+                shards: (0..CACHE_SHARDS)
+                    .map(|_| {
+                        let shard: RwLock<CacheShard> = RwLock::default();
+                        // Tag for lock_diag builds: `build_scope` asserts
+                        // this group free before any materialization.
+                        shard.diag_set_group(MATRIX_CACHE_GROUP);
+                        shard
+                    })
+                    .collect(),
                 tick: AtomicU64::new(0),
                 resident: AtomicUsize::new(0),
                 hits: AtomicU64::new(0),
@@ -423,12 +462,16 @@ impl Engine {
     /// those in-flight requests, exactly like any monitoring read.
     pub fn cache_stats(&self) -> CacheStats {
         let inner = &self.inner;
+        // Relaxed: monitoring loads — each counter is individually
+        // exact, and no cross-counter ordering is promised (see above).
+        let ld = |c: &AtomicU64| c.load(Ordering::Relaxed);
         CacheStats {
-            hits: inner.hits.load(Ordering::Relaxed),
-            derived_hits: inner.derived_hits.load(Ordering::Relaxed),
-            window_hits: inner.window_hits.load(Ordering::Relaxed),
-            shard_hits: inner.shard_hits.load(Ordering::Relaxed),
-            misses: inner.misses.load(Ordering::Relaxed),
+            hits: ld(&inner.hits),
+            derived_hits: ld(&inner.derived_hits),
+            window_hits: ld(&inner.window_hits),
+            shard_hits: ld(&inner.shard_hits),
+            misses: ld(&inner.misses),
+            // Relaxed: same monitoring read, just an AtomicUsize.
             entries: inner.resident.load(Ordering::Relaxed),
         }
     }
@@ -445,6 +488,8 @@ impl Engine {
                 shard.map.clear();
                 n
             };
+            // Relaxed: advisory count (see `insert_bounded`); the shard
+            // write lock above ordered the actual map mutation.
             self.inner.resident.fetch_sub(removed, Ordering::Relaxed);
         }
     }
@@ -496,6 +541,8 @@ impl Engine {
         // resolved under the read lock but consumed outside it.
         let mut reusable: Option<(Arc<ScoreMatrix>, usize)> = None;
         if inner.capacity > 0 {
+            // Relaxed: the LRU clock only needs to be monotone, not
+            // ordered against any other memory — ties just mis-rank.
             let tick = inner.tick.fetch_add(1, Ordering::Relaxed) + 1;
             // Every probe below keys by the same term fingerprint, so the
             // whole multi-tier lookup resolves inside this one shard —
@@ -507,10 +554,14 @@ impl Engine {
                 .chain(derived.map(|k| (k, CacheStatus::DerivedHit)))
             {
                 if let Some(entry) = shard.map.get(&key) {
+                    // Relaxed throughout this arm: the LRU stamp is
+                    // advisory and the hit counters are statistics; the
+                    // matrix Arc itself is ordered by the shard lock.
                     entry.last_used.store(tick, Ordering::Relaxed);
                     let matrix = Arc::clone(&entry.matrix);
-                    inner.hits.fetch_add(1, Ordering::Relaxed);
+                    inner.hits.fetch_add(1, Ordering::Relaxed); // statistic
                     if status == CacheStatus::DerivedHit {
+                        // Relaxed: statistic, see above.
                         inner.derived_hits.fetch_add(1, Ordering::Relaxed);
                     }
                     return (Some(MatrixWindow::full(matrix)), status);
@@ -529,9 +580,12 @@ impl Engine {
                     // to out-of-range reads of someone else's matrix.
                     let rows = entry.matrix.len();
                     if ids.iter().all(|&i| (i as usize) < rows) {
+                        // Relaxed: advisory LRU stamp + statistics,
+                        // same contract as the exact-hit arm above.
                         entry.last_used.store(tick, Ordering::Relaxed);
                         let matrix = Arc::clone(&entry.matrix);
-                        inner.hits.fetch_add(1, Ordering::Relaxed);
+                        inner.hits.fetch_add(1, Ordering::Relaxed); // statistic
+                                                                    // Relaxed: statistic, see above.
                         inner.window_hits.fetch_add(1, Ordering::Relaxed);
                         return (
                             Some(MatrixWindow::windowed(matrix, Arc::clone(ids))),
@@ -550,6 +604,7 @@ impl Engine {
                     let key = MatrixKey::Generation(base_gen, fp);
                     if let Some(entry) = shard.map.get(&key) {
                         if entry.matrix.len() == base_len {
+                            // Relaxed: advisory LRU stamp, as above.
                             entry.last_used.store(tick, Ordering::Relaxed);
                             reusable = Some((Arc::clone(&entry.matrix), base_len));
                             break;
@@ -562,9 +617,11 @@ impl Engine {
         // and concurrent executions of the same query should not serialize
         // on it (a duplicate build is wasted work, never wrong results).
         if let Some((prev, prefix_len)) = reusable {
+            build_scope();
             let dirty = r.delta().map_or(&[][..], |d| d.dirty());
             if let Some(m) = c.score_matrix_incremental(r, &prev, prefix_len, dirty, threads) {
                 let m = Arc::new(m);
+                // Relaxed: statistic only.
                 inner.shard_hits.fetch_add(1, Ordering::Relaxed);
                 if populate && inner.capacity > 0 {
                     inner.insert_bounded(derived.unwrap_or(primary), &m);
@@ -572,6 +629,7 @@ impl Engine {
                 return (Some(MatrixWindow::full(m)), CacheStatus::ShardHit);
             }
         }
+        build_scope();
         match c.score_matrix_with(r, threads, opt.shard_rows) {
             None => (None, CacheStatus::Bypass),
             Some(m) => {

@@ -21,6 +21,8 @@ use crate::Result;
 static GENERATION: AtomicU64 = AtomicU64::new(1);
 
 fn next_generation() -> u64 {
+    // Relaxed: only uniqueness matters — fetch_add is atomic under any
+    // ordering, and no other memory is published alongside the id.
     GENERATION.fetch_add(1, Ordering::Relaxed)
 }
 

@@ -12,8 +12,10 @@
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
+
+use parking_lot::Mutex;
 
 use crate::session::ServerState;
 
@@ -63,7 +65,10 @@ impl Server {
     /// client's QUIT or disconnect; this call joins the ones already
     /// done and detaches from the rest.
     pub fn shutdown(mut self) {
-        self.stop.store(true, Ordering::SeqCst);
+        // Release pairs with the accept loop's Acquire load: everything
+        // written before the store is visible once the loop sees `true`.
+        // (The flag itself is the only coordination; no fence needed.)
+        self.stop.store(true, Ordering::Release);
         // The listener blocks in accept(); a throwaway connection
         // wakes it so it can observe the flag and exit.
         let _ = TcpStream::connect(self.addr);
@@ -78,7 +83,8 @@ fn accept_loop(listener: TcpListener, state: Arc<ServerState>, stop: Arc<AtomicB
     // long-lived server does not accumulate dead handles.
     let workers: Mutex<Vec<JoinHandle<()>>> = Mutex::new(Vec::new());
     for stream in listener.incoming() {
-        if stop.load(Ordering::SeqCst) {
+        // Acquire pairs with shutdown()'s Release store of the flag.
+        if stop.load(Ordering::Acquire) {
             break;
         }
         let Ok(stream) = stream else { continue };
@@ -87,12 +93,12 @@ fn accept_loop(listener: TcpListener, state: Arc<ServerState>, stop: Arc<AtomicB
             .name("pref-server-conn".to_string())
             .spawn(move || serve_connection(stream, conn_state));
         if let Ok(h) = handle {
-            let mut ws = workers.lock().expect("worker list lock");
+            let mut ws = workers.lock();
             ws.retain(|w| !w.is_finished());
             ws.push(h);
         }
     }
-    for w in workers.into_inner().expect("worker list lock") {
+    for w in workers.into_inner() {
         if w.is_finished() {
             let _ = w.join();
         }

@@ -120,7 +120,9 @@ impl Session {
                     self.bindings.insert(name.clone(), values);
                 }
                 let params = self.bindings.get(&name).cloned().unwrap_or_default();
-                let stmt = &self.statements[&name];
+                let Some(stmt) = self.statements.get(&name) else {
+                    return Reply::err(format!("no prepared statement `{name}`"));
+                };
                 let result = stmt.execute(&self.state.db.read(), &params);
                 self.reply_result(result)
             }

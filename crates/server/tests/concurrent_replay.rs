@@ -68,6 +68,16 @@ fn four_concurrent_sessions_replay_the_customer_log_byte_identically() {
         stats.hits > stats.misses,
         "shared engine should serve repeats warm: {stats:?}"
     );
+
+    // Under `--cfg lock_diag` builds, the replay above recorded every
+    // catalog/cache acquisition in the lock-order graph and asserted
+    // every matrix build started outside the cache-shard locks (a
+    // violation panics mid-run). Belt-and-braces: no cycle was recorded.
+    assert!(
+        parking_lot::lock_diag::cycle_report().is_none(),
+        "lock-order cycle during concurrent replay:\n{}",
+        parking_lot::lock_diag::cycle_report().unwrap_or_default()
+    );
 }
 
 #[test]
@@ -104,4 +114,7 @@ fn refinement_sessions_replay_identically_and_window_hit() {
         stats.window_hits > 0,
         "tightened caps should window onto warmed tables: {stats:?}"
     );
+    // See the note in the log-replay test: meaningful under
+    // `--cfg lock_diag`, trivially true otherwise.
+    assert!(parking_lot::lock_diag::cycle_report().is_none());
 }

@@ -153,4 +153,11 @@ fn concurrent_tcp_clients_agree() {
         "clients saw different answers to the same statement"
     );
     server.shutdown();
+    // Meaningful under `--cfg lock_diag` builds (the full wire path fed
+    // the lock-order graph); trivially None otherwise.
+    assert!(
+        parking_lot::lock_diag::cycle_report().is_none(),
+        "lock-order cycle during concurrent TCP traffic:\n{}",
+        parking_lot::lock_diag::cycle_report().unwrap_or_default()
+    );
 }

@@ -201,4 +201,14 @@ fn shared_engine_replay_matches_serial_and_stats_add_up() {
         stats.misses < executions / 2,
         "cache not effective under concurrency: {stats:?}"
     );
+
+    // Under `--cfg lock_diag` builds every acquisition above fed the
+    // global lock-order graph; any cycle (potential deadlock) would
+    // already have panicked mid-run, and this closes the loop in case a
+    // future detector downgrades panics to recording. No-op otherwise.
+    assert!(
+        parking_lot::lock_diag::cycle_report().is_none(),
+        "lock-order cycle under concurrent replay:\n{}",
+        parking_lot::lock_diag::cycle_report().unwrap_or_default()
+    );
 }

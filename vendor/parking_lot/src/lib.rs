@@ -6,79 +6,301 @@
 //! guards — implemented on top of `std::sync`. Poisoning is deliberately
 //! ignored (`parking_lot` has no poisoning either), so the observable
 //! behaviour matches the real crate for every use in this repo.
+//!
+//! Because every product crate locks through this shim (enforced by the
+//! `parking-lot-only` preflint rule), it is also the one choke point
+//! where lock acquisitions can be instrumented: build with
+//! `RUSTFLAGS="--cfg lock_diag"` and the [`lock_diag`] module records a
+//! thread-local held-lock set plus a global lock-order graph, panicking
+//! on potential deadlocks (lock-order cycles) and on violations of
+//! declared lock-free scopes. Without the cfg the hooks compile to
+//! nothing.
 
+pub mod lock_diag;
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::panic::Location;
+use std::sync::atomic::AtomicU64;
 use std::sync::{self, PoisonError};
+
+/// Per-lock diagnostic state: a lazily assigned id plus an optional
+/// group tag. Zero-sized burden when diagnostics are compiled out —
+/// two atomics that are never touched.
+#[derive(Debug, Default)]
+#[cfg_attr(not(lock_diag), allow(dead_code))] // atomics untouched when diagnostics are off
+struct DiagState {
+    /// Lazily assigned unique id (0 = unassigned).
+    id: AtomicU64,
+    /// Group tag as `lock_diag` group id (0 = untagged).
+    group: AtomicU64,
+}
+
+impl DiagState {
+    const fn new() -> Self {
+        DiagState {
+            id: AtomicU64::new(0),
+            group: AtomicU64::new(0),
+        }
+    }
+
+    #[cfg(lock_diag)]
+    fn before(&self, site: &'static Location<'static>) -> (u64, u64) {
+        let id = lock_diag::id_of(&self.id);
+        lock_diag::before_acquire(id, site);
+        // Relaxed: the group tag is set once at construction, before
+        // the lock is shared; reads only ever see 0 or the final value.
+        let group = self.group.load(std::sync::atomic::Ordering::Relaxed);
+        (id, group)
+    }
+
+    #[cfg(not(lock_diag))]
+    fn before(&self, _site: &'static Location<'static>) -> (u64, u64) {
+        (0, 0)
+    }
+}
+
+/// Held-lock token carried by every guard: registers the acquisition on
+/// creation, deregisters on drop. A no-op shell when `lock_diag` is off.
+#[derive(Debug)]
+struct HeldToken {
+    #[cfg(lock_diag)]
+    lock: u64,
+}
+
+impl HeldToken {
+    #[allow(unused_variables)] // every arg is unused when lock_diag is off
+    fn acquired(
+        ids: (u64, u64),
+        site: &'static Location<'static>,
+        mode: lock_diag::Mode,
+    ) -> HeldToken {
+        #[cfg(lock_diag)]
+        {
+            lock_diag::after_acquire(ids.0, ids.1, site, mode);
+            HeldToken { lock: ids.0 }
+        }
+        #[cfg(not(lock_diag))]
+        HeldToken {}
+    }
+}
+
+impl Drop for HeldToken {
+    fn drop(&mut self) {
+        #[cfg(lock_diag)]
+        lock_diag::on_release(self.lock);
+    }
+}
 
 /// A mutex whose `lock` never returns `Result` (parking_lot semantics).
 #[derive(Debug, Default)]
-pub struct Mutex<T: ?Sized>(sync::Mutex<T>);
+pub struct Mutex<T: ?Sized> {
+    diag: DiagState,
+    inner: sync::Mutex<T>,
+}
 
 /// Guard type returned by [`Mutex::lock`].
-pub type MutexGuard<'a, T> = sync::MutexGuard<'a, T>;
+#[derive(Debug)]
+pub struct MutexGuard<'a, T: ?Sized> {
+    // Fields drop in declaration order: the std guard first (releasing
+    // the lock), then the token (deregistering the hold) — so the held
+    // set never claims a lock that is already free mid-release.
+    inner: sync::MutexGuard<'a, T>,
+    _token: HeldToken,
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<T: ?Sized + fmt::Display> fmt::Display for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        (**self).fmt(f)
+    }
+}
 
 impl<T> Mutex<T> {
     /// Create a new mutex. `const` so it works in `static` items.
     pub const fn new(value: T) -> Self {
-        Mutex(sync::Mutex::new(value))
+        Mutex {
+            diag: DiagState::new(),
+            inner: sync::Mutex::new(value),
+        }
     }
 
     /// Consume the mutex, returning the inner value.
     pub fn into_inner(self) -> T {
-        self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
     }
 }
 
 impl<T: ?Sized> Mutex<T> {
+    /// Tag this lock with a diagnostic group name (see
+    /// [`lock_diag::assert_group_free`]). No-op unless built with
+    /// `--cfg lock_diag`. Call before sharing the lock across threads.
+    #[allow(unused_variables)]
+    pub fn diag_set_group(&self, name: &'static str) {
+        #[cfg(lock_diag)]
+        self.diag.group.store(
+            lock_diag::group_id(name),
+            // Relaxed: tagging happens before the lock is shared.
+            std::sync::atomic::Ordering::Relaxed,
+        );
+    }
+
     /// Acquire the lock, ignoring poisoning.
+    #[track_caller]
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        self.0.lock().unwrap_or_else(PoisonError::into_inner)
+        let site = Location::caller();
+        let ids = self.diag.before(site);
+        let inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        MutexGuard {
+            inner,
+            _token: HeldToken::acquired(ids, site, lock_diag::Mode::Exclusive),
+        }
     }
 
     /// Try to acquire the lock without blocking.
+    #[track_caller]
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
-        match self.0.try_lock() {
-            Ok(g) => Some(g),
-            Err(sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
-            Err(sync::TryLockError::WouldBlock) => None,
-        }
+        let site = Location::caller();
+        let inner = match self.inner.try_lock() {
+            Ok(g) => g,
+            Err(sync::TryLockError::Poisoned(p)) => p.into_inner(),
+            Err(sync::TryLockError::WouldBlock) => return None,
+        };
+        // A successful try_lock never blocked, so it cannot deadlock —
+        // but it still *holds*, so it still registers.
+        let ids = self.diag.before(site);
+        Some(MutexGuard {
+            inner,
+            _token: HeldToken::acquired(ids, site, lock_diag::Mode::Exclusive),
+        })
     }
 
     /// Mutable access without locking (requires exclusive borrow).
     pub fn get_mut(&mut self) -> &mut T {
-        self.0.get_mut().unwrap_or_else(PoisonError::into_inner)
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
     }
 }
 
 /// A readers–writer lock with non-`Result` guards.
 #[derive(Debug, Default)]
-pub struct RwLock<T: ?Sized>(sync::RwLock<T>);
+pub struct RwLock<T: ?Sized> {
+    diag: DiagState,
+    inner: sync::RwLock<T>,
+}
 
 /// Guard type returned by [`RwLock::read`].
-pub type RwLockReadGuard<'a, T> = sync::RwLockReadGuard<'a, T>;
+#[derive(Debug)]
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    inner: sync::RwLockReadGuard<'a, T>,
+    _token: HeldToken,
+}
+
+impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized + fmt::Display> fmt::Display for RwLockReadGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        (**self).fmt(f)
+    }
+}
+
 /// Guard type returned by [`RwLock::write`].
-pub type RwLockWriteGuard<'a, T> = sync::RwLockWriteGuard<'a, T>;
+#[derive(Debug)]
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    inner: sync::RwLockWriteGuard<'a, T>,
+    _token: HeldToken,
+}
+
+impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<T: ?Sized + fmt::Display> fmt::Display for RwLockWriteGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        (**self).fmt(f)
+    }
+}
 
 impl<T> RwLock<T> {
     /// Create a new lock. `const` so it works in `static` items.
     pub const fn new(value: T) -> Self {
-        RwLock(sync::RwLock::new(value))
+        RwLock {
+            diag: DiagState::new(),
+            inner: sync::RwLock::new(value),
+        }
     }
 
     /// Consume the lock, returning the inner value.
     pub fn into_inner(self) -> T {
-        self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
     }
 }
 
 impl<T: ?Sized> RwLock<T> {
+    /// Tag this lock with a diagnostic group name (see
+    /// [`lock_diag::assert_group_free`]). No-op unless built with
+    /// `--cfg lock_diag`. Call before sharing the lock across threads.
+    #[allow(unused_variables)]
+    pub fn diag_set_group(&self, name: &'static str) {
+        #[cfg(lock_diag)]
+        self.diag.group.store(
+            lock_diag::group_id(name),
+            // Relaxed: tagging happens before the lock is shared.
+            std::sync::atomic::Ordering::Relaxed,
+        );
+    }
+
     /// Acquire a shared read guard, ignoring poisoning.
+    #[track_caller]
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
-        self.0.read().unwrap_or_else(PoisonError::into_inner)
+        let site = Location::caller();
+        let ids = self.diag.before(site);
+        let inner = self.inner.read().unwrap_or_else(PoisonError::into_inner);
+        RwLockReadGuard {
+            inner,
+            _token: HeldToken::acquired(ids, site, lock_diag::Mode::Shared),
+        }
     }
 
     /// Acquire an exclusive write guard, ignoring poisoning.
+    #[track_caller]
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
-        self.0.write().unwrap_or_else(PoisonError::into_inner)
+        let site = Location::caller();
+        let ids = self.diag.before(site);
+        let inner = self.inner.write().unwrap_or_else(PoisonError::into_inner);
+        RwLockWriteGuard {
+            inner,
+            _token: HeldToken::acquired(ids, site, lock_diag::Mode::Exclusive),
+        }
     }
 }
 
@@ -99,5 +321,25 @@ mod tests {
         assert_eq!(*l.read(), 5);
         *l.write() = 6;
         assert_eq!(*l.read(), 6);
+    }
+
+    #[test]
+    fn try_lock_contends() {
+        let m = Mutex::new(0);
+        let g = m.lock();
+        assert!(m.try_lock().is_none());
+        drop(g);
+        assert!(m.try_lock().is_some());
+    }
+
+    #[test]
+    fn held_count_tracks_guards_when_enabled() {
+        let m = Mutex::new(0);
+        let l = RwLock::new(0);
+        let expected = if lock_diag::enabled() { 2 } else { 0 };
+        let (g1, g2) = (m.lock(), l.read());
+        assert_eq!(lock_diag::held_count(), expected);
+        drop((g1, g2));
+        assert_eq!(lock_diag::held_count(), 0);
     }
 }

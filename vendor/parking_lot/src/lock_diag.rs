@@ -1,0 +1,295 @@
+//! Instrumented lock diagnostics, compiled in with `--cfg lock_diag`.
+//!
+//! When enabled (`RUSTFLAGS="--cfg lock_diag" cargo test ...`), every
+//! acquisition through this crate's [`Mutex`](crate::Mutex) and
+//! [`RwLock`](crate::RwLock) is recorded:
+//!
+//! * a **thread-local held set** — which locks this thread currently
+//!   holds, with the source location of each acquisition
+//!   (`#[track_caller]`);
+//! * a **global lock-order graph** — an edge `A → B` whenever some
+//!   thread acquired `B` while holding `A`. Before an acquisition
+//!   blocks, the would-be edges are checked for a cycle: `A → B` on one
+//!   thread plus `B → A` on another is a *potential deadlock* even if
+//!   the run never actually wedged, and the check panics with the full
+//!   cycle (every edge's acquisition sites) instead of letting a test
+//!   hang;
+//! * optional **groups**: a lock can be tagged with a `&'static str`
+//!   group name ([`crate::RwLock::diag_set_group`]), and
+//!   [`assert_group_free`] panics if the current thread holds any lock
+//!   of that group — the engine tags its matrix-cache shards and
+//!   asserts the group free at the top of every matrix build, turning
+//!   "builds run outside the cache locks" from a doc sentence into a
+//!   test failure.
+//!
+//! Without the cfg, every function here is a no-op returning the
+//! neutral value and the guards carry a zero-sized token: the shim
+//! costs nothing in production builds.
+//!
+//! The detector over-approximates by design: a read→read inversion on
+//! two `RwLock`s cannot actually deadlock, but it is still reported —
+//! the engine's contract is a total shard-lock order, not "happens to
+//! be safe today".
+
+/// Is the instrumented build active?
+pub const fn enabled() -> bool {
+    cfg!(lock_diag)
+}
+
+/// How a lock is held (reporting only; the graph ignores the mode).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    Shared,
+    Exclusive,
+}
+
+#[cfg(lock_diag)]
+mod imp {
+    use super::Mode;
+    use std::cell::RefCell;
+    use std::collections::HashMap;
+    use std::panic::Location;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Mutex as SyncMutex;
+
+    // The diagnostics' own state is guarded by `std::sync` primitives
+    // on purpose: instrumenting the instrumentation would recurse.
+
+    /// Lazily assigned per-lock ids; 0 means "not yet assigned".
+    static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+
+    /// Registered group names; a lock stores `index + 1` (0 = no group).
+    static GROUPS: SyncMutex<Vec<&'static str>> = SyncMutex::new(Vec::new());
+
+    /// One acquisition edge `from → to` with the sites that formed it.
+    #[derive(Clone, Copy)]
+    struct Edge {
+        to: u64,
+        from_site: &'static Location<'static>,
+        to_site: &'static Location<'static>,
+    }
+
+    /// The global lock-order graph, adjacency by lock id.
+    static GRAPH: SyncMutex<Option<HashMap<u64, Vec<Edge>>>> = SyncMutex::new(None);
+
+    /// The first potential deadlock ever detected (kept for
+    /// [`cycle_report`] even though detection also panics).
+    static CYCLE: SyncMutex<Option<String>> = SyncMutex::new(None);
+
+    struct Held {
+        lock: u64,
+        group: u64,
+        site: &'static Location<'static>,
+        mode: Mode,
+    }
+
+    thread_local! {
+        static HELD: RefCell<Vec<Held>> = const { RefCell::new(Vec::new()) };
+    }
+
+    pub fn fresh_id() -> u64 {
+        // Relaxed: only uniqueness of the id matters.
+        NEXT_ID.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Lazily assign a stable id to a lock (its `AtomicU64` id cell).
+    pub fn id_of(cell: &AtomicU64) -> u64 {
+        // Acquire/Release on the CAS publish nothing beyond the id
+        // itself, but keep the id visible with one ordering everywhere.
+        let cur = cell.load(Ordering::Acquire);
+        if cur != 0 {
+            return cur;
+        }
+        let id = fresh_id();
+        match cell.compare_exchange(0, id, Ordering::AcqRel, Ordering::Acquire) {
+            Ok(_) => id,
+            Err(winner) => winner,
+        }
+    }
+
+    pub fn group_id(name: &'static str) -> u64 {
+        let mut groups = GROUPS.lock().unwrap_or_else(|p| p.into_inner());
+        if let Some(i) = groups.iter().position(|g| *g == name) {
+            return (i + 1) as u64;
+        }
+        groups.push(name);
+        groups.len() as u64
+    }
+
+    fn group_name(id: u64) -> &'static str {
+        if id == 0 {
+            return "";
+        }
+        let groups = GROUPS.lock().unwrap_or_else(|p| p.into_inner());
+        groups.get((id - 1) as usize).copied().unwrap_or("")
+    }
+
+    /// Record the would-be acquisition of `lock`, panicking if it closes
+    /// a cycle in the global lock-order graph. Called *before* the real
+    /// acquire blocks, so a potential deadlock becomes a panic (a test
+    /// failure with a report), never a hang.
+    pub fn before_acquire(lock: u64, site: &'static Location<'static>) {
+        let held: Vec<(u64, &'static Location<'static>)> = HELD.with(|h| {
+            h.borrow()
+                .iter()
+                .filter(|e| e.lock != lock)
+                .map(|e| (e.lock, e.site))
+                .collect()
+        });
+        if held.is_empty() {
+            return;
+        }
+        let mut graph = GRAPH.lock().unwrap_or_else(|p| p.into_inner());
+        let graph = graph.get_or_insert_with(HashMap::new);
+        for &(from, from_site) in &held {
+            // One edge per (from, to) pair — the first sites that formed
+            // it — so hot loops cannot grow the graph without bound.
+            let edges = graph.entry(from).or_default();
+            if !edges.iter().any(|e| e.to == lock) {
+                edges.push(Edge {
+                    to: lock,
+                    from_site,
+                    to_site: site,
+                });
+            }
+        }
+        // A cycle exists iff `lock` already reaches one of the locks we
+        // hold. Depth-first over the edge lists; graphs here are tiny
+        // (one node per distinct lock ever acquired while nested).
+        for &(from, _) in &held {
+            if let Some(path) = find_path(graph, lock, from) {
+                let mut report = format!(
+                    "lock_diag: potential deadlock — lock-order cycle closed by \
+                     acquiring lock #{lock} at {site} while holding lock #{from}:\n"
+                );
+                for (src, e) in &path {
+                    report.push_str(&format!(
+                        "  lock #{src} (held at {}) -> lock #{} (acquired at {})\n",
+                        e.from_site, e.to, e.to_site
+                    ));
+                }
+                let mut slot = CYCLE.lock().unwrap_or_else(|p| p.into_inner());
+                slot.get_or_insert_with(|| report.clone());
+                drop(slot);
+                panic!("{report}");
+            }
+        }
+    }
+
+    /// DFS: a path of `(source node, edge)` pairs from `start` to
+    /// `goal`, if one exists.
+    fn find_path(
+        graph: &HashMap<u64, Vec<Edge>>,
+        start: u64,
+        goal: u64,
+    ) -> Option<Vec<(u64, Edge)>> {
+        fn dfs(
+            graph: &HashMap<u64, Vec<Edge>>,
+            at: u64,
+            goal: u64,
+            seen: &mut Vec<u64>,
+            path: &mut Vec<(u64, Edge)>,
+        ) -> bool {
+            if at == goal {
+                return true;
+            }
+            if seen.contains(&at) {
+                return false;
+            }
+            seen.push(at);
+            if let Some(edges) = graph.get(&at) {
+                for e in edges {
+                    path.push((at, *e));
+                    if dfs(graph, e.to, goal, seen, path) {
+                        return true;
+                    }
+                    path.pop();
+                }
+            }
+            false
+        }
+        let mut seen = Vec::new();
+        let mut path = Vec::new();
+        dfs(graph, start, goal, &mut seen, &mut path).then_some(path)
+    }
+
+    pub fn after_acquire(lock: u64, group: u64, site: &'static Location<'static>, mode: Mode) {
+        HELD.with(|h| {
+            h.borrow_mut().push(Held {
+                lock,
+                group,
+                site,
+                mode,
+            })
+        });
+    }
+
+    pub fn on_release(lock: u64) {
+        HELD.with(|h| {
+            let mut h = h.borrow_mut();
+            // Guards usually drop LIFO; search from the back so nested
+            // reacquisitions of the same RwLock release correctly.
+            if let Some(i) = h.iter().rposition(|e| e.lock == lock) {
+                h.remove(i);
+            }
+        });
+    }
+
+    pub fn held_count() -> usize {
+        HELD.with(|h| h.borrow().len())
+    }
+
+    pub fn assert_group_free(name: &'static str) {
+        let offender = HELD.with(|h| {
+            h.borrow()
+                .iter()
+                .find(|e| e.group != 0 && group_name(e.group) == name)
+                .map(|e| (e.lock, e.site, e.mode))
+        });
+        if let Some((lock, site, mode)) = offender {
+            panic!(
+                "lock_diag: group `{name}` must be free here, but this thread \
+                 holds lock #{lock} ({mode:?}, acquired at {site})"
+            );
+        }
+    }
+
+    pub fn assert_lock_free() {
+        let offender = HELD.with(|h| h.borrow().first().map(|e| (e.lock, e.site, e.mode)));
+        if let Some((lock, site, mode)) = offender {
+            panic!(
+                "lock_diag: no lock may be held here, but this thread holds \
+                 lock #{lock} ({mode:?}, acquired at {site})"
+            );
+        }
+    }
+
+    pub fn cycle_report() -> Option<String> {
+        CYCLE.lock().unwrap_or_else(|p| p.into_inner()).clone()
+    }
+}
+
+#[cfg(lock_diag)]
+pub use imp::{assert_group_free, assert_lock_free, cycle_report, held_count};
+
+#[cfg(lock_diag)]
+pub(crate) use imp::{after_acquire, before_acquire, group_id, id_of, on_release};
+
+#[cfg(not(lock_diag))]
+mod noop {
+    /// No-op: diagnostics are compiled out (`--cfg lock_diag` not set).
+    pub fn assert_group_free(_name: &'static str) {}
+    /// No-op: diagnostics are compiled out.
+    pub fn assert_lock_free() {}
+    /// Always 0 when diagnostics are compiled out.
+    pub fn held_count() -> usize {
+        0
+    }
+    /// Always `None` when diagnostics are compiled out.
+    pub fn cycle_report() -> Option<String> {
+        None
+    }
+}
+
+#[cfg(not(lock_diag))]
+pub use noop::{assert_group_free, assert_lock_free, cycle_report, held_count};

@@ -1,0 +1,96 @@
+//! Self-tests for the `lock_diag` instrumentation.
+//!
+//! Run with diagnostics on to exercise the detector:
+//! `RUSTFLAGS="--cfg lock_diag" cargo test -p parking_lot`.
+//! Without the cfg the same tests assert the no-op behaviour, so the
+//! file is green in both build flavours.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use parking_lot::{lock_diag, Mutex, RwLock};
+
+/// A deliberate AB/BA inversion. The second nesting closes a cycle in
+/// the global lock-order graph and must panic with a report — even
+/// though, sequenced on one thread, the program never actually wedges.
+/// That is the point: the detector flags the *order violation*, not the
+/// unlucky interleaving.
+#[test]
+fn ab_ba_cycle_is_reported() {
+    let a = Mutex::new("a");
+    let b = Mutex::new("b");
+
+    // Establish A -> B.
+    {
+        let _ga = a.lock();
+        let _gb = b.lock();
+    }
+
+    // Now B -> A: the inversion.
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        let _gb = b.lock();
+        let _ga = a.lock();
+    }));
+
+    if lock_diag::enabled() {
+        let err = outcome.expect_err("the B -> A nesting must panic");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_else(|| "<non-string panic>".to_string());
+        assert!(msg.contains("potential deadlock"), "{msg}");
+        assert!(msg.contains("lock-order cycle"), "{msg}");
+        let report = lock_diag::cycle_report().expect("cycle recorded for later inspection");
+        assert!(report.contains("->"), "{report}");
+        // The report names the acquisition sites, file:line included.
+        assert!(report.contains(file!()), "{report}");
+    } else {
+        assert!(outcome.is_ok(), "no detection when compiled out");
+        assert!(lock_diag::cycle_report().is_none());
+    }
+}
+
+/// `assert_group_free` must fire exactly when a lock of the named group
+/// is held on this thread — other groups and untagged locks don't count.
+#[test]
+fn group_free_assertion_sees_tagged_locks() {
+    let tagged = RwLock::new(1);
+    tagged.diag_set_group("diag-test/shards");
+    let untagged = Mutex::new(2);
+
+    // Holding an untagged lock (or none) is fine.
+    let g = untagged.lock();
+    lock_diag::assert_group_free("diag-test/shards");
+    drop(g);
+
+    let g = tagged.read();
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        lock_diag::assert_group_free("diag-test/shards")
+    }));
+    if lock_diag::enabled() {
+        let err = outcome.expect_err("held group member must trip the assert");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_else(|| "<non-string panic>".to_string());
+        assert!(msg.contains("diag-test/shards"), "{msg}");
+    } else {
+        assert!(outcome.is_ok());
+    }
+    drop(g);
+
+    // Released: free again in both flavours.
+    lock_diag::assert_group_free("diag-test/shards");
+}
+
+/// `assert_lock_free` is the stricter scope marker: any held lock trips
+/// it when diagnostics are on.
+#[test]
+fn lock_free_assertion_sees_any_lock() {
+    lock_diag::assert_lock_free();
+    let m = Mutex::new(0);
+    let g = m.lock();
+    let outcome = catch_unwind(AssertUnwindSafe(lock_diag::assert_lock_free));
+    assert_eq!(outcome.is_err(), lock_diag::enabled());
+    drop(g);
+    lock_diag::assert_lock_free();
+}
