@@ -114,7 +114,8 @@ fn bench_engine_cache(c: &mut Criterion) {
     // never report an uncached rebuild for a materializable WHERE query.
     for (q, customer) in &prepared {
         let candidates = customer.candidates_derived(&catalog);
-        let (_, ex) = q.execute(&candidates).expect("warm execution runs");
+        let ex = q.execute(&candidates).expect("warm execution runs");
+        let ex = ex.explain();
         assert!(
             !(ex.materialized && ex.cache == CacheStatus::Miss),
             "expected a warm derived hit after the warm-up round, got {ex}"
@@ -155,14 +156,19 @@ fn bench_engine_cache(c: &mut Criterion) {
         .prepare(&wpref, catalog.schema())
         .expect("window preference compiles");
     // One full-catalog execution warms the whole-base matrix.
-    let (_, ex) = q_warm.execute(&catalog).expect("warm-up runs");
-    assert_eq!(ex.cache, CacheStatus::Miss);
+    assert_eq!(
+        q_warm.execute(&catalog).expect("warm-up runs").cache(),
+        CacheStatus::Miss
+    );
 
     // Smoke guard (runs under `-- --test` in CI): a fresh predicate over
     // the warmed base must report a window hit — not a rebuild, and not
     // silent generic evaluation.
     let probe = fresh_candidates(&catalog, price_col, 20_000);
-    let (warm_rows, ex) = q_warm.execute(&probe).expect("window execution runs");
+    let (warm_rows, ex) = q_warm
+        .execute(&probe)
+        .expect("window execution runs")
+        .into_parts();
     assert!(
         ex.materialized,
         "window probe must run on the matrix backend"
@@ -176,7 +182,8 @@ fn bench_engine_cache(c: &mut Criterion) {
     // And windowing must not change results: the cold rebuild agrees.
     let (cold_rows, ex) = q_cold
         .execute(&fresh_candidates(&catalog, price_col, 20_000))
-        .expect("cold execution runs");
+        .expect("cold execution runs")
+        .into_parts();
     assert_eq!(ex.cache, CacheStatus::Miss);
     assert_eq!(warm_rows, cold_rows, "window must not change results");
 
@@ -185,7 +192,7 @@ fn bench_engine_cache(c: &mut Criterion) {
             let mut total = 0;
             for k in 0..WINDOW_PREDICATES {
                 let candidates = fresh_candidates(&catalog, price_col, 12_000 + 2_000 * k);
-                total += q_cold.execute(&candidates).expect("cold runs").0.len();
+                total += q_cold.execute(&candidates).expect("cold runs").rows().len();
             }
             black_box(total)
         })
@@ -195,7 +202,7 @@ fn bench_engine_cache(c: &mut Criterion) {
             let mut total = 0;
             for k in 0..WINDOW_PREDICATES {
                 let candidates = fresh_candidates(&catalog, price_col, 12_000 + 2_000 * k);
-                let (rows, ex) = q_warm.execute(&candidates).expect("warm runs");
+                let (rows, ex) = q_warm.execute(&candidates).expect("warm runs").into_parts();
                 assert_eq!(
                     ex.cache,
                     CacheStatus::WindowHit,
@@ -390,8 +397,15 @@ fn bench_engine_cache(c: &mut Criterion) {
     let q_shard_cold = cold_engine
         .prepare(&shard_pref, big.schema())
         .expect("shard preference compiles");
-    let warm_engine =
-        Engine::with_optimizer(pref_query::Optimizer::new().with_algorithm(Algorithm::Bnl));
+    // Result maintenance would answer these appends before the matrix
+    // path — ablate it here so this scenario keeps measuring the PR 6
+    // incremental *matrix* route (the maintain-* scenarios below measure
+    // the result tier against exactly this arm).
+    let warm_engine = Engine::with_optimizer(
+        pref_query::Optimizer::new()
+            .with_algorithm(Algorithm::Bnl)
+            .without_result_cache(),
+    );
     let q_shard_warm = warm_engine
         .prepare(&shard_pref, big.schema())
         .expect("shard preference compiles");
@@ -410,7 +424,10 @@ fn bench_engine_cache(c: &mut Criterion) {
     probe
         .push(dominated_row.clone())
         .expect("append keeps the schema");
-    let (warm_rows, ex) = q_shard_warm.execute(&probe).expect("append execution runs");
+    let (warm_rows, ex) = q_shard_warm
+        .execute(&probe)
+        .expect("append execution runs")
+        .into_parts();
     assert_eq!(
         ex.cache,
         CacheStatus::ShardHit,
@@ -431,7 +448,10 @@ fn bench_engine_cache(c: &mut Criterion) {
         "an append must leave every full shard's build stamp untouched"
     );
     assert!(warm_engine.cache_stats().shard_hits > 0);
-    let (cold_rows, ex) = q_shard_cold.execute(&probe).expect("cold execution runs");
+    let (cold_rows, ex) = q_shard_cold
+        .execute(&probe)
+        .expect("cold execution runs")
+        .into_parts();
     assert_eq!(ex.cache, CacheStatus::Miss);
     assert_eq!(
         warm_rows, cold_rows,
@@ -449,7 +469,7 @@ fn bench_engine_cache(c: &mut Criterion) {
                 q_shard_cold
                     .execute(&moving)
                     .expect("cold append runs")
-                    .0
+                    .rows()
                     .len(),
             )
         })
@@ -461,13 +481,104 @@ fn bench_engine_cache(c: &mut Criterion) {
             moving
                 .push(dominated_row.clone())
                 .expect("append keeps the schema");
-            let (rows, ex) = q_shard_warm.execute(&moving).expect("warm append runs");
+            let (rows, ex) = q_shard_warm
+                .execute(&moving)
+                .expect("warm append runs")
+                .into_parts();
             assert_eq!(
                 ex.cache,
                 CacheStatus::ShardHit,
                 "every append must stay on the incremental route"
             );
             black_box(rows.len())
+        })
+    });
+
+    // Result maintenance: the same dominated-append workload as
+    // `shard-append-warm`, but with the maintained-result tier enabled —
+    // the engine classifies the appended row against the cached skyline
+    // (`CacheStatus::MaintainedHit`), re-running no algorithm and
+    // touching no matrix. `maintain-append` against `shard-append-warm`
+    // is the tier's headline: O(|result|) dominance tests per append
+    // instead of a tail-shard rebuild plus a full BMO pass.
+    let maintain_engine =
+        Engine::with_optimizer(pref_query::Optimizer::new().with_algorithm(Algorithm::Bnl));
+    let q_maintain = maintain_engine
+        .prepare(&shard_pref, big.schema())
+        .expect("shard preference compiles");
+
+    // Smoke guard (runs under `-- --test` in CI): the maintained route
+    // must fire, report itself through EXPLAIN, and agree with a cold
+    // recompute.
+    let mut probe = big.clone();
+    q_maintain.execute(&probe).expect("warm-up runs");
+    probe
+        .push(dominated_row.clone())
+        .expect("append keeps the schema");
+    let (maintained_rows, ex) = q_maintain
+        .execute(&probe)
+        .expect("maintained execution runs")
+        .into_parts();
+    assert_eq!(
+        ex.cache,
+        CacheStatus::MaintainedHit,
+        "append over a cached result must maintain, got {ex}"
+    );
+    assert!(
+        ex.to_string().contains("maintained-hit"),
+        "EXPLAIN must report the maintained route, got {ex}"
+    );
+    assert!(maintain_engine.cache_stats().maintained_hits > 0);
+    cold_engine.clear_cache();
+    assert_eq!(
+        maintained_rows,
+        q_shard_cold
+            .execute(&probe)
+            .expect("cold execution runs")
+            .into_rows(),
+        "result maintenance must not change results"
+    );
+
+    group.bench_function("maintain-append", |b| {
+        let mut moving = big.clone();
+        q_maintain.execute(&moving).expect("warm-up runs");
+        b.iter(|| {
+            moving
+                .push(dominated_row.clone())
+                .expect("append keeps the schema");
+            let res = q_maintain.execute(&moving).expect("maintained run");
+            assert_eq!(
+                res.cache(),
+                CacheStatus::MaintainedHit,
+                "every append must stay on the maintained route"
+            );
+            black_box(res.rows().len())
+        })
+    });
+
+    // Delete maintenance: tombstone a non-result row and re-execute.
+    // Each iteration works on a fresh clone of the warmed state (clones
+    // share storage and generation, so the cached result keeps
+    // applying), and executes uncached so the per-iteration generations
+    // don't churn the result cache.
+    let warmed = big.clone();
+    let warm_res = q_maintain.execute(&warmed).expect("warm-up runs");
+    // A dominated row is never in the result; delete the last non-member.
+    let victim = (0..warmed.len())
+        .rev()
+        .find(|i| !warm_res.rows().contains(i))
+        .expect("some row is dominated");
+    group.bench_function("maintain-delete", |b| {
+        b.iter(|| {
+            let mut m = warmed.clone();
+            m.delete_row(victim);
+            let res = q_maintain.execute_uncached(&m).expect("maintained run");
+            assert_eq!(
+                res.cache(),
+                CacheStatus::MaintainedHit,
+                "a non-member delete must stay on the maintained route"
+            );
+            black_box(res.rows().len())
         })
     });
     group.finish();

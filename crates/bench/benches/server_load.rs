@@ -95,7 +95,11 @@ fn bench_server_load(c: &mut Criterion) {
     );
     let cold_stats = cold.engine().cache_stats();
     assert_eq!(
-        cold_stats.hits + cold_stats.derived_hits + cold_stats.window_hits + cold_stats.shard_hits,
+        cold_stats.hits
+            + cold_stats.derived_hits
+            + cold_stats.window_hits
+            + cold_stats.shard_hits
+            + cold_stats.maintained_hits,
         0,
         "capacity-0 baseline must never serve warm: {cold_stats:?}"
     );

@@ -1,0 +1,89 @@
+//! The push path under open-loop load: four TCP workers drive mixed
+//! EXEC/APPEND traffic through the load generator while a separate
+//! connection WATCHes the skyline — every request must succeed, and
+//! the watcher must receive its delta stream.
+
+use std::time::Duration;
+
+use pref_bench::loadgen::{self, Arrival, LoadConfig};
+use pref_server::{Client, Server, ServerState};
+use pref_sql::PrefSql;
+use pref_workload::cars;
+use pref_workload::sessions::session_scripts;
+
+#[test]
+fn watch_delivers_under_open_loop_load_with_zero_errors() {
+    let mut db = PrefSql::new();
+    db.register("car", cars::catalog(2_000, 13));
+    let server = Server::bind(ServerState::new(db), "127.0.0.1:0").expect("bind");
+    let addr = server.local_addr();
+
+    let mut watcher = Client::connect(addr).expect("watcher connects");
+    assert!(watcher
+        .request("WATCH SELECT * FROM car PREFERRING LOWEST(price)")
+        .expect("watch")
+        .is_ok());
+
+    // The request mix: interleaved refinement sessions with a
+    // dominating APPEND woven in every 16 requests. The generator
+    // clamps catalog prices at 500 and the appended prices descend
+    // from 499, so each one strictly improves the watched answer —
+    // the delta stream cannot go quiet by accident.
+    let mut statements: Vec<String> = loadgen::interleave_sessions(&session_scripts(4, 8, 13))
+        .iter()
+        .map(|sql| format!("EXEC {sql}"))
+        .collect();
+    let mut price = 499i64;
+    let mut at = 8;
+    while at <= statements.len() {
+        statements.insert(
+            at,
+            format!(
+                "APPEND car\t'VW'\t'compact'\t'red'\t'manual'\t{price}\t75\t9000\t2000\t350\t38\t3"
+            ),
+        );
+        price -= 1;
+        at += 16;
+    }
+
+    let cfg = LoadConfig {
+        rate: 400.0,
+        requests: statements.len(),
+        workers: 4,
+        arrival: Arrival::Poisson,
+        seed: 13,
+    };
+    let report = loadgen::run(&cfg, &statements, || {
+        let mut client = Client::connect(addr).expect("worker connects");
+        move |line: &str| {
+            let reply = client.request(line).map_err(|e| e.to_string())?;
+            if reply.is_ok() {
+                Ok(())
+            } else {
+                Err(reply.status)
+            }
+        }
+    });
+    assert_eq!(
+        report.errors, 0,
+        "requests failed under load: {:?}",
+        report.error_samples
+    );
+
+    // Drain the watcher: it must have seen at least one delta frame,
+    // and nothing but well-formed `+`/`-` lines.
+    let mut pushes = 0;
+    while let Ok(push) = watcher.wait_push(Duration::from_millis(500)) {
+        assert!(
+            push.body
+                .iter()
+                .all(|l| l.starts_with('+') || l.starts_with('-')),
+            "malformed delta: {:?}",
+            push.body
+        );
+        pushes += 1;
+    }
+    assert!(pushes >= 1, "watch stream went silent under load");
+
+    server.shutdown();
+}

@@ -27,6 +27,7 @@
 //! | rule | what it enforces |
 //! |------|------------------|
 //! | `no-guard-across-build`        | no lock guard live across a `score_matrix*` materialization call |
+//! | `no-guard-across-push`         | no lock guard live across a `deliver_watch*` push delivery — a stalled watcher may block only its own sink |
 //! | `parking-lot-only`             | product crates lock through the instrumentable `parking_lot` shim, never `std::sync::{Mutex,RwLock}` |
 //! | `ordering-documented`          | every atomic `Ordering::*` use carries a rationale comment |
 //! | `seqcst-suspect`               | `Ordering::SeqCst` needs an explicit suppression (it is almost never what the code means) |
@@ -67,6 +68,7 @@ impl fmt::Display for Diagnostic {
 /// Every rule id the checker knows, in report order.
 pub const ALL_RULES: &[&str] = &[
     rules::NO_GUARD_ACROSS_BUILD,
+    rules::NO_GUARD_ACROSS_PUSH,
     rules::PARKING_LOT_ONLY,
     rules::ORDERING_DOCUMENTED,
     rules::SEQCST_SUSPECT,

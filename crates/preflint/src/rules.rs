@@ -9,6 +9,8 @@ use crate::Diagnostic;
 
 /// R1: no lock guard may be live across a score-matrix materialization.
 pub const NO_GUARD_ACROSS_BUILD: &str = "no-guard-across-build";
+/// R6: no lock guard may be live across a watch push delivery.
+pub const NO_GUARD_ACROSS_PUSH: &str = "no-guard-across-push";
 /// R2: product crates lock through the `parking_lot` shim only.
 pub const PARKING_LOT_ONLY: &str = "parking-lot-only";
 /// R3a: every atomic `Ordering::*` use carries a rationale comment.
@@ -26,6 +28,7 @@ pub const CACHE_KEY_DISCIPLINE: &str = "cache-key-discipline";
 pub fn run_all(display_path: &str, lx: &Lexed) -> Vec<Diagnostic> {
     let mut out = Vec::new();
     no_guard_across_build(display_path, lx, &mut out);
+    no_guard_across_push(display_path, lx, &mut out);
     parking_lot_only(display_path, lx, &mut out);
     ordering_documented(display_path, lx, &mut out);
     no_panic_in_connection_path(display_path, lx, &mut out);
@@ -92,17 +95,57 @@ fn is_method_call(toks: &[Token], i: usize, names: &[&str]) -> Option<&'static s
 }
 
 // ---------------------------------------------------------------------
-// R1 — no-guard-across-build
+// R1 — no-guard-across-build, R6 — no-guard-across-push
 // ---------------------------------------------------------------------
 
-/// Track `let [mut] NAME = ...;` bindings whose initializer contains a
-/// `.read()` / `.write()` / `.lock()` call: those are treated as lock
-/// guards. While any such binding is in scope (its block has not closed
-/// and it has not been explicitly `drop`ped), a call to an identifier
-/// starting with `score_matrix` is a violation: materialization must
-/// run outside every lock (the PR 7 engine contract, checked at runtime
-/// by `lock_diag` / `engine::build_scope`).
+/// R1: a call to an identifier starting with `score_matrix` while a
+/// guard is live is a violation — materialization must run outside
+/// every lock (the PR 7 engine contract, checked at runtime by
+/// `lock_diag` / `engine::build_scope`).
 fn no_guard_across_build(path: &str, lx: &Lexed, out: &mut Vec<Diagnostic>) {
+    no_guard_across_call(
+        path,
+        lx,
+        out,
+        "score_matrix",
+        NO_GUARD_ACROSS_BUILD,
+        "materializes",
+        "builds must run outside every lock",
+    );
+}
+
+/// R6: a call to an identifier starting with `deliver_watch` while a
+/// guard is live is a violation — a push delivery can block on a slow
+/// client socket, and the only thing it may block is that client's own
+/// sink; holding the catalog or registry lock here would let one
+/// stalled watcher wedge every session.
+fn no_guard_across_push(path: &str, lx: &Lexed, out: &mut Vec<Diagnostic>) {
+    no_guard_across_call(
+        path,
+        lx,
+        out,
+        "deliver_watch",
+        NO_GUARD_ACROSS_PUSH,
+        "writes to a connection sink",
+        "push delivery must run outside every lock",
+    );
+}
+
+/// The shared engine behind R1/R6: track `let [mut] NAME = ...;`
+/// bindings whose initializer contains a `.read()` / `.write()` /
+/// `.lock()` call — those are treated as lock guards. While any such
+/// binding is in scope (its block has not closed and it has not been
+/// explicitly `drop`ped), a call to an identifier starting with
+/// `callee_prefix` is a violation.
+fn no_guard_across_call(
+    path: &str,
+    lx: &Lexed,
+    out: &mut Vec<Diagnostic>,
+    callee_prefix: &str,
+    rule: &'static str,
+    verb: &str,
+    contract: &str,
+) {
     #[derive(Debug)]
     struct Guard {
         name: String,
@@ -154,18 +197,18 @@ fn no_guard_across_build(path: &str, lx: &Lexed, out: &mut Vec<Diagnostic>) {
             }
         }
 
-        // The build call itself.
+        // The guarded call itself.
         if let Some(name) = ident(t) {
-            if name.starts_with("score_matrix") && toks.get(i + 1).is_some_and(|t| is_punct(t, '('))
+            if name.starts_with(callee_prefix) && toks.get(i + 1).is_some_and(|t| is_punct(t, '('))
             {
                 for g in &guards {
                     out.push(Diagnostic {
                         file: path.to_string(),
                         line: t.line,
-                        rule: NO_GUARD_ACROSS_BUILD,
+                        rule,
                         message: format!(
-                            "`{name}` materializes while guard `{}` (bound on line {}) \
-                             may still be held — builds must run outside every lock",
+                            "`{name}` {verb} while guard `{}` (bound on line {}) \
+                             may still be held — {contract}",
                             g.name, g.line
                         ),
                     });
@@ -540,6 +583,21 @@ mod tests {
         assert!(check("crates/q/src/e.rs", dropped).is_empty());
         let after = "fn f() { let m = score_matrix_with(r); let g = cache.read(); }\n";
         assert!(check("crates/q/src/e.rs", after).is_empty());
+    }
+
+    #[test]
+    fn r6_fires_on_guard_held_across_push_delivery() {
+        let src = "fn f() { let g = hub.watches.lock(); deliver_watch_frame(&s, &fr); }\n";
+        let d = check("crates/server/src/x.rs", src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, NO_GUARD_ACROSS_PUSH);
+
+        let clean = "fn f() { { let g = hub.watches.lock(); } deliver_watch_frame(&s, &fr); }\n";
+        assert!(check("crates/server/src/x.rs", clean).is_empty());
+        // Other callee names under a guard stay legal — the rule is
+        // about deliveries, not the registry bookkeeping around them.
+        let other = "fn f() { let g = hub.watches.lock(); enqueue(&s, &fr); }\n";
+        assert!(check("crates/server/src/x.rs", other).is_empty());
     }
 
     #[test]

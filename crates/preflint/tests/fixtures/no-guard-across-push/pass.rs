@@ -1,0 +1,17 @@
+fn notify_then_deliver(hub: &WatchHub, sink: &WatchSink, frame: &str) {
+    {
+        let watches = hub.watches.lock();
+        let _ = watches.len();
+    }
+    // Registry guard scope closed: the delivery blocks only its sink.
+    deliver_watch_frame(sink, frame);
+}
+
+fn explicit_drop(hub: &WatchHub, sink: &WatchSink, frame: &str) {
+    let watches = hub.watches.lock();
+    let live = watches.len();
+    drop(watches);
+    if live > 0 {
+        deliver_watch_frame(sink, frame);
+    }
+}

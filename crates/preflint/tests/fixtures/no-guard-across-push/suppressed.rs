@@ -1,0 +1,6 @@
+fn deliver_under_lock(hub: &WatchHub, sink: &WatchSink, frame: &str) {
+    let watches = hub.watches.lock();
+    let _ = &watches;
+    // preflint: allow(no-guard-across-push) — fixture: pretend single-threaded shutdown drain
+    deliver_watch_frame(sink, frame);
+}

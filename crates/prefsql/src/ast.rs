@@ -60,6 +60,21 @@ impl fmt::Display for LimitSpec {
     }
 }
 
+/// A parsed `DELETE FROM <table> [WHERE <hard>]` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeleteStmt {
+    pub table: String,
+    /// Rows to remove; `None` empties the table.
+    pub hard: Option<HardExpr>,
+}
+
+/// Any single parsed statement: a (preference) query, or a mutation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    Query(Box<Query>),
+    Delete(DeleteStmt),
+}
+
 /// Projection list.
 #[derive(Debug, Clone, PartialEq)]
 pub enum SelectList {

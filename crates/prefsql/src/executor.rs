@@ -16,10 +16,10 @@ use pref_core::CoreError;
 use pref_query::{Engine, Explain, Optimizer, Prepared, QueryError};
 use pref_relation::{AttrSet, DataType, Relation, Schema, Value};
 
-use crate::ast::{HardExpr, LimitSpec, Literal, Query, SelectList};
+use crate::ast::{DeleteStmt, HardExpr, LimitSpec, Literal, Query, SelectList, Statement};
 use crate::catalog::Catalog;
 use crate::error::SqlError;
-use crate::parser::parse;
+use crate::parser::{parse, parse_statement};
 use crate::rewrite::{hard_to_predicate, pref_to_term, quality_to_filter};
 use crate::shape::pref_to_shape_term;
 
@@ -94,6 +94,43 @@ impl PrefSql {
     /// Parse and execute a query string.
     pub fn execute(&self, sql: &str) -> Result<QueryResult, SqlError> {
         self.run(&parse(sql)?)
+    }
+
+    /// Parse and run a `DELETE FROM <table> [WHERE <hard>]` statement
+    /// **in place**, returning how many rows were removed. Deletions
+    /// tombstone the relation's row-id view
+    /// ([`pref_relation::Relation::delete_row`]): storage is untouched
+    /// and the mutation delta records each victim, so the engine can
+    /// *maintain* a cached BMO result across the delete — removing
+    /// non-members leaves the previous result servable
+    /// (`CacheStatus::MaintainedHit`); removing a member forces the
+    /// recompute that re-promotes whatever it was dominating.
+    pub fn delete(&mut self, sql: &str) -> Result<usize, SqlError> {
+        match parse_statement(sql)? {
+            Statement::Delete(d) => self.run_delete(&d),
+            Statement::Query(_) => Err(SqlError::Parse {
+                pos: 0,
+                expected: "DELETE FROM …".to_string(),
+                found: "a SELECT statement (use `execute`)".to_string(),
+            }),
+        }
+    }
+
+    /// Run a parsed [`DeleteStmt`].
+    pub fn run_delete(&mut self, d: &DeleteStmt) -> Result<usize, SqlError> {
+        let table = self.catalog.get_mut(&d.table)?;
+        let victims: Vec<usize> = match &d.hard {
+            Some(h) => {
+                let pred = hard_to_predicate(h, table.schema(), &d.table)?;
+                (0..table.len()).filter(|&i| pred(table.row(i))).collect()
+            }
+            None => (0..table.len()).collect(),
+        };
+        // Descending: each delete shifts every later position left.
+        for &i in victims.iter().rev() {
+            table.delete_row(i);
+        }
+        Ok(victims.len())
     }
 
     /// Parse a statement once into a [`PreparedStatement`]. Literal
@@ -275,7 +312,7 @@ impl PrefSql {
                 if let Some(k) = top {
                     // §6.2 k-best: BMO first, then deeper quality levels —
                     // the level graph runs on the engine-cached matrix.
-                    let rows = pref_query::quality::k_best_with(&self.engine, &pref, base, k)?;
+                    let rows = self.engine.k_best(&pref, base, k)?;
                     (rows, Some(pref), None)
                 } else if q.group_by.is_empty() {
                     let (rows, explain) = match pre.and_then(|c| c.prepared.as_ref()) {
@@ -306,7 +343,7 @@ impl PrefSql {
                                     let _ = exec.matrix(table);
                                 }
                             }
-                            exec.execute(base)?
+                            exec.execute(base)?.into_parts()
                         }
                         None => self.engine.evaluate(&pref, base)?,
                     };
@@ -1517,6 +1554,39 @@ mod tests {
         // cache exactly.
         let warm = stmt.execute(&s, &[Value::from(21_000)]).unwrap();
         assert!(warm.explain.unwrap().cache.is_warm());
+    }
+
+    #[test]
+    fn delete_statement_removes_matching_rows_and_maintains_results() {
+        let mut s = session();
+        // Warm a cached BMO result before mutating.
+        let sql = "SELECT * FROM car PREFERRING LOWEST(price)";
+        assert_eq!(s.execute(sql).unwrap().relation.len(), 1);
+
+        // Deleting non-members leaves the result maintainable in place.
+        assert_eq!(
+            s.delete("DELETE FROM car WHERE mileage >= 60000").unwrap(),
+            2
+        );
+        let res = s.execute(sql).unwrap();
+        assert_eq!(res.relation.len(), 1);
+        assert_eq!(res.relation.row(0)[3], Value::from(38_000));
+        assert_eq!(
+            res.explain.unwrap().cache,
+            pref_query::CacheStatus::MaintainedHit,
+            "deleting non-members must patch the cached result, not rebuild"
+        );
+
+        // Deleting the winner re-promotes the runner-up.
+        assert_eq!(s.delete("DELETE FROM car WHERE price = 38000").unwrap(), 1);
+        let res = s.execute(sql).unwrap();
+        assert_eq!(res.relation.row(0)[3], Value::from(40_000));
+
+        // WHERE-less DELETE empties the table; unknown tables error.
+        assert_eq!(s.delete("DELETE FROM car").unwrap(), 2);
+        assert_eq!(s.execute("SELECT * FROM car").unwrap().relation.len(), 0);
+        assert!(s.delete("DELETE FROM nope").is_err());
+        assert!(s.delete("SELECT * FROM car").is_err());
     }
 
     #[test]

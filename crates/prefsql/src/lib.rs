@@ -44,4 +44,4 @@ mod token;
 pub use catalog::Catalog;
 pub use error::SqlError;
 pub use executor::{PrefSql, PreparedStatement, QueryResult};
-pub use parser::parse;
+pub use parser::{parse, parse_statement};

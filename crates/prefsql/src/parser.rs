@@ -1,6 +1,8 @@
 //! Recursive-descent parser for Preference SQL.
 //!
 //! ```text
+//! stmt     := query | delete
+//! delete   := DELETE FROM ident [WHERE hard] [;]
 //! query    := SELECT select FROM ident [WHERE hard]
 //!             [PREFERRING pref [GROUP BY idents]] {CASCADE pref}
 //!             [BUT ONLY quality] [LIMIT int] [;]
@@ -33,6 +35,19 @@ pub fn parse(input: &str) -> Result<Query, SqlError> {
     let q = p.query()?;
     p.expect_end()?;
     Ok(q)
+}
+
+/// Parse one statement: a query, or a `DELETE FROM …` mutation.
+pub fn parse_statement(input: &str) -> Result<Statement, SqlError> {
+    let toks = lex(input)?;
+    let mut p = Parser { toks, pos: 0 };
+    let stmt = if p.peek() == &Tok::Keyword(Kw::Delete) {
+        Statement::Delete(p.delete_stmt()?)
+    } else {
+        Statement::Query(Box::new(p.query()?))
+    };
+    p.expect_end()?;
+    Ok(stmt)
 }
 
 struct Parser {
@@ -209,6 +224,24 @@ impl Parser {
             limit,
             top,
         })
+    }
+
+    /// `delete := DELETE FROM ident [WHERE hard] [;]` — the hard
+    /// grammar is shared with SELECT, so anything a query can select, a
+    /// DELETE can target.
+    fn delete_stmt(&mut self) -> Result<DeleteStmt, SqlError> {
+        self.expect_kw(Kw::Delete)?;
+        self.expect_kw(Kw::From)?;
+        let table = self.ident()?;
+        let hard = if self.eat_kw(Kw::Where) {
+            Some(self.hard_or()?)
+        } else {
+            None
+        };
+        if self.peek() == &Tok::Semi {
+            self.pos += 1;
+        }
+        Ok(DeleteStmt { table, hard })
     }
 
     /// A `LIMIT` / `TOP` count position: a non-negative integer or a
@@ -681,6 +714,31 @@ mod tests {
         assert!(parse("SELECT * FROM cars banana").is_err());
         assert!(parse("SELECT *").is_err());
         assert!(parse("").is_err());
+    }
+
+    #[test]
+    fn delete_statements_parse() {
+        let d = match parse_statement("DELETE FROM cars WHERE price > 50000;").unwrap() {
+            Statement::Delete(d) => d,
+            other => panic!("expected a delete, got {other:?}"),
+        };
+        assert_eq!(d.table, "cars");
+        assert!(matches!(d.hard, Some(HardExpr::Cmp(ref a, CmpOp::Gt, _)) if a == "price"));
+
+        let bare = match parse_statement("delete from cars").unwrap() {
+            Statement::Delete(d) => d,
+            other => panic!("expected a delete, got {other:?}"),
+        };
+        assert!(bare.hard.is_none());
+
+        // A SELECT through the statement entry still parses as a query,
+        // and malformed deletes are rejected.
+        assert!(matches!(
+            parse_statement("SELECT * FROM cars").unwrap(),
+            Statement::Query(_)
+        ));
+        assert!(parse_statement("DELETE cars").is_err());
+        assert!(parse_statement("DELETE FROM cars banana").is_err());
     }
 
     #[test]

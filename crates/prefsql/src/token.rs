@@ -61,6 +61,7 @@ pub enum Kw {
     Limit,
     Top,
     Explain,
+    Delete,
     True,
     False,
 }
@@ -94,6 +95,7 @@ impl Kw {
             "LIMIT" => Kw::Limit,
             "TOP" => Kw::Top,
             "EXPLAIN" => Kw::Explain,
+            "DELETE" => Kw::Delete,
             "TRUE" => Kw::True,
             "FALSE" => Kw::False,
             _ => return None,

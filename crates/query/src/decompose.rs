@@ -30,7 +30,7 @@ use crate::error::QueryError;
 /// with the call. Anything above 0 here only buys intra-call sub-term
 /// dedup at the cost of per-call allocation of cache machinery; callers
 /// issuing more than one query should hold a long-lived [`Engine`] and
-/// use the `_with` variants instead, which amortize *across* calls too.
+/// use the [`Engine`] methods instead, which amortize *across* calls too.
 fn transient_engine() -> Engine {
     Engine::new().with_capacity(0)
 }
@@ -38,32 +38,48 @@ fn transient_engine() -> Engine {
 /// Evaluate `σ[P](R)` by structural decomposition, falling back to BNL
 /// for sub-terms with no applicable theorem. Returns sorted row indices.
 ///
-/// One-shot convenience over [`sigma_decomposed_with`], run on a
+/// One-shot convenience over [`Engine::sigma_decomposed`], run on a
 /// transient capacity-0 engine: nothing is cached, within or across
 /// calls. Any query stream — and any caller that repeats terms or
 /// relations — should hold an [`Engine`] and call
-/// [`sigma_decomposed_with`] so recursive evaluations reuse the
+/// [`Engine::sigma_decomposed`] so recursive evaluations reuse the
 /// engine-cached (and windowed) matrices.
 pub fn sigma_decomposed(pref: &Pref, r: &Relation) -> Result<Vec<usize>, QueryError> {
-    sigma_decomposed_with(&transient_engine(), pref, r)
+    transient_engine().sigma_decomposed(pref, r)
 }
 
-/// [`sigma_decomposed`] through a caller-provided [`Engine`]: every
-/// sub-query of the recursion (the decomposed views, `YY` overlaps, the
-/// BNL fallbacks) fetches its score matrix from the engine cache instead
-/// of re-walking the term per tuple pair — and the σ\[P1\](R)
-/// sub-relations of Prop. 11 cascades are derived views
-/// ([`Relation::take_rows_derived`]), so repeating the decomposition over
-/// an unchanged relation serves even the recursive stages warm.
+/// Deprecated free-function spelling of [`Engine::sigma_decomposed`].
+#[deprecated(since = "0.2.0", note = "use the `Engine::sigma_decomposed` method")]
 pub fn sigma_decomposed_with(
     engine: &Engine,
     pref: &Pref,
     r: &Relation,
 ) -> Result<Vec<usize>, QueryError> {
-    sigma_decomposed_inner(engine, pref, r, true)
+    engine.sigma_decomposed(pref, r)
 }
 
-/// [`sigma_decomposed_with`] with explicit cache-population control:
+impl Engine {
+    /// [`sigma_decomposed`] through this engine: every sub-query of the
+    /// recursion (the decomposed views, `YY` overlaps, the BNL
+    /// fallbacks) fetches its score matrix from the engine cache instead
+    /// of re-walking the term per tuple pair — and the σ\[P1\](R)
+    /// sub-relations of Prop. 11 cascades are derived views
+    /// ([`Relation::take_rows_derived`]), so repeating the decomposition
+    /// over an unchanged relation serves even the recursive stages warm.
+    pub fn sigma_decomposed(&self, pref: &Pref, r: &Relation) -> Result<Vec<usize>, QueryError> {
+        sigma_decomposed_inner(self, pref, r, true)
+    }
+
+    /// [`yy`] through this engine: the pairwise dominance tests run on
+    /// engine-cached score matrices where the terms materialize
+    /// (term-walk fallback otherwise) — the O(n²) common-dominator scan
+    /// is the hottest loop of the decomposition evaluator.
+    pub fn yy(&self, p1: &Pref, p2: &Pref, r: &Relation) -> Result<Vec<usize>, QueryError> {
+        yy_inner(self, p1, p2, r, true)
+    }
+}
+
+/// [`Engine::sigma_decomposed`] with explicit cache-population control:
 /// `populate = false` threads an `execute_uncached` caller's choice down
 /// the whole recursion (sub-query matrices are still *read* from the
 /// cache, but never inserted), so uncached executions of decomposable
@@ -186,22 +202,20 @@ fn direct(
 /// common dominator — exactly the extra maxima intersection `♦` creates.
 ///
 /// One-shot convenience on a transient capacity-0 engine; query streams
-/// should use [`yy_with`] through a long-lived [`Engine`].
+/// should use [`Engine::yy`] through a long-lived [`Engine`].
 pub fn yy(p1: &Pref, p2: &Pref, r: &Relation) -> Result<Vec<usize>, QueryError> {
-    yy_with(&transient_engine(), p1, p2, r)
+    transient_engine().yy(p1, p2, r)
 }
 
-/// [`yy`] with the pairwise dominance tests running on engine-cached
-/// score matrices where the terms materialize (term-walk fallback
-/// otherwise) — the O(n²) common-dominator scan is the hottest loop of
-/// the decomposition evaluator.
+/// Deprecated free-function spelling of [`Engine::yy`].
+#[deprecated(since = "0.2.0", note = "use the `Engine::yy` method")]
 pub fn yy_with(
     engine: &Engine,
     p1: &Pref,
     p2: &Pref,
     r: &Relation,
 ) -> Result<Vec<usize>, QueryError> {
-    yy_inner(engine, p1, p2, r, true)
+    engine.yy(p1, p2, r)
 }
 
 fn yy_inner(
@@ -293,47 +307,62 @@ pub fn pareto_decomposition(
     p2: &Pref,
     r: &Relation,
 ) -> Result<ParetoDecomposition, QueryError> {
-    pareto_decomposition_with(&transient_engine(), p1, p2, r)
+    transient_engine().pareto_decomposition(p1, p2, r)
 }
 
-/// [`pareto_decomposition`] through a caller-provided [`Engine`]: the
-/// two prioritised views, both groupings, and the `YY` overlap all run
-/// on engine-cached score matrices.
+/// Deprecated free-function spelling of [`Engine::pareto_decomposition`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use the `Engine::pareto_decomposition` method"
+)]
 pub fn pareto_decomposition_with(
     engine: &Engine,
     p1: &Pref,
     p2: &Pref,
     r: &Relation,
 ) -> Result<ParetoDecomposition, QueryError> {
-    let a1 = p1.attributes();
-    let a2 = p2.attributes();
-    if !a1.is_disjoint(&a2) {
-        return Err(QueryError::AlgorithmMismatch {
-            algorithm: "Prop. 12 decomposition",
-            term: format!("({p1} ⊗ {p2})"),
-            reason: "requires disjoint attribute sets (use Prop. 4a/6 first)",
-        });
+    engine.pareto_decomposition(p1, p2, r)
+}
+
+impl Engine {
+    /// [`pareto_decomposition`] through this engine: the two prioritised
+    /// views, both groupings, and the `YY` overlap all run on
+    /// engine-cached score matrices.
+    pub fn pareto_decomposition(
+        &self,
+        p1: &Pref,
+        p2: &Pref,
+        r: &Relation,
+    ) -> Result<ParetoDecomposition, QueryError> {
+        let a1 = p1.attributes();
+        let a2 = p2.attributes();
+        if !a1.is_disjoint(&a2) {
+            return Err(QueryError::AlgorithmMismatch {
+                algorithm: "Prop. 12 decomposition",
+                term: format!("({p1} ⊗ {p2})"),
+                reason: "requires disjoint attribute sets (use Prop. 4a/6 first)",
+            });
+        }
+
+        let s1: HashSet<usize> = direct(self, p1, r, true)?.into_iter().collect();
+        let s2: HashSet<usize> = direct(self, p2, r, true)?.into_iter().collect();
+        let g1 = self.sigma_groupby(p2, &a1, r)?; // σ[P2 groupby A1](R)
+        let g2 = self.sigma_groupby(p1, &a2, r)?; // σ[P1 groupby A2](R)
+
+        let first: Vec<usize> = g1.into_iter().filter(|i| s1.contains(i)).collect();
+        let second: Vec<usize> = g2.into_iter().filter(|i| s2.contains(i)).collect();
+        let overlap_yy = self.yy(
+            &Pref::Prior(vec![p1.clone(), p2.clone()]),
+            &Pref::Prior(vec![p2.clone(), p1.clone()]),
+            r,
+        )?;
+
+        Ok(ParetoDecomposition {
+            first,
+            second,
+            overlap_yy,
+        })
     }
-
-    let s1: HashSet<usize> = direct(engine, p1, r, true)?.into_iter().collect();
-    let s2: HashSet<usize> = direct(engine, p2, r, true)?.into_iter().collect();
-    let g1 = engine.sigma_groupby(p2, &a1, r)?; // σ[P2 groupby A1](R)
-    let g2 = engine.sigma_groupby(p1, &a2, r)?; // σ[P1 groupby A2](R)
-
-    let first: Vec<usize> = g1.into_iter().filter(|i| s1.contains(i)).collect();
-    let second: Vec<usize> = g2.into_iter().filter(|i| s2.contains(i)).collect();
-    let overlap_yy = yy_with(
-        engine,
-        &Pref::Prior(vec![p1.clone(), p2.clone()]),
-        &Pref::Prior(vec![p2.clone(), p1.clone()]),
-        r,
-    )?;
-
-    Ok(ParetoDecomposition {
-        first,
-        second,
-        overlap_yy,
-    })
 }
 
 #[cfg(test)]
@@ -467,10 +496,10 @@ mod tests {
             ("VW", 20_000, 3), ("BMW", 50_000, 4),
         };
         let q = antichain(["make"]).prior(around("price", 40_000));
-        let first = sigma_decomposed_with(&engine, &q, &r).unwrap();
+        let first = engine.sigma_decomposed(&q, &r).unwrap();
         let stats1 = engine.cache_stats();
         assert!(stats1.misses > 0, "recursion must have built matrices");
-        let second = sigma_decomposed_with(&engine, &q, &r).unwrap();
+        let second = engine.sigma_decomposed(&q, &r).unwrap();
         let stats2 = engine.cache_stats();
         assert_eq!(first, second);
         assert_eq!(
@@ -489,10 +518,10 @@ mod tests {
         };
         // Chain head → Prop. 11: the tail runs on a σ[P1](R) derived view.
         let p = lowest("a").prior(pos("c", ["x"]).pareto(neg("c", ["z"])));
-        let first = sigma_decomposed_with(&engine, &p, &r).unwrap();
+        let first = engine.sigma_decomposed(&p, &r).unwrap();
         assert_eq!(first, sigma_naive(&p, &r).unwrap());
         let stats1 = engine.cache_stats();
-        let second = sigma_decomposed_with(&engine, &p, &r).unwrap();
+        let second = engine.sigma_decomposed(&p, &r).unwrap();
         let stats2 = engine.cache_stats();
         assert_eq!(first, second);
         assert_eq!(stats2.misses, stats1.misses);

@@ -115,23 +115,57 @@ pub struct CacheStats {
     /// ([`CacheStatus::ShardHit`]). Counted separately from both `hits`
     /// (some keys were built) and `misses` (most were not).
     pub shard_hits: u64,
+    /// Executions served by *maintaining* a cached BMO result across a
+    /// mutation ([`CacheStatus::MaintainedHit`]): the changed rows were
+    /// classified against the previous skyline instead of re-running the
+    /// algorithm — no matrix was consulted at all. Counted separately
+    /// from `hits` (the result was patched, not served verbatim) and
+    /// from `shard_hits` (no matrix shard was rebuilt either).
+    pub maintained_hits: u64,
     /// Executions that had to build (and then cached) a matrix.
     pub misses: u64,
     /// Matrices currently resident.
     pub entries: usize,
+    /// Maintained BMO results currently resident (bounded separately
+    /// from, but by the same capacity as, the matrix entries).
+    pub result_entries: usize,
+}
+
+impl CacheStats {
+    /// The canonical `key=value` wire rendering, shared by the server's
+    /// `STATS` verb and anything else that needs a machine-parseable
+    /// one-liner. Exactly one serialization exists so the wire view and
+    /// the Rust view cannot drift.
+    pub fn wire_format(&self) -> String {
+        format!(
+            "hits={} derived_hits={} window_hits={} shard_hits={} maintained_hits={} \
+             misses={} entries={} result_entries={}",
+            self.hits,
+            self.derived_hits,
+            self.window_hits,
+            self.shard_hits,
+            self.maintained_hits,
+            self.misses,
+            self.entries,
+            self.result_entries
+        )
+    }
 }
 
 impl fmt::Display for CacheStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} hits ({} derived, {} windowed) / {} shard-incremental / {} misses, {} resident",
+            "{} hits ({} derived, {} windowed) / {} shard-incremental / {} maintained / \
+             {} misses, {} resident (+{} results)",
             self.hits,
             self.derived_hits,
             self.window_hits,
             self.shard_hits,
+            self.maintained_hits,
             self.misses,
-            self.entries
+            self.entries,
+            self.result_entries
         )
     }
 }
@@ -169,12 +203,43 @@ struct CacheEntry {
     last_used: AtomicU64,
 }
 
-/// One lock shard of the matrix cache: a plain map, all cross-shard
-/// state (stats, LRU clock, resident count) lives in atomics on
+/// A materialized BMO result, cached beside the matrices: the row set a
+/// term selected from one relation content state, stored as *row
+/// positions* of that state (ascending — every algorithm returns sorted
+/// indices). Exact-generation re-executions serve it verbatim; after a
+/// mutation the maintenance classifier patches it against the
+/// relation's [`Delta`](pref_relation::Delta) instead of re-running the
+/// algorithm.
+struct ResultState {
+    /// Result row positions at the keyed generation, ascending.
+    rows: Vec<u32>,
+    /// What the producing execution reported — replayed on exact hits
+    /// so an `Explain` served from the result tier describes the
+    /// backend that actually computed the rows.
+    materialized: bool,
+    explicit_bitsets: bool,
+}
+
+struct ResultEntry {
+    state: Arc<ResultState>,
+    /// LRU stamp, same contract as [`CacheEntry::last_used`].
+    last_used: AtomicU64,
+}
+
+/// One lock shard of the engine cache: matrices and maintained results
+/// side by side (both keyed by term fingerprint, so one read-lock
+/// acquisition resolves every tier of a lookup). All cross-shard state
+/// (stats, LRU clock, resident counts) lives in atomics on
 /// [`EngineInner`].
 #[derive(Default)]
 struct CacheShard {
     map: HashMap<MatrixKey, CacheEntry>,
+    /// Maintained results, keyed `(relation generation, term
+    /// fingerprint)`. Results key by generation only — a result is a
+    /// tiny `Vec<u32>`, so caching per exact content state (rather than
+    /// per lineage) is cheap, and the maintenance classifier reaches
+    /// prior states through the relation's delta anyway.
+    results: HashMap<(u64, u64), ResultEntry>,
 }
 
 struct EngineInner {
@@ -190,10 +255,16 @@ struct EngineInner {
     /// Matrices currently resident across all shards — maintained on
     /// insert/evict/clear so [`Engine::cache_stats`] never takes a lock.
     resident: AtomicUsize,
+    /// Maintained results currently resident across all shards, bounded
+    /// by the same `capacity` but counted (and evicted) independently:
+    /// a result is orders of magnitude smaller than a matrix, so one
+    /// must never evict the other.
+    resident_results: AtomicUsize,
     hits: AtomicU64,
     derived_hits: AtomicU64,
     window_hits: AtomicU64,
     shard_hits: AtomicU64,
+    maintained_hits: AtomicU64,
     misses: AtomicU64,
 }
 
@@ -259,6 +330,59 @@ impl EngineInner {
             }
         }
     }
+
+    /// [`EngineInner::insert_bounded`] for the result tier: same
+    /// one-shard-lock-at-a-time insert + LRU eviction discipline, over
+    /// the `results` maps and their own resident counter.
+    fn insert_result_bounded(&self, key: (u64, u64), state: &Arc<ResultState>) {
+        let tick = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
+        {
+            let mut shard = self.shards[cache_shard_of(key.1)].write();
+            if shard
+                .results
+                .insert(
+                    key,
+                    ResultEntry {
+                        state: Arc::clone(state),
+                        last_used: AtomicU64::new(tick),
+                    },
+                )
+                .is_none()
+            {
+                // Relaxed: advisory count, exactly like `resident` in
+                // `insert_bounded` — the loop re-checks under the lock.
+                self.resident_results.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        // Relaxed: see `insert_bounded` — transient skew only delays or
+        // repeats an eviction pass.
+        while self.resident_results.load(Ordering::Relaxed) > self.capacity {
+            let mut victim: Option<(usize, (u64, u64), u64)> = None;
+            for (i, shard) in self.shards.iter().enumerate() {
+                let shard = shard.read();
+                for (k, e) in &shard.results {
+                    // Relaxed: a stale LRU stamp can only mis-rank the
+                    // victim; the write-locked re-check catches it.
+                    let lu = e.last_used.load(Ordering::Relaxed);
+                    if victim.is_none_or(|(_, _, best)| lu < best) {
+                        victim = Some((i, *k, lu));
+                    }
+                }
+            }
+            let Some((i, k, lu)) = victim else { break };
+            let mut shard = self.shards[i].write();
+            match shard.results.get(&k) {
+                // Relaxed: re-read under the shard write lock, which
+                // orders it against every touch of the entry.
+                Some(e) if e.last_used.load(Ordering::Relaxed) == lu => {
+                    shard.results.remove(&k);
+                    // Relaxed: advisory count, see above.
+                    self.resident_results.fetch_sub(1, Ordering::Relaxed);
+                }
+                _ => continue,
+            }
+        }
+    }
 }
 
 impl fmt::Debug for EngineInner {
@@ -308,10 +432,12 @@ impl Engine {
                     .collect(),
                 tick: AtomicU64::new(0),
                 resident: AtomicUsize::new(0),
+                resident_results: AtomicUsize::new(0),
                 hits: AtomicU64::new(0),
                 derived_hits: AtomicU64::new(0),
                 window_hits: AtomicU64::new(0),
                 shard_hits: AtomicU64::new(0),
+                maintained_hits: AtomicU64::new(0),
                 misses: AtomicU64::new(0),
             }),
         }
@@ -363,7 +489,7 @@ impl Engine {
     /// same relation generation hits even without keeping the
     /// [`Prepared`] around.
     pub fn evaluate(&self, pref: &Pref, r: &Relation) -> Result<(Vec<usize>, Explain), QueryError> {
-        self.prepare(pref, r.schema())?.execute(r)
+        Ok(self.prepare(pref, r.schema())?.execute(r)?.into_parts())
     }
 
     /// [`Engine::evaluate`] without populating the matrix cache — see
@@ -373,7 +499,10 @@ impl Engine {
         pref: &Pref,
         r: &Relation,
     ) -> Result<(Vec<usize>, Explain), QueryError> {
-        self.prepare(pref, r.schema())?.execute_uncached(r)
+        Ok(self
+            .prepare(pref, r.schema())?
+            .execute_uncached(r)?
+            .into_parts())
     }
 
     /// Plan without executing (the `EXPLAIN` path).
@@ -470,9 +599,11 @@ impl Engine {
             derived_hits: ld(&inner.derived_hits),
             window_hits: ld(&inner.window_hits),
             shard_hits: ld(&inner.shard_hits),
+            maintained_hits: ld(&inner.maintained_hits),
             misses: ld(&inner.misses),
-            // Relaxed: same monitoring read, just an AtomicUsize.
+            // Relaxed: same monitoring reads, just AtomicUsizes.
             entries: inner.resident.load(Ordering::Relaxed),
+            result_entries: inner.resident_results.load(Ordering::Relaxed),
         }
     }
 
@@ -482,15 +613,21 @@ impl Engine {
     /// caller racing a concurrent insert.
     pub fn clear_cache(&self) {
         for shard in &self.inner.shards {
-            let removed = {
+            let (removed, removed_results) = {
                 let mut shard = shard.write();
                 let n = shard.map.len();
                 shard.map.clear();
-                n
+                let nr = shard.results.len();
+                shard.results.clear();
+                (n, nr)
             };
-            // Relaxed: advisory count (see `insert_bounded`); the shard
-            // write lock above ordered the actual map mutation.
+            // Relaxed: advisory counts (see `insert_bounded`); the shard
+            // write lock above ordered the actual map mutations.
             self.inner.resident.fetch_sub(removed, Ordering::Relaxed);
+            self.inner
+                .resident_results
+                // Same rationale: advisory result-tier count.
+                .fetch_sub(removed_results, Ordering::Relaxed);
         }
     }
 
@@ -599,7 +736,13 @@ impl Engine {
             // matrix of exactly the recorded prefix length, seed an
             // incremental rebuild from it: only the shards the mutation
             // touched are recomputed (outside the lock, below).
-            if let Some(delta) = r.delta() {
+            //
+            // Dense relations only: the incremental build is positional
+            // (base state = unchanged storage prefix of `r`), and a
+            // tombstone view carrying a delta shifts every position after
+            // the victim — its deletes are served by the *result*
+            // maintenance tier instead, and its matrices rebuild cold.
+            if let Some(delta) = r.delta().filter(|_| r.row_ids().is_none()) {
                 for &(base_gen, base_len) in delta.bases() {
                     let key = MatrixKey::Generation(base_gen, fp);
                     if let Some(entry) = shard.map.get(&key) {
@@ -645,6 +788,213 @@ impl Engine {
         }
     }
 
+    /// Probe the maintained-result tier for term fingerprint `fp` over
+    /// `r`. Resolution order:
+    ///
+    /// 1. exact `(generation, fp)` — the previous execution's row set is
+    ///    served verbatim ([`CacheStatus::Hit`]), replaying the backend
+    ///    flags the producing execution reported;
+    /// 2. a prior content state out of `r`'s
+    ///    [`Delta`](pref_relation::Delta) has a cached result — the
+    ///    maintenance classifier patches it against the delta
+    ///    ([`CacheStatus::MaintainedHit`]): unchanged result members
+    ///    stay, appended/updated rows are BNL-inserted against the old
+    ///    skyline, and any change touching a result member falls
+    ///    through to a full recompute.
+    ///
+    /// Returns `(rows, status, materialized, explicit_bitsets)`, or
+    /// `None` when the tier cannot answer (disabled, cold, or the
+    /// classifier bailed) — callers then run the normal matrix/algorithm
+    /// path.
+    fn cached_result(
+        &self,
+        fp: u64,
+        c: &CompiledPref,
+        r: &Relation,
+        populate: bool,
+    ) -> Option<(Vec<usize>, CacheStatus, bool, bool)> {
+        let inner = &self.inner;
+        if inner.capacity == 0 || inner.optimizer.no_result_cache {
+            return None;
+        }
+        // Relaxed: LRU clock, monotone is enough (see `cached_matrix`).
+        let tick = inner.tick.fetch_add(1, Ordering::Relaxed) + 1;
+        // Exact and delta probes key by the same fingerprint, so the
+        // whole lookup stays inside one shard read lock; the maintenance
+        // work itself (dominance tests over tuples) runs outside it.
+        let mut seed: Option<(Arc<ResultState>, usize)> = None;
+        {
+            let shard = inner.shards[cache_shard_of(fp)].read();
+            if let Some(entry) = shard.results.get(&(r.generation(), fp)) {
+                // Relaxed: advisory LRU stamp + statistics, exactly like
+                // the matrix hit arms.
+                entry.last_used.store(tick, Ordering::Relaxed);
+                let state = Arc::clone(&entry.state);
+                drop(shard);
+                inner.hits.fetch_add(1, Ordering::Relaxed); // statistic
+                let rows = state.rows.iter().map(|&p| p as usize).collect();
+                return Some((
+                    rows,
+                    CacheStatus::Hit,
+                    state.materialized,
+                    state.explicit_bitsets,
+                ));
+            }
+            if let Some(delta) = r.delta() {
+                for (k, &(g, _)) in delta.bases().iter().enumerate() {
+                    if let Some(entry) = shard.results.get(&(g, fp)) {
+                        // Relaxed: advisory LRU stamp.
+                        entry.last_used.store(tick, Ordering::Relaxed);
+                        seed = Some((Arc::clone(&entry.state), k));
+                        break;
+                    }
+                }
+            }
+        }
+        let (state, base_idx) = seed?;
+        let rows = self.maintain_result(c, r, &state, base_idx)?;
+        // Relaxed: statistic only.
+        inner.maintained_hits.fetch_add(1, Ordering::Relaxed);
+        if populate && r.len() <= u32::MAX as usize {
+            inner.insert_result_bounded(
+                (r.generation(), fp),
+                &Arc::new(ResultState {
+                    rows: rows.iter().map(|&p| p as u32).collect(),
+                    // The maintained rows were classified by tuple-level
+                    // dominance tests, not a matrix backend.
+                    materialized: false,
+                    explicit_bitsets: false,
+                }),
+            );
+        }
+        Some((rows, CacheStatus::MaintainedHit, false, false))
+    }
+
+    /// The maintenance classifier (Chomicki's incremental-skyline
+    /// argument, PAPERS.md): for a finite strict partial order,
+    /// `max(P, A ∪ B) = max(P, max(P, A) ∪ B)` — and when no member of
+    /// `max(P, A)` was changed or deleted, the old maxima of the
+    /// unchanged rows stay maximal (every non-maximal old row was
+    /// dominated by a *surviving* maximal one). So maintenance reduces
+    /// to BNL-inserting only the changed rows into the previous result
+    /// window: `O(|changed| · |result|)` dominance tests, no pass over
+    /// the relation and no matrix walk.
+    ///
+    /// `prev` is the cached result at `r.delta().bases()[base_idx]`;
+    /// positions are translated through the delta's storage-space
+    /// claims (tombstone watermarks, see
+    /// [`Delta`](pref_relation::Delta)). Returns `None` when
+    /// classification cannot decide — a result member is dirty or
+    /// tombstoned, or the delta's claims don't map onto the current
+    /// view — and the caller recomputes from scratch (this is also how
+    /// deletes re-promote previously dominated rows).
+    fn maintain_result(
+        &self,
+        c: &CompiledPref,
+        r: &Relation,
+        prev: &ResultState,
+        base_idx: usize,
+    ) -> Option<Vec<usize>> {
+        let delta = r.delta()?;
+        let (_, base_len) = delta.bases()[base_idx];
+        let since = delta.deleted_since(base_idx);
+        let t = delta.deleted().len() - since.len();
+        // Storage length at the base state: its visible rows were
+        // storage `0..s_g` minus the `t` tombstones recorded before it.
+        let s_g = base_len + t;
+        let dirty = delta.dirty();
+
+        // Translate the cached result's *positions* (at the base state)
+        // into *storage ids*. With no prior tombstones the two spaces
+        // coincide; otherwise enumerate the visible-at-base sequence.
+        let old_ids: Vec<u32> = if t == 0 {
+            prev.rows.clone()
+        } else {
+            let before = &delta.deleted()[..t];
+            let visible: Vec<u32> = (0..s_g as u32).filter(|id| !before.contains(id)).collect();
+            // A position past the visible set means the delta's claims
+            // don't describe the cached state — recompute.
+            prev.rows
+                .iter()
+                .map(|&p| visible.get(p as usize).copied())
+                .collect::<Option<Vec<u32>>>()?
+        };
+
+        // A changed or vanished result member breaks the
+        // survivors-stay-maximal argument: bail to a full recompute.
+        if old_ids
+            .iter()
+            .any(|id| dirty.contains(id) || since.contains(id))
+        {
+            return None;
+        }
+
+        // Map the surviving result onto current positions, and collect
+        // the candidate rows (appended or updated since the base) that
+        // must be classified against it.
+        let mut window: Vec<usize>;
+        let mut candidates: Vec<usize> = Vec::new();
+        match r.row_ids() {
+            None => {
+                // Dense: positions are storage ids, and a dense relation
+                // cannot carry tombstones (flattening clears the delta).
+                if t != 0 || !since.is_empty() {
+                    return None;
+                }
+                window = old_ids.iter().map(|&id| id as usize).collect();
+                candidates.extend(s_g..r.len());
+                for &d in dirty {
+                    if (d as usize) < s_g && !old_ids.contains(&d) {
+                        candidates.push(d as usize);
+                    }
+                }
+            }
+            Some(ids) => {
+                // Delete-chain view: ids are ascending storage ids (the
+                // dense prefix minus tombstones), so binary search maps
+                // each survivor; an unmapped survivor means the claims
+                // are broken — recompute.
+                window = Vec::with_capacity(old_ids.len());
+                for &id in &old_ids {
+                    window.push(ids.binary_search(&id).ok()?);
+                }
+                for (p, &id) in ids.iter().enumerate() {
+                    if (id as usize) >= s_g || (dirty.contains(&id) && !old_ids.contains(&id)) {
+                        candidates.push(p);
+                    }
+                }
+            }
+        }
+        candidates.sort_unstable();
+        candidates.dedup();
+
+        // BNL-insert every candidate against the maintained window. The
+        // compiled term's `better(x, y)` ("y is better than x") is the
+        // only dominance test used — the same comparator a recompute
+        // would run, so equal tuples, Prior chains and EXPLICIT orders
+        // all classify identically.
+        'next: for cand in candidates {
+            let ct = r.row(cand);
+            let mut j = 0;
+            while j < window.len() {
+                let wt = r.row(window[j]);
+                if c.better(ct, wt) {
+                    // A window member beats the candidate: discard it.
+                    continue 'next;
+                }
+                if c.better(wt, ct) {
+                    // The candidate beats a previous maximum: prune it.
+                    window.swap_remove(j);
+                } else {
+                    j += 1;
+                }
+            }
+            window.push(cand);
+        }
+        window.sort_unstable();
+        Some(window)
+    }
+
     /// The cached (or freshly built and cached) score matrix view for
     /// `pref` over `r`, or `None` when the term does not materialize on
     /// `r` (or materialization is disabled). This is the handle the
@@ -685,6 +1035,66 @@ fn groupby_windows(members: &[Vec<usize>], better: impl Fn(usize, usize) -> bool
         result.extend(window);
     }
     result
+}
+
+/// The result of one [`Prepared::execute`]: the BMO row set plus the
+/// identity it was computed at — the relation generation and the term
+/// fingerprint, i.e. exactly the engine's result-cache key. The same
+/// row set is cached inside the engine (when populating), so re-asking
+/// the same prepared query over the same content state serves this
+/// result verbatim, and re-asking it after a mutation *maintains* it
+/// against the relation's delta instead of re-running the algorithm
+/// ([`CacheStatus::MaintainedHit`]).
+///
+/// Destructure with [`MaintainedResult::into_parts`] (or
+/// [`MaintainedResult::into_rows`]) where the old
+/// `(Vec<usize>, Explain)` tuple was expected.
+#[derive(Debug, Clone)]
+pub struct MaintainedResult {
+    rows: Vec<usize>,
+    explain: Explain,
+    generation: u64,
+    fingerprint: u64,
+}
+
+impl MaintainedResult {
+    /// The BMO result as sorted row indices into the executed relation.
+    pub fn rows(&self) -> &[usize] {
+        &self.rows
+    }
+
+    /// The execution's [`Explain`] — algorithm, backend, cache outcome.
+    pub fn explain(&self) -> &Explain {
+        &self.explain
+    }
+
+    /// Shorthand for the cache outcome this execution reported.
+    pub fn cache(&self) -> CacheStatus {
+        self.explain.cache
+    }
+
+    /// The relation content generation the rows were computed at. A
+    /// relation still on this generation is byte-identical to the state
+    /// this result describes.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The term fingerprint of the query that produced the rows — the
+    /// other half of the engine's result-cache key.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Consume the handle into the classic `(rows, explain)` pair.
+    pub fn into_parts(self) -> (Vec<usize>, Explain) {
+        (self.rows, self.explain)
+    }
+
+    /// Consume the handle into just the row indices.
+    pub fn into_rows(self) -> Vec<usize> {
+        self.rows
+    }
 }
 
 /// A preference query compiled once by [`Engine::prepare`], executable
@@ -832,28 +1242,31 @@ impl Prepared {
             .0
     }
 
-    /// Evaluate `σ[P](R)`, returning sorted row indices plus the
-    /// [`Explain`] (including cache outcome and relation generation).
+    /// Evaluate `σ[P](R)`, returning a [`MaintainedResult`]: the sorted
+    /// row indices, the [`Explain`] (including cache outcome and
+    /// relation generation), and the `(generation, fingerprint)`
+    /// identity under which the engine keeps maintaining the result
+    /// across mutations.
     ///
     /// `r` must have the schema the query was prepared against; a
     /// mismatch surfaces as a schema error instead of silently reading
     /// the wrong columns.
-    pub fn execute(&self, r: &Relation) -> Result<(Vec<usize>, Explain), QueryError> {
+    pub fn execute(&self, r: &Relation) -> Result<MaintainedResult, QueryError> {
         self.run(r, true)
     }
 
-    /// [`Prepared::execute`] without populating the matrix cache. Use
+    /// [`Prepared::execute`] without populating the engine caches. Use
     /// for *derived* relations whose generation will never recur — a
     /// WHERE-filtered base, a per-request sub-relation: their matrices
-    /// can never be re-served, so inserting them would only pin dead
-    /// memory and evict reusable entries. The cache is still *read*
-    /// (hits on a clone of a cached state are legitimate), and the
-    /// `Explain` still reports the build as a miss.
-    pub fn execute_uncached(&self, r: &Relation) -> Result<(Vec<usize>, Explain), QueryError> {
+    /// and results can never be re-served, so inserting them would only
+    /// pin dead memory and evict reusable entries. The caches are still
+    /// *read* (hits on a clone of a cached state are legitimate), and
+    /// the `Explain` still reports a fresh build as a miss.
+    pub fn execute_uncached(&self, r: &Relation) -> Result<MaintainedResult, QueryError> {
         self.run(r, false)
     }
 
-    fn run(&self, r: &Relation, populate: bool) -> Result<(Vec<usize>, Explain), QueryError> {
+    fn run(&self, r: &Relation, populate: bool) -> Result<MaintainedResult, QueryError> {
         // An unbound shape denotes the empty order — evaluating it would
         // silently return every row. Refuse instead of guessing.
         if let Some(&slot) = self.param_slots.first() {
@@ -870,6 +1283,42 @@ impl Prepared {
             Some(a) => (a, "forced by caller".to_string()),
             None => opt.select(&self.simplified, &self.compiled, r)?,
         };
+        // Result tier first: an exact or delta-maintained previous
+        // result answers without touching the matrix cache or running
+        // any algorithm at all.
+        if !opt.no_materialize {
+            if let Some((rows, cache, materialized, explicit_bitsets)) =
+                self.engine
+                    .cached_result(self.fingerprint, &self.compiled, r, populate)
+            {
+                let reason = match cache {
+                    CacheStatus::Hit => "result cached for this exact content state".to_string(),
+                    _ => "result maintained across the relation's delta: changed rows \
+                          classified against the previous skyline"
+                        .to_string(),
+                };
+                return Ok(MaintainedResult {
+                    explain: Explain {
+                        original: self.original.clone(),
+                        simplified: self.simplified_str.clone(),
+                        rewritten: self.rewritten,
+                        algorithm,
+                        materialized,
+                        explicit_bitsets,
+                        cache,
+                        cache_shard: Some(cache_shard_of(self.fingerprint)),
+                        generation: r.generation(),
+                        lineage: r.lineage(),
+                        shape_fingerprint: self.binding.as_ref().map(|(fp, _)| *fp),
+                        binding: self.binding.as_ref().map(|(_, values)| values.clone()),
+                        reason,
+                    },
+                    generation: r.generation(),
+                    fingerprint: self.fingerprint,
+                    rows,
+                });
+            }
+        }
         let (matrix, cache) = if opt.no_materialize || !Optimizer::uses_matrix(algorithm) {
             (None, CacheStatus::Bypass)
         } else {
@@ -885,15 +1334,34 @@ impl Prepared {
             r,
             populate,
         )?;
-        Ok((
-            rows,
-            Explain {
+        let materialized = matrix.is_some();
+        let explicit_bitsets = matrix.as_ref().is_some_and(MatrixWindow::explicit_backend);
+        // Seed the result tier for future executions (and for the
+        // maintenance classifier after the next mutation). Gated the
+        // same way the probe is, plus the caller's populate choice.
+        if populate
+            && !opt.no_materialize
+            && !opt.no_result_cache
+            && self.engine.inner.capacity > 0
+            && r.len() <= u32::MAX as usize
+        {
+            self.engine.inner.insert_result_bounded(
+                (r.generation(), self.fingerprint),
+                &Arc::new(ResultState {
+                    rows: rows.iter().map(|&p| p as u32).collect(),
+                    materialized,
+                    explicit_bitsets,
+                }),
+            );
+        }
+        Ok(MaintainedResult {
+            explain: Explain {
                 original: self.original.clone(),
                 simplified: self.simplified_str.clone(),
                 rewritten: self.rewritten,
                 algorithm,
-                materialized: matrix.is_some(),
-                explicit_bitsets: matrix.as_ref().is_some_and(MatrixWindow::explicit_backend),
+                materialized,
+                explicit_bitsets,
                 cache,
                 // Which lock shard the lookup ran through — every key a
                 // term can probe lives in the shard its fingerprint
@@ -908,12 +1376,15 @@ impl Prepared {
                 binding: self.binding.as_ref().map(|(_, values)| values.clone()),
                 reason,
             },
-        ))
+            generation: r.generation(),
+            fingerprint: self.fingerprint,
+            rows,
+        })
     }
 
     /// Evaluate and materialize the sub-relation of best matches.
     pub fn execute_rel(&self, r: &Relation) -> Result<Relation, QueryError> {
-        Ok(r.take_rows(&self.execute(r)?.0))
+        Ok(r.take_rows(self.execute(r)?.rows()))
     }
 }
 
@@ -940,21 +1411,31 @@ mod tests {
         let p = pos("c", ["x"]).pareto(neg("c", ["z"]));
         let q = engine.prepare(&p, r.schema()).unwrap();
 
-        let (rows1, ex1) = q.execute(&r).unwrap();
+        let (rows1, ex1) = q.execute(&r).unwrap().into_parts();
         assert!(ex1.materialized);
         assert_eq!(ex1.cache, CacheStatus::Miss);
         assert_eq!(ex1.generation, r.generation());
 
-        let (rows2, ex2) = q.execute(&r).unwrap();
-        assert_eq!(ex2.cache, CacheStatus::Hit, "unchanged relation must hit");
-        assert_eq!(rows1, rows2);
+        let res2 = q.execute(&r).unwrap();
+        assert_eq!(
+            res2.cache(),
+            CacheStatus::Hit,
+            "unchanged relation must hit"
+        );
+        assert_eq!(res2.generation(), r.generation());
+        assert_eq!(res2.fingerprint(), q.fingerprint());
+        assert!(
+            res2.explain().materialized,
+            "an exact result hit replays the producing execution's backend"
+        );
+        assert_eq!(rows1, res2.into_rows());
         let stats = engine.cache_stats();
         assert_eq!((stats.hits, stats.misses), (1, 1));
 
         // A different prepared query with the same structure shares the
         // cache entry: the fingerprint, not the Prepared identity, keys it.
-        let (_, ex3) = engine.prepare(&p, r.schema()).unwrap().execute(&r).unwrap();
-        assert_eq!(ex3.cache, CacheStatus::Hit);
+        let ex3 = engine.prepare(&p, r.schema()).unwrap().execute(&r).unwrap();
+        assert_eq!(ex3.cache(), CacheStatus::Hit);
     }
 
     #[test]
@@ -967,38 +1448,114 @@ mod tests {
         let p = around("a", 2).pareto(lowest("b"));
         let q = engine.prepare(&p, r.schema()).unwrap();
 
-        let (_, ex) = q.execute(&r).unwrap();
+        let (_, ex) = q.execute(&r).unwrap().into_parts();
         assert_eq!(ex.cache, CacheStatus::Miss);
         let gen_before = ex.generation;
-        assert_eq!(q.execute(&r).unwrap().1.cache, CacheStatus::Hit);
+        assert_eq!(q.execute(&r).unwrap().cache(), CacheStatus::Hit);
 
-        // Mutate: a dominating row appears. The cached matrix must not
-        // answer for the new state — but the append-shaped delta lets the
-        // rebuild reuse the clean shards incrementally.
+        // Mutate: a dominating row appears. The cached result must not
+        // answer verbatim for the new state — but the append-shaped
+        // delta lets the engine *maintain* it: the new row is classified
+        // against the previous skyline, no algorithm re-run at all.
         r.push_values(vec![Value::from(2), Value::from(0), Value::from("w")])
             .unwrap();
-        let (rows, ex) = q.execute(&r).unwrap();
+        let (rows, ex) = q.execute(&r).unwrap().into_parts();
         assert_ne!(ex.generation, gen_before);
         assert_eq!(
             ex.cache,
-            CacheStatus::ShardHit,
-            "append over a warmed matrix must rebuild incrementally"
+            CacheStatus::MaintainedHit,
+            "append over a cached result must maintain incrementally"
         );
-        assert!(!ex.cache.is_warm(), "a shard hit still computed keys");
+        assert!(
+            !ex.cache.is_warm(),
+            "a maintained hit still classified rows"
+        );
         assert_eq!(rows, sigma_naive_generic(&p, &r).unwrap());
+        assert_eq!(engine.cache_stats().maintained_hits, 1);
 
         // An engine that never saw the old state cannot take the
         // incremental route.
         let cold = Engine::new();
-        let (rows2, ex2) = cold.prepare(&p, r.schema()).unwrap().execute(&r).unwrap();
+        let (rows2, ex2) = cold
+            .prepare(&p, r.schema())
+            .unwrap()
+            .execute(&r)
+            .unwrap()
+            .into_parts();
         assert_eq!(ex2.cache, CacheStatus::Miss);
         assert_eq!(rows, rows2);
     }
 
     #[test]
+    fn result_cache_ablation_exposes_the_matrix_shard_route() {
+        // Same mutation shape as above, but with the result tier
+        // disabled: the append must fall back to the PR 6 incremental
+        // matrix rebuild (ShardHit), proving the knob keeps that route
+        // measurable.
+        let engine = Engine::with_optimizer(Optimizer::new().without_result_cache());
+        let mut r = rel! {
+            ("a": Int, "b": Int, "c": Str);
+            (1, 9, "x"), (2, 8, "y"), (3, 7, "x"),
+        };
+        let p = around("a", 2).pareto(lowest("b"));
+        let q = engine.prepare(&p, r.schema()).unwrap();
+        assert_eq!(q.execute(&r).unwrap().cache(), CacheStatus::Miss);
+        assert_eq!(
+            q.execute(&r).unwrap().cache(),
+            CacheStatus::Hit,
+            "matrix exact hits still serve without the result tier"
+        );
+        r.push_values(vec![Value::from(2), Value::from(0), Value::from("w")])
+            .unwrap();
+        let (rows, ex) = q.execute(&r).unwrap().into_parts();
+        assert_eq!(
+            ex.cache,
+            CacheStatus::ShardHit,
+            "append over a warmed matrix must rebuild incrementally"
+        );
+        assert_eq!(rows, sigma_naive_generic(&p, &r).unwrap());
+        let stats = engine.cache_stats();
+        assert_eq!(stats.maintained_hits, 0);
+        assert_eq!(stats.result_entries, 0, "ablated engines cache no results");
+    }
+
+    #[test]
+    fn delete_views_bypass_the_positional_shard_tier() {
+        // Regression: after `delete_row` the relation is a tombstone view
+        // whose delta still names the dense pre-delete state — and that
+        // state's resident matrix matches the recorded prefix length
+        // exactly. The incremental rebuild is positional (base state =
+        // unchanged storage prefix), so engaging it off a view replays
+        // the old answer in stale storage coordinates. It must fall
+        // through to a cold build instead.
+        let engine = Engine::with_optimizer(Optimizer::new().without_result_cache());
+        let mut r = rel! {
+            ("a": Int, "b": Int, "c": Str);
+            (1, 2, "x"), (2, 0, "y"), (3, 5, "x"), (4, 1, "y"),
+        };
+        let p = around("b", 0).pareto(lowest("a"));
+        let q = engine.prepare(&p, r.schema()).unwrap();
+        assert_eq!(q.execute(&r).unwrap().cache(), CacheStatus::Miss);
+
+        // Delete a maximum: the survivors shift left and a previously
+        // dominated row re-promotes — both wrong under matrix reuse.
+        r.delete_row(1);
+        let (rows, ex) = q.execute(&r).unwrap().into_parts();
+        assert_eq!(
+            ex.cache,
+            CacheStatus::Miss,
+            "a tombstone view must not seed the positional shard rebuild"
+        );
+        assert_eq!(rows, sigma_naive_generic(&p, &r).unwrap());
+    }
+
+    #[test]
     fn appends_and_updates_rebuild_only_their_shards() {
         // shard_rows = 4 over 10 rows → shards [0..4), [4..8), [8..10).
-        let engine = Engine::with_optimizer(Optimizer::new().with_shard_rows(4));
+        // Result maintenance would answer these mutations before the
+        // matrix path; ablate it so the shard rebuilds stay observable.
+        let engine =
+            Engine::with_optimizer(Optimizer::new().with_shard_rows(4).without_result_cache());
         let mut r = rel! { ("a": Int, "b": Int); (0, 0) };
         for i in 1..10i64 {
             r.push_values(vec![Value::from(i), Value::from(100 - i)])
@@ -1006,14 +1563,14 @@ mod tests {
         }
         let p = around("a", 4).pareto(lowest("b"));
         let q = engine.prepare(&p, r.schema()).unwrap();
-        assert_eq!(q.execute(&r).unwrap().1.cache, CacheStatus::Miss);
+        assert_eq!(q.execute(&r).unwrap().cache(), CacheStatus::Miss);
         let gens_before = q.matrix(&r).unwrap().matrix().shard_generations().to_vec();
         assert_eq!(gens_before.len(), 3);
 
         // Append within the tail shard: shards 0 and 1 carry over.
         r.push_values(vec![Value::from(99), Value::from(99)])
             .unwrap();
-        let (rows, ex) = q.execute(&r).unwrap();
+        let (rows, ex) = q.execute(&r).unwrap().into_parts();
         assert_eq!(ex.cache, CacheStatus::ShardHit);
         assert_eq!(rows, sigma_naive_generic(&p, &r).unwrap());
         let gens_after = q.matrix(&r).unwrap().matrix().shard_generations().to_vec();
@@ -1030,7 +1587,7 @@ mod tests {
         // In-place update of row 1: only shard 0 is recomputed.
         r.update_row(1, vec![Value::from(4), Value::from(0)])
             .unwrap();
-        let (rows, ex) = q.execute(&r).unwrap();
+        let (rows, ex) = q.execute(&r).unwrap().into_parts();
         assert_eq!(ex.cache, CacheStatus::ShardHit);
         assert_eq!(rows, sigma_naive_generic(&p, &r).unwrap());
         let gens_updated = q.matrix(&r).unwrap().matrix().shard_generations().to_vec();
@@ -1056,7 +1613,7 @@ mod tests {
         // A sort invalidates every prefix claim: full rebuild.
         r.sort_by_key(|t| t[0].clone());
         assert!(r.delta().is_none());
-        let (rows, ex) = q.execute(&r).unwrap();
+        let (rows, ex) = q.execute(&r).unwrap().into_parts();
         assert_eq!(ex.cache, CacheStatus::Miss);
         assert_eq!(rows, sigma_naive_generic(&p, &r).unwrap());
     }
@@ -1076,7 +1633,7 @@ mod tests {
             let q = engine.prepare(&p, r.schema()).unwrap();
             for _ in 0..2 {
                 assert_eq!(
-                    q.execute(&r).unwrap().0,
+                    q.execute(&r).unwrap().into_rows(),
                     sigma_naive_generic(&p, &r).unwrap(),
                     "prepared execution diverged for {p}"
                 );
@@ -1119,8 +1676,8 @@ mod tests {
         let forced = Engine::with_optimizer(Optimizer::new().with_algorithm(Algorithm::Bnl))
             .with_capacity(0);
         let qf = forced.prepare(&p, r.schema()).unwrap();
-        assert_eq!(qf.execute(&r).unwrap().1.cache, CacheStatus::Miss);
-        assert_eq!(qf.execute(&r).unwrap().1.cache, CacheStatus::Miss);
+        assert_eq!(qf.execute(&r).unwrap().cache(), CacheStatus::Miss);
+        assert_eq!(qf.execute(&r).unwrap().cache(), CacheStatus::Miss);
         let stats = forced.cache_stats();
         assert_eq!(stats.entries, 0);
         assert_eq!(
@@ -1137,10 +1694,10 @@ mod tests {
         let q2 = small
             .prepare(&around("a", 1).pareto(lowest("b")), r.schema())
             .unwrap();
-        assert_eq!(q1.execute(&r).unwrap().1.cache, CacheStatus::Miss);
-        assert_eq!(q2.execute(&r).unwrap().1.cache, CacheStatus::Miss);
+        assert_eq!(q1.execute(&r).unwrap().cache(), CacheStatus::Miss);
+        assert_eq!(q2.execute(&r).unwrap().cache(), CacheStatus::Miss);
         assert_eq!(small.cache_stats().entries, 1);
-        assert_eq!(q1.execute(&r).unwrap().1.cache, CacheStatus::Miss);
+        assert_eq!(q1.execute(&r).unwrap().cache(), CacheStatus::Miss);
     }
 
     #[test]
@@ -1151,14 +1708,14 @@ mod tests {
         let q = engine.prepare(&p, r.schema()).unwrap();
 
         // Uncached: builds, counts the miss, inserts nothing.
-        let (rows, ex) = q.execute_uncached(&r).unwrap();
+        let (rows, ex) = q.execute_uncached(&r).unwrap().into_parts();
         assert_eq!(ex.cache, CacheStatus::Miss);
         assert_eq!(engine.cache_stats().entries, 0);
         assert_eq!(rows, sigma_naive_generic(&p, &r).unwrap());
 
         // But it does read entries a caching execution left behind.
         q.execute(&r).unwrap();
-        assert_eq!(q.execute_uncached(&r).unwrap().1.cache, CacheStatus::Hit);
+        assert_eq!(q.execute_uncached(&r).unwrap().cache(), CacheStatus::Hit);
         assert_eq!(engine.cache_stats().entries, 1);
     }
 
@@ -1173,7 +1730,7 @@ mod tests {
 
         // First derivation: a miss, cached under the lineage key.
         let d1 = r.select_derived(pred, fp);
-        let (rows1, ex1) = q.execute(&d1).unwrap();
+        let (rows1, ex1) = q.execute(&d1).unwrap().into_parts();
         assert_eq!(ex1.cache, CacheStatus::Miss);
         assert_eq!(ex1.lineage, d1.lineage());
 
@@ -1181,7 +1738,7 @@ mod tests {
         // lineage — served warm.
         let d2 = r.select_derived(pred, fp);
         assert_ne!(d1.generation(), d2.generation());
-        let (rows2, ex2) = q.execute(&d2).unwrap();
+        let (rows2, ex2) = q.execute(&d2).unwrap().into_parts();
         assert_eq!(ex2.cache, CacheStatus::DerivedHit);
         assert_eq!(rows1, rows2);
         assert_eq!(rows2, sigma_naive_generic(&p, &d2).unwrap());
@@ -1191,7 +1748,7 @@ mod tests {
         // A different predicate over the same base is a different
         // subset: no cross-predicate reuse.
         let d3 = r.select_derived(|t| t[0] <= pref_relation::Value::from(2), fp ^ 1);
-        let (rows3, ex3) = q.execute(&d3).unwrap();
+        let (rows3, ex3) = q.execute(&d3).unwrap().into_parts();
         assert_eq!(ex3.cache, CacheStatus::Miss);
         assert_eq!(rows3, sigma_naive_generic(&p, &d3).unwrap());
     }
@@ -1204,7 +1761,7 @@ mod tests {
         let q = engine.prepare(&p, r.schema()).unwrap();
 
         // Warm the whole-base matrix.
-        assert_eq!(q.execute(&r).unwrap().1.cache, CacheStatus::Miss);
+        assert_eq!(q.execute(&r).unwrap().cache(), CacheStatus::Miss);
 
         // A *never-seen* predicate: no derived entry exists, but the
         // row-id view windows onto the base's cached matrix — warm on
@@ -1213,7 +1770,7 @@ mod tests {
             |t| t[0] <= pref_relation::Value::from(5),
             pref_relation::predicate_fingerprint(b"a <= 5"),
         );
-        let (rows, ex) = q.execute(&d).unwrap();
+        let (rows, ex) = q.execute(&d).unwrap().into_parts();
         assert_eq!(ex.cache, CacheStatus::WindowHit);
         assert!(ex.cache.is_warm());
         assert_eq!(rows, sigma_naive_generic(&p, &d).unwrap());
@@ -1226,13 +1783,13 @@ mod tests {
 
         // Another fresh predicate over the same base — still warm.
         let d2 = r.select_derived(|t| t[0] >= pref_relation::Value::from(2), 0xbeef);
-        let (rows2, ex2) = q.execute(&d2).unwrap();
+        let (rows2, ex2) = q.execute(&d2).unwrap().into_parts();
         assert_eq!(ex2.cache, CacheStatus::WindowHit);
         assert_eq!(rows2, sigma_naive_generic(&p, &d2).unwrap());
 
         // Stacked derivations window onto the *root* base.
         let dd = d.take_rows_derived(&[0, 1], 0x77);
-        let (rows3, ex3) = q.execute(&dd).unwrap();
+        let (rows3, ex3) = q.execute(&dd).unwrap().into_parts();
         assert_eq!(ex3.cache, CacheStatus::WindowHit);
         assert_eq!(rows3, sigma_naive_generic(&p, &dd).unwrap());
 
@@ -1252,7 +1809,7 @@ mod tests {
 
         let pred = |t: &pref_relation::Tuple| t[0] <= pref_relation::Value::from(5);
         assert_eq!(
-            q.execute(&r.select_derived(pred, 9)).unwrap().1.cache,
+            q.execute(&r.select_derived(pred, 9)).unwrap().cache(),
             CacheStatus::WindowHit
         );
 
@@ -1266,7 +1823,7 @@ mod tests {
         ])
         .unwrap();
         let d = r.select_derived(pred, 9);
-        let (rows, ex) = q.execute(&d).unwrap();
+        let (rows, ex) = q.execute(&d).unwrap().into_parts();
         assert_eq!(ex.cache, CacheStatus::Miss, "stale window must not serve");
         assert_eq!(rows, sigma_naive_generic(&p, &d).unwrap());
 
@@ -1275,7 +1832,7 @@ mod tests {
         let mut dv = r.select_derived(pred, 9);
         dv.sort_by_key(|t| t[0].clone());
         assert!(dv.window_ids().is_none());
-        let (rows, ex) = q.execute(&dv).unwrap();
+        let (rows, ex) = q.execute(&dv).unwrap().into_parts();
         assert_eq!(ex.cache, CacheStatus::Miss);
         assert_eq!(rows, sigma_naive_generic(&p, &dv).unwrap());
     }
@@ -1294,11 +1851,11 @@ mod tests {
         // Cold base: the first derivation builds and caches a subset
         // matrix under its lineage key.
         assert_eq!(
-            q.execute(&r.select_derived(pred, 5)).unwrap().1.cache,
+            q.execute(&r.select_derived(pred, 5)).unwrap().cache(),
             CacheStatus::Miss
         );
         q.execute(&r).unwrap(); // now warm the base too
-        let (_, ex) = q.execute(&r.select_derived(pred, 5)).unwrap();
+        let (_, ex) = q.execute(&r.select_derived(pred, 5)).unwrap().into_parts();
         assert_eq!(
             ex.cache,
             CacheStatus::DerivedHit,
@@ -1341,7 +1898,7 @@ mod tests {
 
         q.execute(&r.select_derived(pred, fp)).unwrap();
         assert_eq!(
-            q.execute(&r.select_derived(pred, fp)).unwrap().1.cache,
+            q.execute(&r.select_derived(pred, fp)).unwrap().cache(),
             CacheStatus::DerivedHit
         );
 
@@ -1350,7 +1907,7 @@ mod tests {
         r.push_values(vec![Value::from(0), Value::from(0), Value::from("x")])
             .unwrap();
         let d = r.select_derived(pred, fp);
-        let (rows, ex) = q.execute(&d).unwrap();
+        let (rows, ex) = q.execute(&d).unwrap().into_parts();
         assert_eq!(ex.cache, CacheStatus::Miss, "new base state must rebuild");
         assert_eq!(rows, sigma_naive_generic(&p, &d).unwrap());
     }
@@ -1416,7 +1973,7 @@ mod tests {
         let bound = shape.bind(&[Value::from(3)]).unwrap();
         assert!(!bound.has_params());
         let concrete_term = around("a", 3).pareto(lowest("b"));
-        let (rows, ex) = bound.execute(&r).unwrap();
+        let (rows, ex) = bound.execute(&r).unwrap().into_parts();
         assert_eq!(rows, sigma_naive_generic(&concrete_term, &r).unwrap());
         assert_eq!(ex.shape_fingerprint, shape.shape_fingerprint());
         assert_eq!(ex.binding.as_deref(), Some(&[Value::from(3)][..]));
@@ -1425,7 +1982,7 @@ mod tests {
         let concrete = engine.prepare(&concrete_term, r.schema()).unwrap();
         assert_eq!(concrete.fingerprint(), bound.fingerprint());
         if ex.materialized {
-            assert_eq!(concrete.execute(&r).unwrap().1.cache, CacheStatus::Hit);
+            assert_eq!(concrete.execute(&r).unwrap().cache(), CacheStatus::Hit);
         }
 
         // Re-binding with fresh values is a different concrete query —
@@ -1433,14 +1990,14 @@ mod tests {
         let bound2 = shape.bind(&[Value::from(5)]).unwrap();
         assert_ne!(bound2.fingerprint(), bound.fingerprint());
         assert_eq!(bound2.shape_fingerprint(), shape.shape_fingerprint());
-        let (rows2, e1) = bound2.execute(&r).unwrap();
+        let (rows2, e1) = bound2.execute(&r).unwrap().into_parts();
         assert_eq!(
             rows2,
             sigma_naive_generic(&around("a", 5).pareto(lowest("b")), &r).unwrap()
         );
         if e1.materialized {
             assert_eq!(e1.cache, CacheStatus::Miss);
-            assert_eq!(bound2.execute(&r).unwrap().1.cache, CacheStatus::Hit);
+            assert_eq!(bound2.execute(&r).unwrap().cache(), CacheStatus::Hit);
         }
 
         // Bad bindings name the slot.
@@ -1456,7 +2013,7 @@ mod tests {
         // Binding a concrete query is the identity.
         let same = concrete.bind(&[Value::from(9)]).unwrap();
         assert_eq!(same.fingerprint(), concrete.fingerprint());
-        assert!(same.execute(&r).unwrap().1.binding.is_none());
+        assert!(same.execute(&r).unwrap().explain().binding.is_none());
     }
 
     #[test]
@@ -1479,8 +2036,8 @@ mod tests {
             "equal bindings must collapse like inline literals"
         );
         assert_eq!(
-            collapsed.execute(&r).unwrap().0,
-            fresh.execute(&r).unwrap().0
+            collapsed.execute(&r).unwrap().into_rows(),
+            fresh.execute(&r).unwrap().into_rows()
         );
 
         // Distinct bindings keep the two-operand Pareto (fast path).
@@ -1490,8 +2047,8 @@ mod tests {
             .unwrap();
         assert_eq!(distinct.fingerprint(), fresh2.fingerprint());
         assert_eq!(
-            distinct.execute(&r).unwrap().0,
-            fresh2.execute(&r).unwrap().0
+            distinct.execute(&r).unwrap().into_rows(),
+            fresh2.execute(&r).unwrap().into_rows()
         );
     }
 

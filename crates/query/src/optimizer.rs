@@ -91,6 +91,16 @@ pub enum CacheStatus {
     /// serve — keys *were* computed — but the work was proportional to
     /// the mutation, not the relation.
     ShardHit,
+    /// Served by *maintaining* a cached BMO result across a mutation:
+    /// the relation's [`Delta`](pref_relation::Delta) proved the old
+    /// result rows untouched, so the engine classified only the
+    /// changed rows against the previous skyline (a dominated append
+    /// is O(|result|) dominance tests; a dominating append prunes and
+    /// splices) instead of re-running the algorithm over the relation
+    /// — no matrix walk at all. The cheapest non-identical-generation
+    /// route: work proportional to the *mutation*, bounded by the
+    /// *result*, independent of the relation.
+    MaintainedHit,
     /// Built fresh (and cached, when an engine with caching ran it).
     Miss,
     /// No matrix was involved: the algorithm doesn't use one, the term
@@ -116,6 +126,9 @@ impl fmt::Display for CacheStatus {
             CacheStatus::DerivedHit => "derived-hit",
             CacheStatus::WindowHit => "window-hit (base matrix via row-id indirection)",
             CacheStatus::ShardHit => "shard-hit (incremental rebuild of mutated shards only)",
+            CacheStatus::MaintainedHit => {
+                "maintained-hit (previous result patched against the delta)"
+            }
             CacheStatus::Miss => "miss",
             CacheStatus::Bypass => "bypass",
         })
@@ -169,15 +182,21 @@ pub struct Explain {
     pub reason: String,
 }
 
-impl fmt::Display for Explain {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "preference : {}", self.original)?;
+impl Explain {
+    /// The canonical serialization, one element per report line. This is
+    /// the *single* rendering of an explanation: [`Explain`]'s `Display`
+    /// joins these lines, and the server's `EXPLAIN` verb sends them as
+    /// the reply body verbatim — the Rust view and the wire view cannot
+    /// drift because there is only one serializer (a parity test in the
+    /// server crate pins this).
+    pub fn lines(&self) -> Vec<String> {
+        let mut out = Vec::with_capacity(7);
+        out.push(format!("preference : {}", self.original));
         if self.rewritten {
-            writeln!(f, "rewritten  : {}", self.simplified)?;
+            out.push(format!("rewritten  : {}", self.simplified));
         }
-        writeln!(f, "algorithm  : {}", self.algorithm)?;
-        writeln!(
-            f,
+        out.push(format!("algorithm  : {}", self.algorithm));
+        out.push(format!(
             "dominance  : {}",
             if self.materialized && self.explicit_bitsets {
                 "score-matrix (columnar keys + EXPLICIT reachability bitsets)"
@@ -193,10 +212,13 @@ impl fmt::Display for Explain {
             } else {
                 "generic term-walk"
             }
-        )?;
+        ));
         if let (Some(fp), Some(binding)) = (self.shape_fingerprint, &self.binding) {
             let values: Vec<String> = binding.iter().map(Value::to_string).collect();
-            writeln!(f, "shape      : {fp:#018x} bound [{}]", values.join(", "))?;
+            out.push(format!(
+                "shape      : {fp:#018x} bound [{}]",
+                values.join(", ")
+            ));
         }
         // The shard + lock-tier suffix: which of the engine's cache lock
         // shards served the lookup, and whether the request stayed on
@@ -213,22 +235,27 @@ impl fmt::Display for Explain {
             None => String::new(),
         };
         match self.lineage {
-            Some(l) => writeln!(
-                f,
+            Some(l) => out.push(format!(
                 "cache      : {}{shard} (relation generation {}; derived from base \
                  generation {} via predicate {:#018x})",
                 self.cache,
                 self.generation,
                 l.base_generation(),
                 l.predicate()
-            )?,
-            None => writeln!(
-                f,
+            )),
+            None => out.push(format!(
                 "cache      : {}{shard} (relation generation {})",
                 self.cache, self.generation
-            )?,
+            )),
         }
-        write!(f, "reason     : {}", self.reason)
+        out.push(format!("reason     : {}", self.reason));
+        out
+    }
+}
+
+impl fmt::Display for Explain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.lines().join("\n"))
     }
 }
 
@@ -253,6 +280,12 @@ pub struct Optimizer {
     /// not reach the decomposition evaluator's per-subquery BNL calls,
     /// which choose their own backend.
     pub no_materialize: bool,
+    /// Disable the engine's maintained-result tier (exact result hits
+    /// and delta maintenance, [`CacheStatus::MaintainedHit`]); matrix
+    /// caching is unaffected. Benchmark ablation and debugging knob —
+    /// this is how the shard-hit matrix route stays measurable once
+    /// result maintenance would otherwise answer first.
+    pub no_result_cache: bool,
 }
 
 impl Optimizer {
@@ -292,6 +325,14 @@ impl Optimizer {
     /// Disable the score-matrix backend (ablation knob).
     pub fn without_materialization(mut self) -> Self {
         self.no_materialize = true;
+        self
+    }
+
+    /// Disable the maintained-result tier (ablation knob): every
+    /// execution goes to the matrix cache or the algorithm, never to a
+    /// cached or delta-maintained result.
+    pub fn without_result_cache(mut self) -> Self {
+        self.no_result_cache = true;
         self
     }
 
@@ -560,9 +601,8 @@ mod tests {
                     let opt = Optimizer {
                         force: Some(algo),
                         threads: 2,
-                        shard_rows: 0,
-                        no_rewrite: false,
                         no_materialize,
+                        ..Optimizer::default()
                     };
                     assert_eq!(
                         opt.evaluate(&p, &r).unwrap().0,

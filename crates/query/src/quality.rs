@@ -317,28 +317,44 @@ pub fn k_best(pref: &Pref, r: &Relation, k: usize) -> Result<Vec<usize>, QueryEr
     k_best_of_graph(&g, r.len(), k)
 }
 
-/// [`k_best`] through an [`Engine`]: the O(n²) better-than graph is
-/// built from the engine-cached
-/// [`ScoreMatrix`](pref_core::eval::ScoreMatrix) when the term
-/// materializes (numeric key comparisons instead of per-pair term
-/// walks), with the compiled-term walk as fallback.
+/// Deprecated free-function spelling of [`Engine::k_best`].
+#[deprecated(since = "0.2.0", note = "use the `Engine::k_best` method")]
 pub fn k_best_with(
     engine: &Engine,
     pref: &Pref,
     r: &Relation,
     k: usize,
 ) -> Result<Vec<usize>, QueryError> {
-    let q = engine.prepare(pref, r.schema())?;
-    let g = match q.matrix(r) {
-        Some(m) => BetterGraph::from_fn(r.len(), |x, y| m.better(x, y)),
-        None => BetterGraph::from_relation(q.compiled(), r),
+    engine.k_best(pref, r, k)
+}
+
+impl Engine {
+    /// [`k_best`] through this engine: the O(n²) better-than graph is
+    /// built from the engine-cached
+    /// [`ScoreMatrix`](pref_core::eval::ScoreMatrix) when the term
+    /// materializes (numeric key comparisons instead of per-pair term
+    /// walks), with the compiled-term walk as fallback.
+    pub fn k_best(&self, pref: &Pref, r: &Relation, k: usize) -> Result<Vec<usize>, QueryError> {
+        let q = self.prepare(pref, r.schema())?;
+        let g = match q.matrix(r) {
+            Some(m) => BetterGraph::from_fn(r.len(), |x, y| m.better(x, y)),
+            None => BetterGraph::from_relation(q.compiled(), r),
+        }
+        .map_err(|_| QueryError::AlgorithmMismatch {
+            algorithm: "k-best",
+            term: pref.to_string(),
+            reason: "preference violates the strict-partial-order axioms",
+        })?;
+        k_best_of_graph(&g, r.len(), k)
     }
-    .map_err(|_| QueryError::AlgorithmMismatch {
-        algorithm: "k-best",
-        term: pref.to_string(),
-        reason: "preference violates the strict-partial-order axioms",
-    })?;
-    k_best_of_graph(&g, r.len(), k)
+
+    /// [`top_k`] through this engine: rewrite + compile happen once via
+    /// [`Engine::prepare`] (the utility scan itself needs no matrix — it
+    /// is a single O(n) pass, not a pairwise loop).
+    pub fn top_k(&self, pref: &Pref, r: &Relation, k: usize) -> Result<Vec<usize>, QueryError> {
+        let q = self.prepare(pref, r.schema())?;
+        top_k_compiled(q.compiled(), pref, r, k)
+    }
 }
 
 fn k_best_of_graph(g: &BetterGraph, n: usize, k: usize) -> Result<Vec<usize>, QueryError> {
@@ -357,17 +373,15 @@ pub fn top_k(pref: &Pref, r: &Relation, k: usize) -> Result<Vec<usize>, QueryErr
     top_k_compiled(&c, pref, r, k)
 }
 
-/// [`top_k`] through an [`Engine`]: rewrite + compile happen once via
-/// [`Engine::prepare`] (the utility scan itself needs no matrix — it is
-/// a single O(n) pass, not a pairwise loop).
+/// Deprecated free-function spelling of [`Engine::top_k`].
+#[deprecated(since = "0.2.0", note = "use the `Engine::top_k` method")]
 pub fn top_k_with(
     engine: &Engine,
     pref: &Pref,
     r: &Relation,
     k: usize,
 ) -> Result<Vec<usize>, QueryError> {
-    let q = engine.prepare(pref, r.schema())?;
-    top_k_compiled(q.compiled(), pref, r, k)
+    engine.top_k(pref, r, k)
 }
 
 fn top_k_compiled(
@@ -515,7 +529,7 @@ mod tests {
         let engine = Engine::new();
         for k in 0..=r.len() {
             assert_eq!(
-                k_best_with(&engine, &p, &r, k).unwrap(),
+                engine.k_best(&p, &r, k).unwrap(),
                 k_best(&p, &r, k).unwrap()
             );
         }
@@ -525,8 +539,29 @@ mod tests {
         // And the ranked model too.
         let ranked = Pref::rank(CombineFn::sum(), vec![highest("a"), highest("b")]).unwrap();
         assert_eq!(
-            top_k_with(&engine, &ranked, &r, 3).unwrap(),
+            engine.top_k(&ranked, &r, 3).unwrap(),
             top_k(&ranked, &r, 3).unwrap()
+        );
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_with_wrappers_agree_with_the_methods() {
+        let r = rel! { ("a": Int, "b": Int); (1, 9), (2, 8), (9, 1), (5, 5) };
+        let p = around("a", 1).pareto(lowest("b"));
+        let engine = Engine::new();
+        assert_eq!(
+            k_best_with(&engine, &p, &r, 3).unwrap(),
+            engine.k_best(&p, &r, 3).unwrap()
+        );
+        let ranked = Pref::rank(CombineFn::sum(), vec![highest("a"), highest("b")]).unwrap();
+        assert_eq!(
+            top_k_with(&engine, &ranked, &r, 3).unwrap(),
+            engine.top_k(&ranked, &r, 3).unwrap()
+        );
+        assert_eq!(
+            crate::decompose::sigma_decomposed_with(&engine, &p, &r).unwrap(),
+            engine.sigma_decomposed(&p, &r).unwrap()
         );
     }
 

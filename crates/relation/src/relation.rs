@@ -90,22 +90,43 @@ fn fold_fingerprint(acc: u64, fp: u64) -> u64 {
 /// earlier states of the same relation, for caches that would rather
 /// patch a previous materialization than rebuild from scratch.
 ///
-/// The contract, for every recorded base `(generation, len)`: rows
-/// `0..len` of the *current* relation are identical (content and order)
-/// to the rows of the state that carried `generation`, **except possibly
-/// the rows listed in [`Delta::dirty`]** — appends extend, in-place
-/// updates are enumerated, and anything else (sorts, flattens that
-/// reorder) clears the delta entirely. `dirty` is a single global
-/// over-approximation shared by all bases: a row listed there may in
-/// fact be unchanged relative to a newer base, which costs a cache only
-/// wasted recomputation, never staleness.
+/// All indices are **storage positions**. Within one delta lifetime
+/// storage is append-only (appends extend it, [`Relation::delete_row`]
+/// only drops ids from the view, in-place updates rewrite a slot), so
+/// storage positions are stable names for rows across the recorded
+/// history; any mutation that breaks this (sorts, flattens that
+/// reorder or rebuild storage) clears the delta entirely.
+///
+/// The contract, for every recorded base `(generation, len)` at index
+/// `k` in [`Delta::bases`]: the relation state that carried
+/// `generation` had exactly `len` visible rows, namely storage
+/// positions `0..len + t` minus the first `t` entries of
+/// [`Delta::deleted`] (in storage order), where
+/// `t = deleted().len() - deleted_since(k).len()` — and every one of
+/// those storage rows still holds the content it had at `generation`,
+/// **except possibly the positions listed in [`Delta::dirty`]**. For a
+/// relation with no deletions this degenerates to the old prefix
+/// claim: storage rows `0..len` are the state-`generation` rows.
+/// `dirty` is a single global over-approximation shared by all bases:
+/// a row listed there may in fact be unchanged relative to a newer
+/// base, which costs a cache only wasted recomputation, never
+/// staleness.
 #[derive(Debug, Clone, Default)]
 pub struct Delta {
     /// Earlier content states this relation extends, most recent first,
     /// capped at [`Delta::MAX_BASES`].
     bases: Vec<(u64, usize)>,
-    /// Indices of rows whose content may differ from the recorded bases.
+    /// Parallel to `bases`: how many tombstones in `deleted` predate
+    /// each base (i.e. `deleted.len()` when the base was recorded).
+    tombs_at: Vec<u32>,
+    /// Storage positions whose content may differ from the recorded
+    /// bases.
     dirty: Vec<u32>,
+    /// Storage positions dropped from the visible view by
+    /// [`Relation::delete_row`], in deletion order. Cumulative: a
+    /// tombstoned row never becomes visible again within the delta's
+    /// lifetime.
+    deleted: Vec<u32>,
 }
 
 impl Delta {
@@ -115,16 +136,42 @@ impl Delta {
     /// rebuild would touch most shards anyway, so tracking stops and the
     /// relation reports no delta.
     pub const MAX_DIRTY: usize = 64;
+    /// Tombstone budget, in the spirit of [`Delta::MAX_DIRTY`]: once
+    /// this many rows have been deleted a rebuild is cheap relative to
+    /// the bookkeeping, so tracking stops.
+    pub const MAX_DELETED: usize = 64;
 
-    /// The remembered `(generation, prefix length)` base states, most
+    /// The remembered `(generation, visible length)` base states, most
     /// recent first.
     pub fn bases(&self) -> &[(u64, usize)] {
         &self.bases
     }
 
-    /// Indices of possibly-changed rows within the base prefixes.
+    /// Storage positions of possibly-changed rows within the base
+    /// prefixes.
     pub fn dirty(&self) -> &[u32] {
         &self.dirty
+    }
+
+    /// All tombstoned storage positions, in deletion order.
+    pub fn deleted(&self) -> &[u32] {
+        &self.deleted
+    }
+
+    /// The tombstones recorded *after* the base at `bases()[k]` — the
+    /// rows that were still visible at that base's generation but are
+    /// gone now. Panics when `k` is out of bounds.
+    pub fn deleted_since(&self, k: usize) -> &[u32] {
+        &self.deleted[self.tombs_at[k] as usize..]
+    }
+
+    /// Record a new most-recent base, capturing the current tombstone
+    /// watermark.
+    fn push_base(&mut self, gen: u64, len: usize) {
+        self.bases.insert(0, (gen, len));
+        self.tombs_at.insert(0, self.deleted.len() as u32);
+        self.bases.truncate(Delta::MAX_BASES);
+        self.tombs_at.truncate(Delta::MAX_BASES);
     }
 }
 
@@ -369,11 +416,15 @@ impl Relation {
     /// Exclusive access to dense storage for mutation: flattens a view
     /// into fresh owned storage first (the one place a view pays the
     /// copy — mutating it), then copy-on-writes shared dense storage.
+    /// Flattening rebuilds storage, so every storage-position claim in
+    /// the [`Delta`] dies with it — the caller re-records its own base
+    /// against the flattened copy afterwards.
     fn rows_mut(&mut self) -> &mut Vec<Tuple> {
         if self.row_ids.is_some() {
             let dense: Vec<Tuple> = self.iter().cloned().collect();
             self.rows = Arc::new(dense);
             self.row_ids = None;
+            self.delta = None;
         }
         self.windowable = false;
         Arc::make_mut(&mut self.rows)
@@ -392,8 +443,7 @@ impl Relation {
     /// append-shaped mutation, with the values captured before it.
     fn record_extension(&mut self, old_gen: u64, old_len: usize) {
         let d = self.delta.get_or_insert_with(Delta::default);
-        d.bases.insert(0, (old_gen, old_len));
-        d.bases.truncate(Delta::MAX_BASES);
+        d.push_base(old_gen, old_len);
     }
 
     /// Append a validated tuple.
@@ -432,6 +482,65 @@ impl Relation {
     /// Append a row given as raw values.
     pub fn push_values(&mut self, values: Vec<Value>) -> Result<()> {
         self.push(Tuple::new(values))
+    }
+
+    /// Remove the row at index `i` by tombstoning it in the row-id view:
+    /// storage is untouched, the relation becomes (or stays) a zero-copy
+    /// view over the same tuples minus the victim. Because storage
+    /// positions keep their meaning, the [`Delta`] survives — the victim
+    /// is recorded in [`Delta::deleted`] so caches can patch a previous
+    /// materialization instead of rebuilding (and the new result
+    /// maintenance can tell "a non-member vanished" from "a result row
+    /// vanished").
+    ///
+    /// A deletion is a mutation like any other: the generation moves and
+    /// the lineage is severed. Deleting from a view whose ids do not
+    /// track storage order (e.g. a reordered [`Relation::take_rows`]) is
+    /// still correct but drops the delta, as the storage-order contract
+    /// cannot be maintained there.
+    ///
+    /// Panics when `i` is out of bounds, like [`Relation::row`].
+    pub fn delete_row(&mut self, i: usize) {
+        assert!(i < self.len(), "delete_row index {i} out of bounds");
+        let (old_gen, old_len) = (self.generation, self.len());
+        let victim = self.storage_id(i);
+        // The delta contract describes tombstone views over a storage
+        // prefix. That holds for dense relations and for views built by
+        // this method itself (which carry the delta along); a foreign
+        // view (select/take_rows — arbitrary id subsets, delta `None`)
+        // cannot start one.
+        let trackable = self.row_ids.is_none() || self.delta.is_some();
+        let ids: Arc<[u32]> = match &self.row_ids {
+            Some(ids) => ids
+                .iter()
+                .enumerate()
+                .filter(|&(k, _)| k != i)
+                .map(|(_, &id)| id)
+                .collect(),
+            None => {
+                assert!(
+                    self.rows.len() <= u32::MAX as usize,
+                    "relation exceeds u32 row-id space"
+                );
+                (0..self.rows.len() as u32)
+                    .filter(|&id| id != victim)
+                    .collect()
+            }
+        };
+        self.row_ids = Some(ids);
+        self.windowable = false;
+        self.generation = next_generation();
+        self.lineage = None;
+        if trackable {
+            let d = self.delta.get_or_insert_with(Delta::default);
+            d.push_base(old_gen, old_len);
+            d.deleted.push(victim);
+            if d.deleted.len() > Delta::MAX_DELETED {
+                self.delta = None;
+            }
+        } else {
+            self.delta = None;
+        }
     }
 
     /// The storage-relative id vector of a selection over this relation.
@@ -786,6 +895,92 @@ mod tests {
         assert!(r.delta().is_none());
         assert!(r.update_row(0, vec![Value::from(1)]).is_err());
         assert!(r.delta().is_none());
+    }
+
+    #[test]
+    fn delete_row_tombstones_without_copying() {
+        let mut r = cars();
+        let g0 = r.generation();
+        let storage = r.clone();
+        r.delete_row(1);
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.row(1)[0], Value::from("VW"), "later rows shift down");
+        assert!(
+            r.shares_storage_with(&storage),
+            "delete must not copy tuples"
+        );
+        assert_eq!(r.row_ids(), Some(&[0u32, 2, 3][..]));
+        assert_ne!(r.generation(), g0, "deletion is a mutation");
+
+        let d = r.delta().expect("deletes keep the delta");
+        assert_eq!(d.bases(), &[(g0, 4)]);
+        assert_eq!(d.deleted(), &[1]);
+        assert!(d.dirty().is_empty());
+        assert_eq!(d.deleted_since(0), &[1]);
+
+        // Chained deletes keep tombstoning against the same storage.
+        let g1 = r.generation();
+        r.delete_row(2); // storage id 3
+        assert!(r.shares_storage_with(&storage));
+        assert_eq!(r.row_ids(), Some(&[0u32, 2][..]));
+        let d = r.delta().unwrap();
+        assert_eq!(d.bases(), &[(g1, 3), (g0, 4)]);
+        assert_eq!(d.deleted(), &[1, 3]);
+        assert_eq!(d.deleted_since(0), &[3], "only the second tombstone");
+        assert_eq!(d.deleted_since(1), &[1, 3]);
+    }
+
+    #[test]
+    fn delete_row_interacts_with_other_mutations() {
+        // Appends before a delete: the older bases stay claimable.
+        let mut r = cars();
+        let g0 = r.generation();
+        r.push_values(vec![Value::from("Opel"), Value::from(1)])
+            .unwrap();
+        let g1 = r.generation();
+        r.delete_row(0);
+        let d = r.delta().unwrap();
+        assert_eq!(d.bases(), &[(g1, 5), (g0, 4)]);
+        assert_eq!(d.deleted(), &[0]);
+        assert_eq!(d.deleted_since(1), &[0]);
+
+        // A push after a delete flattens the view: storage positions
+        // change meaning, so the tombstone history dies with them.
+        let mut r = cars();
+        r.delete_row(3);
+        r.push_values(vec![Value::from("Opel"), Value::from(1)])
+            .unwrap();
+        assert_eq!(r.row_ids(), None, "push flattens the tombstone view");
+        let d = r.delta().unwrap();
+        assert_eq!(d.bases().len(), 1, "only the post-flatten base survives");
+        assert!(d.deleted().is_empty());
+
+        // Deleting from a foreign view is correct but untracked.
+        let base = cars();
+        let mut v = base.select(|t| t[0] == Value::from("BMW"));
+        v.delete_row(0);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v.row(0)[1], Value::from(50_000));
+        assert!(v.shares_storage_with(&base));
+        assert!(v.delta().is_none(), "foreign views cannot claim a prefix");
+
+        // Deletion severs lineage and the window like any mutation.
+        let mut dv = base.select_derived(|_| true, 42);
+        assert!(dv.window_ids().is_some());
+        dv.delete_row(0);
+        assert!(dv.lineage().is_none());
+        assert!(dv.window_ids().is_none());
+
+        // The tombstone budget drops the delta rather than growing it.
+        let mut big = Relation::empty(cars().schema().clone());
+        for i in 0..=(Delta::MAX_DELETED as i64 + 1) {
+            big.push_values(vec![Value::from("X"), Value::from(i)])
+                .unwrap();
+        }
+        for _ in 0..=Delta::MAX_DELETED {
+            big.delete_row(0);
+        }
+        assert!(big.delta().is_none());
     }
 
     #[test]

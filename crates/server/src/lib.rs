@@ -44,4 +44,4 @@ pub mod session;
 pub use client::Client;
 pub use protocol::{Command, Reply};
 pub use server::Server;
-pub use session::{ServerState, Session};
+pub use session::{ServerState, Session, WatchSink};

@@ -12,11 +12,34 @@
 //! `'quoted strings'` (with `''` escaping the quote, exactly like the
 //! SQL lexer); anything else is taken as a bare string. This mirrors
 //! how [`pref_relation::Value`] displays itself, so values round-trip.
+//!
+//! One frame kind is *asynchronous*: a connection that has issued
+//! `WATCH` receives `PUSH <id> …` frames — same dot-stuffed framing as
+//! a reply, one `+row`/`-row` body line per changed result row —
+//! whenever any session's mutation changes the watched statement's
+//! answer. A push can arrive between a request and its reply, so
+//! receivers dispatch on the status-line prefix: `PUSH` frames are
+//! notifications, everything else is the pending reply.
 
 use pref_relation::{Date, Value};
 
 /// The terminator line closing every reply.
 pub const END: &str = ".";
+
+/// The status-line prefix marking an asynchronous push frame.
+pub const PUSH: &str = "PUSH";
+
+/// Render one watch notification for the wire: a `PUSH <id>` status
+/// line, one body line per changed result row (`+` appeared, `-`
+/// vanished), dot-stuffed and dot-terminated exactly like a reply —
+/// receivers reuse their reply framing and dispatch on the prefix.
+pub fn push_frame(watch_id: u64, deltas: &[String]) -> String {
+    Reply {
+        status: format!("{PUSH} {watch_id} {} delta(s)", deltas.len()),
+        body: deltas.to_vec(),
+    }
+    .frame()
+}
 
 /// One parsed client request.
 #[derive(Debug, Clone, PartialEq)]
@@ -35,6 +58,15 @@ pub enum Command {
     Explain,
     /// `APPEND <table> <values…>` — append one row in place.
     Append(String, Vec<Value>),
+    /// `DELETE FROM <table> [WHERE <hard>]` — delete matching rows in
+    /// place (the whole line is the SQL statement).
+    Delete(String),
+    /// `WATCH <sql>` — run the statement now, reply with its result,
+    /// then stream asynchronous `PUSH` frames whenever a mutation
+    /// changes that result.
+    Watch(String),
+    /// `UNWATCH <id>` — cancel a watch this session registered.
+    Unwatch(u64),
     /// `STATS` — shared engine cache counters, lock-free.
     Stats,
     /// `TABLES` — registered table names.
@@ -95,6 +127,17 @@ impl Command {
                     .split_once('\t')
                     .ok_or("APPEND requires a table and tab-separated row values")?;
                 Ok(Command::Append(table.to_string(), parse_values(vals)?))
+            }
+            "DELETE" => {
+                require("FROM <table> [WHERE …]")?;
+                Ok(Command::Delete(line.to_string()))
+            }
+            "WATCH" => Ok(Command::Watch(require("a statement")?.to_string())),
+            "UNWATCH" => {
+                let rest = require("a watch id")?;
+                rest.parse()
+                    .map(Command::Unwatch)
+                    .map_err(|_| format!("UNWATCH requires a numeric watch id, got `{rest}`"))
             }
             "STATS" => Ok(Command::Stats),
             "TABLES" => Ok(Command::Tables),
@@ -177,6 +220,11 @@ impl Reply {
         self.status.starts_with("OK")
     }
 
+    /// Is this an asynchronous `PUSH` frame rather than a reply?
+    pub fn is_push(&self) -> bool {
+        self.status.starts_with(PUSH)
+    }
+
     /// Frame the reply for the wire: status, dot-stuffed body, `.`.
     pub fn frame(&self) -> String {
         let mut out = String::with_capacity(self.status.len() + 16);
@@ -230,9 +278,33 @@ mod tests {
             Command::Exec("EXPLAIN SELECT * FROM car".into())
         );
         assert_eq!(Command::parse("QUIT").unwrap(), Command::Quit);
+        assert_eq!(
+            Command::parse("DELETE FROM car WHERE price > 40000").unwrap(),
+            Command::Delete("DELETE FROM car WHERE price > 40000".into())
+        );
+        assert_eq!(
+            Command::parse("WATCH SELECT * FROM car PREFERRING LOWEST(price)").unwrap(),
+            Command::Watch("SELECT * FROM car PREFERRING LOWEST(price)".into())
+        );
+        assert_eq!(Command::parse("UNWATCH 7").unwrap(), Command::Unwatch(7));
+        assert!(Command::parse("UNWATCH seven").is_err());
+        assert!(Command::parse("WATCH").is_err());
+        assert!(Command::parse("DELETE").is_err());
         assert!(Command::parse("FROB x").is_err());
         assert!(Command::parse("").is_err());
         assert!(Command::parse("PREPARE lonely").is_err());
+    }
+
+    #[test]
+    fn push_frames_use_reply_framing() {
+        let frame = push_frame(3, &["+('VW', 8800)".into(), "-.dotted".into()]);
+        assert_eq!(frame, "PUSH 3 2 delta(s)\n+('VW', 8800)\n-.dotted\n.\n");
+        assert!(Reply {
+            status: "PUSH 3 2 delta(s)".into(),
+            body: vec![]
+        }
+        .is_push());
+        assert!(!Reply::ok("x").is_push());
     }
 
     #[test]

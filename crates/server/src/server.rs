@@ -9,7 +9,7 @@
 //! [`Server::shutdown`] flips the stop flag and nudges the listener
 //! with a wake-up connection.
 
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -17,7 +17,7 @@ use std::thread::JoinHandle;
 
 use parking_lot::Mutex;
 
-use crate::session::ServerState;
+use crate::session::{ServerState, WatchSink};
 
 /// A running TCP server. Dropping it without calling
 /// [`Server::shutdown`] leaves the listener thread running for the
@@ -106,17 +106,20 @@ fn accept_loop(listener: TcpListener, state: Arc<ServerState>, stop: Arc<AtomicB
 }
 
 /// Drive one connection: read request lines, write framed replies.
+/// The write half is a [`WatchSink`] shared with the push dispatcher,
+/// so WATCH frames and replies serialize frame-atomically on the one
+/// socket.
 fn serve_connection(stream: TcpStream, state: Arc<ServerState>) {
-    let mut session = state.session();
-    let mut writer = match stream.try_clone() {
-        Ok(w) => w,
+    let sink = match stream.try_clone() {
+        Ok(w) => WatchSink::new(w),
         Err(_) => return,
     };
+    let mut session = state.session_with_sink(sink.clone());
     let reader = BufReader::new(stream);
     for line in reader.lines() {
         let Ok(line) = line else { break };
         let reply = session.handle_line(&line);
-        if writer.write_all(reply.frame().as_bytes()).is_err() {
+        if sink.write_frame(&reply.frame()).is_err() {
             break;
         }
         if session.closed() {

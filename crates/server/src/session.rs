@@ -3,22 +3,194 @@
 //! [`ServerState`] owns the process-wide [`PrefSql`] (catalog + engine)
 //! behind a read/write lock: queries — ad hoc or prepared — take the
 //! read lock, so any number of sessions execute concurrently and meet
-//! only at the engine's internal cache shards; `APPEND` takes the write
-//! lock for the in-place mutation. [`Session`] is the per-connection
-//! state machine (prepared-statement handles, staged bindings, the last
-//! EXPLAIN) — the TCP server drives one per connection, and tests or
-//! the load generator can drive one directly with no socket at all.
+//! only at the engine's internal cache shards; `APPEND` and `DELETE`
+//! take the write lock for the in-place mutation. [`Session`] is the
+//! per-connection state machine (prepared-statement handles, staged
+//! bindings, the last EXPLAIN, registered watches) — the TCP server
+//! drives one per connection, and tests or the load generator can
+//! drive one directly with no socket at all.
+//!
+//! `WATCH` turns a session into a push consumer: the [`WatchHub`]
+//! re-evaluates every watched statement under each mutation's write
+//! guard (cheap — the engine's maintained-result tier serves the
+//! re-execution incrementally), diffs it against the last pushed
+//! answer, and hands changed frames to a dedicated dispatcher thread.
+//! Only that thread touches connection sinks, and it holds no other
+//! guard while writing — a stalled client can wedge its own socket,
+//! never the catalog or the registry.
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::io::Write;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
 
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use pref_query::Engine;
-use pref_relation::Value;
+use pref_relation::{Relation, Value};
 use pref_sql::executor::QueryResult;
 use pref_sql::{PrefSql, PreparedStatement};
 
-use crate::protocol::{Command, Reply};
+use crate::protocol::{push_frame, Command, Reply};
+
+/// A connection's shared write half. The reply path and the push
+/// dispatcher serialize *whole frames* through the same mutex, so a
+/// push can land between a request and its reply but never inside
+/// either one.
+#[derive(Clone)]
+pub struct WatchSink(Arc<Mutex<Box<dyn Write + Send>>>);
+
+impl WatchSink {
+    pub fn new(w: impl Write + Send + 'static) -> WatchSink {
+        WatchSink(Arc::new(Mutex::new(Box::new(w))))
+    }
+
+    /// Write one already-framed message atomically.
+    pub fn write_frame(&self, frame: &str) -> std::io::Result<()> {
+        let mut w = self.0.lock();
+        w.write_all(frame.as_bytes())?;
+        w.flush()
+    }
+}
+
+impl std::fmt::Debug for WatchSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("WatchSink")
+    }
+}
+
+/// One registered watch: the statement, where its pushes go, and the
+/// result it last pushed (the baseline the next diff runs against).
+#[derive(Debug)]
+struct Watch {
+    sql: String,
+    sink: WatchSink,
+    last: Vec<String>,
+}
+
+/// A rendered frame en route to a sink, queued for the dispatcher.
+struct PushJob {
+    sink: WatchSink,
+    frame: String,
+}
+
+/// The registry of live watches plus the channel to the dispatcher
+/// thread that performs the actual (possibly blocking) socket writes.
+#[derive(Debug)]
+struct WatchHub {
+    watches: Mutex<HashMap<u64, Watch>>,
+    next_id: AtomicU64,
+    tx: mpsc::Sender<PushJob>,
+}
+
+impl WatchHub {
+    fn new() -> WatchHub {
+        let (tx, rx) = mpsc::channel::<PushJob>();
+        // The dispatcher owns only the receiver (no state handle), so
+        // it exits when the last ServerState clone — and with it the
+        // sender — drops. If the spawn itself fails, `rx` drops right
+        // here and every later send fails silently: watches degrade to
+        // no-ops instead of taking the server down.
+        let _ = std::thread::Builder::new()
+            .name("pref-server-push".to_string())
+            .spawn(move || {
+                for job in rx {
+                    deliver_watch_frame(&job.sink, &job.frame);
+                }
+            });
+        WatchHub {
+            watches: Mutex::new(HashMap::new()),
+            next_id: AtomicU64::new(1),
+            tx,
+        }
+    }
+
+    fn register(&self, sql: String, sink: WatchSink, last: Vec<String>) -> u64 {
+        // Plain unique-id counter; nothing is published through it.
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.watches.lock().insert(id, Watch { sql, sink, last });
+        id
+    }
+
+    fn unregister(&self, id: u64) {
+        self.watches.lock().remove(&id);
+    }
+
+    /// Re-evaluate every watch against the just-mutated catalog and
+    /// queue push frames for the ones whose answer changed. Runs under
+    /// the caller's catalog *write* guard, so diffs are computed — and
+    /// enqueued — in commit order; the re-execution itself is cheap
+    /// because the engine's maintained-result tier absorbs most
+    /// mutations incrementally. Socket writes happen later, on the
+    /// dispatcher thread, with no guard held.
+    fn notify(&self, db: &PrefSql) {
+        let mut watches = self.watches.lock();
+        for (&id, w) in watches.iter_mut() {
+            // A watch whose statement no longer executes (e.g. its
+            // table was replaced) just goes quiet; it still costs one
+            // failed parse per mutation until unregistered.
+            let Ok(res) = db.execute(&w.sql) else {
+                continue;
+            };
+            let lines = tuple_lines(&res.relation);
+            let deltas = diff_lines(&w.last, &lines);
+            if deltas.is_empty() {
+                continue;
+            }
+            w.last = lines;
+            let _ = self.tx.send(PushJob {
+                sink: w.sink.clone(),
+                frame: push_frame(id, &deltas),
+            });
+        }
+    }
+}
+
+/// Deliver one rendered push frame to a connection sink. Contract
+/// (enforced by preflint's `no-guard-across-push` rule): the caller
+/// holds NO lock guard across this call — the write can block on a
+/// slow client, and the only thing it may block is that client's own
+/// sink mutex.
+fn deliver_watch_frame(sink: &WatchSink, frame: &str) {
+    // A dead sink is not an error worth surfacing here: the watch is
+    // torn down when its session drops.
+    let _ = sink.write_frame(frame);
+}
+
+/// The result rows as displayed tuple lines, without the schema header
+/// — the unit watched diffs are computed over.
+fn tuple_lines(r: &Relation) -> Vec<String> {
+    r.to_string().lines().skip(1).map(String::from).collect()
+}
+
+/// Multiset diff of rendered rows: `-line` for each copy that vanished
+/// (in old order), then `+line` for each that appeared (in new order).
+fn diff_lines(old: &[String], new: &[String]) -> Vec<String> {
+    let mut surplus: HashMap<&String, i64> = HashMap::new();
+    for l in new {
+        *surplus.entry(l).or_default() += 1;
+    }
+    for l in old {
+        *surplus.entry(l).or_default() -= 1;
+    }
+    let mut deltas = Vec::new();
+    for l in old {
+        if let Some(c) = surplus.get_mut(l) {
+            if *c < 0 {
+                deltas.push(format!("-{l}"));
+                *c += 1;
+            }
+        }
+    }
+    for l in new {
+        if let Some(c) = surplus.get_mut(l) {
+            if *c > 0 {
+                deltas.push(format!("+{l}"));
+                *c -= 1;
+            }
+        }
+    }
+    deltas
+}
 
 /// The process-wide shared state: one catalog, one engine, all sessions.
 #[derive(Debug)]
@@ -28,6 +200,7 @@ pub struct ServerState {
     /// lets `STATS` read the lock-free counters without touching the
     /// catalog lock at all.
     engine: Engine,
+    hub: WatchHub,
 }
 
 impl ServerState {
@@ -38,10 +211,12 @@ impl ServerState {
         Arc::new(ServerState {
             db: RwLock::new(db),
             engine,
+            hub: WatchHub::new(),
         })
     }
 
-    /// Open a new session on this state.
+    /// Open a new session on this state with no push sink: `WATCH` is
+    /// refused, everything else works (tests, the in-process loadgen).
     pub fn session(self: &Arc<ServerState>) -> Session {
         Session {
             state: Arc::clone(self),
@@ -49,7 +224,18 @@ impl ServerState {
             bindings: HashMap::new(),
             last_explain: None,
             closed: false,
+            sink: None,
+            watches: Vec::new(),
         }
+    }
+
+    /// Open a session whose `WATCH` pushes go to `sink` — the TCP
+    /// server passes the connection's shared write half, so replies
+    /// and pushes interleave frame-atomically on one socket.
+    pub fn session_with_sink(self: &Arc<ServerState>, sink: WatchSink) -> Session {
+        let mut s = self.session();
+        s.sink = Some(sink);
+        s
     }
 
     /// The shared engine (same cache every session hits).
@@ -73,6 +259,11 @@ pub struct Session {
     bindings: HashMap<String, Vec<Value>>,
     last_explain: Option<Vec<String>>,
     closed: bool,
+    /// Where this session's push frames go; `None` on transports that
+    /// cannot carry asynchronous frames.
+    sink: Option<WatchSink>,
+    /// Watch ids this session registered, torn down on QUIT or drop.
+    watches: Vec<u64>,
 }
 
 impl Session {
@@ -131,17 +322,61 @@ impl Session {
                 None => Reply::err("no statement has executed in this session yet"),
             },
             Command::Append(table, values) => {
-                match self.state.db.write().append_row(&table, values) {
-                    Ok(()) => Reply::ok(format!("appended to {table}")),
+                let mut db = self.state.db.write();
+                match db.append_row(&table, values) {
+                    Ok(()) => {
+                        // Watch diffs run under this write guard so
+                        // every watcher sees deltas in commit order.
+                        self.state.hub.notify(&db);
+                        Reply::ok(format!("appended to {table}"))
+                    }
                     Err(e) => Reply::err(e),
+                }
+            }
+            Command::Delete(sql) => {
+                let mut db = self.state.db.write();
+                match db.delete(&sql) {
+                    Ok(n) => {
+                        self.state.hub.notify(&db);
+                        Reply::ok(format!("deleted {n} row(s)"))
+                    }
+                    Err(e) => Reply::err(e),
+                }
+            }
+            Command::Watch(sql) => {
+                let Some(sink) = self.sink.clone() else {
+                    return Reply::err(
+                        "WATCH needs a push-capable connection (this transport has no sink)",
+                    );
+                };
+                let db = self.state.db.read();
+                match db.execute(&sql) {
+                    Ok(res) => {
+                        let lines = tuple_lines(&res.relation);
+                        // Registered while still holding the catalog
+                        // read lock: no mutation can slip between this
+                        // snapshot and the registration, so the first
+                        // push is always a delta against the reply.
+                        let id = self.state.hub.register(sql, sink, lines.clone());
+                        self.watches.push(id);
+                        Reply::ok(format!("watching {id} ({} row(s))", lines.len()))
+                            .with_body(lines)
+                    }
+                    Err(e) => Reply::err(e),
+                }
+            }
+            Command::Unwatch(id) => {
+                if let Some(pos) = self.watches.iter().position(|&w| w == id) {
+                    self.watches.remove(pos);
+                    self.state.hub.unregister(id);
+                    Reply::ok(format!("unwatched {id}"))
+                } else {
+                    Reply::err(format!("no watch {id} in this session"))
                 }
             }
             Command::Stats => {
                 let s = self.state.engine.cache_stats();
-                Reply::ok("stats").with_body(vec![format!(
-                    "hits={} derived_hits={} window_hits={} shard_hits={} misses={} entries={}",
-                    s.hits, s.derived_hits, s.window_hits, s.shard_hits, s.misses, s.entries
-                )])
+                Reply::ok("stats").with_body(vec![s.wire_format()])
             }
             Command::Tables => {
                 let db = self.state.db.read();
@@ -155,6 +390,7 @@ impl Session {
             }
             Command::Ping => Reply::ok("pong"),
             Command::Quit => {
+                self.drop_watches();
                 self.closed = true;
                 Reply::ok("bye")
             }
@@ -164,6 +400,14 @@ impl Session {
     /// Has the client said QUIT?
     pub fn closed(&self) -> bool {
         self.closed
+    }
+
+    /// Unregister every watch this session holds (QUIT and drop both
+    /// land here, so a vanished connection stops costing re-executions).
+    fn drop_watches(&mut self) {
+        for id in self.watches.drain(..) {
+            self.state.hub.unregister(id);
+        }
     }
 
     /// The shared state this session runs on.
@@ -178,8 +422,11 @@ impl Session {
     fn reply_result(&mut self, result: Result<QueryResult, pref_sql::SqlError>) -> Reply {
         match result {
             Ok(res) => {
+                // `Explain::lines` is the one serialization: Display,
+                // the wire EXPLAIN body, and the bench reports all
+                // render through it (a parity test pins this).
                 self.last_explain = Some(match &res.explain {
-                    Some(ex) => ex.to_string().lines().map(String::from).collect(),
+                    Some(ex) => ex.lines(),
                     None => vec!["exact-match statement (no BMO stage)".to_string()],
                 });
                 let body: Vec<String> =
@@ -188,6 +435,12 @@ impl Session {
             }
             Err(e) => Reply::err(e),
         }
+    }
+}
+
+impl Drop for Session {
+    fn drop(&mut self) {
+        self.drop_watches();
     }
 }
 
@@ -274,6 +527,166 @@ mod tests {
         assert!(!s.handle_line("APPEND car\t'too'\t'few'").is_ok());
         assert!(!s.handle_line("EXEC SELECT * FROM nope").is_ok());
         assert!(!s.handle_line("NONSENSE").is_ok());
+    }
+
+    /// An in-memory sink: everything "sent" accumulates in a shared
+    /// string, so watch delivery is testable with no socket at all.
+    #[derive(Clone, Default)]
+    struct Buf(Arc<Mutex<String>>);
+
+    impl std::io::Write for Buf {
+        fn write(&mut self, b: &[u8]) -> std::io::Result<usize> {
+            self.0
+                .lock()
+                .push_str(std::str::from_utf8(b).expect("utf8 frames"));
+            Ok(b.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    /// Split captured bytes into frames (each ends with a lone `.`).
+    fn split_frames(s: &str) -> Vec<String> {
+        let mut frames = Vec::new();
+        let mut cur = String::new();
+        for line in s.lines() {
+            if line == crate::protocol::END {
+                frames.push(std::mem::take(&mut cur));
+            } else {
+                cur.push_str(line);
+                cur.push('\n');
+            }
+        }
+        frames
+    }
+
+    /// Poll until the dispatcher has delivered at least `n` frames.
+    fn frames(buf: &Buf, n: usize) -> Vec<String> {
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        loop {
+            let got = split_frames(&buf.0.lock());
+            if got.len() >= n {
+                return got;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "dispatcher never delivered {n} frame(s); got {got:?}"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+    }
+
+    #[test]
+    fn watch_pushes_deltas_on_mutations() {
+        let state = state();
+        let buf = Buf::default();
+        let mut watcher = state.session_with_sink(WatchSink::new(buf.clone()));
+        let r = watcher.handle_line("WATCH SELECT * FROM car PREFERRING LOWEST(price)");
+        assert!(r.is_ok(), "{}", r.status);
+        assert!(r.status.contains("watching 1"), "{}", r.status);
+        assert_eq!(
+            r.body.len(),
+            1,
+            "snapshot is the current BMO set: {:?}",
+            r.body
+        );
+        assert!(r.body[0].contains("38000"));
+
+        let mut other = state.session();
+        // A dominated append (worse price) leaves the answer alone: no
+        // push may fire — the maintained result absorbed it silently.
+        assert!(other.handle_line("APPEND car\t'Audi'\t50000\t1000").is_ok());
+        // A dominating append changes the champion: one push frame
+        // with the old row retracted and the new one asserted.
+        assert!(other.handle_line("APPEND car\t'VW'\t30000\t5000").is_ok());
+        let fs = frames(&buf, 1);
+        assert_eq!(fs.len(), 1, "dominated append must not push: {fs:?}");
+        assert!(fs[0].starts_with("PUSH 1 2 delta(s)\n"), "{}", fs[0]);
+        let deltas: Vec<&str> = fs[0].lines().skip(1).collect();
+        assert!(
+            deltas[0].starts_with('-') && deltas[0].contains("38000"),
+            "{deltas:?}"
+        );
+        assert!(
+            deltas[1].starts_with('+') && deltas[1].contains("VW"),
+            "{deltas:?}"
+        );
+
+        // Deleting the champion re-promotes the runner-up: push again.
+        assert!(other
+            .handle_line("DELETE FROM car WHERE make = 'VW'")
+            .is_ok());
+        let fs = frames(&buf, 2);
+        assert!(fs[1].contains("-") && fs[1].contains("VW"), "{}", fs[1]);
+        assert!(fs[1].contains("+") && fs[1].contains("38000"), "{}", fs[1]);
+
+        // UNWATCH stops the stream; a second UNWATCH is an error.
+        assert!(watcher.handle_line("UNWATCH 1").is_ok());
+        assert!(!watcher.handle_line("UNWATCH 1").is_ok());
+        assert!(other.handle_line("APPEND car\t'Fiat'\t20000\t100").is_ok());
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        assert_eq!(
+            split_frames(&buf.0.lock()).len(),
+            2,
+            "unwatched sessions get no pushes"
+        );
+    }
+
+    #[test]
+    fn watch_needs_a_sink_and_dropped_sessions_unregister() {
+        let state = state();
+        let mut plain = state.session();
+        assert!(
+            !plain.handle_line("WATCH SELECT * FROM car").is_ok(),
+            "sink-less transports cannot WATCH"
+        );
+
+        let buf = Buf::default();
+        {
+            let mut w = state.session_with_sink(WatchSink::new(buf.clone()));
+            assert!(w
+                .handle_line("WATCH SELECT * FROM car PREFERRING LOWEST(price)")
+                .is_ok());
+        } // dropped without QUIT — e.g. a vanished TCP connection
+        assert!(plain.handle_line("APPEND car\t'VW'\t30000\t5000").is_ok());
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        assert_eq!(
+            split_frames(&buf.0.lock()).len(),
+            0,
+            "watches die with their session"
+        );
+    }
+
+    #[test]
+    fn delete_verb_mutates_and_errors_surface() {
+        let state = state();
+        let mut s = state.session();
+        let r = s.handle_line("DELETE FROM car WHERE mileage >= 60000");
+        assert_eq!(r.status, "OK deleted 1 row(s)");
+        let left = s.handle_line("EXEC SELECT * FROM car");
+        assert_eq!(left.status, "OK 2 row(s)");
+        assert!(!s.handle_line("DELETE FROM nope").is_ok());
+        assert!(
+            !s.handle_line("DELETE car").is_ok(),
+            "missing FROM is a parse error"
+        );
+    }
+
+    #[test]
+    fn explain_body_and_display_are_one_serialization() {
+        let state = state();
+        let sql = "SELECT * FROM car PREFERRING price AROUND 40000 AND LOWEST(mileage)";
+        // Parity at the source: Display renders through lines().
+        let res = state.db().read().execute(sql).expect("executes");
+        let ex = res.explain.expect("BMO stage ran");
+        assert_eq!(ex.lines().join("\n"), ex.to_string());
+        // And the wire body is those same lines, verbatim.
+        let mut s = state.session();
+        s.handle_line(&format!("EXEC {sql}"));
+        let wire = s.handle_line("EXPLAIN").body;
+        let again = state.db().read().execute(sql).expect("executes");
+        assert_eq!(wire, again.explain.expect("BMO stage ran").lines());
     }
 
     #[test]

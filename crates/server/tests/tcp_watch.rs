@@ -1,0 +1,104 @@
+//! WATCH over real sockets: a mutation on one connection must stream
+//! asynchronous push frames to every other connection watching an
+//! affected statement — and stop streaming on UNWATCH.
+
+use std::time::Duration;
+
+use pref_server::{Client, Server, ServerState};
+use pref_sql::PrefSql;
+use pref_workload::cars;
+
+fn start_server() -> Server {
+    let mut db = PrefSql::new();
+    db.register("car", cars::catalog(200, 11));
+    Server::bind(ServerState::new(db), "127.0.0.1:0").expect("bind ephemeral port")
+}
+
+/// An APPEND line whose price undercuts the whole catalog (the
+/// generator clamps prices at 500), so it always changes the
+/// LOWEST(price) answer.
+fn dominating_append(price: i64) -> String {
+    format!("APPEND car\t'VW'\t'compact'\t'red'\t'manual'\t{price}\t75\t9000\t2000\t350\t38\t3")
+}
+
+#[test]
+fn watch_streams_cross_connection_deltas() {
+    let server = start_server();
+    let addr = server.local_addr();
+    let mut watcher = Client::connect(addr).expect("watcher connects");
+    let mut mutator = Client::connect(addr).expect("mutator connects");
+
+    let w = watcher
+        .request("WATCH SELECT * FROM car PREFERRING LOWEST(price)")
+        .expect("watch round-trips");
+    assert!(w.is_ok(), "{}", w.status);
+    let id: u64 = w
+        .status
+        .split_whitespace()
+        .nth(2)
+        .and_then(|t| t.parse().ok())
+        .unwrap_or_else(|| panic!("watch id in status: {}", w.status));
+
+    // APPEND on the *other* connection: the watcher gets a push frame
+    // asserting the new champion and retracting the old one.
+    assert!(mutator
+        .request(&dominating_append(499))
+        .expect("append")
+        .is_ok());
+    let push = watcher
+        .wait_push(Duration::from_secs(5))
+        .expect("push arrives");
+    assert!(
+        push.status.starts_with(&format!("PUSH {id} ")),
+        "{}",
+        push.status
+    );
+    assert!(
+        push.body
+            .iter()
+            .any(|l| l.starts_with('+') && l.contains("VW")),
+        "append delta: {:?}",
+        push.body
+    );
+    assert!(
+        push.body
+            .iter()
+            .all(|l| l.starts_with('+') || l.starts_with('-')),
+        "{:?}",
+        push.body
+    );
+
+    // DELETE the champion: a `-` delta retracts it and the re-promoted
+    // runner-up comes back as `+`.
+    let del = mutator
+        .request("DELETE FROM car WHERE price = 499")
+        .expect("delete round-trips");
+    assert_eq!(del.status, "OK deleted 1 row(s)");
+    let push = watcher
+        .wait_push(Duration::from_secs(5))
+        .expect("push after delete");
+    assert!(
+        push.body
+            .iter()
+            .any(|l| l.starts_with('-') && l.contains("VW")),
+        "delete delta: {:?}",
+        push.body
+    );
+
+    // The watcher's own request/reply traffic still works mid-stream.
+    assert!(watcher.request("PING").expect("ping").is_ok());
+
+    // UNWATCH ends the stream: a further mutation pushes nothing.
+    assert!(watcher
+        .request(&format!("UNWATCH {id}"))
+        .expect("unwatch")
+        .is_ok());
+    assert!(mutator
+        .request(&dominating_append(498))
+        .expect("append")
+        .is_ok());
+    let quiet = watcher.wait_push(Duration::from_millis(300));
+    assert!(quiet.is_err(), "no pushes after UNWATCH: {quiet:?}");
+
+    server.shutdown();
+}

@@ -192,7 +192,7 @@ pub fn prepare_log(
 pub fn replay(prepared: &[Prepared], catalog: &Relation) -> Result<usize, QueryError> {
     let mut total = 0;
     for q in prepared {
-        total += q.execute(catalog)?.0.len();
+        total += q.execute(catalog)?.rows().len();
     }
     Ok(total)
 }
@@ -223,7 +223,7 @@ pub fn replay_customers(
     let mut total = 0;
     for (q, customer) in prepared {
         let candidates = customer.candidates_derived(catalog);
-        total += q.execute(&candidates)?.0.len();
+        total += q.execute(&candidates)?.rows().len();
     }
     Ok(total)
 }
@@ -325,7 +325,7 @@ mod tests {
         // Replay agrees with the free-function path, query by query.
         for (p, q) in log.iter().zip(&prepared) {
             assert_eq!(
-                q.execute(&cars).unwrap().0,
+                q.execute(&cars).unwrap().into_rows(),
                 pref_query::sigma(p, &cars).unwrap(),
                 "prepared replay diverged for {p}"
             );

@@ -6,11 +6,12 @@
 //! (hit vs window vs rebuild, depending on interleaving); it must never
 //! change *what* is served.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Barrier;
 
 use preferences::prefsql::PrefSql;
 use preferences::query::engine::Engine;
-use preferences::server::{ServerState, Session};
+use preferences::server::{ServerState, Session, WatchSink};
 use preferences::workload::cars;
 use preferences::workload::querylog::{prepare_log, query_log, replay};
 use preferences::workload::sessions::session_scripts;
@@ -182,23 +183,36 @@ fn shared_engine_replay_matches_serial_and_stats_add_up() {
         "concurrent replay diverged: {totals:?} != {expected}"
     );
 
-    // Some log terms never materialize a matrix (Bypass) and touch no
-    // counter; count the materializing ones from the serial oracle.
+    // Counter accounting. Matrix-backed executions always count exactly
+    // one of hits / shard_hits / maintained_hits / misses. Terms that
+    // never materialize (Bypass) count nothing on their *first* (cold)
+    // execution but serve — and count — result-tier hits afterwards, so
+    // under concurrency the exact total depends on how many threads
+    // raced each cold execution: bound it from both sides instead.
     let materializing = serial_prepared
         .iter()
-        .filter(|q| q.execute(&catalog).unwrap().1.materialized)
+        .filter(|q| q.execute(&catalog).unwrap().explain().materialized)
         .count() as u64;
     let stats = engine.cache_stats();
-    let executions = (THREADS * ROUNDS) as u64 * materializing;
-    let accounted = stats.hits + stats.shard_hits + stats.misses;
+    let matrix_executions = (THREADS * ROUNDS) as u64 * materializing;
+    let total_executions = (THREADS * ROUNDS * serial_prepared.len()) as u64;
+    let accounted = stats.hits + stats.shard_hits + stats.maintained_hits + stats.misses;
+    assert!(
+        accounted >= matrix_executions,
+        "atomic counters lost updates: {stats:?} over {matrix_executions} matrix executions"
+    );
+    assert!(
+        accounted <= total_executions,
+        "counters over-account: {stats:?} over {total_executions} executions"
+    );
     assert_eq!(
-        accounted, executions,
-        "atomic counters lost updates: {stats:?} over {executions} executions"
+        stats.maintained_hits, 0,
+        "no mutations ran, so nothing was maintained"
     );
     // Concurrent first-round builds may duplicate work (by design: the
     // build runs outside the lock), but warm traffic must dominate.
     assert!(
-        stats.misses < executions / 2,
+        stats.misses < matrix_executions / 2,
         "cache not effective under concurrency: {stats:?}"
     );
 
@@ -211,4 +225,163 @@ fn shared_engine_replay_matches_serial_and_stats_add_up() {
         "lock-order cycle under concurrent replay:\n{}",
         parking_lot::lock_diag::cycle_report().unwrap_or_default()
     );
+}
+
+/// An in-memory push sink for watch sessions: delivered frames
+/// accumulate in a shared string.
+#[derive(Clone, Default)]
+struct CapturedSink(std::sync::Arc<parking_lot::Mutex<String>>);
+
+impl std::io::Write for CapturedSink {
+    fn write(&mut self, b: &[u8]) -> std::io::Result<usize> {
+        self.0
+            .lock()
+            .push_str(std::str::from_utf8(b).expect("utf8 frames"));
+        Ok(b.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Parse captured bytes into push-frame bodies (status lines dropped:
+/// watch ids differ across runs, the delta lines are the contract).
+fn push_bodies(captured: &str) -> Vec<Vec<String>> {
+    let mut out = Vec::new();
+    let mut cur: Option<Vec<String>> = None;
+    for line in captured.lines() {
+        match cur.as_mut() {
+            None => {
+                assert!(line.starts_with("PUSH "), "not a push status: {line}");
+                cur = Some(Vec::new());
+            }
+            Some(body) => {
+                if line == "." {
+                    out.push(cur.take().unwrap());
+                } else {
+                    body.push(line.to_string());
+                }
+            }
+        }
+    }
+    assert!(cur.is_none(), "truncated frame in {captured:?}");
+    out
+}
+
+/// Wait until a sink has at least `at_least` complete frames and the
+/// stream has stopped growing for `settle`.
+fn drained_stream(
+    sink: &CapturedSink,
+    at_least: usize,
+    settle: std::time::Duration,
+) -> Vec<Vec<String>> {
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    let mut last_len = usize::MAX;
+    let mut stable_since = std::time::Instant::now();
+    loop {
+        let captured = sink.0.lock().clone();
+        let frames = push_bodies(&captured);
+        if frames.len() != last_len {
+            last_len = frames.len();
+            stable_since = std::time::Instant::now();
+        }
+        if frames.len() >= at_least && stable_since.elapsed() >= settle {
+            return frames;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "push stream never stabilized at {at_least}+ frames: {frames:?}"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+}
+
+/// Satellite of the maintained-result work: the delta stream watchers
+/// receive is a pure function of the *commit order* of mutations —
+/// concurrent query traffic (which races the mutations for the engine's
+/// cache and may shift every cache tier decision) must not change one
+/// byte of it, and two watchers of the same statement must see
+/// identical streams.
+#[test]
+fn concurrent_watchers_see_the_serial_delta_stream() {
+    const WATCH_SQL: &str = "WATCH SELECT * FROM car PREFERRING LOWEST(price)";
+    let append = |price: i64| {
+        format!("APPEND car\t'VW'\t'compact'\t'red'\t'manual'\t{price}\t75\t9000\t2000\t350\t38\t3")
+    };
+    // The generator clamps catalog prices at 500, so descending appends
+    // below 500 each improve the watched answer; the 9 999 append and
+    // its delete touch only dominated rows and must push *nothing*.
+    let mutations = [
+        append(499),
+        append(9_999),
+        append(498),
+        "DELETE FROM car WHERE price = 498".to_string(),
+        append(497),
+        "DELETE FROM car WHERE price = 9999".to_string(),
+    ];
+
+    // Serial oracle: one watcher, mutations applied with no other
+    // traffic at all.
+    let serial_sink = CapturedSink::default();
+    let serial_state = serve_cars(300, 11);
+    let mut serial_watcher = serial_state.session_with_sink(WatchSink::new(serial_sink.clone()));
+    assert!(serial_watcher.handle_line(WATCH_SQL).is_ok());
+    let mut mutator = serial_state.session();
+    for m in &mutations {
+        assert!(mutator.handle_line(m).is_ok(), "{m}");
+    }
+    let expected = drained_stream(&serial_sink, 1, std::time::Duration::from_millis(300));
+    assert!(
+        expected.len() < mutations.len(),
+        "dominated mutations must stay silent: {expected:?}"
+    );
+
+    // Concurrent run: two watchers, the same mutation sequence from one
+    // thread, and three threads hammering reads the whole time.
+    let state = serve_cars(300, 11);
+    let sinks = [CapturedSink::default(), CapturedSink::default()];
+    let _watchers: Vec<Session> = sinks
+        .iter()
+        .map(|sink| {
+            let mut w = state.session_with_sink(WatchSink::new(sink.clone()));
+            assert!(w.handle_line(WATCH_SQL).is_ok());
+            w
+        })
+        .collect();
+    let done = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        for tid in 0..3 {
+            let state = &state;
+            let done = &done;
+            scope.spawn(move || {
+                let mut s = state.session();
+                let sql = format!(
+                    "EXEC SELECT * FROM car WHERE price <= {} \
+                     PREFERRING price AROUND 9000 AND LOWEST(mileage)",
+                    20_000 + tid * 1_000
+                );
+                // A stop flag with no payload to publish: Relaxed.
+                while !done.load(Ordering::Relaxed) {
+                    assert!(s.handle_line(&sql).is_ok());
+                    assert!(s
+                        .handle_line("EXEC SELECT * FROM car PREFERRING LOWEST(price)")
+                        .is_ok());
+                }
+            });
+        }
+        let mut mutator = state.session();
+        for m in &mutations {
+            assert!(mutator.handle_line(m).is_ok(), "{m}");
+        }
+        // Same stop flag; the scope join is the synchronization point.
+        done.store(true, Ordering::Relaxed);
+    });
+
+    for sink in &sinks {
+        let got = drained_stream(sink, expected.len(), std::time::Duration::from_millis(300));
+        assert_eq!(
+            got, expected,
+            "concurrent watcher diverged from the serial delta stream"
+        );
+    }
 }

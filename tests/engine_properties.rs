@@ -25,21 +25,24 @@ proptest! {
         let q = engine.prepare(&p, &test_schema()).expect("term compiles");
         let oracle = sigma_naive_generic(&p, &r).expect("term compiles");
 
-        let (first, ex1) = q.execute(&r).expect("prepared execution runs");
+        let (first, ex1) = q.execute(&r).expect("prepared execution runs").into_parts();
         prop_assert_eq!(&first, &oracle, "first execution diverged for {}", p);
         prop_assert_eq!(ex1.generation, r.generation());
 
         // Re-execution over the unchanged relation: identical answer, and
         // whenever a matrix was built the second run must be a cache hit.
-        let (second, ex2) = q.execute(&r).expect("prepared execution runs");
+        let (second, ex2) = q.execute(&r).expect("prepared execution runs").into_parts();
         prop_assert_eq!(&second, &oracle, "re-execution diverged for {}", p);
         if ex1.materialized {
             prop_assert_eq!(ex1.cache, CacheStatus::Miss);
-            prop_assert_eq!(ex2.cache, CacheStatus::Hit,
-                "unchanged relation must serve {} from the cache", p);
         } else {
-            prop_assert_eq!(ex2.cache, CacheStatus::Bypass);
+            prop_assert_eq!(ex1.cache, CacheStatus::Bypass);
         }
+        // The result tier serves *every* repeat execution — matrix-backed
+        // or not — and replays the producing execution's backend flags.
+        prop_assert_eq!(ex2.cache, CacheStatus::Hit,
+            "unchanged relation must serve {} from the result cache", p);
+        prop_assert_eq!(ex2.materialized, ex1.materialized);
     }
 
     #[test]
@@ -52,24 +55,24 @@ proptest! {
         let q = engine.prepare(&p, &test_schema()).expect("term compiles");
 
         // Populate the cache on the original generation.
-        let (before, _) = q.execute(&r).expect("prepared execution runs");
+        let (before, _) = q.execute(&r).expect("prepared execution runs").into_parts();
         prop_assert_eq!(&before, &sigma_naive_generic(&p, &r).expect("compiles"));
 
         // Mutate: new rows can dominate old maxima (the paper's Example 9
         // non-monotonicity), so a stale matrix would change the BMO set.
         r.union_all(&extra).expect("same schema");
         let oracle = sigma_naive_generic(&p, &r).expect("term compiles");
-        let (after, ex) = q.execute(&r).expect("prepared execution runs");
+        let (after, ex) = q.execute(&r).expect("prepared execution runs").into_parts();
         prop_assert_eq!(&after, &oracle, "stale result after mutation for {}", p);
         prop_assert!(ex.cache != CacheStatus::Hit,
             "a mutated relation must never hit the old generation's cache");
 
-        // And the new generation caches in its own right.
-        let (again, ex2) = q.execute(&r).expect("prepared execution runs");
-        prop_assert_eq!(&again, &oracle);
-        if ex.materialized {
-            prop_assert_eq!(ex2.cache, CacheStatus::Hit);
-        }
+        // And the new generation caches in its own right: the repeat is
+        // an exact result-tier hit stamped with the new generation.
+        let again = q.execute(&r).expect("prepared execution runs");
+        prop_assert_eq!(again.cache(), CacheStatus::Hit);
+        prop_assert_eq!(again.generation(), r.generation());
+        prop_assert_eq!(&again.into_rows(), &oracle);
     }
 
     #[test]
@@ -97,9 +100,9 @@ proptest! {
             let oracle = q
                 .execute_uncached(&r.select(pred))
                 .expect("uncached copy runs")
-                .0;
+                .into_rows();
             let d1 = r.select_derived(pred, fp);
-            let (rows1, ex1) = q.execute(&d1).expect("derived execution runs");
+            let (rows1, ex1) = q.execute(&d1).expect("derived execution runs").into_parts();
             assert_eq!(rows1, oracle, "first derivation diverged for {p}");
             if ex1.materialized {
                 assert_eq!(ex1.cache, CacheStatus::Miss,
@@ -110,7 +113,7 @@ proptest! {
             // matrix exists for this backend.
             let d2 = r.select_derived(pred, fp);
             assert_ne!(d1.generation(), d2.generation());
-            let (rows2, ex2) = q.execute(&d2).expect("derived re-execution runs");
+            let (rows2, ex2) = q.execute(&d2).expect("derived re-execution runs").into_parts();
             assert_eq!(rows2, oracle, "re-derivation diverged for {p}");
             if ex2.materialized {
                 assert_eq!(ex2.cache, CacheStatus::DerivedHit,
@@ -144,13 +147,16 @@ proptest! {
         // Windowed execution over arbitrary row subsets of a warmed base
         // must equal a fresh uncached materialization of the same rows —
         // across base mutations (the generation bump must sever every
-        // window) and across stacked derivations.
-        let engine = Engine::new();
+        // window) and across stacked derivations. The result tier is
+        // ablated: this property exercises the matrix window route, and
+        // a maintained post-mutation warm-up would skip re-warming the
+        // base matrix.
+        let engine = Engine::with_optimizer(Optimizer::new().without_result_cache());
         let q = engine.prepare(&p, &test_schema()).expect("term compiles");
 
         let check_round = |r: &Relation, subsets: &[Vec<usize>], fp_salt: u64| {
             // Warm the whole-base matrix for this content state.
-            let (_, ex_base) = q.execute(r).expect("base execution runs");
+            let (_, ex_base) = q.execute(r).expect("base execution runs").into_parts();
             let base_materialized = ex_base.materialized;
 
             for (si, seeds) in subsets.iter().enumerate() {
@@ -172,8 +178,8 @@ proptest! {
                         d.to_owned_rows(),
                     ).expect("copy of valid rows"))
                     .expect("oracle runs")
-                    .0;
-                let (rows, ex) = q.execute(&d).expect("windowed execution runs");
+                    .into_rows();
+                let (rows, ex) = q.execute(&d).expect("windowed execution runs").into_parts();
                 assert_eq!(rows, oracle, "windowed result diverged for {p}");
                 if base_materialized {
                     assert_eq!(ex.cache, CacheStatus::WindowHit,
@@ -193,8 +199,8 @@ proptest! {
                             dd.to_owned_rows(),
                         ).expect("copy of valid rows"))
                         .expect("oracle runs")
-                        .0;
-                    let (rows2, ex2) = q.execute(&dd).expect("stacked execution runs");
+                        .into_rows();
+                    let (rows2, ex2) = q.execute(&dd).expect("stacked execution runs").into_parts();
                     assert_eq!(rows2, oracle2, "stacked window diverged for {p}");
                     if base_materialized {
                         assert_eq!(ex2.cache, CacheStatus::WindowHit);
@@ -220,8 +226,8 @@ proptest! {
             v.push_values(vec![Value::from(1), Value::from(1), Value::from("x")])
                 .expect("row matches test schema");
             assert!(v.window_ids().is_none(), "mutation must sever the window");
-            let oracle = q.execute_uncached(&v).expect("oracle runs").0;
-            let (rows, _) = q.execute(&v).expect("mutated view runs");
+            let oracle = q.execute_uncached(&v).expect("oracle runs").into_rows();
+            let (rows, _) = q.execute(&v).expect("mutated view runs").into_parts();
             assert_eq!(rows, oracle);
         }
     }
@@ -288,17 +294,20 @@ proptest! {
     ) {
         // Mutations must never yield stale BMO sets, and when the prior
         // matrix is resident, the rebuild must be incremental (ShardHit)
-        // with every clean shard's build stamp carried over.
-        let engine = Engine::with_optimizer(Optimizer::new().with_shard_rows(4));
+        // with every clean shard's build stamp carried over. The result
+        // tier is ablated: maintenance would answer these mutations
+        // before the incremental matrix route this property targets.
+        let engine = Engine::with_optimizer(
+            Optimizer::new().with_shard_rows(4).without_result_cache());
         let q = engine.prepare(&p, &test_schema()).expect("term compiles");
-        let (_, ex0) = q.execute(&r).expect("cold execution runs");
+        let (_, ex0) = q.execute(&r).expect("cold execution runs").into_parts();
         let gens_before = q.matrix(&r).map(|w| w.matrix().shard_generations().to_vec());
         let old_len = r.len();
 
         // Append-shaped mutation: old rows untouched.
         r.union_all(&extra).expect("same schema");
         let oracle = sigma_naive_generic(&p, &r).expect("term compiles");
-        let (rows, ex1) = q.execute(&r).expect("post-append execution runs");
+        let (rows, ex1) = q.execute(&r).expect("post-append execution runs").into_parts();
         prop_assert_eq!(&rows, &oracle, "stale result after append for {}", p);
         if ex0.materialized && ex1.materialized {
             prop_assert_eq!(ex1.cache, CacheStatus::ShardHit,
@@ -322,7 +331,7 @@ proptest! {
             r.update_row(i, vec![Value::from(a), Value::from(b), Value::from(cats[ci])])
                 .expect("row matches test schema");
             let oracle = sigma_naive_generic(&p, &r).expect("term compiles");
-            let (rows, ex2) = q.execute(&r).expect("post-update execution runs");
+            let (rows, ex2) = q.execute(&r).expect("post-update execution runs").into_parts();
             prop_assert_eq!(&rows, &oracle, "stale result after update for {}", p);
             if ex1.materialized && ex2.materialized {
                 prop_assert_eq!(ex2.cache, CacheStatus::ShardHit,
@@ -355,7 +364,7 @@ proptest! {
         }
         let engine = Engine::with_optimizer(Optimizer::new().with_shard_rows(shard_rows));
         let q = engine.prepare(&p, &test_schema()).expect("term compiles");
-        let (_, ex_base) = q.execute(&r).expect("base execution runs");
+        let (_, ex_base) = q.execute(&r).expect("base execution runs").into_parts();
 
         let idx: Vec<usize> = seeds.iter().map(|s| s % r.len()).collect();
         let d = r.take_rows_derived(&idx, 0xD1CE);
@@ -365,8 +374,8 @@ proptest! {
                     .expect("copy of valid rows"),
             )
             .expect("oracle runs")
-            .0;
-        let (rows, ex) = q.execute(&d).expect("windowed execution runs");
+            .into_rows();
+        let (rows, ex) = q.execute(&d).expect("windowed execution runs").into_parts();
         prop_assert_eq!(rows, oracle,
             "cross-shard window diverged for {} (shard_rows={})", p, shard_rows);
         if ex_base.materialized {
@@ -458,5 +467,61 @@ proptest! {
         mutated.extend(extra.iter().cloned());
         db.register("cars", make_table(&mutated));
         check_bindings(&db, &mutated)?;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The maintained result must be indistinguishable from a
+    /// from-scratch recompute across random interleavings of appends
+    /// (dominated and deliberately dominating), in-place updates, and
+    /// deletes — every execution after every mutation, whether it was
+    /// served by delta maintenance or by a full rebuild, equals the
+    /// naive sigma over the current content.
+    #[test]
+    fn maintained_results_agree_with_recompute_across_interleavings(
+        p in arb_pref(),
+        mut r in arb_relation(10),
+        ops in proptest::collection::vec(
+            (0usize..4, 0i64..6, 0i64..6, 0usize..4, 0usize..16), 1..12),
+    ) {
+        let cats = ["x", "y", "z", "w"];
+        let engine = Engine::new();
+        let q = engine.prepare(&p, &test_schema()).expect("term compiles");
+        // Seed the result tier on the initial content.
+        q.execute(&r).expect("prepared execution runs");
+
+        for (kind, a, b, ci, at) in ops {
+            match kind {
+                0 => r
+                    .push_values(vec![
+                        Value::from(a), Value::from(b), Value::from(cats[ci]),
+                    ])
+                    .expect("row matches test schema"),
+                1 if !r.is_empty() => {
+                    let i = at % r.len();
+                    r.update_row(i, vec![
+                        Value::from(a), Value::from(b), Value::from(cats[ci]),
+                    ])
+                    .expect("row matches test schema");
+                }
+                2 if !r.is_empty() => r.delete_row(at % r.len()),
+                // A deliberately strong row: 0 is optimal for LOWEST and
+                // near every AROUND target, so it frequently prunes old
+                // maxima (the paper's Example 9 non-monotonicity).
+                3 => r
+                    .push_values(vec![
+                        Value::from(0i64), Value::from(0i64), Value::from(cats[ci]),
+                    ])
+                    .expect("row matches test schema"),
+                _ => continue,
+            }
+            let oracle = sigma_naive_generic(&p, &r).expect("term compiles");
+            let got = q.execute(&r).expect("prepared execution runs");
+            prop_assert_eq!(got.rows(), &oracle[..],
+                "maintained result diverged after op kind {} for {}", kind, p);
+            prop_assert_eq!(got.generation(), r.generation());
+        }
     }
 }
