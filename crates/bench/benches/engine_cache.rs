@@ -14,7 +14,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use pref_core::eval::CompiledPref;
 use pref_core::term::{around, lowest};
 use pref_query::{Algorithm, CacheStatus, Engine};
-use pref_relation::{attr, predicate_fingerprint, Relation, Value};
+use pref_relation::{attr, predicate_fingerprint, Constraint, DataType, Relation, Schema, Value};
 use pref_sql::PrefSql;
 use pref_workload::querylog::{
     customer_log, prepare_customer_log, prepare_log, query_log, replay, replay_customers,
@@ -30,6 +30,11 @@ const CATALOG_ROWS: usize = 4_000;
 const SHARD_ROWS_INPUT: usize = 32_768;
 /// Fresh predicates per measured window round.
 const WINDOW_PREDICATES: i64 = 8;
+/// Rows of the identically-priced fleet behind the planner scenarios —
+/// the unconstrained baseline is BNL's quadratic worst case (every row
+/// survives), so it stays smaller than the main catalog to keep the
+/// measured full run in the tens of milliseconds.
+const PLANNER_FLEET_ROWS: usize = 1_500;
 
 /// A candidate view under a predicate the engine has *never seen*: the
 /// fingerprint is drawn from a process-wide counter, so no derived-entry
@@ -579,6 +584,127 @@ fn bench_engine_cache(c: &mut Criterion) {
                 "a non-member delete must stay on the maintained route"
             );
             black_box(res.rows().len())
+        })
+    });
+
+    // Planner tier, elimination side: the preference ranges only over a
+    // CONSTANT-constrained attribute, so the registered constraint
+    // proves σ[P](R) = R and the planner deletes the winnow outright —
+    // the prepared query answers with every row, running no algorithm,
+    // building no matrix, touching no cache shard. `planner-full-run`
+    // is the honest baseline: the *same rows* under a constraint-free
+    // schema, winnowed for real every iteration (result tier disabled
+    // so the algorithm actually runs; matrices warm, as they would be
+    // in a long-lived engine). The fleet is identically priced, so the
+    // CONSTANT declaration is true and both sides agree on the answer.
+    let plan_fields = vec![("price", DataType::Int), ("mileage", DataType::Int)];
+    let free_schema = Schema::new(plan_fields.clone()).expect("schema builds");
+    let constrained_schema = Schema::new(plan_fields)
+        .expect("schema builds")
+        .with_constraint(Constraint::Constant {
+            attr: attr("price"),
+        })
+        .expect("price exists");
+    let mut free_fleet = Relation::empty(free_schema);
+    let mut constrained_fleet = Relation::empty(constrained_schema);
+    for i in 0..PLANNER_FLEET_ROWS as i64 {
+        let row = vec![Value::from(10_000i64), Value::from(i)];
+        free_fleet.push_values(row.clone()).expect("row matches");
+        constrained_fleet.push_values(row).expect("row matches");
+    }
+    let plan_pref = lowest("price");
+
+    let elim_engine = Engine::new();
+    let q_elim = elim_engine
+        .prepare(&plan_pref, constrained_fleet.schema())
+        .expect("planner preference compiles");
+    let full_engine = Engine::with_optimizer(pref_query::Optimizer::new().without_result_cache());
+    let q_full = full_engine
+        .prepare(&plan_pref, free_fleet.schema())
+        .expect("planner preference compiles");
+
+    // Smoke guard (runs under `-- --test` in CI): the constrained side
+    // must report the elimination through the EXPLAIN derivation, stay
+    // off every cache tier, and agree with the real run.
+    let (elim_rows, ex) = q_elim
+        .execute(&constrained_fleet)
+        .expect("elided run")
+        .into_parts();
+    assert_eq!(
+        ex.algorithm,
+        Algorithm::Elided,
+        "the constraint registry must elide this winnow, got {ex}"
+    );
+    assert_eq!(ex.cache, CacheStatus::Bypass, "elision bypasses, got {ex}");
+    assert!(
+        ex.derivation.iter().any(|l| l.contains("eliminated")),
+        "the EXPLAIN derivation must state the elimination, got {ex}"
+    );
+    let full_rows = q_full.execute(&free_fleet).expect("full run").into_rows();
+    assert_eq!(elim_rows, full_rows, "elision must not change results");
+    assert_eq!(elim_rows.len(), constrained_fleet.len());
+    let s = elim_engine.cache_stats();
+    assert_eq!(
+        s.hits + s.misses,
+        0,
+        "an elided winnow must generate zero cache traffic"
+    );
+
+    group.bench_function("planner-rewrite-elim", |b| {
+        b.iter(|| {
+            let res = q_elim.execute(&constrained_fleet).expect("elided run");
+            assert_eq!(
+                res.cache(),
+                CacheStatus::Bypass,
+                "every run must stay elided"
+            );
+            black_box(res.rows().len())
+        })
+    });
+    group.bench_function("planner-full-run", |b| {
+        b.iter(|| {
+            let res = q_full.execute(&free_fleet).expect("full run");
+            black_box(res.rows().len())
+        })
+    });
+
+    // Planner tier, choice side: the standard query log through a
+    // cost-based engine versus one pinned to BNL. Result tier disabled
+    // on both, matrices warmed on both — the only variable left is
+    // *which* algorithm each plan names (plus the planner's own
+    // overhead: the statistics probe and the per-query plan cache,
+    // which the gate bounds near parity against the pinned baseline).
+    let choice_engine = Engine::with_optimizer(pref_query::Optimizer::new().without_result_cache())
+        .with_capacity(2 * LOG_LEN);
+    let choice_prepared =
+        prepare_log(&choice_engine, &log, catalog.schema()).expect("log compiles");
+    let pinned_engine = Engine::with_optimizer(
+        pref_query::Optimizer::new()
+            .with_algorithm(Algorithm::Bnl)
+            .without_result_cache(),
+    )
+    .with_capacity(2 * LOG_LEN);
+    let pinned_prepared =
+        prepare_log(&pinned_engine, &log, catalog.schema()).expect("log compiles");
+    // Warm-up: build matrices, statistics, and plans once.
+    let choice_total = replay(&choice_prepared, &catalog).expect("replay runs");
+    let pinned_total = replay(&pinned_prepared, &catalog).expect("replay runs");
+    assert_eq!(
+        choice_total, pinned_total,
+        "the planner's algorithm choice must not change results"
+    );
+    group.bench_function("planner-choice", |b| {
+        b.iter(|| {
+            let total = replay(&choice_prepared, &catalog).expect("replay runs");
+            assert_eq!(total, choice_total, "planned replay must stay stable");
+            black_box(total)
+        })
+    });
+    group.bench_function("planner-pinned-bnl", |b| {
+        b.iter(|| {
+            let total = replay(&pinned_prepared, &catalog).expect("replay runs");
+            assert_eq!(total, pinned_total, "pinned replay must stay stable");
+            black_box(total)
         })
     });
     group.finish();

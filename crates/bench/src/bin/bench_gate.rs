@@ -84,6 +84,28 @@ const SCENARIOS: &[(&str, &str, &str, f64)] = &[
         "server_load/server-throughput-cold",
         0.95,
     ),
+    // Constraint-gated elimination: a winnow the planner proves
+    // redundant answers from the plan alone (zero algorithm runs, zero
+    // cache traffic) against a real algorithm pass over the identical
+    // rows. Locally the ratio sits near 0.001; 0.50 still encodes
+    // "the deleted winnow must stay free".
+    (
+        "planner-rewrite-elim",
+        "engine_cache/planner-rewrite-elim",
+        "engine_cache/planner-full-run",
+        0.50,
+    ),
+    // Cost-based algorithm choice versus a pinned-BNL engine on the
+    // same warmed log. This one bounds *overhead*, not a cache tier: a
+    // ratio past 1.10 means the statistics probe and plan cache cost
+    // more than stats-driven choice saves, which is a planner
+    // regression even though nothing is "cold" about the baseline.
+    (
+        "planner-vs-pinned",
+        "engine_cache/planner-choice",
+        "engine_cache/planner-pinned-bnl",
+        1.10,
+    ),
 ];
 
 #[derive(Debug, Clone)]

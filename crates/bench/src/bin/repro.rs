@@ -18,7 +18,7 @@ use pref_query::bmo::sigma_naive;
 use pref_query::decompose::{self, sigma_decomposed};
 use pref_query::quality::{perfect_match, top_k};
 use pref_query::stats::{result_size, FilterEffectReport};
-use pref_query::{algorithms, sigma, sigma_rel, Optimizer};
+use pref_query::{algorithms, sigma, sigma_rel, Engine, Optimizer};
 use pref_relation::{attr, AttrSet, Relation};
 use pref_sql::PrefSql;
 use pref_workload::{cars, paper, querylog, synthetic::Distribution, trips};
@@ -458,7 +458,7 @@ fn filter_effect(h: &mut Harness) {
             highest("d1"),
         ),
     ] {
-        let rep = FilterEffectReport::measure(&p1, &p2, &r).expect("compiles");
+        let rep = FilterEffectReport::measure(&Engine::new(), &p1, &p2, &r).expect("compiles");
         println!(
             "{}",
             row(
@@ -492,13 +492,14 @@ fn eshop(h: &mut Harness) {
     // benchmark measured over real query logs.
     let catalog = cars::catalog(20_000, 7);
     let log = querylog::customer_log(200, 41);
+    let engine = Engine::new();
     let mut sizes: Vec<usize> = Vec::with_capacity(log.len());
     for q in &log {
         let candidates = q.candidates(&catalog);
         if candidates.is_empty() {
             continue; // the shop shows "no match" before preferences run
         }
-        sizes.push(result_size(&q.preference, &candidates).expect("compiles"));
+        sizes.push(result_size(&engine, &q.preference, &candidates).expect("compiles"));
     }
     sizes.sort_unstable();
     let n = sizes.len();

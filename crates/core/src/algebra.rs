@@ -8,4 +8,4 @@ pub mod laws;
 pub mod rewrite;
 
 pub use equiv::{equivalent_on, equivalent_values};
-pub use rewrite::simplify;
+pub use rewrite::{simplify, simplify_traced, RewriteStep};

@@ -6,59 +6,132 @@
 //! here is backed by a law of Propositions 2–4 (or a derived
 //! generalisation proved in the comments) and the property tests check
 //! `simplify(P) ≡ P` on random terms and relations.
+//!
+//! The rewriter is a **step-at-a-time** engine: [`simplify_traced`]
+//! applies exactly one law per step (innermost-leftmost applicable rule
+//! first) and records each step as a [`RewriteStep`] naming the law and
+//! the whole term before/after — the derivation trace the query planner
+//! prints through `EXPLAIN` and that property tests replay term-by-term
+//! (each recorded pair must satisfy `σ[before](R) = σ[after](R)`).
+//! [`simplify`] is the trace-free spelling of the same fixpoint.
 
 use pref_relation::AttrSet;
 
 use crate::term::Pref;
 
+/// One recorded application of an algebra law: the law's name and the
+/// **whole** term before and after the step. Consecutive steps chain
+/// (`steps[k].after == steps[k + 1].before`), so a derivation replays as
+/// a sequence of Prop. 7-preserving equivalences.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RewriteStep {
+    /// The law that fired, e.g. `"Prop. 3b (P∂∂ ≡ P)"`.
+    pub law: &'static str,
+    /// The full term before this step.
+    pub before: Pref,
+    /// The full term after this step.
+    pub after: Pref,
+}
+
 /// Simplify a preference term by applying the algebraic laws until a
 /// fixpoint is reached.
 pub fn simplify(p: &Pref) -> Pref {
     let mut current = p.clone();
-    // Each pass strictly shrinks the term or leaves it unchanged, so this
-    // terminates quickly; the explicit bound guards against rule bugs.
-    for _ in 0..64 {
-        let next = simplify_once(&current);
-        if next == current {
-            return next;
+    // One law fires per step and the rule set strictly decreases the
+    // (antichain-under-Pareto, node count) measure, so this terminates
+    // quickly; the explicit bound guards against rule bugs.
+    for _ in 0..256 {
+        match step(&current) {
+            Some((next, _law)) => current = next,
+            None => return current,
         }
-        current = next;
     }
     current
 }
 
-fn simplify_once(p: &Pref) -> Pref {
+/// [`simplify`] with the derivation recorded: returns the fixpoint plus
+/// one [`RewriteStep`] per law application, in the order they fired.
+pub fn simplify_traced(p: &Pref) -> (Pref, Vec<RewriteStep>) {
+    let mut current = p.clone();
+    let mut steps = Vec::new();
+    for _ in 0..256 {
+        match step(&current) {
+            Some((next, law)) => {
+                steps.push(RewriteStep {
+                    law,
+                    before: current.clone(),
+                    after: next.clone(),
+                });
+                current = next;
+            }
+            None => break,
+        }
+    }
+    (current, steps)
+}
+
+/// Apply the first applicable law, innermost-leftmost, returning the
+/// rewritten whole term and the law's name. `None` = fixpoint reached.
+fn step(p: &Pref) -> Option<(Pref, &'static str)> {
     match p {
-        Pref::Base(_) | Pref::Antichain(_) | Pref::Rank(_, _) => p.clone(),
+        Pref::Base(_) | Pref::Antichain(_) | Pref::Rank(_, _) => None,
         Pref::Dual(inner) => {
-            let inner = simplify_once(inner);
-            match inner {
+            if let Some((next, law)) = step(inner) {
+                return Some((next.dual(), law));
+            }
+            match inner.as_ref() {
                 // Prop. 3b: P∂∂ ≡ P.
-                Pref::Dual(core) => (*core).clone(),
+                Pref::Dual(core) => Some(((**core).clone(), "Prop. 3b (P∂∂ ≡ P)")),
                 // Prop. 3a: (S↔)∂ ≡ S↔.
-                Pref::Antichain(a) => Pref::Antichain(a),
-                other => other.dual(),
+                Pref::Antichain(a) => Some((Pref::Antichain(a.clone()), "Prop. 3a ((S↔)∂ ≡ S↔)")),
+                _ => None,
             }
         }
-        Pref::Pareto(children) => simplify_pareto(children),
-        Pref::Prior(children) => simplify_prior(children),
+        Pref::Pareto(children) => {
+            for (i, c) in children.iter().enumerate() {
+                if let Some((nc, law)) = step(c) {
+                    let mut v = children.clone();
+                    v[i] = nc;
+                    return Some((Pref::Pareto(v), law));
+                }
+            }
+            step_pareto(children)
+        }
+        Pref::Prior(children) => {
+            for (i, c) in children.iter().enumerate() {
+                if let Some((nc, law)) = step(c) {
+                    let mut v = children.clone();
+                    v[i] = nc;
+                    return Some((Pref::Prior(v), law));
+                }
+            }
+            step_prior(children)
+        }
         Pref::Inter(l, r) => {
-            let l = simplify_once(l);
-            let r = simplify_once(r);
+            if let Some((nl, law)) = step(l) {
+                return Some((Pref::Inter(nl.into(), (**r).clone().into()), law));
+            }
+            if let Some((nr, law)) = step(r) {
+                return Some((Pref::Inter((**l).clone().into(), nr.into()), law));
+            }
             // Prop. 3f: P ♦ P ≡ P.
             if l == r {
-                return l;
+                return Some(((**l).clone(), "Prop. 3f (P ♦ P ≡ P)"));
             }
             // Prop. 3g: P ♦ P∂ ≡ A↔.
-            if is_dual_pair(&l, &r) {
-                return Pref::Antichain(l.attributes());
+            if is_dual_pair(l, r) {
+                return Some((Pref::Antichain(l.attributes()), "Prop. 3g (P ♦ P∂ ≡ A↔)"));
             }
-            Pref::Inter(l.into(), r.into())
+            None
         }
         Pref::Union(l, r) => {
-            let l = simplify_once(l);
-            let r = simplify_once(r);
-            Pref::Union(l.into(), r.into())
+            if let Some((nl, law)) = step(l) {
+                return Some((Pref::Union(nl.into(), (**r).clone().into()), law));
+            }
+            if let Some((nr, law)) = step(r) {
+                return Some((Pref::Union((**l).clone().into(), nr.into()), law));
+            }
+            None
         }
     }
 }
@@ -68,81 +141,104 @@ fn is_dual_pair(a: &Pref, b: &Pref) -> bool {
         || matches!(a, Pref::Dual(inner) if inner.as_ref() == b)
 }
 
-fn simplify_pareto(children: &[Pref]) -> Pref {
-    // Associativity (Prop. 2b) justifies flattening; commutativity makes
-    // the anti-chain extraction below order-insensitive.
-    let mut flat = Vec::with_capacity(children.len());
-    for c in children {
-        match simplify_once(c) {
-            Pref::Pareto(inner) => flat.extend(inner),
-            other => flat.push(other),
+/// One Pareto-level law application (children are already at fixpoint).
+fn step_pareto(children: &[Pref]) -> Option<(Pref, &'static str)> {
+    // Associativity (Prop. 2b): splice one nested Pareto child.
+    if let Some(i) = children.iter().position(|c| matches!(c, Pref::Pareto(_))) {
+        let mut v: Vec<Pref> = children[..i].to_vec();
+        match &children[i] {
+            Pref::Pareto(inner) => v.extend(inner.iter().cloned()),
+            _ => unreachable!("position matched a Pareto child"),
         }
+        v.extend(children[i + 1..].iter().cloned());
+        return Some((
+            Pref::Pareto(v),
+            "Prop. 2b (⊗ associativity: flatten nesting)",
+        ));
     }
 
-    // Prop. 3l (P ⊗ P ≡ P): drop syntactic duplicates.
-    let mut uniq: Vec<Pref> = Vec::with_capacity(flat.len());
-    for c in flat {
-        if !uniq.contains(&c) {
-            uniq.push(c);
-        }
-    }
-
-    // Prop. 3n (P ⊗ P∂ ≡ A↔): a dual pair collapses those two children
-    // to an anti-chain over their attributes.
-    let mut collapsed: Vec<Pref> = Vec::new();
-    'outer: for c in uniq {
-        for existing in collapsed.iter_mut() {
-            if is_dual_pair(existing, &c) {
-                *existing = Pref::Antichain(existing.attributes());
-                continue 'outer;
+    // Prop. 3l (P ⊗ P ≡ P): drop one later syntactic duplicate.
+    for i in 0..children.len() {
+        for j in (i + 1)..children.len() {
+            if children[i] == children[j] {
+                let mut v = children.to_vec();
+                v.remove(j);
+                return Some((unwrap_pareto(v), "Prop. 3l (P ⊗ P ≡ P)"));
             }
         }
-        collapsed.push(c);
     }
 
-    // Prop. 3m generalised: A↔ ⊗ Q1 ⊗ … ⊗ Qn ≡ A↔ & (Q1 ⊗ … ⊗ Qn).
-    // Merge all anti-chain children into one, then pull it in front as a
+    // Prop. 3n (P ⊗ P∂ ≡ A↔): collapse one dual pair to an anti-chain.
+    for i in 0..children.len() {
+        for j in (i + 1)..children.len() {
+            if is_dual_pair(&children[i], &children[j]) {
+                let mut v = children.to_vec();
+                v[i] = Pref::Antichain(children[i].attributes());
+                v.remove(j);
+                return Some((unwrap_pareto(v), "Prop. 3n (P ⊗ P∂ ≡ A↔)"));
+            }
+        }
+    }
+
+    // Merge two anti-chain children: A↔ ⊗ B↔ ≡ (A∪B)↔ (both demand
+    // projection equality, jointly over A∪B — the n = 0 case of the
+    // Prop. 3m generalisation below).
+    let acs: Vec<usize> = children
+        .iter()
+        .enumerate()
+        .filter_map(|(i, c)| matches!(c, Pref::Antichain(_)).then_some(i))
+        .collect();
+    if acs.len() >= 2 {
+        let (i, j) = (acs[0], acs[1]);
+        let (Pref::Antichain(a), Pref::Antichain(b)) = (&children[i], &children[j]) else {
+            unreachable!("indices filtered to Antichain children");
+        };
+        let mut v = children.to_vec();
+        v[i] = Pref::Antichain(a.union(b));
+        v.remove(j);
+        return Some((unwrap_pareto(v), "A↔ ⊗ B↔ ≡ (A∪B)↔ (anti-chain merge)"));
+    }
+
+    // Prop. 3m generalised: A↔ ⊗ Q1 ⊗ … ⊗ Qn ≡ A↔ & (Q1 ⊗ … ⊗ Qn) —
+    // pull the (single, after merging) anti-chain out front as a
     // prioritised grouping head.
-    let mut ac_attrs: Option<AttrSet> = None;
-    let mut rest: Vec<Pref> = Vec::new();
-    for c in collapsed {
-        match c {
-            Pref::Antichain(a) => {
-                ac_attrs = Some(match ac_attrs {
-                    None => a,
-                    Some(prev) => prev.union(&a),
-                });
-            }
-            other => rest.push(other),
+    if let Some(i) = acs.first().copied() {
+        if children.len() >= 2 {
+            let ac = children[i].clone();
+            let mut rest: Vec<Pref> = children.to_vec();
+            rest.remove(i);
+            let core = unwrap_pareto(rest);
+            return Some((
+                Pref::Prior(vec![ac, core]),
+                "Prop. 3m generalised (A↔ ⊗ Q ≡ A↔ & Q)",
+            ));
         }
     }
 
-    let core = match rest.len() {
-        0 => None,
-        1 => Some(rest.pop().expect("len checked")),
-        _ => Some(Pref::Pareto(rest)),
-    };
-
-    match (ac_attrs, core) {
-        (Some(a), None) => Pref::Antichain(a),
-        // If the anti-chain attributes are covered by the rest, the
-        // equality constraint it adds is… NOT redundant for ⊗ (it demands
-        // equality where the rest may allow strict dominance), so keep the
-        // prioritised form in general.
-        (Some(a), Some(core)) => simplify_prior(&[Pref::Antichain(a), core]),
-        (None, Some(core)) => core,
-        (None, None) => unreachable!("constructors forbid empty Pareto"),
+    // Singleton accumulation: ⊗ over one operand is that operand.
+    if children.len() == 1 {
+        return Some((
+            children[0].clone(),
+            "singleton accumulation unwraps (definitional)",
+        ));
     }
+    None
 }
 
-fn simplify_prior(children: &[Pref]) -> Pref {
-    // Associativity (Prop. 2c) justifies flattening.
-    let mut flat = Vec::with_capacity(children.len());
-    for c in children {
-        match simplify_once(c) {
-            Pref::Prior(inner) => flat.extend(inner),
-            other => flat.push(other),
+/// One Prior-level law application (children are already at fixpoint).
+fn step_prior(children: &[Pref]) -> Option<(Pref, &'static str)> {
+    // Associativity (Prop. 2c): splice one nested Prior child.
+    if let Some(i) = children.iter().position(|c| matches!(c, Pref::Prior(_))) {
+        let mut v: Vec<Pref> = children[..i].to_vec();
+        match &children[i] {
+            Pref::Prior(inner) => v.extend(inner.iter().cloned()),
+            _ => unreachable!("position matched a Prior child"),
         }
+        v.extend(children[i + 1..].iter().cloned());
+        return Some((
+            Pref::Prior(v),
+            "Prop. 2c (& associativity: flatten nesting)",
+        ));
     }
 
     // Generalised discrimination (Prop. 4a): a child whose attribute set
@@ -152,27 +248,50 @@ fn simplify_prior(children: &[Pref]) -> Pref {
     //
     // This subsumes P & P ≡ P (Prop. 3i) and P1 & P2 ≡ P1 on shared
     // attributes (Prop. 4a).
-    let mut kept: Vec<Pref> = Vec::new();
+    //
+    // Note on Prop. 3j (`P & A↔ ≡ P`): it only holds when the anti-chain
+    // ranges over P's own attributes, and this subsumption rule removes
+    // exactly that case. Dropping an *arbitrary* trailing anti-chain
+    // would shrink the term's attribute set, which is not Def. 13
+    // equivalence and corrupts the projection-equality test of an
+    // enclosing accumulation (found by the law property tests).
     let mut seen = AttrSet::empty();
-    for c in flat {
+    for (i, c) in children.iter().enumerate() {
         let attrs = c.attributes();
-        if attrs.is_subset(&seen) {
-            continue;
+        if i > 0 && attrs.is_subset(&seen) {
+            let mut v = children.to_vec();
+            v.remove(i);
+            return Some((
+                unwrap_prior(v),
+                "Prop. 4a generalised (covered prioritised child never fires)",
+            ));
         }
         seen = seen.union(&attrs);
-        kept.push(c);
     }
 
-    // Note on Prop. 3j (`P & A↔ ≡ P`): it only holds when the anti-chain
-    // ranges over P's own attributes, and the subsumption rule above
-    // already removes exactly that case. Dropping an *arbitrary* trailing
-    // anti-chain would shrink the term's attribute set, which is not
-    // Def. 13 equivalence and corrupts the projection-equality test of an
-    // enclosing accumulation (found by the law property tests).
-    match kept.len() {
-        0 => unreachable!("constructors forbid empty Prior"),
-        1 => kept.pop().expect("len checked"),
-        _ => Pref::Prior(kept),
+    // Singleton accumulation: & over one operand is that operand.
+    if children.len() == 1 {
+        return Some((
+            children[0].clone(),
+            "singleton accumulation unwraps (definitional)",
+        ));
+    }
+    None
+}
+
+fn unwrap_pareto(mut v: Vec<Pref>) -> Pref {
+    if v.len() == 1 {
+        v.pop().expect("len checked")
+    } else {
+        Pref::Pareto(v)
+    }
+}
+
+fn unwrap_prior(mut v: Vec<Pref>) -> Pref {
+    if v.len() == 1 {
+        v.pop().expect("len checked")
+    } else {
+        Pref::Prior(v)
     }
 }
 
@@ -312,5 +431,53 @@ mod tests {
         let t = Pref::Pareto(vec![antichain(["c"]), lowest("a"), lowest("a")]);
         let once = simplify(&t);
         assert_eq!(simplify(&once), once);
+    }
+
+    #[test]
+    fn trace_chains_and_matches_simplify() {
+        let t = Pref::Pareto(vec![
+            antichain(["c"]),
+            lowest("a"),
+            lowest("a"),
+            highest("b").dual().dual(),
+        ]);
+        let (fixpoint, steps) = simplify_traced(&t);
+        assert_eq!(fixpoint, simplify(&t));
+        assert!(!steps.is_empty(), "this term must rewrite");
+        // The steps chain: each after is the next before, the first
+        // before is the input, the last after is the fixpoint.
+        assert_eq!(steps.first().unwrap().before, t);
+        assert_eq!(steps.last().unwrap().after, fixpoint);
+        for w in steps.windows(2) {
+            assert_eq!(w[0].after, w[1].before, "derivation must chain");
+        }
+        // Every step preserves σ[P](R) (Prop. 7 on each recorded law).
+        let r = sample();
+        for s in &steps {
+            assert!(
+                equivalent_on(&s.before, &s.after, &r).unwrap(),
+                "{} broke equivalence: {} → {}",
+                s.law,
+                s.before,
+                s.after
+            );
+        }
+    }
+
+    #[test]
+    fn trace_is_empty_at_fixpoint() {
+        let t = Pref::Prior(vec![antichain(["a"]), lowest("b")]);
+        let (fixpoint, steps) = simplify_traced(&t);
+        assert_eq!(fixpoint, t);
+        assert!(steps.is_empty());
+    }
+
+    #[test]
+    fn trace_names_the_laws() {
+        let (_, steps) = simplify_traced(&lowest("a").dual().dual());
+        assert_eq!(steps.len(), 1);
+        assert!(steps[0].law.contains("Prop. 3b"));
+        let (_, steps) = simplify_traced(&Pref::Pareto(vec![lowest("a"), lowest("a")]));
+        assert!(steps.iter().any(|s| s.law.contains("Prop. 3l")));
     }
 }

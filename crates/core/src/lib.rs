@@ -66,7 +66,7 @@ pub use error::CoreError;
 
 /// Everything needed to build and evaluate preferences.
 pub mod prelude {
-    pub use crate::algebra::{equivalent_on, simplify};
+    pub use crate::algebra::{equivalent_on, simplify, simplify_traced, RewriteStep};
     pub use crate::base::{BasePreference, BaseRef};
     pub use crate::error::CoreError;
     pub use crate::eval::CompiledPref;

@@ -75,6 +75,7 @@ pub const ALL_RULES: &[&str] = &[
     rules::NO_PANIC_IN_CONNECTION_PATH,
     rules::SHARD_COUNT_POW2,
     rules::CACHE_KEY_DISCIPLINE,
+    rules::COST_CONSTANT_DOCUMENTED,
 ];
 
 /// Check one source text. `display_path` is used both for reporting and

@@ -23,6 +23,8 @@ pub const NO_PANIC_IN_CONNECTION_PATH: &str = "no-panic-in-connection-path";
 pub const SHARD_COUNT_POW2: &str = "shard-count-pow2";
 /// R5b: `MatrixKey` constructions end in the term fingerprint.
 pub const CACHE_KEY_DISCIPLINE: &str = "cache-key-discipline";
+/// R7: every planner cost-model constant carries a rationale comment.
+pub const COST_CONSTANT_DOCUMENTED: &str = "cost-constant-documented";
 
 /// Run every rule over one lexed file.
 pub fn run_all(display_path: &str, lx: &Lexed) -> Vec<Diagnostic> {
@@ -34,6 +36,7 @@ pub fn run_all(display_path: &str, lx: &Lexed) -> Vec<Diagnostic> {
     no_panic_in_connection_path(display_path, lx, &mut out);
     shard_count_pow2(display_path, lx, &mut out);
     cache_key_discipline(display_path, lx, &mut out);
+    cost_constant_documented(display_path, lx, &mut out);
     out
 }
 
@@ -559,6 +562,44 @@ fn cache_key_discipline(path: &str, lx: &Lexed, out: &mut Vec<Diagnostic>) {
     }
 }
 
+// ---------------------------------------------------------------------
+// R7 — cost-constant-documented
+// ---------------------------------------------------------------------
+
+/// `const COST_*` / `const PLANNER_*` declarations must carry a
+/// rationale comment on the same line or within the two lines above.
+/// These constants *are* the planner's cost model — an undocumented
+/// magic number here silently re-ranks every algorithm choice, and the
+/// calibration argument (why ¼ of a dominance test, why this drift
+/// threshold) lives nowhere else.
+fn cost_constant_documented(path: &str, lx: &Lexed, out: &mut Vec<Diagnostic>) {
+    let toks = &lx.tokens;
+    for i in 0..toks.len().saturating_sub(1) {
+        if ident(&toks[i]) != Some("const") {
+            continue;
+        }
+        let Some(name) = toks.get(i + 1).and_then(ident) else {
+            continue;
+        };
+        if !(name.starts_with("COST_") || name.starts_with("PLANNER_")) {
+            continue;
+        }
+        let line = toks[i + 1].line;
+        if !lx.has_comment_near(line, 2) {
+            out.push(Diagnostic {
+                file: path.to_string(),
+                line,
+                rule: COST_CONSTANT_DOCUMENTED,
+                message: format!(
+                    "cost-model constant `{name}` has no rationale comment on this \
+                     line or the two above — document the unit and the calibration \
+                     argument behind the value"
+                ),
+            });
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -661,6 +702,26 @@ mod tests {
         let d = check("a.rs", "let k = MatrixKey::Generation(fp, gen);\n");
         assert_eq!(d.len(), 1);
         assert_eq!(d[0].rule, CACHE_KEY_DISCIPLINE);
+    }
+
+    #[test]
+    fn r7_requires_rationale_on_cost_constants() {
+        let bare = "const COST_SCAN_FACTOR: f64 = 0.25;\n";
+        let d = check("crates/query/src/plan.rs", bare);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, COST_CONSTANT_DOCUMENTED);
+
+        let bare2 = "pub(crate) const PLANNER_REPLAN_DRIFT: f64 = 2.0;\n";
+        let d = check("crates/query/src/plan.rs", bare2);
+        assert_eq!(d.len(), 1, "{d:?}");
+
+        let commented = "/// A scalar compare costs about a quarter dominance test.\n\
+                         const COST_SCAN_FACTOR: f64 = 0.25;\n";
+        assert!(check("crates/query/src/plan.rs", commented).is_empty());
+
+        // Other constants are out of scope.
+        let other = "const STATS_CAPACITY: usize = 64;\n";
+        assert!(check("crates/query/src/plan.rs", other).is_empty());
     }
 
     #[test]

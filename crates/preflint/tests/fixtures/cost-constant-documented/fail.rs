@@ -1,0 +1,3 @@
+const COST_SCAN_FACTOR: f64 = 0.25;
+
+pub(crate) const PLANNER_REPLAN_DRIFT: f64 = 2.0;

@@ -1,0 +1,11 @@
+/// One scalar comparison costs about a quarter of a full pairwise
+/// dominance test — the unit every cost formula is denominated in.
+const COST_SCAN_FACTOR: f64 = 0.25;
+
+// Replan once the row count drifts past 2× (or below ½) of the planned
+// snapshot: the cost ranking cannot flip on smaller drift.
+pub(crate) const PLANNER_REPLAN_DRIFT: f64 = 2.0;
+
+/// Constants outside the `COST_*` / `PLANNER_*` families are not cost
+/// model and stay unflagged.
+const STATS_CAPACITY: usize = 64;

@@ -1,0 +1,2 @@
+// preflint: allow(cost-constant-documented) — fixture: rationale lives in the module doc
+const COST_SCAN_FACTOR: f64 = 0.25;

@@ -370,6 +370,20 @@ impl HardExpr {
         }
     }
 
+    /// Visit every column name the condition reads — the input to the
+    /// planner's selection-commutation gate (σ_C commutes with `σ[P]`
+    /// only when every attribute of C is constraint-uniform).
+    pub fn walk_columns(&self, f: &mut impl FnMut(&str)) {
+        match self {
+            HardExpr::Cmp(a, _, _) | HardExpr::Between(a, _, _) | HardExpr::In(a, _, _) => f(a),
+            HardExpr::And(a, b) | HardExpr::Or(a, b) => {
+                a.walk_columns(f);
+                b.walk_columns(f);
+            }
+            HardExpr::Not(inner) => inner.walk_columns(f),
+        }
+    }
+
     /// Visit every literal of the condition.
     pub fn walk_literals(&self, f: &mut impl FnMut(&Literal)) {
         match self {

@@ -269,10 +269,24 @@ impl PrefSql {
             (Some(h), true) => Some(h),
             (None, _) => None,
         };
+        //    Hard-selection pushdown (Chomicki-style σ/ω commutation):
+        //    when every WHERE attribute is CONSTANT-constrained in the
+        //    schema's registry, the predicate evaluates identically on
+        //    every stored tuple, so σ_C(R) is all of R or none of it and
+        //    σ_C(ω_P(R)) = ω_P(σ_C(R)). In the all-rows case the winnow
+        //    runs on the base table itself — reusing its cached matrices
+        //    and results instead of deriving a same-content view.
+        let pushed = hard.is_some_and(|h| selection_commutes_for(h, table.schema()));
         let base: Cow<'_, Relation> = match hard {
             Some(h) => {
                 let pred = hard_to_predicate(h, table.schema(), &q.table)?;
-                Cow::Owned(table.select_derived(|t| pred(t), h.fingerprint()))
+                if pushed && table.iter().next().is_none_or(&pred) {
+                    Cow::Borrowed(table)
+                } else if pushed {
+                    Cow::Owned(table.select_derived(|_| false, h.fingerprint()))
+                } else {
+                    Cow::Owned(table.select_derived(|t| pred(t), h.fingerprint()))
+                }
             }
             None => Cow::Borrowed(table),
         };
@@ -280,7 +294,7 @@ impl PrefSql {
         let candidates = base.len();
 
         if q.explain {
-            return self.explain(q, base, candidates);
+            return self.explain(q, base, candidates, pushed);
         }
 
         // 2. Assemble the preference term: PREFERRING ... CASCADE ... is
@@ -413,6 +427,7 @@ impl PrefSql {
         q: &Query,
         base: &Relation,
         candidates: usize,
+        pushed: bool,
     ) -> Result<QueryResult, SqlError> {
         let mut parts: Vec<Pref> = Vec::new();
         if let Some(p) = &q.preferring {
@@ -426,6 +441,13 @@ impl PrefSql {
             "scan       : {} ({} candidate rows after WHERE)",
             q.table, candidates
         )];
+        if pushed {
+            lines.push(
+                "pushdown   : WHERE commutes with σ[P] (every WHERE attribute is \
+                 CONSTANT-constrained) — winnow runs on the base table"
+                    .to_string(),
+            );
+        }
         let (preference, explain) = if parts.is_empty() {
             lines.push("preference : none (exact-match query)".to_string());
             (None, None)
@@ -477,6 +499,23 @@ impl PrefSql {
             candidates,
         })
     }
+}
+
+/// The executor-side face of the planner's commutation gate: collect the
+/// WHERE clause's column names and ask `pref_query` whether a selection
+/// over exactly those attributes commutes with any winnow under
+/// `schema`'s constraint registry. Unknown columns resolve to `false`
+/// here — the predicate builder reports them properly right after.
+fn selection_commutes_for(h: &HardExpr, schema: &Schema) -> bool {
+    let mut cols: Vec<String> = Vec::new();
+    h.walk_columns(&mut |c| {
+        if !cols.iter().any(|seen| seen == c) {
+            cols.push(c.to_string());
+        }
+    });
+    let attrs: Vec<pref_relation::Attr> = cols.iter().map(|c| c.as_str().into()).collect();
+    attrs.iter().all(|a| schema.index_of(a).is_some())
+        && pref_query::selection_commutes(schema, attrs.iter())
 }
 
 /// Build the PREFERRING/CASCADE term of `q` against `schema`, with `$n`
@@ -927,6 +966,43 @@ mod tests {
             .unwrap();
         let text = format!("{}", res.relation);
         assert!(text.contains("hash grouping"));
+    }
+
+    #[test]
+    fn constant_where_pushes_down_past_the_winnow() {
+        use pref_relation::{attr, Constraint};
+        let schema = Schema::new(vec![("cat", DataType::Str), ("price", DataType::Int)])
+            .unwrap()
+            .with_constraint(Constraint::Constant { attr: attr("cat") })
+            .unwrap();
+        let mut t = Relation::empty(schema);
+        for (c, p) in [("used", 10), ("used", 20), ("used", 30)] {
+            t.push_values(vec![Value::from(c), Value::from(p)]).unwrap();
+        }
+        let mut s = PrefSql::new();
+        s.register("car", t);
+
+        // Uniformly-true predicate: the winnow runs on the base table
+        // itself (commutation licensed by CONSTANT(cat)).
+        let res = s
+            .execute("SELECT * FROM car WHERE cat = 'used' PREFERRING LOWEST(price)")
+            .unwrap();
+        assert_eq!(res.candidates, 3);
+        assert_eq!(res.relation.len(), 1);
+        assert_eq!(res.relation.row(0)[1], Value::from(10));
+
+        // Uniformly-false predicate: σ_C(R) is empty, nothing to winnow.
+        let res = s
+            .execute("SELECT * FROM car WHERE cat = 'new' PREFERRING LOWEST(price)")
+            .unwrap();
+        assert_eq!(res.candidates, 0);
+        assert!(res.relation.is_empty());
+
+        // The plan reports the rewrite.
+        let res = s
+            .execute("EXPLAIN SELECT * FROM car WHERE cat = 'used' PREFERRING LOWEST(price)")
+            .unwrap();
+        assert!(res.relation.to_string().contains("pushdown"));
     }
 
     #[test]

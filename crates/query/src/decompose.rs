@@ -48,16 +48,6 @@ pub fn sigma_decomposed(pref: &Pref, r: &Relation) -> Result<Vec<usize>, QueryEr
     transient_engine().sigma_decomposed(pref, r)
 }
 
-/// Deprecated free-function spelling of [`Engine::sigma_decomposed`].
-#[deprecated(since = "0.2.0", note = "use the `Engine::sigma_decomposed` method")]
-pub fn sigma_decomposed_with(
-    engine: &Engine,
-    pref: &Pref,
-    r: &Relation,
-) -> Result<Vec<usize>, QueryError> {
-    engine.sigma_decomposed(pref, r)
-}
-
 impl Engine {
     /// [`sigma_decomposed`] through this engine: every sub-query of the
     /// recursion (the decomposed views, `YY` overlaps, the BNL
@@ -207,17 +197,6 @@ pub fn yy(p1: &Pref, p2: &Pref, r: &Relation) -> Result<Vec<usize>, QueryError> 
     transient_engine().yy(p1, p2, r)
 }
 
-/// Deprecated free-function spelling of [`Engine::yy`].
-#[deprecated(since = "0.2.0", note = "use the `Engine::yy` method")]
-pub fn yy_with(
-    engine: &Engine,
-    p1: &Pref,
-    p2: &Pref,
-    r: &Relation,
-) -> Result<Vec<usize>, QueryError> {
-    engine.yy(p1, p2, r)
-}
-
 fn yy_inner(
     engine: &Engine,
     p1: &Pref,
@@ -299,29 +278,15 @@ impl ParetoDecomposition {
 
 /// Compute the Prop. 12 decomposition of `σ[P1 ⊗ P2](R)` for preferences
 /// over disjoint attribute sets. One-shot wrapper over
-/// [`pareto_decomposition_with`] on a transient capacity-0 engine —
-/// nothing is cached; hold an [`Engine`] and use the `_with` variant
-/// for anything beyond a single call.
+/// [`Engine::pareto_decomposition`] on a transient capacity-0 engine —
+/// nothing is cached; hold an [`Engine`] and use the method for anything
+/// beyond a single call.
 pub fn pareto_decomposition(
     p1: &Pref,
     p2: &Pref,
     r: &Relation,
 ) -> Result<ParetoDecomposition, QueryError> {
     transient_engine().pareto_decomposition(p1, p2, r)
-}
-
-/// Deprecated free-function spelling of [`Engine::pareto_decomposition`].
-#[deprecated(
-    since = "0.2.0",
-    note = "use the `Engine::pareto_decomposition` method"
-)]
-pub fn pareto_decomposition_with(
-    engine: &Engine,
-    p1: &Pref,
-    p2: &Pref,
-    r: &Relation,
-) -> Result<ParetoDecomposition, QueryError> {
-    engine.pareto_decomposition(p1, p2, r)
 }
 
 impl Engine {

@@ -41,18 +41,26 @@ use std::fmt;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 
+use pref_core::algebra::simplify_traced;
 use pref_core::eval::{CompiledPref, MatrixWindow, ScoreMatrix};
 use pref_core::term::Pref;
 use pref_core::CoreError;
-use pref_relation::{AttrSet, Relation, RelationError, Schema, Value};
+use pref_relation::{AttrSet, ColumnStats, Relation, RelationError, Schema, Value};
 
 use crate::error::QueryError;
-use crate::optimizer::{run_algorithm, CacheStatus, Explain, Optimizer};
+use crate::optimizer::{run_algorithm, Algorithm, CacheStatus, Explain, Optimizer};
+use crate::plan::{self, Plan, SemanticInfo, StatsView, PLANNER_REPLAN_DRIFT};
 
 /// Default number of cached score matrices per engine.
 const DEFAULT_CAPACITY: usize = 64;
+
+/// Bound on the engine's per-generation [`ColumnStats`] snapshots. A
+/// snapshot is a per-column value-count map — far smaller than a matrix
+/// but not free; 64 generations comfortably covers the live relations
+/// of a session while keeping the worst case bounded.
+const STATS_CAPACITY: usize = 64;
 
 /// Number of lock shards the matrix cache is split over (power of two).
 ///
@@ -266,6 +274,13 @@ struct EngineInner {
     shard_hits: AtomicU64,
     maintained_hits: AtomicU64,
     misses: AtomicU64,
+    /// Per-relation column statistics, keyed by relation generation and
+    /// advanced *incrementally* over each relation's
+    /// [`Delta`](pref_relation::Delta) ([`ColumnStats::advance`]) — the
+    /// planner's Def. 18 cardinality inputs. Never held across a matrix
+    /// build or another lock: probes read-lock, computation runs
+    /// unlocked, inserts write-lock.
+    stats: RwLock<HashMap<u64, Arc<ColumnStats>>>,
 }
 
 impl EngineInner {
@@ -439,6 +454,7 @@ impl Engine {
                 shard_hits: AtomicU64::new(0),
                 maintained_hits: AtomicU64::new(0),
                 misses: AtomicU64::new(0),
+                stats: RwLock::default(),
             }),
         }
     }
@@ -465,11 +481,20 @@ impl Engine {
     /// against relations with the same schema.
     pub fn prepare(&self, pref: &Pref, schema: &Schema) -> Result<Prepared, QueryError> {
         let original = pref.to_string();
-        let simplified = self.inner.optimizer.rewrite(pref);
+        let (simplified, trace) = if self.inner.optimizer.no_rewrite {
+            (pref.clone(), Vec::new())
+        } else {
+            simplify_traced(pref)
+        };
         let simplified_str = simplified.to_string();
         let compiled = CompiledPref::compile(&simplified, schema)?;
         let fingerprint = compiled.fingerprint();
         let param_slots = compiled.param_slots();
+        // Schema-level planning happens once, here: fold the rewrite
+        // trace into derivation steps and decide redundancy from the
+        // schema's constraint registry. The relation-level half (stats,
+        // cost ranking) is computed lazily on first execution.
+        let semantic = Arc::new(SemanticInfo::analyze(&simplified, schema, trace));
         Ok(Prepared {
             engine: self.clone(),
             rewritten: simplified_str != original,
@@ -481,6 +506,8 @@ impl Engine {
             param_slots,
             binding: None,
             schema: schema.clone(),
+            semantic,
+            plan_cell: Arc::new(Mutex::new(None)),
         })
     }
 
@@ -505,9 +532,96 @@ impl Engine {
             .into_parts())
     }
 
-    /// Plan without executing (the `EXPLAIN` path).
+    /// Plan without executing (the `EXPLAIN` path): rewrite with the
+    /// derivation recorded, run the constraint-registry semantic
+    /// analysis, and cost-rank the algorithms from the engine's
+    /// maintained statistics. The returned [`Explain`] carries the full
+    /// derivation; no matrix is materialized and no algorithm runs.
     pub fn plan(&self, pref: &Pref, r: &Relation) -> Result<Explain, QueryError> {
-        self.inner.optimizer.plan(pref, r)
+        let prepared = self.prepare(pref, r.schema())?;
+        let plan = prepared.plan(r);
+        let materialized = !self.inner.optimizer.no_materialize
+            && Optimizer::uses_matrix(plan.algorithm)
+            && prepared.compiled.supports_matrix(r);
+        Ok(Explain {
+            original: prepared.original.clone(),
+            simplified: prepared.simplified_str.clone(),
+            rewritten: prepared.rewritten,
+            derivation: plan.lines(),
+            algorithm: plan.algorithm,
+            materialized,
+            explicit_bitsets: materialized && prepared.compiled.has_explicit(),
+            cache: CacheStatus::Bypass,
+            cache_shard: None,
+            generation: r.generation(),
+            lineage: r.lineage(),
+            shape_fingerprint: None,
+            binding: None,
+            reason: plan.reason.clone(),
+        })
+    }
+
+    /// The planner's statistics view of `r`: served from the
+    /// per-generation snapshot cache when possible, advanced
+    /// incrementally over the relation's delta when a predecessor
+    /// snapshot exists, approximated by the base table's snapshot for
+    /// derived views (their generations never recur, so exact per-view
+    /// stats would be recomputed forever), and fully scanned only for a
+    /// base-table state the cache will keep (`populate` gates insertion
+    /// exactly like the matrix cache's flag). `None` means nothing
+    /// reusable exists and the state is ephemeral — a derived view, or
+    /// an uncached execution: scanning those per request costs more
+    /// than stats-driven choice saves (a per-column scan of every
+    /// WHERE-narrowed candidate set, keyed to a generation that never
+    /// recurs), so the planner falls back to row-count heuristics.
+    fn stats_for(&self, r: &Relation, populate: bool) -> Option<Arc<ColumnStats>> {
+        let gen = r.generation();
+        let prev: Option<Arc<ColumnStats>> = {
+            let m = self.inner.stats.read();
+            if let Some(s) = m.get(&gen) {
+                return Some(Arc::clone(s));
+            }
+            // A snapshot of a recorded delta base can be advanced by
+            // scanning only the appended suffix.
+            let from_delta = r
+                .delta()
+                .and_then(|d| d.bases().iter().find_map(|(g, _)| m.get(g).cloned()));
+            match from_delta {
+                Some(s) => Some(s),
+                // Derived view: approximate with the base's snapshot
+                // (distinct counts are upper bounds; the planner caps
+                // them at the view's row count).
+                None => match r.lineage() {
+                    Some(l) => {
+                        if let Some(s) = m.get(&l.base_generation()) {
+                            return Some(Arc::clone(s));
+                        }
+                        return None;
+                    }
+                    None => None,
+                },
+            }
+        };
+        if prev.is_none() && !populate {
+            // Never-seen state on the uncached path: its generation
+            // will not recur, so the scan could never be amortized.
+            return None;
+        }
+        // Compute outside every lock (the scan is O(rows · arity)).
+        let s = Arc::new(ColumnStats::advance(prev.as_deref(), r));
+        if populate {
+            let mut m = self.inner.stats.write();
+            if m.len() >= STATS_CAPACITY && !m.contains_key(&gen) {
+                // Generations are monotone: evict the oldest half.
+                let mut gens: Vec<u64> = m.keys().copied().collect();
+                gens.sort_unstable();
+                for g in &gens[..gens.len() / 2] {
+                    m.remove(g);
+                }
+            }
+            m.insert(gen, Arc::clone(&s));
+        }
+        Some(s)
     }
 
     /// Optimized `σ[P](R)` returning row indices.
@@ -1123,6 +1237,14 @@ pub struct Prepared {
     /// fingerprint plus the bound values, reported through [`Explain`].
     binding: Option<(u64, Vec<Value>)>,
     schema: Schema,
+    /// Schema-level planning, computed once at prepare: the rewrite
+    /// derivation trace plus the constraint-registry semantic verdict.
+    semantic: Arc<SemanticInfo>,
+    /// The relation-level [`Plan`] of the most recent execution, shared
+    /// across clones. Replaced lazily when the statistics drift past
+    /// [`PLANNER_REPLAN_DRIFT`]; the guard is never held across stats
+    /// computation, matrix builds, or any other lock.
+    plan_cell: Arc<Mutex<Option<Arc<Plan>>>>,
 }
 
 impl Prepared {
@@ -1203,6 +1325,12 @@ impl Prepared {
             (resimplified, true, compiled)
         };
         let fingerprint = compiled.fingerprint();
+        // Re-analyze on the bound term: binding can change redundancy
+        // (a slot value may land inside/outside a declared domain), and
+        // the shape's trace talks about slot placeholders. The binding
+        // path's own re-simplification is not re-traced — its laws are
+        // the ones `simplify_traced` would record on the bound term.
+        let semantic = Arc::new(SemanticInfo::analyze(&simplified, &self.schema, Vec::new()));
         Ok(Prepared {
             engine: self.engine.clone(),
             original: self.original.clone(),
@@ -1214,6 +1342,8 @@ impl Prepared {
             param_slots: Vec::new(),
             binding: Some((shape_fp, values.to_vec())),
             schema: self.schema.clone(),
+            semantic,
+            plan_cell: Arc::new(Mutex::new(None)),
         })
     }
 
@@ -1266,6 +1396,85 @@ impl Prepared {
         self.run(r, false)
     }
 
+    /// The relation-level [`Plan`] of this query over `r`: reuses the
+    /// cached plan while the row count stays within
+    /// [`PLANNER_REPLAN_DRIFT`] of the planned snapshot (the cost
+    /// ranking cannot flip on smaller drift), replans otherwise.
+    pub fn plan(&self, r: &Relation) -> Arc<Plan> {
+        self.plan_with(r, true)
+    }
+
+    fn plan_with(&self, r: &Relation, populate: bool) -> Arc<Plan> {
+        {
+            let cell = self.plan_cell.lock();
+            if let Some(p) = cell.as_ref() {
+                let (lo, hi) = if p.rows <= r.len() {
+                    (p.rows, r.len())
+                } else {
+                    (r.len(), p.rows)
+                };
+                if p.generation == r.generation()
+                    || (lo > 0 && hi as f64 <= lo as f64 * PLANNER_REPLAN_DRIFT)
+                {
+                    return Arc::clone(p);
+                }
+            }
+        }
+        // Plan (and fetch stats) outside the cell guard: planning takes
+        // the engine's stats lock and may scan the relation.
+        let plan = Arc::new(self.compute_plan(r, populate));
+        *self.plan_cell.lock() = Some(Arc::clone(&plan));
+        plan
+    }
+
+    fn compute_plan(&self, r: &Relation, populate: bool) -> Plan {
+        let opt = &self.engine.inner.optimizer;
+        if self.semantic.redundant && opt.force.is_none() {
+            // Redundant winnow: no stats, no cost table — nothing runs.
+            return Plan {
+                steps: self.semantic.steps.clone(),
+                constraints_used: self.semantic.constraints_used.clone(),
+                redundant: true,
+                rows: r.len(),
+                generation: r.generation(),
+                estimated_result: r.len() as f64,
+                estimates: Vec::new(),
+                algorithm: Algorithm::Elided,
+                reason: "winnow eliminated: registered integrity constraints prove \
+                         σ[P](R) = R — zero algorithm runs"
+                    .to_string(),
+            };
+        }
+        // Ephemeral states (derived views, uncached executions) plan
+        // from the row count alone — see [`Engine::stats_for`].
+        let stats = self.engine.stats_for(r, populate);
+        let view = StatsView {
+            rows: r.len(),
+            generation: r.generation(),
+            cols: stats.as_deref(),
+        };
+        let (algorithm, reason, estimates, estimated_result) = match opt.force {
+            Some(a) => (
+                a,
+                "forced by caller".to_string(),
+                Vec::new(),
+                r.len() as f64,
+            ),
+            None => plan::choose(opt, &self.simplified, &self.compiled, r, &view),
+        };
+        Plan {
+            steps: self.semantic.steps.clone(),
+            constraints_used: self.semantic.constraints_used.clone(),
+            redundant: false,
+            rows: r.len(),
+            generation: view.generation,
+            estimated_result,
+            estimates,
+            algorithm,
+            reason,
+        }
+    }
+
     fn run(&self, r: &Relation, populate: bool) -> Result<MaintainedResult, QueryError> {
         // An unbound shape denotes the empty order — evaluating it would
         // silently return every row. Refuse instead of guessing.
@@ -1279,10 +1488,34 @@ impl Prepared {
             }));
         }
         let opt = &self.engine.inner.optimizer;
-        let (algorithm, reason) = match opt.force {
-            Some(a) => (a, "forced by caller".to_string()),
-            None => opt.select(&self.simplified, &self.compiled, r)?,
-        };
+        let plan = self.plan_with(r, populate);
+        if plan.redundant {
+            // Chomicki elimination: the constraint registry proves
+            // σ[P](R) = R, so answer with every row — no algorithm, no
+            // matrix, no cache traffic at all.
+            return Ok(MaintainedResult {
+                explain: Explain {
+                    original: self.original.clone(),
+                    simplified: self.simplified_str.clone(),
+                    rewritten: self.rewritten,
+                    derivation: plan.lines(),
+                    algorithm: Algorithm::Elided,
+                    materialized: false,
+                    explicit_bitsets: false,
+                    cache: CacheStatus::Bypass,
+                    cache_shard: None,
+                    generation: r.generation(),
+                    lineage: r.lineage(),
+                    shape_fingerprint: self.binding.as_ref().map(|(fp, _)| *fp),
+                    binding: self.binding.as_ref().map(|(_, values)| values.clone()),
+                    reason: plan.reason.clone(),
+                },
+                generation: r.generation(),
+                fingerprint: self.fingerprint,
+                rows: (0..r.len()).collect(),
+            });
+        }
+        let (algorithm, reason) = (plan.algorithm, plan.reason.clone());
         // Result tier first: an exact or delta-maintained previous
         // result answers without touching the matrix cache or running
         // any algorithm at all.
@@ -1302,6 +1535,7 @@ impl Prepared {
                         original: self.original.clone(),
                         simplified: self.simplified_str.clone(),
                         rewritten: self.rewritten,
+                        derivation: plan.lines(),
                         algorithm,
                         materialized,
                         explicit_bitsets,
@@ -1359,6 +1593,7 @@ impl Prepared {
                 original: self.original.clone(),
                 simplified: self.simplified_str.clone(),
                 rewritten: self.rewritten,
+                derivation: plan.lines(),
                 algorithm,
                 materialized,
                 explicit_bitsets,

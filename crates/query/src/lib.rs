@@ -21,6 +21,9 @@
 //!   frontier;
 //! * [`optimizer`] — law-based rewriting (sound by Prop. 7) plus
 //!   algorithm selection, with `EXPLAIN` output;
+//! * [`plan`] — the cost-based semantic planner: rewrite derivations,
+//!   constraint-registry redundancy proofs, and stats-driven algorithm
+//!   choice materialized as a [`plan::Plan`];
 //! * [`stats`] — result sizes and filter strength (Def. 18/19, Prop. 13).
 //!
 //! ## Example
@@ -48,9 +51,11 @@ pub mod error;
 pub mod groupby;
 pub mod negotiate;
 pub mod optimizer;
+pub mod plan;
 pub mod quality;
 pub mod stats;
 
 pub use engine::{CacheStats, Engine, Prepared};
 pub use error::QueryError;
 pub use optimizer::{sigma, sigma_rel, Algorithm, CacheStatus, Explain, Optimizer};
+pub use plan::{selection_commutes, CostEstimate, Plan, PlanStep};

@@ -46,6 +46,10 @@ pub enum Algorithm {
     Cascade,
     /// Decomposition theorems (Prop. 8–12).
     Decomposed,
+    /// No algorithm at all: the planner proved the winnow redundant from
+    /// the relation's integrity constraints (`σ[P](R) = R`), so the
+    /// engine answers with every row. Only the planner selects this.
+    Elided,
 }
 
 impl fmt::Display for Algorithm {
@@ -58,6 +62,7 @@ impl fmt::Display for Algorithm {
             Algorithm::Sfs => "sort-filter-skyline",
             Algorithm::Cascade => "chain cascade (Prop. 11)",
             Algorithm::Decomposed => "decomposition (Prop. 8-12)",
+            Algorithm::Elided => "none (winnow eliminated by integrity constraints)",
         };
         f.write_str(s)
     }
@@ -144,6 +149,13 @@ pub struct Explain {
     pub simplified: String,
     /// Whether rewriting changed the term.
     pub rewritten: bool,
+    /// The planner's derivation: one pre-formatted line per recorded
+    /// step — algebra laws fired (with before/after terms), semantic
+    /// rewrites, the constraints they used, and the per-algorithm cost
+    /// table ([`Plan::lines`](crate::plan::Plan::lines)). Empty when the
+    /// execution bypassed the planner (forced algorithm, result-tier
+    /// hit before planning, legacy paths).
+    pub derivation: Vec<String>,
     /// The chosen evaluation strategy.
     pub algorithm: Algorithm,
     /// Whether dominance tests ran on a materialized score matrix
@@ -195,10 +207,15 @@ impl Explain {
         if self.rewritten {
             out.push(format!("rewritten  : {}", self.simplified));
         }
+        // The planner's derivation, already line-formatted by
+        // `Plan::lines` — laws fired, constraints used, cost table.
+        out.extend(self.derivation.iter().cloned());
         out.push(format!("algorithm  : {}", self.algorithm));
         out.push(format!(
             "dominance  : {}",
-            if self.materialized && self.explicit_bitsets {
+            if self.algorithm == Algorithm::Elided {
+                "none (σ[P](R) = R by integrity constraints; zero dominance tests)"
+            } else if self.materialized && self.explicit_bitsets {
                 "score-matrix (columnar keys + EXPLICIT reachability bitsets)"
             } else if self.materialized {
                 "score-matrix (columnar keys)"
@@ -356,36 +373,17 @@ impl Optimizer {
         )
     }
 
-    /// Plan only: rewrite, compile, and select an algorithm without
-    /// evaluating — the `EXPLAIN` path of Preference SQL. The backend
-    /// report uses the allocation-free representability probe; no matrix
-    /// is materialized.
+    /// Plan only: rewrite (recording the derivation), run the semantic
+    /// constraint analysis, and cost-rank the algorithms without
+    /// evaluating — the `EXPLAIN` path of Preference SQL. Runs through a
+    /// transient capacity-0 [`Engine`](crate::engine::Engine) so the
+    /// planner sees (freshly computed) statistics; engine-held queries
+    /// should use [`Engine::plan`](crate::engine::Engine::plan), whose
+    /// statistics are maintained incrementally across mutations.
     pub fn plan(&self, pref: &Pref, r: &Relation) -> Result<Explain, QueryError> {
-        let original = pref.to_string();
-        let simplified = self.rewrite(pref);
-        let simplified_str = simplified.to_string();
-        let c = CompiledPref::compile(&simplified, r.schema())?;
-        let (algorithm, reason) = match self.force {
-            Some(a) => (a, "forced by caller".to_string()),
-            None => self.select(&simplified, &c, r)?,
-        };
-        let materialized =
-            !self.no_materialize && Self::uses_matrix(algorithm) && c.supports_matrix(r);
-        Ok(Explain {
-            rewritten: simplified_str != original,
-            original,
-            simplified: simplified_str,
-            algorithm,
-            materialized,
-            explicit_bitsets: materialized && c.has_explicit(),
-            cache: CacheStatus::Bypass,
-            cache_shard: None,
-            generation: r.generation(),
-            lineage: r.lineage(),
-            shape_fingerprint: None,
-            binding: None,
-            reason,
-        })
+        crate::engine::Engine::with_optimizer(self.clone())
+            .with_capacity(0)
+            .plan(pref, r)
     }
 
     /// Evaluate `σ[P](R)`, returning sorted row indices and the
@@ -403,47 +401,6 @@ impl Optimizer {
         crate::engine::Engine::with_optimizer(self.clone())
             .with_capacity(0)
             .evaluate(pref, r)
-    }
-
-    /// Pick an algorithm for an already-simplified, compiled term.
-    pub(crate) fn select(
-        &self,
-        pref: &Pref,
-        c: &CompiledPref,
-        r: &Relation,
-    ) -> Result<(Algorithm, String), QueryError> {
-        if c.chain_dims().is_some() {
-            return Ok((
-                Algorithm::Dnc,
-                "SKYLINE OF shape: Pareto accumulation of LOWEST/HIGHEST chains".to_string(),
-            ));
-        }
-        if matches!(pref, Pref::Prior(children) if children
-            .first()
-            .is_some_and(|p| p.is_chain()))
-        {
-            return Ok((
-                Algorithm::Cascade,
-                "prioritisation with chain head: Prop. 11 cascade".to_string(),
-            ));
-        }
-        if !r.is_empty() && c.utility(r.row(0)).is_some() {
-            return Ok((
-                Algorithm::Sfs,
-                "monotone utility available: presort and filter".to_string(),
-            ));
-        }
-        let threads = self.effective_threads();
-        if threads >= 2 && r.len() >= 4096 {
-            return Ok((
-                Algorithm::BnlParallel,
-                format!("general partial order, large input: {threads} BNL workers"),
-            ));
-        }
-        Ok((
-            Algorithm::Bnl,
-            "general strict partial order: block-nested-loops".to_string(),
-        ))
     }
 }
 
@@ -539,6 +496,17 @@ pub(crate) fn run_algorithm(
         }
         Algorithm::Cascade | Algorithm::Decomposed => {
             crate::decompose::sigma_decomposed_inner(engine, simplified, r, populate)?
+        }
+        // Only the planner may elide the winnow — it holds the
+        // constraint-registry proof that σ[P](R) = R. A caller forcing
+        // it would silently get every row on arbitrary preferences.
+        Algorithm::Elided => {
+            return Err(QueryError::AlgorithmMismatch {
+                algorithm: "elided winnow",
+                term: simplified.to_string(),
+                reason: "only the planner may elide a winnow (requires a \
+                         constraint-registry redundancy proof)",
+            });
         }
     };
     Ok((rows, algorithm, reason))

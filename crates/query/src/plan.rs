@@ -1,0 +1,671 @@
+//! The cost-based semantic planner: derivation-traced rewriting,
+//! constraint-driven semantic optimization, and statistics-driven
+//! algorithm choice, reified as an explicit [`Plan`] object.
+//!
+//! The paper names "building efficient preference query optimizers" as
+//! the open problem; Chomicki's follow-up work shows the two *semantic*
+//! levers this module adds on top of the algebraic laws:
+//!
+//! 1. **Redundant-winnow elimination** — when the relation's declared
+//!    integrity constraints ([`Schema::constraints`]) imply that no
+//!    stored tuple can be strictly better than another under `P`, then
+//!    `σ[P](R) = R` and the winnow is dropped entirely: the engine
+//!    answers with every row and runs **zero** algorithms.
+//! 2. **Hard-selection commutation** — `σ_C(ω_P(R)) = ω_P(σ_C(R))`
+//!    holds when `C` cannot distinguish two stored tuples; with every
+//!    attribute of `C` declared [`Constant`](Constraint::Constant) the
+//!    selection is uniform across rows and trivially commutes, so the
+//!    executor may evaluate `P` against the (warm, cached) base relation
+//!    and filter afterwards ([`selection_commutes`]).
+//!
+//! Algorithm choice is no longer a fixed shape heuristic: every eligible
+//! algorithm gets a [`CostEstimate`] from maintained per-relation
+//! statistics ([`ColumnStats`], row counts and per-attribute distinct
+//! counts kept incrementally on the relation's `Delta`) and a Def. 18
+//! style result-size estimate; the cheapest eligible plan wins. The
+//! whole decision — laws fired, constraints used, per-algorithm costs —
+//! is recorded on the [`Plan`] and printed by `EXPLAIN`.
+
+use std::fmt;
+
+use pref_core::algebra::RewriteStep;
+use pref_core::eval::CompiledPref;
+use pref_core::term::Pref;
+use pref_relation::{Attr, ColumnStats, Constraint, Relation, Schema};
+
+use crate::optimizer::{Algorithm, Optimizer};
+
+// ---- cost-model constants ----------------------------------------------
+//
+// The cost unit is one pairwise dominance test on the columnar backend
+// (`ScoreMatrix::better`): every formula below counts work in multiples
+// of that test, so estimates are comparable across algorithms.
+
+/// A scalar comparison (sort compare, columnar min/max scan step) costs
+/// a quarter of a full dominance test: it touches one key lane instead
+/// of walking every dimension and both orderings. Shared by the SFS sort
+/// phase and the D&C per-dimension sorts.
+pub(crate) const COST_SCAN_FACTOR: f64 = 0.25;
+
+/// Parallel BNL's fixed overhead expressed in dominance-test units:
+/// thread spawn/join plus the cross-chunk merge pass are worth roughly
+/// one BNL window pass over 4096 rows, so parallelism only pays once
+/// `n · d̂ · (1 − 1/threads)` clears this bar (small inputs stay serial,
+/// matching the old fixed n ≥ 4096 threshold at typical d̂ ≈ ln n).
+pub(crate) const PLANNER_PAR_OVERHEAD: f64 = 4096.0;
+
+/// The Prop. 11 cascade resolves its chain head with linear columnar
+/// scans (no pairwise tests) and recurses only into the single best
+/// group — a geometrically shrinking series bounded by ~2 full passes.
+pub(crate) const PLANNER_CASCADE_PASSES: f64 = 2.0;
+
+/// Replan when the row count drifts past this factor in either
+/// direction: a 2× change is where the cost ranking can actually flip
+/// (the formulas differ by log/estimate factors, not constants), while
+/// replanning on every append would defeat plan caching entirely.
+pub(crate) const PLANNER_REPLAN_DRIFT: f64 = 2.0;
+
+// ---- plan objects ------------------------------------------------------
+
+/// One recorded derivation step: an algebra law fired by the traced
+/// rewriter, or a semantic (constraint-driven) rewrite.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanStep {
+    /// `"law"` for Prop. 2–4 algebra steps, `"semantic"` for
+    /// constraint-driven rewrites.
+    pub kind: &'static str,
+    /// The rule that fired (e.g. `"Prop. 3l (P ⊗ P ≡ P)"`).
+    pub rule: String,
+    /// The whole term before the step.
+    pub before: String,
+    /// The whole term after the step (equal to `before` for annotation
+    /// steps that do not rewrite the term, e.g. the elimination note).
+    pub after: String,
+}
+
+/// The estimated cost of one candidate algorithm, in dominance-test
+/// units, with its eligibility verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostEstimate {
+    pub algorithm: Algorithm,
+    /// Estimated cost in dominance-test units (meaningless when
+    /// `eligible` is false).
+    pub cost: f64,
+    pub eligible: bool,
+    /// The cost formula or the ineligibility reason.
+    pub detail: String,
+}
+
+/// The complete plan of one preference query over one relation state:
+/// the derivation that produced the evaluated term, the semantic
+/// verdict, the per-algorithm cost table and the chosen algorithm.
+#[derive(Debug, Clone)]
+pub struct Plan {
+    /// Derivation steps: algebraic trace first, semantic steps after.
+    pub steps: Vec<PlanStep>,
+    /// Display forms of the integrity constraints the semantic steps
+    /// relied on (empty when none fired).
+    pub constraints_used: Vec<String>,
+    /// `σ[P](R) = R` proven from the constraint registry: the winnow is
+    /// eliminated and no algorithm runs.
+    pub redundant: bool,
+    /// Row count of the statistics snapshot the costs were computed on.
+    pub rows: usize,
+    /// Relation generation of that snapshot.
+    pub generation: u64,
+    /// Def. 18-style estimated BMO result size, in rows.
+    pub estimated_result: f64,
+    /// Cost table over every candidate algorithm.
+    pub estimates: Vec<CostEstimate>,
+    /// The chosen algorithm (cheapest eligible candidate).
+    pub algorithm: Algorithm,
+    /// Selection rationale, reported through [`Explain`](crate::Explain).
+    pub reason: String,
+}
+
+impl Plan {
+    /// The derivation lines `EXPLAIN` splices into
+    /// [`Explain::lines`](crate::Explain::lines) — each already carries
+    /// its column prefix so the Rust view, `Display`, and the server
+    /// wire format all render identically.
+    pub fn lines(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for s in &self.steps {
+            if s.before == s.after {
+                out.push(format!("{:<11}: {}", s.kind, s.rule));
+            } else {
+                out.push(format!(
+                    "{:<11}: {}: {} ⇒ {}",
+                    s.kind, s.rule, s.before, s.after
+                ));
+            }
+        }
+        for c in &self.constraints_used {
+            out.push(format!("constraint : {c}"));
+        }
+        out.push(format!(
+            "stats      : {} rows at generation {}, est. result {:.1} rows (Def. 18)",
+            self.rows, self.generation, self.estimated_result
+        ));
+        for e in &self.estimates {
+            if e.eligible {
+                let chosen = if e.algorithm == self.algorithm {
+                    "  ← chosen"
+                } else {
+                    ""
+                };
+                out.push(format!(
+                    "cost       : {} = {:.0} ({}){chosen}",
+                    e.algorithm, e.cost, e.detail
+                ));
+            } else {
+                out.push(format!(
+                    "cost       : {} ineligible ({})",
+                    e.algorithm, e.detail
+                ));
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Plan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.lines().join("\n"))
+    }
+}
+
+// ---- semantic analysis (prepare time, schema-level) --------------------
+
+/// Prepare-time planning state: the algebraic derivation trace plus the
+/// constraint-driven semantic verdict. Everything here depends only on
+/// the term and the schema, so it is computed once per prepare and
+/// shared by all executions.
+#[derive(Debug, Clone)]
+pub(crate) struct SemanticInfo {
+    pub steps: Vec<PlanStep>,
+    pub redundant: bool,
+    pub constraints_used: Vec<String>,
+}
+
+impl SemanticInfo {
+    /// Analyze `simplified` against `schema`'s constraint registry,
+    /// folding the recorded algebra `trace` into derivation steps.
+    pub(crate) fn analyze(
+        simplified: &Pref,
+        schema: &Schema,
+        trace: Vec<RewriteStep>,
+    ) -> SemanticInfo {
+        let mut steps: Vec<PlanStep> = trace
+            .into_iter()
+            .map(|s| PlanStep {
+                kind: "law",
+                rule: s.law.to_string(),
+                before: s.before.to_string(),
+                after: s.after.to_string(),
+            })
+            .collect();
+        let mut used: Vec<String> = Vec::new();
+        // The elimination is gated on the constraint registry: a proof
+        // that consumed no registered constraint (e.g. a bare anti-chain
+        // term, vacuously non-discriminating) does not elide — the
+        // planner only changes behaviour where the application declared
+        // semantic knowledge to license it.
+        let redundant = winnow_redundant(simplified, schema, &mut used) && !used.is_empty();
+        if redundant {
+            let t = simplified.to_string();
+            steps.push(PlanStep {
+                kind: "semantic",
+                rule: format!(
+                    "redundant winnow eliminated: the registered constraints imply \
+                     σ[{t}](R) = R (no stored tuple can dominate another) — \
+                     zero algorithm runs"
+                ),
+                before: t.clone(),
+                after: t,
+            });
+        }
+        used.sort();
+        used.dedup();
+        SemanticInfo {
+            steps,
+            redundant,
+            constraints_used: used,
+        }
+    }
+}
+
+/// Is the winnow `σ[P](R)` provably the identity on every relation
+/// satisfying `schema`'s declared constraints? Appends the display form
+/// of each constraint the proof relied on to `used`.
+///
+/// Soundness per constructor:
+/// * every attribute of a sub-term Constant ⟹ all stored tuples share
+///   the sub-term's projection, and strict preferences are irreflexive
+///   on equal projections — no pair is comparable (any constructor);
+/// * a [`Constraint::Domain`] bounds the stored values of one attribute,
+///   so a base preference is redundant iff `better(x, y)` is false for
+///   every pair of the declared domain — checked exactly, which covers
+///   the classic cases (`pos(a, S)` with domain ⊆ S or domain ∩ S = ∅)
+///   and every other constructor uniformly;
+/// * Pareto/Prior require at least one strictly-better child to relate
+///   a pair; Union relates a pair only if a child does; so all-children
+///   -redundant suffices. Inter requires *both* children, so either
+///   child redundant suffices. Dual of an empty order is empty.
+///   Anti-chains relate nothing by construction.
+fn winnow_redundant(p: &Pref, schema: &Schema, used: &mut Vec<String>) -> bool {
+    // Blanket rule first: every attribute of this sub-term constant.
+    let attrs = p.attributes();
+    if !attrs.is_empty() {
+        let mut witnesses = Vec::new();
+        let all_constant = attrs.iter().all(|a| {
+            constant_witness(schema, a).is_some_and(|c| {
+                witnesses.push(format!(
+                    "{c} ⟹ all stored tuples agree on {a} (irreflexivity: no pair comparable)"
+                ));
+                true
+            })
+        });
+        if all_constant {
+            used.extend(witnesses);
+            return true;
+        }
+    }
+    match p {
+        Pref::Antichain(_) => true,
+        Pref::Base(b) => {
+            let Some(domain) = schema.domain_of(&b.attr) else {
+                return false;
+            };
+            // Exact check over the declared domain: the base relates no
+            // pair of storable values.
+            let trivial = domain
+                .iter()
+                .all(|x| domain.iter().all(|y| !b.base.better(x, y)));
+            if trivial {
+                let c = Constraint::Domain {
+                    attr: b.attr.clone(),
+                    values: domain.to_vec(),
+                };
+                used.push(format!("{c} ⟹ {p} relates no pair of the declared domain"));
+            }
+            trivial
+        }
+        Pref::Dual(x) => winnow_redundant(x, schema, used),
+        Pref::Pareto(cs) | Pref::Prior(cs) => cs.iter().all(|c| winnow_redundant(c, schema, used)),
+        Pref::Union(l, r) => winnow_redundant(l, schema, used) && winnow_redundant(r, schema, used),
+        Pref::Inter(l, r) => {
+            // Check the right side only if the left is not redundant, so
+            // `used` holds one sufficient proof, not a mixture.
+            winnow_redundant(l, schema, used) || winnow_redundant(r, schema, used)
+        }
+        // rank(F) combines scores across bases; only the blanket
+        // constant-attributes rule above applies.
+        Pref::Rank(_, _) => false,
+    }
+}
+
+/// The constraint making `attr` constant across stored tuples, if any.
+fn constant_witness(schema: &Schema, attr: &Attr) -> Option<String> {
+    schema
+        .constraints_on(attr)
+        .find(|c| match c {
+            Constraint::Constant { .. } => true,
+            Constraint::Domain { values, .. } => values.len() <= 1,
+        })
+        .map(ToString::to_string)
+}
+
+/// Does a hard selection over exactly `attrs` commute with the winnow on
+/// every relation satisfying `schema`'s constraints? True when every
+/// referenced attribute is declared constant: the selection then accepts
+/// either all stored tuples or none, and `σ_C(ω_P(R)) = ω_P(σ_C(R))`
+/// holds in both cases (identically `ω_P(R)`, or `∅ = ω_P(∅)`).
+/// Vacuously true for a selection referencing no attributes.
+pub fn selection_commutes<'a>(schema: &Schema, attrs: impl IntoIterator<Item = &'a Attr>) -> bool {
+    attrs.into_iter().all(|a| schema.attr_is_constant(a))
+}
+
+// ---- statistics-driven algorithm choice (execute time) -----------------
+
+/// The statistics the cost model consumes: the relation's row count plus
+/// a distinct-count source. `cols` may describe a *superset* of the rows
+/// (a derived view approximated by its base table's statistics), so
+/// distinct counts are capped at `rows`.
+pub(crate) struct StatsView<'a> {
+    pub rows: usize,
+    pub generation: u64,
+    pub cols: Option<&'a ColumnStats>,
+}
+
+impl StatsView<'_> {
+    fn distinct(&self, schema: &Schema, attr: &Attr) -> Option<usize> {
+        self.cols
+            .and_then(|c| c.distinct(schema, attr))
+            .map(|d| d.clamp(1, self.rows.max(1)))
+    }
+}
+
+/// Def. 18-style estimate of `|σ[P](R)|` from per-attribute distinct
+/// counts. Chains keep only the rows sharing the single best value
+/// (`n / distinct`); Pareto accumulations follow the classic
+/// independent-dimension skyline estimate `(ln n)^(k−1)`; prioritised
+/// accumulation refines the head's maxima by the tail's selectivity.
+/// All heuristic, all clamped to `[1, n]` — the planner needs relative
+/// magnitudes, not exact cardinalities.
+fn estimated_result(p: &Pref, schema: &Schema, stats: &StatsView<'_>) -> f64 {
+    let n = stats.rows as f64;
+    if stats.rows <= 1 {
+        return n;
+    }
+    let est = match p {
+        Pref::Base(b) => match stats.distinct(schema, &b.attr) {
+            Some(d) => n / d as f64,
+            None => n.ln().max(1.0),
+        },
+        Pref::Antichain(_) => n,
+        Pref::Dual(x) => estimated_result(x, schema, stats),
+        Pref::Pareto(cs) => {
+            let k = cs.len().max(1) as f64;
+            n.ln().max(1.0).powf(k - 1.0)
+        }
+        Pref::Prior(cs) => {
+            let mut est = n;
+            for c in cs {
+                est *= estimated_result(c, schema, stats) / n;
+            }
+            est
+        }
+        // rank(F) totally preorders rows by combined score: like a chain
+        // whose distinct count is the coarsest operand's.
+        Pref::Rank(_, bases) => bases
+            .iter()
+            .filter_map(|b| stats.distinct(schema, &b.attr))
+            .map(|d| n / d as f64)
+            .fold(n.ln().max(1.0), f64::min),
+        // Intersection keeps a pair comparable only when both operands
+        // agree — fewer comparable pairs, more maxima than either side.
+        Pref::Inter(l, r) => {
+            estimated_result(l, schema, stats).max(estimated_result(r, schema, stats))
+        }
+        // Disjoint union adds comparable pairs — fewer maxima.
+        Pref::Union(l, r) => {
+            estimated_result(l, schema, stats).min(estimated_result(r, schema, stats))
+        }
+    };
+    est.clamp(1.0, n)
+}
+
+/// Cost-rank every candidate algorithm for an already-simplified,
+/// compiled term over `r` and pick the cheapest eligible one. Returns
+/// the choice, its rationale, the full cost table, and the Def. 18
+/// result estimate.
+pub(crate) fn choose(
+    opt: &Optimizer,
+    pref: &Pref,
+    c: &CompiledPref,
+    r: &Relation,
+    stats: &StatsView<'_>,
+) -> (Algorithm, String, Vec<CostEstimate>, f64) {
+    let n = stats.rows as f64;
+    let lg = n.max(2.0).log2();
+    let d = estimated_result(pref, r.schema(), stats).max(1.0);
+    let threads = opt.effective_threads();
+
+    let mut estimates = Vec::with_capacity(5);
+
+    // D&C maxima: per-dimension columnar sorts dominate; the merge is
+    // absorbed into the same scan-cost series.
+    let dnc_ok = c.chain_dims().is_some();
+    estimates.push(CostEstimate {
+        algorithm: Algorithm::Dnc,
+        cost: COST_SCAN_FACTOR * n * lg,
+        eligible: dnc_ok,
+        detail: if dnc_ok {
+            format!("{COST_SCAN_FACTOR} · n · log₂ n, per-dimension sorts")
+        } else {
+            "not a Pareto accumulation of LOWEST/HIGHEST chains".to_string()
+        },
+    });
+
+    // Prop. 11 cascade: linear scans partition by the chain head, then
+    // recursion into the single surviving group.
+    let cascade_ok = matches!(pref, Pref::Prior(children)
+        if children.first().is_some_and(Pref::is_chain));
+    estimates.push(CostEstimate {
+        algorithm: Algorithm::Cascade,
+        cost: PLANNER_CASCADE_PASSES * COST_SCAN_FACTOR * n,
+        eligible: cascade_ok,
+        detail: if cascade_ok {
+            format!("{PLANNER_CASCADE_PASSES} linear head-partition passes (Prop. 11)")
+        } else {
+            "not a prioritisation headed by a chain".to_string()
+        },
+    });
+
+    // SFS: one sort by utility, then a filter pass against the running
+    // window of maxima (expected size = the result estimate d̂).
+    let sfs_ok = !r.is_empty() && c.utility(r.row(0)).is_some();
+    estimates.push(CostEstimate {
+        algorithm: Algorithm::Sfs,
+        cost: COST_SCAN_FACTOR * n * (lg + d),
+        eligible: sfs_ok,
+        detail: if sfs_ok {
+            format!("{COST_SCAN_FACTOR} · n · (log₂ n + d̂), presort then filter")
+        } else {
+            "no monotone utility on this input".to_string()
+        },
+    });
+
+    // BNL: every row runs against the window of current maxima (d̂).
+    estimates.push(CostEstimate {
+        algorithm: Algorithm::Bnl,
+        cost: n * d,
+        eligible: true,
+        detail: "n · d̂ window dominance tests".to_string(),
+    });
+
+    // Parallel BNL: the window work divides across threads, plus the
+    // fixed spawn/merge overhead.
+    let par_ok = threads >= 2;
+    estimates.push(CostEstimate {
+        algorithm: Algorithm::BnlParallel,
+        cost: n * d / (threads.max(1) as f64) + PLANNER_PAR_OVERHEAD,
+        eligible: par_ok,
+        detail: if par_ok {
+            format!("n · d̂ / {threads} threads + {PLANNER_PAR_OVERHEAD} overhead")
+        } else {
+            "single worker thread available".to_string()
+        },
+    });
+
+    let chosen = estimates
+        .iter()
+        .filter(|e| e.eligible)
+        .min_by(|a, b| a.cost.total_cmp(&b.cost))
+        .expect("BNL is always eligible");
+    let (algorithm, cost) = (chosen.algorithm, chosen.cost);
+    let runner_up = estimates
+        .iter()
+        .filter(|e| e.eligible && e.algorithm != algorithm)
+        .min_by(|a, b| a.cost.total_cmp(&b.cost));
+    let reason = match runner_up {
+        Some(r2) => format!(
+            "cost-based: {algorithm} estimated {cost:.0} dominance-test units vs \
+             {} at {:.0} over {} rows (est. result {d:.1})",
+            r2.algorithm, r2.cost, stats.rows
+        ),
+        None => format!(
+            "cost-based: {algorithm} estimated {cost:.0} dominance-test units over \
+             {} rows (est. result {d:.1})",
+            stats.rows
+        ),
+    };
+    (algorithm, reason, estimates, d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pref_core::algebra::simplify_traced;
+    use pref_core::prelude::*;
+    use pref_relation::{attr, rel, Value};
+
+    fn sample() -> Relation {
+        rel! {
+            ("a": Int, "b": Int, "c": Str);
+            (1, 9, "x"), (2, 8, "y"), (3, 7, "x"), (9, 1, "z"),
+            (5, 5, "x"), (6, 6, "y"), (1, 9, "x"), (0, 10, "z"),
+        }
+    }
+
+    fn constrained_schema() -> Schema {
+        sample()
+            .schema()
+            .clone()
+            .with_constraint(Constraint::Constant { attr: attr("c") })
+            .unwrap()
+    }
+
+    fn analyze(p: &Pref, s: &Schema) -> SemanticInfo {
+        let (simplified, trace) = simplify_traced(p);
+        SemanticInfo::analyze(&simplified, s, trace)
+    }
+
+    #[test]
+    fn constant_attrs_eliminate_any_constructor() {
+        let s = constrained_schema();
+        for p in [
+            pos("c", ["x"]),
+            lowest("c"),
+            pos("c", ["x"]).dual(),
+            pos("c", ["x"]).pareto(neg("c", ["z"])),
+            explicit("c", [("z", "x")]).unwrap(),
+        ] {
+            let info = analyze(&p, &s);
+            assert!(info.redundant, "{p} must be redundant under CONSTANT(c)");
+            assert!(!info.constraints_used.is_empty());
+        }
+        // An unconstrained attribute keeps the winnow live.
+        let info = analyze(&lowest("a"), &s);
+        assert!(!info.redundant);
+        // A mixed Pareto is live: the `a` child can still discriminate.
+        let info = analyze(&pos("c", ["x"]).pareto(lowest("a")), &s);
+        assert!(!info.redundant);
+        // …but Inter needs only one trivial side: under DOMAIN(c ∈ {x, y})
+        // the POS side cannot discriminate while the EXPLICIT side can.
+        let s = sample()
+            .schema()
+            .clone()
+            .with_constraint(Constraint::Domain {
+                attr: attr("c"),
+                values: vec![Value::from("x"), Value::from("y")],
+            })
+            .unwrap();
+        let live = explicit("c", [("y", "x")]).unwrap();
+        assert!(!analyze(&live, &s).redundant);
+        let p = live.intersect(pos("c", ["w"])).unwrap();
+        assert!(analyze(&p, &s).redundant);
+    }
+
+    #[test]
+    fn domain_constraints_decide_pos_neg_redundancy() {
+        let schema = sample().schema().clone();
+        // Domain ⊆ POS set: every stored value is equally "good".
+        let s = schema
+            .clone()
+            .with_constraint(Constraint::Domain {
+                attr: attr("c"),
+                values: vec![Value::from("x"), Value::from("y")],
+            })
+            .unwrap();
+        assert!(analyze(&pos("c", ["x", "y", "w"]), &s).redundant);
+        // Domain ∩ POS = ∅: every stored value is equally "other".
+        assert!(analyze(&pos("c", ["w", "v"]), &s).redundant);
+        // Overlap without inclusion: POS still discriminates.
+        assert!(!analyze(&pos("c", ["x"]), &s).redundant);
+        // NEG mirrors POS.
+        assert!(analyze(&neg("c", ["w"]), &s).redundant);
+        assert!(!analyze(&neg("c", ["x"]), &s).redundant);
+    }
+
+    #[test]
+    fn selection_commutation_gate() {
+        let s = constrained_schema();
+        let c = attr("c");
+        let a = attr("a");
+        assert!(selection_commutes(&s, [&c]));
+        assert!(!selection_commutes(&s, [&a]));
+        assert!(!selection_commutes(&s, [&c, &a]));
+        assert!(selection_commutes(&s, std::iter::empty()));
+    }
+
+    #[test]
+    fn estimates_rank_algorithms_sanely() {
+        let r = sample();
+        let stats_owned = ColumnStats::of(&r);
+        let stats = StatsView {
+            rows: r.len(),
+            generation: r.generation(),
+            cols: Some(&stats_owned),
+        };
+        let opt = Optimizer::new();
+
+        // Chain skyline → D&C cheapest.
+        let p = lowest("a").pareto(highest("b"));
+        let c = pref_core::eval::CompiledPref::compile(&p, r.schema()).unwrap();
+        let (alg, reason, table, _) = choose(&opt, &p, &c, &r, &stats);
+        assert_eq!(alg, Algorithm::Dnc);
+        assert!(reason.contains("cost-based"));
+        assert_eq!(table.len(), 5, "every candidate gets an estimate");
+
+        // Chain-headed prioritisation → cascade cheapest.
+        let p = lowest("a").prior(pos("c", ["x"]));
+        let c = pref_core::eval::CompiledPref::compile(&p, r.schema()).unwrap();
+        let (alg, _, _, _) = choose(&opt, &p, &c, &r, &stats);
+        assert_eq!(alg, Algorithm::Cascade);
+
+        // Scored non-chain → SFS beats BNL whenever d̂ > 1.
+        let p = around("a", 3).pareto(lowest("b"));
+        let c = pref_core::eval::CompiledPref::compile(&p, r.schema()).unwrap();
+        let (alg, _, _, d) = choose(&opt, &p, &c, &r, &stats);
+        assert_eq!(alg, Algorithm::Sfs);
+        assert!(d > 1.0);
+
+        // No utility, small input → serial BNL (parallel overhead too big).
+        let p = pos("c", ["x"]).pareto(neg("c", ["z"]));
+        let c = pref_core::eval::CompiledPref::compile(&p, r.schema()).unwrap();
+        let (alg, _, table, _) = choose(&opt, &p, &c, &r, &stats);
+        assert_eq!(alg, Algorithm::Bnl);
+        let sfs = table
+            .iter()
+            .find(|e| e.algorithm == Algorithm::Sfs)
+            .unwrap();
+        assert!(!sfs.eligible);
+    }
+
+    #[test]
+    fn plan_lines_render_derivation_and_costs() {
+        let s = constrained_schema();
+        let p = Pref::Pareto(vec![pos("c", ["x"]), pos("c", ["x"])]);
+        let info = analyze(&p, &s);
+        assert!(info.redundant);
+        let plan = Plan {
+            steps: info.steps,
+            constraints_used: info.constraints_used,
+            redundant: true,
+            rows: 8,
+            generation: 1,
+            estimated_result: 8.0,
+            estimates: Vec::new(),
+            algorithm: Algorithm::Elided,
+            reason: "test".into(),
+        };
+        let text = plan.to_string();
+        assert!(text.contains("Prop. 3l"), "algebra trace rendered: {text}");
+        assert!(text.contains("redundant winnow eliminated"));
+        assert!(text.contains("zero algorithm runs"));
+        assert!(text.contains("CONSTANT(c)"));
+        assert!(text.contains("stats      : 8 rows"));
+    }
+}

@@ -317,17 +317,6 @@ pub fn k_best(pref: &Pref, r: &Relation, k: usize) -> Result<Vec<usize>, QueryEr
     k_best_of_graph(&g, r.len(), k)
 }
 
-/// Deprecated free-function spelling of [`Engine::k_best`].
-#[deprecated(since = "0.2.0", note = "use the `Engine::k_best` method")]
-pub fn k_best_with(
-    engine: &Engine,
-    pref: &Pref,
-    r: &Relation,
-    k: usize,
-) -> Result<Vec<usize>, QueryError> {
-    engine.k_best(pref, r, k)
-}
-
 impl Engine {
     /// [`k_best`] through this engine: the O(n²) better-than graph is
     /// built from the engine-cached
@@ -371,17 +360,6 @@ fn k_best_of_graph(g: &BetterGraph, n: usize, k: usize) -> Result<Vec<usize>, Qu
 pub fn top_k(pref: &Pref, r: &Relation, k: usize) -> Result<Vec<usize>, QueryError> {
     let c = pref_core::eval::CompiledPref::compile(pref, r.schema())?;
     top_k_compiled(&c, pref, r, k)
-}
-
-/// Deprecated free-function spelling of [`Engine::top_k`].
-#[deprecated(since = "0.2.0", note = "use the `Engine::top_k` method")]
-pub fn top_k_with(
-    engine: &Engine,
-    pref: &Pref,
-    r: &Relation,
-    k: usize,
-) -> Result<Vec<usize>, QueryError> {
-    engine.top_k(pref, r, k)
 }
 
 fn top_k_compiled(
@@ -545,23 +523,22 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_with_wrappers_agree_with_the_methods() {
+    fn engine_methods_agree_with_the_one_shot_free_functions() {
         let r = rel! { ("a": Int, "b": Int); (1, 9), (2, 8), (9, 1), (5, 5) };
         let p = around("a", 1).pareto(lowest("b"));
         let engine = Engine::new();
         assert_eq!(
-            k_best_with(&engine, &p, &r, 3).unwrap(),
-            engine.k_best(&p, &r, 3).unwrap()
+            engine.k_best(&p, &r, 3).unwrap(),
+            k_best(&p, &r, 3).unwrap()
         );
         let ranked = Pref::rank(CombineFn::sum(), vec![highest("a"), highest("b")]).unwrap();
         assert_eq!(
-            top_k_with(&engine, &ranked, &r, 3).unwrap(),
-            engine.top_k(&ranked, &r, 3).unwrap()
+            engine.top_k(&ranked, &r, 3).unwrap(),
+            top_k(&ranked, &r, 3).unwrap()
         );
         assert_eq!(
-            crate::decompose::sigma_decomposed_with(&engine, &p, &r).unwrap(),
-            engine.sigma_decomposed(&p, &r).unwrap()
+            engine.sigma_decomposed(&p, &r).unwrap(),
+            crate::decompose::sigma_decomposed(&p, &r).unwrap()
         );
     }
 

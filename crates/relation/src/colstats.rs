@@ -1,0 +1,207 @@
+//! Per-relation column statistics, maintained incrementally over the
+//! relation's [`Delta`](crate::Delta).
+//!
+//! A [`ColumnStats`] snapshot records, for one relation generation, the
+//! row count and a per-column value multiset (value → occurrence count)
+//! — enough to answer `distinct(attr)` exactly and to feed Def. 18-style
+//! result-size estimates in the query planner. Advancing a snapshot to a
+//! newer generation is **incremental when the delta allows it**: if the
+//! relation's [`Delta`](crate::Delta) proves the old prefix unchanged
+//! (the snapshot's generation is a recorded base with no dirty rows and
+//! no tombstones since), only the appended suffix is counted — work
+//! proportional to the mutation, exactly like the engine's shard-hit
+//! matrix rebuilds. Anything the delta cannot vouch for (updates,
+//! deletes, reorderings, an overflowed delta) falls back to a full
+//! recount.
+//!
+//! The snapshot is a value: *storage* of snapshots (one per live
+//! relation) is the query layer's job, keeping this crate free of cache
+//! policy.
+
+use std::collections::HashMap;
+
+use crate::attr::Attr;
+use crate::relation::Relation;
+use crate::schema::Schema;
+use crate::value::Value;
+
+/// A per-generation snapshot of one relation's column statistics.
+#[derive(Debug, Clone)]
+pub struct ColumnStats {
+    generation: u64,
+    rows: usize,
+    /// Whether the last advance reused a previous snapshot's counts and
+    /// only scanned the appended rows (vs a full recount).
+    incremental: bool,
+    /// One value-count multiset per schema column, in column order.
+    per_column: Vec<HashMap<Value, u32>>,
+}
+
+impl ColumnStats {
+    /// Compute a fresh snapshot of `r` (full scan of every column).
+    pub fn of(r: &Relation) -> ColumnStats {
+        ColumnStats::advance(None, r)
+    }
+
+    /// Advance `prev` to `r`'s current state, incrementally when the
+    /// relation's delta proves the previously counted prefix unchanged.
+    /// `prev = None` (or an unusable delta) means a full recount.
+    pub fn advance(prev: Option<&ColumnStats>, r: &Relation) -> ColumnStats {
+        let arity = r.schema().arity();
+        if let Some(prev) = prev {
+            if prev.generation == r.generation() && prev.per_column.len() == arity {
+                let mut same = prev.clone();
+                same.incremental = true;
+                return same;
+            }
+            if let Some(base_len) = claimable_prefix(prev, r) {
+                let mut per_column = prev.per_column.clone();
+                for i in base_len..r.len() {
+                    let row = r.row(i);
+                    for (col, counts) in per_column.iter_mut().enumerate() {
+                        *counts.entry(row[col].clone()).or_insert(0) += 1;
+                    }
+                }
+                return ColumnStats {
+                    generation: r.generation(),
+                    rows: r.len(),
+                    incremental: true,
+                    per_column,
+                };
+            }
+        }
+        let mut per_column: Vec<HashMap<Value, u32>> = vec![HashMap::new(); arity];
+        for row in r.iter() {
+            for (col, counts) in per_column.iter_mut().enumerate() {
+                *counts.entry(row[col].clone()).or_insert(0) += 1;
+            }
+        }
+        ColumnStats {
+            generation: r.generation(),
+            rows: r.len(),
+            incremental: false,
+            per_column,
+        }
+    }
+
+    /// The relation generation this snapshot describes.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Row count at that generation.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Did the last [`ColumnStats::advance`] reuse previous counts and
+    /// scan only the appended rows?
+    pub fn was_incremental(&self) -> bool {
+        self.incremental
+    }
+
+    /// Exact number of distinct values in column `col` (by index).
+    pub fn distinct_by_index(&self, col: usize) -> usize {
+        self.per_column.get(col).map_or(0, HashMap::len)
+    }
+
+    /// Exact number of distinct values in the named column, resolved
+    /// through `schema`. `None` for unknown attributes.
+    pub fn distinct(&self, schema: &Schema, attr: &Attr) -> Option<usize> {
+        schema.index_of(attr).map(|i| self.distinct_by_index(i))
+    }
+}
+
+/// If `r`'s delta records `prev`'s generation as a base whose prefix is
+/// provably unchanged (no dirty rows, no tombstones since that base),
+/// return the base length — the number of leading rows whose counts can
+/// be carried over verbatim.
+fn claimable_prefix(prev: &ColumnStats, r: &Relation) -> Option<usize> {
+    let d = r.delta()?;
+    if !d.dirty().is_empty() {
+        return None;
+    }
+    let (k, &(_, base_len)) = d
+        .bases()
+        .iter()
+        .enumerate()
+        .find(|(_, (g, _))| *g == prev.generation)?;
+    if !d.deleted_since(k).is_empty() || base_len != prev.rows || base_len > r.len() {
+        return None;
+    }
+    Some(base_len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rel;
+    use crate::tuple::Tuple;
+
+    fn sample() -> Relation {
+        rel! {
+            ("a": Int, "b": Str);
+            (1, "x"), (2, "y"), (1, "x"), (3, "y"),
+        }
+    }
+
+    #[test]
+    fn fresh_snapshot_counts_distincts() {
+        let r = sample();
+        let s = ColumnStats::of(&r);
+        assert_eq!(s.rows(), 4);
+        assert_eq!(s.generation(), r.generation());
+        assert_eq!(s.distinct_by_index(0), 3);
+        assert_eq!(s.distinct_by_index(1), 2);
+        assert_eq!(s.distinct(r.schema(), &crate::attr::attr("b")), Some(2));
+        assert!(!s.was_incremental());
+    }
+
+    #[test]
+    fn append_advances_incrementally() {
+        let mut r = sample();
+        let s0 = ColumnStats::of(&r);
+        r.push(Tuple::new(vec![Value::from(9), Value::from("z")]))
+            .unwrap();
+        let s1 = ColumnStats::advance(Some(&s0), &r);
+        assert!(s1.was_incremental(), "append must not trigger a recount");
+        assert_eq!(s1.rows(), 5);
+        assert_eq!(s1.distinct_by_index(0), 4);
+        assert_eq!(s1.distinct_by_index(1), 3);
+        // The incremental counts match a full recount exactly.
+        let fresh = ColumnStats::of(&r);
+        assert_eq!(s1.distinct_by_index(0), fresh.distinct_by_index(0));
+        assert_eq!(s1.distinct_by_index(1), fresh.distinct_by_index(1));
+    }
+
+    #[test]
+    fn update_falls_back_to_recount() {
+        let mut r = sample();
+        let s0 = ColumnStats::of(&r);
+        r.update_row(0, vec![Value::from(7), Value::from("q")])
+            .unwrap();
+        let s1 = ColumnStats::advance(Some(&s0), &r);
+        assert!(!s1.was_incremental(), "dirty rows invalidate the prefix");
+        assert_eq!(s1.distinct_by_index(0), 4); // 7, 2, 1, 3
+        assert_eq!(s1.distinct_by_index(1), 3); // q, y, x
+    }
+
+    #[test]
+    fn delete_falls_back_to_recount() {
+        let mut r = sample();
+        let s0 = ColumnStats::of(&r);
+        r.delete_row(0);
+        let s1 = ColumnStats::advance(Some(&s0), &r);
+        assert!(!s1.was_incremental());
+        assert_eq!(s1.rows(), 3);
+    }
+
+    #[test]
+    fn same_generation_is_a_clone() {
+        let r = sample();
+        let s0 = ColumnStats::of(&r);
+        let s1 = ColumnStats::advance(Some(&s0), &r);
+        assert_eq!(s1.rows(), s0.rows());
+        assert!(s1.was_incremental());
+    }
+}

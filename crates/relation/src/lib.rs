@@ -27,7 +27,9 @@
 //! ```
 
 pub mod attr;
+pub mod colstats;
 pub mod column;
+pub mod constraint;
 pub mod error;
 pub mod relation;
 pub mod schema;
@@ -38,7 +40,9 @@ pub mod value;
 mod macros;
 
 pub use attr::{attr, Attr, AttrSet};
+pub use colstats::ColumnStats;
 pub use column::Column;
+pub use constraint::Constraint;
 pub use error::RelationError;
 pub use relation::{predicate_fingerprint, Delta, Lineage, Relation, Rows};
 pub use schema::{DataType, Field, Schema};

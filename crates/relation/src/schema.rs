@@ -4,6 +4,7 @@ use std::collections::HashMap;
 use std::fmt;
 
 use crate::attr::{Attr, AttrSet};
+use crate::constraint::Constraint;
 use crate::error::RelationError;
 use crate::value::Value;
 use crate::Result;
@@ -58,11 +59,20 @@ pub struct Field {
     pub dtype: DataType,
 }
 
-/// An ordered list of typed fields with a name→index map.
+/// An ordered list of typed fields with a name→index map, plus an
+/// optional registry of declared [`Constraint`]s the semantic query
+/// optimizer may exploit.
+///
+/// Constraints are deliberately **excluded from schema equality**
+/// ([`Schema::same_as`], `PartialEq`): they are optimizer metadata, and
+/// a relation derived from a constrained base must stay executable
+/// against queries prepared on the unconstrained spelling (and vice
+/// versa).
 #[derive(Debug, Clone)]
 pub struct Schema {
     fields: Vec<Field>,
     index: HashMap<Attr, usize>,
+    constraints: Vec<Constraint>,
 }
 
 impl Schema {
@@ -75,6 +85,7 @@ impl Schema {
         let mut out = Schema {
             fields: Vec::new(),
             index: HashMap::new(),
+            constraints: Vec::new(),
         };
         for (name, dtype) in fields {
             let name = name.into();
@@ -153,9 +164,46 @@ impl Schema {
         Ok(())
     }
 
-    /// Structural equality on (name, type) lists.
+    /// Structural equality on (name, type) lists. Declared constraints
+    /// are optimizer metadata and do not participate.
     pub fn same_as(&self, other: &Schema) -> bool {
         self.fields == other.fields
+    }
+
+    /// Register an integrity constraint (builder style). Rejects
+    /// constraints over attributes the schema does not have.
+    pub fn with_constraint(mut self, c: Constraint) -> Result<Schema> {
+        self.require(c.attr())?;
+        self.constraints.push(c);
+        Ok(self)
+    }
+
+    /// Every declared constraint, in registration order.
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// The declared constraints ranging over `attr`.
+    pub fn constraints_on(&self, attr: &Attr) -> impl Iterator<Item = &Constraint> {
+        let attr = attr.clone();
+        self.constraints.iter().filter(move |c| *c.attr() == attr)
+    }
+
+    /// Is `attr` declared constant across all stored tuples — either an
+    /// explicit [`Constraint::Constant`] or a single-value domain?
+    pub fn attr_is_constant(&self, attr: &Attr) -> bool {
+        self.constraints_on(attr).any(|c| match c {
+            Constraint::Constant { .. } => true,
+            Constraint::Domain { values, .. } => values.len() <= 1,
+        })
+    }
+
+    /// The declared value domain of `attr`, when one is registered.
+    pub fn domain_of(&self, attr: &Attr) -> Option<&[Value]> {
+        self.constraints_on(attr).find_map(|c| match c {
+            Constraint::Domain { values, .. } => Some(values.as_slice()),
+            Constraint::Constant { .. } => None,
+        })
     }
 }
 
@@ -247,6 +295,45 @@ mod tests {
             s.resolve(&AttrSet::new(["mileage", "make"])).unwrap(),
             vec![0, 2]
         );
+    }
+
+    #[test]
+    fn constraints_register_and_resolve() {
+        let s = car_schema()
+            .with_constraint(Constraint::Constant { attr: attr("make") })
+            .unwrap()
+            .with_constraint(Constraint::Domain {
+                attr: attr("price"),
+                values: vec![Value::from(1), Value::from(2)],
+            })
+            .unwrap();
+        assert_eq!(s.constraints().len(), 2);
+        assert!(s.attr_is_constant(&attr("make")));
+        assert!(!s.attr_is_constant(&attr("price")));
+        assert_eq!(s.domain_of(&attr("price")).unwrap().len(), 2);
+        assert!(s.domain_of(&attr("make")).is_none());
+        // Unknown attribute is rejected at registration.
+        assert!(car_schema()
+            .with_constraint(Constraint::Constant { attr: attr("nope") })
+            .is_err());
+        // A single-value domain counts as constant.
+        let s = car_schema()
+            .with_constraint(Constraint::Domain {
+                attr: attr("make"),
+                values: vec![Value::from("Audi")],
+            })
+            .unwrap();
+        assert!(s.attr_is_constant(&attr("make")));
+    }
+
+    #[test]
+    fn constraints_do_not_affect_equality() {
+        let plain = car_schema();
+        let constrained = car_schema()
+            .with_constraint(Constraint::Constant { attr: attr("make") })
+            .unwrap();
+        assert!(plain.same_as(&constrained));
+        assert_eq!(plain, constrained);
     }
 
     #[test]

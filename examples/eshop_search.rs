@@ -8,6 +8,7 @@
 
 use preferences::prelude::*;
 use preferences::query::stats::result_size;
+use preferences::query::Engine;
 use preferences::workload::{cars, querylog};
 
 fn main() {
@@ -56,6 +57,7 @@ fn main() {
     println!("\nResult-size distribution over 200 synthetic customer queries");
     println!("(reproducing the Preference SQL experience report [KFH01]):\n");
     let log = querylog::customer_log(200, 41);
+    let engine = Engine::new();
     let mut sizes: Vec<usize> = log
         .iter()
         .filter_map(|q| {
@@ -64,7 +66,8 @@ fn main() {
                 return None;
             }
             Some(
-                result_size(&q.preference, &candidates).expect("catalog schema covers log queries"),
+                result_size(&engine, &q.preference, &candidates)
+                    .expect("catalog schema covers log queries"),
             )
         })
         .collect();

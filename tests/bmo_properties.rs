@@ -11,7 +11,7 @@ use preferences::query::bmo::{sigma_naive, sigma_naive_generic};
 use preferences::query::decompose::{pareto_decomposition, sigma_decomposed};
 use preferences::query::groupby::{sigma_groupby, sigma_groupby_definitional};
 use preferences::query::stats::FilterEffectReport;
-use preferences::query::{algorithms, Optimizer};
+use preferences::query::{algorithms, Engine, Optimizer};
 use proptest::prelude::*;
 
 proptest! {
@@ -108,7 +108,7 @@ proptest! {
         if r.is_empty() {
             return Ok(());
         }
-        let report = FilterEffectReport::measure(&lowest("a"), &lowest("b"), &r)
+        let report = FilterEffectReport::measure(&Engine::new(), &lowest("a"), &lowest("b"), &r)
             .expect("terms compile");
         prop_assert!(report.inequalities_hold(), "{:?}", report);
     }

@@ -14,6 +14,7 @@ use preferences::query::bmo::sigma_naive_generic;
 use preferences::query::engine::Engine;
 use preferences::query::groupby::{sigma_groupby, sigma_groupby_definitional};
 use preferences::query::CacheStatus;
+use preferences::relation::Constraint;
 use proptest::prelude::*;
 
 proptest! {
@@ -467,6 +468,92 @@ proptest! {
         mutated.extend(extra.iter().cloned());
         db.register("cars", make_table(&mutated));
         check_bindings(&db, &mutated)?;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The cost-based planner is a pure selection layer: whatever
+    /// algorithm it picks from the maintained statistics, the BMO set
+    /// must be byte-identical to an engine forced onto BNL — on random
+    /// terms, random relations, and (below, in
+    /// `constraint_elision_preserves_results`) random constraint
+    /// registries.
+    #[test]
+    fn planner_choice_agrees_with_forced_bnl(p in arb_pref(), r in arb_relation(14)) {
+        let planned = Engine::new();
+        let pinned = Engine::with_optimizer(
+            Optimizer::new().with_algorithm(preferences::query::Algorithm::Bnl));
+        prop_assert_eq!(
+            planned.sigma(&p, &r).expect("planned engine runs"),
+            pinned.sigma(&p, &r).expect("pinned engine runs"),
+            "planner-chosen algorithm diverged from forced BNL for {}", p);
+    }
+
+    /// Every recorded rewrite-derivation step preserves `σ[P](R)`:
+    /// replaying the trace term by term, each step's before/after pair
+    /// selects the identical BMO set (the steps chain, so this verifies
+    /// the whole derivation, not just its endpoints).
+    #[test]
+    fn derivation_steps_preserve_sigma(p in arb_pref(), r in arb_relation(12)) {
+        let (simplified, trace) = simplify_traced(&p);
+        let mut expect = sigma_naive_generic(&p, &r).expect("term compiles");
+        for step in &trace {
+            let before = sigma_naive_generic(&step.before, &r).expect("term compiles");
+            prop_assert_eq!(&before, &expect,
+                "trace broke the chain before '{}' for {}", step.law, p);
+            let after = sigma_naive_generic(&step.after, &r).expect("term compiles");
+            prop_assert_eq!(&after, &before,
+                "law '{}' changed σ[P](R) for {}", step.law, p);
+            expect = after;
+        }
+        prop_assert_eq!(
+            &sigma_naive_generic(&simplified, &r).expect("term compiles"),
+            &expect, "simplified endpoint diverged for {}", p);
+    }
+
+    /// Constraint-gated elision is result-preserving: on a relation that
+    /// actually satisfies `CONSTANT` constraints on every attribute, the
+    /// planning engine (which elides every winnow outright) answers
+    /// exactly like an engine forced to run BNL on the same rows.
+    #[test]
+    fn constraint_elision_preserves_results(
+        p in arb_pref(),
+        vals in (0i64..6, 0i64..6, 0usize..4),
+        n in 0usize..10,
+    ) {
+        let cats = ["x", "y", "z", "w"];
+        let schema = test_schema()
+            .with_constraint(Constraint::Constant { attr: attr("a") })
+            .expect("attr exists")
+            .with_constraint(Constraint::Constant { attr: attr("b") })
+            .expect("attr exists")
+            .with_constraint(Constraint::Constant { attr: attr("c") })
+            .expect("attr exists");
+        let mut r = Relation::empty(schema.clone());
+        for _ in 0..n {
+            r.push_values(vec![
+                Value::from(vals.0), Value::from(vals.1), Value::from(cats[vals.2]),
+            ]).expect("row matches schema");
+        }
+        let planned = Engine::new();
+        let q = planned.prepare(&p, &schema).expect("term compiles");
+        let (rows, ex) = q.execute(&r).expect("planned engine runs").into_parts();
+        let pinned = Engine::with_optimizer(
+            Optimizer::new().with_algorithm(preferences::query::Algorithm::Bnl));
+        prop_assert_eq!(
+            &rows,
+            &pinned.sigma(&p, &r).expect("pinned engine runs"),
+            "elision changed σ[P](R) for {}", p);
+        // All-attributes-constant proves any constructor redundant, so
+        // the plan must report the elimination and skip every algorithm.
+        prop_assert_eq!(rows, (0..r.len()).collect::<Vec<_>>());
+        prop_assert!(ex.derivation.iter().any(|l| l.contains("eliminated")),
+            "derivation must record the elimination for {}", p);
+        let stats = planned.cache_stats();
+        prop_assert_eq!(stats.misses + stats.hits, 0,
+            "an elided winnow must not touch the matrix cache for {}", p);
     }
 }
 
